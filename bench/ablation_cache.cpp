@@ -1,0 +1,75 @@
+// Cache-pressure ablation (extension): the paper's model assumes each site
+// can cache everything it touches.  This sweep bounds the per-node cache
+// and shows the cost of re-fetching evicted pages — and that LOTEC's lazy,
+// predicted transfers degrade more gracefully than COTEC's whole-object
+// moves when cache space is scarce.
+#include <iostream>
+
+#include "sim/experiment.hpp"
+#include "sim/report.hpp"
+#include "workload/generator.hpp"
+
+using namespace lotec;
+
+namespace {
+
+std::pair<std::uint64_t, std::uint64_t> run(const Workload& workload,
+                                            ProtocolKind protocol,
+                                            std::size_t capacity) {
+  ClusterConfig cfg;
+  cfg.nodes = 8;
+  cfg.page_size = 4096;
+  cfg.protocol = protocol;
+  cfg.seed = 7;
+  cfg.cache_capacity_pages = capacity;
+  Cluster cluster(cfg);
+  const auto results = cluster.execute(workload.instantiate(cluster));
+  for (const auto& r : results)
+    if (!r.committed) throw Error("ablation workload aborted");
+  return {cluster.stats().total().bytes, cluster.total_evicted_pages()};
+}
+
+}  // namespace
+
+int main() {
+  WorkloadSpec spec;
+  spec.num_objects = 16;
+  spec.min_pages = 4;
+  spec.max_pages = 10;
+  spec.num_transactions = 250;
+  spec.contention_theta = 0.7;
+  spec.touched_attr_fraction = 0.35;
+  spec.write_fraction = 0.7;
+  spec.seed = 0xCACE;
+  const Workload workload(spec);
+
+  std::size_t total_pages = 0;
+  for (std::size_t i = 0; i < workload.num_objects(); ++i)
+    total_pages += workload.object_pages(i);
+
+  print_section("Cache-capacity ablation (per-node budget, pages)");
+  std::cout << "workload: " << workload.num_objects() << " objects, "
+            << total_pages << " total pages, " << spec.num_transactions
+            << " root txns, 8 nodes\n\n";
+
+  Table table({"Capacity", "COTEC bytes", "LOTEC bytes", "LOTEC/COTEC",
+               "COTEC evictions", "LOTEC evictions"});
+  const std::vector<std::size_t> capacities = {0, total_pages,
+                                               total_pages / 2,
+                                               total_pages / 4,
+                                               total_pages / 8};
+  for (const std::size_t cap : capacities) {
+    const auto [cb, ce] = run(workload, ProtocolKind::kCotec, cap);
+    const auto [lb, le] = run(workload, ProtocolKind::kLotec, cap);
+    table.row({cap == 0 ? "unbounded" : fmt_u64(cap), fmt_u64(cb),
+               fmt_u64(lb),
+               fmt_percent(static_cast<double>(lb) / static_cast<double>(cb)),
+               fmt_u64(ce), fmt_u64(le)});
+  }
+  table.print();
+  std::cout << "\nExpectation: traffic grows as the budget shrinks (evicted "
+               "pages are re-fetched);\nLOTEC keeps its relative advantage "
+               "because it never re-fetches pages the next\nmethod is not "
+               "predicted to need.\n";
+  return 0;
+}

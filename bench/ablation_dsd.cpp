@@ -1,0 +1,51 @@
+// Section 4.2 / Section 6 extension: LOTEC as a Distributed Shared *Data*
+// system — "only updates to the objects (not the entire pages they are
+// stored on) really need to be transmitted between nodes".
+//
+// LOTEC-DSD ships only the byte ranges the previous commit changed when the
+// acquirer's page is one version behind (full pages otherwise).  The win
+// depends on update sparsity: the narrower the writes relative to the page
+// size, the more DSD saves.  This ablation sweeps write breadth on the
+// Figure-3-like geometry.
+#include <iostream>
+
+#include "sim/experiment.hpp"
+#include "sim/report.hpp"
+#include "sim/scenarios.hpp"
+
+using namespace lotec;
+
+int main() {
+  print_section("LOTEC vs LOTEC-DSD: sub-page delta transfers");
+  Table table({"Attrs/page", "LOTEC bytes", "DSD bytes", "DSD/LOTEC",
+               "Delta pages", "Full pages"});
+
+  // More attributes per page = narrower attributes = sparser updates.
+  for (const std::size_t attrs_per_page : {1, 4, 16, 64}) {
+    WorkloadSpec spec = scenarios::large_high_contention();
+    spec.attrs_per_page = attrs_per_page;
+    spec.num_transactions = 200;
+    const Workload workload(spec);
+
+    ExperimentOptions options;
+    const auto results = run_protocol_suite(
+        workload, {ProtocolKind::kLotec, ProtocolKind::kLotecDsd}, options);
+    const auto& lotec = results[0];
+    const auto& dsd = results[1];
+    table.row({fmt_u64(attrs_per_page), fmt_u64(lotec.total.bytes),
+               fmt_u64(dsd.total.bytes),
+               fmt_percent(static_cast<double>(dsd.total.bytes) /
+                           static_cast<double>(lotec.total.bytes)),
+               fmt_u64(dsd.delta_pages),
+               fmt_u64(dsd.pages_fetched - dsd.delta_pages)});
+  }
+  table.print();
+  std::cout << "\nExpectation: with one attribute per page a delta IS the "
+               "whole page (no saving).\nNarrower attributes mean sparser "
+               "updates and real savings; at very fine\ngranularity the "
+               "8-byte per-range descriptors eat some of the gain back —\n"
+               "the paper's point that a distributed shared DATA system "
+               "moves updates,\nnot pages, with bookkeeping overhead as the "
+               "new price.\n";
+  return 0;
+}

@@ -1,0 +1,87 @@
+// Shared harness for the Figure 2-5 byte-count experiments: run a workload
+// scenario under COTEC, OTEC and LOTEC and print the per-object
+// bytes-transferred series the paper plots, plus aggregate ratios.
+#pragma once
+
+#include <iostream>
+#include <string>
+
+#include "sim/experiment.hpp"
+#include "sim/report.hpp"
+#include "sim/scenarios.hpp"
+
+namespace lotec::bench {
+
+struct BytesFigureOptions {
+  /// Print every `sample_step`-th object (the paper's Fig 4/5 label a
+  /// sample of the 100 objects).
+  std::size_t sample_step = 1;
+  ExperimentOptions experiment;
+};
+
+inline void run_bytes_figure(const std::string& title,
+                             const WorkloadSpec& spec,
+                             const BytesFigureOptions& options = {}) {
+  const Workload workload(spec);
+  const auto results = run_protocol_suite(
+      workload,
+      {ProtocolKind::kCotec, ProtocolKind::kOtec, ProtocolKind::kLotec},
+      options.experiment);
+  const ScenarioResult& cotec = results[0];
+  const ScenarioResult& otec = results[1];
+  const ScenarioResult& lotec = results[2];
+
+  print_section(title);
+  std::cout << "objects=" << workload.num_objects() << " pages=["
+            << spec.min_pages << "," << spec.max_pages << "]"
+            << " txns=" << spec.num_transactions
+            << " theta=" << spec.contention_theta
+            << " nodes=" << options.experiment.nodes
+            << " page_size=" << options.experiment.page_size << "\n"
+            << "committed: COTEC=" << cotec.committed
+            << " OTEC=" << otec.committed << " LOTEC=" << lotec.committed
+            << "  (of " << spec.num_transactions << ")\n\n";
+
+  Table table({"Object", "COTEC bytes", "OTEC bytes", "LOTEC bytes",
+               "OTEC/COTEC", "LOTEC/OTEC"});
+  for (std::size_t i = 0; i < workload.num_objects();
+       i += options.sample_step) {
+    const ObjectId id(i);
+    const std::uint64_t c = cotec.object_traffic(id).bytes;
+    const std::uint64_t o = otec.object_traffic(id).bytes;
+    const std::uint64_t l = lotec.object_traffic(id).bytes;
+    table.row({"O" + std::to_string(i), fmt_u64(c), fmt_u64(o), fmt_u64(l),
+               c ? fmt_percent(static_cast<double>(o) / c) : "-",
+               o ? fmt_percent(static_cast<double>(l) / o) : "-"});
+  }
+  table.print();
+
+  std::cout << "\nAggregate consistency traffic:\n";
+  Table agg({"Protocol", "Messages", "Bytes", "vs COTEC bytes",
+             "vs OTEC bytes", "Demand fetches"});
+  const double cb = static_cast<double>(cotec.total.bytes);
+  const double ob = static_cast<double>(otec.total.bytes);
+  agg.row({"COTEC", fmt_u64(cotec.total.messages), fmt_u64(cotec.total.bytes),
+           "100.0%", "-", fmt_u64(cotec.demand_fetches)});
+  agg.row({"OTEC", fmt_u64(otec.total.messages), fmt_u64(otec.total.bytes),
+           fmt_percent(otec.total.bytes / cb), "100.0%",
+           fmt_u64(otec.demand_fetches)});
+  agg.row({"LOTEC", fmt_u64(lotec.total.messages), fmt_u64(lotec.total.bytes),
+           fmt_percent(lotec.total.bytes / cb),
+           fmt_percent(lotec.total.bytes / ob),
+           fmt_u64(lotec.demand_fetches)});
+  agg.print();
+
+  std::cout << "\nCSV (per-object bytes):\n";
+  Table csv({"object", "cotec", "otec", "lotec"});
+  for (std::size_t i = 0; i < workload.num_objects(); ++i) {
+    const ObjectId id(i);
+    csv.row({"O" + std::to_string(i),
+             fmt_u64(cotec.object_traffic(id).bytes),
+             fmt_u64(otec.object_traffic(id).bytes),
+             fmt_u64(lotec.object_traffic(id).bytes)});
+  }
+  csv.print_csv();
+}
+
+}  // namespace lotec::bench

@@ -1,0 +1,10 @@
+// Reproduces Figure 2: bytes transferred per shared object, medium-sized
+// objects (1-5 pages) under high contention, COTEC vs OTEC vs LOTEC.
+#include "bytes_figure.hpp"
+
+int main() {
+  lotec::bench::run_bytes_figure(
+      "Figure 2: Medium Sized Objects with High Contention",
+      lotec::scenarios::medium_high_contention());
+  return 0;
+}

@@ -1,0 +1,10 @@
+// Reproduces Figure 3: bytes transferred per shared object, large objects
+// (10-20 pages) under high contention, COTEC vs OTEC vs LOTEC.
+#include "bytes_figure.hpp"
+
+int main() {
+  lotec::bench::run_bytes_figure(
+      "Figure 3: Large Sized Objects with High Contention",
+      lotec::scenarios::large_high_contention());
+  return 0;
+}

@@ -1,0 +1,13 @@
+// Reproduces Figure 4: bytes transferred per shared object, medium objects
+// under moderate contention (100 objects; a sample is printed, as in the
+// paper's x-axis).
+#include "bytes_figure.hpp"
+
+int main() {
+  lotec::bench::BytesFigureOptions options;
+  options.sample_step = 7;
+  lotec::bench::run_bytes_figure(
+      "Figure 4: Medium Sized Objects with Moderate Contention",
+      lotec::scenarios::medium_moderate_contention(), options);
+  return 0;
+}

@@ -1,0 +1,12 @@
+// Reproduces Figure 5: bytes transferred per shared object, large objects
+// under moderate contention.
+#include "bytes_figure.hpp"
+
+int main() {
+  lotec::bench::BytesFigureOptions options;
+  options.sample_step = 7;
+  lotec::bench::run_bytes_figure(
+      "Figure 5: Large Sized Objects with Moderate Contention",
+      lotec::scenarios::large_moderate_contention(), options);
+  return 0;
+}

@@ -1,0 +1,9 @@
+// Reproduces Figure 6: total message time to maintain consistency of a
+// shared object on a 10 Mbps network, across software startup costs.
+#include "time_figure.hpp"
+
+int main() {
+  lotec::bench::run_time_figure("Figure 6: Example Transfer Time at 10Mbps",
+                                lotec::NetworkCostModel::kEthernet10Mbps);
+  return 0;
+}

@@ -1,0 +1,8 @@
+// Reproduces Figure 7: total message time at 100 Mbps.
+#include "time_figure.hpp"
+
+int main() {
+  lotec::bench::run_time_figure("Figure 7: Example Transfer Time at 100Mbps",
+                                lotec::NetworkCostModel::kEthernet100Mbps);
+  return 0;
+}

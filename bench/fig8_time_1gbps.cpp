@@ -1,0 +1,8 @@
+// Reproduces Figure 8: total message time at 1 Gbps.
+#include "time_figure.hpp"
+
+int main() {
+  lotec::bench::run_time_figure("Figure 8: Example Transfer Time at 1Gbps",
+                                lotec::NetworkCostModel::kEthernet1Gbps);
+  return 0;
+}

@@ -1,0 +1,149 @@
+// Section 5.1 (Locking Overhead): "The LOTEC protocol, as described, has a
+// natural preference for coarse-grained concurrency since the larger
+// objects are, the fewer lock operations are necessary."
+//
+// Design: a shared 240-page "document" is partitioned into objects of
+// varying granularity (12x20 pages ... 240x1 page).  Every transaction
+// edits a randomly placed 20-page contiguous span — the same data footprint
+// at every granularity — by invoking an edit method on each object the span
+// overlaps.  Spans are walked in ascending object order, so cross-family
+// lock orders are consistent and the comparison is not polluted by deadlock
+// retries.  As objects shrink, the same edit needs more lock operations and
+// more GDO messages: the aggregation argument of Section 5.1.
+#include <iostream>
+#include <memory>
+
+#include "runtime/cluster.hpp"
+#include "sim/report.hpp"
+
+using namespace lotec;
+
+namespace {
+
+constexpr std::size_t kDocumentPages = 240;
+constexpr std::size_t kSpanPages = 20;
+constexpr int kTransactions = 300;
+
+struct EditPlan {
+  std::vector<ObjectId> span_objects;
+};
+
+struct Measured {
+  std::uint64_t gdo_lock_msgs = 0;
+  std::uint64_t local_grants = 0;
+  std::uint64_t control_bytes = 0;
+  std::uint64_t page_bytes = 0;
+  std::uint64_t total_bytes = 0;
+};
+
+Measured run(std::size_t pages_per_object) {
+  ClusterConfig cfg;
+  cfg.nodes = 8;
+  cfg.page_size = 4096;
+  cfg.protocol = ProtocolKind::kLotec;
+  cfg.seed = 0x51AC;
+  Cluster cluster(cfg);
+
+  // One class: `edit` touches the whole object (the span covers it fully).
+  ClassBuilder chunk("Chunk" + std::to_string(pages_per_object),
+                     cfg.page_size);
+  std::vector<std::string> attrs;
+  for (std::size_t p = 0; p < pages_per_object; ++p) {
+    attrs.push_back("p" + std::to_string(p));
+    chunk.attribute(attrs.back(), cfg.page_size);
+  }
+  chunk.method("edit", attrs, attrs, [attrs](MethodContext& ctx) {
+    for (const std::string& a : attrs)
+      ctx.set<std::int64_t>(a, ctx.get<std::int64_t>(a) + 1);
+  });
+  const ClassId chunk_cls = cluster.define_class(chunk);
+
+  std::vector<ObjectId> chunks;
+  for (std::size_t i = 0; i < kDocumentPages / pages_per_object; ++i)
+    chunks.push_back(cluster.create_object(chunk_cls));
+
+  // Per-node editor objects drive the nested edits.
+  const ClassId editor_cls = cluster.define_class(
+      ClassBuilder("Editor", cfg.page_size)
+          .attribute("edits", 8)
+          .method("edit_span", {"edits"}, {"edits"},
+                  [](MethodContext& ctx) {
+                    const auto* plan =
+                        static_cast<const EditPlan*>(ctx.user_data());
+                    for (const ObjectId obj : plan->span_objects)
+                      if (!ctx.invoke(obj, "edit")) ctx.abort();
+                    ctx.set<std::int64_t>(
+                        "edits", ctx.get<std::int64_t>("edits") + 1);
+                  }));
+  std::vector<ObjectId> editors;
+  for (std::size_t n = 0; n < cfg.nodes; ++n)
+    editors.push_back(cluster.create_object(
+        editor_cls, NodeId(static_cast<std::uint32_t>(n))));
+
+  Rng rng(99);
+  std::vector<RootRequest> requests;
+  for (int t = 0; t < kTransactions; ++t) {
+    const std::size_t start = rng.below(kDocumentPages - kSpanPages + 1);
+    auto plan = std::make_shared<EditPlan>();
+    const std::size_t first = start / pages_per_object;
+    const std::size_t last = (start + kSpanPages - 1) / pages_per_object;
+    for (std::size_t i = first; i <= last; ++i)
+      plan->span_objects.push_back(chunks[i]);  // ascending: no deadlocks
+
+    RootRequest req;
+    req.object = editors[static_cast<std::size_t>(t) % editors.size()];
+    req.method = cluster.method_id(req.object, "edit_span");
+    req.node = NodeId(static_cast<std::uint32_t>(t) % cfg.nodes);
+    req.user_data = std::move(plan);
+    requests.push_back(std::move(req));
+  }
+  const auto results = cluster.execute(std::move(requests));
+  for (const auto& r : results)
+    if (!r.committed) throw Error("locking_overhead: transaction failed");
+
+  Measured m;
+  const NetworkStats& stats = cluster.stats();
+  for (const auto kind :
+       {MessageKind::kLockAcquireRequest, MessageKind::kLockAcquireGrant,
+        MessageKind::kLockAcquireQueued, MessageKind::kLockGrantWakeup,
+        MessageKind::kLockReleaseRequest})
+    m.gdo_lock_msgs += stats.by_kind(kind).messages;
+  m.local_grants = stats.local_lock_ops();
+  m.total_bytes = stats.total().bytes;
+  for (const auto kind :
+       {MessageKind::kPageFetchReply, MessageKind::kDemandFetchReply,
+        MessageKind::kUpdatePush})
+    m.page_bytes += stats.by_kind(kind).bytes;
+  m.control_bytes = m.total_bytes - m.page_bytes;
+  return m;
+}
+
+}  // namespace
+
+int main() {
+  print_section(
+      "Section 5.1: locking overhead vs object granularity (fixed 20-page "
+      "edits over a 240-page document, LOTEC)");
+  Table table({"Granularity", "GDO lock msgs", "Lock msgs/txn",
+               "Local grants", "Control bytes", "Page bytes",
+               "Control share"});
+  for (const std::size_t pages : {20, 10, 5, 2, 1}) {
+    const Measured m = run(pages);
+    table.row({fmt_u64(240 / pages) + " objects x " + fmt_u64(pages) + "p",
+               fmt_u64(m.gdo_lock_msgs),
+               fmt_double(static_cast<double>(m.gdo_lock_msgs) /
+                              kTransactions,
+                          1),
+               fmt_u64(m.local_grants), fmt_u64(m.control_bytes),
+               fmt_u64(m.page_bytes),
+               fmt_percent(static_cast<double>(m.control_bytes) /
+                           static_cast<double>(m.total_bytes))});
+  }
+  table.print();
+  std::cout
+      << "\nPaper's point: the same edit footprint costs more lock\n"
+         "operations as objects get finer — the reason heavily object-based\n"
+         "environments aggregate related small objects, and the motivation\n"
+         "for Section 5.1's asynchronous locking and pre-acquisition.\n";
+  return 0;
+}

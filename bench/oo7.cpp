@@ -1,0 +1,244 @@
+// Mini-OO7: the classic object-database benchmark shapes (Carey, DeWitt &
+// Naughton, SIGMOD'93) on the LOTEC runtime — the kind of CAD-design
+// workload the paper's system was built for.
+//
+// A design library of CompositeParts (document header + a blob of atomic
+// parts) hangs off an assembly hierarchy.  Child references are stored IN
+// OBJECT STATE (8-byte attributes holding object ids), so traversals do
+// genuine pointer-chasing through the DSM: each hop reads a reference
+// attribute, then invokes a method on the referenced object as a nested
+// sub-transaction.
+//
+// Operations (per OO7):
+//   T1 — read-only traversal of the whole hierarchy, touching every
+//        composite's atomic blob;
+//   T2 — traversal that updates one atomic part per composite;
+//   Q1 — random composite lookups (read the document header only).
+//
+// Reported per protocol: bytes and messages per operation class.
+#include <iostream>
+#include <vector>
+
+#include "runtime/cluster.hpp"
+#include "sim/report.hpp"
+
+using namespace lotec;
+
+namespace {
+
+constexpr int kFanout = 3;
+constexpr int kLevels = 3;              // 3^3 = 27 base assemblies
+constexpr std::uint32_t kAtomicBytes = 12288;  // blob spans 3 extra pages
+constexpr int kT1Runs = 8;
+constexpr int kT2Runs = 8;
+constexpr int kQ1Lookups = 60;
+
+struct Oo7Results {
+  TrafficCounter t1, t2, q1;
+  std::uint64_t invocations = 0;
+};
+
+Oo7Results run_oo7(ProtocolKind protocol) {
+  ClusterConfig cfg;
+  cfg.nodes = 8;
+  cfg.protocol = protocol;
+  cfg.page_size = 4096;
+  cfg.seed = 0x007;
+  Cluster cluster(cfg);
+
+  // CompositePart: header + build date + atomic-part blob.
+  const ClassId composite = cluster.define_class(
+      ClassBuilder("CompositePart", cfg.page_size)
+          .attribute("title", 64)
+          .attribute("build_date", 8)
+          .attribute("atomics", kAtomicBytes)
+          .method("read_all", {"title", "build_date", "atomics"}, {},
+                  [](MethodContext& ctx) {
+                    (void)ctx.get<std::int64_t>("build_date");
+                    std::vector<std::byte> blob(kAtomicBytes);
+                    ctx.read_raw(ctx.cls().layout().find("atomics"), blob);
+                  })
+          .method("update_one", {"build_date", "atomics"},
+                  {"build_date", "atomics"},
+                  [](MethodContext& ctx) {
+                    // Touch one 16-byte atomic part plus the build date.
+                    const std::int64_t d =
+                        ctx.get<std::int64_t>("build_date") + 1;
+                    ctx.set<std::int64_t>("build_date", d);
+                    std::vector<std::byte> part(
+                        16, static_cast<std::byte>(d & 0xFF));
+                    // Deterministic slot from the date.
+                    const std::uint64_t slot =
+                        static_cast<std::uint64_t>(d) %
+                        (kAtomicBytes / 16);
+                    std::vector<std::byte> blob(kAtomicBytes);
+                    ctx.read_raw(ctx.cls().layout().find("atomics"), blob);
+                    std::copy(part.begin(), part.end(),
+                              blob.begin() +
+                                  static_cast<std::ptrdiff_t>(slot * 16));
+                    ctx.write_raw(ctx.cls().layout().find("atomics"), blob);
+                  })
+          .method("lookup", {"title"}, {}, [](MethodContext& ctx) {
+            (void)ctx.get_string("title");
+          }));
+
+  // Assembly: up to kFanout child references (assemblies or composites) in
+  // object state, plus a leaf flag.
+  ClassBuilder asm_builder("Assembly", cfg.page_size);
+  asm_builder.attribute("is_leaf", 8);
+  std::vector<std::string> ref_attrs;
+  for (int i = 0; i < kFanout; ++i) {
+    ref_attrs.push_back("child" + std::to_string(i));
+    asm_builder.attribute(ref_attrs.back(), 8);
+  }
+  std::vector<std::string> all_attrs = ref_attrs;
+  all_attrs.push_back("is_leaf");
+  // Simpler: two traversal methods, one per composite op; recursion picks
+  // the same method name on child assemblies.
+  const auto make_traversal = [](std::string self_method,
+                                 std::string composite_method) {
+    return [self_method = std::move(self_method),
+            composite_method = std::move(composite_method)](
+               MethodContext& ctx) {
+      const bool leaf = ctx.get<std::int64_t>("is_leaf") != 0;
+      for (int i = 0; i < kFanout; ++i) {
+        const auto ref = static_cast<std::uint64_t>(
+            ctx.get<std::int64_t>("child" + std::to_string(i)));
+        if (ref == 0) continue;
+        const ObjectId child(ref - 1);
+        if (!ctx.invoke(child, leaf ? composite_method : self_method))
+          ctx.abort();
+      }
+    };
+  };
+  asm_builder.method("t1", all_attrs, {}, make_traversal("t1", "read_all"));
+  asm_builder.method("t2", all_attrs, {}, make_traversal("t2", "update_one"));
+  asm_builder.method("init", {}, all_attrs, [](MethodContext& ctx) {
+    // Children installed via set_refs payload.
+    const auto* refs =
+        static_cast<const std::vector<std::uint64_t>*>(ctx.user_data());
+    ctx.set<std::int64_t>("is_leaf",
+                          static_cast<std::int64_t>((*refs)[0]));
+    for (int i = 0; i < kFanout; ++i)
+      ctx.set<std::int64_t>("child" + std::to_string(i),
+                            static_cast<std::int64_t>((*refs)[1 + i]));
+  });
+  const ClassId assembly = cluster.define_class(asm_builder);
+
+  // --- build the design: assemblies of depth kLevels over composites -----
+  std::vector<ObjectId> composites;
+  const std::size_t num_base = [] {
+    std::size_t n = 1;
+    for (int i = 0; i < kLevels; ++i) n *= kFanout;
+    return n;
+  }();
+  for (std::size_t i = 0; i < num_base * kFanout; ++i)
+    composites.push_back(cluster.create_object(composite));
+
+  // Level 0: base assemblies referencing composites; upper levels reference
+  // assemblies.  Build bottom-up.
+  std::vector<ObjectId> level;
+  std::size_t next_composite = 0;
+  for (std::size_t i = 0; i < num_base; ++i) {
+    const ObjectId a = cluster.create_object(assembly);
+    auto refs = std::make_shared<std::vector<std::uint64_t>>();
+    refs->push_back(1);  // leaf
+    for (int c = 0; c < kFanout; ++c)
+      refs->push_back(composites[next_composite++].value() + 1);
+    RootRequest req;
+    req.object = a;
+    req.method = cluster.method_id(a, "init");
+    req.user_data = refs;
+    if (!cluster.execute({std::move(req)})[0].committed)
+      throw Error("oo7: init failed");
+    level.push_back(a);
+  }
+  while (level.size() > 1) {
+    std::vector<ObjectId> upper;
+    for (std::size_t i = 0; i < level.size(); i += kFanout) {
+      const ObjectId a = cluster.create_object(assembly);
+      auto refs = std::make_shared<std::vector<std::uint64_t>>();
+      refs->push_back(0);  // interior
+      for (int c = 0; c < kFanout; ++c)
+        refs->push_back(i + static_cast<std::size_t>(c) < level.size()
+                            ? level[i + static_cast<std::size_t>(c)].value() +
+                                  1
+                            : 0);
+      RootRequest req;
+      req.object = a;
+      req.method = cluster.method_id(a, "init");
+      req.user_data = refs;
+      if (!cluster.execute({std::move(req)})[0].committed)
+        throw Error("oo7: init failed");
+      upper.push_back(a);
+    }
+    level = std::move(upper);
+  }
+  const ObjectId root = level.front();
+
+  // --- run the operation mix ----------------------------------------------
+  Oo7Results out;
+  const auto measure = [&](auto&& body) {
+    const TrafficCounter before = cluster.stats().total();
+    body();
+    const TrafficCounter after = cluster.stats().total();
+    return TrafficCounter{after.messages - before.messages,
+                          after.bytes - before.bytes};
+  };
+
+  out.t1 = measure([&] {
+    for (int i = 0; i < kT1Runs; ++i) {
+      const TxnResult r =
+          cluster.run_root(root, "t1", NodeId(static_cast<std::uint32_t>(i) %
+                                              cfg.nodes));
+      if (!r.committed) throw Error("oo7: T1 failed");
+      out.invocations += r.txns_in_tree;
+    }
+  });
+  out.t2 = measure([&] {
+    for (int i = 0; i < kT2Runs; ++i) {
+      const TxnResult r =
+          cluster.run_root(root, "t2", NodeId(static_cast<std::uint32_t>(i) %
+                                              cfg.nodes));
+      if (!r.committed) throw Error("oo7: T2 failed");
+    }
+  });
+  out.q1 = measure([&] {
+    Rng rng(12);
+    for (int i = 0; i < kQ1Lookups; ++i) {
+      const ObjectId target = composites[rng.below(composites.size())];
+      if (!cluster
+               .run_root(target, "lookup",
+                         NodeId(static_cast<std::uint32_t>(
+                             rng.below(cfg.nodes))))
+               .committed)
+        throw Error("oo7: Q1 failed");
+    }
+  });
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  print_section("Mini-OO7 on LOTEC (assembly depth 3, fanout 3, " +
+                std::string("composites with 12KB atomic blobs)"));
+  Table table({"Protocol", "T1 bytes/run", "T2 bytes/run", "Q1 bytes/lookup",
+               "T1 msgs/run", "T2 msgs/run"});
+  for (const auto protocol :
+       {ProtocolKind::kCotec, ProtocolKind::kOtec, ProtocolKind::kLotec,
+        ProtocolKind::kLotecDsd}) {
+    const Oo7Results r = run_oo7(protocol);
+    table.row({std::string(to_string(protocol)),
+               fmt_u64(r.t1.bytes / kT1Runs), fmt_u64(r.t2.bytes / kT2Runs),
+               fmt_u64(r.q1.bytes / kQ1Lookups),
+               fmt_u64(r.t1.messages / kT1Runs),
+               fmt_u64(r.t2.messages / kT2Runs)});
+  }
+  table.print();
+  std::cout << "\nT1 is read-only (read locks shared; pages mostly cached "
+               "after the first run);\nT2's narrow atomic-part updates are "
+               "LOTEC-DSD's best case; Q1 touches only\nthe document-header "
+               "page, which LOTEC's prediction exploits.\n";
+  return 0;
+}

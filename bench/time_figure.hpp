@@ -1,0 +1,81 @@
+// Shared harness for the Figure 6-8 experiments: total message time to
+// maintain the consistency of an arbitrary shared object, for a given
+// network bit rate across the paper's per-message software-cost sweep
+// (100us, 20us, 5us, 1us, 500ns).
+//
+// The traffic trace comes from the Figure 3 scenario (large objects, high
+// contention — where the protocols differ most); the "arbitrary shared
+// object" is the object with the largest COTEC traffic (the paper plots a
+// single representative object).  Time for a protocol is
+//     messages * software_cost + bytes * 8 / bit_rate
+// summed over every consistency/locking message attributed to the object.
+#pragma once
+
+#include <iostream>
+#include <string>
+
+#include "net/cost_model.hpp"
+#include "sim/experiment.hpp"
+#include "sim/report.hpp"
+#include "sim/scenarios.hpp"
+
+namespace lotec::bench {
+
+inline void run_time_figure(const std::string& title, double bits_per_second) {
+  const Workload workload(scenarios::large_high_contention());
+  const auto results = run_protocol_suite(
+      workload,
+      {ProtocolKind::kCotec, ProtocolKind::kOtec, ProtocolKind::kLotec});
+  const ScenarioResult& cotec = results[0];
+  const ScenarioResult& otec = results[1];
+  const ScenarioResult& lotec = results[2];
+
+  // Representative object: largest COTEC traffic.
+  ObjectId subject = cotec.object_ids.front();
+  for (const ObjectId id : cotec.object_ids)
+    if (cotec.object_traffic(id).bytes > cotec.object_traffic(subject).bytes)
+      subject = id;
+
+  print_section(title);
+  std::cout << "subject object O" << subject.value() << " traffic:  "
+            << "COTEC " << cotec.object_traffic(subject).messages << " msgs/"
+            << cotec.object_traffic(subject).bytes << " B,  OTEC "
+            << otec.object_traffic(subject).messages << " msgs/"
+            << otec.object_traffic(subject).bytes << " B,  LOTEC "
+            << lotec.object_traffic(subject).messages << " msgs/"
+            << lotec.object_traffic(subject).bytes << " B\n\n";
+
+  Table table({"Software cost", "COTEC us", "OTEC us", "LOTEC us",
+               "LOTEC wins?"});
+  for (const double sw_us : NetworkCostModel::software_cost_sweep_us()) {
+    const NetworkCostModel model(bits_per_second, sw_us);
+    const auto time_of = [&](const ScenarioResult& r) {
+      const TrafficCounter c = r.object_traffic(subject);
+      return model.total_time_us(c.messages, c.bytes);
+    };
+    const double tc = time_of(cotec);
+    const double to = time_of(otec);
+    const double tl = time_of(lotec);
+    const std::string label =
+        sw_us >= 1.0 ? fmt_double(sw_us, 0) + "us"
+                     : fmt_double(sw_us * 1000.0, 0) + "ns";
+    table.row({label, fmt_double(tc, 0), fmt_double(to, 0),
+               fmt_double(tl, 0),
+               (tl <= to && tl <= tc) ? "yes" : "no"});
+  }
+  table.print();
+
+  std::cout << "\nCSV:\nsoftware_cost_us,cotec_us,otec_us,lotec_us\n";
+  for (const double sw_us : NetworkCostModel::software_cost_sweep_us()) {
+    const NetworkCostModel model(bits_per_second, sw_us);
+    const auto time_of = [&](const ScenarioResult& r) {
+      const TrafficCounter c = r.object_traffic(subject);
+      return model.total_time_us(c.messages, c.bytes);
+    };
+    std::cout << sw_us << ',' << fmt_double(time_of(cotec), 1) << ','
+              << fmt_double(time_of(otec), 1) << ','
+              << fmt_double(time_of(lotec), 1) << '\n';
+  }
+}
+
+}  // namespace lotec::bench

@@ -1,0 +1,169 @@
+// CAD assembly: the domain the paper's work "was originally developed for"
+// (Section 5.1, footnote): computer-aided-design environments where small
+// objects are elements of larger structures.
+//
+// A three-level design hierarchy — Assembly -> SubAssembly -> Part — is
+// spread over the cluster.  A design revision on an assembly nests
+// sub-transactions down the hierarchy, touching only the geometry pages of
+// each part (its bounding box and transform), while bulky mesh data is
+// rarely updated.  This is exactly the access pattern that rewards LOTEC:
+// each part object spans several pages but a revision updates (and the
+// compiler predicts) only a couple, so LOTEC transfers far fewer bytes
+// than COTEC's whole-object moves.  The example runs the same revision
+// workload under COTEC and LOTEC and prints the traffic side by side.
+//
+// Run:  ./cad_assembly
+#include <cstdint>
+#include <iostream>
+#include <memory>
+#include <vector>
+
+#include "runtime/cluster.hpp"
+
+using namespace lotec;
+
+namespace {
+
+constexpr int kAssemblies = 4;
+constexpr int kSubPerAssembly = 3;
+constexpr int kPartsPerSub = 4;
+constexpr int kRevisions = 120;
+
+struct DesignTree {
+  std::vector<ObjectId> assemblies;
+  std::vector<std::vector<ObjectId>> subs;    // per assembly
+  std::vector<std::vector<ObjectId>> parts;   // per sub (flattened)
+};
+
+/// Payload telling a revision which children to walk.
+struct RevisionPlan {
+  std::vector<ObjectId> subassemblies;
+  std::vector<std::vector<ObjectId>> parts_per_sub;  // aligned with above
+};
+
+const RevisionPlan& plan_of(MethodContext& ctx) {
+  const auto* plan = static_cast<const RevisionPlan*>(ctx.user_data());
+  if (plan == nullptr)
+    throw UsageError("cad_assembly: missing RevisionPlan payload");
+  return *plan;
+}
+
+std::uint64_t run_design_workload(ProtocolKind protocol) {
+  ClusterConfig cfg;
+  cfg.nodes = 6;
+  cfg.protocol = protocol;
+  cfg.seed = 31;
+  Cluster cluster(cfg);
+
+  // Part: mostly bulky mesh data; a revision touches only geometry.
+  const ClassId part_cls = cluster.define_class(
+      ClassBuilder("Part", cfg.page_size)
+          .attribute("bbox", 64)
+          .attribute("transform", 128)
+          .attribute("revision", 8)
+          .attribute("mesh", cfg.page_size * 6)   // 6 pages of mesh
+          .attribute("materials", cfg.page_size)  // 1 page
+          .method("revise_geometry",
+                  {"bbox", "transform", "revision"},
+                  {"bbox", "transform", "revision"},
+                  [](MethodContext& ctx) {
+                    ctx.set<std::int64_t>(
+                        "revision", ctx.get<std::int64_t>("revision") + 1);
+                    ctx.set<double>("transform", 1.5);
+                    ctx.set<double>("bbox", 2.5);
+                  })
+          .method("remesh", {"mesh", "revision"}, {"mesh", "revision"},
+                  [](MethodContext& ctx) {
+                    ctx.set<std::int64_t>(
+                        "revision", ctx.get<std::int64_t>("revision") + 1);
+                    ctx.set<double>("mesh", 3.5);
+                  }));
+
+  const ClassId sub_cls = cluster.define_class(
+      ClassBuilder("SubAssembly", cfg.page_size)
+          .attribute("revision", 8)
+          .attribute("layout", 512)
+          .method("revise", {"revision", "layout"}, {"revision", "layout"},
+                  [](MethodContext& ctx) {
+                    const RevisionPlan& plan = plan_of(ctx);
+                    // Find which subassembly we are to pick our part list.
+                    std::size_t self = 0;
+                    while (self < plan.subassemblies.size() &&
+                           plan.subassemblies[self] != ctx.target())
+                      ++self;
+                    for (const ObjectId part : plan.parts_per_sub.at(self))
+                      if (!ctx.invoke(part, "revise_geometry")) ctx.abort();
+                    ctx.set<std::int64_t>(
+                        "revision", ctx.get<std::int64_t>("revision") + 1);
+                  }));
+
+  const ClassId assembly_cls = cluster.define_class(
+      ClassBuilder("Assembly", cfg.page_size)
+          .attribute("revision", 8)
+          .attribute("bom", 1024)
+          .method("revise", {"revision", "bom"}, {"revision", "bom"},
+                  [](MethodContext& ctx) {
+                    for (const ObjectId sub : plan_of(ctx).subassemblies)
+                      if (!ctx.invoke(sub, "revise")) ctx.abort();
+                    ctx.set<std::int64_t>(
+                        "revision", ctx.get<std::int64_t>("revision") + 1);
+                  }));
+
+  // Build the design tree, spreading objects over the cluster.
+  DesignTree tree;
+  for (int a = 0; a < kAssemblies; ++a) {
+    tree.assemblies.push_back(cluster.create_object(assembly_cls));
+    tree.subs.emplace_back();
+    for (int s = 0; s < kSubPerAssembly; ++s) {
+      tree.subs.back().push_back(cluster.create_object(sub_cls));
+      tree.parts.emplace_back();
+      for (int p = 0; p < kPartsPerSub; ++p)
+        tree.parts.back().push_back(cluster.create_object(part_cls));
+    }
+  }
+
+  // Revision workload: each root revises one assembly's whole hierarchy.
+  Rng rng(5);
+  std::vector<RootRequest> requests;
+  for (int i = 0; i < kRevisions; ++i) {
+    const int a = static_cast<int>(rng.below(kAssemblies));
+    auto plan = std::make_shared<RevisionPlan>();
+    plan->subassemblies = tree.subs[a];
+    for (int s = 0; s < kSubPerAssembly; ++s)
+      plan->parts_per_sub.push_back(
+          tree.parts[static_cast<std::size_t>(a * kSubPerAssembly + s)]);
+
+    RootRequest req;
+    req.object = tree.assemblies[static_cast<std::size_t>(a)];
+    req.method = cluster.method_id(req.object, "revise");
+    req.user_data = std::move(plan);
+    requests.push_back(std::move(req));
+  }
+  const auto results = cluster.execute(std::move(requests));
+
+  int committed = 0;
+  for (const auto& r : results) committed += r.committed ? 1 : 0;
+  std::int64_t revisions = 0;
+  for (const auto& a : tree.assemblies)
+    revisions += cluster.peek<std::int64_t>(a, "revision");
+  std::cout << "  " << to_string(protocol) << ": committed " << committed
+            << "/" << kRevisions << " revisions (ledger " << revisions
+            << "), traffic " << cluster.stats().total().messages
+            << " msgs / " << cluster.stats().total().bytes << " bytes\n";
+  return cluster.stats().total().bytes;
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "CAD design-revision workload (" << kAssemblies
+            << " assemblies x " << kSubPerAssembly << " subassemblies x "
+            << kPartsPerSub << " parts):\n";
+  const std::uint64_t cotec = run_design_workload(ProtocolKind::kCotec);
+  const std::uint64_t lotec = run_design_workload(ProtocolKind::kLotec);
+  std::cout << "LOTEC moved " << (cotec - lotec) * 100 / cotec
+            << "% fewer bytes than COTEC: revisions touch only each part's "
+               "geometry pages,\nand LOTEC's access prediction keeps the "
+               "bulky mesh pages off the wire.\n";
+  return lotec < cotec ? 0 : 1;
+}

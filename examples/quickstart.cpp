@@ -1,0 +1,66 @@
+// Quickstart: the smallest complete LOTEC program.
+//
+// Creates a 4-node cluster running the LOTEC consistency protocol, defines
+// a shared Counter class, and runs transactions against it from different
+// nodes.  Note what the user code does NOT contain: no locks, no message
+// passing, no page management — the runtime inserts lock acquisition and
+// release around every method invocation (the paper's "automatic insertion
+// of synchronization primitives") and moves pages per the LOTEC protocol.
+//
+// Run:  ./quickstart
+#include <cstdint>
+#include <iostream>
+
+#include "runtime/cluster.hpp"
+
+using namespace lotec;
+
+int main() {
+  ClusterConfig cfg;
+  cfg.nodes = 4;
+  cfg.protocol = ProtocolKind::kLotec;
+  Cluster cluster(cfg);
+
+  // A shared class: two attributes, two methods with compiler-style access
+  // declarations (reads / writes).  Method bodies use typed accessors.
+  const ClassId counter = cluster.define_class(
+      ClassBuilder("Counter", cfg.page_size)
+          .attribute("value", 8)
+          .attribute("label", 64)
+          .method("increment", /*reads=*/{"value"}, /*writes=*/{"value"},
+                  [](MethodContext& ctx) {
+                    ctx.set<std::int64_t>("value",
+                                          ctx.get<std::int64_t>("value") + 1);
+                  })
+          .method("brand", /*reads=*/{}, /*writes=*/{"label"},
+                  [](MethodContext& ctx) {
+                    ctx.set_string("label", "hello from node " +
+                                                std::to_string(
+                                                    ctx.node().value()));
+                  }));
+
+  // The object's pages initially live at node 0.
+  const ObjectId obj = cluster.create_object(counter, NodeId(0));
+
+  // Each invocation is a root transaction; we spread them over the nodes so
+  // the object's pages migrate under LOTEC's lazy transfers.
+  for (int i = 0; i < 12; ++i) {
+    const TxnResult r =
+        cluster.run_root(obj, "increment", NodeId(i % 4));
+    if (!r.committed) {
+      std::cerr << "transaction aborted: " << to_string(r.reason) << '\n';
+      return 1;
+    }
+  }
+  (void)cluster.run_root(obj, "brand", NodeId(3));
+
+  std::cout << "value = " << cluster.peek<std::int64_t>(obj, "value")
+            << " (expected 12)\n"
+            << "label = \"" << cluster.peek_string(obj, "label") << "\"\n";
+
+  const TrafficCounter t = cluster.stats().total();
+  std::cout << "network: " << t.messages << " messages, " << t.bytes
+            << " bytes to keep " << cluster.num_nodes()
+            << " nodes consistent\n";
+  return cluster.peek<std::int64_t>(obj, "value") == 12 ? 0 : 1;
+}

@@ -1,0 +1,85 @@
+// Error taxonomy for the LOTEC runtime.
+//
+// Programming errors (violating API contracts, e.g. accessing an undeclared
+// attribute in strict mode, or mutually recursive invocation, which the
+// paper's model precludes) throw exceptions derived from `Error`.
+// Expected control-flow events (transaction abort, deadlock victim) use
+// dedicated exception types that the runtime catches internally.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+#include "common/ids.hpp"
+
+namespace lotec {
+
+/// Base class for all LOTEC errors.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// A configuration or API-contract violation by the caller.
+class UsageError : public Error {
+ public:
+  explicit UsageError(const std::string& what) : Error(what) {}
+};
+
+/// Mutually recursive inter-object invocation: a transaction requested a
+/// lock *held* (not merely retained) by one of its ancestors.  The paper
+/// (Section 3.4) precludes such invocations and verifies compliance at run
+/// time; this is the runtime check firing.
+class RecursiveInvocationError : public Error {
+ public:
+  RecursiveInvocationError(ObjectId object, const TxnId& requester,
+                           const TxnId& holder)
+      : Error("mutually recursive invocation precluded: " +
+              to_string(requester) + " requested lock on object " +
+              std::to_string(object.value()) + " held by ancestor " +
+              to_string(holder)),
+        object_(object),
+        requester_(requester),
+        holder_(holder) {}
+
+  [[nodiscard]] ObjectId object() const noexcept { return object_; }
+  [[nodiscard]] const TxnId& requester() const noexcept { return requester_; }
+  [[nodiscard]] const TxnId& holder() const noexcept { return holder_; }
+
+ private:
+  ObjectId object_;
+  TxnId requester_;
+  TxnId holder_;
+};
+
+/// Why a transaction (family) was aborted.
+enum class AbortReason {
+  kUser,          ///< the method body requested abort
+  kDeadlock,      ///< chosen as a deadlock victim
+  kInjected,      ///< failure injection from the workload generator
+  kRetryExhausted ///< too many restarts
+};
+
+[[nodiscard]] constexpr const char* to_string(AbortReason r) noexcept {
+  switch (r) {
+    case AbortReason::kUser: return "user";
+    case AbortReason::kDeadlock: return "deadlock";
+    case AbortReason::kInjected: return "injected";
+    case AbortReason::kRetryExhausted: return "retry-exhausted";
+  }
+  return "?";
+}
+
+/// Thrown inside a transaction body to unwind to the family executor, which
+/// performs UNDO processing and either retries or reports the abort.
+/// Internal control flow; never escapes the runtime.
+class TxnAbort {
+ public:
+  explicit TxnAbort(AbortReason reason) noexcept : reason_(reason) {}
+  [[nodiscard]] AbortReason reason() const noexcept { return reason_; }
+
+ private:
+  AbortReason reason_;
+};
+
+}  // namespace lotec

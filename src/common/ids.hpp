@@ -1,0 +1,117 @@
+// Strongly-typed identifiers used throughout the LOTEC system.
+//
+// Raw integers for node / object / transaction identifiers are a classic
+// source of silent bugs in distributed-systems code (passing a node id where
+// an object id is expected compiles fine).  Every identifier is therefore a
+// distinct type built from the `Id` template below.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <ostream>
+#include <string>
+
+namespace lotec {
+
+/// A strongly-typed integral identifier.  `Tag` makes each instantiation a
+/// distinct type; `Rep` is the underlying representation.
+template <typename Tag, typename Rep = std::uint32_t>
+class Id {
+ public:
+  using rep_type = Rep;
+
+  /// Sentinel meaning "no value"; default construction yields it.
+  static constexpr Rep kInvalid = static_cast<Rep>(-1);
+
+  constexpr Id() noexcept = default;
+  constexpr explicit Id(Rep value) noexcept : value_(value) {}
+
+  [[nodiscard]] constexpr Rep value() const noexcept { return value_; }
+  [[nodiscard]] constexpr bool valid() const noexcept {
+    return value_ != kInvalid;
+  }
+
+  friend constexpr auto operator<=>(Id, Id) noexcept = default;
+
+ private:
+  Rep value_ = kInvalid;
+};
+
+template <typename Tag, typename Rep>
+std::ostream& operator<<(std::ostream& os, Id<Tag, Rep> id) {
+  if (!id.valid()) return os << "<invalid>";
+  return os << id.value();
+}
+
+/// A node (site / processor) in the distributed system.
+using NodeId = Id<struct NodeTag, std::uint32_t>;
+
+/// A shared object managed by the GDO.
+using ObjectId = Id<struct ObjectTag, std::uint64_t>;
+
+/// A class (type) of shared objects.
+using ClassId = Id<struct ClassTag, std::uint32_t>;
+
+/// An attribute within a class (index into the class's attribute list).
+using AttrId = Id<struct AttrTag, std::uint32_t>;
+
+/// A method within a class (index into the class's method list).
+using MethodId = Id<struct MethodTag, std::uint32_t>;
+
+/// A page within an object's image (zero-based page index).
+using PageIndex = Id<struct PageTag, std::uint32_t>;
+
+/// A transaction family: the globally unique identifier of a root
+/// transaction.  All sub-transactions of a root share its FamilyId.
+using FamilyId = Id<struct FamilyTag, std::uint64_t>;
+
+/// Global log sequence number used to version pages.
+using Lsn = std::uint64_t;
+
+/// Identifies a [sub-]transaction: the family (root) it belongs to plus a
+/// serial number within the family.  Serial 0 is the root itself.  This is
+/// the paper's <TID, NID> pair with the node id tracked separately.
+struct TxnId {
+  FamilyId family{};
+  std::uint32_t serial = 0;
+
+  [[nodiscard]] constexpr bool valid() const noexcept {
+    return family.valid();
+  }
+  [[nodiscard]] constexpr bool is_root() const noexcept { return serial == 0; }
+
+  friend constexpr auto operator<=>(const TxnId&, const TxnId&) noexcept =
+      default;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const TxnId& t) {
+  return os << "T" << t.family << "." << t.serial;
+}
+
+[[nodiscard]] inline std::string to_string(const TxnId& t) {
+  return "T" + std::to_string(t.family.value()) + "." +
+         std::to_string(t.serial);
+}
+
+}  // namespace lotec
+
+namespace std {
+
+template <typename Tag, typename Rep>
+struct hash<lotec::Id<Tag, Rep>> {
+  size_t operator()(lotec::Id<Tag, Rep> id) const noexcept {
+    return std::hash<Rep>{}(id.value());
+  }
+};
+
+template <>
+struct hash<lotec::TxnId> {
+  size_t operator()(const lotec::TxnId& t) const noexcept {
+    const size_t h1 = std::hash<lotec::FamilyId>{}(t.family);
+    const size_t h2 = std::hash<std::uint32_t>{}(t.serial);
+    return h1 ^ (h2 + 0x9e3779b97f4a7c15ULL + (h1 << 6) + (h1 >> 2));
+  }
+};
+
+}  // namespace std

@@ -1,0 +1,66 @@
+// Minimal leveled logger.
+//
+// The runtime is instrumented with trace-level messages that are compiled in
+// but disabled by default; tests flip the level to debug lock-protocol
+// interleavings.  Thread-safe at the line level.
+#pragma once
+
+#include <atomic>
+#include <iostream>
+#include <mutex>
+#include <sstream>
+#include <string_view>
+
+namespace lotec {
+
+enum class LogLevel { kTrace = 0, kDebug = 1, kInfo = 2, kWarn = 3, kOff = 4 };
+
+class Logger {
+ public:
+  static Logger& instance() {
+    static Logger logger;
+    return logger;
+  }
+
+  void set_level(LogLevel level) noexcept { level_.store(level); }
+  [[nodiscard]] LogLevel level() const noexcept { return level_.load(); }
+  [[nodiscard]] bool enabled(LogLevel level) const noexcept {
+    return level >= level_.load();
+  }
+
+  void write(LogLevel level, std::string_view component,
+             const std::string& message) {
+    if (!enabled(level)) return;
+    static constexpr const char* names[] = {"TRACE", "DEBUG", "INFO", "WARN"};
+    std::lock_guard<std::mutex> lock(mu_);
+    std::cerr << "[" << names[static_cast<int>(level)] << "][" << component
+              << "] " << message << '\n';
+  }
+
+ private:
+  std::atomic<LogLevel> level_{LogLevel::kOff};
+  std::mutex mu_;
+};
+
+}  // namespace lotec
+
+/// Log with lazy message construction: the stream expression is evaluated
+/// only when the level is enabled.
+#define LOTEC_LOG(level, component, expr)                              \
+  do {                                                                 \
+    if (::lotec::Logger::instance().enabled(level)) {                  \
+      std::ostringstream lotec_log_oss_;                               \
+      lotec_log_oss_ << expr;                                          \
+      ::lotec::Logger::instance().write(level, component,              \
+                                        lotec_log_oss_.str());         \
+    }                                                                  \
+  } while (0)
+
+#define LOTEC_TRACE(component, expr) \
+  LOTEC_LOG(::lotec::LogLevel::kTrace, component, expr)
+#define LOTEC_DEBUG(component, expr) \
+  LOTEC_LOG(::lotec::LogLevel::kDebug, component, expr)
+#define LOTEC_INFO(component, expr) \
+  LOTEC_LOG(::lotec::LogLevel::kInfo, component, expr)
+#define LOTEC_WARN(component, expr) \
+  LOTEC_LOG(::lotec::LogLevel::kWarn, component, expr)

@@ -1,0 +1,31 @@
+#include "common/rng.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace lotec {
+
+ZipfSampler::ZipfSampler(std::size_t n, double theta) {
+  if (n == 0) throw UsageError("ZipfSampler: n must be positive");
+  if (theta < 0) throw UsageError("ZipfSampler: theta must be >= 0");
+  cdf_.resize(n);
+  double total = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    total += 1.0 / std::pow(static_cast<double>(i + 1), theta);
+    cdf_[i] = total;
+  }
+  for (auto& c : cdf_) c /= total;
+}
+
+std::size_t ZipfSampler::draw(Rng& rng) const {
+  const double u = rng.uniform();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<std::size_t>(it - cdf_.begin());
+}
+
+std::size_t Rng::zipf(std::size_t n, double theta) {
+  // One-shot path; callers doing many draws should use ZipfSampler.
+  return ZipfSampler(n, theta).draw(*this);
+}
+
+}  // namespace lotec

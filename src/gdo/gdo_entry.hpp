@@ -1,0 +1,101 @@
+// GdoEntry: the per-object record of the Global Directory of Objects.
+//
+// Mirrors Figure 1 of the paper:
+//   LockState     - free / held-for-read / held-for-write
+//   ReadCount     - number of families concurrently holding the read lock
+//   HolderPtr     - per holding family, the <TxnId, NodeId> list of member
+//                   transactions involved with the object (the part cached
+//                   at the holding site; the GDO keeps the family-level view
+//                   and receives the list back on release)
+//   NonHoldersPtr - a list of per-family lists of waiting transactions
+//   PageMap       - newest location + version of every page
+//
+// "Retained" is a *local* per-transaction state at the holding site (a
+// pre-committed sub-transaction's lock retained by its parent); from the
+// GDO's family-granularity viewpoint the family simply holds the lock from
+// grant until its root releases it.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "gdo/lock_mode.hpp"
+#include "gdo/page_map.hpp"
+
+namespace lotec {
+
+/// Global lock state of one object.
+enum class GdoLockState : std::uint8_t { kFree, kRead, kWrite };
+
+[[nodiscard]] constexpr std::string_view to_string(GdoLockState s) noexcept {
+  switch (s) {
+    case GdoLockState::kFree: return "free";
+    case GdoLockState::kRead: return "read";
+    case GdoLockState::kWrite: return "write";
+  }
+  return "?";
+}
+
+/// One family currently holding the object's lock.
+struct HolderFamily {
+  FamilyId family{};
+  NodeId node{};
+  LockMode mode = LockMode::kRead;
+  /// Member transactions known to have acquired the lock (<TID,NID> list of
+  /// Fig. 1; the node is the family's single execution site).
+  std::vector<TxnId> txns;
+};
+
+/// One family waiting for the object's lock (an entry of the NonHoldersPtr
+/// list-of-lists).
+struct WaiterFamily {
+  FamilyId family{};
+  NodeId node{};
+  LockMode mode = LockMode::kRead;
+  /// True when the family already holds the lock in read mode and wants to
+  /// upgrade to write.  Upgraders take priority at the head of the queue.
+  bool upgrade = false;
+  std::vector<TxnId> txns;  ///< waiting transactions of the family
+};
+
+struct GdoEntry {
+  GdoLockState state = GdoLockState::kFree;
+  std::uint32_t read_count = 0;  ///< # holder families in read mode
+  std::unordered_map<FamilyId, HolderFamily> holders;
+  std::deque<WaiterFamily> waiters;
+  PageMap page_map;
+  /// Sites holding any cached copy of the object (maintained for the RC
+  /// extension's eager pushes and for cache metrics).
+  std::unordered_set<NodeId> caching_sites;
+  /// Monotonic per-object version counter for stamping committed updates.
+  Lsn version_counter = 0;
+  std::size_t num_pages = 0;
+
+  [[nodiscard]] bool held() const noexcept {
+    return state != GdoLockState::kFree;
+  }
+
+  [[nodiscard]] bool held_by(FamilyId f) const {
+    return holders.count(f) != 0;
+  }
+
+  /// Is some family other than `f` holding the lock?
+  [[nodiscard]] bool held_by_other(FamilyId f) const {
+    for (const auto& [fam, h] : holders)
+      if (fam != f) return true;
+    return false;
+  }
+
+  /// Find `f`'s position in the waiter queue, or npos.
+  [[nodiscard]] std::size_t waiter_index(FamilyId f) const {
+    for (std::size_t i = 0; i < waiters.size(); ++i)
+      if (waiters[i].family == f) return i;
+    return static_cast<std::size_t>(-1);
+  }
+};
+
+}  // namespace lotec

@@ -1,0 +1,434 @@
+#include "gdo/gdo_service.hpp"
+
+#include <algorithm>
+
+#include "common/logging.hpp"
+
+namespace lotec {
+
+namespace {
+
+/// SplitMix64 finalizer: spreads consecutive object ids over partitions.
+std::uint64_t mix(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+GdoService::GdoService(Transport& transport, GdoConfig config)
+    : transport_(transport), config_(config),
+      partitions_(transport.num_nodes()) {
+  if (partitions_.empty()) throw UsageError("GdoService: no nodes");
+}
+
+NodeId GdoService::home_of(ObjectId id) const noexcept {
+  return NodeId(static_cast<std::uint32_t>(mix(id.value()) %
+                                           partitions_.size()));
+}
+
+NodeId GdoService::mirror_of(ObjectId id) const noexcept {
+  return NodeId(static_cast<std::uint32_t>((home_of(id).value() + 1) %
+                                           partitions_.size()));
+}
+
+GdoService::Route GdoService::route(ObjectId id) const {
+  const NodeId home = home_of(id);
+  if (transport_.reachable(home)) return {home.value(), false};
+  if (config_.replicate) {
+    const NodeId mirror = mirror_of(id);
+    if (mirror != home && transport_.reachable(mirror))
+      return {mirror.value(), true};
+  }
+  throw NodeUnreachable(home);
+}
+
+void GdoService::register_object(ObjectId id, std::size_t num_pages,
+                                 NodeId creator) {
+  if (num_pages == 0) throw UsageError("GdoService: object with zero pages");
+  const NodeId home = home_of(id);
+  Partition& part = partitions_[home.value()];
+  {
+    std::lock_guard<std::mutex> lock(part.mu);
+    auto [it, inserted] = part.entries.try_emplace(id);
+    if (!inserted)
+      throw UsageError("GdoService: object " + std::to_string(id.value()) +
+                       " already registered");
+    GdoEntry& e = it->second;
+    e.num_pages = num_pages;
+    e.page_map = PageMap(num_pages, creator);
+    e.caching_sites.insert(creator);
+    replicate(id, e);
+  }
+}
+
+AcquireResult GdoService::acquire(ObjectId id, const TxnId& txn,
+                                  NodeId requester, LockMode mode) {
+  const Route r = route(id);
+  const NodeId serving(static_cast<std::uint32_t>(r.partition));
+  Partition& part = partitions_[r.partition];
+  std::unique_lock<std::mutex> lock(r.failover ? part.mirror_mu : part.mu);
+  auto& map = r.failover ? part.mirrors : part.entries;
+  const auto it = map.find(id);
+  if (it == map.end())
+    throw UsageError("GdoService::acquire: unknown object " +
+                     std::to_string(id.value()));
+  GdoEntry& e = it->second;
+  const FamilyId fam = txn.family;
+
+  transport_.send({MessageKind::kLockAcquireRequest, requester, serving, id,
+                   wire::kLockRecordBytes});
+
+  // --- upgrade path: family holds read, wants write ----------------------
+  if (e.held_by(fam)) {
+    HolderFamily& h = e.holders.at(fam);
+    if (!(mode == LockMode::kWrite && h.mode == LockMode::kRead))
+      throw UsageError(
+          "GdoService::acquire: family already holds a covering lock "
+          "(intra-family requests belong to the local algorithm)");
+    if (e.holders.size() == 1) {
+      // Sole reader: upgrade in place.
+      h.mode = LockMode::kWrite;
+      if (std::find(h.txns.begin(), h.txns.end(), txn) == h.txns.end())
+        h.txns.push_back(txn);
+      e.state = GdoLockState::kWrite;
+      e.read_count = 0;
+      // Upgrade grants need no page map: the family held the lock
+      // throughout, so no other family can have produced newer pages.
+      transport_.send({MessageKind::kLockAcquireGrant, serving, requester, id,
+                       wire::kLockRecordBytes +
+                           h.txns.size() * wire::kTxnNodePairBytes});
+      if (!r.failover) replicate(id, e);
+      AcquireResult res;
+      res.status = AcquireStatus::kGranted;
+      res.upgrade = true;
+      return res;
+    }
+    // Other readers present: queue the upgrade ahead of ordinary waiters
+    // (behind any earlier upgraders).
+    WaiterFamily w{fam, requester, LockMode::kWrite, /*upgrade=*/true, {txn}};
+    std::size_t pos = 0;
+    while (pos < e.waiters.size() && e.waiters[pos].upgrade) ++pos;
+    e.waiters.insert(e.waiters.begin() + static_cast<std::ptrdiff_t>(pos),
+                     std::move(w));
+    transport_.send({MessageKind::kLockAcquireQueued, serving, requester, id,
+                     wire::kLockRecordBytes});
+    if (!r.failover) replicate(id, e);
+    return AcquireResult{};  // queued
+  }
+
+  // --- fresh acquisition --------------------------------------------------
+  // A queued *upgrade* always blocks new readers: an upgrader needs the
+  // holder set to drain to itself, so admitting fresh readers would starve
+  // it (and livelock deadlock-victim retries).  Ordinary queued writers
+  // block new readers only under fair_readers; the paper's Algorithm 4.2
+  // grants reads whenever the lock is read-held.
+  const bool upgrade_pending =
+      std::any_of(e.waiters.begin(), e.waiters.end(),
+                  [](const auto& w) { return w.upgrade; });
+  const bool read_shared =
+      e.state == GdoLockState::kRead && mode == LockMode::kRead &&
+      !upgrade_pending &&
+      (!config_.fair_readers ||
+       std::none_of(e.waiters.begin(), e.waiters.end(), [](const auto& w) {
+         return w.mode == LockMode::kWrite;
+       }));
+
+  if (!e.held() || read_shared) {
+    install_holder(e, WaiterFamily{fam, requester, mode, false, {txn}});
+    e.caching_sites.insert(requester);
+    transport_.send({MessageKind::kLockAcquireGrant, serving, requester, id,
+                     grant_payload_bytes(e, 1)});
+    if (!r.failover) replicate(id, e);
+    AcquireResult res;
+    res.status = AcquireStatus::kGranted;
+    res.page_map = e.page_map;
+    return res;
+  }
+
+  // --- conflict: enqueue on the NonHolders list ---------------------------
+  const std::size_t idx = e.waiter_index(fam);
+  if (idx != static_cast<std::size_t>(-1)) {
+    // "IF there is a list ... for the requesting transaction's family THEN
+    //  link the requesting transaction into its family's list."
+    e.waiters[idx].txns.push_back(txn);
+  } else {
+    e.waiters.push_back(WaiterFamily{fam, requester, mode, false, {txn}});
+  }
+  transport_.send({MessageKind::kLockAcquireQueued, serving, requester, id,
+                   wire::kLockRecordBytes});
+  if (!r.failover) replicate(id, e);
+  return AcquireResult{};  // queued
+}
+
+void GdoService::install_holder(GdoEntry& e, const WaiterFamily& w) {
+  HolderFamily h{w.family, w.node, w.mode, w.txns};
+  e.holders.emplace(w.family, std::move(h));
+  if (w.mode == LockMode::kRead) {
+    ++e.read_count;
+    e.state = GdoLockState::kRead;
+  } else {
+    e.state = GdoLockState::kWrite;
+  }
+}
+
+Lsn GdoService::apply_release(ObjectId id, GdoEntry& e, FamilyId family,
+                              NodeId serving, const ReleaseInfo* info,
+                              std::vector<Grant>& wakeups) {
+  Lsn stamped = 0;
+  const auto hit = e.holders.find(family);
+  if (hit == e.holders.end())
+    throw UsageError("GdoService::release: family " +
+                     std::to_string(family.value()) +
+                     " does not hold object " + std::to_string(id.value()));
+  const NodeId releasing_node = hit->second.node;
+
+  if (info != nullptr) {
+    if (!info->dirty.empty()) {
+      stamped = ++e.version_counter;
+      e.page_map.record_update(info->dirty, releasing_node, stamped);
+    }
+    for (const auto& [p, v] : info->current)
+      e.page_map.record_current(p, releasing_node, v);
+  }
+
+  if (hit->second.mode == LockMode::kRead) --e.read_count;
+  e.holders.erase(hit);
+  if (e.holders.empty()) e.state = GdoLockState::kFree;
+
+  // Defensive: a releasing (aborting) family must not linger in the queue.
+  std::erase_if(e.waiters,
+                [&](const WaiterFamily& w) { return w.family == family; });
+
+  grant_waiters(id, e, serving, wakeups);
+  return stamped;
+}
+
+ReleaseResult GdoService::release_family(ObjectId id, FamilyId family,
+                                         NodeId node,
+                                         const ReleaseInfo* info) {
+  const Route r = route(id);
+  const NodeId serving(static_cast<std::uint32_t>(r.partition));
+  Partition& part = partitions_[r.partition];
+  std::unique_lock<std::mutex> lock(r.failover ? part.mirror_mu : part.mu);
+  auto& map = r.failover ? part.mirrors : part.entries;
+  const auto it = map.find(id);
+  if (it == map.end())
+    throw UsageError("GdoService::release_family: unknown object");
+  GdoEntry& e = it->second;
+
+  const std::uint64_t records = info ? info->record_count() : 0;
+  transport_.send({MessageKind::kLockReleaseRequest, node, serving, id,
+                   wire::kLockRecordBytes +
+                       records * wire::kDirtyPageRecordBytes});
+  if (config_.release_acks)
+    transport_.send({MessageKind::kLockReleaseAck, serving, node, id, 0});
+
+  ReleaseResult res;
+  res.stamped_version = apply_release(id, e, family, serving, info,
+                                      res.wakeups);
+  if (!r.failover) replicate(id, e);
+  return res;
+}
+
+BatchReleaseResult GdoService::release_batch(
+    FamilyId family, NodeId node, const std::vector<ReleaseItem>& items) {
+  // Releases are charged per object: attributing a combined message to a
+  // single object would skew the per-object byte accounting the Figure 2-5
+  // experiments report, and the locking traffic is identical across the
+  // compared protocols anyway.
+  BatchReleaseResult res;
+  for (const auto& item : items) {
+    ReleaseResult one = release_family(item.object, family, node,
+                                       item.info ? &*item.info : nullptr);
+    res.stamped_versions[item.object] = one.stamped_version;
+    for (auto& g : one.wakeups) res.wakeups.push_back(std::move(g));
+  }
+  return res;
+}
+
+void GdoService::grant_waiters(ObjectId id, GdoEntry& e, NodeId serving,
+                               std::vector<Grant>& out) {
+  const auto emit = [&](Grant g) {
+    if (grant_delivery_) grant_delivery_(g);
+    out.push_back(std::move(g));
+  };
+  while (!e.waiters.empty()) {
+    WaiterFamily& w = e.waiters.front();
+    if (w.upgrade) {
+      const bool sole_reader =
+          e.holders.size() == 1 && e.holders.count(w.family) == 1;
+      if (!sole_reader) break;
+      HolderFamily& h = e.holders.at(w.family);
+      h.mode = LockMode::kWrite;
+      for (const TxnId& t : w.txns)
+        if (std::find(h.txns.begin(), h.txns.end(), t) == h.txns.end())
+          h.txns.push_back(t);
+      e.state = GdoLockState::kWrite;
+      e.read_count = 0;
+      Grant g{w.family, w.node, w.txns.front(), LockMode::kWrite,
+              /*upgrade=*/true, PageMap{}, id};
+      transport_.send({MessageKind::kLockGrantWakeup, serving, w.node, id,
+                       wire::kLockRecordBytes +
+                           w.txns.size() * wire::kTxnNodePairBytes});
+      emit(std::move(g));
+      e.waiters.pop_front();
+      break;  // write lock granted; nothing further is grantable
+    }
+    if (w.mode == LockMode::kWrite) {
+      if (!e.holders.empty()) break;
+      Grant g{w.family, w.node, w.txns.front(), LockMode::kWrite,
+              /*upgrade=*/false, e.page_map, id};
+      transport_.send({MessageKind::kLockGrantWakeup, serving, w.node, id,
+                       grant_payload_bytes(e, w.txns.size())});
+      install_holder(e, w);
+      e.caching_sites.insert(w.node);
+      emit(std::move(g));
+      e.waiters.pop_front();
+      break;
+    }
+    // Read waiter.
+    if (!(e.holders.empty() || e.state == GdoLockState::kRead)) break;
+    Grant g{w.family, w.node, w.txns.front(), LockMode::kRead,
+            /*upgrade=*/false, e.page_map, id};
+    transport_.send({MessageKind::kLockGrantWakeup, serving, w.node, id,
+                     grant_payload_bytes(e, w.txns.size())});
+    install_holder(e, w);
+    e.caching_sites.insert(w.node);
+    emit(std::move(g));
+    e.waiters.pop_front();
+    if (!config_.grant_read_batches) break;
+  }
+}
+
+std::vector<Grant> GdoService::cancel_waiter(ObjectId id, FamilyId family) {
+  const Route r = route(id);
+  const NodeId serving(static_cast<std::uint32_t>(r.partition));
+  Partition& part = partitions_[r.partition];
+  std::unique_lock<std::mutex> lock(r.failover ? part.mirror_mu : part.mu);
+  auto& map = r.failover ? part.mirrors : part.entries;
+  const auto it = map.find(id);
+  if (it == map.end())
+    throw UsageError("GdoService::cancel_waiter: unknown object");
+  GdoEntry& e = it->second;
+  std::erase_if(e.waiters,
+                [&](const WaiterFamily& w) { return w.family == family; });
+  std::vector<Grant> wakeups;
+  grant_waiters(id, e, serving, wakeups);
+  if (!r.failover) replicate(id, e);
+  return wakeups;
+}
+
+PageMap GdoService::lookup_page_map(ObjectId id, NodeId requester) {
+  const Route r = route(id);
+  const NodeId serving(static_cast<std::uint32_t>(r.partition));
+  Partition& part = partitions_[r.partition];
+  std::unique_lock<std::mutex> lock(r.failover ? part.mirror_mu : part.mu);
+  auto& map = r.failover ? part.mirrors : part.entries;
+  const auto it = map.find(id);
+  if (it == map.end())
+    throw UsageError("GdoService::lookup_page_map: unknown object");
+  transport_.send({MessageKind::kGdoLookupRequest, requester, serving, id,
+                   wire::kLockRecordBytes});
+  transport_.send({MessageKind::kGdoLookupReply, serving, requester, id,
+                   it->second.page_map.wire_bytes()});
+  return it->second.page_map;
+}
+
+std::vector<NodeId> GdoService::caching_sites(ObjectId id) const {
+  const Route r = route(id);
+  const Partition& part = partitions_[r.partition];
+  std::unique_lock<std::mutex> lock(r.failover ? part.mirror_mu : part.mu);
+  const auto& map = r.failover ? part.mirrors : part.entries;
+  const auto it = map.find(id);
+  if (it == map.end())
+    throw UsageError("GdoService::caching_sites: unknown object");
+  return {it->second.caching_sites.begin(), it->second.caching_sites.end()};
+}
+
+void GdoService::note_caching_site(ObjectId id, NodeId node) {
+  const Route r = route(id);
+  Partition& part = partitions_[r.partition];
+  std::unique_lock<std::mutex> lock(r.failover ? part.mirror_mu : part.mu);
+  auto& map = r.failover ? part.mirrors : part.entries;
+  const auto it = map.find(id);
+  if (it == map.end())
+    throw UsageError("GdoService::note_caching_site: unknown object");
+  it->second.caching_sites.insert(node);
+}
+
+std::vector<GdoService::WaitEdge> GdoService::wait_edges() const {
+  std::vector<WaitEdge> edges;
+  for (const auto& part : partitions_) {
+    std::lock_guard<std::mutex> lock(part.mu);
+    for (const auto& [id, e] : part.entries) {
+      for (std::size_t wi = 0; wi < e.waiters.size(); ++wi) {
+        const WaiterFamily& w = e.waiters[wi];
+        // Wait on conflicting holders (an upgrader waits on every *other*
+        // holder regardless of mode — they must all drain first).
+        for (const auto& [fam, h] : e.holders) {
+          if (fam == w.family) continue;
+          if (w.upgrade || conflicts(h.mode, w.mode))
+            edges.push_back({w.family, fam, id});
+        }
+        // Wait on conflicting earlier-queued waiters (FIFO grant order).
+        for (std::size_t wj = 0; wj < wi; ++wj) {
+          const WaiterFamily& earlier = e.waiters[wj];
+          if (earlier.family == w.family) continue;
+          if (conflicts(earlier.mode, w.mode))
+            edges.push_back({w.family, earlier.family, id});
+        }
+      }
+    }
+  }
+  return edges;
+}
+
+GdoEntry GdoService::snapshot(ObjectId id) const {
+  const Route r = route(id);
+  const Partition& part = partitions_[r.partition];
+  std::unique_lock<std::mutex> lock(r.failover ? part.mirror_mu : part.mu);
+  const auto& map = r.failover ? part.mirrors : part.entries;
+  const auto it = map.find(id);
+  if (it == map.end())
+    throw UsageError("GdoService::snapshot: unknown object");
+  return it->second;
+}
+
+std::size_t GdoService::num_objects() const {
+  std::size_t n = 0;
+  for (const auto& part : partitions_) {
+    std::lock_guard<std::mutex> lock(part.mu);
+    n += part.entries.size();
+  }
+  return n;
+}
+
+std::vector<ObjectId> GdoService::objects_homed_at(NodeId node) const {
+  if (!node.valid() || node.value() >= partitions_.size())
+    throw UsageError("GdoService: node id out of range");
+  const Partition& part = partitions_[node.value()];
+  std::lock_guard<std::mutex> lock(part.mu);
+  std::vector<ObjectId> out;
+  out.reserve(part.entries.size());
+  for (const auto& [id, e] : part.entries) out.push_back(id);
+  return out;
+}
+
+void GdoService::replicate(ObjectId id, const GdoEntry& entry) {
+  if (!config_.replicate) return;
+  const NodeId home = home_of(id);
+  const NodeId mirror = mirror_of(id);
+  if (mirror == home) return;
+  if (!transport_.reachable(mirror)) return;  // mirror down: degrade
+  transport_.send({MessageKind::kGdoReplicaSync, home, mirror, id,
+                   wire::kLockRecordBytes + entry.page_map.wire_bytes()});
+  transport_.send({MessageKind::kGdoReplicaAck, mirror, home, id, 0});
+  Partition& mpart = partitions_[mirror.value()];
+  std::lock_guard<std::mutex> lock(mpart.mirror_mu);
+  mpart.mirrors[id] = entry;
+}
+
+}  // namespace lotec

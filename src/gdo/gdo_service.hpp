@@ -1,0 +1,242 @@
+// GdoService: the partitioned, replicated Global Directory of Objects.
+//
+// Implements the *global* halves of the paper's lock protocol:
+//   Algorithm 4.2 (GlobalLockAcquisition)  -> acquire()
+//   Algorithm 4.4 (GlobalLockRelease)      -> release_family() / wakeups
+//
+// Entries are hash-partitioned over the nodes ("to ensure efficiency and
+// reliability, the GDO design is partitioned and replicated", Section 4.1);
+// with replication enabled every mutation is synchronously copied to a
+// mirror node and requests fail over to the mirror when the home is down.
+//
+// The GDO operates at *family* granularity: a family holds an object's lock
+// from the first grant to one of its member transactions until its root
+// releases it.  Intra-family lock disposition (holding vs retention,
+// inheritance at pre-commit) is local to the family's execution site and
+// lives in the txn library.
+//
+// All cross-node traffic generated here is charged through the Transport.
+#pragma once
+
+#include <functional>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "gdo/gdo_entry.hpp"
+#include "net/transport.hpp"
+
+namespace lotec {
+
+struct GdoConfig {
+  /// Mirror every entry on a second node and fail over to it.
+  bool replicate = false;
+  /// Grant a maximal batch of read waiters when the lock frees (classic
+  /// lock-manager behaviour; the paper's algorithm pops one family list).
+  bool grant_read_batches = true;
+  /// If true, a read request is queued behind waiting writers even when the
+  /// lock is currently read-held (writer fairness).  The paper's Algorithm
+  /// 4.2 grants such reads immediately; that is the default.
+  bool fair_readers = false;
+  /// Acknowledge global release messages (adds one small message per
+  /// release; off by default — the paper piggybacks dirty info on a one-way
+  /// release message).
+  bool release_acks = false;
+};
+
+enum class AcquireStatus : std::uint8_t { kGranted, kQueued };
+
+/// Result of a (possibly deferred) grant, delivered either as the reply to
+/// acquire() or as a wakeup after a release.
+struct Grant {
+  FamilyId family{};
+  NodeId node{};
+  TxnId txn{};
+  LockMode mode = LockMode::kRead;
+  bool upgrade = false;
+  /// Copy of the object's page map sent to the acquiring site ("a site map
+  /// containing the locations of the most up-to-date object pages may be
+  /// sent during global lock acquisition").
+  PageMap page_map;
+  ObjectId object{};
+};
+
+struct AcquireResult {
+  AcquireStatus status = AcquireStatus::kQueued;
+  /// Valid when granted.
+  PageMap page_map;
+  bool upgrade = false;
+};
+
+/// What a releasing site reports about one object (piggybacked on the
+/// global release message).
+struct ReleaseInfo {
+  /// Pages the family updated; the GDO stamps them with a fresh version and
+  /// points the page map at the releasing site (Algorithm 4.4).
+  PageSet dirty;
+  /// Additional pages current at the releasing site with their (unchanged)
+  /// versions.  COTEC/OTEC report these so the directory records the site
+  /// as a source of the whole object (their transfer discipline keeps a
+  /// holder's copy complete); LOTEC reports only dirty pages, which is what
+  /// lets up-to-date pages scatter across sites.
+  std::vector<std::pair<PageIndex, Lsn>> current;
+
+  [[nodiscard]] std::uint64_t record_count() const noexcept {
+    return dirty.count() + current.size();
+  }
+};
+
+struct ReleaseResult {
+  /// Families whose queued requests were granted by this release; the
+  /// runtime delivers these to the respective sites (the GDO has already
+  /// sent and charged the wakeup messages).
+  std::vector<Grant> wakeups;
+  /// Version stamped on the released dirty pages (0 when none).
+  Lsn stamped_version = 0;
+};
+
+/// One object being released in a batch.
+struct ReleaseItem {
+  ObjectId object{};
+  /// Present on commit (dirty/current report); absent on abort ("no dirty
+  /// page info", Algorithm 4.3).
+  std::optional<ReleaseInfo> info;
+};
+
+/// Result of a batched root release: per-object stamped versions plus all
+/// wakeups triggered.
+struct BatchReleaseResult {
+  std::vector<Grant> wakeups;
+  std::unordered_map<ObjectId, Lsn> stamped_versions;
+};
+
+class GdoService {
+ public:
+  GdoService(Transport& transport, GdoConfig config = {});
+
+  /// Install a delivery hook invoked — under the entry's partition lock —
+  /// for every Grant produced by a release or cancellation.  Delivering
+  /// inside the lock serializes grant delivery against cancel_waiter, so a
+  /// deadlock victim cannot miss a grant that raced with its cancellation.
+  /// When set, callers must NOT also act on the Grants returned from
+  /// release/cancel calls.
+  void set_grant_delivery(std::function<void(const Grant&)> hook) {
+    grant_delivery_ = std::move(hook);
+  }
+
+  [[nodiscard]] NodeId home_of(ObjectId id) const noexcept;
+  [[nodiscard]] NodeId mirror_of(ObjectId id) const noexcept;
+
+  /// Create the directory entry for a new object whose pages all reside at
+  /// `creator` (version 0).
+  void register_object(ObjectId id, std::size_t num_pages, NodeId creator);
+
+  /// Global lock acquisition on behalf of transaction `txn` (of family
+  /// txn.family) executing at `requester`.  Returns a grant with the page
+  /// map, or kQueued (the caller must block until the wakeup).
+  /// A request for kWrite by a family currently holding kRead is an
+  /// *upgrade*; upgraders queue ahead of ordinary waiters.
+  AcquireResult acquire(ObjectId id, const TxnId& txn, NodeId requester,
+                        LockMode mode);
+
+  /// Global lock release for one object (Algorithm 4.4).  `info` carries
+  /// the piggybacked page report; nullptr on abort.  Grants to waiting
+  /// families are performed and returned.
+  ReleaseResult release_family(ObjectId id, FamilyId family, NodeId node,
+                               const ReleaseInfo* info);
+
+  /// Root-commit/abort release of the family's whole lock set ("lock
+  /// release processing ... potentially deals with multiple objects").
+  /// Charged as one message per object so per-object byte attribution stays
+  /// exact.
+  BatchReleaseResult release_batch(FamilyId family, NodeId node,
+                                   const std::vector<ReleaseItem>& items);
+
+  /// Remove a family's queued request (deadlock victim / cancelled txn).
+  /// May unblock other waiters, which are granted and returned.
+  std::vector<Grant> cancel_waiter(ObjectId id, FamilyId family);
+
+  /// Read-only page-map lookup (charged as a lookup round trip when remote).
+  [[nodiscard]] PageMap lookup_page_map(ObjectId id, NodeId requester);
+
+  /// Sites caching any part of the object (RC extension push targets).
+  [[nodiscard]] std::vector<NodeId> caching_sites(ObjectId id) const;
+
+  /// Note that `node` now holds cached pages of `id` (updated internally on
+  /// grants; exposed for the RC push path after an eager update install).
+  void note_caching_site(ObjectId id, NodeId node);
+
+  // --- deadlock support ---------------------------------------------------
+
+  struct WaitEdge {
+    FamilyId waiter{};
+    FamilyId holder{};
+    ObjectId object{};
+  };
+  /// All waiter->holder edges across the directory.
+  [[nodiscard]] std::vector<WaitEdge> wait_edges() const;
+
+  // --- introspection (tests / metrics) ------------------------------------
+
+  [[nodiscard]] GdoEntry snapshot(ObjectId id) const;
+  [[nodiscard]] std::size_t num_objects() const;
+  /// Objects homed at `node` (partitioning test support).
+  [[nodiscard]] std::vector<ObjectId> objects_homed_at(NodeId node) const;
+
+ private:
+  struct Partition {
+    /// Protects `entries` (objects homed here).
+    mutable std::mutex mu;
+    /// Protects `mirrors` (replicas of entries homed elsewhere).  Lock
+    /// ordering: an entry `mu` may be held while taking a `mirror_mu`
+    /// (replication), never the reverse.
+    mutable std::mutex mirror_mu;
+    std::unordered_map<ObjectId, GdoEntry> entries;
+    std::unordered_map<ObjectId, GdoEntry> mirrors;
+  };
+
+  /// Which partition serves `id` right now (home, or mirror on failover) —
+  /// and whether we are in failover.
+  struct Route {
+    std::size_t partition;
+    bool failover;
+  };
+  [[nodiscard]] Route route(ObjectId id) const;
+
+  GdoEntry& entry_at(Route r, ObjectId id);
+  [[nodiscard]] const GdoEntry& entry_at(Route r, ObjectId id) const;
+
+  /// Apply the lock/page-map effects of one object's release (no message
+  /// accounting; callers charge the release message, batched or not).
+  /// Returns the version stamped on dirty pages (0 if none).
+  Lsn apply_release(ObjectId id, GdoEntry& entry, FamilyId family,
+                    NodeId serving, const ReleaseInfo* info,
+                    std::vector<Grant>& wakeups);
+
+  /// Grant as many waiters as the state allows; appends to `out` and sends
+  /// + charges the wakeup messages.  Caller holds the partition lock.
+  void grant_waiters(ObjectId id, GdoEntry& entry, NodeId serving_node,
+                     std::vector<Grant>& out);
+
+  /// Apply one grant to the entry's holder bookkeeping.
+  static void install_holder(GdoEntry& entry, const WaiterFamily& w);
+
+  /// Synchronously copy the (mutated) entry to the mirror and charge the
+  /// replication traffic.  Caller holds the home partition lock only.
+  void replicate(ObjectId id, const GdoEntry& entry);
+
+  [[nodiscard]] std::uint64_t grant_payload_bytes(const GdoEntry& entry,
+                                                  std::size_t txn_list_len)
+      const noexcept {
+    return wire::kLockRecordBytes +
+           txn_list_len * wire::kTxnNodePairBytes + entry.page_map.wire_bytes();
+  }
+
+  Transport& transport_;
+  GdoConfig config_;
+  std::function<void(const Grant&)> grant_delivery_;
+  std::vector<Partition> partitions_;
+};
+
+}  // namespace lotec

@@ -1,0 +1,21 @@
+// Lock modes and conflict rules (multiple readers / single writer).
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace lotec {
+
+enum class LockMode : std::uint8_t { kRead, kWrite };
+
+[[nodiscard]] constexpr std::string_view to_string(LockMode m) noexcept {
+  return m == LockMode::kRead ? "R" : "W";
+}
+
+/// Multiple-readers / single-writer conflict matrix.
+[[nodiscard]] constexpr bool conflicts(LockMode held, LockMode requested)
+    noexcept {
+  return held == LockMode::kWrite || requested == LockMode::kWrite;
+}
+
+}  // namespace lotec

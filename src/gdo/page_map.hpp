@@ -1,0 +1,82 @@
+// PageMap: which site stores the most up-to-date version of each page.
+//
+// This is the consistency-maintenance half of the Fig. 1 GDO entry.  Under
+// LOTEC the newest pages of one object may be scattered over several sites;
+// the map is updated from dirty-page information piggybacked on global lock
+// release messages and a copy is sent to the acquiring site during global
+// lock acquisition.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "common/page_set.hpp"
+#include "net/message.hpp"
+
+namespace lotec {
+
+struct PageLocation {
+  NodeId node{};   ///< site holding the newest copy
+  Lsn version = 0; ///< version stamped at the root commit that produced it
+
+  friend bool operator==(const PageLocation&, const PageLocation&) = default;
+};
+
+class PageMap {
+ public:
+  PageMap() = default;
+  /// All pages initially live at the creating site with version 0.
+  PageMap(std::size_t num_pages, NodeId creator)
+      : locations_(num_pages, PageLocation{creator, 0}) {}
+
+  [[nodiscard]] std::size_t num_pages() const noexcept {
+    return locations_.size();
+  }
+
+  [[nodiscard]] const PageLocation& at(PageIndex p) const {
+    return locations_.at(p.value());
+  }
+
+  /// Apply a release's dirty-page report: `node` now owns `dirty` at
+  /// `version` (Algorithm 4.4, "record the NodeIdentifier of the updating
+  /// site ... for each updated page").
+  void record_update(const PageSet& dirty, NodeId node, Lsn version) {
+    for (const PageIndex p : dirty.to_vector())
+      locations_.at(p.value()) = PageLocation{node, version};
+  }
+
+  /// Record that `node` holds a current copy of page `p` at `version`
+  /// without any new update (COTEC/OTEC residency reports).  Ignored if the
+  /// directory already knows a newer version.
+  void record_current(PageIndex p, NodeId node, Lsn version) {
+    PageLocation& loc = locations_.at(p.value());
+    if (version >= loc.version) loc = PageLocation{node, version};
+  }
+
+  /// Pages whose newest version is strictly newer than `cached_versions`
+  /// claims the inquiring site has (the OTEC/LOTEC staleness test).
+  [[nodiscard]] PageSet stale_pages(const std::vector<Lsn>& cached_versions)
+      const {
+    PageSet s(locations_.size());
+    for (std::size_t i = 0; i < locations_.size(); ++i) {
+      const Lsn have = i < cached_versions.size() ? cached_versions[i] : 0;
+      if (locations_[i].version > have)
+        s.insert(PageIndex(static_cast<std::uint32_t>(i)));
+    }
+    return s;
+  }
+
+  /// Wire size of a full page-map copy in a grant message.
+  [[nodiscard]] std::uint64_t wire_bytes() const noexcept {
+    return static_cast<std::uint64_t>(locations_.size()) *
+           wire::kPageMapEntryBytes;
+  }
+
+  friend bool operator==(const PageMap&, const PageMap&) = default;
+
+ private:
+  std::vector<PageLocation> locations_;
+};
+
+}  // namespace lotec

@@ -1,0 +1,68 @@
+#include "gdo/waits_for.hpp"
+
+#include <algorithm>
+
+namespace lotec {
+
+namespace {
+
+enum class Color : std::uint8_t { kWhite, kGray, kBlack };
+
+struct Dfs {
+  const std::unordered_map<FamilyId, std::vector<FamilyId>>& adj;
+  std::unordered_map<FamilyId, Color> color;
+  std::vector<FamilyId> stack;
+  std::optional<std::vector<FamilyId>> cycle;
+
+  void visit(FamilyId u) {
+    if (cycle) return;
+    color[u] = Color::kGray;
+    stack.push_back(u);
+    const auto it = adj.find(u);
+    if (it != adj.end()) {
+      for (const FamilyId v : it->second) {
+        if (cycle) break;
+        const auto c = color.find(v);
+        if (c == color.end() || c->second == Color::kWhite) {
+          visit(v);
+        } else if (c->second == Color::kGray) {
+          // Found a back edge: the cycle is the stack suffix from v.
+          const auto pos = std::find(stack.begin(), stack.end(), v);
+          cycle = std::vector<FamilyId>(pos, stack.end());
+        }
+      }
+    }
+    stack.pop_back();
+    color[u] = Color::kBlack;
+  }
+};
+
+}  // namespace
+
+std::optional<DeadlockCycle> DeadlockDetector::find_cycle(
+    const std::vector<GdoService::WaitEdge>& edges) {
+  std::unordered_map<FamilyId, std::vector<FamilyId>> adj;
+  for (const auto& e : edges) adj[e.waiter].push_back(e.holder);
+
+  // Deterministic traversal order: visit roots in ascending family id.
+  std::vector<FamilyId> roots;
+  roots.reserve(adj.size());
+  for (const auto& [u, vs] : adj) roots.push_back(u);
+  std::sort(roots.begin(), roots.end());
+  for (auto& [u, vs] : adj) std::sort(vs.begin(), vs.end());
+
+  Dfs dfs{adj, {}, {}, std::nullopt};
+  for (const FamilyId u : roots) {
+    const auto c = dfs.color.find(u);
+    if (c == dfs.color.end() || c->second == Color::kWhite) dfs.visit(u);
+    if (dfs.cycle) break;
+  }
+  if (!dfs.cycle) return std::nullopt;
+
+  DeadlockCycle out;
+  out.families = std::move(*dfs.cycle);
+  out.victim = *std::max_element(out.families.begin(), out.families.end());
+  return out;
+}
+
+}  // namespace lotec

@@ -1,0 +1,42 @@
+// Waits-for-graph deadlock detection.
+//
+// Cross-family 2PL deadlock is possible in any system with FIFO-queued
+// object locks (family A holds O1 and waits for O2 while family B holds O2
+// and waits for O1).  The paper does not prescribe a policy; we use the
+// textbook approach: build the waits-for graph from the GDO's queues, find a
+// cycle, abort the *youngest* family on it (deterministic: largest
+// FamilyId), and let the runtime retry the victim.  Detection runs out of
+// band (triggered by the scheduler when no family can make progress), so no
+// network traffic is charged for it.
+#pragma once
+
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "gdo/gdo_service.hpp"
+
+namespace lotec {
+
+struct DeadlockCycle {
+  /// Families on the cycle, in edge order.
+  std::vector<FamilyId> families;
+  /// Chosen victim: the youngest (largest id) family on the cycle.
+  FamilyId victim{};
+};
+
+class DeadlockDetector {
+ public:
+  /// Find one cycle in `edges`, if any.
+  [[nodiscard]] static std::optional<DeadlockCycle> find_cycle(
+      const std::vector<GdoService::WaitEdge>& edges);
+
+  /// Convenience: build edges from the directory and detect.
+  [[nodiscard]] static std::optional<DeadlockCycle> detect(
+      const GdoService& gdo) {
+    return find_cycle(gdo.wait_edges());
+  }
+};
+
+}  // namespace lotec

@@ -1,0 +1,54 @@
+// AttrSet: an ordered set of attribute ids (a method's read or write set).
+#pragma once
+
+#include <algorithm>
+#include <initializer_list>
+#include <vector>
+
+#include "common/ids.hpp"
+
+namespace lotec {
+
+class AttrSet {
+ public:
+  AttrSet() = default;
+  AttrSet(std::initializer_list<AttrId> attrs) : attrs_(attrs) { normalize(); }
+  explicit AttrSet(std::vector<AttrId> attrs) : attrs_(std::move(attrs)) {
+    normalize();
+  }
+
+  void insert(AttrId a) {
+    const auto it = std::lower_bound(attrs_.begin(), attrs_.end(), a);
+    if (it == attrs_.end() || *it != a) attrs_.insert(it, a);
+  }
+
+  [[nodiscard]] bool contains(AttrId a) const {
+    return std::binary_search(attrs_.begin(), attrs_.end(), a);
+  }
+
+  [[nodiscard]] bool empty() const noexcept { return attrs_.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return attrs_.size(); }
+
+  [[nodiscard]] const std::vector<AttrId>& items() const noexcept {
+    return attrs_;
+  }
+
+  [[nodiscard]] AttrSet united(const AttrSet& o) const {
+    AttrSet out;
+    std::set_union(attrs_.begin(), attrs_.end(), o.attrs_.begin(),
+                   o.attrs_.end(), std::back_inserter(out.attrs_));
+    return out;
+  }
+
+  friend bool operator==(const AttrSet&, const AttrSet&) = default;
+
+ private:
+  void normalize() {
+    std::sort(attrs_.begin(), attrs_.end());
+    attrs_.erase(std::unique(attrs_.begin(), attrs_.end()), attrs_.end());
+  }
+
+  std::vector<AttrId> attrs_;
+};
+
+}  // namespace lotec

@@ -1,0 +1,113 @@
+#include "method/class_def.hpp"
+
+namespace lotec {
+
+namespace {
+
+/// The "compiler" analysis: map declared attribute sets onto the layout to
+/// obtain per-method page sets and the implied lock mode.
+AccessSummary analyze(const ObjectLayout& layout, const MethodDef& m) {
+  AccessSummary s;
+  s.read_pages = layout.pages_of(m.reads.items());
+  s.write_pages = layout.pages_of(m.writes.items());
+  if (m.may_access_undeclared) {
+    // The analysis could not bound the accesses: conservatively predict the
+    // whole object (this is exactly what "conservative" means in the paper —
+    // all possibly accessed pages are recorded).
+    s.predicted_pages = PageSet::full(layout.num_pages());
+    s.needs_write_lock = true;
+  } else if (m.optimistic_prediction) {
+    s.predicted_pages = layout.pages_of(m.optimistic_prediction->items());
+    s.needs_write_lock = !m.writes.empty();
+  } else {
+    s.predicted_pages = s.read_pages | s.write_pages;
+    s.needs_write_lock = !m.writes.empty();
+  }
+  return s;
+}
+
+}  // namespace
+
+ClassDef::ClassDef(ClassId id, std::string name, ObjectLayout layout,
+                   std::vector<MethodDef> methods,
+                   std::optional<std::uint8_t> protocol_override)
+    : id_(id),
+      name_(std::move(name)),
+      layout_(std::move(layout)),
+      methods_(std::move(methods)),
+      protocol_override_(protocol_override) {
+  if (methods_.empty())
+    throw UsageError("ClassDef '" + name_ + "': a class needs >= 1 method");
+  summaries_.reserve(methods_.size());
+  for (const auto& m : methods_) {
+    if (!m.body)
+      throw UsageError("ClassDef '" + name_ + "': method '" + m.name +
+                       "' has no body");
+    summaries_.push_back(analyze(layout_, m));
+  }
+}
+
+MethodId ClassDef::find_method(const std::string& name) const {
+  for (std::size_t i = 0; i < methods_.size(); ++i)
+    if (methods_[i].name == name)
+      return MethodId(static_cast<std::uint32_t>(i));
+  throw UsageError("ClassDef '" + name_ + "': no method named '" + name +
+                   "'");
+}
+
+ClassBuilder& ClassBuilder::method(std::string method_name,
+                                   std::vector<std::string> reads,
+                                   std::vector<std::string> writes,
+                                   MethodBody body,
+                                   bool may_access_undeclared) {
+  PendingMethod pm;
+  pm.name = std::move(method_name);
+  pm.read_names = std::move(reads);
+  pm.write_names = std::move(writes);
+  pm.by_name = true;
+  pm.may_access_undeclared = may_access_undeclared;
+  pm.body = std::move(body);
+  methods_.push_back(std::move(pm));
+  return *this;
+}
+
+ClassBuilder& ClassBuilder::method_ids(std::string method_name, AttrSet reads,
+                                       AttrSet writes, MethodBody body,
+                                       bool may_access_undeclared,
+                                       std::optional<AttrSet> prediction_hint) {
+  PendingMethod pm;
+  pm.name = std::move(method_name);
+  pm.read_ids = std::move(reads);
+  pm.write_ids = std::move(writes);
+  pm.by_name = false;
+  pm.may_access_undeclared = may_access_undeclared;
+  pm.prediction_hint = std::move(prediction_hint);
+  pm.body = std::move(body);
+  methods_.push_back(std::move(pm));
+  return *this;
+}
+
+ClassDef ClassBuilder::build(ClassId id) const {
+  ObjectLayout layout(attrs_, page_size_);
+  std::vector<MethodDef> methods;
+  methods.reserve(methods_.size());
+  for (const auto& pm : methods_) {
+    MethodDef m;
+    m.name = pm.name;
+    m.may_access_undeclared = pm.may_access_undeclared;
+    m.optimistic_prediction = pm.prediction_hint;
+    m.body = pm.body;
+    if (pm.by_name) {
+      for (const auto& n : pm.read_names) m.reads.insert(layout.find(n));
+      for (const auto& n : pm.write_names) m.writes.insert(layout.find(n));
+    } else {
+      m.reads = pm.read_ids;
+      m.writes = pm.write_ids;
+    }
+    methods.push_back(std::move(m));
+  }
+  return ClassDef(id, name_, std::move(layout), std::move(methods),
+                  protocol_override_);
+}
+
+}  // namespace lotec

@@ -1,0 +1,130 @@
+// ClassDef and ClassBuilder: the schema of a shared object type.
+//
+// A class is a set of attributes (laid out into pages by ObjectLayout) plus
+// a set of methods with declared access sets.  Finalizing the class runs the
+// "compiler" page-access analysis, producing one AccessSummary per method.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "method/method_def.hpp"
+#include "page/layout.hpp"
+
+namespace lotec {
+
+class ClassDef {
+ public:
+  ClassDef(ClassId id, std::string name, ObjectLayout layout,
+           std::vector<MethodDef> methods,
+           std::optional<std::uint8_t> protocol_override = {});
+
+  [[nodiscard]] ClassId id() const noexcept { return id_; }
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] const ObjectLayout& layout() const noexcept { return layout_; }
+  [[nodiscard]] std::size_t num_methods() const noexcept {
+    return methods_.size();
+  }
+  /// Per-class consistency protocol (Section 6 extension: "different
+  /// consistency protocols ... on a per-class basis"), as the underlying
+  /// value of a ProtocolKind; nullopt = the cluster default.  Stored
+  /// type-erased so the method library stays independent of protocol/.
+  [[nodiscard]] std::optional<std::uint8_t> protocol_override() const noexcept {
+    return protocol_override_;
+  }
+
+  [[nodiscard]] const MethodDef& method(MethodId m) const {
+    check(m);
+    return methods_[m.value()];
+  }
+  [[nodiscard]] const AccessSummary& summary(MethodId m) const {
+    check(m);
+    return summaries_[m.value()];
+  }
+
+  [[nodiscard]] MethodId find_method(const std::string& name) const;
+
+ private:
+  void check(MethodId m) const {
+    if (!m.valid() || m.value() >= methods_.size())
+      throw UsageError("ClassDef: method id out of range");
+  }
+
+  ClassId id_;
+  std::string name_;
+  ObjectLayout layout_;
+  std::vector<MethodDef> methods_;
+  std::vector<AccessSummary> summaries_;
+  std::optional<std::uint8_t> protocol_override_;
+};
+
+/// Fluent construction of a ClassDef.
+///
+///   auto cls = ClassBuilder("Account", page_size)
+///                  .attribute("balance", 8)
+///                  .attribute("history", 4096)
+///                  .method("deposit", /*reads=*/{"balance"},
+///                          /*writes=*/{"balance"}, body)
+///                  .build(registry);
+class ClassBuilder {
+ public:
+  ClassBuilder(std::string name, std::uint32_t page_size)
+      : name_(std::move(name)), page_size_(page_size) {}
+
+  ClassBuilder& attribute(std::string attr_name, std::uint32_t size_bytes) {
+    attrs_.push_back({std::move(attr_name), size_bytes});
+    return *this;
+  }
+
+  /// Pin this class to a specific consistency protocol (pass the underlying
+  /// value of a ProtocolKind); objects of other classes keep the cluster
+  /// default.
+  ClassBuilder& protocol(std::uint8_t kind) {
+    protocol_override_ = kind;
+    return *this;
+  }
+
+  /// Add a method with access sets given as attribute names.
+  ClassBuilder& method(std::string method_name,
+                       std::vector<std::string> reads,
+                       std::vector<std::string> writes, MethodBody body,
+                       bool may_access_undeclared = false);
+
+  /// Add a method with access sets given as attribute ids (workload
+  /// generator path; attribute ids are indices in declaration order).
+  /// `prediction_hint` optionally installs an aggressive (non-conservative)
+  /// page prediction — see MethodDef::optimistic_prediction.
+  ClassBuilder& method_ids(std::string method_name, AttrSet reads,
+                           AttrSet writes, MethodBody body,
+                           bool may_access_undeclared = false,
+                           std::optional<AttrSet> prediction_hint = {});
+
+  /// Finalize: lays out attributes, runs the page-access analysis.
+  [[nodiscard]] ClassDef build(ClassId id) const;
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+
+ private:
+  struct PendingMethod {
+    std::string name;
+    std::vector<std::string> read_names;
+    std::vector<std::string> write_names;
+    AttrSet read_ids;
+    AttrSet write_ids;
+    bool by_name = true;
+    bool may_access_undeclared = false;
+    std::optional<AttrSet> prediction_hint;
+    MethodBody body;
+  };
+
+  std::string name_;
+  std::uint32_t page_size_;
+  std::vector<AttributeDef> attrs_;
+  std::vector<PendingMethod> methods_;
+  std::optional<std::uint8_t> protocol_override_;
+};
+
+}  // namespace lotec

@@ -1,0 +1,59 @@
+// MethodDef: a method on a shared object class, with its declared access
+// sets and body.
+//
+// In the paper, a compiler performs conservative attribute-access analysis
+// on method code and annotates each method with (a) the attributes it may
+// read/update and (b) calls to the local lock acquire/release routines at
+// entry/exit.  Here the access sets are declared with the method (they play
+// the role of the compiler's output) and the runtime inserts the lock
+// acquire/release around every invocation automatically — the user never
+// writes a synchronization operation, which is the paper's headline
+// ease-of-use claim.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+
+#include "common/page_set.hpp"
+#include "method/attr_set.hpp"
+
+namespace lotec {
+
+class MethodContext;  // defined in runtime/method_context.hpp
+
+using MethodBody = std::function<void(MethodContext&)>;
+
+struct MethodDef {
+  std::string name;
+  /// Attributes the compiler determined the method may read.
+  AttrSet reads;
+  /// Attributes the compiler determined the method may update.
+  AttrSet writes;
+  /// True if the method may update attributes outside `writes` (data-
+  /// dependent control flow the analysis could not bound).  Forces a write
+  /// lock and lets strictness checks pass for undeclared accesses, which are
+  /// then served by demand fetch under LOTEC.
+  bool may_access_undeclared = false;
+  /// Aggressive (non-conservative) prediction, Section 5.1's future-work
+  /// direction: if set, LOTEC's transfer plan covers only these attributes'
+  /// pages instead of reads|writes; declared accesses outside the hint are
+  /// served by demand fetch.  `reads`/`writes` remain the safety envelope.
+  std::optional<AttrSet> optimistic_prediction;
+  MethodBody body;
+};
+
+/// The compiler's per-method page-level result: declared attribute sets
+/// mapped onto the class's memory layout (Section 4.1, "recording the set of
+/// potentially updated pages").
+struct AccessSummary {
+  PageSet read_pages;
+  PageSet write_pages;
+  /// Pages the acquiring transaction is predicted to need = reads U writes.
+  /// LOTEC transfers only updated pages within this set.
+  PageSet predicted_pages;
+  /// Lock mode implied by the analysis.
+  bool needs_write_lock = false;
+};
+
+}  // namespace lotec

@@ -1,0 +1,52 @@
+// Typed encode/decode helpers over raw attribute bytes.
+#pragma once
+
+#include <cstddef>
+#include <cstring>
+#include <span>
+#include <string>
+#include <type_traits>
+
+#include "common/error.hpp"
+
+namespace lotec {
+
+template <typename T>
+concept PlainValue = std::is_trivially_copyable_v<T>;
+
+/// Decode a trivially copyable value from the front of an attribute's bytes.
+template <PlainValue T>
+[[nodiscard]] T decode_value(std::span<const std::byte> bytes) {
+  if (bytes.size() < sizeof(T))
+    throw UsageError("decode_value: attribute too small for type");
+  T v;
+  std::memcpy(&v, bytes.data(), sizeof(T));
+  return v;
+}
+
+/// Encode a trivially copyable value into the front of an attribute's bytes.
+template <PlainValue T>
+void encode_value(std::span<std::byte> bytes, const T& v) {
+  if (bytes.size() < sizeof(T))
+    throw UsageError("encode_value: attribute too small for type");
+  std::memcpy(bytes.data(), &v, sizeof(T));
+}
+
+/// Decode a NUL-padded string occupying the whole attribute.
+[[nodiscard]] inline std::string decode_string(
+    std::span<const std::byte> bytes) {
+  std::string s(reinterpret_cast<const char*>(bytes.data()), bytes.size());
+  const auto nul = s.find('\0');
+  if (nul != std::string::npos) s.resize(nul);
+  return s;
+}
+
+/// Encode a string, NUL-padding the rest of the attribute.
+inline void encode_string(std::span<std::byte> bytes, const std::string& s) {
+  if (s.size() > bytes.size())
+    throw UsageError("encode_string: string longer than attribute");
+  std::memcpy(bytes.data(), s.data(), s.size());
+  std::memset(bytes.data() + s.size(), 0, bytes.size() - s.size());
+}
+
+}  // namespace lotec

@@ -1,0 +1,59 @@
+// Network cost model for the Figure 6-8 "total message time" experiments.
+//
+// The paper evaluates three bit rates (10 Mbps, 100 Mbps, 1 Gbps switched
+// Ethernet) crossed with five per-message software (startup) costs
+// (100us, 20us, 5us, 1us, 500ns).  Time for a message is
+//     software_cost + total_bytes * 8 / bit_rate
+// and the figures report the sum over all consistency-maintenance messages
+// for a chosen shared object.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "net/message.hpp"
+
+namespace lotec {
+
+class NetworkCostModel {
+ public:
+  NetworkCostModel(double bits_per_second, double software_cost_us)
+      : bits_per_second_(bits_per_second), software_cost_us_(software_cost_us) {}
+
+  [[nodiscard]] double bits_per_second() const noexcept {
+    return bits_per_second_;
+  }
+  [[nodiscard]] double software_cost_us() const noexcept {
+    return software_cost_us_;
+  }
+
+  /// Time in microseconds to send one message of `total_bytes` bytes.
+  [[nodiscard]] double message_time_us(std::uint64_t total_bytes) const noexcept {
+    return software_cost_us_ +
+           static_cast<double>(total_bytes) * 8.0 / bits_per_second_ * 1e6;
+  }
+
+  /// Aggregate time in microseconds for `messages` messages totalling
+  /// `total_bytes` bytes (the form used over NetworkStats per-object rows).
+  [[nodiscard]] double total_time_us(std::uint64_t messages,
+                                     std::uint64_t total_bytes) const noexcept {
+    return software_cost_us_ * static_cast<double>(messages) +
+           static_cast<double>(total_bytes) * 8.0 / bits_per_second_ * 1e6;
+  }
+
+  // Bit-rate presets matching the paper's networks.
+  static constexpr double kEthernet10Mbps = 10e6;
+  static constexpr double kEthernet100Mbps = 100e6;
+  static constexpr double kEthernet1Gbps = 1e9;
+
+  /// The paper's software-cost sweep, in microseconds.
+  [[nodiscard]] static constexpr std::array<double, 5> software_cost_sweep_us() {
+    return {100.0, 20.0, 5.0, 1.0, 0.5};
+  }
+
+ private:
+  double bits_per_second_;
+  double software_cost_us_;
+};
+
+}  // namespace lotec

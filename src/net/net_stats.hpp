@@ -1,0 +1,182 @@
+// NetworkStats: the ledger of every message the system sends.
+//
+// Byte counts per shared object are the paper's primary measured quantity
+// (Figures 2-5); message counts feed the time model (Figures 6-8) and the
+// "LOTEC sends many more, smaller messages" observation; per-kind totals
+// drive the locking-overhead analysis of Section 5.1.  Local lock
+// operations (no network) are counted separately so the GDO-message /
+// local-operation ratio can be reported.
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <cstdint>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "net/cost_model.hpp"
+#include "net/message.hpp"
+
+namespace lotec {
+
+/// One recorded message in the optional trace (observability: dump to CSV
+/// via sim/trace.hpp and analyze with tools/trace_report).
+struct TraceEvent {
+  std::uint64_t seq = 0;
+  MessageKind kind{};
+  NodeId src{};
+  NodeId dst{};
+  ObjectId object{};
+  std::uint64_t payload_bytes = 0;
+  std::uint64_t total_bytes = 0;
+};
+
+struct TrafficCounter {
+  std::uint64_t messages = 0;
+  std::uint64_t bytes = 0;
+
+  void add(std::uint64_t message_bytes) noexcept {
+    ++messages;
+    bytes += message_bytes;
+  }
+  TrafficCounter& operator+=(const TrafficCounter& o) noexcept {
+    messages += o.messages;
+    bytes += o.bytes;
+    return *this;
+  }
+};
+
+class NetworkStats {
+ public:
+  /// Record one unicast message.
+  void record(const WireMessage& m) {
+    std::lock_guard<std::mutex> lock(mu_);
+    record_locked(m);
+  }
+
+  /// Record a message sent to `fanout` destinations.  With multicast
+  /// enabled the network carries one copy; otherwise `fanout` copies.
+  void record_multicast(const WireMessage& m, std::size_t fanout,
+                        bool multicast_capable) {
+    std::lock_guard<std::mutex> lock(mu_);
+    const std::size_t copies = multicast_capable ? 1 : fanout;
+    for (std::size_t i = 0; i < copies; ++i) record_locked(m);
+  }
+
+  /// Enable tracing of every message (bounded; oldest events are NOT
+  /// evicted — recording stops at capacity and drop_count() reports the
+  /// overflow).
+  void enable_trace(std::size_t capacity) {
+    std::lock_guard<std::mutex> lock(mu_);
+    trace_capacity_ = capacity;
+    trace_.clear();
+    trace_.reserve(std::min<std::size_t>(capacity, 1 << 16));
+    trace_dropped_ = 0;
+  }
+
+  [[nodiscard]] std::vector<TraceEvent> trace() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return trace_;
+  }
+
+  [[nodiscard]] std::uint64_t trace_dropped() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return trace_dropped_;
+  }
+
+  /// Count a purely local lock operation (no network traffic).
+  void record_local_lock_op() {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++local_lock_ops_;
+  }
+
+  // --- queries -----------------------------------------------------------
+
+  [[nodiscard]] TrafficCounter total() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return total_;
+  }
+
+  [[nodiscard]] TrafficCounter by_kind(MessageKind k) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return by_kind_[static_cast<std::size_t>(k)];
+  }
+
+  /// Traffic attributed to one shared object (zero counter if none).
+  [[nodiscard]] TrafficCounter by_object(ObjectId id) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = by_object_.find(id);
+    return it == by_object_.end() ? TrafficCounter{} : it->second;
+  }
+
+  /// All per-object rows (copy).
+  [[nodiscard]] std::unordered_map<ObjectId, TrafficCounter> per_object()
+      const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return by_object_;
+  }
+
+  /// Bytes of page data only (excluding control traffic), per object.
+  [[nodiscard]] TrafficCounter page_data_by_object(ObjectId id) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = page_data_by_object_.find(id);
+    return it == page_data_by_object_.end() ? TrafficCounter{} : it->second;
+  }
+
+  [[nodiscard]] std::uint64_t local_lock_ops() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return local_lock_ops_;
+  }
+
+  /// Total consistency-maintenance time for one object under a cost model
+  /// (sum of per-message software cost + transmission time).
+  [[nodiscard]] double object_time_us(ObjectId id,
+                                      const NetworkCostModel& model) const {
+    const TrafficCounter c = by_object(id);
+    return model.total_time_us(c.messages, c.bytes);
+  }
+
+  void reset() {
+    std::lock_guard<std::mutex> lock(mu_);
+    total_ = {};
+    by_kind_.fill(TrafficCounter{});
+    by_object_.clear();
+    page_data_by_object_.clear();
+    local_lock_ops_ = 0;
+    trace_.clear();
+    trace_dropped_ = 0;
+  }
+
+ private:
+  void record_locked(const WireMessage& m) {
+    const std::uint64_t n = m.total_bytes();
+    total_.add(n);
+    by_kind_[static_cast<std::size_t>(m.kind)].add(n);
+    if (m.object.valid()) {
+      by_object_[m.object].add(n);
+      if (carries_page_data(m.kind)) page_data_by_object_[m.object].add(n);
+    }
+    if (trace_capacity_ > 0) {
+      if (trace_.size() < trace_capacity_) {
+        trace_.push_back(TraceEvent{total_.messages, m.kind, m.src, m.dst,
+                                    m.object, m.payload_bytes, n});
+      } else {
+        ++trace_dropped_;
+      }
+    }
+  }
+
+  mutable std::mutex mu_;
+  TrafficCounter total_;
+  std::array<TrafficCounter, static_cast<std::size_t>(MessageKind::kNumKinds)>
+      by_kind_{};
+  std::unordered_map<ObjectId, TrafficCounter> by_object_;
+  std::unordered_map<ObjectId, TrafficCounter> page_data_by_object_;
+  std::uint64_t local_lock_ops_ = 0;
+  std::size_t trace_capacity_ = 0;
+  std::vector<TraceEvent> trace_;
+  std::uint64_t trace_dropped_ = 0;
+};
+
+}  // namespace lotec

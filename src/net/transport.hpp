@@ -1,0 +1,103 @@
+// Transport: the single choke point for cross-node communication.
+//
+// Nodes in this reproduction live in one process, so "sending" a message is
+// a direct call into the destination's service object — but every such call
+// must pass its WireMessage(s) through the Transport, which (a) accounts
+// them in NetworkStats, (b) enforces reachability (a node can be marked
+// failed to exercise GDO replica failover), and (c) knows whether the
+// network is multicast-capable (Section 6 extension).
+//
+// Local operations (src == dst) are free: the paper's model charges network
+// cost only for inter-site messages, and the locking-overhead analysis of
+// Section 5.1 counts them separately.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/error.hpp"
+#include "net/net_stats.hpp"
+
+namespace lotec {
+
+/// Destination node is marked failed.
+class NodeUnreachable : public Error {
+ public:
+  explicit NodeUnreachable(NodeId node)
+      : Error("node " + std::to_string(node.value()) + " unreachable"),
+        node_(node) {}
+  [[nodiscard]] NodeId node() const noexcept { return node_; }
+
+ private:
+  NodeId node_;
+};
+
+struct NetworkConfig {
+  bool multicast_capable = false;
+};
+
+class Transport {
+ public:
+  explicit Transport(std::size_t num_nodes, NetworkConfig config = {})
+      : config_(config), failed_(num_nodes, false) {}
+
+  [[nodiscard]] std::size_t num_nodes() const noexcept {
+    return failed_.size();
+  }
+  [[nodiscard]] NetworkStats& stats() noexcept { return stats_; }
+  [[nodiscard]] const NetworkStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] bool multicast_capable() const noexcept {
+    return config_.multicast_capable;
+  }
+
+  /// Account one message.  Messages where src == dst are local and free.
+  /// Throws NodeUnreachable if the destination is failed.
+  void send(const WireMessage& m) {
+    check_node(m.src);
+    check_node(m.dst);
+    if (failed_[m.dst.value()]) throw NodeUnreachable(m.dst);
+    if (m.src == m.dst) return;  // local, no network traffic
+    stats_.record(m);
+  }
+
+  /// Account a one-to-many push (RC extension).  `destinations` that equal
+  /// src are skipped.  With multicast the network carries one copy.
+  void send_to_all(WireMessage m, const std::vector<NodeId>& destinations) {
+    check_node(m.src);
+    std::size_t remote = 0;
+    for (const NodeId dst : destinations) {
+      check_node(dst);
+      if (dst == m.src) continue;
+      if (failed_[dst.value()]) throw NodeUnreachable(dst);
+      ++remote;
+    }
+    if (remote == 0) return;
+    stats_.record_multicast(m, remote, config_.multicast_capable);
+  }
+
+  /// Count a purely local lock operation (Section 5.1 accounting).
+  void record_local_lock_op() { stats_.record_local_lock_op(); }
+
+  [[nodiscard]] bool reachable(NodeId node) const {
+    check_node(node);
+    return !failed_[node.value()];
+  }
+
+  /// Mark a node failed/recovered (used by GDO failover tests).
+  void set_node_failed(NodeId node, bool failed) {
+    check_node(node);
+    failed_[node.value()] = failed;
+  }
+
+ private:
+  void check_node(NodeId node) const {
+    if (!node.valid() || node.value() >= failed_.size())
+      throw UsageError("Transport: node id out of range");
+  }
+
+  NetworkConfig config_;
+  NetworkStats stats_;
+  std::vector<bool> failed_;
+};
+
+}  // namespace lotec

@@ -1,0 +1,57 @@
+#include "page/layout.hpp"
+
+namespace lotec {
+
+namespace {
+constexpr std::uint64_t kAttrAlignment = 8;
+
+std::uint64_t align_up(std::uint64_t n, std::uint64_t a) {
+  return (n + a - 1) / a * a;
+}
+}  // namespace
+
+ObjectLayout::ObjectLayout(std::vector<AttributeDef> attrs,
+                           std::uint32_t page_size)
+    : attrs_(std::move(attrs)), page_size_(page_size) {
+  if (page_size_ == 0) throw UsageError("ObjectLayout: page size must be > 0");
+  if (attrs_.empty())
+    throw UsageError("ObjectLayout: a class needs at least one attribute");
+  offsets_.reserve(attrs_.size());
+  std::uint64_t offset = 0;
+  for (const auto& a : attrs_) {
+    if (a.size_bytes == 0)
+      throw UsageError("ObjectLayout: attribute '" + a.name +
+                       "' has zero size");
+    offset = align_up(offset, kAttrAlignment);
+    offsets_.push_back(offset);
+    offset += a.size_bytes;
+  }
+  data_size_ = offset;
+  num_pages_ = static_cast<std::size_t>((data_size_ + page_size_ - 1) /
+                                        page_size_);
+  if (num_pages_ == 0) num_pages_ = 1;
+}
+
+AttrId ObjectLayout::find(const std::string& name) const {
+  for (std::size_t i = 0; i < attrs_.size(); ++i)
+    if (attrs_[i].name == name) return AttrId(static_cast<std::uint32_t>(i));
+  throw UsageError("ObjectLayout: no attribute named '" + name + "'");
+}
+
+PageSet ObjectLayout::pages_of(AttrId a) const {
+  check(a);
+  PageSet s(num_pages_);
+  const std::uint64_t begin = offsets_[a.value()];
+  const std::uint64_t end = begin + attrs_[a.value()].size_bytes;
+  for (std::uint64_t p = begin / page_size_; p <= (end - 1) / page_size_; ++p)
+    s.insert(PageIndex(static_cast<std::uint32_t>(p)));
+  return s;
+}
+
+PageSet ObjectLayout::pages_of(const std::vector<AttrId>& attrs) const {
+  PageSet s(num_pages_);
+  for (const AttrId a : attrs) s |= pages_of(a);
+  return s;
+}
+
+}  // namespace lotec

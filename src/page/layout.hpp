@@ -1,0 +1,77 @@
+// ObjectLayout: where each attribute lives in an object's page image.
+//
+// The paper's LOTEC optimization requires the compiler to know "where, in an
+// object's representation in memory, each attribute is stored" so that
+// per-method attribute access sets can be mapped to sets of potentially
+// accessed pages.  This class is that mapping: attributes are packed
+// sequentially (8-byte aligned) and the image occupies
+// ceil(total_size / page_size) pages.  Each object's image starts on its own
+// page, which is why false sharing cannot arise (Section 4.2).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/ids.hpp"
+#include "common/page_set.hpp"
+
+namespace lotec {
+
+struct AttributeDef {
+  std::string name;
+  std::uint32_t size_bytes = 8;
+};
+
+class ObjectLayout {
+ public:
+  ObjectLayout() = default;
+
+  /// Lay out `attrs` sequentially for the given page size.
+  ObjectLayout(std::vector<AttributeDef> attrs, std::uint32_t page_size);
+
+  [[nodiscard]] std::uint32_t page_size() const noexcept { return page_size_; }
+  [[nodiscard]] std::size_t num_attributes() const noexcept {
+    return attrs_.size();
+  }
+  [[nodiscard]] std::size_t num_pages() const noexcept { return num_pages_; }
+  /// Total bytes occupied by attribute data (<= num_pages * page_size).
+  [[nodiscard]] std::uint64_t data_size() const noexcept { return data_size_; }
+
+  [[nodiscard]] const AttributeDef& attribute(AttrId a) const {
+    check(a);
+    return attrs_[a.value()];
+  }
+
+  /// Byte offset of an attribute within the object image.
+  [[nodiscard]] std::uint64_t offset_of(AttrId a) const {
+    check(a);
+    return offsets_[a.value()];
+  }
+
+  /// Look up an attribute by name; throws UsageError if absent.
+  [[nodiscard]] AttrId find(const std::string& name) const;
+
+  /// The set of pages an access to attribute `a` touches (an attribute may
+  /// straddle a page boundary).
+  [[nodiscard]] PageSet pages_of(AttrId a) const;
+
+  /// Union of pages_of over a set of attributes — the core of the
+  /// compiler's attribute-access -> page-set analysis.
+  [[nodiscard]] PageSet pages_of(const std::vector<AttrId>& attrs) const;
+
+ private:
+  void check(AttrId a) const {
+    if (!a.valid() || a.value() >= attrs_.size())
+      throw UsageError("ObjectLayout: attribute id out of range");
+  }
+
+  std::vector<AttributeDef> attrs_;
+  std::vector<std::uint64_t> offsets_;
+  std::uint32_t page_size_ = 0;
+  std::uint64_t data_size_ = 0;
+  std::size_t num_pages_ = 0;
+};
+
+}  // namespace lotec

@@ -1,0 +1,117 @@
+#include "page/object_image.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+namespace lotec {
+
+void ObjectImage::read_bytes(std::uint64_t offset,
+                             std::span<std::byte> out) const {
+  std::uint64_t pos = offset;
+  std::size_t done = 0;
+  while (done < out.size()) {
+    const auto page_idx = static_cast<std::uint32_t>(pos / page_size_);
+    const PageIndex p(page_idx);
+    check(p);
+    if (!pages_[page_idx]) throw PageNotResident(id_, p);
+    const std::uint64_t in_page = pos % page_size_;
+    const std::size_t n = static_cast<std::size_t>(
+        std::min<std::uint64_t>(page_size_ - in_page, out.size() - done));
+    std::memcpy(out.data() + done, pages_[page_idx]->data.data() + in_page, n);
+    done += n;
+    pos += n;
+  }
+}
+
+void ObjectImage::write_bytes(std::uint64_t offset,
+                              std::span<const std::byte> in) {
+  std::uint64_t pos = offset;
+  std::size_t done = 0;
+  while (done < in.size()) {
+    const auto page_idx = static_cast<std::uint32_t>(pos / page_size_);
+    const PageIndex p(page_idx);
+    check(p);
+    if (!pages_[page_idx]) throw PageNotResident(id_, p);
+    const std::uint64_t in_page = pos % page_size_;
+    const std::size_t n = static_cast<std::size_t>(
+        std::min<std::uint64_t>(page_size_ - in_page, in.size() - done));
+    std::memcpy(pages_[page_idx]->data.data() + in_page, in.data() + done, n);
+    dirty_.insert(p);
+    dirty_ranges_[page_idx].emplace_back(static_cast<std::uint32_t>(in_page),
+                                         static_cast<std::uint32_t>(n));
+    done += n;
+    pos += n;
+  }
+}
+
+namespace {
+
+/// Sort and merge overlapping/adjacent (offset, length) ranges.
+std::vector<std::pair<std::uint32_t, std::uint32_t>> coalesce(
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> ranges) {
+  std::sort(ranges.begin(), ranges.end());
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> out;
+  for (const auto& [off, len] : ranges) {
+    if (!out.empty() && off <= out.back().first + out.back().second) {
+      const std::uint32_t end =
+          std::max(out.back().first + out.back().second, off + len);
+      out.back().second = end - out.back().first;
+    } else {
+      out.emplace_back(off, len);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+PageSet ObjectImage::stamp_dirty(Lsn version) {
+  const PageSet stamped = dirty_;
+  for (const PageIndex p : stamped.to_vector()) {
+    Page& page = *pages_[p.value()];
+    PageDelta delta;
+    delta.from_version = page.version;
+    const auto it = dirty_ranges_.find(p.value());
+    if (it != dirty_ranges_.end()) delta.ranges = coalesce(it->second);
+    page.history.insert(page.history.begin(), std::move(delta));
+    if (page.history.size() > kDeltaHistory)
+      page.history.resize(kDeltaHistory);
+    page.version = version;
+  }
+  dirty_.clear();
+  dirty_ranges_.clear();
+  return stamped;
+}
+
+void ObjectImage::restore_bytes(std::uint64_t offset,
+                                std::span<const std::byte> in) {
+  std::uint64_t pos = offset;
+  std::size_t done = 0;
+  while (done < in.size()) {
+    const auto page_idx = static_cast<std::uint32_t>(pos / page_size_);
+    const PageIndex p(page_idx);
+    check(p);
+    if (!pages_[page_idx]) throw PageNotResident(id_, p);
+    const std::uint64_t in_page = pos % page_size_;
+    const std::size_t n = static_cast<std::size_t>(
+        std::min<std::uint64_t>(page_size_ - in_page, in.size() - done));
+    std::memcpy(pages_[page_idx]->data.data() + in_page, in.data() + done, n);
+    done += n;
+    pos += n;
+  }
+}
+
+std::optional<PageIndex> ObjectImage::first_missing_page(
+    std::uint64_t offset, std::uint64_t len) const {
+  if (len == 0) return std::nullopt;
+  const std::uint64_t first = offset / page_size_;
+  const std::uint64_t last = (offset + len - 1) / page_size_;
+  for (std::uint64_t i = first; i <= last; ++i) {
+    const PageIndex p(static_cast<std::uint32_t>(i));
+    check(p);
+    if (!pages_[i]) return p;
+  }
+  return std::nullopt;
+}
+
+}  // namespace lotec

@@ -1,0 +1,75 @@
+// PageStore: all object images cached at one site.
+#pragma once
+
+#include <memory>
+#include <unordered_map>
+
+#include "common/error.hpp"
+#include "page/object_image.hpp"
+
+namespace lotec {
+
+class PageStore {
+ public:
+  /// Create an image for an object not yet cached here.  `materialize`
+  /// allocates all pages zero-filled (done only at the creating site; other
+  /// sites start empty and receive pages by transfer).
+  ObjectImage& create(ObjectId id, std::size_t num_pages,
+                      std::uint32_t page_size, bool materialize) {
+    auto [it, inserted] = images_.try_emplace(
+        id, std::make_unique<ObjectImage>(id, num_pages, page_size));
+    if (!inserted)
+      throw UsageError("PageStore: object " + std::to_string(id.value()) +
+                       " already cached");
+    if (materialize) it->second->materialize_all();
+    return *it->second;
+  }
+
+  [[nodiscard]] bool contains(ObjectId id) const {
+    return images_.count(id) != 0;
+  }
+
+  /// Image for a cached object; throws if absent.
+  [[nodiscard]] ObjectImage& get(ObjectId id) {
+    const auto it = images_.find(id);
+    if (it == images_.end())
+      throw UsageError("PageStore: object " + std::to_string(id.value()) +
+                       " not cached at this site");
+    return *it->second;
+  }
+  [[nodiscard]] const ObjectImage& get(ObjectId id) const {
+    return const_cast<PageStore*>(this)->get(id);
+  }
+
+  [[nodiscard]] ObjectImage* find(ObjectId id) {
+    const auto it = images_.find(id);
+    return it == images_.end() ? nullptr : it->second.get();
+  }
+
+  /// Image for `id`, creating an empty one if this site has never seen the
+  /// object (first acquisition at this site).
+  ObjectImage& get_or_create(ObjectId id, std::size_t num_pages,
+                             std::uint32_t page_size) {
+    if (ObjectImage* img = find(id)) return *img;
+    return create(id, num_pages, page_size, /*materialize=*/false);
+  }
+
+  /// Drop an object entirely (capacity/invalidation experiments).
+  void evict(ObjectId id) { images_.erase(id); }
+
+  [[nodiscard]] std::size_t num_objects() const noexcept {
+    return images_.size();
+  }
+
+  /// Total resident pages across all images (cache footprint metric).
+  [[nodiscard]] std::size_t resident_pages() const {
+    std::size_t n = 0;
+    for (const auto& [id, img] : images_) n += img->resident().count();
+    return n;
+  }
+
+ private:
+  std::unordered_map<ObjectId, std::unique_ptr<ObjectImage>> images_;
+};
+
+}  // namespace lotec

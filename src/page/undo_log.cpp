@@ -1,0 +1,79 @@
+#include "page/undo_log.hpp"
+
+namespace lotec {
+
+void UndoLog::before_write(ObjectImage& img, std::uint64_t offset,
+                           std::size_t len) {
+  if (len == 0) return;
+  if (strategy_ == UndoStrategy::kByteRange) {
+    ByteRecord rec{img.id(), offset, std::vector<std::byte>(len)};
+    img.read_bytes(offset, rec.before);
+    byte_records_.push_back(std::move(rec));
+    order_.emplace_back(Which::kByte, byte_records_.size() - 1);
+    return;
+  }
+  // Shadow pages: copy each touched page the first time this log sees it.
+  const std::uint64_t first = offset / img.page_size();
+  const std::uint64_t last = (offset + len - 1) / img.page_size();
+  auto& seen = shadowed_[img.id()];
+  for (std::uint64_t i = first; i <= last; ++i) {
+    const auto idx = static_cast<std::uint32_t>(i);
+    if (!seen.insert(idx).second) continue;  // already shadowed
+    const PageIndex p(idx);
+    page_records_.push_back(PageRecord{img.id(), p, img.page(p)});
+    order_.emplace_back(Which::kPage, page_records_.size() - 1);
+  }
+}
+
+void UndoLog::absorb(UndoLog&& child) {
+  if (child.strategy_ != strategy_)
+    throw UsageError("UndoLog::absorb: mixed undo strategies");
+  const std::size_t byte_base = byte_records_.size();
+  const std::size_t page_base = page_records_.size();
+  for (auto& r : child.byte_records_) byte_records_.push_back(std::move(r));
+  for (auto& r : child.page_records_) page_records_.push_back(std::move(r));
+  for (const auto& [which, idx] : child.order_)
+    order_.emplace_back(which,
+                        which == Which::kByte ? idx + byte_base
+                                              : idx + page_base);
+  // A page the child shadowed counts as shadowed for us too: our copy of
+  // its pre-child state is now in the log, and re-shadowing after further
+  // parent writes would capture the child's committed (newer) data, which
+  // would break reverse-order restoration.
+  for (auto& [obj, pages] : child.shadowed_) {
+    auto& mine = shadowed_[obj];
+    mine.insert(pages.begin(), pages.end());
+  }
+  child.clear();
+}
+
+void UndoLog::undo(const std::function<ObjectImage&(ObjectId)>& resolve) {
+  for (auto it = order_.rbegin(); it != order_.rend(); ++it) {
+    if (it->first == Which::kByte) {
+      const ByteRecord& r = byte_records_[it->second];
+      resolve(r.object).restore_bytes(r.offset, r.before);
+    } else {
+      PageRecord& r = page_records_[it->second];
+      resolve(r.object).restore_page(r.page, std::move(r.before));
+    }
+  }
+  clear();
+}
+
+void UndoLog::clear() {
+  byte_records_.clear();
+  page_records_.clear();
+  order_.clear();
+  shadowed_.clear();
+}
+
+std::size_t UndoLog::record_count() const noexcept { return order_.size(); }
+
+std::size_t UndoLog::memory_bytes() const noexcept {
+  std::size_t n = 0;
+  for (const auto& r : byte_records_) n += r.before.size();
+  for (const auto& r : page_records_) n += r.before.data.size();
+  return n;
+}
+
+}  // namespace lotec

@@ -1,0 +1,190 @@
+#include "persist/snapshot.hpp"
+
+#include <cstring>
+#include <fstream>
+#include <vector>
+
+namespace lotec {
+
+namespace {
+
+constexpr char kMagic[8] = {'L', 'O', 'T', 'E', 'C', 'S', 'N', 'P'};
+constexpr std::uint32_t kVersion = 1;
+
+/// Incrementally checksummed binary writer.
+class Writer {
+ public:
+  explicit Writer(const std::string& path) : out_(path, std::ios::binary) {
+    if (!out_) throw SnapshotError("cannot open '" + path + "' for writing");
+  }
+
+  void bytes(const void* data, std::size_t n) {
+    out_.write(static_cast<const char*>(data),
+               static_cast<std::streamsize>(n));
+    const auto* p = static_cast<const unsigned char*>(data);
+    for (std::size_t i = 0; i < n; ++i) {
+      hash_ ^= p[i];
+      hash_ *= 0x100000001b3ULL;  // FNV-1a
+    }
+  }
+
+  template <typename T>
+  void value(T v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    bytes(&v, sizeof(T));
+  }
+
+  void finish() {
+    const std::uint64_t checksum = hash_;
+    out_.write(reinterpret_cast<const char*>(&checksum), sizeof(checksum));
+    out_.flush();
+    if (!out_) throw SnapshotError("write failed");
+  }
+
+ private:
+  std::ofstream out_;
+  std::uint64_t hash_ = 0xcbf29ce484222325ULL;
+};
+
+class Reader {
+ public:
+  explicit Reader(const std::string& path) : in_(path, std::ios::binary) {
+    if (!in_) throw SnapshotError("cannot open '" + path + "' for reading");
+  }
+
+  void bytes(void* data, std::size_t n) {
+    in_.read(static_cast<char*>(data), static_cast<std::streamsize>(n));
+    if (static_cast<std::size_t>(in_.gcount()) != n)
+      throw SnapshotError("snapshot truncated");
+    const auto* p = static_cast<const unsigned char*>(data);
+    for (std::size_t i = 0; i < n; ++i) {
+      hash_ ^= p[i];
+      hash_ *= 0x100000001b3ULL;
+    }
+  }
+
+  template <typename T>
+  T value() {
+    static_assert(std::is_trivially_copyable_v<T>);
+    T v;
+    bytes(&v, sizeof(T));
+    return v;
+  }
+
+  void verify_checksum() {
+    const std::uint64_t expected = hash_;  // hash before reading the trailer
+    std::uint64_t stored = 0;
+    in_.read(reinterpret_cast<char*>(&stored), sizeof(stored));
+    if (static_cast<std::size_t>(in_.gcount()) != sizeof(stored))
+      throw SnapshotError("snapshot truncated (missing checksum)");
+    if (stored != expected)
+      throw SnapshotError("snapshot checksum mismatch (corrupt file)");
+  }
+
+ private:
+  std::ifstream in_;
+  std::uint64_t hash_ = 0xcbf29ce484222325ULL;
+};
+
+std::size_t count_objects(Cluster& cluster) {
+  std::size_t n = 0;
+  for (;; ++n) {
+    try {
+      (void)cluster.meta_of(ObjectId(n));
+    } catch (const UsageError&) {
+      break;
+    }
+  }
+  return n;
+}
+
+}  // namespace
+
+SnapshotStats save_snapshot(Cluster& cluster, const std::string& path) {
+  const std::uint32_t page_size = cluster.config().page_size;
+  const std::size_t num_objects = count_objects(cluster);
+
+  Writer w(path);
+  w.bytes(kMagic, sizeof(kMagic));
+  w.value(kVersion);
+  w.value(page_size);
+  w.value(static_cast<std::uint64_t>(num_objects));
+
+  SnapshotStats stats;
+  std::vector<std::byte> page(page_size);
+  for (std::size_t i = 0; i < num_objects; ++i) {
+    const ObjectId id(i);
+    const ObjectMeta meta = cluster.meta_of(id);
+    const std::string& cls_name = cluster.class_def(meta.cls).name();
+
+    w.value(static_cast<std::uint64_t>(id.value()));
+    w.value(static_cast<std::uint32_t>(cls_name.size()));
+    w.bytes(cls_name.data(), cls_name.size());
+    w.value(static_cast<std::uint64_t>(meta.num_pages));
+    for (std::size_t p = 0; p < meta.num_pages; ++p) {
+      cluster.peek_page(id, PageIndex(static_cast<std::uint32_t>(p)), page);
+      w.bytes(page.data(), page.size());
+      ++stats.pages;
+      stats.data_bytes += page.size();
+    }
+    ++stats.objects;
+  }
+  w.finish();
+  return stats;
+}
+
+SnapshotStats load_snapshot(Cluster& cluster, const std::string& path) {
+  Reader r(path);
+  char magic[8];
+  r.bytes(magic, sizeof(magic));
+  if (std::memcmp(magic, kMagic, sizeof(kMagic)) != 0)
+    throw SnapshotError("not a LOTEC snapshot");
+  const auto version = r.value<std::uint32_t>();
+  if (version != kVersion)
+    throw SnapshotError("unsupported snapshot version " +
+                        std::to_string(version));
+  const auto page_size = r.value<std::uint32_t>();
+  if (page_size != cluster.config().page_size)
+    throw SnapshotError("page size mismatch: snapshot " +
+                        std::to_string(page_size) + ", cluster " +
+                        std::to_string(cluster.config().page_size));
+  const auto num_objects = r.value<std::uint64_t>();
+  if (num_objects != count_objects(cluster))
+    throw SnapshotError("object count mismatch: snapshot has " +
+                        std::to_string(num_objects));
+
+  SnapshotStats stats;
+  std::vector<std::byte> page(page_size);
+  for (std::uint64_t i = 0; i < num_objects; ++i) {
+    const auto id_value = r.value<std::uint64_t>();
+    const ObjectId id(id_value);
+    const ObjectMeta meta = cluster.meta_of(id);
+
+    const auto name_len = r.value<std::uint32_t>();
+    if (name_len > 4096) throw SnapshotError("implausible class name length");
+    std::string cls_name(name_len, '\0');
+    r.bytes(cls_name.data(), name_len);
+    const std::string& expected = cluster.class_def(meta.cls).name();
+    if (cls_name != expected)
+      throw SnapshotError("schema mismatch for object " +
+                          std::to_string(id_value) + ": snapshot class '" +
+                          cls_name + "', cluster class '" + expected + "'");
+
+    const auto num_pages = r.value<std::uint64_t>();
+    if (num_pages != meta.num_pages)
+      throw SnapshotError("geometry mismatch for object " +
+                          std::to_string(id_value));
+    for (std::uint64_t p = 0; p < num_pages; ++p) {
+      r.bytes(page.data(), page.size());
+      cluster.restore_page(id, PageIndex(static_cast<std::uint32_t>(p)),
+                           page);
+      ++stats.pages;
+      stats.data_bytes += page.size();
+    }
+    ++stats.objects;
+  }
+  r.verify_checksum();
+  return stats;
+}
+
+}  // namespace lotec

@@ -1,0 +1,48 @@
+// Snapshot: checkpoint the committed state of a quiescent cluster to a
+// file and restore it into a freshly built cluster with the same schema.
+//
+// The paper frames its simulation as "a first step towards the
+// implementation of our DSM based persistent object system"; this module is
+// the persistence seam: object *data* (the newest committed version of
+// every page, gathered via the GDO page map exactly as a transaction
+// would) is durable, while schemas — classes, attribute layouts, method
+// bodies — are code and must be re-registered by the restoring program,
+// which is verified by name and geometry at load time.
+//
+// Format (little-endian, FNV-1a checksummed):
+//   magic "LOTECSNP" | version u32 | page_size u32 | object count u64
+//   per object: id u64 | class-name len u32 + bytes | num_pages u64
+//               | num_pages * page_size data bytes
+//   checksum u64
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "runtime/cluster.hpp"
+
+namespace lotec {
+
+/// Snapshot file is damaged, truncated, or from an incompatible schema.
+class SnapshotError : public Error {
+ public:
+  explicit SnapshotError(const std::string& what) : Error(what) {}
+};
+
+struct SnapshotStats {
+  std::size_t objects = 0;
+  std::size_t pages = 0;
+  std::uint64_t data_bytes = 0;
+};
+
+/// Write every object's newest committed state to `path`.  The cluster must
+/// be quiescent (no transactions running).
+SnapshotStats save_snapshot(Cluster& cluster, const std::string& path);
+
+/// Restore a snapshot into `cluster`, which must contain the same objects
+/// (same creation order, classes of the same names and geometry) and must
+/// not have run transactions yet.  Object contents are installed at each
+/// object's creating site; the directory already points there.
+SnapshotStats load_snapshot(Cluster& cluster, const std::string& path);
+
+}  // namespace lotec

@@ -1,0 +1,150 @@
+#include "protocol/protocol.hpp"
+
+#include "common/error.hpp"
+
+namespace lotec {
+
+PageSet stale_or_missing_pages(NodeId self, const ObjectImage& image,
+                               const PageMap& map) {
+  PageSet out(image.num_pages());
+  for (std::size_t i = 0; i < image.num_pages(); ++i) {
+    const PageIndex p(static_cast<std::uint32_t>(i));
+    const PageLocation& loc = map.at(p);
+    if (loc.node == self) continue;  // newest copy is already here
+    if (!image.has_page(p) || loc.version > image.page_version(p))
+      out.insert(p);
+  }
+  return out;
+}
+
+namespace {
+
+/// COTEC: "transfers all of an object's pages to the acquiring site after a
+/// successful lock acquisition" — the baseline never consults versions, so
+/// every page whose authoritative copy lives elsewhere is moved, current
+/// local copies notwithstanding.
+class Cotec final : public ConsistencyProtocol {
+ public:
+  [[nodiscard]] ProtocolKind kind() const noexcept override {
+    return ProtocolKind::kCotec;
+  }
+
+  [[nodiscard]] PageSet pages_to_transfer(
+      NodeId self, const ObjectImage& image, const PageMap& map,
+      const PageSet& /*predicted*/) const override {
+    PageSet out(image.num_pages());
+    for (std::size_t i = 0; i < image.num_pages(); ++i) {
+      const PageIndex p(static_cast<std::uint32_t>(i));
+      if (map.at(p).node != self) out.insert(p);
+    }
+    return out;
+  }
+
+  [[nodiscard]] PageSet pages_to_report(
+      const ObjectImage& image) const override {
+    // After a full transfer the holder's copy is complete; report it all so
+    // the next acquirer has a single source.
+    return image.resident() - image.dirty_pages();
+  }
+};
+
+/// OTEC: "optimized COTEC by sending only the updated pages to an acquiring
+/// transaction's site".
+class Otec final : public ConsistencyProtocol {
+ public:
+  [[nodiscard]] ProtocolKind kind() const noexcept override {
+    return ProtocolKind::kOtec;
+  }
+
+  [[nodiscard]] PageSet pages_to_transfer(
+      NodeId self, const ObjectImage& image, const PageMap& map,
+      const PageSet& /*predicted*/) const override {
+    return stale_or_missing_pages(self, image, map);
+  }
+
+  [[nodiscard]] PageSet pages_to_report(
+      const ObjectImage& image) const override {
+    return image.resident() - image.dirty_pages();
+  }
+};
+
+/// LOTEC: "sends only those updated pages which are predicted to be
+/// needed"; anything else is fetched on demand if the prediction proves
+/// too tight, and up-to-date pages scatter over the sites that produced
+/// them (only dirty pages are reported at release).
+class Lotec : public ConsistencyProtocol {
+ public:
+  [[nodiscard]] ProtocolKind kind() const noexcept override {
+    return ProtocolKind::kLotec;
+  }
+
+  [[nodiscard]] PageSet pages_to_transfer(
+      NodeId self, const ObjectImage& image, const PageMap& map,
+      const PageSet& predicted) const override {
+    return stale_or_missing_pages(self, image, map) & predicted;
+  }
+
+  [[nodiscard]] PageSet pages_to_report(
+      const ObjectImage& image) const override {
+    return PageSet(image.num_pages());  // dirty pages only
+  }
+
+  [[nodiscard]] bool allows_demand_fetch() const noexcept override {
+    return true;
+  }
+};
+
+/// RC for nested objects: like OTEC at acquisition (a site that missed
+/// pushes — typically one that has never cached the object — still fetches
+/// stale pages), but every root release eagerly pushes the updated pages to
+/// all caching sites.
+class ReleaseConsistency final : public ConsistencyProtocol {
+ public:
+  [[nodiscard]] ProtocolKind kind() const noexcept override {
+    return ProtocolKind::kRc;
+  }
+
+  [[nodiscard]] PageSet pages_to_transfer(
+      NodeId self, const ObjectImage& image, const PageMap& map,
+      const PageSet& /*predicted*/) const override {
+    return stale_or_missing_pages(self, image, map);
+  }
+
+  [[nodiscard]] PageSet pages_to_report(
+      const ObjectImage& image) const override {
+    return image.resident() - image.dirty_pages();
+  }
+
+  [[nodiscard]] bool eager_push_on_release() const noexcept override {
+    return true;
+  }
+};
+
+/// LOTEC-DSD: LOTEC's plan plus sub-page delta transfers — the Section 6
+/// direction of applying LOTEC "to distributed shared data (DSD) rather
+/// than distributed shared memory"; only the bytes a commit changed cross
+/// the wire when the acquirer is one version behind.
+class LotecDsd final : public Lotec {
+ public:
+  [[nodiscard]] ProtocolKind kind() const noexcept override {
+    return ProtocolKind::kLotecDsd;
+  }
+  [[nodiscard]] bool delta_transfers() const noexcept override {
+    return true;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<ConsistencyProtocol> make_protocol(ProtocolKind kind) {
+  switch (kind) {
+    case ProtocolKind::kCotec: return std::make_unique<Cotec>();
+    case ProtocolKind::kOtec: return std::make_unique<Otec>();
+    case ProtocolKind::kLotec: return std::make_unique<Lotec>();
+    case ProtocolKind::kRc: return std::make_unique<ReleaseConsistency>();
+    case ProtocolKind::kLotecDsd: return std::make_unique<LotecDsd>();
+  }
+  throw UsageError("make_protocol: unknown protocol kind");
+}
+
+}  // namespace lotec

@@ -1,0 +1,93 @@
+// Cluster configuration and per-root-transaction results.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/ids.hpp"
+#include "gdo/gdo_service.hpp"
+#include "net/transport.hpp"
+#include "page/undo_log.hpp"
+#include "protocol/protocol.hpp"
+
+namespace lotec {
+
+enum class SchedulerMode : std::uint8_t {
+  /// Token-passing cooperative scheduling; identical seeds give identical
+  /// traces.  Used by every benchmark and property test.
+  kDeterministic,
+  /// Free-running threads (real parallelism) with watchdog-driven deadlock
+  /// detection.
+  kConcurrent
+};
+
+struct ClusterConfig {
+  /// Number of nodes (sites) in the distributed system.
+  std::size_t nodes = 4;
+  /// Which consistency protocol maintains the DSM.
+  ProtocolKind protocol = ProtocolKind::kLotec;
+  /// DSM page size in bytes.
+  std::uint32_t page_size = 4096;
+  /// UNDO implementation (Section 4.1: "local UNDO logs or shadow pages").
+  UndoStrategy undo = UndoStrategy::kByteRange;
+  GdoConfig gdo;
+  NetworkConfig net;
+  SchedulerMode scheduler = SchedulerMode::kDeterministic;
+  /// Seed for every random decision (scheduling, workload bodies).
+  std::uint64_t seed = 1;
+  /// Families concurrently active (threads).
+  std::size_t max_active_families = 16;
+  /// Restart budget for deadlock victims.
+  int max_retries = 50;
+  /// Reject method accesses outside the declared attribute sets (the
+  /// compiler's conservative analysis must cover every access; methods with
+  /// data-dependent accesses set MethodDef::may_access_undeclared).
+  bool strict_access_checks = true;
+  /// Per-node cache budget in pages; 0 = unbounded.  Under pressure the
+  /// least-recently-acquired unpinned objects lose the pages whose
+  /// authoritative newest copy lives elsewhere (a site never discards the
+  /// only up-to-date copy of a page).  Evicted pages are simply re-fetched
+  /// by the normal transfer/demand machinery on the next acquisition.
+  std::size_t cache_capacity_pages = 0;
+};
+
+/// Outcome and per-family metrics of one root transaction.
+struct TxnResult {
+  bool committed = false;
+  /// Final abort reason when !committed.
+  AbortReason reason = AbortReason::kUser;
+  /// Execution attempts (1 + deadlock restarts).
+  int attempts = 0;
+  int deadlock_retries = 0;
+  /// Transactions in the family's tree (last attempt).
+  std::uint32_t txns_in_tree = 0;
+  std::uint64_t demand_fetches = 0;
+  std::uint64_t pages_fetched = 0;
+  /// Pages whose transfer was satisfied by a sub-page delta (DSD mode).
+  std::uint64_t delta_pages = 0;
+  /// Blocking remote round trips on the family's critical path (lock
+  /// acquisitions that left the site, page-fetch batches per source site,
+  /// demand fetches).  The Section 5.1 prefetch ablation reduces these.
+  std::uint64_t remote_round_trips = 0;
+  std::uint64_t local_lock_grants = 0;
+};
+
+/// One root transaction to execute: the user invokes `method` on `object`.
+struct RootRequest {
+  ObjectId object{};
+  MethodId method{};
+  /// Site where the family executes; invalid = round-robin placement.
+  NodeId node{};
+  /// Section 5.1 extension: objects whose locks (and predicted pages) are
+  /// optimistically pre-acquired at family start, pipelined as one batch.
+  /// Each entry names the method that will later run on that object so the
+  /// lock mode and page prediction can be derived.
+  std::vector<std::pair<ObjectId, MethodId>> prefetch;
+  /// Opaque per-family payload retrievable via MethodContext::user_data()
+  /// (the workload generator hangs each family's invocation script here).
+  std::shared_ptr<const void> user_data;
+};
+
+}  // namespace lotec

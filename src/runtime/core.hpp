@@ -1,0 +1,107 @@
+// ClusterCore: the shared state of a cluster, bundled so the family
+// executor does not depend on the public Cluster facade.
+#pragma once
+
+#include <array>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "gdo/gdo_service.hpp"
+#include "method/registry.hpp"
+#include "net/transport.hpp"
+#include "protocol/protocol.hpp"
+#include "runtime/config.hpp"
+#include "runtime/node.hpp"
+#include "runtime/scheduler.hpp"
+
+namespace lotec {
+
+/// Placement and schema of one shared object.
+struct ObjectMeta {
+  ClassId cls{};
+  NodeId creator{};
+  std::size_t num_pages = 0;
+  /// Resolved consistency protocol (class override or cluster default) —
+  /// Section 6's per-class protocol extension.
+  ProtocolKind protocol = ProtocolKind::kLotec;
+};
+
+class FamilyRunner;
+
+struct ClusterCore {
+  explicit ClusterCore(const ClusterConfig& cfg)
+      : config(cfg), transport(cfg.nodes, cfg.net), gdo(transport, cfg.gdo) {
+    if (cfg.nodes == 0) throw UsageError("ClusterConfig: nodes must be >= 1");
+    for (std::size_t k = 0; k < protocols.size(); ++k)
+      protocols[k] = make_protocol(static_cast<ProtocolKind>(k));
+    protocol = protocols[static_cast<std::size_t>(cfg.protocol)].get();
+    nodes.reserve(cfg.nodes);
+    for (std::size_t i = 0; i < cfg.nodes; ++i)
+      nodes.push_back(
+          std::make_unique<Node>(NodeId(static_cast<std::uint32_t>(i))));
+  }
+
+  /// The protocol governing one object (its class's override, or the
+  /// cluster default).
+  [[nodiscard]] const ConsistencyProtocol& protocol_for(
+      const ObjectMeta& meta) const {
+    return *protocols[static_cast<std::size_t>(meta.protocol)];
+  }
+
+  [[nodiscard]] Node& node(NodeId id) {
+    if (!id.valid() || id.value() >= nodes.size())
+      throw UsageError("ClusterCore: node id out of range");
+    return *nodes[id.value()];
+  }
+
+  [[nodiscard]] ObjectMeta meta_of(ObjectId id) const {
+    std::lock_guard<std::mutex> lock(obj_mu);
+    const auto it = objects.find(id);
+    if (it == objects.end())
+      throw UsageError("unknown object " + std::to_string(id.value()));
+    return it->second;
+  }
+
+  /// Route a grant wakeup to the waiting family's runner (defined in
+  /// family_runner.cpp — needs the complete FamilyRunner type).
+  void deliver_grant(Grant grant);
+
+  /// Evict LRU unpinned pages beyond the configured per-node cache budget
+  /// (never the authoritative newest copy of a page).
+  void enforce_cache_capacity(Node& node);
+
+  /// Pages evicted across all nodes (cache-pressure metric).
+  [[nodiscard]] std::uint64_t total_evicted_pages() const {
+    std::uint64_t n = 0;
+    for (const auto& node : nodes) {
+      std::lock_guard<std::mutex> lock(node->store_mu);
+      n += node->evicted_pages;
+    }
+    return n;
+  }
+
+  ClusterConfig config;
+  Transport transport;
+  GdoService gdo;
+  ClassRegistry registry;
+  /// One instance of every protocol (stateless policies).
+  std::array<std::unique_ptr<ConsistencyProtocol>, kNumProtocols> protocols;
+  /// The cluster default (== protocols[config.protocol]).
+  ConsistencyProtocol* protocol = nullptr;
+  std::vector<std::unique_ptr<Node>> nodes;
+
+  /// Live scheduler during an execute() run.
+  Scheduler* scheduler = nullptr;
+
+  mutable std::mutex obj_mu;
+  std::unordered_map<ObjectId, ObjectMeta> objects;
+  std::uint64_t next_object_id = 0;
+
+  /// FamilyId -> runner, for wakeup delivery during a run.
+  mutable std::mutex fam_mu;
+  std::unordered_map<FamilyId, FamilyRunner*> runners;
+};
+
+}  // namespace lotec

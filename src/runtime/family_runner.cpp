@@ -1,0 +1,617 @@
+#include "runtime/family_runner.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "common/logging.hpp"
+
+namespace lotec {
+
+namespace {
+std::uint64_t mix64(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+}  // namespace
+
+void ClusterCore::enforce_cache_capacity(Node& node) {
+  const std::size_t capacity = config.cache_capacity_pages;
+  if (capacity == 0) return;
+  std::lock_guard<std::mutex> lock(node.store_mu);
+  std::size_t resident = node.store.resident_pages();
+  if (resident <= capacity) return;
+  // Walk from the least recently acquired object; drop every page whose
+  // newest copy lives elsewhere (re-fetchable).  Pinned objects (currently
+  // locked by a family here) are untouchable, as is any page this site
+  // authoritatively owns.
+  for (auto it = node.lru.rbegin();
+       it != node.lru.rend() && resident > capacity;) {
+    const ObjectId obj = *it;
+    ++it;  // advance before mutation below invalidates the list position
+    if (node.pinned(obj)) continue;
+    ObjectImage* img = node.store.find(obj);
+    if (img == nullptr) {
+      node.forget(obj);
+      it = node.lru.rbegin();  // restart: forget() edited the list
+      continue;
+    }
+    const GdoEntry entry = gdo.snapshot(obj);
+    for (const PageIndex p : img->resident().to_vector()) {
+      if (entry.page_map.at(p).node == node.id) continue;  // sole newest copy
+      img->evict_page(p);
+      ++node.evicted_pages;
+      if (--resident <= capacity) break;
+    }
+    if (img->resident().empty()) {
+      node.store.evict(obj);
+      node.forget(obj);
+      it = node.lru.rbegin();  // list edited; restart from the tail
+    }
+  }
+}
+
+void ClusterCore::deliver_grant(Grant grant) {
+  FamilyRunner* runner = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(fam_mu);
+    const auto it = runners.find(grant.family);
+    if (it == runners.end())
+      throw Error("grant delivered to unknown family " +
+                  std::to_string(grant.family.value()));
+    runner = it->second;
+  }
+  const std::size_t idx = runner->index();
+  runner->deliver(std::move(grant));
+  scheduler->wake(idx);
+}
+
+FamilyRunner::FamilyRunner(ClusterCore& core, std::size_t index,
+                           FamilyId family, NodeId node, RootRequest request)
+    : core_(core),
+      index_(index),
+      family_(family, node, core.config.undo),
+      node_(node),
+      request_(std::move(request)) {}
+
+void FamilyRunner::run() {
+  int attempts = 0;
+  for (;;) {
+    ++attempts;
+    // Re-seed per attempt: a restarted family makes the same decisions.
+    rng_ = Rng(mix64(core_.config.seed ^ family_.id().value()));
+    try {
+      const bool ok =
+          run_invocation(nullptr, request_.object, request_.method);
+      result_.committed = ok;
+      if (!ok) result_.reason = last_abort_reason_;
+      break;
+    } catch (const DeadlockVictimError&) {
+      abort_family(AbortReason::kDeadlock);
+      ++result_.deadlock_retries;
+      if (core_.scheduler->cancelled() ||
+          attempts >= core_.config.max_retries) {
+        result_.committed = false;
+        result_.reason = AbortReason::kRetryExhausted;
+        break;
+      }
+      family_.reset();
+      // Backoff: yield so the families our abort just unblocked run first.
+      // Without this, a deterministic schedule can restart the victim in
+      // lockstep with the survivor and re-form the identical deadlock
+      // forever (the deterministic analogue of randomized backoff).
+      for (int back = 0; back < attempts && back < 4; ++back)
+        core_.scheduler->preempt(index_);
+      continue;
+    } catch (const Error&) {
+      // Programming error (precluded recursion, undeclared access, protocol
+      // invariant violation): clean the family up and surface the exception
+      // from Cluster::execute once the batch drains.
+      error_ = std::current_exception();
+      try {
+        abort_family(AbortReason::kUser);
+      } catch (...) {
+        // Cleanup must not mask the original error.
+      }
+      result_.committed = false;
+      result_.reason = AbortReason::kUser;
+      break;
+    }
+  }
+  result_.attempts = attempts;
+  result_.txns_in_tree = family_.num_txns();
+}
+
+bool FamilyRunner::run_invocation(Transaction* parent, ObjectId object,
+                                  MethodId method) {
+  const ObjectMeta meta = core_.meta_of(object);
+  const ClassDef& cls = core_.registry.get(meta.cls);
+  const MethodDef& mdef = cls.method(method);
+  const AccessSummary& summary = cls.summary(method);
+
+  Transaction& txn = parent
+                         ? family_.begin_child(*parent, object, method)
+                         : family_.begin_root(object, method);
+  Transaction* const saved = current_;
+  current_ = &txn;
+  try {
+    if (parent == nullptr) run_prefetch(txn);
+    acquire_for(txn, object, summary);
+    MethodContext ctx(*this, txn, cls, mdef);
+    mdef.body(ctx);
+    if (parent != nullptr) {
+      txn.pre_commit();
+      family_.locks().on_pre_commit(txn);
+    } else {
+      commit_root(txn);
+    }
+    current_ = saved;
+    return true;
+  } catch (const TxnAbort& abort) {
+    if (parent != nullptr) {
+      abort_subtree(txn);
+    } else {
+      last_abort_reason_ = abort.reason();
+      abort_family(abort.reason());
+    }
+    current_ = saved;
+    return false;
+  }
+}
+
+void FamilyRunner::acquire_for(const Transaction& txn, ObjectId object,
+                               const AccessSummary& summary) {
+  const LockMode mode =
+      summary.needs_write_lock ? LockMode::kWrite : LockMode::kRead;
+  const LocalAcquireOutcome outcome =
+      family_.locks().try_local_acquire(txn, object, mode);
+
+  if (outcome == LocalAcquireOutcome::kGranted) {
+    core_.transport.record_local_lock_op();
+    ++result_.local_lock_grants;
+    {
+      Node& mine = core_.node(node_);
+      std::lock_guard<std::mutex> lock(mine.store_mu);
+      mine.touch(object);
+    }
+    // LOTEC top-up: a later method of the family may predict pages the
+    // first transfer skipped; they are still described accurately by the
+    // cached page map (no other family can have changed them while the
+    // family holds the lock).
+    ObjectImage& img = local_image(object);
+    const PageSet fetch = core_.protocol_for(core_.meta_of(object)).pages_to_transfer(
+        node_, img, object_maps_.at(object), summary.predicted_pages);
+    fetch_pages(object, img, fetch, /*demand=*/false);
+    return;
+  }
+
+  const bool remote = core_.gdo.home_of(object) != node_;
+  core_.scheduler->preempt(index_);  // interleaving point at a global op
+  AcquireResult res = core_.gdo.acquire(object, txn.id(), node_, mode);
+  bool upgrade = outcome == LocalAcquireOutcome::kNeedUpgrade;
+  PageMap granted_map;
+  if (res.status == AcquireStatus::kQueued) {
+    blocked_on_ = object;
+    core_.scheduler->block(index_);  // may throw DeadlockVictimError
+    blocked_on_ = ObjectId{};
+    if (!pending_grant_ || pending_grant_->object != object)
+      throw Error("family woken without a matching lock grant");
+    Grant g = std::move(*pending_grant_);
+    pending_grant_.reset();
+    upgrade = g.upgrade;
+    granted_map = std::move(g.page_map);
+  } else {
+    upgrade = res.upgrade;
+    granted_map = std::move(res.page_map);
+  }
+  if (remote && !prefetch_batch_) ++result_.remote_round_trips;
+
+  family_.locks().on_global_grant(txn, object, mode, upgrade);
+  if (!upgrade) {
+    object_maps_.insert_or_assign(object, std::move(granted_map));
+    Node& mine = core_.node(node_);
+    std::lock_guard<std::mutex> lock(mine.store_mu);
+    mine.pin(object);
+    mine.touch(object);
+  }
+
+  ObjectImage& img = local_image(object);
+  const PageSet fetch = core_.protocol_for(core_.meta_of(object)).pages_to_transfer(
+      node_, img, object_maps_.at(object), summary.predicted_pages);
+  fetch_pages(object, img, fetch, /*demand=*/false);
+}
+
+void FamilyRunner::run_prefetch(const Transaction& root) {
+  if (request_.prefetch.empty()) return;
+  const std::uint64_t trips_before = result_.remote_round_trips;
+  prefetch_batch_ = true;
+  bool any_remote = false;
+  for (const auto& [object, method] : request_.prefetch) {
+    if (family_.locks().find(object) != nullptr) continue;
+    const ObjectMeta meta = core_.meta_of(object);
+    const AccessSummary& summary =
+        core_.registry.get(meta.cls).summary(method);
+    const LockMode mode =
+        summary.needs_write_lock ? LockMode::kWrite : LockMode::kRead;
+    any_remote = any_remote || core_.gdo.home_of(object) != node_;
+
+    core_.scheduler->preempt(index_);
+    AcquireResult res = core_.gdo.acquire(object, root.id(), node_, mode);
+    PageMap granted_map;
+    if (res.status == AcquireStatus::kQueued) {
+      blocked_on_ = object;
+      core_.scheduler->block(index_);
+      blocked_on_ = ObjectId{};
+      if (!pending_grant_ || pending_grant_->object != object)
+        throw Error("family woken without a matching lock grant (prefetch)");
+      Grant g = std::move(*pending_grant_);
+      pending_grant_.reset();
+      granted_map = std::move(g.page_map);
+    } else {
+      granted_map = std::move(res.page_map);
+    }
+    family_.locks().on_prefetch_grant(root, object, mode);
+    object_maps_.insert_or_assign(object, std::move(granted_map));
+    {
+      Node& mine = core_.node(node_);
+      std::lock_guard<std::mutex> lock(mine.store_mu);
+      mine.pin(object);
+      mine.touch(object);
+    }
+    ObjectImage& img = local_image(object);
+    const PageSet fetch = core_.protocol_for(meta).pages_to_transfer(
+        node_, img, object_maps_.at(object), summary.predicted_pages);
+    fetch_pages(object, img, fetch, /*demand=*/false);
+  }
+  prefetch_batch_ = false;
+  // The point of pre-acquisition is pipelining: model the whole batch as a
+  // single blocking round trip on the family's critical path.
+  result_.remote_round_trips = trips_before + (any_remote ? 1 : 0);
+}
+
+void FamilyRunner::fetch_pages(ObjectId object, ObjectImage& image,
+                               PageSet pages, bool demand) {
+  if (pages.empty()) return;
+  const auto mit = object_maps_.find(object);
+  if (mit == object_maps_.end())
+    throw Error("fetch_pages without a cached page map");
+  PageMap& map = mit->second;
+
+  // Group wanted pages per source site (ordered: deterministic traffic).
+  std::map<NodeId, std::vector<PageIndex>> by_source;
+  for (const PageIndex p : pages.to_vector()) {
+    const PageLocation& loc = map.at(p);
+    if (loc.node == node_)
+      throw Error("fetch_pages: newest copy of the page is already local");
+    by_source[loc.node].push_back(p);
+  }
+
+  // DSD mode (Section 4.2/6): ship only the changed byte ranges for pages
+  // whose local copy is exactly one version behind.  The request then
+  // carries our cached version per page (8 extra bytes each) so the source
+  // can decide delta vs full page.
+  const bool delta_mode =
+      core_.protocol_for(core_.meta_of(object)).delta_transfers();
+  std::unordered_map<std::uint32_t, Lsn> my_versions;
+  if (delta_mode) {
+    Node& mine = core_.node(node_);
+    std::lock_guard<std::mutex> lock(mine.store_mu);
+    for (const PageIndex p : pages.to_vector())
+      if (image.has_page(p)) my_versions[p.value()] = image.page_version(p);
+  }
+
+  for (auto& [source, wanted] : by_source) {
+    core_.transport.send(
+        {demand ? MessageKind::kDemandFetchRequest
+                : MessageKind::kPageFetchRequest,
+         node_, source, object,
+         wanted.size() * (wire::kPageRequestEntryBytes +
+                          (delta_mode ? 8ULL : 0ULL))});
+    std::vector<std::pair<PageIndex, Page>> copied;
+    copied.reserve(wanted.size());
+    std::uint64_t reply_payload = 0;
+    {
+      Node& src = core_.node(source);
+      std::lock_guard<std::mutex> lock(src.store_mu);
+      const ObjectImage& simg = src.store.get(object);
+      for (const PageIndex p : wanted) {
+        const Page& page = simg.page(p);
+        std::optional<std::uint64_t> chain;
+        const auto have = my_versions.find(p.value());
+        if (delta_mode && have != my_versions.end())
+          chain = page.delta_chain_bytes(have->second);
+        if (chain && *chain < core_.config.page_size) {
+          // Few versions behind: the wire carries only the delta chain.
+          reply_payload += *chain;
+          ++result_.delta_pages;
+        } else {
+          reply_payload += core_.config.page_size + 8ULL;
+        }
+        copied.emplace_back(p, page);
+      }
+    }
+    core_.transport.send(
+        {demand ? MessageKind::kDemandFetchReply
+                : MessageKind::kPageFetchReply,
+         source, node_, object, reply_payload});
+    {
+      Node& mine = core_.node(node_);
+      std::lock_guard<std::mutex> lock(mine.store_mu);
+      for (auto& [p, page] : copied) {
+        // Lock discipline guarantees the owner's content is current even if
+        // its version stamp lags a concurrent release; trust the map.
+        page.version = std::max(page.version, map.at(p).version);
+        map.record_current(p, node_, page.version);
+        image.install_page(p, std::move(page));
+      }
+    }
+    if (!prefetch_batch_) ++result_.remote_round_trips;
+    result_.pages_fetched += wanted.size();
+    if (demand) ++result_.demand_fetches;
+  }
+  core_.enforce_cache_capacity(core_.node(node_));
+}
+
+void FamilyRunner::ensure_fresh(ObjectId object, const PageSet& pages) {
+  const auto mit = object_maps_.find(object);
+  if (mit == object_maps_.end())
+    throw Error("attribute access without an acquired lock / page map");
+  ObjectImage& img = local_image(object);
+  PageSet missing(pages.universe_size());
+  {
+    Node& mine = core_.node(node_);
+    std::lock_guard<std::mutex> lock(mine.store_mu);
+    for (const PageIndex p : pages.to_vector()) {
+      const PageLocation& loc = mit->second.at(p);
+      const bool fresh =
+          loc.node == node_ ||
+          (img.has_page(p) && img.page_version(p) >= loc.version);
+      if (!fresh) missing.insert(p);
+    }
+  }
+  if (missing.empty()) return;
+  const ConsistencyProtocol& protocol = core_.protocol_for(core_.meta_of(object));
+  if (!protocol.allows_demand_fetch())
+    throw Error(std::string(protocol.name()) +
+                ": method touched a page the transfer plan skipped "
+                "(protocol invariant violated)");
+  fetch_pages(object, img, missing, /*demand=*/true);
+}
+
+void FamilyRunner::commit_root(Transaction& root) {
+  root.commit_root();
+  release_all(/*commit=*/true);
+}
+
+void FamilyRunner::abort_subtree(Transaction& txn) {
+  txn.abort(undo_resolver());
+  const std::vector<ObjectId> to_release = family_.locks().on_abort(txn);
+  if (to_release.empty()) return;
+  std::vector<ReleaseItem> items;
+  items.reserve(to_release.size());
+  Node& mine = core_.node(node_);
+  for (const ObjectId object : to_release) {
+    object_maps_.erase(object);
+    {
+      std::lock_guard<std::mutex> lock(mine.store_mu);
+      if (ObjectImage* img = mine.store.find(object)) img->clear_dirty();
+      mine.unpin(object);
+    }
+    items.push_back(ReleaseItem{object, std::nullopt});
+  }
+  (void)core_.gdo.release_batch(family_.id(), node_, items);
+}
+
+void FamilyRunner::abort_family(AbortReason /*reason*/) {
+  // UNDO the active path bottom-up (pre-committed children were absorbed
+  // into their parents' logs; aborted ones already rolled back).
+  const auto resolve = undo_resolver();
+  for (Transaction* t = current_; t != nullptr; t = t->parent())
+    if (t->state() == TxnState::kActive) t->abort(resolve);
+
+  // Withdraw a queued lock request, if any.
+  if (blocked_on_.valid()) {
+    (void)core_.gdo.cancel_waiter(blocked_on_, family_.id());
+    blocked_on_ = ObjectId{};
+  }
+  // A grant may have raced with victimization (concurrent mode): the GDO
+  // already lists us as a holder even though the lock table does not.
+  if (pending_grant_) {
+    const ObjectId object = pending_grant_->object;
+    pending_grant_.reset();
+    if (family_.locks().find(object) == nullptr)
+      (void)core_.gdo.release_family(object, family_.id(), node_, nullptr);
+  }
+  release_all(/*commit=*/false);
+  current_ = nullptr;
+}
+
+void FamilyRunner::release_all(bool commit) {
+  const std::vector<ObjectId> objects = family_.locks().all_objects();
+  if (objects.empty()) {
+    object_maps_.clear();
+    family_.locks().clear();
+    return;
+  }
+  Node& mine = core_.node(node_);
+  std::vector<ReleaseItem> items;
+  items.reserve(objects.size());
+  for (const ObjectId object : objects) {
+    if (!commit) {
+      items.push_back(ReleaseItem{object, std::nullopt});
+      continue;
+    }
+    ReleaseItem item{object, ReleaseInfo{}};
+    // Residency ("current") reports move page-map ownership, so they are
+    // only safe from WRITE holders: a read lock can be shared, and moving
+    // ownership under a concurrent read holder would silently invalidate
+    // the map copy that holder received with its grant (its later fetches
+    // could then target a site that has since evicted the page).
+    const LocalLock* lock_state = family_.locks().find(object);
+    const bool exclusive =
+        lock_state != nullptr && lock_state->global_mode == LockMode::kWrite;
+    std::lock_guard<std::mutex> lock(mine.store_mu);
+    if (const ObjectImage* img = mine.store.find(object)) {
+      item.info->dirty = img->dirty_pages();
+      if (exclusive) {
+        const PageSet report =
+            core_.protocol_for(core_.meta_of(object)).pages_to_report(*img);
+        for (const PageIndex p : report.to_vector())
+          item.info->current.emplace_back(p, img->page_version(p));
+      }
+    } else {
+      item.info->dirty = PageSet(core_.meta_of(object).num_pages);
+    }
+    items.push_back(std::move(item));
+  }
+
+  // Stamp new page versions BEFORE the directory publishes them so a woken
+  // family never fetches a page whose stamp lags (concurrent mode).  The
+  // version values must match what the GDO will assign: it increments the
+  // per-object counter exactly when the dirty set is non-empty, so we
+  // pre-compute by peeking the entry's counter.
+  struct Stamped {
+    ObjectId object;
+    std::vector<std::pair<PageIndex, Page>> pages;
+    Lsn version;
+  };
+  std::vector<Stamped> pushes;
+  if (commit) {
+    for (auto& item : items) {
+      if (!item.info || item.info->dirty.empty()) continue;
+      const Lsn next = core_.gdo.snapshot(item.object).version_counter + 1;
+      std::lock_guard<std::mutex> lock(mine.store_mu);
+      ObjectImage& img = mine.store.get(item.object);
+      const PageSet stamped = img.stamp_dirty(next);
+      if (core_.protocol_for(core_.meta_of(item.object)).eager_push_on_release()) {
+        Stamped s{item.object, {}, next};
+        for (const PageIndex p : stamped.to_vector())
+          s.pages.emplace_back(p, img.page(p));
+        pushes.push_back(std::move(s));
+      }
+    }
+  } else {
+    for (const auto& item : items) {
+      std::lock_guard<std::mutex> lock(mine.store_mu);
+      if (ObjectImage* img = mine.store.find(item.object)) img->clear_dirty();
+    }
+  }
+
+  // RC extension: eagerly push the committed updates to every caching site
+  // BEFORE releasing the lock.  Pushing after release races with the next
+  // holder: its freshly committed (newer) pages at a caching site could be
+  // clobbered by our in-flight (older) push.
+  for (const Stamped& s : pushes) push_updates(s.object, s.pages);
+
+  (void)core_.gdo.release_batch(family_.id(), node_, items);
+
+  {
+    std::lock_guard<std::mutex> lock(mine.store_mu);
+    for (const auto& item : items) mine.unpin(item.object);
+  }
+  object_maps_.clear();
+  family_.locks().clear();
+}
+
+void FamilyRunner::push_updates(
+    ObjectId object, const std::vector<std::pair<PageIndex, Page>>& pages) {
+  if (pages.empty()) return;
+  std::vector<NodeId> targets;
+  for (const NodeId site : core_.gdo.caching_sites(object))
+    if (site != node_) targets.push_back(site);
+  if (targets.empty()) return;
+  std::sort(targets.begin(), targets.end());
+
+  const ObjectMeta meta = core_.meta_of(object);
+  core_.transport.send_to_all(
+      {MessageKind::kUpdatePush, node_, node_, object,
+       pages.size() * (core_.config.page_size + 8ULL)},
+      targets);
+  for (const NodeId site : targets) {
+    Node& target = core_.node(site);
+    {
+      std::lock_guard<std::mutex> lock(target.store_mu);
+      ObjectImage& img = target.store.get_or_create(object, meta.num_pages,
+                                                    core_.config.page_size);
+      // Defensive version guard: never replace a newer page with an older
+      // pushed copy (belt to the push-before-release braces above).
+      for (const auto& [p, page] : pages)
+        if (!img.has_page(p) || img.page_version(p) < page.version)
+          img.install_page(p, page);
+    }
+    core_.enforce_cache_capacity(target);
+  }
+}
+
+ObjectImage& FamilyRunner::local_image(ObjectId object) {
+  Node& mine = core_.node(node_);
+  std::lock_guard<std::mutex> lock(mine.store_mu);
+  if (ObjectImage* img = mine.store.find(object)) return *img;
+  const ObjectMeta meta = core_.meta_of(object);
+  return mine.store.create(object, meta.num_pages, core_.config.page_size,
+                           /*materialize=*/false);
+}
+
+std::function<ObjectImage&(ObjectId)> FamilyRunner::undo_resolver() {
+  return [this](ObjectId object) -> ObjectImage& {
+    return local_image(object);
+  };
+}
+
+// ---------------------------------------------------------------------------
+// MethodContext
+// ---------------------------------------------------------------------------
+
+PageSet MethodContext::check_access(AttrId attr, bool write) const {
+  const bool declared = write ? method_.writes.contains(attr)
+                              : (method_.reads.contains(attr) ||
+                                 method_.writes.contains(attr));
+  if (!declared && !method_.may_access_undeclared &&
+      runner_.core_.config.strict_access_checks) {
+    throw UsageError("method '" + method_.name + "' " +
+                     (write ? "writes" : "reads") +
+                     " undeclared attribute '" +
+                     cls_.layout().attribute(attr).name +
+                     "' (the conservative access analysis must cover every "
+                     "access; set may_access_undeclared for data-dependent "
+                     "methods)");
+  }
+  return cls_.layout().pages_of(attr);
+}
+
+void MethodContext::read_raw(AttrId attr, std::span<std::byte> out) {
+  if (out.size() > cls_.layout().attribute(attr).size_bytes)
+    throw UsageError("read_raw: larger than attribute");
+  const PageSet pages = check_access(attr, /*write=*/false);
+  runner_.ensure_fresh(txn_.target(), pages);
+  ObjectImage& img = runner_.local_image(txn_.target());
+  Node& mine = runner_.core_.node(runner_.node_);
+  std::lock_guard<std::mutex> lock(mine.store_mu);
+  img.read_bytes(cls_.layout().offset_of(attr), out);
+}
+
+void MethodContext::write_raw(AttrId attr, std::span<const std::byte> in) {
+  if (in.size() > cls_.layout().attribute(attr).size_bytes)
+    throw UsageError("write_raw: larger than attribute");
+  const PageSet pages = check_access(attr, /*write=*/true);
+  runner_.ensure_fresh(txn_.target(), pages);
+  ObjectImage& img = runner_.local_image(txn_.target());
+  Node& mine = runner_.core_.node(runner_.node_);
+  std::lock_guard<std::mutex> lock(mine.store_mu);
+  const std::uint64_t offset = cls_.layout().offset_of(attr);
+  txn_.undo().before_write(img, offset, in.size());
+  img.write_bytes(offset, in);
+}
+
+bool MethodContext::invoke(ObjectId object, MethodId method) {
+  return runner_.run_invocation(&txn_, object, method);
+}
+
+bool MethodContext::invoke(ObjectId object, const std::string& method) {
+  const ObjectMeta meta = runner_.core_.meta_of(object);
+  return invoke(object,
+                runner_.core_.registry.get(meta.cls).find_method(method));
+}
+
+}  // namespace lotec

@@ -1,0 +1,214 @@
+// FamilyRunner: executes one transaction family at its site, driving the
+// whole protocol stack — nested O2PL (local + global), page transfer per
+// the configured consistency protocol, undo, commit/abort processing and
+// deadlock-victim restart.
+//
+// MethodContext is the object a method body sees: typed attribute access on
+// the target object (with automatic locking already done by the runner,
+// freshness checks, undo capture and LOTEC demand fetching) plus nested
+// invocation of further methods, each of which becomes a sub-transaction.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <unordered_map>
+
+#include "method/value.hpp"
+#include "runtime/core.hpp"
+#include "txn/family.hpp"
+
+namespace lotec {
+
+class MethodContext;
+
+class FamilyRunner {
+ public:
+  FamilyRunner(ClusterCore& core, std::size_t index, FamilyId family,
+               NodeId node, RootRequest request);
+
+  /// Scheduler body: run the root transaction to completion, retrying on
+  /// deadlock victimization.  Never throws.
+  void run();
+
+  [[nodiscard]] const TxnResult& result() const noexcept { return result_; }
+  [[nodiscard]] std::size_t index() const noexcept { return index_; }
+  [[nodiscard]] FamilyId family_id() const noexcept { return family_.id(); }
+
+  /// Programming error (e.g. precluded mutual recursion, undeclared
+  /// attribute access) that aborted this family; rethrown by
+  /// Cluster::execute after the batch drains.
+  [[nodiscard]] std::exception_ptr error() const noexcept { return error_; }
+
+  /// Wakeup delivery (called from another family's thread / the GDO path).
+  void deliver(Grant grant) { pending_grant_ = std::move(grant); }
+
+ private:
+  friend class MethodContext;
+
+  /// Execute one invocation as a [sub-]transaction; true on [pre-]commit,
+  /// false if the transaction aborted (TxnAbort).  DeadlockVictimError
+  /// propagates to run().
+  bool run_invocation(Transaction* parent, ObjectId object, MethodId method);
+
+  /// Acquire the object's lock for `txn` (Algorithm 4.1 entry point) and
+  /// make the predicted pages resident per the consistency protocol.
+  void acquire_for(const Transaction& txn, ObjectId object,
+                   const AccessSummary& summary);
+
+  /// Optimistic pre-acquisition of the hinted locks/pages (Section 5.1
+  /// extension), pipelined as one round-trip batch.
+  void run_prefetch(const Transaction& root);
+
+  /// Fetch `pages` of `object` from the sites the cached page map names,
+  /// grouped per source site.  Updates the cached map to point here.
+  void fetch_pages(ObjectId object, ObjectImage& image, PageSet pages,
+                   bool demand);
+
+  /// Demand-side freshness guarantee for an attribute access (Section 4's
+  /// "if additional parts turn out to be needed, these can be fetched on
+  /// demand").
+  void ensure_fresh(ObjectId object, const PageSet& pages);
+
+  /// Root commit: Algorithm 4.3 "root transaction commits" + 4.4, then
+  /// page-version stamping and (RC) eager pushes.
+  void commit_root(Transaction& root);
+
+  /// Sub-transaction abort (family continues): undo + rule 4 disposition.
+  void abort_subtree(Transaction& txn);
+
+  /// Whole-family abort (root abort or deadlock victim).
+  void abort_family(AbortReason reason);
+
+  /// Release every object the family holds.  `commit` selects dirty/current
+  /// reporting vs "no dirty page info".
+  void release_all(bool commit);
+
+  /// RC extension: eager push of committed pages to all caching sites.
+  void push_updates(ObjectId object,
+                    const std::vector<std::pair<PageIndex, Page>>& pages);
+
+  [[nodiscard]] ObjectImage& local_image(ObjectId object);
+  [[nodiscard]] std::function<ObjectImage&(ObjectId)> undo_resolver();
+
+  ClusterCore& core_;
+  std::size_t index_;
+  Family family_;
+  NodeId node_;
+  RootRequest request_;
+  Rng rng_{0};
+
+  Transaction* current_ = nullptr;
+  /// Object whose global lock this family is blocked on (for waiter
+  /// cancellation on victimization).
+  ObjectId blocked_on_{};
+  std::optional<Grant> pending_grant_;
+  /// Page maps received with global grants, kept current as pages arrive.
+  std::unordered_map<ObjectId, PageMap> object_maps_;
+  /// Inside run_prefetch: suppress per-operation round-trip counting (the
+  /// batch is modeled as one pipelined round trip).
+  bool prefetch_batch_ = false;
+  AbortReason last_abort_reason_ = AbortReason::kUser;
+  std::exception_ptr error_;
+
+  TxnResult result_;
+};
+
+/// The interface a method body programs against.  Automatic synchronization
+/// is the point: by the time the body runs, the runner has acquired the
+/// object's lock and transferred the protocol's page set; every attribute
+/// access below re-checks freshness and captures undo.
+class MethodContext {
+ public:
+  MethodContext(FamilyRunner& runner, Transaction& txn, const ClassDef& cls,
+                const MethodDef& method)
+      : runner_(runner), txn_(txn), cls_(cls), method_(method) {}
+
+  // --- typed attribute access on the target object -----------------------
+
+  template <PlainValue T>
+  [[nodiscard]] T get(const std::string& attr) {
+    return get<T>(cls_.layout().find(attr));
+  }
+
+  template <PlainValue T>
+  [[nodiscard]] T get(AttrId attr) {
+    std::vector<std::byte> buf(sizeof(T));
+    read_raw(attr, buf);
+    return decode_value<T>(buf);
+  }
+
+  template <PlainValue T>
+  void set(const std::string& attr, const T& value) {
+    set<T>(cls_.layout().find(attr), value);
+  }
+
+  template <PlainValue T>
+  void set(AttrId attr, const T& value) {
+    std::vector<std::byte> buf(sizeof(T));
+    encode_value(std::span<std::byte>(buf), value);
+    write_raw(attr, buf);
+  }
+
+  [[nodiscard]] std::string get_string(const std::string& attr) {
+    const AttrId a = cls_.layout().find(attr);
+    std::vector<std::byte> buf(cls_.layout().attribute(a).size_bytes);
+    read_raw(a, buf);
+    return decode_string(buf);
+  }
+
+  void set_string(const std::string& attr, const std::string& value) {
+    const AttrId a = cls_.layout().find(attr);
+    std::vector<std::byte> buf(cls_.layout().attribute(a).size_bytes);
+    encode_string(buf, value);
+    write_raw(a, buf);
+  }
+
+  /// Read the raw bytes of an attribute (out.size() <= attribute size).
+  void read_raw(AttrId attr, std::span<std::byte> out);
+
+  /// Overwrite the leading bytes of an attribute.
+  void write_raw(AttrId attr, std::span<const std::byte> in);
+
+  // --- nested invocation --------------------------------------------------
+
+  /// Invoke `method` on another shared object as a sub-transaction.
+  /// Returns false if the sub-transaction aborted (its effects are undone
+  /// and, per rule 4, its unretained locks released); the caller may retry
+  /// or abort itself.
+  bool invoke(ObjectId object, const std::string& method);
+  bool invoke(ObjectId object, MethodId method);
+
+  // --- control -------------------------------------------------------------
+
+  /// Abort the current [sub-]transaction.
+  [[noreturn]] void abort() { throw TxnAbort(AbortReason::kUser); }
+
+  /// Abort attributed to injected failure (workload generator use).
+  [[noreturn]] void fail_injected() { throw TxnAbort(AbortReason::kInjected); }
+
+  [[nodiscard]] const TxnId& txn() const noexcept { return txn_.id(); }
+  [[nodiscard]] ObjectId target() const noexcept { return txn_.target(); }
+  [[nodiscard]] std::size_t depth() const noexcept { return txn_.depth(); }
+  [[nodiscard]] NodeId node() const noexcept { return runner_.node_; }
+  [[nodiscard]] const ClassDef& cls() const noexcept { return cls_; }
+
+  /// Deterministic per-family random stream for workload bodies.
+  [[nodiscard]] Rng& rng() noexcept { return runner_.rng_; }
+
+  /// The RootRequest::user_data payload of this family (nullptr if none).
+  [[nodiscard]] const void* user_data() const noexcept {
+    return runner_.request_.user_data.get();
+  }
+
+ private:
+  /// Enforce the declared access sets (the compiler's analysis must cover
+  /// every access) and return the attribute's pages.
+  PageSet check_access(AttrId attr, bool write) const;
+
+  FamilyRunner& runner_;
+  Transaction& txn_;
+  const ClassDef& cls_;
+  const MethodDef& method_;
+};
+
+}  // namespace lotec

@@ -1,0 +1,63 @@
+// Node: one site of the distributed system — its cached object pages plus
+// the bookkeeping for bounded caches (LRU order, lock pins, eviction
+// statistics).  All members are guarded by store_mu.
+#pragma once
+
+#include <list>
+#include <mutex>
+#include <unordered_map>
+
+#include "common/ids.hpp"
+#include "page/page_store.hpp"
+
+namespace lotec {
+
+struct Node {
+  explicit Node(NodeId id_) : id(id_) {}
+
+  NodeId id;
+  /// Guards everything below (remote page fetches read a peer node's
+  /// store; co-located families share one store).
+  std::mutex store_mu;
+  PageStore store;
+
+  /// Objects whose lock a family at this site currently holds; their pages
+  /// are not evictable.  Reference-counted (read sharing).
+  std::unordered_map<ObjectId, int> pins;
+  /// LRU order over cached objects, front = most recently acquired.
+  std::list<ObjectId> lru;
+  std::unordered_map<ObjectId, std::list<ObjectId>::iterator> lru_pos;
+  std::uint64_t evicted_pages = 0;
+
+  // Callers hold store_mu for all of the following.
+
+  void touch(ObjectId obj) {
+    const auto it = lru_pos.find(obj);
+    if (it != lru_pos.end()) lru.erase(it->second);
+    lru.push_front(obj);
+    lru_pos[obj] = lru.begin();
+  }
+
+  void pin(ObjectId obj) { ++pins[obj]; }
+
+  void unpin(ObjectId obj) {
+    const auto it = pins.find(obj);
+    if (it == pins.end())
+      throw UsageError("Node::unpin: object not pinned");
+    if (--it->second == 0) pins.erase(it);
+  }
+
+  [[nodiscard]] bool pinned(ObjectId obj) const {
+    return pins.count(obj) != 0;
+  }
+
+  void forget(ObjectId obj) {
+    const auto it = lru_pos.find(obj);
+    if (it != lru_pos.end()) {
+      lru.erase(it->second);
+      lru_pos.erase(it);
+    }
+  }
+};
+
+}  // namespace lotec

@@ -1,0 +1,176 @@
+// Family schedulers.
+//
+// A transaction family executes as straight-line code (method bodies with
+// nested invocations) that can *block* mid-stack on a queued global lock
+// request, so each active family gets a dedicated thread.  Two scheduling
+// disciplines drive those threads:
+//
+//  * TokenScheduler — deterministic cooperative scheduling.  Exactly one
+//    family runs at a time; at every preemption point (global lock
+//    operations) a seeded RNG picks the next runnable family.  Identical
+//    seeds yield identical interleavings, which is what makes the benchmark
+//    traces and property tests reproducible.  When every active family is
+//    blocked, the stall callback picks a deadlock victim, which is woken
+//    with DeadlockVictimError thrown from its block() call.
+//
+//  * ConcurrentScheduler — free-running threads with real parallelism (for
+//    the runtime/examples).  Blocking uses condition variables; a watchdog
+//    invokes the stall callback when no family makes progress for a while.
+//
+// Both present the same interface to the family executor.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace lotec {
+
+/// Thrown from Scheduler::block() in the blocked family's context when it
+/// is chosen as a deadlock victim.  The family executor catches it, rolls
+/// the family back and retries.
+class DeadlockVictimError {
+ public:
+  explicit DeadlockVictimError(std::size_t family_index) noexcept
+      : index_(family_index) {}
+  [[nodiscard]] std::size_t family_index() const noexcept { return index_; }
+
+ private:
+  std::size_t index_;
+};
+
+class Scheduler {
+ public:
+  /// Resolve a stall: return the family index to victimize (it must be a
+  /// currently blocked family), or npos if the stall is unexplainable
+  /// (fatal).  Runs with no family executing (TokenScheduler) or
+  /// concurrently with blocked families (ConcurrentScheduler).
+  using StallHandler = std::function<std::size_t()>;
+  static constexpr std::size_t kNoVictim = static_cast<std::size_t>(-1);
+
+  virtual ~Scheduler() = default;
+
+  /// Run all family bodies to completion.  `bodies[i]` executes family i;
+  /// bodies must not leak exceptions (the executor catches everything).
+  virtual void run(std::vector<std::function<void()>> bodies,
+                   StallHandler on_stall) = 0;
+
+  /// Called from family `idx`'s own thread: give up the processor until
+  /// wake(idx).  Throws DeadlockVictimError if victimized while blocked.
+  virtual void block(std::size_t idx) = 0;
+
+  /// Make a blocked family runnable (called from another family's thread
+  /// while it delivers lock-grant wakeups).  Idempotent.
+  virtual void wake(std::size_t idx) = 0;
+
+  /// Optional preemption point (called at global lock operations).
+  virtual void preempt(std::size_t idx) = 0;
+
+  /// True after an internal failure: executors should stop retrying and
+  /// finish so the scheduler can drain.
+  [[nodiscard]] virtual bool cancelled() const = 0;
+};
+
+class TokenScheduler final : public Scheduler {
+ public:
+  struct Config {
+    std::uint64_t seed = 1;
+    /// Maximum families with live threads at once; further families start
+    /// as earlier ones finish.
+    std::size_t max_active = 16;
+  };
+
+  explicit TokenScheduler(Config config) : config_(config) {
+    if (config_.max_active == 0)
+      throw UsageError("TokenScheduler: max_active must be >= 1");
+  }
+
+  void run(std::vector<std::function<void()>> bodies,
+           StallHandler on_stall) override;
+  void block(std::size_t idx) override;
+  void wake(std::size_t idx) override;
+  void preempt(std::size_t idx) override;
+  [[nodiscard]] bool cancelled() const override {
+    return cancelled_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  enum class State : std::uint8_t {
+    kNotStarted,
+    kRunnable,
+    kRunning,
+    kBlocked,
+    kDone
+  };
+
+  /// Pick and hand the token to the next family (spawning a fresh thread
+  /// when a slot is free).  Requires mu_ held and no current runner.
+  void schedule_next_locked();
+
+  /// Wait until this family holds the token; returns with state kRunning.
+  /// Throws DeadlockVictimError if flagged as victim.
+  void await_token_locked(std::unique_lock<std::mutex>& lock,
+                          std::size_t idx);
+
+  Config config_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::vector<std::function<void()>> bodies_;
+  std::vector<State> states_;
+  std::vector<bool> victim_;
+  std::vector<std::thread> threads_;
+  StallHandler on_stall_;
+  std::size_t current_ = kNone;
+  std::size_t next_unstarted_ = 0;
+  std::size_t active_ = 0;
+  std::size_t done_ = 0;
+  Rng rng_{1};
+  std::atomic<bool> cancelled_{false};
+  std::string failure_;
+
+  static constexpr std::size_t kNone = static_cast<std::size_t>(-1);
+};
+
+class ConcurrentScheduler final : public Scheduler {
+ public:
+  struct Config {
+    std::size_t max_active = 16;
+    /// Watchdog period for stall (deadlock) detection.
+    std::chrono::milliseconds watchdog_period{20};
+  };
+
+  explicit ConcurrentScheduler(Config config) : config_(config) {
+    if (config_.max_active == 0)
+      throw UsageError("ConcurrentScheduler: max_active must be >= 1");
+  }
+
+  void run(std::vector<std::function<void()>> bodies,
+           StallHandler on_stall) override;
+  void block(std::size_t idx) override;
+  void wake(std::size_t idx) override;
+  void preempt(std::size_t /*idx*/) override {}  // real threads: no-op
+  [[nodiscard]] bool cancelled() const override {
+    return cancelled_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  Config config_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::vector<std::uint8_t> blocked_;   // family currently in block()
+  std::vector<std::uint8_t> wake_flag_; // wake arrived (possibly early)
+  std::vector<std::uint8_t> victim_;
+  std::atomic<bool> cancelled_{false};
+  std::string failure_;
+};
+
+}  // namespace lotec

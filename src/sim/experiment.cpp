@@ -1,0 +1,126 @@
+#include "sim/experiment.hpp"
+
+#include <unordered_set>
+
+#include "common/stats.hpp"
+
+namespace lotec {
+
+namespace {
+
+bool is_lock_kind(MessageKind k) {
+  switch (k) {
+    case MessageKind::kLockAcquireRequest:
+    case MessageKind::kLockAcquireGrant:
+    case MessageKind::kLockAcquireQueued:
+    case MessageKind::kLockGrantWakeup:
+    case MessageKind::kLockReleaseRequest:
+    case MessageKind::kLockReleaseAck:
+    case MessageKind::kPrefetchLockRequest:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool is_page_kind(MessageKind k) {
+  switch (k) {
+    case MessageKind::kPageFetchRequest:
+    case MessageKind::kPageFetchReply:
+    case MessageKind::kDemandFetchRequest:
+    case MessageKind::kDemandFetchReply:
+    case MessageKind::kUpdatePush:
+    case MessageKind::kPrefetchPageReply:
+      return true;
+    default:
+      return false;
+  }
+}
+
+/// Distinct (object, method) pairs of a script, first-seen order — the
+/// family's statically predictable lock set for the prefetch ablation.
+std::vector<std::pair<ObjectId, MethodId>> script_lock_set(
+    const FamilyScript& script) {
+  std::vector<std::pair<ObjectId, MethodId>> out;
+  std::unordered_set<std::size_t> seen;
+  for (const ScriptNode& node : script.nodes)
+    if (seen.insert(node.object).second)
+      out.emplace_back(ObjectId(node.object), node.method);
+  return out;
+}
+
+}  // namespace
+
+ScenarioResult run_scenario(const Workload& workload, ProtocolKind protocol,
+                            const ExperimentOptions& options) {
+  ClusterConfig cfg;
+  cfg.nodes = options.nodes;
+  cfg.protocol = protocol;
+  cfg.page_size = options.page_size;
+  cfg.seed = options.cluster_seed;
+  cfg.max_active_families = options.max_active_families;
+  cfg.net.multicast_capable = options.multicast;
+  cfg.undo = options.undo;
+  cfg.cache_capacity_pages = options.cache_capacity_pages;
+  Cluster cluster(cfg);
+
+  std::vector<RootRequest> requests = workload.instantiate(cluster);
+  if (options.prefetch_hints) {
+    for (std::size_t i = 0; i < requests.size(); ++i) {
+      const auto* script =
+          static_cast<const FamilyScript*>(requests[i].user_data.get());
+      requests[i].prefetch = script_lock_set(*script);
+    }
+  }
+
+  const std::vector<TxnResult> results = cluster.execute(std::move(requests));
+
+  ScenarioResult out;
+  out.protocol = protocol;
+  for (std::size_t i = 0; i < workload.num_objects(); ++i)
+    out.object_ids.push_back(ObjectId(i));
+
+  const NetworkStats& stats = cluster.stats();
+  out.per_object = stats.per_object();
+  for (const ObjectId id : out.object_ids)
+    out.page_data[id] = stats.page_data_by_object(id);
+  out.total = stats.total();
+  out.local_lock_ops = stats.local_lock_ops();
+  for (std::size_t k = 0;
+       k < static_cast<std::size_t>(MessageKind::kNumKinds); ++k) {
+    const auto kind = static_cast<MessageKind>(k);
+    const TrafficCounter c = stats.by_kind(kind);
+    if (is_lock_kind(kind)) out.lock_messages += c.messages;
+    if (is_page_kind(kind)) out.page_messages += c.messages;
+  }
+
+  std::vector<double> trips;
+  trips.reserve(results.size());
+  for (const TxnResult& r : results) {
+    if (r.committed)
+      ++out.committed;
+    else
+      ++out.aborted;
+    out.deadlock_retries += static_cast<std::uint64_t>(r.deadlock_retries);
+    out.demand_fetches += r.demand_fetches;
+    out.pages_fetched += r.pages_fetched;
+    out.delta_pages += r.delta_pages;
+    out.remote_round_trips += r.remote_round_trips;
+    trips.push_back(static_cast<double>(r.remote_round_trips));
+  }
+  out.round_trips_p50 = percentile(trips, 50);
+  out.round_trips_p95 = percentile(trips, 95);
+  return out;
+}
+
+std::vector<ScenarioResult> run_protocol_suite(
+    const Workload& workload, const std::vector<ProtocolKind>& protocols,
+    const ExperimentOptions& options) {
+  std::vector<ScenarioResult> out;
+  out.reserve(protocols.size());
+  for (const ProtocolKind p : protocols)
+    out.push_back(run_scenario(workload, p, options));
+  return out;
+}
+
+}  // namespace lotec

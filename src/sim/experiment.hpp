@@ -1,0 +1,72 @@
+// Experiment harness: run one workload under one (or each) consistency
+// protocol on a fresh cluster and collect the measurements the paper's
+// figures report.
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "runtime/cluster.hpp"
+#include "workload/generator.hpp"
+
+namespace lotec {
+
+/// Everything measured from one (workload, protocol) run.
+struct ScenarioResult {
+  ProtocolKind protocol = ProtocolKind::kLotec;
+  /// Object ids in creation order (Oi of the figures = object_ids[i]).
+  std::vector<ObjectId> object_ids;
+  /// Total consistency+locking traffic attributed to each object.
+  std::unordered_map<ObjectId, TrafficCounter> per_object;
+  /// Page-data-only traffic per object.
+  std::unordered_map<ObjectId, TrafficCounter> page_data;
+  TrafficCounter total;
+  std::uint64_t local_lock_ops = 0;
+  // Per-kind aggregates needed by the locking-overhead analysis.
+  std::uint64_t lock_messages = 0;
+  std::uint64_t page_messages = 0;
+  // Transaction outcomes.
+  std::size_t committed = 0;
+  std::size_t aborted = 0;
+  std::uint64_t deadlock_retries = 0;
+  std::uint64_t demand_fetches = 0;
+  std::uint64_t pages_fetched = 0;
+  std::uint64_t delta_pages = 0;
+  std::uint64_t remote_round_trips = 0;
+  /// Distribution of blocking round trips per root transaction (the
+  /// latency proxy the prefetch ablation reduces).
+  double round_trips_p50 = 0;
+  double round_trips_p95 = 0;
+
+  [[nodiscard]] TrafficCounter object_traffic(ObjectId id) const {
+    const auto it = per_object.find(id);
+    return it == per_object.end() ? TrafficCounter{} : it->second;
+  }
+};
+
+struct ExperimentOptions {
+  std::size_t nodes = 16;
+  std::uint32_t page_size = 4096;
+  std::uint64_t cluster_seed = 7;
+  std::size_t max_active_families = 16;
+  bool multicast = false;
+  bool prefetch_hints = false;  ///< Section 5.1 ablation: pre-acquire the
+                                ///< whole script's lock set at family start
+  UndoStrategy undo = UndoStrategy::kByteRange;
+  /// Per-node cache budget in pages (0 = unbounded).
+  std::size_t cache_capacity_pages = 0;
+};
+
+/// Run `workload` under `protocol` on a fresh cluster.
+[[nodiscard]] ScenarioResult run_scenario(const Workload& workload,
+                                          ProtocolKind protocol,
+                                          const ExperimentOptions& options = {});
+
+/// Run the workload under each protocol in `protocols` (fresh identical
+/// cluster each time).
+[[nodiscard]] std::vector<ScenarioResult> run_protocol_suite(
+    const Workload& workload, const std::vector<ProtocolKind>& protocols,
+    const ExperimentOptions& options = {});
+
+}  // namespace lotec

@@ -1,0 +1,85 @@
+// Report: plain-text table/series printing for the benchmark harnesses.
+//
+// Each figure bench prints the same rows/series the paper's figure plots
+// (x-axis label + one column per protocol) plus a CSV block for plotting.
+#pragma once
+
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace lotec {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {}
+
+  Table& row(std::vector<std::string> cells) {
+    rows_.push_back(std::move(cells));
+    return *this;
+  }
+
+  /// Render with aligned columns.
+  void print(std::ostream& os = std::cout) const {
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t i = 0; i < headers_.size(); ++i)
+      widths[i] = headers_[i].size();
+    for (const auto& r : rows_)
+      for (std::size_t i = 0; i < r.size() && i < widths.size(); ++i)
+        widths[i] = std::max(widths[i], r[i].size());
+    const auto line = [&](const std::vector<std::string>& cells) {
+      for (std::size_t i = 0; i < headers_.size(); ++i) {
+        const std::string& c = i < cells.size() ? cells[i] : empty_;
+        os << (i == 0 ? "" : "  ") << std::setw(static_cast<int>(widths[i]))
+           << (i == 0 ? std::left : std::right) << c;
+        os << std::right;
+      }
+      os << '\n';
+    };
+    line(headers_);
+    std::string rule;
+    for (std::size_t i = 0; i < headers_.size(); ++i)
+      rule += std::string(widths[i], '-') + (i + 1 < headers_.size() ? "  " : "");
+    os << rule << '\n';
+    for (const auto& r : rows_) line(r);
+  }
+
+  /// Render as CSV (for external plotting).
+  void print_csv(std::ostream& os = std::cout) const {
+    const auto csv_line = [&](const std::vector<std::string>& cells) {
+      for (std::size_t i = 0; i < cells.size(); ++i)
+        os << (i ? "," : "") << cells[i];
+      os << '\n';
+    };
+    csv_line(headers_);
+    for (const auto& r : rows_) csv_line(r);
+  }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+  std::string empty_;
+};
+
+[[nodiscard]] inline std::string fmt_u64(std::uint64_t v) {
+  return std::to_string(v);
+}
+
+[[nodiscard]] inline std::string fmt_double(double v, int precision = 1) {
+  std::ostringstream oss;
+  oss << std::fixed << std::setprecision(precision) << v;
+  return oss.str();
+}
+
+[[nodiscard]] inline std::string fmt_percent(double ratio, int precision = 1) {
+  return fmt_double(ratio * 100.0, precision) + "%";
+}
+
+inline void print_section(const std::string& title, std::ostream& os = std::cout) {
+  os << '\n' << "== " << title << " ==\n";
+}
+
+}  // namespace lotec

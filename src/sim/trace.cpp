@@ -1,0 +1,67 @@
+#include "sim/trace.hpp"
+
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace lotec {
+
+void dump_trace_csv(const std::vector<TraceEvent>& events, std::ostream& os) {
+  os << "seq,kind,src,dst,object,payload_bytes,total_bytes\n";
+  for (const TraceEvent& e : events) {
+    os << e.seq << ',' << to_string(e.kind) << ',' << e.src.value() << ','
+       << e.dst.value() << ',';
+    if (e.object.valid())
+      os << e.object.value();
+    else
+      os << "-";
+    os << ',' << e.payload_bytes << ',' << e.total_bytes << '\n';
+  }
+}
+
+namespace {
+
+MessageKind parse_kind(const std::string& name) {
+  for (std::size_t k = 0; k < static_cast<std::size_t>(MessageKind::kNumKinds);
+       ++k) {
+    const auto kind = static_cast<MessageKind>(k);
+    if (to_string(kind) == name) return kind;
+  }
+  throw UsageError("trace CSV: unknown message kind '" + name + "'");
+}
+
+std::vector<std::string> split_csv_line(const std::string& line) {
+  std::vector<std::string> out;
+  std::stringstream ss(line);
+  std::string cell;
+  while (std::getline(ss, cell, ',')) out.push_back(cell);
+  return out;
+}
+
+}  // namespace
+
+std::vector<TraceEvent> load_trace_csv(std::istream& is) {
+  std::string line;
+  if (!std::getline(is, line) ||
+      line != "seq,kind,src,dst,object,payload_bytes,total_bytes")
+    throw UsageError("trace CSV: missing or unexpected header");
+  std::vector<TraceEvent> out;
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    const auto cells = split_csv_line(line);
+    if (cells.size() != 7)
+      throw UsageError("trace CSV: malformed row '" + line + "'");
+    TraceEvent e;
+    e.seq = std::stoull(cells[0]);
+    e.kind = parse_kind(cells[1]);
+    e.src = NodeId(static_cast<std::uint32_t>(std::stoul(cells[2])));
+    e.dst = NodeId(static_cast<std::uint32_t>(std::stoul(cells[3])));
+    if (cells[4] != "-") e.object = ObjectId(std::stoull(cells[4]));
+    e.payload_bytes = std::stoull(cells[5]);
+    e.total_bytes = std::stoull(cells[6]);
+    out.push_back(e);
+  }
+  return out;
+}
+
+}  // namespace lotec

@@ -1,0 +1,20 @@
+// Trace CSV serialization: dump a recorded message trace for external
+// analysis (or tools/trace_report) and parse it back.
+#pragma once
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "net/net_stats.hpp"
+
+namespace lotec {
+
+/// Write `events` as CSV with a header row.
+void dump_trace_csv(const std::vector<TraceEvent>& events, std::ostream& os);
+
+/// Parse a CSV produced by dump_trace_csv.  Throws UsageError on malformed
+/// input.
+[[nodiscard]] std::vector<TraceEvent> load_trace_csv(std::istream& is);
+
+}  // namespace lotec

@@ -1,0 +1,27 @@
+// Quiescent-state validation: system-wide invariants that must hold on a
+// Cluster once no transactions are running.
+//
+//   1. Every GDO lock is free: no holder families, no waiters (all
+//      transactions released their locks).
+//   2. The page map is honest: the site named as owner of a page holds a
+//      resident copy of it at exactly the mapped version.
+//   3. No site holds a page whose version EXCEEDS the mapped newest version
+//      (nobody is "ahead" of the directory).
+//   4. No dirty bits linger anywhere (dirty pages only exist while the
+//      writing family holds the lock).
+//   5. No pinned objects remain at any node.
+//
+// Returns a list of human-readable violations (empty = all invariants
+// hold); tests assert emptiness, tools can print them.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "runtime/cluster.hpp"
+
+namespace lotec {
+
+[[nodiscard]] std::vector<std::string> validate_quiescent(Cluster& cluster);
+
+}  // namespace lotec

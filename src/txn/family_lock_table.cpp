@@ -1,0 +1,159 @@
+#include "txn/family_lock_table.hpp"
+
+#include <algorithm>
+
+namespace lotec {
+
+LocalAcquireOutcome FamilyLockTable::try_local_acquire(const Transaction& txn,
+                                                       ObjectId obj,
+                                                       LockMode mode) {
+  const auto it = locks_.find(obj);
+  if (it == locks_.end()) {
+    // "IF the object is not [locked] at this site THEN forward to
+    //  GlobalLockAcquisition."
+    return LocalAcquireOutcome::kNeedGlobal;
+  }
+  LocalLock& lock = it->second;
+  const std::uint32_t serial = txn.id().serial;
+
+  // The mutual-recursion preclusion check (Section 3.4, verified at run
+  // time): granting would require waiting on an ancestor that cannot
+  // release until we finish.  A pure read over ancestors' read locks is the
+  // one benign case Algorithm 4.1 grants.
+  const bool write_involved = mode == LockMode::kWrite ||
+                              lock.held_for_write();
+  for (const auto& [holder_serial, holder_mode] : lock.holders) {
+    if (holder_serial == serial) continue;  // re-entrant, handled below
+    if (txn.is_self_or_ancestor(holder_serial) && write_involved) {
+      throw RecursiveInvocationError(
+          obj, txn.id(), TxnId{txn.id().family, holder_serial});
+    }
+  }
+
+  // A write request against a family-level read lock needs a GDO upgrade
+  // before any local grant is meaningful (other families may share the read
+  // lock right now).
+  if (mode == LockMode::kWrite && lock.global_mode == LockMode::kRead)
+    return LocalAcquireOutcome::kNeedUpgrade;
+
+  if (lock.holds(serial)) {
+    // Already holding (a transaction re-touching its own object); nothing
+    // to do.  Upgrade of our own local mode:
+    if (mode == LockMode::kWrite) {
+      for (auto& [s, m] : lock.holders)
+        if (s == serial) m = LockMode::kWrite;
+    }
+    return LocalAcquireOutcome::kGranted;
+  }
+
+  if (!lock.held()) {
+    // "IF the lock is retained by an ancestor of the requester THEN grant."
+    // Rule 1 requires *all* retainers to be ancestors of the requester.
+    for (const std::uint32_t r : lock.retainers) {
+      if (!txn.is_self_or_ancestor(r))
+        throw UsageError(
+            "FamilyLockTable: lock retained by a non-ancestor transaction — "
+            "intra-family sibling concurrency is not supported");
+    }
+    lock.holders.emplace_back(serial, mode);
+    return LocalAcquireOutcome::kGranted;
+  }
+
+  // Held by other member(s) of the family.  Ancestor-held write conflicts
+  // were precluded above; what remains is read sharing ("ELSE grant the
+  // Read lock to the requesting transaction").
+  if (!write_involved) {
+    lock.holders.emplace_back(serial, LockMode::kRead);
+    return LocalAcquireOutcome::kGranted;
+  }
+
+  // A conflicting sibling holder would mean concurrent sibling execution,
+  // which this runtime (like the paper's simulator) does not schedule.
+  throw UsageError(
+      "FamilyLockTable: conflicting lock held by a sibling transaction — "
+      "intra-family sibling concurrency is not supported");
+}
+
+void FamilyLockTable::on_global_grant(const Transaction& txn, ObjectId obj,
+                                      LockMode mode, bool upgrade) {
+  const std::uint32_t serial = txn.id().serial;
+  if (upgrade) {
+    const auto it = locks_.find(obj);
+    if (it == locks_.end())
+      throw UsageError("FamilyLockTable: upgrade grant for unknown object");
+    it->second.global_mode = LockMode::kWrite;
+    if (!it->second.holds(serial))
+      it->second.holders.emplace_back(serial, LockMode::kWrite);
+    else
+      for (auto& [s, m] : it->second.holders)
+        if (s == serial) m = LockMode::kWrite;
+    return;
+  }
+  auto [it, inserted] = locks_.try_emplace(obj);
+  if (!inserted)
+    throw UsageError("FamilyLockTable: duplicate global grant");
+  it->second.global_mode = mode;
+  it->second.holders.emplace_back(serial, mode);
+}
+
+void FamilyLockTable::on_prefetch_grant(const Transaction& root, ObjectId obj,
+                                        LockMode mode) {
+  if (root.parent() != nullptr)
+    throw UsageError("FamilyLockTable: prefetch grants belong to the root");
+  auto [it, inserted] = locks_.try_emplace(obj);
+  if (!inserted)
+    throw UsageError("FamilyLockTable: duplicate prefetch grant");
+  it->second.global_mode = mode;
+  it->second.retainers.insert(root.id().serial);
+}
+
+void FamilyLockTable::on_pre_commit(const Transaction& txn) {
+  if (txn.parent() == nullptr)
+    throw UsageError("FamilyLockTable::on_pre_commit: root has no parent");
+  const std::uint32_t serial = txn.id().serial;
+  const std::uint32_t parent = txn.parent()->id().serial;
+  for (auto& [obj, lock] : locks_) {
+    // Held locks are inherited and *retained* by the parent (rule 3) —
+    // note the parent retains rather than holds; if it needs to access the
+    // object itself it re-acquires from its own retention.
+    const auto h = std::find_if(lock.holders.begin(), lock.holders.end(),
+                                [&](const auto& p) { return p.first == serial; });
+    if (h != lock.holders.end()) {
+      lock.holders.erase(h);
+      lock.retainers.insert(parent);
+    }
+    // Retained locks pass up as well.
+    if (lock.retainers.erase(serial) > 0) lock.retainers.insert(parent);
+  }
+}
+
+std::vector<ObjectId> FamilyLockTable::on_abort(const Transaction& txn) {
+  const std::uint32_t serial = txn.id().serial;
+  std::vector<ObjectId> to_release;
+  for (auto it = locks_.begin(); it != locks_.end();) {
+    LocalLock& lock = it->second;
+    const auto h = std::find_if(lock.holders.begin(), lock.holders.end(),
+                                [&](const auto& p) { return p.first == serial; });
+    const bool touched = h != lock.holders.end() ||
+                         lock.retainers.count(serial) > 0;
+    if (h != lock.holders.end()) lock.holders.erase(h);
+    lock.retainers.erase(serial);
+    if (touched && lock.holders.empty() && lock.retainers.empty()) {
+      // Rule 4: not retained by any ancestor — release to other families.
+      to_release.push_back(it->first);
+      it = locks_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return to_release;
+}
+
+std::vector<ObjectId> FamilyLockTable::all_objects() const {
+  std::vector<ObjectId> out;
+  out.reserve(locks_.size());
+  for (const auto& [obj, lock] : locks_) out.push_back(obj);
+  return out;
+}
+
+}  // namespace lotec

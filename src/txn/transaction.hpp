@@ -1,0 +1,138 @@
+// Transaction: one node of a nested object transaction tree.
+//
+// In the paper's model (Section 3.3) every method invocation on a shared
+// object is a [sub-]transaction: a user invocation creates a root, an
+// invocation made from inside a transaction creates a child.  The 1:1
+// mapping produces the family's tree structure.  Unlike Moss' model, any
+// level of the tree (not just leaves) accesses data — the data of the object
+// whose method the transaction executes.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/ids.hpp"
+#include "page/undo_log.hpp"
+
+namespace lotec {
+
+enum class TxnState : std::uint8_t {
+  kActive,
+  kPreCommitted,  ///< sub-transaction committed; effects visible to family
+  kCommitted,     ///< root committed; effects visible to everyone
+  kAborted
+};
+
+[[nodiscard]] constexpr const char* to_string(TxnState s) noexcept {
+  switch (s) {
+    case TxnState::kActive: return "active";
+    case TxnState::kPreCommitted: return "pre-committed";
+    case TxnState::kCommitted: return "committed";
+    case TxnState::kAborted: return "aborted";
+  }
+  return "?";
+}
+
+class Transaction {
+ public:
+  Transaction(TxnId id, Transaction* parent, ObjectId target,
+              MethodId method, UndoStrategy undo_strategy)
+      : id_(id),
+        parent_(parent),
+        target_(target),
+        method_(method),
+        undo_(undo_strategy) {}
+
+  Transaction(const Transaction&) = delete;
+  Transaction& operator=(const Transaction&) = delete;
+
+  [[nodiscard]] const TxnId& id() const noexcept { return id_; }
+  [[nodiscard]] Transaction* parent() const noexcept { return parent_; }
+  [[nodiscard]] bool is_root() const noexcept { return parent_ == nullptr; }
+  [[nodiscard]] ObjectId target() const noexcept { return target_; }
+  [[nodiscard]] MethodId method() const noexcept { return method_; }
+  [[nodiscard]] TxnState state() const noexcept { return state_; }
+  [[nodiscard]] UndoLog& undo() noexcept { return undo_; }
+  [[nodiscard]] const UndoLog& undo() const noexcept { return undo_; }
+
+  [[nodiscard]] const std::vector<std::unique_ptr<Transaction>>& children()
+      const noexcept {
+    return children_;
+  }
+
+  /// Nesting depth (root = 0).
+  [[nodiscard]] std::size_t depth() const noexcept {
+    std::size_t d = 0;
+    for (const Transaction* t = parent_; t != nullptr; t = t->parent_) ++d;
+    return d;
+  }
+
+  /// True if `serial` identifies this transaction or one of its ancestors.
+  /// This is the per-invocation check the paper prices at "overhead
+  /// proportional to the depth of transaction nesting".
+  [[nodiscard]] bool is_self_or_ancestor(std::uint32_t serial) const noexcept {
+    for (const Transaction* t = this; t != nullptr; t = t->parent_)
+      if (t->id_.serial == serial) return true;
+    return false;
+  }
+
+  /// Spawn a child transaction (a sub-invocation).
+  Transaction& add_child(TxnId id, ObjectId target, MethodId method,
+                         UndoStrategy undo_strategy) {
+    if (state_ != TxnState::kActive)
+      throw UsageError("Transaction: cannot invoke from a finished txn");
+    children_.push_back(std::make_unique<Transaction>(id, this, target, method,
+                                                      undo_strategy));
+    return *children_.back();
+  }
+
+  /// Sub-transaction pre-commit: mark state and hand the undo records to the
+  /// parent (closed nesting: a later ancestor abort must also undo this
+  /// child's committed work).  Lock disposition is FamilyLockTable's job.
+  void pre_commit() {
+    if (state_ != TxnState::kActive)
+      throw UsageError("Transaction::pre_commit: not active");
+    if (parent_ == nullptr)
+      throw UsageError("Transaction::pre_commit: roots commit, not pre-commit");
+    for (const auto& c : children_)
+      if (c->state_ == TxnState::kActive)
+        throw UsageError(
+            "Transaction::pre_commit: a child is still active (rule 3: a "
+            "transaction cannot pre-commit until all sub-transactions have)");
+    state_ = TxnState::kPreCommitted;
+    parent_->undo_.absorb(std::move(undo_));
+  }
+
+  /// Root commit: discard undo information.
+  void commit_root() {
+    if (state_ != TxnState::kActive || parent_ != nullptr)
+      throw UsageError("Transaction::commit_root: not an active root");
+    for (const auto& c : children_)
+      if (c->state_ == TxnState::kActive)
+        throw UsageError("Transaction::commit_root: a child is still active");
+    state_ = TxnState::kCommitted;
+    undo_.clear();
+  }
+
+  /// Abort: roll back this transaction's effects (its own writes plus any
+  /// absorbed from pre-committed children).  `resolve` maps object ids to
+  /// the local images.  No network communication (Section 4.1).
+  void abort(const std::function<ObjectImage&(ObjectId)>& resolve) {
+    if (state_ != TxnState::kActive)
+      throw UsageError("Transaction::abort: not active");
+    state_ = TxnState::kAborted;
+    undo_.undo(resolve);
+  }
+
+ private:
+  TxnId id_;
+  Transaction* parent_;
+  ObjectId target_;
+  MethodId method_;
+  TxnState state_ = TxnState::kActive;
+  UndoLog undo_;
+  std::vector<std::unique_ptr<Transaction>> children_;
+};
+
+}  // namespace lotec

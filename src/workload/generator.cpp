@@ -1,0 +1,249 @@
+#include "workload/generator.hpp"
+
+#include <algorithm>
+#include <string>
+
+namespace lotec {
+
+namespace {
+
+/// Draw `count` distinct values from [0, n) (count <= n), sorted.
+std::vector<std::uint32_t> draw_distinct(Rng& rng, std::size_t n,
+                                         std::size_t count) {
+  std::vector<std::uint32_t> pool(n);
+  for (std::size_t i = 0; i < n; ++i)
+    pool[i] = static_cast<std::uint32_t>(i);
+  // Partial Fisher-Yates.
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::size_t j = i + static_cast<std::size_t>(rng.below(n - i));
+    std::swap(pool[i], pool[j]);
+  }
+  pool.resize(count);
+  std::sort(pool.begin(), pool.end());
+  return pool;
+}
+
+AttrSet to_attr_set(const std::vector<std::uint32_t>& ids) {
+  std::vector<AttrId> attrs;
+  attrs.reserve(ids.size());
+  for (const std::uint32_t id : ids) attrs.push_back(AttrId(id));
+  return AttrSet(std::move(attrs));
+}
+
+}  // namespace
+
+MethodBody make_script_body(
+    AttrSet reads, AttrSet writes,
+    std::shared_ptr<const std::vector<ObjectId>> object_ids) {
+  return [reads = std::move(reads), writes = std::move(writes),
+          object_ids = std::move(object_ids)](MethodContext& ctx) {
+    const auto* script = static_cast<const FamilyScript*>(ctx.user_data());
+    if (script == nullptr)
+      throw UsageError("script body invoked without a FamilyScript payload");
+    const ScriptNode& node = script->nodes.at(ctx.txn().serial);
+
+    // Perform the declared accesses: read every declared read, read-modify-
+    // write every declared write.  The write covers the WHOLE attribute
+    // (the update breadth real methods have): the first 8 bytes carry a
+    // deterministic value the test oracles can recompute, the remainder a
+    // pattern byte derived from it.
+    std::int64_t acc = 0;
+    for (const AttrId a : reads.items()) acc += ctx.get<std::int64_t>(a);
+    for (const AttrId a : writes.items()) {
+      const std::int64_t old = ctx.get<std::int64_t>(a);
+      const std::int64_t next = old + 1 + (acc & 1);
+      const std::uint32_t size = ctx.cls().layout().attribute(a).size_bytes;
+      std::vector<std::byte> buf(size,
+                                 static_cast<std::byte>(next & 0xFF));
+      encode_value(std::span<std::byte>(buf.data(), 8), next);
+      ctx.write_raw(a, buf);
+    }
+
+    if (node.inject_abort) ctx.fail_injected();
+
+    for (const std::size_t child_index : node.children) {
+      const ScriptNode& child = script->nodes.at(child_index);
+      // A failing child is observed and tolerated (Moss semantics).
+      (void)ctx.invoke(object_ids->at(child.object), child.method);
+    }
+  };
+}
+
+Workload::Workload(const WorkloadSpec& spec) : spec_(spec) {
+  if (spec_.num_objects == 0 || spec_.num_transactions == 0)
+    throw UsageError("WorkloadSpec: objects and transactions must be > 0");
+  if (spec_.min_pages == 0 || spec_.min_pages > spec_.max_pages)
+    throw UsageError("WorkloadSpec: bad page range");
+  if (spec_.attrs_per_page == 0)
+    throw UsageError("WorkloadSpec: attrs_per_page must be > 0");
+  Rng rng(spec_.seed);
+  generate_population(rng);
+  generate_scripts(rng);
+}
+
+void Workload::generate_population(Rng& rng) {
+  classes_.resize(spec_.num_objects);
+  for (auto& cls : classes_) {
+    cls.pages = spec_.min_pages +
+                static_cast<std::size_t>(
+                    rng.below(spec_.max_pages - spec_.min_pages + 1));
+    cls.num_attrs = cls.pages * spec_.attrs_per_page;
+    cls.methods.resize(spec_.methods_per_class);
+    for (auto& m : cls.methods) {
+      const std::size_t touched = std::max<std::size_t>(
+          1, static_cast<std::size_t>(spec_.touched_attr_fraction *
+                                      static_cast<double>(cls.num_attrs) +
+                                      0.5));
+      const auto attrs =
+          draw_distinct(rng, cls.num_attrs, std::min(touched, cls.num_attrs));
+
+      if (rng.chance(spec_.read_method_fraction)) {
+        m.reads = to_attr_set(attrs);
+      } else {
+        // Split touched attrs into written and read-only parts.
+        std::size_t writes = std::max<std::size_t>(
+            1, static_cast<std::size_t>(spec_.write_fraction *
+                                        static_cast<double>(attrs.size()) +
+                                        0.5));
+        writes = std::min(writes, attrs.size());
+        std::vector<std::uint32_t> w(attrs.begin(),
+                                     attrs.begin() +
+                                         static_cast<std::ptrdiff_t>(writes));
+        std::vector<std::uint32_t> r(attrs.begin() +
+                                         static_cast<std::ptrdiff_t>(writes),
+                                     attrs.end());
+        m.writes = to_attr_set(w);
+        m.reads = to_attr_set(r);
+      }
+
+      if (spec_.prediction_coverage < 1.0) {
+        const AttrSet touched_set = m.reads.united(m.writes);
+        std::size_t keep = std::max<std::size_t>(
+            1, static_cast<std::size_t>(spec_.prediction_coverage *
+                                        static_cast<double>(
+                                            touched_set.size()) +
+                                        0.5));
+        keep = std::min(keep, touched_set.size());
+        std::vector<AttrId> hint(touched_set.items().begin(),
+                                 touched_set.items().begin() +
+                                     static_cast<std::ptrdiff_t>(keep));
+        m.prediction_hint = AttrSet(std::move(hint));
+      }
+    }
+  }
+}
+
+void Workload::generate_scripts(Rng& rng) {
+  const ZipfSampler sampler(spec_.num_objects, spec_.contention_theta);
+  scripts_.reserve(spec_.num_transactions);
+  for (std::size_t i = 0; i < spec_.num_transactions; ++i) {
+    auto script = std::make_shared<FamilyScript>();
+    std::vector<std::size_t> path;
+    emit_script_node(*script, rng, sampler, sampler.draw(rng), 0, path);
+    scripts_.push_back(std::move(script));
+  }
+}
+
+std::size_t Workload::emit_script_node(FamilyScript& script, Rng& rng,
+                                       const ZipfSampler& sampler,
+                                       std::size_t object, std::size_t depth,
+                                       std::vector<std::size_t>& path) {
+  const std::size_t index = script.nodes.size();
+  script.nodes.emplace_back();
+
+  ScriptNode node;
+  node.object = object;
+  node.method = MethodId(static_cast<std::uint32_t>(
+      rng.below(classes_.at(object).methods.size())));
+  // Children only below the root's level budget; injected failures are
+  // leaves placed before any child work so pre-order serials stay aligned
+  // with the runtime's serial assignment.
+  node.inject_abort = depth > 0 && rng.chance(spec_.abort_probability);
+
+  if (!node.inject_abort && depth < spec_.max_depth) {
+    path.push_back(object);
+    for (std::size_t k = 0; k < spec_.max_children; ++k) {
+      if (!rng.chance(spec_.child_probability)) continue;
+      // Choose a child target not on the ancestor path (the paper's model
+      // precludes mutually recursive invocations).  Hierarchical mode
+      // additionally restricts children to higher-indexed objects.
+      std::size_t target = 0;
+      bool found = false;
+      for (int attempt = 0; attempt < 8; ++attempt) {
+        if (spec_.hierarchical_targets) {
+          if (object + 1 >= classes_.size()) break;
+          // Skewed toward the shallow (hot) end of the remaining range.
+          const std::size_t span = classes_.size() - (object + 1);
+          target = object + 1 + rng.zipf(span, spec_.contention_theta);
+        } else {
+          target = sampler.draw(rng);
+        }
+        if (std::find(path.begin(), path.end(), target) == path.end()) {
+          found = true;
+          break;
+        }
+      }
+      if (!found) continue;
+      const std::size_t child_index =
+          emit_script_node(script, rng, sampler, target, depth + 1, path);
+      node.children.push_back(child_index);
+    }
+    path.pop_back();
+  }
+
+  script.nodes[index] = std::move(node);
+  return index;
+}
+
+std::vector<RootRequest> Workload::instantiate(Cluster& cluster) const {
+  const std::uint32_t page_size = cluster.config().page_size;
+  if (page_size % static_cast<std::uint32_t>(spec_.attrs_per_page) != 0)
+    throw UsageError("Workload: page_size must be divisible by attrs_per_page");
+  const std::uint32_t attr_size =
+      page_size / static_cast<std::uint32_t>(spec_.attrs_per_page);
+  if (attr_size % 8 != 0)
+    throw UsageError(
+        "Workload: page_size / attrs_per_page must be a multiple of 8 so "
+        "attributes pack pages exactly");
+
+  auto object_ids = std::make_shared<std::vector<ObjectId>>();
+  object_ids->reserve(classes_.size());
+
+  for (std::size_t i = 0; i < classes_.size(); ++i) {
+    const ClassPlan& plan = classes_[i];
+    ClassBuilder builder("WorkObj" + std::to_string(i) + "_" +
+                             std::to_string(cluster.config().seed),
+                         page_size);
+    for (std::size_t a = 0; a < plan.num_attrs; ++a)
+      builder.attribute("a" + std::to_string(a), attr_size);
+    for (std::size_t m = 0; m < plan.methods.size(); ++m) {
+      const MethodPlan& mp = plan.methods[m];
+      builder.method_ids(
+          "m" + std::to_string(m), mp.reads, mp.writes,
+          make_script_body(mp.reads, mp.writes, object_ids),
+          /*may_access_undeclared=*/false, mp.prediction_hint);
+    }
+    const ClassId cls = cluster.define_class(builder);
+    object_ids->push_back(cluster.create_object(cls));
+  }
+
+  std::vector<RootRequest> requests;
+  requests.reserve(scripts_.size());
+  for (const auto& script : scripts_) {
+    const ScriptNode& root = script->nodes.front();
+    RootRequest req;
+    req.object = object_ids->at(root.object);
+    req.method = root.method;
+    req.user_data = std::shared_ptr<const void>(script, script.get());
+    requests.push_back(std::move(req));
+  }
+  return requests;
+}
+
+std::size_t Workload::total_script_nodes() const noexcept {
+  std::size_t n = 0;
+  for (const auto& s : scripts_) n += s->nodes.size();
+  return n;
+}
+
+}  // namespace lotec

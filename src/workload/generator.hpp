@@ -1,0 +1,91 @@
+// Workload generator: builds a reproducible population of classes, objects
+// and nested-transaction scripts from a WorkloadSpec, and instantiates it
+// on a Cluster.
+//
+// The same Workload instantiated on two clusters (e.g. one per protocol)
+// creates identical schemas, identical objects with identical placement and
+// identical invocation scripts — the only variable is the consistency
+// protocol, which is exactly the comparison the paper's simulation makes.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "runtime/cluster.hpp"
+#include "workload/spec.hpp"
+
+namespace lotec {
+
+/// One node of a family's invocation script, flattened in pre-order so that
+/// a transaction's serial number indexes its node directly.
+struct ScriptNode {
+  std::size_t object = 0;   ///< index into the workload's object list
+  MethodId method{};        ///< method variant on that object's class
+  bool inject_abort = false;
+  /// Pre-order indices (== future transaction serials) of the children.
+  std::vector<std::size_t> children;
+};
+
+/// A family's whole script; hung on RootRequest::user_data.
+struct FamilyScript {
+  std::vector<ScriptNode> nodes;  // nodes[0] is the root
+};
+
+class Workload {
+ public:
+  /// Generate the population (classes, object plan, scripts).
+  explicit Workload(const WorkloadSpec& spec);
+
+  /// Create the classes and objects on `cluster` and return the executable
+  /// root requests.  Call once per (fresh) cluster.
+  [[nodiscard]] std::vector<RootRequest> instantiate(Cluster& cluster) const;
+
+  [[nodiscard]] const WorkloadSpec& spec() const noexcept { return spec_; }
+  [[nodiscard]] std::size_t num_objects() const noexcept {
+    return classes_.size();
+  }
+  [[nodiscard]] std::size_t object_pages(std::size_t object) const {
+    return classes_.at(object).pages;
+  }
+  [[nodiscard]] const std::vector<std::shared_ptr<FamilyScript>>& scripts()
+      const noexcept {
+    return scripts_;
+  }
+
+  /// Total script nodes (expected transactions) across all families.
+  [[nodiscard]] std::size_t total_script_nodes() const noexcept;
+
+ private:
+  struct MethodPlan {
+    AttrSet reads;
+    AttrSet writes;
+    std::optional<AttrSet> prediction_hint;
+  };
+  /// One class per object (maximizes reference-pattern variety).
+  struct ClassPlan {
+    std::size_t pages = 1;
+    std::size_t num_attrs = 1;
+    std::vector<MethodPlan> methods;
+  };
+
+  void generate_population(Rng& rng);
+  void generate_scripts(Rng& rng);
+  std::size_t emit_script_node(FamilyScript& script, Rng& rng,
+                               const ZipfSampler& sampler, std::size_t object,
+                               std::size_t depth,
+                               std::vector<std::size_t>& path);
+
+  WorkloadSpec spec_;
+  std::vector<ClassPlan> classes_;
+  std::vector<std::shared_ptr<FamilyScript>> scripts_;
+};
+
+/// The generic method body shared by all generated variants: performs the
+/// declared accesses, then replays the script node's children, then
+/// (injection leaves) aborts.  `object_ids` is filled during instantiate().
+[[nodiscard]] MethodBody make_script_body(
+    AttrSet reads, AttrSet writes,
+    std::shared_ptr<const std::vector<ObjectId>> object_ids);
+
+}  // namespace lotec

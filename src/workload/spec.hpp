@@ -1,0 +1,61 @@
+// WorkloadSpec: the knobs of the paper's randomized nested-object-
+// transaction workload ("we varied the number of objects, the size of the
+// objects (in units of pages) and the number of transactions in order to
+// achieve a range of conflict scenarios", Section 5).
+#pragma once
+
+#include <cstdint>
+
+namespace lotec {
+
+struct WorkloadSpec {
+  // --- object population ---------------------------------------------------
+  std::size_t num_objects = 20;
+  /// Object sizes drawn uniformly from [min_pages, max_pages].
+  std::size_t min_pages = 1;
+  std::size_t max_pages = 5;
+  /// Attributes per page of object data (attribute granularity).
+  std::size_t attrs_per_page = 4;
+
+  // --- method population ---------------------------------------------------
+  /// Randomized method variants generated per class.
+  std::size_t methods_per_class = 6;
+  /// Fraction of an object's attributes a method variant touches.
+  double touched_attr_fraction = 0.4;
+  /// Of the touched attributes, the fraction that is written (the rest are
+  /// read-only accesses).
+  double write_fraction = 0.6;
+  /// Fraction of method variants that are pure readers (no writes at all),
+  /// producing shared read locks.
+  double read_method_fraction = 0.2;
+  /// Prediction quality: 1.0 = perfectly conservative prediction (the
+  /// paper's default).  Below 1.0 installs an aggressive prediction hint
+  /// covering only this fraction of the accessed attributes; the rest are
+  /// demand-fetched under LOTEC (Section 5.1's aggressive prediction).
+  double prediction_coverage = 1.0;
+
+  // --- transaction population -----------------------------------------------
+  std::size_t num_transactions = 200;
+  /// Maximum nesting depth of generated invocation scripts (root = depth 0).
+  std::size_t max_depth = 3;
+  /// Probability that a non-leaf script node spawns each potential child.
+  double child_probability = 0.45;
+  std::size_t max_children = 3;
+  /// Zipf skew over objects: 0 = uniform, larger = hotter hot set (drives
+  /// the paper's "high contention" scenarios).
+  double contention_theta = 0.0;
+  /// Probability that a generated child is an injected-failure leaf (its
+  /// sub-transaction aborts; the parent carries on).
+  double abort_probability = 0.0;
+  /// Hierarchical invocation structure (the CAD-style domain the paper was
+  /// originally developed for: assemblies invoke sub-components): a child
+  /// target is always a higher-indexed object than its parent, which keeps
+  /// cross-family lock orders mostly consistent.  Occasional deadlocks
+  /// (sibling-order inversions, upgrades) still occur and exercise the
+  /// detector.  When false, child targets are drawn freely.
+  bool hierarchical_targets = true;
+
+  std::uint64_t seed = 1;
+};
+
+}  // namespace lotec

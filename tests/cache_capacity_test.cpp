@@ -1,0 +1,132 @@
+// Bounded caches: eviction under pressure must never lose data (the
+// authoritative newest copy of a page is unevictable), locked objects stay
+// pinned, and final states match an unbounded run.
+#include <gtest/gtest.h>
+
+#include "runtime/cluster.hpp"
+#include "sim/experiment.hpp"
+#include "workload/generator.hpp"
+
+namespace lotec {
+namespace {
+
+ClusterConfig capped_config(std::size_t capacity) {
+  ClusterConfig cfg;
+  cfg.nodes = 4;
+  cfg.protocol = ProtocolKind::kLotec;
+  cfg.page_size = 64;
+  cfg.seed = 21;
+  cfg.cache_capacity_pages = capacity;
+  return cfg;
+}
+
+ClassBuilder wide_class(std::uint32_t page_size, int pages) {
+  ClassBuilder b("Wide" + std::to_string(pages), page_size);
+  for (int p = 0; p < pages; ++p)
+    b.attribute("a" + std::to_string(p), page_size);
+  std::vector<std::string> all;
+  for (int p = 0; p < pages; ++p) all.push_back("a" + std::to_string(p));
+  b.method("touch_all", all, all, [pages](MethodContext& ctx) {
+    for (int p = 0; p < pages; ++p) {
+      const std::string attr = "a" + std::to_string(p);
+      ctx.set<std::int64_t>(attr, ctx.get<std::int64_t>(attr) + 1);
+    }
+  });
+  return b;
+}
+
+TEST(CacheCapacityTest, EvictionKeepsResultsCorrect) {
+  const auto run = [](std::size_t capacity) {
+    Cluster cluster(capped_config(capacity));
+    const ClassId cls = cluster.define_class(wide_class(64, 6));
+    std::vector<ObjectId> objs;
+    for (int i = 0; i < 5; ++i)
+      objs.push_back(cluster.create_object(cls, NodeId(0)));
+    // Rotate each object through all nodes several times; with a small
+    // budget each acquisition evicts the previous object's pages.
+    for (int round = 0; round < 3; ++round)
+      for (const ObjectId obj : objs)
+        for (std::uint32_t n = 1; n < 4; ++n) {
+          const TxnResult r = cluster.run_root(obj, "touch_all", NodeId(n));
+          EXPECT_TRUE(r.committed);
+        }
+    std::vector<std::int64_t> state;
+    for (const ObjectId obj : objs)
+      for (int p = 0; p < 6; ++p)
+        state.push_back(
+            cluster.peek<std::int64_t>(obj, "a" + std::to_string(p)));
+    return std::pair(state, cluster.total_evicted_pages());
+  };
+
+  const auto [unbounded_state, unbounded_evictions] = run(0);
+  const auto [capped_state, capped_evictions] = run(8);
+  EXPECT_EQ(unbounded_evictions, 0u);
+  EXPECT_GT(capped_evictions, 0u);
+  EXPECT_EQ(unbounded_state, capped_state);
+  for (const std::int64_t v : unbounded_state) EXPECT_EQ(v, 9);
+}
+
+TEST(CacheCapacityTest, OwnerPagesAreNeverEvicted) {
+  Cluster cluster(capped_config(2));  // brutally small
+  const ClassId cls = cluster.define_class(wide_class(64, 4));
+  const ObjectId a = cluster.create_object(cls, NodeId(0));
+  const ObjectId b = cluster.create_object(cls, NodeId(0));
+  // Node 1 becomes the authoritative owner of both objects' pages (8 pages
+  // > capacity 2), so nothing there is evictable and peeks still work.
+  ASSERT_TRUE(cluster.run_root(a, "touch_all", NodeId(1)).committed);
+  ASSERT_TRUE(cluster.run_root(b, "touch_all", NodeId(1)).committed);
+  for (int p = 0; p < 4; ++p) {
+    EXPECT_EQ(cluster.peek<std::int64_t>(a, "a" + std::to_string(p)), 1);
+    EXPECT_EQ(cluster.peek<std::int64_t>(b, "a" + std::to_string(p)), 1);
+  }
+}
+
+TEST(CacheCapacityTest, WorkloadSurvivesTightCaches) {
+  WorkloadSpec spec;
+  spec.num_objects = 8;
+  spec.min_pages = 2;
+  spec.max_pages = 5;
+  spec.num_transactions = 50;
+  spec.contention_theta = 0.6;
+  spec.seed = 44;
+  const Workload workload(spec);
+
+  ClusterConfig cfg;
+  cfg.nodes = 4;
+  cfg.page_size = 256;
+  cfg.protocol = ProtocolKind::kOtec;
+  cfg.seed = 2;
+  cfg.cache_capacity_pages = 6;
+  Cluster cluster(cfg);
+  const auto results = cluster.execute(workload.instantiate(cluster));
+  for (const auto& r : results) EXPECT_TRUE(r.committed);
+  EXPECT_GT(cluster.total_evicted_pages(), 0u);
+}
+
+TEST(CacheCapacityTest, TighterCachesCostMoreTraffic) {
+  WorkloadSpec spec;
+  spec.num_objects = 8;
+  spec.min_pages = 2;
+  spec.max_pages = 5;
+  spec.num_transactions = 60;
+  spec.contention_theta = 0.6;
+  spec.seed = 44;
+  const Workload workload(spec);
+
+  const auto bytes_with = [&](std::size_t capacity) {
+    ClusterConfig cfg;
+    cfg.nodes = 4;
+    cfg.page_size = 256;
+    cfg.protocol = ProtocolKind::kLotec;
+    cfg.seed = 2;
+    cfg.cache_capacity_pages = capacity;
+    Cluster cluster(cfg);
+    const auto results = cluster.execute(workload.instantiate(cluster));
+    for (const auto& r : results) EXPECT_TRUE(r.committed);
+    return cluster.stats().total().bytes;
+  };
+  EXPECT_GT(bytes_with(4), bytes_with(0));
+}
+
+}  // namespace
+}  // namespace lotec

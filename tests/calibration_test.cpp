@@ -1,0 +1,80 @@
+// Calibration guard: the frozen figure scenarios must keep producing
+// ratios in (a widened version of) the paper's reported bands.  If a
+// runtime change shifts traffic accounting, this fails before the
+// benchmark outputs silently drift away from the reproduction targets.
+#include <gtest/gtest.h>
+
+#include "sim/experiment.hpp"
+#include "sim/scenarios.hpp"
+
+namespace lotec {
+namespace {
+
+struct Band {
+  const char* name;
+  WorkloadSpec spec;
+  double otec_saving_min, otec_saving_max;    // vs COTEC bytes
+  double lotec_saving_min, lotec_saving_max;  // vs OTEC bytes
+};
+
+TEST(CalibrationTest, HighContentionScenariosStayInPaperBands) {
+  const std::vector<Band> bands = {
+      {"fig2", scenarios::medium_high_contention(), 0.18, 0.35, 0.03, 0.15},
+      {"fig3", scenarios::large_high_contention(), 0.18, 0.32, 0.06, 0.20},
+  };
+  for (const Band& band : bands) {
+    const Workload workload(band.spec);
+    const auto results = run_protocol_suite(
+        workload,
+        {ProtocolKind::kCotec, ProtocolKind::kOtec, ProtocolKind::kLotec});
+    const double cotec = static_cast<double>(results[0].total.bytes);
+    const double otec = static_cast<double>(results[1].total.bytes);
+    const double lotec = static_cast<double>(results[2].total.bytes);
+    const double otec_saving = 1.0 - otec / cotec;
+    const double lotec_saving = 1.0 - lotec / otec;
+    EXPECT_GE(otec_saving, band.otec_saving_min) << band.name;
+    EXPECT_LE(otec_saving, band.otec_saving_max) << band.name;
+    EXPECT_GE(lotec_saving, band.lotec_saving_min) << band.name;
+    EXPECT_LE(lotec_saving, band.lotec_saving_max) << band.name;
+    // Full commit: calibration assumes no retry-exhausted families.
+    EXPECT_EQ(results[0].committed, band.spec.num_transactions) << band.name;
+  }
+}
+
+TEST(CalibrationTest, MessageCountInversionHolds) {
+  // "LOTEC sends many more messages (albeit small ones)": more messages
+  // than OTEC, smaller average size.
+  const Workload workload(scenarios::large_high_contention());
+  const auto results = run_protocol_suite(
+      workload, {ProtocolKind::kOtec, ProtocolKind::kLotec});
+  const auto& otec = results[0].total;
+  const auto& lotec = results[1].total;
+  EXPECT_GT(lotec.messages, otec.messages);
+  EXPECT_LT(lotec.bytes / lotec.messages, otec.bytes / otec.messages);
+}
+
+TEST(CalibrationTest, GigabitCrossoverHolds) {
+  // Fig 8's crossover: at 1 Gbps LOTEC loses under 100us software cost and
+  // wins under 1us, on the figure's subject object (max COTEC traffic).
+  const Workload workload(scenarios::large_high_contention());
+  const auto results = run_protocol_suite(
+      workload, {ProtocolKind::kCotec, ProtocolKind::kOtec,
+                 ProtocolKind::kLotec});
+  ObjectId subject = results[0].object_ids.front();
+  for (const ObjectId id : results[0].object_ids)
+    if (results[0].object_traffic(id).bytes >
+        results[0].object_traffic(subject).bytes)
+      subject = id;
+  const auto time_at = [&](const ScenarioResult& r, double sw_us) {
+    const NetworkCostModel model(NetworkCostModel::kEthernet1Gbps, sw_us);
+    const TrafficCounter c = r.object_traffic(subject);
+    return model.total_time_us(c.messages, c.bytes);
+  };
+  EXPECT_GT(time_at(results[2], 100.0), time_at(results[1], 100.0))
+      << "LOTEC should lose to OTEC under heavyweight messaging at 1 Gbps";
+  EXPECT_LT(time_at(results[2], 1.0), time_at(results[1], 1.0))
+      << "LOTEC should win with aggressive low-latency messaging";
+}
+
+}  // namespace
+}  // namespace lotec

@@ -1,0 +1,163 @@
+// ClassDef / ClassBuilder / ClassRegistry: schema construction and the
+// compiler-style page-access analysis (AccessSummary).
+#include <gtest/gtest.h>
+
+#include "method/registry.hpp"
+#include "method/value.hpp"
+
+namespace lotec {
+namespace {
+
+MethodBody noop() {
+  return [](MethodContext&) {};
+}
+
+TEST(ClassBuilderTest, BuildsLayoutAndMethods) {
+  const ClassDef cls = ClassBuilder("Account", 64)
+                           .attribute("balance", 8)
+                           .attribute("owner", 32)
+                           .method("deposit", {"balance"}, {"balance"}, noop())
+                           .method("who", {"owner"}, {}, noop())
+                           .build(ClassId(3));
+  EXPECT_EQ(cls.id(), ClassId(3));
+  EXPECT_EQ(cls.name(), "Account");
+  EXPECT_EQ(cls.num_methods(), 2u);
+  EXPECT_EQ(cls.find_method("who"), MethodId(1));
+  EXPECT_THROW((void)cls.find_method("nope"), UsageError);
+  EXPECT_EQ(cls.layout().num_attributes(), 2u);
+}
+
+TEST(ClassBuilderTest, AnalysisComputesPageSetsAndLockMode) {
+  // 3 pages: a0 on page 0, blob covers pages 0-2, tail on page 2.
+  const ClassDef cls =
+      ClassBuilder("C", 64)
+          .attribute("a0", 8)
+          .attribute("blob", 120)
+          .attribute("tail", 8)
+          .method("read_a0", {"a0"}, {}, noop())
+          .method("write_tail", {}, {"tail"}, noop())
+          .method("rw", {"a0"}, {"blob"}, noop())
+          .build(ClassId(0));
+
+  const AccessSummary& read_a0 = cls.summary(MethodId(0));
+  EXPECT_FALSE(read_a0.needs_write_lock);
+  EXPECT_EQ(read_a0.predicted_pages.to_string(), "{0}");
+
+  const AccessSummary& write_tail = cls.summary(MethodId(1));
+  EXPECT_TRUE(write_tail.needs_write_lock);
+  EXPECT_EQ(write_tail.write_pages.to_string(), "{2}");
+  EXPECT_EQ(write_tail.predicted_pages.to_string(), "{2}");
+
+  const AccessSummary& rw = cls.summary(MethodId(2));
+  EXPECT_TRUE(rw.needs_write_lock);
+  EXPECT_EQ(rw.read_pages.to_string(), "{0}");
+  EXPECT_EQ(rw.write_pages.to_string(), "{0,1}");
+  EXPECT_EQ(rw.predicted_pages.to_string(), "{0,1}");
+}
+
+TEST(ClassBuilderTest, UndeclaredAccessPredictsWholeObject) {
+  const ClassDef cls = ClassBuilder("C", 64)
+                           .attribute("a", 64)
+                           .attribute("b", 64)
+                           .method("wild", {}, {}, noop(),
+                                   /*may_access_undeclared=*/true)
+                           .build(ClassId(0));
+  const AccessSummary& s = cls.summary(MethodId(0));
+  EXPECT_TRUE(s.needs_write_lock);  // conservative
+  EXPECT_EQ(s.predicted_pages, PageSet::full(2));
+}
+
+TEST(ClassBuilderTest, OptimisticPredictionNarrowsPages) {
+  AttrSet reads({AttrId(0), AttrId(1)});
+  AttrSet writes({AttrId(1)});
+  AttrSet hint({AttrId(1)});
+  const ClassDef cls =
+      ClassBuilder("C", 64)
+          .attribute("p0", 64)
+          .attribute("p1", 64)
+          .method_ids("m", reads, writes, noop(), false, hint)
+          .build(ClassId(0));
+  const AccessSummary& s = cls.summary(MethodId(0));
+  // Prediction covers only the hint's page, not all declared pages.
+  EXPECT_EQ(s.predicted_pages.to_string(), "{1}");
+  EXPECT_TRUE(s.needs_write_lock);
+  // Declared envelope unchanged.
+  EXPECT_EQ(s.read_pages.to_string(), "{0,1}");
+}
+
+TEST(ClassBuilderTest, RejectsBadDefinitions) {
+  EXPECT_THROW(ClassBuilder("C", 64).attribute("a", 8).build(ClassId(0)),
+               UsageError);  // no methods
+  EXPECT_THROW(ClassBuilder("C", 64)
+                   .attribute("a", 8)
+                   .method("m", {"zzz"}, {}, noop())
+                   .build(ClassId(0)),
+               UsageError);  // unknown attribute name
+  EXPECT_THROW(ClassBuilder("C", 64)
+                   .attribute("a", 8)
+                   .method("m", {}, {}, MethodBody{})
+                   .build(ClassId(0)),
+               UsageError);  // missing body
+}
+
+TEST(ClassRegistryTest, RegisterFindGet) {
+  ClassRegistry registry;
+  const ClassId a = registry.register_class(ClassBuilder("A", 64)
+                                                .attribute("x", 8)
+                                                .method("m", {}, {"x"},
+                                                        noop()));
+  const ClassId b = registry.register_class(ClassBuilder("B", 64)
+                                                .attribute("y", 8)
+                                                .method("m", {}, {"y"},
+                                                        noop()));
+  EXPECT_NE(a, b);
+  EXPECT_EQ(registry.size(), 2u);
+  EXPECT_EQ(registry.get(a).name(), "A");
+  EXPECT_EQ(registry.find("B"), b);
+  EXPECT_THROW((void)registry.find("C"), UsageError);
+  EXPECT_THROW((void)registry.get(ClassId(9)), UsageError);
+  EXPECT_THROW(registry.register_class(ClassBuilder("A", 64)
+                                           .attribute("x", 8)
+                                           .method("m", {}, {}, noop())),
+               UsageError);  // duplicate name
+}
+
+TEST(AttrSetTest, OrderedDedupedOps) {
+  AttrSet s({AttrId(3), AttrId(1), AttrId(3)});
+  EXPECT_EQ(s.size(), 2u);
+  EXPECT_TRUE(s.contains(AttrId(1)));
+  EXPECT_FALSE(s.contains(AttrId(2)));
+  s.insert(AttrId(2));
+  s.insert(AttrId(2));
+  EXPECT_EQ(s.size(), 3u);
+  EXPECT_EQ(s.items()[0], AttrId(1));
+  EXPECT_EQ(s.items()[2], AttrId(3));
+
+  const AttrSet u = s.united(AttrSet({AttrId(9), AttrId(1)}));
+  EXPECT_EQ(u.size(), 4u);
+  EXPECT_TRUE(u.contains(AttrId(9)));
+}
+
+TEST(ValueTest, EncodeDecodeRoundTrip) {
+  std::vector<std::byte> buf(16);
+  encode_value<std::int64_t>(buf, -1234567);
+  EXPECT_EQ(decode_value<std::int64_t>(buf), -1234567);
+  encode_value<double>(buf, 2.75);
+  EXPECT_EQ(decode_value<double>(buf), 2.75);
+
+  std::vector<std::byte> small(2);
+  EXPECT_THROW(encode_value<std::int64_t>(small, 1), UsageError);
+  EXPECT_THROW((void)decode_value<std::int64_t>(small), UsageError);
+}
+
+TEST(ValueTest, StringPaddingRoundTrip) {
+  std::vector<std::byte> buf(8);
+  encode_string(buf, "hi");
+  EXPECT_EQ(decode_string(buf), "hi");
+  encode_string(buf, "12345678");  // exactly fits, no NUL
+  EXPECT_EQ(decode_string(buf), "12345678");
+  EXPECT_THROW(encode_string(buf, "123456789"), UsageError);
+}
+
+}  // namespace
+}  // namespace lotec

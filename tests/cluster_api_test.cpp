@@ -1,0 +1,170 @@
+// Cluster public API: configuration validation, object/class management
+// edge cases, peeks, empty batches, sequential execute calls, failover.
+#include <gtest/gtest.h>
+
+#include "runtime/cluster.hpp"
+
+namespace lotec {
+namespace {
+
+ClusterConfig cfg4() {
+  ClusterConfig cfg;
+  cfg.nodes = 4;
+  cfg.page_size = 64;
+  cfg.seed = 17;
+  return cfg;
+}
+
+ClassBuilder cell(std::uint32_t page_size) {
+  return ClassBuilder("Cell", page_size)
+      .attribute("v", 8)
+      .attribute("name", 24)
+      .method("bump", {"v"}, {"v"},
+              [](MethodContext& ctx) {
+                ctx.set<std::int64_t>("v", ctx.get<std::int64_t>("v") + 1);
+              })
+      .method("christen", {}, {"name"}, [](MethodContext& ctx) {
+        ctx.set_string("name", "alice");
+      });
+}
+
+TEST(ClusterApiTest, RejectsZeroNodes) {
+  ClusterConfig cfg;
+  cfg.nodes = 0;
+  EXPECT_THROW(Cluster{cfg}, UsageError);
+}
+
+TEST(ClusterApiTest, SingleNodeClusterIsAllLocal) {
+  ClusterConfig cfg = cfg4();
+  cfg.nodes = 1;
+  Cluster cluster(cfg);
+  const ObjectId obj =
+      cluster.create_object(cluster.define_class(cell(cfg.page_size)));
+  for (int i = 0; i < 5; ++i)
+    ASSERT_TRUE(cluster.run_root(obj, "bump").committed);
+  EXPECT_EQ(cluster.peek<std::int64_t>(obj, "v"), 5);
+  EXPECT_EQ(cluster.stats().total().messages, 0u);  // nothing leaves the node
+}
+
+TEST(ClusterApiTest, ClassAndObjectLookups) {
+  Cluster cluster(cfg4());
+  const ClassId cls = cluster.define_class(cell(64));
+  EXPECT_EQ(cluster.find_class("Cell"), cls);
+  EXPECT_THROW((void)cluster.find_class("Nope"), UsageError);
+  EXPECT_EQ(cluster.class_def(cls).name(), "Cell");
+
+  const ObjectId obj = cluster.create_object(cls, NodeId(2));
+  EXPECT_EQ(cluster.meta_of(obj).creator, NodeId(2));
+  EXPECT_EQ(cluster.meta_of(obj).cls, cls);
+  EXPECT_THROW((void)cluster.meta_of(ObjectId(99)), UsageError);
+  EXPECT_THROW(cluster.create_object(cls, NodeId(9)), UsageError);
+  EXPECT_THROW((void)cluster.method_id(obj, "nope"), UsageError);
+}
+
+TEST(ClusterApiTest, RoundRobinPlacementSpreadsObjects) {
+  Cluster cluster(cfg4());
+  const ClassId cls = cluster.define_class(cell(64));
+  std::set<std::uint32_t> creators;
+  for (int i = 0; i < 4; ++i)
+    creators.insert(cluster.meta_of(cluster.create_object(cls))
+                        .creator.value());
+  EXPECT_EQ(creators.size(), 4u);
+}
+
+TEST(ClusterApiTest, EmptyExecuteIsFine) {
+  Cluster cluster(cfg4());
+  EXPECT_TRUE(cluster.execute({}).empty());
+}
+
+TEST(ClusterApiTest, SequentialExecuteBatchesAccumulateState) {
+  Cluster cluster(cfg4());
+  const ObjectId obj = cluster.create_object(cluster.define_class(cell(64)));
+  const MethodId bump = cluster.method_id(obj, "bump");
+  for (int batch = 0; batch < 3; ++batch) {
+    std::vector<RootRequest> reqs;
+    for (int i = 0; i < 7; ++i)
+      reqs.push_back(RootRequest{obj, bump, NodeId{}, {}, nullptr});
+    for (const auto& r : cluster.execute(std::move(reqs)))
+      ASSERT_TRUE(r.committed);
+  }
+  EXPECT_EQ(cluster.peek<std::int64_t>(obj, "v"), 21);
+}
+
+TEST(ClusterApiTest, PeekStringAndTypedPeeks) {
+  Cluster cluster(cfg4());
+  const ObjectId obj = cluster.create_object(cluster.define_class(cell(64)));
+  ASSERT_TRUE(cluster.run_root(obj, "christen", NodeId(3)).committed);
+  EXPECT_EQ(cluster.peek_string(obj, "name"), "alice");
+  EXPECT_EQ(cluster.peek<std::int64_t>(obj, "v"), 0);
+  EXPECT_THROW((void)cluster.peek<std::int64_t>(obj, "missing"), UsageError);
+}
+
+TEST(ClusterApiTest, PeekGathersScatteredPagesUnderLotec) {
+  // Under LOTEC the newest pages of one object end up on different sites;
+  // peek must assemble the newest version of each page.
+  ClusterConfig cfg = cfg4();
+  cfg.protocol = ProtocolKind::kLotec;
+  Cluster cluster(cfg);
+  ClassBuilder b("TwoPage", cfg.page_size);
+  b.attribute("p0", 64).attribute("p1", 64);
+  b.method("w0", {"p0"}, {"p0"},
+           [](MethodContext& ctx) { ctx.set<std::int64_t>("p0", 10); });
+  b.method("w1", {"p1"}, {"p1"},
+           [](MethodContext& ctx) { ctx.set<std::int64_t>("p1", 20); });
+  const ObjectId obj = cluster.create_object(cluster.define_class(b),
+                                             NodeId(0));
+  ASSERT_TRUE(cluster.run_root(obj, "w0", NodeId(1)).committed);
+  ASSERT_TRUE(cluster.run_root(obj, "w1", NodeId(2)).committed);
+  // Newest p0 now lives on node 1, newest p1 on node 2.
+  const GdoEntry e = cluster.gdo().snapshot(obj);
+  EXPECT_EQ(e.page_map.at(PageIndex(0)).node, NodeId(1));
+  EXPECT_EQ(e.page_map.at(PageIndex(1)).node, NodeId(2));
+  EXPECT_EQ(cluster.peek<std::int64_t>(obj, "p0"), 10);
+  EXPECT_EQ(cluster.peek<std::int64_t>(obj, "p1"), 20);
+}
+
+TEST(ClusterApiTest, GdoFailoverKeepsClusterRunning) {
+  ClusterConfig cfg = cfg4();
+  cfg.gdo.replicate = true;
+  Cluster cluster(cfg);
+  const ObjectId obj = cluster.create_object(cluster.define_class(cell(64)),
+                                             NodeId(0));
+  ASSERT_TRUE(cluster.run_root(obj, "bump", NodeId(1)).committed);
+
+  // Fail the object's GDO home.  As long as transactions run at surviving
+  // nodes and the failed node holds no needed newest pages, work continues
+  // against the mirror.
+  const NodeId home = cluster.gdo().home_of(obj);
+  const NodeId survivor((home.value() + 2) % 4);
+  // Make sure the newest copy is NOT on the home we kill.
+  ASSERT_TRUE(cluster.run_root(obj, "bump", survivor).committed);
+  cluster.transport().set_node_failed(home, true);
+  ASSERT_TRUE(cluster.run_root(obj, "bump", survivor).committed);
+  EXPECT_EQ(cluster.peek<std::int64_t>(obj, "v"), 3);
+}
+
+TEST(ClusterApiTest, ResultsAlignWithRequests) {
+  Cluster cluster(cfg4());
+  const ObjectId obj = cluster.create_object(cluster.define_class(cell(64)));
+  const ClassId aborter = cluster.define_class(
+      ClassBuilder("Aborter", 64)
+          .attribute("x", 8)
+          .method("die", {}, {}, [](MethodContext& ctx) { ctx.abort(); }));
+  const ObjectId ab = cluster.create_object(aborter);
+
+  std::vector<RootRequest> reqs;
+  reqs.push_back(
+      RootRequest{obj, cluster.method_id(obj, "bump"), NodeId{}, {}, nullptr});
+  reqs.push_back(
+      RootRequest{ab, cluster.method_id(ab, "die"), NodeId{}, {}, nullptr});
+  reqs.push_back(
+      RootRequest{obj, cluster.method_id(obj, "bump"), NodeId{}, {}, nullptr});
+  const auto results = cluster.execute(std::move(reqs));
+  ASSERT_EQ(results.size(), 3u);
+  EXPECT_TRUE(results[0].committed);
+  EXPECT_FALSE(results[1].committed);
+  EXPECT_TRUE(results[2].committed);
+}
+
+}  // namespace
+}  // namespace lotec

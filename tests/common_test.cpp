@@ -1,0 +1,112 @@
+// common/: strong ids, TxnId, Summary statistics, percentile, logging.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/error.hpp"
+#include "common/ids.hpp"
+#include "common/logging.hpp"
+#include "common/stats.hpp"
+
+namespace lotec {
+namespace {
+
+TEST(IdsTest, DefaultIsInvalid) {
+  NodeId n;
+  EXPECT_FALSE(n.valid());
+  EXPECT_EQ(NodeId(3).value(), 3u);
+  EXPECT_TRUE(NodeId(0).valid());
+}
+
+TEST(IdsTest, DistinctTagsAreDistinctTypes) {
+  static_assert(!std::is_same_v<NodeId, ClassId>);
+  static_assert(!std::is_convertible_v<NodeId, ObjectId>);
+  static_assert(!std::is_convertible_v<std::uint32_t, NodeId>);  // explicit
+}
+
+TEST(IdsTest, OrderingAndHash) {
+  EXPECT_LT(ObjectId(1), ObjectId(2));
+  EXPECT_EQ(ObjectId(5), ObjectId(5));
+  std::hash<ObjectId> h;
+  EXPECT_EQ(h(ObjectId(9)), h(ObjectId(9)));
+}
+
+TEST(IdsTest, StreamFormatting) {
+  std::ostringstream oss;
+  oss << NodeId(4) << " " << NodeId{};
+  EXPECT_EQ(oss.str(), "4 <invalid>");
+}
+
+TEST(TxnIdTest, RootAndOrdering) {
+  const TxnId root{FamilyId(7), 0};
+  const TxnId child{FamilyId(7), 3};
+  EXPECT_TRUE(root.is_root());
+  EXPECT_FALSE(child.is_root());
+  EXPECT_LT(root, child);
+  EXPECT_LT(child, (TxnId{FamilyId(8), 0}));
+  EXPECT_EQ(to_string(child), "T7.3");
+  std::hash<TxnId> h;
+  EXPECT_EQ(h(child), h(TxnId{FamilyId(7), 3}));
+  EXPECT_NE(h(child), h(root));
+}
+
+TEST(SummaryTest, BasicMoments) {
+  Summary s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  for (const double x : {2.0, 4.0, 6.0}) s.add(x);
+  EXPECT_EQ(s.count(), 3u);
+  EXPECT_DOUBLE_EQ(s.mean(), 4.0);
+  EXPECT_DOUBLE_EQ(s.total(), 12.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 6.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 4.0);  // sample variance
+  EXPECT_DOUBLE_EQ(s.stddev(), 2.0);
+}
+
+TEST(SummaryTest, SingleSampleHasZeroVariance) {
+  Summary s;
+  s.add(5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(PercentileTest, InterpolatesBetweenRanks) {
+  EXPECT_DOUBLE_EQ(percentile({}, 50), 0.0);
+  EXPECT_DOUBLE_EQ(percentile({7.0}, 99), 7.0);
+  EXPECT_DOUBLE_EQ(percentile({1, 2, 3, 4, 5}, 0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile({1, 2, 3, 4, 5}, 100), 5.0);
+  EXPECT_DOUBLE_EQ(percentile({1, 2, 3, 4, 5}, 50), 3.0);
+  EXPECT_DOUBLE_EQ(percentile({5, 1, 3, 2, 4}, 25), 2.0);  // sorts internally
+  EXPECT_DOUBLE_EQ(percentile({1, 2}, 50), 1.5);           // interpolation
+}
+
+TEST(LoggingTest, LevelGatesOutput) {
+  Logger& log = Logger::instance();
+  const LogLevel before = log.level();
+  log.set_level(LogLevel::kOff);
+  EXPECT_FALSE(log.enabled(LogLevel::kWarn));
+  log.set_level(LogLevel::kInfo);
+  EXPECT_TRUE(log.enabled(LogLevel::kWarn));
+  EXPECT_TRUE(log.enabled(LogLevel::kInfo));
+  EXPECT_FALSE(log.enabled(LogLevel::kDebug));
+  log.set_level(before);
+}
+
+TEST(ErrorTest, AbortReasonNames) {
+  EXPECT_STREQ(to_string(AbortReason::kUser), "user");
+  EXPECT_STREQ(to_string(AbortReason::kDeadlock), "deadlock");
+  EXPECT_STREQ(to_string(AbortReason::kInjected), "injected");
+  EXPECT_STREQ(to_string(AbortReason::kRetryExhausted), "retry-exhausted");
+}
+
+TEST(ErrorTest, RecursiveInvocationCarriesContext) {
+  const RecursiveInvocationError e(ObjectId(3), TxnId{FamilyId(1), 2},
+                                   TxnId{FamilyId(1), 0});
+  EXPECT_EQ(e.object(), ObjectId(3));
+  EXPECT_EQ(e.requester().serial, 2u);
+  EXPECT_EQ(e.holder().serial, 0u);
+  EXPECT_NE(std::string(e.what()).find("T1.2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace lotec

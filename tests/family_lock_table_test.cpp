@@ -1,0 +1,179 @@
+// FamilyLockTable: the local half of Algorithm 4.1 and the lock-disposition
+// rules 1-5 of Section 4.1 — grants from retention, read sharing over
+// ancestors, inheritance at pre-commit, abort disposition, and the run-time
+// preclusion of mutually recursive invocations.
+#include <gtest/gtest.h>
+
+#include "txn/family.hpp"
+
+namespace lotec {
+namespace {
+
+class FamilyLockTableTest : public ::testing::Test {
+ protected:
+  FamilyLockTableTest() : family_(FamilyId(1), NodeId(0),
+                                  UndoStrategy::kByteRange) {
+    root_ = &family_.begin_root(ObjectId(100), MethodId(0));
+  }
+
+  FamilyLockTable& table() { return family_.locks(); }
+
+  Family family_;
+  Transaction* root_ = nullptr;
+  const ObjectId obj_{ObjectId(7)};
+};
+
+TEST_F(FamilyLockTableTest, UnknownObjectNeedsGlobal) {
+  EXPECT_EQ(table().try_local_acquire(*root_, obj_, LockMode::kWrite),
+            LocalAcquireOutcome::kNeedGlobal);
+  EXPECT_EQ(table().size(), 0u);
+}
+
+TEST_F(FamilyLockTableTest, GlobalGrantRecordsHolder) {
+  table().on_global_grant(*root_, obj_, LockMode::kWrite, false);
+  const LocalLock* lock = table().find(obj_);
+  ASSERT_NE(lock, nullptr);
+  EXPECT_EQ(lock->global_mode, LockMode::kWrite);
+  EXPECT_TRUE(lock->holds(0));
+  EXPECT_THROW(table().on_global_grant(*root_, obj_, LockMode::kWrite, false),
+               UsageError);  // duplicate
+}
+
+TEST_F(FamilyLockTableTest, ReacquireByHolderIsLocalNoop) {
+  table().on_global_grant(*root_, obj_, LockMode::kWrite, false);
+  EXPECT_EQ(table().try_local_acquire(*root_, obj_, LockMode::kWrite),
+            LocalAcquireOutcome::kGranted);
+}
+
+TEST_F(FamilyLockTableTest, DescendantAcquiresFromRetainer) {
+  // Child acquires, pre-commits -> root retains (rule 3); grandchild may
+  // then acquire from the retention (rule 1).
+  Transaction& child = family_.begin_child(*root_, obj_, MethodId(0));
+  table().on_global_grant(child, obj_, LockMode::kWrite, false);
+  child.pre_commit();
+  table().on_pre_commit(child);
+
+  const LocalLock* lock = table().find(obj_);
+  ASSERT_NE(lock, nullptr);
+  EXPECT_FALSE(lock->held());
+  EXPECT_EQ(lock->retainers.count(0), 1u);  // root retains
+
+  Transaction& second = family_.begin_child(*root_, obj_, MethodId(0));
+  EXPECT_EQ(table().try_local_acquire(second, obj_, LockMode::kWrite),
+            LocalAcquireOutcome::kGranted);
+  EXPECT_TRUE(table().find(obj_)->holds(second.id().serial));
+}
+
+TEST_F(FamilyLockTableTest, WriteRecursionOverAncestorPrecluded) {
+  table().on_global_grant(*root_, obj_, LockMode::kWrite, false);
+  Transaction& child = family_.begin_child(*root_, obj_, MethodId(0));
+  EXPECT_THROW(table().try_local_acquire(child, obj_, LockMode::kWrite),
+               RecursiveInvocationError);
+  EXPECT_THROW(table().try_local_acquire(child, obj_, LockMode::kRead),
+               RecursiveInvocationError);  // lock held for writing
+}
+
+TEST_F(FamilyLockTableTest, ReadOverAncestorReadIsShared) {
+  // Algorithm 4.1: "ELSE grant the Read lock to the requesting transaction".
+  table().on_global_grant(*root_, obj_, LockMode::kRead, false);
+  Transaction& child = family_.begin_child(*root_, obj_, MethodId(0));
+  EXPECT_EQ(table().try_local_acquire(child, obj_, LockMode::kRead),
+            LocalAcquireOutcome::kGranted);
+  EXPECT_TRUE(table().find(obj_)->holds(0));
+  EXPECT_TRUE(table().find(obj_)->holds(child.id().serial));
+}
+
+TEST_F(FamilyLockTableTest, WriteOverAncestorReadIsPrecludedNotUpgraded) {
+  table().on_global_grant(*root_, obj_, LockMode::kRead, false);
+  Transaction& child = family_.begin_child(*root_, obj_, MethodId(0));
+  EXPECT_THROW(table().try_local_acquire(child, obj_, LockMode::kWrite),
+               RecursiveInvocationError);
+}
+
+TEST_F(FamilyLockTableTest, WriteFromRetainedReadNeedsUpgrade) {
+  // Child took a READ lock, pre-committed; root retains at global Read.
+  Transaction& child = family_.begin_child(*root_, obj_, MethodId(0));
+  table().on_global_grant(child, obj_, LockMode::kRead, false);
+  child.pre_commit();
+  table().on_pre_commit(child);
+
+  Transaction& writer = family_.begin_child(*root_, obj_, MethodId(1));
+  EXPECT_EQ(table().try_local_acquire(writer, obj_, LockMode::kWrite),
+            LocalAcquireOutcome::kNeedUpgrade);
+  table().on_global_grant(writer, obj_, LockMode::kWrite, /*upgrade=*/true);
+  EXPECT_EQ(table().find(obj_)->global_mode, LockMode::kWrite);
+  EXPECT_TRUE(table().find(obj_)->holds(writer.id().serial));
+}
+
+TEST_F(FamilyLockTableTest, AbortReleasesUnretainedLocks) {
+  Transaction& child = family_.begin_child(*root_, obj_, MethodId(0));
+  table().on_global_grant(child, obj_, LockMode::kWrite, false);
+  const auto released = table().on_abort(child);
+  ASSERT_EQ(released.size(), 1u);  // rule 4: nothing retained -> release
+  EXPECT_EQ(released[0], obj_);
+  EXPECT_EQ(table().find(obj_), nullptr);
+}
+
+TEST_F(FamilyLockTableTest, AbortKeepsAncestorRetainedLocks) {
+  // c1 acquires and pre-commits (root retains); c2 re-acquires then aborts:
+  // the root continues retaining (rule 4), no global release.
+  Transaction& c1 = family_.begin_child(*root_, obj_, MethodId(0));
+  table().on_global_grant(c1, obj_, LockMode::kWrite, false);
+  c1.pre_commit();
+  table().on_pre_commit(c1);
+
+  Transaction& c2 = family_.begin_child(*root_, obj_, MethodId(0));
+  EXPECT_EQ(table().try_local_acquire(c2, obj_, LockMode::kWrite),
+            LocalAcquireOutcome::kGranted);
+  const auto released = table().on_abort(c2);
+  EXPECT_TRUE(released.empty());
+  const LocalLock* lock = table().find(obj_);
+  ASSERT_NE(lock, nullptr);
+  EXPECT_FALSE(lock->held());
+  EXPECT_EQ(lock->retainers.count(0), 1u);
+}
+
+TEST_F(FamilyLockTableTest, MultiLevelInheritanceWalksUp) {
+  // grandchild acquires; pre-commit moves it to child; child's pre-commit
+  // moves it to root.
+  Transaction& child = family_.begin_child(*root_, ObjectId(50), MethodId(0));
+  Transaction& grand = family_.begin_child(child, obj_, MethodId(0));
+  table().on_global_grant(grand, obj_, LockMode::kWrite, false);
+
+  grand.pre_commit();
+  table().on_pre_commit(grand);
+  EXPECT_EQ(table().find(obj_)->retainers.count(child.id().serial), 1u);
+
+  child.pre_commit();
+  table().on_pre_commit(child);
+  EXPECT_EQ(table().find(obj_)->retainers.count(0), 1u);
+  EXPECT_EQ(table().find(obj_)->retainers.count(child.id().serial), 0u);
+}
+
+TEST_F(FamilyLockTableTest, PrefetchGrantIsRetainedByRoot) {
+  table().on_prefetch_grant(*root_, obj_, LockMode::kWrite);
+  const LocalLock* lock = table().find(obj_);
+  ASSERT_NE(lock, nullptr);
+  EXPECT_FALSE(lock->held());
+  EXPECT_EQ(lock->retainers.count(0), 1u);
+
+  Transaction& child = family_.begin_child(*root_, obj_, MethodId(0));
+  EXPECT_EQ(table().try_local_acquire(child, obj_, LockMode::kWrite),
+            LocalAcquireOutcome::kGranted);
+
+  Transaction& deep = family_.begin_child(child, ObjectId(9), MethodId(0));
+  EXPECT_THROW(table().on_prefetch_grant(deep, ObjectId(9), LockMode::kRead),
+               UsageError);  // only roots prefetch
+}
+
+TEST_F(FamilyLockTableTest, AllObjectsEnumeratesLockSet) {
+  table().on_global_grant(*root_, obj_, LockMode::kWrite, false);
+  table().on_global_grant(*root_, ObjectId(8), LockMode::kRead, false);
+  auto all = table().all_objects();
+  EXPECT_EQ(all.size(), 2u);
+  table().clear();
+  EXPECT_TRUE(table().all_objects().empty());
+}
+
+}  // namespace
+}  // namespace lotec

@@ -1,0 +1,167 @@
+// Reference-model fuzzing: ObjectImage byte access and nested UndoLog
+// behaviour are checked against trivially correct models (a flat byte
+// array; an explicit snapshot stack) over thousands of random operations.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <set>
+
+#include "common/rng.hpp"
+#include "page/undo_log.hpp"
+
+namespace lotec {
+namespace {
+
+class ImageFuzzTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ImageFuzzTest, RandomReadsWritesMatchFlatArray) {
+  constexpr std::size_t kPages = 7;
+  constexpr std::uint32_t kPageSize = 48;  // odd-ish size, many straddles
+  constexpr std::size_t kBytes = kPages * kPageSize;
+
+  ObjectImage img(ObjectId(1), kPages, kPageSize);
+  img.materialize_all();
+  std::vector<std::byte> model(kBytes, std::byte{0});
+  Rng rng(GetParam());
+
+  for (int step = 0; step < 3000; ++step) {
+    const std::size_t offset = rng.below(kBytes);
+    const std::size_t len = 1 + rng.below(std::min<std::size_t>(
+                                    kBytes - offset, 100));
+    if (rng.chance(0.5)) {
+      std::vector<std::byte> data(len);
+      for (auto& b : data) b = static_cast<std::byte>(rng.below(256));
+      img.write_bytes(offset, data);
+      std::memcpy(model.data() + offset, data.data(), len);
+    } else {
+      std::vector<std::byte> got(len);
+      img.read_bytes(offset, got);
+      EXPECT_EQ(0, std::memcmp(got.data(), model.data() + offset, len))
+          << "step " << step << " offset " << offset << " len " << len;
+    }
+  }
+  // Dirty bits cover exactly the written pages.
+  std::vector<std::byte> full(kBytes);
+  img.read_bytes(0, full);
+  EXPECT_EQ(0, std::memcmp(full.data(), model.data(), kBytes));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ImageFuzzTest,
+                         ::testing::Values(11, 22, 33, 44));
+
+/// Nested-transaction undo fuzz: a stack of scopes (root..leaf).  Entering
+/// a scope snapshots nothing in the model but opens a fresh UndoLog; random
+/// writes are captured; leaving a scope either pre-commits (absorb into
+/// parent) or aborts (undo; the model restores its snapshot).  At every
+/// abort the image must equal the model snapshot taken at scope entry.
+class UndoFuzzTest
+    : public ::testing::TestWithParam<std::tuple<UndoStrategy,
+                                                 std::uint64_t>> {};
+
+TEST_P(UndoFuzzTest, NestedScopesRestoreExactly) {
+  const auto [strategy, seed] = GetParam();
+  constexpr std::size_t kPages = 4;
+  constexpr std::uint32_t kPageSize = 64;
+  constexpr std::size_t kBytes = kPages * kPageSize;
+
+  ObjectImage img(ObjectId(1), kPages, kPageSize);
+  img.materialize_all();
+  const auto resolve = [&](ObjectId) -> ObjectImage& { return img; };
+  const auto snapshot = [&] {
+    std::vector<std::byte> s(kBytes);
+    img.read_bytes(0, s);
+    return s;
+  };
+
+  Rng rng(seed);
+  struct Scope {
+    UndoLog log;
+    std::vector<std::byte> entry_state;
+  };
+  std::vector<Scope> scopes;
+  scopes.push_back({UndoLog(strategy), snapshot()});  // root
+
+  for (int step = 0; step < 1500; ++step) {
+    const int op = static_cast<int>(rng.below(4));
+    if (op == 0 && scopes.size() < 6) {
+      scopes.push_back({UndoLog(strategy), snapshot()});
+    } else if (op == 1 && scopes.size() > 1) {
+      // Pre-commit the deepest scope into its parent.
+      Scope child = std::move(scopes.back());
+      scopes.pop_back();
+      scopes.back().log.absorb(std::move(child.log));
+    } else if (op == 2 && scopes.size() > 1) {
+      // Abort the deepest scope: its entry state must return exactly.
+      Scope child = std::move(scopes.back());
+      scopes.pop_back();
+      child.log.undo(resolve);
+      EXPECT_EQ(snapshot(), child.entry_state) << "step " << step;
+    } else {
+      // Random write captured in the current scope.
+      const std::size_t offset = rng.below(kBytes);
+      const std::size_t len =
+          1 + rng.below(std::min<std::size_t>(kBytes - offset, 64));
+      std::vector<std::byte> data(len);
+      for (auto& b : data) b = static_cast<std::byte>(rng.below(256));
+      scopes.back().log.before_write(img, offset, len);
+      img.write_bytes(offset, data);
+    }
+  }
+  // Finally abort everything outstanding, leaf to root: back to all-zero.
+  while (!scopes.empty()) {
+    scopes.back().log.undo(resolve);
+    const auto expected = scopes.back().entry_state;
+    EXPECT_EQ(snapshot(), expected);
+    scopes.pop_back();
+  }
+  const std::vector<std::byte> zero(kBytes, std::byte{0});
+  EXPECT_EQ(snapshot(), zero);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    StrategiesAndSeeds, UndoFuzzTest,
+    ::testing::Combine(::testing::Values(UndoStrategy::kByteRange,
+                                         UndoStrategy::kShadowPage),
+                       ::testing::Values(7, 13, 29)),
+    [](const auto& info) {
+      return std::string(std::get<0>(info.param) == UndoStrategy::kByteRange
+                             ? "ByteRange"
+                             : "ShadowPage") +
+             "_" + std::to_string(std::get<1>(info.param));
+    });
+
+class PageSetFuzzTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PageSetFuzzTest, MatchesStdSet) {
+  constexpr std::size_t kUniverse = 130;
+  PageSet ps(kUniverse);
+  std::set<std::uint32_t> model;
+  Rng rng(GetParam());
+  for (int step = 0; step < 4000; ++step) {
+    const auto p = static_cast<std::uint32_t>(rng.below(kUniverse));
+    switch (rng.below(3)) {
+      case 0:
+        ps.insert(PageIndex(p));
+        model.insert(p);
+        break;
+      case 1:
+        ps.erase(PageIndex(p));
+        model.erase(p);
+        break;
+      default:
+        EXPECT_EQ(ps.contains(PageIndex(p)), model.count(p) == 1);
+    }
+    if (step % 97 == 0) {
+      EXPECT_EQ(ps.count(), model.size());
+      const auto v = ps.to_vector();
+      ASSERT_EQ(v.size(), model.size());
+      auto it = model.begin();
+      for (const PageIndex q : v) EXPECT_EQ(q.value(), *it++);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PageSetFuzzTest, ::testing::Values(3, 5, 8));
+
+}  // namespace
+}  // namespace lotec

@@ -1,0 +1,103 @@
+// ObjectLayout: attribute packing, page geometry, and the attribute->page
+// analysis LOTEC's prediction rests on.
+#include <gtest/gtest.h>
+
+#include "page/layout.hpp"
+
+namespace lotec {
+namespace {
+
+TEST(LayoutTest, SequentialAlignedPacking) {
+  const ObjectLayout layout({{"a", 8}, {"b", 4}, {"c", 16}}, 64);
+  EXPECT_EQ(layout.offset_of(AttrId(0)), 0u);
+  EXPECT_EQ(layout.offset_of(AttrId(1)), 8u);
+  // 4-byte attribute still aligns the next one to 8.
+  EXPECT_EQ(layout.offset_of(AttrId(2)), 16u);
+  EXPECT_EQ(layout.data_size(), 32u);
+  EXPECT_EQ(layout.num_pages(), 1u);
+}
+
+TEST(LayoutTest, PageCountRoundsUp) {
+  const ObjectLayout one({{"a", 64}}, 64);
+  EXPECT_EQ(one.num_pages(), 1u);
+  const ObjectLayout two({{"a", 65}}, 64);
+  EXPECT_EQ(two.num_pages(), 2u);
+}
+
+TEST(LayoutTest, FindByName) {
+  const ObjectLayout layout({{"x", 8}, {"y", 8}}, 64);
+  EXPECT_EQ(layout.find("y"), AttrId(1));
+  EXPECT_THROW((void)layout.find("z"), UsageError);
+}
+
+TEST(LayoutTest, AttributePagesSinglePage) {
+  const ObjectLayout layout({{"a", 8}, {"b", 8}}, 64);
+  EXPECT_EQ(layout.pages_of(AttrId(0)).to_string(), "{0}");
+  EXPECT_EQ(layout.pages_of(AttrId(1)).to_string(), "{0}");
+}
+
+TEST(LayoutTest, AttributeStraddlesPages) {
+  // 60-byte attr at offset 0, then a 16-byte attr at offset 64?  No:
+  // align_up(60,8)=64, so b begins exactly at page 1.
+  const ObjectLayout layout({{"a", 60}, {"b", 16}}, 64);
+  EXPECT_EQ(layout.pages_of(AttrId(0)).to_string(), "{0}");
+  EXPECT_EQ(layout.pages_of(AttrId(1)).to_string(), "{1}");
+
+  // A big attribute spanning three pages.
+  const ObjectLayout big({{"pad", 32}, {"blob", 140}}, 64);
+  EXPECT_EQ(big.pages_of(AttrId(1)).to_string(), "{0,1,2}");
+}
+
+TEST(LayoutTest, PagesOfSetUnions) {
+  const ObjectLayout layout({{"a", 64}, {"b", 64}, {"c", 64}}, 64);
+  const PageSet s = layout.pages_of({AttrId(0), AttrId(2)});
+  EXPECT_TRUE(s.contains(PageIndex(0)));
+  EXPECT_FALSE(s.contains(PageIndex(1)));
+  EXPECT_TRUE(s.contains(PageIndex(2)));
+}
+
+TEST(LayoutTest, RejectsBadInput) {
+  EXPECT_THROW(ObjectLayout({}, 64), UsageError);
+  EXPECT_THROW(ObjectLayout({{"a", 8}}, 0), UsageError);
+  EXPECT_THROW(ObjectLayout({{"a", 0}}, 64), UsageError);
+  const ObjectLayout layout({{"a", 8}}, 64);
+  EXPECT_THROW((void)layout.attribute(AttrId(1)), UsageError);
+  EXPECT_THROW(layout.pages_of(AttrId{}), UsageError);
+}
+
+class LayoutSweepTest
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(LayoutSweepTest, EveryByteOfEveryAttributeMapsIntoItsPages) {
+  const auto [num_attrs, attr_size] = GetParam();
+  std::vector<AttributeDef> attrs;
+  for (int i = 0; i < num_attrs; ++i)
+    attrs.push_back({"a" + std::to_string(i),
+                     static_cast<std::uint32_t>(attr_size)});
+  const ObjectLayout layout(attrs, 128);
+  for (int i = 0; i < num_attrs; ++i) {
+    const AttrId a(static_cast<std::uint32_t>(i));
+    const PageSet pages = layout.pages_of(a);
+    const std::uint64_t begin = layout.offset_of(a);
+    for (std::uint64_t off = begin; off < begin + layout.attribute(a).size_bytes;
+         ++off) {
+      EXPECT_TRUE(pages.contains(
+          PageIndex(static_cast<std::uint32_t>(off / 128))));
+    }
+    // And the page set is tight: no page outside the byte range.
+    for (const PageIndex p : pages.to_vector()) {
+      const std::uint64_t page_begin = std::uint64_t{p.value()} * 128;
+      EXPECT_LT(page_begin, begin + layout.attribute(a).size_bytes);
+      EXPECT_GE(page_begin + 128, begin);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, LayoutSweepTest,
+    ::testing::Values(std::tuple(1, 8), std::tuple(5, 24), std::tuple(3, 200),
+                      std::tuple(16, 8), std::tuple(2, 1000),
+                      std::tuple(7, 129)));
+
+}  // namespace
+}  // namespace lotec

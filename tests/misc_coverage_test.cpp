@@ -1,0 +1,163 @@
+// Odds and ends: failure paths and small behaviours not covered by the
+// subsystem suites.
+#include <gtest/gtest.h>
+
+#include "persist/snapshot.hpp"
+#include "runtime/cluster.hpp"
+
+namespace lotec {
+namespace {
+
+TEST(MiscCoverageTest, SendToAllThrowsOnFailedTarget) {
+  Transport t(3);
+  t.set_node_failed(NodeId(2), true);
+  EXPECT_THROW(t.send_to_all({MessageKind::kUpdatePush, NodeId(0), NodeId(0),
+                              ObjectId(1), 10},
+                             {NodeId(1), NodeId(2)}),
+               NodeUnreachable);
+}
+
+TEST(MiscCoverageTest, NodePinningIsRefCounted) {
+  Node node{NodeId(0)};
+  const ObjectId obj(3);
+  EXPECT_FALSE(node.pinned(obj));
+  node.pin(obj);
+  node.pin(obj);
+  node.unpin(obj);
+  EXPECT_TRUE(node.pinned(obj));
+  node.unpin(obj);
+  EXPECT_FALSE(node.pinned(obj));
+  EXPECT_THROW(node.unpin(obj), UsageError);
+}
+
+TEST(MiscCoverageTest, NodeLruOrdersByRecency) {
+  Node node{NodeId(0)};
+  node.touch(ObjectId(1));
+  node.touch(ObjectId(2));
+  node.touch(ObjectId(1));  // 1 most recent again
+  ASSERT_EQ(node.lru.size(), 2u);
+  EXPECT_EQ(node.lru.front(), ObjectId(1));
+  EXPECT_EQ(node.lru.back(), ObjectId(2));
+  node.forget(ObjectId(2));
+  EXPECT_EQ(node.lru.size(), 1u);
+  node.forget(ObjectId(2));  // idempotent
+}
+
+TEST(MiscCoverageTest, PageDeltaChainArithmetic) {
+  Page page;
+  page.version = 10;
+  page.history.push_back({9, {{0, 16}}});           // 9 -> 10
+  page.history.push_back({7, {{32, 8}, {64, 8}}});  // 7 -> 9 (skips 8)
+  // Up to date: zero bytes.
+  EXPECT_EQ(page.delta_chain_bytes(10), 0u);
+  EXPECT_EQ(page.delta_chain_bytes(12), 0u);
+  // One behind: newest delta only (8 hdr + 16 payload + 8 range desc).
+  EXPECT_EQ(page.delta_chain_bytes(9), 8u + 16 + 8);
+  // Three behind via the chain 7 -> 9 -> 10.
+  EXPECT_EQ(page.delta_chain_bytes(7), (8u + 24) + (8u + 16 + 2 * 8));
+  // Version 8 falls inside a chain hole: full page required.
+  EXPECT_EQ(page.delta_chain_bytes(8), std::nullopt);
+  // Before the history starts: full page.
+  EXPECT_EQ(page.delta_chain_bytes(3), std::nullopt);
+}
+
+TEST(MiscCoverageTest, PeekAndRestorePageValidateGeometry) {
+  ClusterConfig cfg;
+  cfg.nodes = 2;
+  cfg.page_size = 64;
+  Cluster cluster(cfg);
+  const ClassId cls = cluster.define_class(
+      ClassBuilder("C", 64).attribute("v", 8).method(
+          "bump", {"v"}, {"v"}, [](MethodContext& ctx) {
+            ctx.set<std::int64_t>("v", 1);
+          }));
+  const ObjectId obj = cluster.create_object(cls, NodeId(0));
+  std::vector<std::byte> wrong(32);
+  EXPECT_THROW(cluster.peek_page(obj, PageIndex(0), wrong), UsageError);
+  EXPECT_THROW(cluster.restore_page(obj, PageIndex(0), wrong), UsageError);
+  std::vector<std::byte> right(64);
+  EXPECT_NO_THROW(cluster.peek_page(obj, PageIndex(0), right));
+}
+
+TEST(MiscCoverageTest, RetryExhaustionIsReportedNotFatal) {
+  // Force exhaustion: max_retries=1 with an unavoidable repeat deadlock is
+  // hard to stage deterministically, so instead verify the plumbing: a
+  // victimized family that cannot retry reports kRetryExhausted.  Two
+  // families in opposing lock order with max_retries=1 — the victim's
+  // single attempt is spent.
+  ClusterConfig cfg;
+  cfg.nodes = 2;
+  cfg.page_size = 64;
+  cfg.seed = 4;
+  cfg.max_retries = 1;  // a victim cannot retry at all
+  Cluster cluster(cfg);
+  const ClassId cell = cluster.define_class(
+      ClassBuilder("Cell", 64).attribute("v", 8).method(
+          "bump", {"v"}, {"v"}, [](MethodContext& ctx) {
+            ctx.set<std::int64_t>("v", ctx.get<std::int64_t>("v") + 1);
+          }));
+  const ObjectId a = cluster.create_object(cell, NodeId(0));
+  const ObjectId b = cluster.create_object(cell, NodeId(1));
+  struct Plan {
+    ObjectId first, second;
+  };
+  const ClassId driver = cluster.define_class(
+      ClassBuilder("Driver", 64).attribute("pad", 8).method(
+          "run", {}, {}, [](MethodContext& ctx) {
+            const auto* plan = static_cast<const Plan*>(ctx.user_data());
+            ASSERT_TRUE(ctx.invoke(plan->first, "bump"));
+            ASSERT_TRUE(ctx.invoke(plan->second, "bump"));
+          }));
+  const ObjectId d0 = cluster.create_object(driver, NodeId(0));
+  const ObjectId d1 = cluster.create_object(driver, NodeId(1));
+  std::vector<RootRequest> reqs;
+  for (int i = 0; i < 6; ++i) {
+    RootRequest fwd{d0, cluster.method_id(d0, "run"), NodeId(0), {}, nullptr};
+    fwd.user_data = std::make_shared<Plan>(Plan{a, b});
+    RootRequest rev{d1, cluster.method_id(d1, "run"), NodeId(1), {}, nullptr};
+    rev.user_data = std::make_shared<Plan>(Plan{b, a});
+    reqs.push_back(std::move(fwd));
+    reqs.push_back(std::move(rev));
+  }
+  const auto results = cluster.execute(std::move(reqs));
+  std::size_t committed = 0, exhausted = 0;
+  for (const auto& r : results) {
+    if (r.committed) {
+      ++committed;
+    } else {
+      EXPECT_EQ(r.reason, AbortReason::kRetryExhausted);
+      ++exhausted;
+    }
+  }
+  EXPECT_GT(committed, 0u);
+  // Counters must balance and state must reflect exactly the commits.
+  EXPECT_EQ(committed + exhausted, results.size());
+  EXPECT_EQ(cluster.peek<std::int64_t>(a, "v"),
+            static_cast<std::int64_t>(committed));
+  EXPECT_EQ(cluster.peek<std::int64_t>(b, "v"),
+            static_cast<std::int64_t>(committed));
+}
+
+TEST(MiscCoverageTest, SnapshotStatsCountDataBytes) {
+  ClusterConfig cfg;
+  cfg.nodes = 2;
+  cfg.page_size = 64;
+  Cluster cluster(cfg);
+  const ClassId cls = cluster.define_class(
+      ClassBuilder("C", 64)
+          .attribute("a", 64)
+          .attribute("b", 64)
+          .method("m", {}, {"a"},
+                  [](MethodContext& ctx) { ctx.set<std::int64_t>("a", 1); }));
+  (void)cluster.create_object(cls);
+  (void)cluster.create_object(cls);
+  const std::string path = ::testing::TempDir() + "misc_snap.bin";
+  const SnapshotStats stats = save_snapshot(cluster, path);
+  EXPECT_EQ(stats.objects, 2u);
+  EXPECT_EQ(stats.pages, 4u);
+  EXPECT_EQ(stats.data_bytes, 4u * 64);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace lotec

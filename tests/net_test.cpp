@@ -1,0 +1,156 @@
+// Network substrate: message sizing, NetworkStats accounting (per kind,
+// per object, local ops), Transport reachability/multicast, and the
+// Figure 6-8 cost-model arithmetic.
+#include <gtest/gtest.h>
+
+#include "net/cost_model.hpp"
+#include "net/transport.hpp"
+
+namespace lotec {
+namespace {
+
+TEST(WireMessageTest, TotalBytesIncludeHeader) {
+  WireMessage m{MessageKind::kPageFetchReply, NodeId(0), NodeId(1),
+                ObjectId(7), 4096};
+  EXPECT_EQ(m.total_bytes(), 4096u + wire::kHeaderBytes);
+}
+
+TEST(WireMessageTest, PageDataClassification) {
+  EXPECT_TRUE(carries_page_data(MessageKind::kPageFetchReply));
+  EXPECT_TRUE(carries_page_data(MessageKind::kUpdatePush));
+  EXPECT_TRUE(carries_page_data(MessageKind::kDemandFetchReply));
+  EXPECT_FALSE(carries_page_data(MessageKind::kLockAcquireRequest));
+  EXPECT_FALSE(carries_page_data(MessageKind::kPageFetchRequest));
+  EXPECT_FALSE(carries_page_data(MessageKind::kGdoReplicaSync));
+}
+
+TEST(NetworkStatsTest, RecordsTotalsAndKinds) {
+  NetworkStats stats;
+  stats.record({MessageKind::kLockAcquireRequest, NodeId(0), NodeId(1),
+                ObjectId(1), 24});
+  stats.record({MessageKind::kPageFetchReply, NodeId(1), NodeId(0),
+                ObjectId(1), 4096});
+  EXPECT_EQ(stats.total().messages, 2u);
+  EXPECT_EQ(stats.total().bytes, 24 + 4096 + 2 * wire::kHeaderBytes);
+  EXPECT_EQ(stats.by_kind(MessageKind::kLockAcquireRequest).messages, 1u);
+  EXPECT_EQ(stats.by_kind(MessageKind::kPageFetchReply).bytes,
+            4096 + wire::kHeaderBytes);
+  EXPECT_EQ(stats.by_kind(MessageKind::kUpdatePush).messages, 0u);
+}
+
+TEST(NetworkStatsTest, PerObjectAttribution) {
+  NetworkStats stats;
+  stats.record({MessageKind::kPageFetchReply, NodeId(0), NodeId(1),
+                ObjectId(1), 100});
+  stats.record({MessageKind::kLockAcquireRequest, NodeId(0), NodeId(1),
+                ObjectId(1), 24});
+  stats.record({MessageKind::kPageFetchReply, NodeId(0), NodeId(1),
+                ObjectId(2), 200});
+  EXPECT_EQ(stats.by_object(ObjectId(1)).messages, 2u);
+  EXPECT_EQ(stats.by_object(ObjectId(2)).messages, 1u);
+  EXPECT_EQ(stats.by_object(ObjectId(3)).messages, 0u);
+  // Page-data view excludes the lock message.
+  EXPECT_EQ(stats.page_data_by_object(ObjectId(1)).messages, 1u);
+  EXPECT_EQ(stats.page_data_by_object(ObjectId(1)).bytes,
+            100 + wire::kHeaderBytes);
+}
+
+TEST(NetworkStatsTest, UnattributedMessagesOnlyCountInTotals) {
+  NetworkStats stats;
+  stats.record({MessageKind::kGdoReplicaSync, NodeId(0), NodeId(1),
+                ObjectId{}, 64});
+  EXPECT_EQ(stats.total().messages, 1u);
+  EXPECT_TRUE(stats.per_object().empty());
+}
+
+TEST(NetworkStatsTest, MulticastCountsOnceWhenCapable) {
+  NetworkStats stats;
+  const WireMessage m{MessageKind::kUpdatePush, NodeId(0), NodeId(0),
+                      ObjectId(1), 4096};
+  stats.record_multicast(m, 5, /*multicast_capable=*/true);
+  EXPECT_EQ(stats.total().messages, 1u);
+  stats.reset();
+  stats.record_multicast(m, 5, /*multicast_capable=*/false);
+  EXPECT_EQ(stats.total().messages, 5u);
+}
+
+TEST(NetworkStatsTest, LocalLockOpsSeparate) {
+  NetworkStats stats;
+  stats.record_local_lock_op();
+  stats.record_local_lock_op();
+  EXPECT_EQ(stats.local_lock_ops(), 2u);
+  EXPECT_EQ(stats.total().messages, 0u);
+  stats.reset();
+  EXPECT_EQ(stats.local_lock_ops(), 0u);
+}
+
+TEST(TransportTest, LocalMessagesAreFree) {
+  Transport t(4);
+  t.send({MessageKind::kLockAcquireRequest, NodeId(2), NodeId(2), ObjectId(1),
+          24});
+  EXPECT_EQ(t.stats().total().messages, 0u);
+  t.send({MessageKind::kLockAcquireRequest, NodeId(2), NodeId(3), ObjectId(1),
+          24});
+  EXPECT_EQ(t.stats().total().messages, 1u);
+}
+
+TEST(TransportTest, FailedNodeUnreachable) {
+  Transport t(4);
+  t.set_node_failed(NodeId(1), true);
+  EXPECT_FALSE(t.reachable(NodeId(1)));
+  EXPECT_THROW(t.send({MessageKind::kGdoLookupRequest, NodeId(0), NodeId(1),
+                       ObjectId(1), 8}),
+               NodeUnreachable);
+  t.set_node_failed(NodeId(1), false);
+  EXPECT_TRUE(t.reachable(NodeId(1)));
+  EXPECT_NO_THROW(t.send({MessageKind::kGdoLookupRequest, NodeId(0),
+                          NodeId(1), ObjectId(1), 8}));
+}
+
+TEST(TransportTest, SendToAllSkipsSelfAndUsesMulticast) {
+  Transport uni(4);
+  uni.send_to_all({MessageKind::kUpdatePush, NodeId(0), NodeId(0),
+                   ObjectId(1), 100},
+                  {NodeId(0), NodeId(1), NodeId(2), NodeId(3)});
+  EXPECT_EQ(uni.stats().total().messages, 3u);  // self skipped
+
+  Transport mc(4, NetworkConfig{.multicast_capable = true});
+  mc.send_to_all({MessageKind::kUpdatePush, NodeId(0), NodeId(0), ObjectId(1),
+                  100},
+                 {NodeId(1), NodeId(2), NodeId(3)});
+  EXPECT_EQ(mc.stats().total().messages, 1u);
+}
+
+TEST(TransportTest, BadNodeIdsThrow) {
+  Transport t(2);
+  EXPECT_THROW(t.send({MessageKind::kGdoLookupRequest, NodeId(0), NodeId(5),
+                       ObjectId(1), 8}),
+               UsageError);
+  EXPECT_THROW((void)t.reachable(NodeId{}), UsageError);
+}
+
+TEST(CostModelTest, MessageTimeArithmetic) {
+  // 10 Mbps, 100us software cost: 1250-byte message = 100us + 1ms.
+  const NetworkCostModel m(10e6, 100.0);
+  EXPECT_DOUBLE_EQ(m.message_time_us(1250), 100.0 + 1000.0);
+  // Aggregate form matches per-message sum.
+  EXPECT_DOUBLE_EQ(m.total_time_us(3, 3 * 1250),
+                   3 * m.message_time_us(1250));
+}
+
+TEST(CostModelTest, SoftwareCostDominatesOnFastNetworks) {
+  const NetworkCostModel gige(NetworkCostModel::kEthernet1Gbps, 100.0);
+  // A 64-byte control message: transmission ~0.5us vs 100us software.
+  EXPECT_GT(gige.message_time_us(64), 100.0);
+  EXPECT_LT(gige.message_time_us(64), 101.0);
+}
+
+TEST(CostModelTest, SweepMatchesPaper) {
+  const auto sweep = NetworkCostModel::software_cost_sweep_us();
+  ASSERT_EQ(sweep.size(), 5u);
+  EXPECT_DOUBLE_EQ(sweep[0], 100.0);
+  EXPECT_DOUBLE_EQ(sweep[4], 0.5);
+}
+
+}  // namespace
+}  // namespace lotec

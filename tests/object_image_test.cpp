@@ -1,0 +1,156 @@
+// ObjectImage: residency, page-straddling byte access, dirty tracking,
+// version stamping, restore semantics, and PageStore behaviour.
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "page/page_store.hpp"
+
+namespace lotec {
+namespace {
+
+std::vector<std::byte> bytes_of(const std::string& s) {
+  std::vector<std::byte> out(s.size());
+  std::memcpy(out.data(), s.data(), s.size());
+  return out;
+}
+
+std::string string_of(std::span<const std::byte> b) {
+  return std::string(reinterpret_cast<const char*>(b.data()), b.size());
+}
+
+TEST(ObjectImageTest, MaterializeMakesZeroedPages) {
+  ObjectImage img(ObjectId(1), 3, 16);
+  EXPECT_FALSE(img.has_page(PageIndex(0)));
+  img.materialize_all();
+  for (std::uint32_t p = 0; p < 3; ++p) {
+    EXPECT_TRUE(img.has_page(PageIndex(p)));
+    EXPECT_EQ(img.page_version(PageIndex(p)), 0u);
+  }
+  std::vector<std::byte> buf(48);
+  img.read_bytes(0, buf);
+  for (const std::byte b : buf) EXPECT_EQ(b, std::byte{0});
+}
+
+TEST(ObjectImageTest, WriteReadAcrossPageBoundary) {
+  ObjectImage img(ObjectId(1), 3, 16);
+  img.materialize_all();
+  const auto data = bytes_of("hello-across-pages!");
+  img.write_bytes(10, data);  // spans pages 0 and 1
+  std::vector<std::byte> buf(data.size());
+  img.read_bytes(10, buf);
+  EXPECT_EQ(string_of(buf), "hello-across-pages!");
+  EXPECT_TRUE(img.dirty_pages().contains(PageIndex(0)));
+  EXPECT_TRUE(img.dirty_pages().contains(PageIndex(1)));
+  EXPECT_FALSE(img.dirty_pages().contains(PageIndex(2)));
+}
+
+TEST(ObjectImageTest, AccessToMissingPageThrows) {
+  ObjectImage img(ObjectId(9), 2, 16);
+  img.install_page(PageIndex(0), Page{.data = std::vector<std::byte>(16), .version = 3, .history = {}});
+  std::vector<std::byte> buf(4);
+  EXPECT_NO_THROW(img.read_bytes(0, buf));
+  try {
+    img.read_bytes(20, buf);
+    FAIL() << "expected PageNotResident";
+  } catch (const PageNotResident& e) {
+    EXPECT_EQ(e.object(), ObjectId(9));
+    EXPECT_EQ(e.page(), PageIndex(1));
+  }
+}
+
+TEST(ObjectImageTest, FirstMissingPageScansRange) {
+  ObjectImage img(ObjectId(1), 4, 16);
+  img.install_page(PageIndex(0), Page{.data = std::vector<std::byte>(16), .version = 1, .history = {}});
+  img.install_page(PageIndex(2), Page{.data = std::vector<std::byte>(16), .version = 1, .history = {}});
+  EXPECT_EQ(img.first_missing_page(0, 16), std::nullopt);
+  EXPECT_EQ(img.first_missing_page(0, 17), PageIndex(1));
+  EXPECT_EQ(img.first_missing_page(40, 16), PageIndex(3));
+  EXPECT_EQ(img.first_missing_page(0, 0), std::nullopt);
+}
+
+TEST(ObjectImageTest, InstallCarriesVersion) {
+  ObjectImage img(ObjectId(1), 2, 16);
+  img.install_page(PageIndex(1), Page{.data = std::vector<std::byte>(16), .version = 42, .history = {}});
+  EXPECT_EQ(img.page_version(PageIndex(1)), 42u);
+  EXPECT_EQ(img.page_version(PageIndex(0)), 0u);  // absent -> 0
+  EXPECT_THROW(
+      img.install_page(PageIndex(0), Page{.data = std::vector<std::byte>(8), .version = 1, .history = {}}),
+      UsageError);
+}
+
+TEST(ObjectImageTest, StampDirtyAssignsVersionAndClears) {
+  ObjectImage img(ObjectId(1), 3, 16);
+  img.materialize_all();
+  img.write_bytes(0, bytes_of("x"));
+  img.write_bytes(32, bytes_of("y"));
+  const PageSet stamped = img.stamp_dirty(7);
+  EXPECT_EQ(stamped.count(), 2u);
+  EXPECT_EQ(img.page_version(PageIndex(0)), 7u);
+  EXPECT_EQ(img.page_version(PageIndex(1)), 0u);  // untouched
+  EXPECT_EQ(img.page_version(PageIndex(2)), 7u);
+  EXPECT_TRUE(img.dirty_pages().empty());
+}
+
+TEST(ObjectImageTest, RestoreBytesDoesNotDirty) {
+  ObjectImage img(ObjectId(1), 1, 16);
+  img.materialize_all();
+  img.clear_dirty();
+  img.restore_bytes(4, bytes_of("abc"));
+  EXPECT_TRUE(img.dirty_pages().empty());
+  std::vector<std::byte> buf(3);
+  img.read_bytes(4, buf);
+  EXPECT_EQ(string_of(buf), "abc");
+}
+
+TEST(ObjectImageTest, RestorePageReplacesContentAndVersion) {
+  ObjectImage img(ObjectId(1), 1, 4);
+  img.materialize_all();
+  img.write_bytes(0, bytes_of("zzzz"));
+  Page before{.data = bytes_of("abcd"), .version = 5, .history = {}};
+  img.restore_page(PageIndex(0), before);
+  std::vector<std::byte> buf(4);
+  img.read_bytes(0, buf);
+  EXPECT_EQ(string_of(buf), "abcd");
+  EXPECT_EQ(img.page_version(PageIndex(0)), 5u);
+}
+
+TEST(ObjectImageTest, EvictDropsPageAndDirtyBit) {
+  ObjectImage img(ObjectId(1), 2, 16);
+  img.materialize_all();
+  img.write_bytes(0, bytes_of("q"));
+  img.evict_page(PageIndex(0));
+  EXPECT_FALSE(img.has_page(PageIndex(0)));
+  EXPECT_TRUE(img.dirty_pages().empty());
+  EXPECT_EQ(img.resident().count(), 1u);
+}
+
+TEST(ObjectImageTest, RejectsEmptyGeometry) {
+  EXPECT_THROW(ObjectImage(ObjectId(1), 0, 16), UsageError);
+  EXPECT_THROW(ObjectImage(ObjectId(1), 4, 0), UsageError);
+}
+
+TEST(PageStoreTest, CreateGetFindEvict) {
+  PageStore store;
+  EXPECT_FALSE(store.contains(ObjectId(1)));
+  ObjectImage& img = store.create(ObjectId(1), 2, 16, /*materialize=*/true);
+  EXPECT_TRUE(store.contains(ObjectId(1)));
+  EXPECT_EQ(&store.get(ObjectId(1)), &img);
+  EXPECT_EQ(store.find(ObjectId(2)), nullptr);
+  EXPECT_THROW((void)store.get(ObjectId(2)), UsageError);
+  EXPECT_THROW(store.create(ObjectId(1), 2, 16, false), UsageError);
+  EXPECT_EQ(store.resident_pages(), 2u);
+  store.evict(ObjectId(1));
+  EXPECT_FALSE(store.contains(ObjectId(1)));
+}
+
+TEST(PageStoreTest, GetOrCreateStartsEmpty) {
+  PageStore store;
+  ObjectImage& img = store.get_or_create(ObjectId(5), 3, 16);
+  EXPECT_EQ(img.resident().count(), 0u);
+  EXPECT_EQ(&store.get_or_create(ObjectId(5), 3, 16), &img);
+  EXPECT_EQ(store.num_objects(), 1u);
+}
+
+}  // namespace
+}  // namespace lotec

@@ -1,0 +1,141 @@
+// PageSet: set algebra, bounds checking, and property sweeps over universe
+// sizes (including word-boundary sizes 63/64/65).
+#include <gtest/gtest.h>
+
+#include "common/page_set.hpp"
+#include "common/rng.hpp"
+
+namespace lotec {
+namespace {
+
+PageIndex P(std::uint32_t i) { return PageIndex(i); }
+
+TEST(PageSetTest, StartsEmpty) {
+  PageSet s(10);
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.universe_size(), 10u);
+  for (std::uint32_t i = 0; i < 10; ++i) EXPECT_FALSE(s.contains(P(i)));
+}
+
+TEST(PageSetTest, InsertEraseContains) {
+  PageSet s(10);
+  s.insert(P(3));
+  s.insert(P(9));
+  EXPECT_TRUE(s.contains(P(3)));
+  EXPECT_TRUE(s.contains(P(9)));
+  EXPECT_FALSE(s.contains(P(4)));
+  EXPECT_EQ(s.count(), 2u);
+  s.erase(P(3));
+  EXPECT_FALSE(s.contains(P(3)));
+  EXPECT_EQ(s.count(), 1u);
+  s.erase(P(3));  // idempotent
+  EXPECT_EQ(s.count(), 1u);
+}
+
+TEST(PageSetTest, FullHasEverything) {
+  const PageSet s = PageSet::full(7);
+  EXPECT_EQ(s.count(), 7u);
+  for (std::uint32_t i = 0; i < 7; ++i) EXPECT_TRUE(s.contains(P(i)));
+}
+
+TEST(PageSetTest, OutOfRangeThrows) {
+  PageSet s(4);
+  EXPECT_THROW(s.insert(P(4)), UsageError);
+  EXPECT_THROW((void)s.contains(P(100)), UsageError);
+  EXPECT_THROW(s.insert(PageIndex{}), UsageError);  // invalid index
+}
+
+TEST(PageSetTest, MismatchedUniversesThrow) {
+  PageSet a(4), b(5);
+  EXPECT_THROW(a |= b, UsageError);
+  EXPECT_THROW(a &= b, UsageError);
+  EXPECT_THROW(a -= b, UsageError);
+  EXPECT_THROW((void)a.subset_of(b), UsageError);
+}
+
+TEST(PageSetTest, SetAlgebra) {
+  PageSet a(8), b(8);
+  a.insert(P(0));
+  a.insert(P(1));
+  a.insert(P(2));
+  b.insert(P(2));
+  b.insert(P(3));
+
+  const PageSet u = a | b;
+  EXPECT_EQ(u.count(), 4u);
+  const PageSet i = a & b;
+  EXPECT_EQ(i.count(), 1u);
+  EXPECT_TRUE(i.contains(P(2)));
+  const PageSet d = a - b;
+  EXPECT_EQ(d.count(), 2u);
+  EXPECT_TRUE(d.contains(P(0)));
+  EXPECT_FALSE(d.contains(P(2)));
+}
+
+TEST(PageSetTest, SubsetAndIntersects) {
+  PageSet a(8), b(8);
+  a.insert(P(1));
+  b.insert(P(1));
+  b.insert(P(5));
+  EXPECT_TRUE(a.subset_of(b));
+  EXPECT_FALSE(b.subset_of(a));
+  EXPECT_TRUE(a.intersects(b));
+  a.clear();
+  EXPECT_TRUE(a.subset_of(b));   // empty set is subset of everything
+  EXPECT_FALSE(a.intersects(b));
+}
+
+TEST(PageSetTest, ToVectorAscending) {
+  PageSet s(70);
+  s.insert(P(65));
+  s.insert(P(0));
+  s.insert(P(63));
+  const auto v = s.to_vector();
+  ASSERT_EQ(v.size(), 3u);
+  EXPECT_EQ(v[0].value(), 0u);
+  EXPECT_EQ(v[1].value(), 63u);
+  EXPECT_EQ(v[2].value(), 65u);
+  EXPECT_EQ(s.to_string(), "{0,63,65}");
+}
+
+TEST(PageSetTest, EqualityAcrossWordBoundary) {
+  PageSet a(65), b(65);
+  a.insert(P(64));
+  EXPECT_NE(a, b);
+  b.insert(P(64));
+  EXPECT_EQ(a, b);
+}
+
+class PageSetPropertyTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(PageSetPropertyTest, AlgebraIdentities) {
+  const std::size_t n = GetParam();
+  Rng rng(n * 977 + 13);
+  for (int trial = 0; trial < 20; ++trial) {
+    PageSet a(n), b(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (rng.chance(0.4)) a.insert(P(static_cast<std::uint32_t>(i)));
+      if (rng.chance(0.4)) b.insert(P(static_cast<std::uint32_t>(i)));
+    }
+    // |A U B| + |A & B| == |A| + |B|
+    EXPECT_EQ((a | b).count() + (a & b).count(), a.count() + b.count());
+    // A - B == A & (U - B)
+    EXPECT_EQ(a - b, a & (PageSet::full(n) - b));
+    // De Morgan over the finite universe.
+    const PageSet u = PageSet::full(n);
+    EXPECT_EQ(u - (a | b), (u - a) & (u - b));
+    EXPECT_EQ(u - (a & b), (u - a) | (u - b));
+    // Difference then union restores supersets.
+    EXPECT_TRUE(((a - b) | (a & b)) == a);
+    // subset_of consistency.
+    EXPECT_TRUE((a & b).subset_of(a));
+    EXPECT_TRUE(a.subset_of(a | b));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, PageSetPropertyTest,
+                         ::testing::Values(1, 7, 63, 64, 65, 128, 1000));
+
+}  // namespace
+}  // namespace lotec

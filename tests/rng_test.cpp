@@ -1,0 +1,106 @@
+// Rng / ZipfSampler: determinism, bounds, and distribution sanity.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "common/rng.hpp"
+
+namespace lotec {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.next() == b.next());
+  EXPECT_LT(same, 4);
+}
+
+TEST(RngTest, BelowStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.below(13), 13u);
+  EXPECT_THROW(rng.below(0), UsageError);
+}
+
+TEST(RngTest, BetweenInclusive) {
+  Rng rng(7);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const std::uint64_t v = rng.between(3, 6);
+    EXPECT_GE(v, 3u);
+    EXPECT_LE(v, 6u);
+    saw_lo |= v == 3;
+    saw_hi |= v == 6;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+  EXPECT_THROW(rng.between(5, 4), UsageError);
+  EXPECT_EQ(rng.between(9, 9), 9u);
+}
+
+TEST(RngTest, UniformInUnitInterval) {
+  Rng rng(9);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(RngTest, ChanceExtremes) {
+  Rng rng(11);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+  }
+}
+
+TEST(RngTest, SplitStreamsAreIndependent) {
+  Rng parent(5);
+  Rng child = parent.split();
+  // Child and parent must not produce the same stream.
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (parent.next() == child.next());
+  EXPECT_LT(same, 4);
+}
+
+TEST(ZipfSamplerTest, UniformWhenThetaZero) {
+  ZipfSampler sampler(4, 0.0);
+  Rng rng(3);
+  std::map<std::size_t, int> counts;
+  for (int i = 0; i < 8000; ++i) counts[sampler.draw(rng)]++;
+  for (const auto& [k, c] : counts) {
+    EXPECT_LT(k, 4u);
+    EXPECT_NEAR(c, 2000, 200);
+  }
+}
+
+TEST(ZipfSamplerTest, SkewConcentratesOnLowIndices) {
+  ZipfSampler sampler(10, 1.2);
+  Rng rng(3);
+  std::map<std::size_t, int> counts;
+  for (int i = 0; i < 10000; ++i) counts[sampler.draw(rng)]++;
+  EXPECT_GT(counts[0], counts[4]);
+  EXPECT_GT(counts[0], 2500);  // item 0 dominates
+}
+
+TEST(ZipfSamplerTest, RejectsBadArgs) {
+  EXPECT_THROW(ZipfSampler(0, 1.0), UsageError);
+  EXPECT_THROW(ZipfSampler(4, -0.5), UsageError);
+}
+
+TEST(ZipfSamplerTest, SingleItemAlwaysZero) {
+  ZipfSampler sampler(1, 2.0);
+  Rng rng(1);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(sampler.draw(rng), 0u);
+}
+
+}  // namespace
+}  // namespace lotec

@@ -1,0 +1,210 @@
+// Snapshot persistence: round trips, schema verification, corruption
+// detection, and post-restore operability.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "persist/snapshot.hpp"
+#include "sim/validate.hpp"
+#include "workload/generator.hpp"
+
+namespace lotec {
+namespace {
+
+std::string temp_path(const std::string& tag) {
+  return ::testing::TempDir() + "lotec_snap_" + tag + ".bin";
+}
+
+ClusterConfig snap_config() {
+  ClusterConfig cfg;
+  cfg.nodes = 4;
+  cfg.protocol = ProtocolKind::kLotec;
+  cfg.page_size = 256;
+  cfg.seed = 41;
+  return cfg;
+}
+
+void define_schema(Cluster& cluster, int objects) {
+  const ClassId cls = cluster.define_class(
+      ClassBuilder("SnapCell", cluster.config().page_size)
+          .attribute("v", 8)
+          .attribute("tag", 64)
+          .attribute("blob", 512)  // multi-page object
+          .method("bump", {"v"}, {"v"},
+                  [](MethodContext& ctx) {
+                    ctx.set<std::int64_t>("v", ctx.get<std::int64_t>("v") + 1);
+                  })
+          .method("label", {"v"}, {"tag"}, [](MethodContext& ctx) {
+            ctx.set_string("tag",
+                           "v=" + std::to_string(ctx.get<std::int64_t>("v")));
+          }));
+  for (int i = 0; i < objects; ++i) (void)cluster.create_object(cls);
+}
+
+TEST(SnapshotTest, RoundTripRestoresEveryAttribute) {
+  const std::string path = temp_path("roundtrip");
+  constexpr int kObjects = 6;
+
+  std::vector<std::int64_t> values;
+  std::vector<std::string> tags;
+  {
+    Cluster cluster(snap_config());
+    define_schema(cluster, kObjects);
+    for (int i = 0; i < kObjects; ++i) {
+      for (int b = 0; b <= i; ++b)
+        ASSERT_TRUE(cluster.run_root(ObjectId(i), "bump",
+                                     NodeId(b % 4)).committed);
+      ASSERT_TRUE(cluster.run_root(ObjectId(i), "label").committed);
+      values.push_back(cluster.peek<std::int64_t>(ObjectId(i), "v"));
+      tags.push_back(cluster.peek_string(ObjectId(i), "tag"));
+    }
+    const SnapshotStats stats = save_snapshot(cluster, path);
+    EXPECT_EQ(stats.objects, static_cast<std::size_t>(kObjects));
+    EXPECT_GT(stats.pages, static_cast<std::size_t>(kObjects));
+  }
+
+  Cluster restored(snap_config());
+  define_schema(restored, kObjects);
+  const SnapshotStats stats = load_snapshot(restored, path);
+  EXPECT_EQ(stats.objects, static_cast<std::size_t>(kObjects));
+  for (int i = 0; i < kObjects; ++i) {
+    EXPECT_EQ(restored.peek<std::int64_t>(ObjectId(i), "v"), values[i]);
+    EXPECT_EQ(restored.peek_string(ObjectId(i), "tag"), tags[i]);
+  }
+  EXPECT_TRUE(validate_quiescent(restored).empty());
+
+  // The restored cluster is fully operational: keep transacting.
+  ASSERT_TRUE(restored.run_root(ObjectId(0), "bump", NodeId(3)).committed);
+  EXPECT_EQ(restored.peek<std::int64_t>(ObjectId(0), "v"), values[0] + 1);
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotTest, WorkloadStateSurvivesTheRoundTrip) {
+  const std::string path = temp_path("workload");
+  WorkloadSpec spec;
+  spec.num_objects = 8;
+  spec.min_pages = 1;
+  spec.max_pages = 4;
+  spec.num_transactions = 50;
+  spec.seed = 42;
+  const Workload workload(spec);
+
+  std::vector<std::int64_t> expected;
+  {
+    Cluster cluster(snap_config());
+    auto requests = workload.instantiate(cluster);
+    for (const auto& r : cluster.execute(std::move(requests)))
+      ASSERT_TRUE(r.committed);
+    for (std::size_t i = 0; i < workload.num_objects(); ++i)
+      expected.push_back(cluster.peek<std::int64_t>(ObjectId(i), "a0"));
+    (void)save_snapshot(cluster, path);
+  }
+
+  Cluster restored(snap_config());
+  (void)workload.instantiate(restored);  // same schema + objects, no txns
+  (void)load_snapshot(restored, path);
+  for (std::size_t i = 0; i < workload.num_objects(); ++i)
+    EXPECT_EQ(restored.peek<std::int64_t>(ObjectId(i), "a0"), expected[i]);
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotTest, DetectsCorruption) {
+  const std::string path = temp_path("corrupt");
+  {
+    Cluster cluster(snap_config());
+    define_schema(cluster, 2);
+    ASSERT_TRUE(cluster.run_root(ObjectId(0), "bump").committed);
+    (void)save_snapshot(cluster, path);
+  }
+  // Flip one byte in the middle.
+  {
+    std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+    f.seekp(120);
+    char b = 0;
+    f.seekg(120);
+    f.get(b);
+    b = static_cast<char>(b ^ 0x5A);
+    f.seekp(120);
+    f.put(b);
+  }
+  Cluster restored(snap_config());
+  define_schema(restored, 2);
+  EXPECT_THROW((void)load_snapshot(restored, path), SnapshotError);
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotTest, DetectsTruncation) {
+  const std::string path = temp_path("trunc");
+  {
+    Cluster cluster(snap_config());
+    define_schema(cluster, 2);
+    (void)save_snapshot(cluster, path);
+  }
+  {
+    std::ifstream in(path, std::ios::binary);
+    std::vector<char> all((std::istreambuf_iterator<char>(in)),
+                          std::istreambuf_iterator<char>());
+    all.resize(all.size() / 2);
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(all.data(), static_cast<std::streamsize>(all.size()));
+  }
+  Cluster restored(snap_config());
+  define_schema(restored, 2);
+  EXPECT_THROW((void)load_snapshot(restored, path), SnapshotError);
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotTest, RejectsSchemaMismatch) {
+  const std::string path = temp_path("schema");
+  {
+    Cluster cluster(snap_config());
+    define_schema(cluster, 2);
+    (void)save_snapshot(cluster, path);
+  }
+  Cluster other(snap_config());
+  const ClassId different = other.define_class(
+      ClassBuilder("SomethingElse", 256)
+          .attribute("v", 8)
+          .attribute("tag", 64)
+          .attribute("blob", 512)
+          .method("bump", {"v"}, {"v"}, [](MethodContext& ctx) {
+            ctx.set<std::int64_t>("v", 1);
+          }));
+  (void)other.create_object(different);
+  (void)other.create_object(different);
+  EXPECT_THROW((void)load_snapshot(other, path), SnapshotError);
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotTest, RejectsRestoreIntoUsedCluster) {
+  const std::string path = temp_path("used");
+  {
+    Cluster cluster(snap_config());
+    define_schema(cluster, 2);
+    (void)save_snapshot(cluster, path);
+  }
+  Cluster used(snap_config());
+  define_schema(used, 2);
+  // Touch an object from another node first: ownership moves.
+  ASSERT_TRUE(used.run_root(ObjectId(0), "bump", NodeId(3)).committed);
+  EXPECT_THROW((void)load_snapshot(used, path), UsageError);
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotTest, RejectsGarbageFiles) {
+  const std::string path = temp_path("garbage");
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "definitely not a snapshot";
+  }
+  Cluster cluster(snap_config());
+  define_schema(cluster, 1);
+  EXPECT_THROW((void)load_snapshot(cluster, path), SnapshotError);
+  EXPECT_THROW((void)load_snapshot(cluster, "/nonexistent/nowhere.bin"),
+               SnapshotError);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace lotec

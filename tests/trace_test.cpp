@@ -1,0 +1,116 @@
+// Message tracing: recording fidelity, capacity bounds, CSV round trip.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "runtime/cluster.hpp"
+#include "sim/trace.hpp"
+
+namespace lotec {
+namespace {
+
+TEST(TraceTest, RecordsEveryMessageWithMatchingTotals) {
+  NetworkStats stats;
+  stats.enable_trace(100);
+  stats.record({MessageKind::kLockAcquireRequest, NodeId(0), NodeId(1),
+                ObjectId(5), 24});
+  stats.record({MessageKind::kPageFetchReply, NodeId(1), NodeId(0),
+                ObjectId(5), 4096});
+  stats.record_multicast({MessageKind::kUpdatePush, NodeId(0), NodeId(0),
+                          ObjectId(6), 100},
+                         3, /*multicast=*/false);
+  const auto trace = stats.trace();
+  ASSERT_EQ(trace.size(), 5u);
+  EXPECT_EQ(trace.size(), stats.total().messages);
+  std::uint64_t traced_bytes = 0;
+  for (const auto& e : trace) traced_bytes += e.total_bytes;
+  EXPECT_EQ(traced_bytes, stats.total().bytes);
+  EXPECT_EQ(trace[0].kind, MessageKind::kLockAcquireRequest);
+  EXPECT_EQ(trace[0].payload_bytes, 24u);
+  EXPECT_EQ(trace[1].total_bytes, 4096 + wire::kHeaderBytes);
+  EXPECT_EQ(stats.trace_dropped(), 0u);
+}
+
+TEST(TraceTest, CapacityBoundsRecordingAndCountsDrops) {
+  NetworkStats stats;
+  stats.enable_trace(3);
+  for (int i = 0; i < 10; ++i)
+    stats.record({MessageKind::kGdoLookupRequest, NodeId(0), NodeId(1),
+                  ObjectId(1), 8});
+  EXPECT_EQ(stats.trace().size(), 3u);
+  EXPECT_EQ(stats.trace_dropped(), 7u);
+  EXPECT_EQ(stats.total().messages, 10u);  // counters unaffected
+}
+
+TEST(TraceTest, DisabledByDefault) {
+  NetworkStats stats;
+  stats.record({MessageKind::kGdoLookupRequest, NodeId(0), NodeId(1),
+                ObjectId(1), 8});
+  EXPECT_TRUE(stats.trace().empty());
+}
+
+TEST(TraceTest, CsvRoundTrip) {
+  std::vector<TraceEvent> events;
+  events.push_back({1, MessageKind::kLockAcquireRequest, NodeId(0), NodeId(3),
+                    ObjectId(9), 24, 88});
+  events.push_back({2, MessageKind::kGdoReplicaSync, NodeId(1), NodeId(2),
+                    ObjectId{}, 64, 128});  // unattributed object
+  std::stringstream ss;
+  dump_trace_csv(events, ss);
+  const auto parsed = load_trace_csv(ss);
+  ASSERT_EQ(parsed.size(), 2u);
+  EXPECT_EQ(parsed[0].kind, MessageKind::kLockAcquireRequest);
+  EXPECT_EQ(parsed[0].src, NodeId(0));
+  EXPECT_EQ(parsed[0].dst, NodeId(3));
+  EXPECT_EQ(parsed[0].object, ObjectId(9));
+  EXPECT_EQ(parsed[0].payload_bytes, 24u);
+  EXPECT_EQ(parsed[0].total_bytes, 88u);
+  EXPECT_FALSE(parsed[1].object.valid());
+  EXPECT_EQ(parsed[1].kind, MessageKind::kGdoReplicaSync);
+}
+
+TEST(TraceTest, LoadRejectsMalformedCsv) {
+  {
+    std::stringstream ss("bogus header\n");
+    EXPECT_THROW((void)load_trace_csv(ss), UsageError);
+  }
+  {
+    std::stringstream ss(
+        "seq,kind,src,dst,object,payload_bytes,total_bytes\n1,NotAKind,0,1,"
+        "2,3,4\n");
+    EXPECT_THROW((void)load_trace_csv(ss), UsageError);
+  }
+  {
+    std::stringstream ss(
+        "seq,kind,src,dst,object,payload_bytes,total_bytes\n1,UpdatePush,0\n");
+    EXPECT_THROW((void)load_trace_csv(ss), UsageError);
+  }
+}
+
+TEST(TraceTest, ClusterTraceMatchesCounters) {
+  ClusterConfig cfg;
+  cfg.nodes = 4;
+  cfg.page_size = 64;
+  cfg.protocol = ProtocolKind::kLotec;
+  cfg.seed = 5;
+  Cluster cluster(cfg);
+  cluster.stats().enable_trace(10000);
+  const ClassId cls = cluster.define_class(
+      ClassBuilder("C", 64).attribute("v", 8).method(
+          "bump", {"v"}, {"v"}, [](MethodContext& ctx) {
+            ctx.set<std::int64_t>("v", ctx.get<std::int64_t>("v") + 1);
+          }));
+  const ObjectId obj = cluster.create_object(cls, NodeId(0));
+  for (int i = 0; i < 8; ++i)
+    ASSERT_TRUE(cluster.run_root(obj, "bump", NodeId(i % 4)).committed);
+
+  const auto trace = cluster.stats().trace();
+  EXPECT_EQ(trace.size(), cluster.stats().total().messages);
+  std::uint64_t object_bytes = 0;
+  for (const auto& e : trace)
+    if (e.object == obj) object_bytes += e.total_bytes;
+  EXPECT_EQ(object_bytes, cluster.stats().by_object(obj).bytes);
+}
+
+}  // namespace
+}  // namespace lotec

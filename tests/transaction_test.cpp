@@ -1,0 +1,113 @@
+// Transaction / Family: tree structure, closed-nesting state rules, undo
+// inheritance, ancestor queries.
+#include <gtest/gtest.h>
+
+#include "txn/family.hpp"
+
+namespace lotec {
+namespace {
+
+class TransactionTest : public ::testing::Test {
+ protected:
+  Family family_{FamilyId(1), NodeId(0), UndoStrategy::kByteRange};
+};
+
+TEST_F(TransactionTest, RootAndChildrenGetSerials) {
+  Transaction& root = family_.begin_root(ObjectId(1), MethodId(0));
+  EXPECT_TRUE(root.is_root());
+  EXPECT_EQ(root.id().serial, 0u);
+  EXPECT_EQ(root.depth(), 0u);
+
+  Transaction& c1 = family_.begin_child(root, ObjectId(2), MethodId(1));
+  Transaction& c2 = family_.begin_child(c1, ObjectId(3), MethodId(0));
+  EXPECT_EQ(c1.id().serial, 1u);
+  EXPECT_EQ(c2.id().serial, 2u);
+  EXPECT_EQ(c2.depth(), 2u);
+  EXPECT_EQ(c2.parent(), &c1);
+  EXPECT_EQ(family_.num_txns(), 3u);
+}
+
+TEST_F(TransactionTest, AncestorQueries) {
+  Transaction& root = family_.begin_root(ObjectId(1), MethodId(0));
+  Transaction& c1 = family_.begin_child(root, ObjectId(2), MethodId(0));
+  Transaction& c2 = family_.begin_child(c1, ObjectId(3), MethodId(0));
+  Transaction& sibling = family_.begin_child(root, ObjectId(4), MethodId(0));
+
+  EXPECT_TRUE(c2.is_self_or_ancestor(0));  // root
+  EXPECT_TRUE(c2.is_self_or_ancestor(1));  // c1
+  EXPECT_TRUE(c2.is_self_or_ancestor(2));  // self
+  EXPECT_FALSE(c2.is_self_or_ancestor(3)); // sibling branch
+  EXPECT_FALSE(root.is_self_or_ancestor(1));
+  (void)sibling;
+}
+
+TEST_F(TransactionTest, PreCommitRequiresFinishedChildren) {
+  Transaction& root = family_.begin_root(ObjectId(1), MethodId(0));
+  Transaction& c1 = family_.begin_child(root, ObjectId(2), MethodId(0));
+  Transaction& c2 = family_.begin_child(c1, ObjectId(3), MethodId(0));
+  EXPECT_THROW(c1.pre_commit(), UsageError);  // c2 still active (rule 3)
+  c2.pre_commit();
+  EXPECT_EQ(c2.state(), TxnState::kPreCommitted);
+  EXPECT_NO_THROW(c1.pre_commit());
+}
+
+TEST_F(TransactionTest, RootsCommitNotPreCommit) {
+  Transaction& root = family_.begin_root(ObjectId(1), MethodId(0));
+  EXPECT_THROW(root.pre_commit(), UsageError);
+  root.commit_root();
+  EXPECT_EQ(root.state(), TxnState::kCommitted);
+}
+
+TEST_F(TransactionTest, CommitRootRejectsActiveChildren) {
+  Transaction& root = family_.begin_root(ObjectId(1), MethodId(0));
+  (void)family_.begin_child(root, ObjectId(2), MethodId(0));
+  EXPECT_THROW(root.commit_root(), UsageError);
+}
+
+TEST_F(TransactionTest, FinishedTransactionsRejectFurtherUse) {
+  Transaction& root = family_.begin_root(ObjectId(1), MethodId(0));
+  Transaction& c1 = family_.begin_child(root, ObjectId(2), MethodId(0));
+  c1.pre_commit();
+  EXPECT_THROW(c1.pre_commit(), UsageError);
+  EXPECT_THROW(family_.begin_child(c1, ObjectId(3), MethodId(0)), UsageError);
+  EXPECT_THROW(c1.abort([](ObjectId) -> ObjectImage& {
+    throw UsageError("unused");
+  }),
+               UsageError);
+}
+
+TEST_F(TransactionTest, PreCommitHandsUndoToParent) {
+  ObjectImage img(ObjectId(2), 1, 16);
+  img.materialize_all();
+  const auto resolve = [&](ObjectId) -> ObjectImage& { return img; };
+
+  Transaction& root = family_.begin_root(ObjectId(1), MethodId(0));
+  Transaction& child = family_.begin_child(root, ObjectId(2), MethodId(0));
+
+  std::vector<std::byte> data{std::byte{0xAB}};
+  child.undo().before_write(img, 0, 1);
+  img.write_bytes(0, data);
+  child.pre_commit();
+  EXPECT_TRUE(child.undo().empty());
+  EXPECT_FALSE(root.undo().empty());
+
+  // Root abort rolls the child's committed write back.
+  root.abort(resolve);
+  std::vector<std::byte> buf(1);
+  img.read_bytes(0, buf);
+  EXPECT_EQ(buf[0], std::byte{0});
+}
+
+TEST_F(TransactionTest, FamilyResetForRetry) {
+  Transaction& root = family_.begin_root(ObjectId(1), MethodId(0));
+  (void)family_.begin_child(root, ObjectId(2), MethodId(0));
+  EXPECT_THROW(family_.begin_root(ObjectId(1), MethodId(0)), UsageError);
+  family_.reset();
+  EXPECT_EQ(family_.root(), nullptr);
+  EXPECT_EQ(family_.num_txns(), 0u);
+  Transaction& again = family_.begin_root(ObjectId(1), MethodId(0));
+  EXPECT_EQ(again.id().serial, 0u);  // serials restart (script alignment)
+}
+
+}  // namespace
+}  // namespace lotec

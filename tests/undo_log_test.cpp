@@ -1,0 +1,194 @@
+// UndoLog: both strategies (byte-range log, shadow pages), reverse-order
+// restoration, inheritance at pre-commit (absorb), and memory accounting.
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "page/undo_log.hpp"
+
+namespace lotec {
+namespace {
+
+std::vector<std::byte> bytes_of(const std::string& s) {
+  std::vector<std::byte> out(s.size());
+  std::memcpy(out.data(), s.data(), s.size());
+  return out;
+}
+
+std::string read_str(const ObjectImage& img, std::uint64_t off,
+                     std::size_t n) {
+  std::vector<std::byte> buf(n);
+  img.read_bytes(off, buf);
+  return std::string(reinterpret_cast<const char*>(buf.data()), n);
+}
+
+class UndoLogTest : public ::testing::TestWithParam<UndoStrategy> {
+ protected:
+  ObjectImage make_image(ObjectId id = ObjectId(1)) {
+    ObjectImage img(id, 4, 16);
+    img.materialize_all();
+    return img;
+  }
+  std::function<ObjectImage&(ObjectId)> resolver(ObjectImage& img) {
+    return [&img](ObjectId) -> ObjectImage& { return img; };
+  }
+};
+
+TEST_P(UndoLogTest, UndoRestoresSingleWrite) {
+  ObjectImage img = make_image();
+  img.write_bytes(3, bytes_of("AAAA"));
+  UndoLog log(GetParam());
+  log.before_write(img, 3, 4);
+  img.write_bytes(3, bytes_of("BBBB"));
+  EXPECT_EQ(read_str(img, 3, 4), "BBBB");
+  log.undo(resolver(img));
+  EXPECT_EQ(read_str(img, 3, 4), "AAAA");
+  EXPECT_TRUE(log.empty());
+}
+
+TEST_P(UndoLogTest, OverlappingWritesRestoreInReverse) {
+  ObjectImage img = make_image();
+  img.write_bytes(0, bytes_of("original"));
+  UndoLog log(GetParam());
+  log.before_write(img, 0, 8);
+  img.write_bytes(0, bytes_of("11111111"));
+  log.before_write(img, 4, 4);
+  img.write_bytes(4, bytes_of("2222"));
+  log.undo(resolver(img));
+  EXPECT_EQ(read_str(img, 0, 8), "original");
+}
+
+TEST_P(UndoLogTest, CrossPageWriteRestores) {
+  ObjectImage img = make_image();
+  img.write_bytes(12, bytes_of("ABCDEFGH"));  // spans pages 0-1
+  UndoLog log(GetParam());
+  log.before_write(img, 12, 8);
+  img.write_bytes(12, bytes_of("XXXXXXXX"));
+  log.undo(resolver(img));
+  EXPECT_EQ(read_str(img, 12, 8), "ABCDEFGH");
+}
+
+TEST_P(UndoLogTest, AbsorbedChildUndoneByParent) {
+  ObjectImage img = make_image();
+  img.write_bytes(0, bytes_of("base"));
+
+  UndoLog parent(GetParam());
+  parent.before_write(img, 0, 4);
+  img.write_bytes(0, bytes_of("par1"));
+
+  UndoLog child(GetParam());
+  child.before_write(img, 0, 4);
+  img.write_bytes(0, bytes_of("chi1"));
+
+  // Child pre-commits: parent inherits its undo information.
+  parent.absorb(std::move(child));
+  EXPECT_TRUE(child.empty());
+
+  // Parent writes again after inheriting.
+  parent.before_write(img, 0, 4);
+  img.write_bytes(0, bytes_of("par2"));
+
+  parent.undo(resolver(img));
+  EXPECT_EQ(read_str(img, 0, 4), "base");
+}
+
+TEST_P(UndoLogTest, AbsorbRejectsMixedStrategies) {
+  UndoLog a(UndoStrategy::kByteRange);
+  UndoLog b(UndoStrategy::kShadowPage);
+  EXPECT_THROW(a.absorb(std::move(b)), UsageError);
+}
+
+TEST_P(UndoLogTest, MultiObjectUndoUsesResolver) {
+  ObjectImage img1(ObjectId(1), 1, 16);
+  ObjectImage img2(ObjectId(2), 1, 16);
+  img1.materialize_all();
+  img2.materialize_all();
+  img1.write_bytes(0, bytes_of("one!"));
+  img2.write_bytes(0, bytes_of("two!"));
+
+  UndoLog log(GetParam());
+  log.before_write(img1, 0, 4);
+  img1.write_bytes(0, bytes_of("1111"));
+  log.before_write(img2, 0, 4);
+  img2.write_bytes(0, bytes_of("2222"));
+  log.undo([&](ObjectId id) -> ObjectImage& {
+    return id == ObjectId(1) ? img1 : img2;
+  });
+  EXPECT_EQ(read_str(img1, 0, 4), "one!");
+  EXPECT_EQ(read_str(img2, 0, 4), "two!");
+}
+
+TEST_P(UndoLogTest, ClearDropsEverything) {
+  ObjectImage img = make_image();
+  UndoLog log(GetParam());
+  log.before_write(img, 0, 8);
+  EXPECT_FALSE(log.empty());
+  log.clear();
+  EXPECT_TRUE(log.empty());
+  EXPECT_EQ(log.memory_bytes(), 0u);
+}
+
+TEST_P(UndoLogTest, ZeroLengthWriteIsNoop) {
+  ObjectImage img = make_image();
+  UndoLog log(GetParam());
+  log.before_write(img, 0, 0);
+  EXPECT_TRUE(log.empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(Strategies, UndoLogTest,
+                         ::testing::Values(UndoStrategy::kByteRange,
+                                           UndoStrategy::kShadowPage),
+                         [](const auto& info) {
+                           return info.param == UndoStrategy::kByteRange
+                                      ? "ByteRange"
+                                      : "ShadowPage";
+                         });
+
+TEST(UndoLogStrategyTest, ByteRangeIsCompactForNarrowWrites) {
+  ObjectImage img(ObjectId(1), 4, 4096);
+  img.materialize_all();
+  UndoLog byte_log(UndoStrategy::kByteRange);
+  UndoLog shadow_log(UndoStrategy::kShadowPage);
+  byte_log.before_write(img, 0, 16);
+  shadow_log.before_write(img, 0, 16);
+  EXPECT_EQ(byte_log.memory_bytes(), 16u);
+  EXPECT_EQ(shadow_log.memory_bytes(), 4096u);
+}
+
+TEST(UndoLogStrategyTest, ShadowCapturesPageOnceDespiteManyWrites) {
+  ObjectImage img(ObjectId(1), 1, 4096);
+  img.materialize_all();
+  UndoLog shadow(UndoStrategy::kShadowPage);
+  for (int i = 0; i < 10; ++i) shadow.before_write(img, 0, 64);
+  EXPECT_EQ(shadow.record_count(), 1u);
+  EXPECT_EQ(shadow.memory_bytes(), 4096u);
+
+  UndoLog bytes(UndoStrategy::kByteRange);
+  for (int i = 0; i < 10; ++i) bytes.before_write(img, 0, 64);
+  EXPECT_EQ(bytes.record_count(), 10u);
+}
+
+TEST(UndoLogStrategyTest, ShadowAbsorbDoesNotRecaptureChildPages) {
+  // After absorbing a child's shadow of page 0, the parent must NOT
+  // re-shadow it (that would capture the child's committed data and break
+  // reverse-order restoration).
+  ObjectImage img(ObjectId(1), 1, 16);
+  img.materialize_all();
+  img.write_bytes(0, bytes_of("base"));
+
+  UndoLog parent(UndoStrategy::kShadowPage);
+  UndoLog child(UndoStrategy::kShadowPage);
+  child.before_write(img, 0, 4);
+  img.write_bytes(0, bytes_of("chi1"));
+  parent.absorb(std::move(child));
+
+  parent.before_write(img, 0, 4);  // must be a no-op capture
+  EXPECT_EQ(parent.record_count(), 1u);
+  img.write_bytes(0, bytes_of("par1"));
+
+  parent.undo([&](ObjectId) -> ObjectImage& { return img; });
+  EXPECT_EQ(read_str(img, 0, 4), "base");
+}
+
+}  // namespace
+}  // namespace lotec

@@ -1,0 +1,123 @@
+// DeadlockDetector: cycle detection over waits-for edges and victim choice.
+#include <gtest/gtest.h>
+
+#include "gdo/waits_for.hpp"
+
+namespace lotec {
+namespace {
+
+GdoService::WaitEdge edge(std::uint64_t waiter, std::uint64_t holder) {
+  return {FamilyId(waiter), FamilyId(holder), ObjectId(0)};
+}
+
+TEST(WaitsForTest, NoEdgesNoCycle) {
+  EXPECT_FALSE(DeadlockDetector::find_cycle({}));
+}
+
+TEST(WaitsForTest, ChainIsNotACycle) {
+  EXPECT_FALSE(
+      DeadlockDetector::find_cycle({edge(1, 2), edge(2, 3), edge(3, 4)}));
+}
+
+TEST(WaitsForTest, TwoCycleDetected) {
+  const auto cycle = DeadlockDetector::find_cycle({edge(1, 2), edge(2, 1)});
+  ASSERT_TRUE(cycle);
+  EXPECT_EQ(cycle->families.size(), 2u);
+  EXPECT_EQ(cycle->victim, FamilyId(2));  // youngest
+}
+
+TEST(WaitsForTest, SelfLoopDetected) {
+  const auto cycle = DeadlockDetector::find_cycle({edge(7, 7)});
+  ASSERT_TRUE(cycle);
+  EXPECT_EQ(cycle->victim, FamilyId(7));
+}
+
+TEST(WaitsForTest, LongCycleVictimIsYoungest) {
+  const auto cycle = DeadlockDetector::find_cycle(
+      {edge(3, 9), edge(9, 4), edge(4, 3), edge(1, 3)});
+  ASSERT_TRUE(cycle);
+  EXPECT_EQ(cycle->victim, FamilyId(9));
+  // The cycle contains exactly {3, 9, 4}.
+  EXPECT_EQ(cycle->families.size(), 3u);
+}
+
+TEST(WaitsForTest, DiamondWithoutCycle) {
+  EXPECT_FALSE(DeadlockDetector::find_cycle(
+      {edge(1, 2), edge(1, 3), edge(2, 4), edge(3, 4)}));
+}
+
+TEST(WaitsForTest, CycleOffTheRootIsStillFound) {
+  // 1 -> 2 -> 3 -> 2: traversal from 1 must find the {2,3} cycle.
+  const auto cycle =
+      DeadlockDetector::find_cycle({edge(1, 2), edge(2, 3), edge(3, 2)});
+  ASSERT_TRUE(cycle);
+  EXPECT_EQ(cycle->victim, FamilyId(3));
+  EXPECT_EQ(cycle->families.size(), 2u);
+}
+
+TEST(WaitsForTest, DeterministicAcrossEdgeOrder) {
+  const std::vector<GdoService::WaitEdge> forward = {edge(1, 2), edge(2, 1),
+                                                     edge(5, 6), edge(6, 5)};
+  std::vector<GdoService::WaitEdge> backward(forward.rbegin(),
+                                             forward.rend());
+  const auto a = DeadlockDetector::find_cycle(forward);
+  const auto b = DeadlockDetector::find_cycle(backward);
+  ASSERT_TRUE(a);
+  ASSERT_TRUE(b);
+  // Roots visited in ascending family order -> the {1,2} cycle wins.
+  EXPECT_EQ(a->victim, b->victim);
+  EXPECT_EQ(a->victim, FamilyId(2));
+}
+
+TEST(WaitsForTest, DuplicateEdgesHarmless) {
+  const auto cycle = DeadlockDetector::find_cycle(
+      {edge(1, 2), edge(1, 2), edge(2, 1), edge(2, 1)});
+  ASSERT_TRUE(cycle);
+  EXPECT_EQ(cycle->victim, FamilyId(2));
+}
+
+TEST(WaitsForTest, EndToEndFromGdoQueues) {
+  // Build a genuine deadlock in the directory: F1 holds A and waits for B;
+  // F2 holds B and waits for A.
+  Transport transport(2);
+  GdoService gdo(transport);
+  gdo.register_object(ObjectId(1), 1, NodeId(0));
+  gdo.register_object(ObjectId(2), 1, NodeId(1));
+  (void)gdo.acquire(ObjectId(1), TxnId{FamilyId(1), 0}, NodeId(0),
+                    LockMode::kWrite);
+  (void)gdo.acquire(ObjectId(2), TxnId{FamilyId(2), 0}, NodeId(1),
+                    LockMode::kWrite);
+  (void)gdo.acquire(ObjectId(2), TxnId{FamilyId(1), 1}, NodeId(0),
+                    LockMode::kWrite);  // queued
+  EXPECT_FALSE(DeadlockDetector::detect(gdo));  // not yet a cycle
+  (void)gdo.acquire(ObjectId(1), TxnId{FamilyId(2), 1}, NodeId(1),
+                    LockMode::kWrite);  // queued -> cycle
+  const auto cycle = DeadlockDetector::detect(gdo);
+  ASSERT_TRUE(cycle);
+  EXPECT_EQ(cycle->victim, FamilyId(2));
+}
+
+TEST(WaitsForTest, UpgradeDeadlockDetected) {
+  // Two readers both requesting upgrades wait on each other.
+  Transport transport(2);
+  GdoService gdo(transport);
+  gdo.register_object(ObjectId(1), 1, NodeId(0));
+  (void)gdo.acquire(ObjectId(1), TxnId{FamilyId(1), 0}, NodeId(0),
+                    LockMode::kRead);
+  (void)gdo.acquire(ObjectId(1), TxnId{FamilyId(2), 0}, NodeId(1),
+                    LockMode::kRead);
+  EXPECT_EQ(gdo.acquire(ObjectId(1), TxnId{FamilyId(1), 1}, NodeId(0),
+                        LockMode::kWrite)
+                .status,
+            AcquireStatus::kQueued);
+  EXPECT_EQ(gdo.acquire(ObjectId(1), TxnId{FamilyId(2), 1}, NodeId(1),
+                        LockMode::kWrite)
+                .status,
+            AcquireStatus::kQueued);
+  const auto cycle = DeadlockDetector::detect(gdo);
+  ASSERT_TRUE(cycle);
+  EXPECT_EQ(cycle->victim, FamilyId(2));
+}
+
+}  // namespace
+}  // namespace lotec

@@ -1,0 +1,180 @@
+// Workload generator: determinism, script structure (pre-order indices,
+// hierarchy constraint, abort leaves), instantiation and execution.
+#include <gtest/gtest.h>
+
+#include <functional>
+
+#include "workload/generator.hpp"
+
+namespace lotec {
+namespace {
+
+WorkloadSpec small_spec() {
+  WorkloadSpec spec;
+  spec.num_objects = 10;
+  spec.min_pages = 1;
+  spec.max_pages = 4;
+  spec.num_transactions = 40;
+  spec.max_depth = 3;
+  spec.child_probability = 0.5;
+  spec.contention_theta = 0.6;
+  spec.seed = 77;
+  return spec;
+}
+
+TEST(WorkloadTest, DeterministicForSameSpec) {
+  const Workload a(small_spec());
+  const Workload b(small_spec());
+  ASSERT_EQ(a.scripts().size(), b.scripts().size());
+  for (std::size_t i = 0; i < a.scripts().size(); ++i) {
+    const auto& sa = a.scripts()[i]->nodes;
+    const auto& sb = b.scripts()[i]->nodes;
+    ASSERT_EQ(sa.size(), sb.size());
+    for (std::size_t j = 0; j < sa.size(); ++j) {
+      EXPECT_EQ(sa[j].object, sb[j].object);
+      EXPECT_EQ(sa[j].method, sb[j].method);
+      EXPECT_EQ(sa[j].children, sb[j].children);
+    }
+  }
+  WorkloadSpec other = small_spec();
+  other.seed = 78;
+  const Workload c(other);
+  bool different = c.scripts().size() != a.scripts().size();
+  for (std::size_t i = 0; !different && i < a.scripts().size(); ++i)
+    different = a.scripts()[i]->nodes.size() != c.scripts()[i]->nodes.size() ||
+                a.scripts()[i]->nodes[0].object !=
+                    c.scripts()[i]->nodes[0].object;
+  EXPECT_TRUE(different);
+}
+
+TEST(WorkloadTest, ScriptsArePreOrderWithValidChildren) {
+  const Workload w(small_spec());
+  for (const auto& script : w.scripts()) {
+    const auto& nodes = script->nodes;
+    ASSERT_FALSE(nodes.empty());
+    // Walk the tree from the root; pre-order position must equal index.
+    std::size_t expected = 0;
+    const std::function<void(std::size_t)> visit = [&](std::size_t idx) {
+      EXPECT_EQ(idx, expected);
+      ++expected;
+      for (const std::size_t child : nodes[idx].children) {
+        ASSERT_LT(child, nodes.size());
+        ASSERT_GT(child, idx);  // children come after their parent
+        visit(child);
+      }
+    };
+    visit(0);
+    EXPECT_EQ(expected, nodes.size());  // every node reachable exactly once
+  }
+}
+
+TEST(WorkloadTest, HierarchicalTargetsIncreaseAlongPaths) {
+  const Workload w(small_spec());
+  for (const auto& script : w.scripts()) {
+    const auto& nodes = script->nodes;
+    const std::function<void(std::size_t)> visit = [&](std::size_t idx) {
+      for (const std::size_t child : nodes[idx].children) {
+        EXPECT_GT(nodes[child].object, nodes[idx].object);
+        visit(child);
+      }
+    };
+    visit(0);
+  }
+}
+
+TEST(WorkloadTest, AbortNodesAreChildLeaves) {
+  WorkloadSpec spec = small_spec();
+  spec.abort_probability = 0.3;
+  const Workload w(spec);
+  std::size_t abort_nodes = 0;
+  for (const auto& script : w.scripts()) {
+    EXPECT_FALSE(script->nodes[0].inject_abort);  // never the root
+    for (const auto& node : script->nodes) {
+      if (!node.inject_abort) continue;
+      ++abort_nodes;
+      EXPECT_TRUE(node.children.empty());
+    }
+  }
+  EXPECT_GT(abort_nodes, 0u);
+}
+
+TEST(WorkloadTest, RejectsBadSpecs) {
+  WorkloadSpec spec = small_spec();
+  spec.num_objects = 0;
+  EXPECT_THROW(Workload{spec}, UsageError);
+  spec = small_spec();
+  spec.min_pages = 5;
+  spec.max_pages = 3;
+  EXPECT_THROW(Workload{spec}, UsageError);
+  spec = small_spec();
+  spec.attrs_per_page = 0;
+  EXPECT_THROW(Workload{spec}, UsageError);
+}
+
+TEST(WorkloadTest, InstantiateAndExecuteCommitsEverything) {
+  const Workload w(small_spec());
+  ClusterConfig cfg;
+  cfg.nodes = 4;
+  cfg.page_size = 256;
+  cfg.protocol = ProtocolKind::kLotec;
+  cfg.seed = 3;
+  Cluster cluster(cfg);
+  auto requests = w.instantiate(cluster);
+  ASSERT_EQ(requests.size(), w.spec().num_transactions);
+  const auto results = cluster.execute(std::move(requests));
+  std::size_t committed = 0;
+  for (const auto& r : results) committed += r.committed ? 1 : 0;
+  EXPECT_EQ(committed, results.size());
+  // Transactions actually nested: total txns > roots.
+  std::uint64_t total_txns = 0;
+  for (const auto& r : results) total_txns += r.txns_in_tree;
+  EXPECT_EQ(total_txns, w.total_script_nodes());
+}
+
+TEST(WorkloadTest, InjectedAbortsRollBackButFamiliesCommit) {
+  WorkloadSpec spec = small_spec();
+  spec.abort_probability = 0.25;
+  const Workload w(spec);
+  ClusterConfig cfg;
+  cfg.nodes = 4;
+  cfg.page_size = 256;
+  cfg.protocol = ProtocolKind::kOtec;
+  cfg.seed = 3;
+  Cluster cluster(cfg);
+  const auto results = cluster.execute(w.instantiate(cluster));
+  for (const auto& r : results) EXPECT_TRUE(r.committed);
+}
+
+TEST(WorkloadTest, PageSizeMustMatchAttrGranularity) {
+  const Workload w(small_spec());
+  ClusterConfig cfg;
+  cfg.nodes = 2;
+  cfg.page_size = 100;  // not divisible into 8-byte-aligned quarters
+  Cluster cluster(cfg);
+  EXPECT_THROW((void)w.instantiate(cluster), UsageError);
+}
+
+TEST(WorkloadTest, OptimisticPredictionDrivesDemandFetches) {
+  WorkloadSpec spec = small_spec();
+  spec.min_pages = 4;
+  spec.max_pages = 8;
+  spec.prediction_coverage = 0.5;
+  spec.touched_attr_fraction = 0.5;
+  const Workload w(spec);
+  ClusterConfig cfg;
+  cfg.nodes = 4;
+  cfg.page_size = 256;
+  cfg.protocol = ProtocolKind::kLotec;
+  cfg.seed = 3;
+  Cluster cluster(cfg);
+  const auto results = cluster.execute(w.instantiate(cluster));
+  std::uint64_t demand = 0;
+  for (const auto& r : results) {
+    EXPECT_TRUE(r.committed);
+    demand += r.demand_fetches;
+  }
+  EXPECT_GT(demand, 0u);
+}
+
+}  // namespace
+}  // namespace lotec

@@ -1,0 +1,253 @@
+// lotec_sim: command-line driver for the simulation harness.
+//
+// Runs a randomized nested-object-transaction workload under one or more
+// consistency protocols and prints the traffic/outcome report — the same
+// machinery as the figure benchmarks, but with every knob on the command
+// line for interactive exploration.
+//
+//   lotec_sim --protocols=cotec,otec,lotec --objects=20 --min-pages=10
+//             --max-pages=20 --txns=300 --theta=0.8 --nodes=16
+//
+// Run `lotec_sim --help` for the full knob list.
+#include <cstdlib>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+
+#include "net/cost_model.hpp"
+#include "sim/experiment.hpp"
+#include "sim/report.hpp"
+#include <fstream>
+
+#include "sim/trace.hpp"
+#include "sim/validate.hpp"
+#include "workload/generator.hpp"
+
+using namespace lotec;
+
+namespace {
+
+struct Args {
+  WorkloadSpec spec;
+  ExperimentOptions options;
+  std::vector<ProtocolKind> protocols = {ProtocolKind::kCotec,
+                                         ProtocolKind::kOtec,
+                                         ProtocolKind::kLotec};
+  bool per_object = false;
+  bool time_model = false;
+  bool validate = false;
+  std::string trace_path;
+};
+
+void usage() {
+  std::cout <<
+      "lotec_sim — LOTEC workload simulator\n\n"
+      "Workload:\n"
+      "  --objects=N          shared objects (default 20)\n"
+      "  --min-pages=N        min object size in pages (1)\n"
+      "  --max-pages=N        max object size in pages (5)\n"
+      "  --txns=N             root transactions (300)\n"
+      "  --theta=F            Zipf contention skew (0 = uniform)\n"
+      "  --touched=F          fraction of attrs a method touches (0.4)\n"
+      "  --write-frac=F       fraction of touched attrs written (0.6)\n"
+      "  --read-methods=F     fraction of pure-reader methods (0.2)\n"
+      "  --depth=N            max nesting depth (3)\n"
+      "  --child-prob=F       per-slot child probability (0.45)\n"
+      "  --abort-prob=F       injected sub-txn failure probability (0)\n"
+      "  --coverage=F         prediction coverage, <1 = demand fetches (1)\n"
+      "  --seed=N             workload seed (0xF162)\n"
+      "  --flat               non-hierarchical child targets (more deadlocks)\n"
+      "Cluster:\n"
+      "  --nodes=N            sites (16)\n"
+      "  --page-size=N        DSM page size in bytes (4096)\n"
+      "  --cache=N            per-node cache budget in pages (0 = unbounded)\n"
+      "  --multicast          multicast-capable network\n"
+      "  --prefetch           Section 5.1 lock pre-acquisition hints\n"
+      "  --shadow-pages       shadow-page undo instead of byte-range log\n"
+      "Run:\n"
+      "  --protocols=a,b,...  cotec|otec|lotec|rc|lotec-dsd (default cotec,otec,lotec)\n"
+      "  --per-object         print the per-object byte series\n"
+      "  --time-model         print the Figure 6-8 time sweep\n"
+      "  --validate           check quiescent-state invariants afterwards\n"
+      "  --trace=FILE         dump a message-trace CSV of the last protocol\n";
+}
+
+ProtocolKind parse_protocol(const std::string& name) {
+  if (name == "cotec") return ProtocolKind::kCotec;
+  if (name == "otec") return ProtocolKind::kOtec;
+  if (name == "lotec") return ProtocolKind::kLotec;
+  if (name == "rc") return ProtocolKind::kRc;
+  if (name == "lotec-dsd") return ProtocolKind::kLotecDsd;
+  throw UsageError("unknown protocol '" + name + "'");
+}
+
+bool parse_one(Args& args, const std::string& arg) {
+  const auto eq = arg.find('=');
+  const std::string key = arg.substr(0, eq);
+  const std::string val = eq == std::string::npos ? "" : arg.substr(eq + 1);
+  const auto u = [&] { return static_cast<std::size_t>(std::stoull(val)); };
+  const auto f = [&] { return std::stod(val); };
+
+  if (key == "--objects") args.spec.num_objects = u();
+  else if (key == "--min-pages") args.spec.min_pages = u();
+  else if (key == "--max-pages") args.spec.max_pages = u();
+  else if (key == "--txns") args.spec.num_transactions = u();
+  else if (key == "--theta") args.spec.contention_theta = f();
+  else if (key == "--touched") args.spec.touched_attr_fraction = f();
+  else if (key == "--write-frac") args.spec.write_fraction = f();
+  else if (key == "--read-methods") args.spec.read_method_fraction = f();
+  else if (key == "--depth") args.spec.max_depth = u();
+  else if (key == "--child-prob") args.spec.child_probability = f();
+  else if (key == "--abort-prob") args.spec.abort_probability = f();
+  else if (key == "--coverage") args.spec.prediction_coverage = f();
+  else if (key == "--seed") args.spec.seed = std::stoull(val);
+  else if (key == "--flat") args.spec.hierarchical_targets = false;
+  else if (key == "--nodes") args.options.nodes = u();
+  else if (key == "--page-size") args.options.page_size =
+      static_cast<std::uint32_t>(u());
+  else if (key == "--cache") args.options.cache_capacity_pages = u();
+  else if (key == "--multicast") args.options.multicast = true;
+  else if (key == "--prefetch") args.options.prefetch_hints = true;
+  else if (key == "--shadow-pages") args.options.undo =
+      UndoStrategy::kShadowPage;
+  else if (key == "--protocols") {
+    args.protocols.clear();
+    std::stringstream ss(val);
+    std::string item;
+    while (std::getline(ss, item, ',')) args.protocols.push_back(
+        parse_protocol(item));
+  }
+  else if (key == "--per-object") args.per_object = true;
+  else if (key == "--time-model") args.time_model = true;
+  else if (key == "--validate") args.validate = true;
+  else if (key == "--trace") args.trace_path = val;
+  else return false;
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args;
+  args.spec = WorkloadSpec{};
+  args.spec.num_objects = 20;
+  args.spec.seed = 0xF162;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      usage();
+      return 0;
+    }
+    try {
+      if (!parse_one(args, arg)) {
+        std::cerr << "unknown flag: " << arg << " (see --help)\n";
+        return 2;
+      }
+    } catch (const std::exception& e) {
+      std::cerr << "bad flag " << arg << ": " << e.what() << "\n";
+      return 2;
+    }
+  }
+
+  const Workload workload(args.spec);
+  std::cout << "workload: " << workload.num_objects() << " objects, "
+            << args.spec.num_transactions << " roots, "
+            << workload.total_script_nodes() << " invocations, theta="
+            << args.spec.contention_theta << ", nodes=" << args.options.nodes
+            << "\n";
+
+  std::vector<ScenarioResult> results;
+  for (const ProtocolKind protocol : args.protocols)
+    results.push_back(run_scenario(workload, protocol, args.options));
+
+  Table table({"Protocol", "Committed", "Aborted", "DL retries", "Messages",
+               "Bytes", "Demand", "Local grants"});
+  for (const auto& r : results)
+    table.row({std::string(to_string(r.protocol)),
+               std::to_string(r.committed), std::to_string(r.aborted),
+               fmt_u64(r.deadlock_retries), fmt_u64(r.total.messages),
+               fmt_u64(r.total.bytes), fmt_u64(r.demand_fetches),
+               fmt_u64(r.local_lock_ops)});
+  table.print();
+
+  if (args.per_object) {
+    print_section("Per-object bytes");
+    std::vector<std::string> headers = {"Object"};
+    for (const auto& r : results)
+      headers.push_back(std::string(to_string(r.protocol)));
+    Table po(headers);
+    for (const ObjectId id : results.front().object_ids) {
+      std::vector<std::string> row = {"O" + std::to_string(id.value())};
+      for (const auto& r : results)
+        row.push_back(fmt_u64(r.object_traffic(id).bytes));
+      po.row(std::move(row));
+    }
+    po.print();
+  }
+
+  if (args.time_model) {
+    print_section("Aggregate time model (us)");
+    std::vector<std::string> headers = {"Network", "SW cost"};
+    for (const auto& r : results)
+      headers.push_back(std::string(to_string(r.protocol)));
+    Table t2(headers);
+    const std::map<std::string, double> nets = {
+        {"10Mbps", NetworkCostModel::kEthernet10Mbps},
+        {"100Mbps", NetworkCostModel::kEthernet100Mbps},
+        {"1Gbps", NetworkCostModel::kEthernet1Gbps}};
+    for (const auto& [name, bps] : nets)
+      for (const double sw : NetworkCostModel::software_cost_sweep_us()) {
+        const NetworkCostModel model(bps, sw);
+        std::vector<std::string> row = {name, fmt_double(sw, 1) + "us"};
+        for (const auto& r : results)
+          row.push_back(fmt_double(
+              model.total_time_us(r.total.messages, r.total.bytes), 0));
+        t2.row(std::move(row));
+      }
+    t2.print();
+  }
+
+  if (!args.trace_path.empty()) {
+    // Re-run the last protocol with tracing on and dump the CSV.
+    ClusterConfig cfg;
+    cfg.nodes = args.options.nodes;
+    cfg.page_size = args.options.page_size;
+    cfg.protocol = args.protocols.back();
+    cfg.seed = args.options.cluster_seed;
+    cfg.cache_capacity_pages = args.options.cache_capacity_pages;
+    Cluster cluster(cfg);
+    cluster.stats().enable_trace(1u << 22);
+    (void)cluster.execute(workload.instantiate(cluster));
+    std::ofstream out(args.trace_path);
+    dump_trace_csv(cluster.stats().trace(), out);
+    std::cout << "\ntrace: " << cluster.stats().trace().size()
+              << " messages -> " << args.trace_path;
+    if (cluster.stats().trace_dropped() > 0)
+      std::cout << " (" << cluster.stats().trace_dropped() << " dropped)";
+    std::cout << "\n";
+  }
+
+  if (args.validate) {
+    // Re-run the last protocol on a fresh cluster and validate it (the
+    // harness tears its clusters down; validation needs a live one).
+    ClusterConfig cfg;
+    cfg.nodes = args.options.nodes;
+    cfg.page_size = args.options.page_size;
+    cfg.protocol = args.protocols.back();
+    cfg.seed = args.options.cluster_seed;
+    cfg.cache_capacity_pages = args.options.cache_capacity_pages;
+    Cluster cluster(cfg);
+    (void)cluster.execute(workload.instantiate(cluster));
+    const auto violations = validate_quiescent(cluster);
+    if (violations.empty()) {
+      std::cout << "\nvalidation: all quiescent-state invariants hold\n";
+    } else {
+      std::cout << "\nvalidation FAILED:\n";
+      for (const auto& v : violations) std::cout << "  " << v << "\n";
+      return 1;
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,99 @@
+// soak: long-running randomized stress with invariant validation.
+//
+// Each iteration generates a fresh random workload (random geometry,
+// contention, abort injection, protocol, scheduler, cache budget), runs it,
+// and validates the quiescent-state invariants plus cross-protocol final-
+// state equivalence.  Any violation aborts with a reproduction line.
+//
+//   soak [iterations=50] [base-seed=1]
+#include <iostream>
+
+#include "sim/validate.hpp"
+#include "workload/generator.hpp"
+
+using namespace lotec;
+
+namespace {
+
+struct Draw {
+  WorkloadSpec spec;
+  ClusterConfig cfg;
+};
+
+Draw random_setup(Rng& rng) {
+  Draw d;
+  d.spec.num_objects = 4 + rng.below(20);
+  d.spec.min_pages = 1 + rng.below(3);
+  d.spec.max_pages = d.spec.min_pages + rng.below(8);
+  d.spec.num_transactions = 30 + rng.below(120);
+  d.spec.contention_theta = rng.uniform() * 1.1;
+  d.spec.touched_attr_fraction = 0.15 + rng.uniform() * 0.5;
+  d.spec.write_fraction = 0.3 + rng.uniform() * 0.6;
+  d.spec.read_method_fraction = rng.uniform() * 0.4;
+  d.spec.max_depth = 1 + rng.below(4);
+  d.spec.child_probability = rng.uniform() * 0.6;
+  d.spec.abort_probability = rng.chance(0.4) ? rng.uniform() * 0.3 : 0.0;
+  d.spec.prediction_coverage = rng.chance(0.3) ? 0.4 + rng.uniform() * 0.6
+                                               : 1.0;
+  d.spec.hierarchical_targets = !rng.chance(0.2);
+  d.spec.seed = rng.next();
+
+  d.cfg.nodes = 2 + rng.below(7);
+  d.cfg.page_size = 256u << rng.below(3);  // 256 / 512 / 1024
+  d.cfg.seed = rng.next();
+  d.cfg.undo = rng.chance(0.5) ? UndoStrategy::kByteRange
+                               : UndoStrategy::kShadowPage;
+  d.cfg.scheduler = rng.chance(0.15) ? SchedulerMode::kConcurrent
+                                     : SchedulerMode::kDeterministic;
+  d.cfg.cache_capacity_pages = rng.chance(0.25) ? 4 + rng.below(24) : 0;
+  d.cfg.gdo.replicate = rng.chance(0.3);
+  d.cfg.gdo.fair_readers = rng.chance(0.3);
+  static const ProtocolKind kinds[] = {
+      ProtocolKind::kCotec, ProtocolKind::kOtec, ProtocolKind::kLotec,
+      ProtocolKind::kRc, ProtocolKind::kLotecDsd};
+  d.cfg.protocol = kinds[rng.below(5)];
+  return d;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int iterations = argc > 1 ? std::atoi(argv[1]) : 50;
+  const std::uint64_t base_seed =
+      argc > 2 ? std::strtoull(argv[2], nullptr, 0) : 1;
+  Rng rng(base_seed);
+
+  for (int i = 0; i < iterations; ++i) {
+    const Draw d = random_setup(rng);
+    try {
+      const Workload workload(d.spec);
+      Cluster cluster(d.cfg);
+      const auto results = cluster.execute(workload.instantiate(cluster));
+      std::size_t committed = 0, exhausted = 0;
+      for (const auto& r : results) {
+        if (r.committed) ++committed;
+        else if (r.reason == AbortReason::kRetryExhausted) ++exhausted;
+      }
+      const auto violations = validate_quiescent(cluster);
+      if (!violations.empty()) {
+        std::cerr << "iteration " << i << " FAILED (workload seed "
+                  << d.spec.seed << ", cluster seed " << d.cfg.seed
+                  << ", protocol " << to_string(d.cfg.protocol) << "):\n";
+        for (const auto& v : violations) std::cerr << "  " << v << "\n";
+        return 1;
+      }
+      std::cout << "iter " << i << ": " << to_string(d.cfg.protocol) << " "
+                << d.spec.num_transactions << " txns on " << d.cfg.nodes
+                << " nodes -> " << committed << " committed";
+      if (exhausted) std::cout << ", " << exhausted << " retry-exhausted";
+      std::cout << ", invariants OK\n";
+    } catch (const std::exception& e) {
+      std::cerr << "iteration " << i << " CRASHED (workload seed "
+                << d.spec.seed << ", cluster seed " << d.cfg.seed
+                << "): " << e.what() << "\n";
+      return 1;
+    }
+  }
+  std::cout << "soak complete: " << iterations << " iterations clean\n";
+  return 0;
+}

@@ -1,0 +1,110 @@
+// trace_report: analyze a message-trace CSV (produced by lotec_sim --trace
+// or the sim library's dump_trace_csv) into per-kind / per-object / per-link
+// rollups and a network time model.
+//
+//   trace_report trace.csv
+//   trace_report trace.csv --top=10 --bitrate=100e6 --sw-cost=20
+#include <algorithm>
+#include <fstream>
+#include <iostream>
+#include <map>
+
+#include "net/cost_model.hpp"
+#include "sim/report.hpp"
+#include "sim/trace.hpp"
+
+using namespace lotec;
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::cerr << "usage: trace_report <trace.csv> [--top=N] [--bitrate=BPS] "
+                 "[--sw-cost=US]\n";
+    return 2;
+  }
+  std::size_t top = 10;
+  double bitrate = NetworkCostModel::kEthernet100Mbps;
+  double sw_cost_us = 20.0;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--top=", 0) == 0) top = std::stoull(arg.substr(6));
+    else if (arg.rfind("--bitrate=", 0) == 0) bitrate = std::stod(arg.substr(10));
+    else if (arg.rfind("--sw-cost=", 0) == 0) sw_cost_us = std::stod(arg.substr(10));
+    else {
+      std::cerr << "unknown flag " << arg << "\n";
+      return 2;
+    }
+  }
+
+  std::ifstream in(argv[1]);
+  if (!in) {
+    std::cerr << "cannot open " << argv[1] << "\n";
+    return 1;
+  }
+  std::vector<TraceEvent> events;
+  try {
+    events = load_trace_csv(in);
+  } catch (const std::exception& e) {
+    std::cerr << "parse error: " << e.what() << "\n";
+    return 1;
+  }
+
+  const NetworkCostModel model(bitrate, sw_cost_us);
+  std::uint64_t total_bytes = 0;
+  std::map<std::string, TrafficCounter> by_kind;
+  std::map<std::uint64_t, TrafficCounter> by_object;
+  std::map<std::pair<std::uint32_t, std::uint32_t>, TrafficCounter> by_link;
+  for (const TraceEvent& e : events) {
+    total_bytes += e.total_bytes;
+    by_kind[std::string(to_string(e.kind))].add(e.total_bytes);
+    if (e.object.valid()) by_object[e.object.value()].add(e.total_bytes);
+    by_link[{e.src.value(), e.dst.value()}].add(e.total_bytes);
+  }
+
+  std::cout << "trace: " << events.size() << " messages, " << total_bytes
+            << " bytes; modeled time "
+            << fmt_double(
+                   model.total_time_us(events.size(), total_bytes) / 1000.0,
+                   1)
+            << "ms @" << bitrate / 1e6 << "Mbps/" << sw_cost_us << "us\n";
+
+  print_section("By message kind");
+  Table kinds({"Kind", "Messages", "Bytes", "Share"});
+  for (const auto& [name, c] : by_kind)
+    kinds.row({name, fmt_u64(c.messages), fmt_u64(c.bytes),
+               fmt_percent(static_cast<double>(c.bytes) /
+                           static_cast<double>(total_bytes))});
+  kinds.print();
+
+  print_section("Hottest objects");
+  std::vector<std::pair<std::uint64_t, TrafficCounter>> objs(
+      by_object.begin(), by_object.end());
+  std::sort(objs.begin(), objs.end(), [](const auto& a, const auto& b) {
+    return a.second.bytes > b.second.bytes;
+  });
+  Table hot({"Object", "Messages", "Bytes", "Modeled time"});
+  for (std::size_t i = 0; i < objs.size() && i < top; ++i)
+    hot.row({"O" + std::to_string(objs[i].first),
+             fmt_u64(objs[i].second.messages), fmt_u64(objs[i].second.bytes),
+             fmt_double(model.total_time_us(objs[i].second.messages,
+                                            objs[i].second.bytes) /
+                            1000.0,
+                        1) +
+                 "ms"});
+  hot.print();
+
+  print_section("Busiest links");
+  std::vector<std::pair<std::pair<std::uint32_t, std::uint32_t>,
+                        TrafficCounter>>
+      links(by_link.begin(), by_link.end());
+  std::sort(links.begin(), links.end(), [](const auto& a, const auto& b) {
+    return a.second.bytes > b.second.bytes;
+  });
+  Table busiest({"Link", "Messages", "Bytes"});
+  for (std::size_t i = 0; i < links.size() && i < top; ++i)
+    busiest.row({std::to_string(links[i].first.first) + " -> " +
+                     std::to_string(links[i].first.second),
+                 fmt_u64(links[i].second.messages),
+                 fmt_u64(links[i].second.bytes)});
+  busiest.print();
+  return 0;
+}
