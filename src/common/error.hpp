@@ -57,7 +57,8 @@ enum class AbortReason {
   kUser,          ///< the method body requested abort
   kDeadlock,      ///< chosen as a deadlock victim
   kInjected,      ///< failure injection from the workload generator
-  kRetryExhausted ///< too many restarts
+  kRetryExhausted,///< too many restarts
+  kNodeFailure    ///< a node crash (own site or a peer) ended the family
 };
 
 [[nodiscard]] constexpr const char* to_string(AbortReason r) noexcept {
@@ -66,6 +67,7 @@ enum class AbortReason {
     case AbortReason::kDeadlock: return "deadlock";
     case AbortReason::kInjected: return "injected";
     case AbortReason::kRetryExhausted: return "retry-exhausted";
+    case AbortReason::kNodeFailure: return "node-failure";
   }
   return "?";
 }

@@ -1,0 +1,191 @@
+// FaultEngine: deterministic fault injection and the crash/restart
+// machinery behind it.
+//
+// The engine implements the FaultHooks seam of the Transport choke point
+// (src/net/transport.hpp): every message consulted advances a logical clock
+// by one tick, fires any due schedule events (node crash / restart,
+// partition open / heal, targeted message kills) and applies the configured
+// background message chaos (drop / duplicate / delay).  All decisions flow
+// from the schedule and one seeded Rng, so under the token-passing
+// scheduler the same seed and schedule reproduce the same fault trace —
+// and, via the recovery machinery, the same message trace — bit for bit.
+//
+// Crash semantics are two-phase.  When a crash event fires, the node is
+// flipped unreachable and its crash epoch bumped *immediately* (inside the
+// send that triggered it, so the triggering message dies with the node).
+// The heavy part — wiping the node's page store and its GDO partition, and
+// later restoring durable pages and rebuilding the directory on restart —
+// is deferred to apply_pending(), which the runtime calls at checkpoints
+// where no family holds references into the dying state.  This split keeps
+// on_message reentrancy-free while still making the crash visible at the
+// exact deterministic tick.
+//
+// Durability model: the engine write-through journals every page installed
+// at a site (creation, fetch, push, commit stamp) as that site's "disk"
+// (cf. src/persist snapshots).  On restart, exactly the pages the directory
+// attributes to the node — matching (node, version) — are restored; pages
+// the node cached but did not own per the GDO are re-fetched on demand by
+// the normal consistency protocol.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "fault/fault_schedule.hpp"
+#include "gdo/gdo_service.hpp"
+#include "net/transport.hpp"
+#include "page/object_image.hpp"
+#include "runtime/node.hpp"
+
+namespace lotec {
+
+/// Thrown by a FamilyRunner fault checkpoint when the runner's own node has
+/// crashed since the attempt began.  Deliberately NOT derived from Error:
+/// like DeadlockVictimError it must never be swallowed by a generic
+/// catch (const Error&) on its way to the runner's retry loop.
+class NodeCrashedError {
+ public:
+  explicit NodeCrashedError(NodeId node) noexcept : node_(node) {}
+  [[nodiscard]] NodeId node() const noexcept { return node_; }
+
+ private:
+  NodeId node_;
+};
+
+class FaultEngine final : public FaultHooks {
+ public:
+  /// `nodes` must outlive the engine and not be resized after construction
+  /// (ClusterCore builds all sites first, then the engine).
+  FaultEngine(const FaultConfig& config, Transport& transport,
+              GdoService& gdo, std::vector<std::unique_ptr<Node>>& nodes,
+              std::uint32_t page_size);
+
+  // --- FaultHooks ----------------------------------------------------------
+
+  std::size_t on_message(const WireMessage& m) override;
+  [[nodiscard]] std::uint64_t now() const noexcept override { return clock_; }
+  [[nodiscard]] std::uint64_t crash_count(NodeId node) const override;
+  [[nodiscard]] std::uint64_t lease_term() const noexcept override {
+    return config_.lease_term_ticks;
+  }
+  void begin_atomic() noexcept override { ++atomic_depth_; }
+  void end_atomic() noexcept override {
+    if (atomic_depth_ > 0) --atomic_depth_;
+  }
+
+  // --- runtime integration -------------------------------------------------
+
+  /// Apply deferred crash wipes and restart restores.  Called by the
+  /// runtime at checkpoints (attempt start, invocation entry, freshness
+  /// checks) where no family holds references into a dying node's store.
+  void apply_pending();
+
+  /// End-of-batch recovery: restart every still-crashed node (restoring its
+  /// durable pages and rebuilding its directory partition) so the cluster
+  /// reaches the quiescent state the validator checks.
+  void finalize();
+
+  /// Durability journal write-throughs (no-ops cost-wise: disk traffic is
+  /// not network traffic and is not charged to NetworkStats).
+  void note_created(NodeId creator, ObjectId id, std::size_t num_pages);
+  void note_page(NodeId site, ObjectId id, std::size_t num_pages,
+                 PageIndex page, const Page& content);
+
+  // --- introspection -------------------------------------------------------
+
+  /// True while `node` is crashed (reachability lives in the Transport; this
+  /// is a convenience mirror).
+  [[nodiscard]] bool node_down(NodeId node) const {
+    return !transport_.reachable(node);
+  }
+
+  [[nodiscard]] bool has_node_faults() const noexcept {
+    return config_.has_node_faults();
+  }
+
+  /// How many times `node`'s volatile state (page store, pins) has been
+  /// wiped.  Distinct from crash_count: the epoch flips the instant a crash
+  /// event fires, but the wipe lands later at apply_pending — state created
+  /// in between carries the new epoch yet still dies in the wipe, so "did
+  /// the wipe eat this?" must compare wipe counts, not crash epochs.
+  [[nodiscard]] std::uint64_t wipe_count(NodeId node) const;
+
+  /// Counters, with the GDO's lease-reclamation tallies folded in.
+  [[nodiscard]] FaultStats stats() const;
+
+  /// The fault trace: every injected event in firing order.  Two runs with
+  /// the same seed, schedule and workload produce identical traces.
+  [[nodiscard]] const std::vector<FaultRecord>& trace() const noexcept {
+    return trace_;
+  }
+
+ private:
+  /// Message kinds the engine may drop, partition or duplicate: request /
+  /// lookup / fetch traffic whose failure the sender observes *before* any
+  /// directory mutation, so a retry is always safe.  Grants, wakeups,
+  /// releases, replica syncs, rebuilds and pushes are modeled reliable (the
+  /// substrate retries them until delivery): dropping a grant after the
+  /// directory recorded the holder would need an idempotent-RPC layer the
+  /// synchronous emulation cannot express.
+  [[nodiscard]] static bool interruptible(MessageKind k) noexcept;
+
+  /// Fire one schedule event; returns true when the triggering message must
+  /// be dropped (kDropMessage).
+  bool fire(const FaultEvent& ev, const WireMessage& m);
+
+  [[nodiscard]] bool link_cut(NodeId a, NodeId b) const;
+  [[nodiscard]] static std::uint64_t link_key(NodeId a, NodeId b) noexcept;
+
+  void wipe_node(NodeId node);
+  void restore_node(NodeId node);
+
+  struct DurableObject {
+    std::size_t num_pages = 0;
+    /// Created at this site: unjournalled pages are durable as zero-filled
+    /// version-0 pages (the creating site materializes the whole object).
+    bool created_here = false;
+    /// Journalled copies keyed by page, then by stamped version.  Versions
+    /// must not shadow each other: a commit can stamp (and journal) v+1 and
+    /// then die before the directory publishes it, in which case the
+    /// directory keeps attributing v to this site and restore needs v back.
+    std::map<std::uint32_t, std::map<Lsn, Page>> pages;
+  };
+
+  struct PendingAction {
+    bool restart = false;  ///< false: wipe (crash); true: restore (restart)
+    NodeId node{};
+  };
+
+  FaultConfig config_;
+  Transport& transport_;
+  GdoService& gdo_;
+  std::vector<std::unique_ptr<Node>>& nodes_;
+  std::uint32_t page_size_;
+  Rng rng_;
+
+  std::uint64_t clock_ = 0;
+  /// Messages seen per kind (1-based by the time an event trigger tests it).
+  std::vector<std::uint64_t> seen_;
+  std::vector<bool> event_fired_;
+  std::vector<std::uint64_t> crash_counts_;
+  std::vector<std::uint64_t> wipe_counts_;
+  /// Link -> number of active partition cuts covering it.
+  std::map<std::uint64_t, int> cuts_;
+  std::vector<PendingAction> pending_;
+  /// Per-node durable page journal ("disk").
+  std::vector<std::map<ObjectId, DurableObject>> durable_;
+  /// Recovery traffic in flight (restore/rebuild): its messages are modeled
+  /// reliable and do not advance the fault clock or trigger further events.
+  bool applying_ = false;
+  /// Open FaultAtomicSection count: while positive, schedule events are
+  /// deferred (clock and chaos still run) so a directory mutation and its
+  /// replica sync cannot be split by a crash.
+  std::uint32_t atomic_depth_ = 0;
+
+  std::vector<FaultRecord> trace_;
+  FaultStats stats_;
+};
+
+}  // namespace lotec

@@ -48,6 +48,13 @@ struct HolderFamily {
   /// Member transactions known to have acquired the lock (<TID,NID> list of
   /// Fig. 1; the node is the family's single execution site).
   std::vector<TxnId> txns;
+  /// Lock-lease bookkeeping (fault engine only; zero when none installed):
+  /// the node's crash epoch when the lock was granted, and the logical tick
+  /// the lease runs out.  A holder whose node has crashed since the grant
+  /// (live epoch > recorded epoch) belongs to a dead family incarnation and
+  /// is reclaimed once its lease expires.
+  std::uint64_t epoch = 0;
+  std::uint64_t lease_expiry = 0;
 };
 
 /// One family waiting for the object's lock (an entry of the NonHoldersPtr
@@ -60,6 +67,10 @@ struct WaiterFamily {
   /// upgrade to write.  Upgraders take priority at the head of the queue.
   bool upgrade = false;
   std::vector<TxnId> txns;  ///< waiting transactions of the family
+  /// Crash epoch of `node` when the request was queued (fault engine only).
+  /// A waiter from a dead incarnation can never consume its grant and is
+  /// purged before grants are handed out.
+  std::uint64_t epoch = 0;
 };
 
 struct GdoEntry {

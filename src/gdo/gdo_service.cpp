@@ -1,6 +1,7 @@
 #include "gdo/gdo_service.hpp"
 
 #include <algorithm>
+#include <map>
 
 #include "common/logging.hpp"
 
@@ -38,17 +39,108 @@ GdoService::Route GdoService::route(ObjectId id) const {
   const NodeId home = home_of(id);
   if (transport_.reachable(home)) return {home.value(), false};
   if (config_.replicate) {
-    const NodeId mirror = mirror_of(id);
-    if (mirror != home && transport_.reachable(mirror))
-      return {mirror.value(), true};
+    if (transport_.fault_hooks() != nullptr) {
+      // Fault-engine mode: walk the replica chain (home+1, home+2, ...) so
+      // service survives the mirror dying too — replicate_failover keeps a
+      // copy one hop ahead of every failure.
+      const std::size_t n = partitions_.size();
+      for (std::size_t k = 1; k < n; ++k) {
+        const NodeId cand(
+            static_cast<std::uint32_t>((home.value() + k) % n));
+        if (transport_.reachable(cand)) return {cand.value(), true};
+      }
+    } else {
+      const NodeId mirror = mirror_of(id);
+      if (mirror != home && transport_.reachable(mirror))
+        return {mirror.value(), true};
+    }
   }
   throw NodeUnreachable(home);
+}
+
+GdoEntry& GdoService::find_serving(
+    std::unordered_map<ObjectId, GdoEntry>& map, ObjectId id, Route r,
+    const char* op) {
+  const auto it = map.find(id);
+  if (it == map.end()) {
+    if (r.failover && transport_.fault_hooks() != nullptr)
+      // The surviving chain node has no copy of this entry (yet): the
+      // object's directory data is temporarily unavailable, not misused.
+      // Callers treat this like the home being down and retry.
+      throw NodeUnreachable(home_of(id), home_of(id));
+    throw UsageError(std::string("GdoService::") + op + ": unknown object " +
+                     std::to_string(id.value()));
+  }
+  return it->second;
+}
+
+void GdoService::stamp_epoch(WaiterFamily& w) const {
+  if (const FaultHooks* hooks = transport_.fault_hooks())
+    w.epoch = hooks->crash_count(w.node);
+}
+
+void GdoService::reap_dead_locked(ObjectId id, GdoEntry& e, NodeId serving,
+                                  bool ignore_leases,
+                                  std::vector<Grant>& wakeups) {
+  const FaultHooks* hooks = transport_.fault_hooks();
+  if (hooks == nullptr) return;
+  const std::uint64_t tick = hooks->now();
+  // Waiters of dead incarnations can never consume a grant: purge.
+  const std::size_t before = e.waiters.size();
+  std::erase_if(e.waiters, [&](const WaiterFamily& w) {
+    return hooks->crash_count(w.node) > w.epoch;
+  });
+  purged_ += before - e.waiters.size();
+  // Holders of dead incarnations are reclaimed once their lease runs out.
+  // Like an abort release, reclamation carries no dirty-page info: the page
+  // map is left untouched (the restart path restores exactly what the map
+  // attributes to the node).
+  bool freed = false;
+  for (auto it = e.holders.begin(); it != e.holders.end();) {
+    const HolderFamily& h = it->second;
+    if (hooks->crash_count(h.node) > h.epoch &&
+        (ignore_leases || tick >= h.lease_expiry)) {
+      if (h.mode == LockMode::kRead) --e.read_count;
+      it = e.holders.erase(it);
+      ++reclaimed_;
+      freed = true;
+    } else {
+      ++it;
+    }
+  }
+  if (e.holders.empty()) {
+    e.state = GdoLockState::kFree;
+    e.read_count = 0;
+  }
+  if (freed) grant_waiters(id, e, serving, wakeups);
 }
 
 void GdoService::register_object(ObjectId id, std::size_t num_pages,
                                  NodeId creator) {
   if (num_pages == 0) throw UsageError("GdoService: object with zero pages");
   const NodeId home = home_of(id);
+  FaultAtomicSection atomic(transport_.fault_hooks());
+  if (!transport_.reachable(home) && config_.replicate &&
+      transport_.fault_hooks() != nullptr) {
+    // Home down at creation time: register at the failover serving node —
+    // its mirror map is the authoritative copy until the home restarts and
+    // rebuilds from it.  Inserting into the home's map instead would hand
+    // the only record to the pending wipe.
+    const Route r = route(id);
+    const NodeId serving(static_cast<std::uint32_t>(r.partition));
+    Partition& part = partitions_[r.partition];
+    std::lock_guard<std::mutex> lock(part.mirror_mu);
+    auto [it, inserted] = part.mirrors.try_emplace(id);
+    if (!inserted)
+      throw UsageError("GdoService: object " + std::to_string(id.value()) +
+                       " already registered");
+    GdoEntry& e = it->second;
+    e.num_pages = num_pages;
+    e.page_map = PageMap(num_pages, creator);
+    e.caching_sites.insert(creator);
+    replicate_failover(id, e, serving);
+    return;
+  }
   Partition& part = partitions_[home.value()];
   {
     std::lock_guard<std::mutex> lock(part.mu);
@@ -71,36 +163,85 @@ AcquireResult GdoService::acquire(ObjectId id, const TxnId& txn,
   Partition& part = partitions_[r.partition];
   std::unique_lock<std::mutex> lock(r.failover ? part.mirror_mu : part.mu);
   auto& map = r.failover ? part.mirrors : part.entries;
-  const auto it = map.find(id);
-  if (it == map.end())
-    throw UsageError("GdoService::acquire: unknown object " +
-                     std::to_string(id.value()));
-  GdoEntry& e = it->second;
+  GdoEntry& e = find_serving(map, id, r, "acquire");
   const FamilyId fam = txn.family;
 
   transport_.send({MessageKind::kLockAcquireRequest, requester, serving, id,
                    wire::kLockRecordBytes});
 
+  // The request could fail (drop, partition, crash); from here on the
+  // mutation and its replica sync are one atomic unit against crash events.
+  FaultAtomicSection atomic(transport_.fault_hooks());
+
+  // Fault recovery: before serving, purge dead waiters / expired orphan
+  // leases, and reclaim this family's own stale holder immediately — a new
+  // request under the same FamilyId proves the incarnation that held the
+  // lock is gone (the runner re-acquires from scratch after a crash).
+  if (const FaultHooks* hooks = transport_.fault_hooks()) {
+    std::vector<Grant> scratch;  // grants reach their sites via the hook
+    reap_dead_locked(id, e, serving, /*ignore_leases=*/false, scratch);
+    if (const auto self = e.holders.find(fam);
+        self != e.holders.end() &&
+        hooks->crash_count(self->second.node) > self->second.epoch) {
+      if (self->second.mode == LockMode::kRead) --e.read_count;
+      e.holders.erase(self);
+      ++reclaimed_;
+      if (e.holders.empty()) {
+        e.state = GdoLockState::kFree;
+        e.read_count = 0;
+      }
+      grant_waiters(id, e, serving, scratch);
+    }
+  }
+
   // --- upgrade path: family holds read, wants write ----------------------
   if (e.held_by(fam)) {
     HolderFamily& h = e.holders.at(fam);
-    if (!(mode == LockMode::kWrite && h.mode == LockMode::kRead))
-      throw UsageError(
-          "GdoService::acquire: family already holds a covering lock "
-          "(intra-family requests belong to the local algorithm)");
+    if (!(mode == LockMode::kWrite && h.mode == LockMode::kRead)) {
+      if (transport_.fault_hooks() == nullptr)
+        throw UsageError(
+            "GdoService::acquire: family already holds a covering lock "
+            "(intra-family requests belong to the local algorithm)");
+      // Idempotent re-grant under fault injection: the holder is this same
+      // live incarnation (a crashed one was reclaimed above), so the family
+      // restarted an attempt without managing to release — its abort's
+      // release message died with a crashed or partitioned serving node.
+      // Hand the lock back and renew the lease; the covering mode stands.
+      const bool new_txn =
+          std::find(h.txns.begin(), h.txns.end(), txn) == h.txns.end();
+      transport_.send(
+          {MessageKind::kLockAcquireGrant, serving, requester, id,
+           grant_payload_bytes(e, h.txns.size() + (new_txn ? 1 : 0))});
+      if (new_txn) h.txns.push_back(txn);
+      h.node = requester;
+      if (const FaultHooks* hooks = transport_.fault_hooks())
+        h.lease_expiry = hooks->now() + hooks->lease_term();
+      if (!r.failover) replicate(id, e);
+      else replicate_failover(id, e, serving);
+      AcquireResult res;
+      res.status = AcquireStatus::kGranted;
+      res.page_map = e.page_map;
+      return res;
+    }
     if (e.holders.size() == 1) {
-      // Sole reader: upgrade in place.
-      h.mode = LockMode::kWrite;
-      if (std::find(h.txns.begin(), h.txns.end(), txn) == h.txns.end())
-        h.txns.push_back(txn);
-      e.state = GdoLockState::kWrite;
-      e.read_count = 0;
+      // Sole reader: upgrade in place.  The grant message goes out before
+      // the entry mutates so a fault thrown mid-send leaves a clean state.
+      const bool new_txn =
+          std::find(h.txns.begin(), h.txns.end(), txn) == h.txns.end();
       // Upgrade grants need no page map: the family held the lock
       // throughout, so no other family can have produced newer pages.
       transport_.send({MessageKind::kLockAcquireGrant, serving, requester, id,
                        wire::kLockRecordBytes +
-                           h.txns.size() * wire::kTxnNodePairBytes});
+                           (h.txns.size() + (new_txn ? 1 : 0)) *
+                               wire::kTxnNodePairBytes});
+      h.mode = LockMode::kWrite;
+      if (new_txn) h.txns.push_back(txn);
+      if (const FaultHooks* hooks = transport_.fault_hooks())
+        h.lease_expiry = hooks->now() + hooks->lease_term();  // renewal
+      e.state = GdoLockState::kWrite;
+      e.read_count = 0;
       if (!r.failover) replicate(id, e);
+      else replicate_failover(id, e, serving);
       AcquireResult res;
       res.status = AcquireStatus::kGranted;
       res.upgrade = true;
@@ -108,14 +249,16 @@ AcquireResult GdoService::acquire(ObjectId id, const TxnId& txn,
     }
     // Other readers present: queue the upgrade ahead of ordinary waiters
     // (behind any earlier upgraders).
+    transport_.send({MessageKind::kLockAcquireQueued, serving, requester, id,
+                     wire::kLockRecordBytes});
     WaiterFamily w{fam, requester, LockMode::kWrite, /*upgrade=*/true, {txn}};
+    stamp_epoch(w);
     std::size_t pos = 0;
     while (pos < e.waiters.size() && e.waiters[pos].upgrade) ++pos;
     e.waiters.insert(e.waiters.begin() + static_cast<std::ptrdiff_t>(pos),
                      std::move(w));
-    transport_.send({MessageKind::kLockAcquireQueued, serving, requester, id,
-                     wire::kLockRecordBytes});
     if (!r.failover) replicate(id, e);
+    else replicate_failover(id, e, serving);
     return AcquireResult{};  // queued
   }
 
@@ -137,11 +280,16 @@ AcquireResult GdoService::acquire(ObjectId id, const TxnId& txn,
        }));
 
   if (!e.held() || read_shared) {
-    install_holder(e, WaiterFamily{fam, requester, mode, false, {txn}});
-    e.caching_sites.insert(requester);
+    // Send before mutating: a fault thrown from the grant send (requester
+    // crashed at this very tick) must not leave an orphaned holder.
     transport_.send({MessageKind::kLockAcquireGrant, serving, requester, id,
                      grant_payload_bytes(e, 1)});
+    WaiterFamily w{fam, requester, mode, false, {txn}};
+    stamp_epoch(w);
+    install_holder(e, w);
+    e.caching_sites.insert(requester);
     if (!r.failover) replicate(id, e);
+    else replicate_failover(id, e, serving);
     AcquireResult res;
     res.status = AcquireStatus::kGranted;
     res.page_map = e.page_map;
@@ -149,22 +297,29 @@ AcquireResult GdoService::acquire(ObjectId id, const TxnId& txn,
   }
 
   // --- conflict: enqueue on the NonHolders list ---------------------------
+  transport_.send({MessageKind::kLockAcquireQueued, serving, requester, id,
+                   wire::kLockRecordBytes});
   const std::size_t idx = e.waiter_index(fam);
   if (idx != static_cast<std::size_t>(-1)) {
     // "IF there is a list ... for the requesting transaction's family THEN
     //  link the requesting transaction into its family's list."
     e.waiters[idx].txns.push_back(txn);
   } else {
-    e.waiters.push_back(WaiterFamily{fam, requester, mode, false, {txn}});
+    WaiterFamily w{fam, requester, mode, false, {txn}};
+    stamp_epoch(w);
+    e.waiters.push_back(std::move(w));
   }
-  transport_.send({MessageKind::kLockAcquireQueued, serving, requester, id,
-                   wire::kLockRecordBytes});
   if (!r.failover) replicate(id, e);
+  else replicate_failover(id, e, serving);
   return AcquireResult{};  // queued
 }
 
 void GdoService::install_holder(GdoEntry& e, const WaiterFamily& w) {
   HolderFamily h{w.family, w.node, w.mode, w.txns};
+  if (const FaultHooks* hooks = transport_.fault_hooks()) {
+    h.epoch = hooks->crash_count(w.node);
+    h.lease_expiry = hooks->now() + hooks->lease_term();
+  }
   e.holders.emplace(w.family, std::move(h));
   if (w.mode == LockMode::kRead) {
     ++e.read_count;
@@ -214,10 +369,7 @@ ReleaseResult GdoService::release_family(ObjectId id, FamilyId family,
   Partition& part = partitions_[r.partition];
   std::unique_lock<std::mutex> lock(r.failover ? part.mirror_mu : part.mu);
   auto& map = r.failover ? part.mirrors : part.entries;
-  const auto it = map.find(id);
-  if (it == map.end())
-    throw UsageError("GdoService::release_family: unknown object");
-  GdoEntry& e = it->second;
+  GdoEntry& e = find_serving(map, id, r, "release_family");
 
   const std::uint64_t records = info ? info->record_count() : 0;
   transport_.send({MessageKind::kLockReleaseRequest, node, serving, id,
@@ -226,10 +378,15 @@ ReleaseResult GdoService::release_family(ObjectId id, FamilyId family,
   if (config_.release_acks)
     transport_.send({MessageKind::kLockReleaseAck, serving, node, id, 0});
 
+  // Release applied + waiters granted + replica synced: atomic against
+  // crash events (the request/ack above stay interruptible).
+  FaultAtomicSection atomic(transport_.fault_hooks());
+
   ReleaseResult res;
   res.stamped_version = apply_release(id, e, family, serving, info,
                                       res.wakeups);
   if (!r.failover) replicate(id, e);
+  else replicate_failover(id, e, serving);
   return res;
 }
 
@@ -251,9 +408,32 @@ BatchReleaseResult GdoService::release_batch(
 
 void GdoService::grant_waiters(ObjectId id, GdoEntry& e, NodeId serving,
                                std::vector<Grant>& out) {
+  const FaultHooks* hooks = transport_.fault_hooks();
+  if (hooks != nullptr) {
+    // Never grant to a dead incarnation: its site cannot consume the wakeup.
+    const std::size_t before = e.waiters.size();
+    std::erase_if(e.waiters, [&](const WaiterFamily& w) {
+      return hooks->crash_count(w.node) > w.epoch;
+    });
+    purged_ += before - e.waiters.size();
+  }
   const auto emit = [&](Grant g) {
     if (grant_delivery_) grant_delivery_(g);
     out.push_back(std::move(g));
+  };
+  // Each branch sends the wakeup *before* mutating the entry: a fault event
+  // can crash the waiter's node at the send's very tick, and the grant must
+  // then not have happened — the waiter is purged and the loop continues.
+  const auto send_wakeup = [&](const WaiterFamily& w,
+                               std::uint64_t payload) -> bool {
+    try {
+      transport_.send(
+          {MessageKind::kLockGrantWakeup, serving, w.node, id, payload});
+      return true;
+    } catch (const Error&) {
+      if (hooks == nullptr) throw;
+      return false;
+    }
   };
   while (!e.waiters.empty()) {
     WaiterFamily& w = e.waiters.front();
@@ -261,28 +441,35 @@ void GdoService::grant_waiters(ObjectId id, GdoEntry& e, NodeId serving,
       const bool sole_reader =
           e.holders.size() == 1 && e.holders.count(w.family) == 1;
       if (!sole_reader) break;
+      if (!send_wakeup(w, wire::kLockRecordBytes +
+                              w.txns.size() * wire::kTxnNodePairBytes)) {
+        e.waiters.pop_front();
+        ++purged_;
+        continue;
+      }
       HolderFamily& h = e.holders.at(w.family);
       h.mode = LockMode::kWrite;
       for (const TxnId& t : w.txns)
         if (std::find(h.txns.begin(), h.txns.end(), t) == h.txns.end())
           h.txns.push_back(t);
+      if (hooks != nullptr)
+        h.lease_expiry = hooks->now() + hooks->lease_term();
       e.state = GdoLockState::kWrite;
       e.read_count = 0;
-      Grant g{w.family, w.node, w.txns.front(), LockMode::kWrite,
-              /*upgrade=*/true, PageMap{}, id};
-      transport_.send({MessageKind::kLockGrantWakeup, serving, w.node, id,
-                       wire::kLockRecordBytes +
-                           w.txns.size() * wire::kTxnNodePairBytes});
-      emit(std::move(g));
+      emit(Grant{w.family, w.node, w.txns.front(), LockMode::kWrite,
+                 /*upgrade=*/true, PageMap{}, id});
       e.waiters.pop_front();
       break;  // write lock granted; nothing further is grantable
     }
     if (w.mode == LockMode::kWrite) {
       if (!e.holders.empty()) break;
+      if (!send_wakeup(w, grant_payload_bytes(e, w.txns.size()))) {
+        e.waiters.pop_front();
+        ++purged_;
+        continue;
+      }
       Grant g{w.family, w.node, w.txns.front(), LockMode::kWrite,
               /*upgrade=*/false, e.page_map, id};
-      transport_.send({MessageKind::kLockGrantWakeup, serving, w.node, id,
-                       grant_payload_bytes(e, w.txns.size())});
       install_holder(e, w);
       e.caching_sites.insert(w.node);
       emit(std::move(g));
@@ -291,10 +478,13 @@ void GdoService::grant_waiters(ObjectId id, GdoEntry& e, NodeId serving,
     }
     // Read waiter.
     if (!(e.holders.empty() || e.state == GdoLockState::kRead)) break;
+    if (!send_wakeup(w, grant_payload_bytes(e, w.txns.size()))) {
+      e.waiters.pop_front();
+      ++purged_;
+      continue;
+    }
     Grant g{w.family, w.node, w.txns.front(), LockMode::kRead,
             /*upgrade=*/false, e.page_map, id};
-    transport_.send({MessageKind::kLockGrantWakeup, serving, w.node, id,
-                     grant_payload_bytes(e, w.txns.size())});
     install_holder(e, w);
     e.caching_sites.insert(w.node);
     emit(std::move(g));
@@ -309,15 +499,14 @@ std::vector<Grant> GdoService::cancel_waiter(ObjectId id, FamilyId family) {
   Partition& part = partitions_[r.partition];
   std::unique_lock<std::mutex> lock(r.failover ? part.mirror_mu : part.mu);
   auto& map = r.failover ? part.mirrors : part.entries;
-  const auto it = map.find(id);
-  if (it == map.end())
-    throw UsageError("GdoService::cancel_waiter: unknown object");
-  GdoEntry& e = it->second;
+  FaultAtomicSection atomic(transport_.fault_hooks());
+  GdoEntry& e = find_serving(map, id, r, "cancel_waiter");
   std::erase_if(e.waiters,
                 [&](const WaiterFamily& w) { return w.family == family; });
   std::vector<Grant> wakeups;
   grant_waiters(id, e, serving, wakeups);
   if (!r.failover) replicate(id, e);
+  else replicate_failover(id, e, serving);
   return wakeups;
 }
 
@@ -327,14 +516,12 @@ PageMap GdoService::lookup_page_map(ObjectId id, NodeId requester) {
   Partition& part = partitions_[r.partition];
   std::unique_lock<std::mutex> lock(r.failover ? part.mirror_mu : part.mu);
   auto& map = r.failover ? part.mirrors : part.entries;
-  const auto it = map.find(id);
-  if (it == map.end())
-    throw UsageError("GdoService::lookup_page_map: unknown object");
+  const GdoEntry& e = find_serving(map, id, r, "lookup_page_map");
   transport_.send({MessageKind::kGdoLookupRequest, requester, serving, id,
                    wire::kLockRecordBytes});
   transport_.send({MessageKind::kGdoLookupReply, serving, requester, id,
-                   it->second.page_map.wire_bytes()});
-  return it->second.page_map;
+                   e.page_map.wire_bytes()});
+  return e.page_map;
 }
 
 std::vector<NodeId> GdoService::caching_sites(ObjectId id) const {
@@ -342,10 +529,10 @@ std::vector<NodeId> GdoService::caching_sites(ObjectId id) const {
   const Partition& part = partitions_[r.partition];
   std::unique_lock<std::mutex> lock(r.failover ? part.mirror_mu : part.mu);
   const auto& map = r.failover ? part.mirrors : part.entries;
-  const auto it = map.find(id);
-  if (it == map.end())
-    throw UsageError("GdoService::caching_sites: unknown object");
-  return {it->second.caching_sites.begin(), it->second.caching_sites.end()};
+  const GdoEntry& e = const_cast<GdoService*>(this)->find_serving(
+      const_cast<std::unordered_map<ObjectId, GdoEntry>&>(map), id, r,
+      "caching_sites");
+  return {e.caching_sites.begin(), e.caching_sites.end()};
 }
 
 void GdoService::note_caching_site(ObjectId id, NodeId node) {
@@ -353,10 +540,7 @@ void GdoService::note_caching_site(ObjectId id, NodeId node) {
   Partition& part = partitions_[r.partition];
   std::unique_lock<std::mutex> lock(r.failover ? part.mirror_mu : part.mu);
   auto& map = r.failover ? part.mirrors : part.entries;
-  const auto it = map.find(id);
-  if (it == map.end())
-    throw UsageError("GdoService::note_caching_site: unknown object");
-  it->second.caching_sites.insert(node);
+  find_serving(map, id, r, "note_caching_site").caching_sites.insert(node);
 }
 
 std::vector<GdoService::WaitEdge> GdoService::wait_edges() const {
@@ -391,10 +575,9 @@ GdoEntry GdoService::snapshot(ObjectId id) const {
   const Partition& part = partitions_[r.partition];
   std::unique_lock<std::mutex> lock(r.failover ? part.mirror_mu : part.mu);
   const auto& map = r.failover ? part.mirrors : part.entries;
-  const auto it = map.find(id);
-  if (it == map.end())
-    throw UsageError("GdoService::snapshot: unknown object");
-  return it->second;
+  return const_cast<GdoService*>(this)->find_serving(
+      const_cast<std::unordered_map<ObjectId, GdoEntry>&>(map), id, r,
+      "snapshot");
 }
 
 std::size_t GdoService::num_objects() const {
@@ -423,12 +606,185 @@ void GdoService::replicate(ObjectId id, const GdoEntry& entry) {
   const NodeId mirror = mirror_of(id);
   if (mirror == home) return;
   if (!transport_.reachable(mirror)) return;  // mirror down: degrade
-  transport_.send({MessageKind::kGdoReplicaSync, home, mirror, id,
-                   wire::kLockRecordBytes + entry.page_map.wire_bytes()});
-  transport_.send({MessageKind::kGdoReplicaAck, mirror, home, id, 0});
+  try {
+    transport_.send({MessageKind::kGdoReplicaSync, home, mirror, id,
+                     wire::kLockRecordBytes + entry.page_map.wire_bytes()});
+    transport_.send({MessageKind::kGdoReplicaAck, mirror, home, id, 0});
+  } catch (const Error&) {
+    // A fault event crashed an endpoint at this very tick: degrade exactly
+    // as if the mirror had been down before the sync (best-effort copy).
+    // Replication runs after the mutation, so the exception must not
+    // propagate and unwind an already-applied release/grant.
+    return;
+  }
   Partition& mpart = partitions_[mirror.value()];
   std::lock_guard<std::mutex> lock(mpart.mirror_mu);
   mpart.mirrors[id] = entry;
+}
+
+void GdoService::replicate_failover(ObjectId id, const GdoEntry& entry,
+                                    NodeId serving) {
+  if (!config_.replicate || transport_.fault_hooks() == nullptr) return;
+  const std::size_t n = partitions_.size();
+  for (std::size_t k = 1; k < n; ++k) {
+    const NodeId cand(
+        static_cast<std::uint32_t>((serving.value() + k) % n));
+    if (cand == home_of(id)) continue;  // the dead home is no backup
+    if (!transport_.reachable(cand)) continue;
+    try {
+      transport_.send({MessageKind::kGdoReplicaSync, serving, cand, id,
+                       wire::kLockRecordBytes + entry.page_map.wire_bytes()});
+      transport_.send({MessageKind::kGdoReplicaAck, cand, serving, id, 0});
+    } catch (const Error&) {
+      continue;  // candidate crashed mid-sync: try the next survivor
+    }
+    // Both mirror maps may be touched only under their own mirror_mu; under
+    // the token scheduler (required with fault hooks) this nesting is safe.
+    Partition& cpart = partitions_[cand.value()];
+    std::lock_guard<std::mutex> lock(cpart.mirror_mu);
+    cpart.mirrors[id] = entry;
+    return;
+  }
+}
+
+void GdoService::on_node_crash(NodeId node) {
+  if (!node.valid() || node.value() >= partitions_.size())
+    throw UsageError("GdoService: node id out of range");
+  Partition& part = partitions_[node.value()];
+  {
+    std::lock_guard<std::mutex> lock(part.mu);
+    part.entries.clear();
+  }
+  {
+    std::lock_guard<std::mutex> lock(part.mirror_mu);
+    part.mirrors.clear();
+  }
+  // The dead site caches nothing and cannot receive eager pushes.
+  for (Partition& p : partitions_) {
+    {
+      std::lock_guard<std::mutex> lock(p.mu);
+      for (auto& [id, e] : p.entries) e.caching_sites.erase(node);
+    }
+    {
+      std::lock_guard<std::mutex> lock(p.mirror_mu);
+      for (auto& [id, e] : p.mirrors) e.caching_sites.erase(node);
+    }
+  }
+}
+
+std::size_t GdoService::rebuild_node(NodeId node) {
+  if (!node.valid() || node.value() >= partitions_.size())
+    throw UsageError("GdoService: node id out of range");
+  if (!config_.replicate) return 0;
+  Partition& mine = partitions_[node.value()];
+
+  // 1. Recover the entries homed here from surviving mirror copies anywhere
+  //    in the chain (re-mirroring may have moved them past home+1).  Newest
+  //    copy wins, measured by the entry's commit version counter; the scan
+  //    walks the chain outward from the home so that on a version tie the
+  //    copy nearest the home — the canonical mirror, which every normal
+  //    mutation refreshes — beats a stale failover copy further out (lock
+  //    state changes do not bump the version counter, so ties are common).
+  std::map<ObjectId, std::pair<GdoEntry, NodeId>> best;
+  for (std::size_t k = 1; k < partitions_.size(); ++k) {
+    const NodeId holder(static_cast<std::uint32_t>(
+        (node.value() + k) % partitions_.size()));
+    if (!transport_.reachable(holder)) continue;
+    const Partition& part = partitions_[holder.value()];
+    std::lock_guard<std::mutex> lock(part.mirror_mu);
+    for (const auto& [id, e] : part.mirrors) {
+      if (home_of(id) != node) continue;
+      const auto it = best.find(id);
+      if (it == best.end() ||
+          e.version_counter > it->second.first.version_counter)
+        best[id] = {e, holder};
+    }
+  }
+  std::size_t rebuilt = 0;
+  for (auto& [id, copy] : best) {
+    try {
+      transport_.send({MessageKind::kGdoRebuildRequest, node, copy.second, id,
+                       wire::kLockRecordBytes});
+      transport_.send(
+          {MessageKind::kGdoRebuildReply, copy.second, node, id,
+           wire::kLockRecordBytes + copy.first.page_map.wire_bytes()});
+    } catch (const Error&) {
+      continue;  // source died mid-rebuild; the entry stays missing for now
+    }
+    {
+      std::lock_guard<std::mutex> lock(mine.mu);
+      mine.entries[id] = copy.first;
+    }
+    // Freshen the canonical mirror from the adopted copy and drop every
+    // other chain copy: they freeze the moment the home serves again, and
+    // a later rebuild must not be able to resurrect one.
+    replicate(id, copy.first);
+    const NodeId canon = mirror_of(id);
+    for (std::size_t p = 0; p < partitions_.size(); ++p) {
+      if (p == node.value() || p == canon.value()) continue;
+      Partition& part = partitions_[p];
+      std::lock_guard<std::mutex> lock(part.mirror_mu);
+      part.mirrors.erase(id);
+    }
+    ++rebuilt;
+  }
+
+  // 2. Refresh this node's own mirror copies from the live homes, so it can
+  //    serve as a failover target again.
+  for (std::size_t p = 0; p < partitions_.size(); ++p) {
+    const NodeId home(static_cast<std::uint32_t>(p));
+    if (home == node || !transport_.reachable(home)) continue;
+    std::map<ObjectId, GdoEntry> to_mirror;
+    {
+      const Partition& part = partitions_[p];
+      std::lock_guard<std::mutex> lock(part.mu);
+      for (const auto& [id, e] : part.entries)
+        if (mirror_of(id) == node) to_mirror.emplace(id, e);
+    }
+    for (auto& [id, e] : to_mirror) {
+      try {
+        transport_.send({MessageKind::kGdoRebuildRequest, node, home, id,
+                         wire::kLockRecordBytes});
+        transport_.send({MessageKind::kGdoRebuildReply, home, node, id,
+                         wire::kLockRecordBytes + e.page_map.wire_bytes()});
+      } catch (const Error&) {
+        continue;
+      }
+      std::lock_guard<std::mutex> lock(mine.mirror_mu);
+      mine.mirrors[id] = std::move(e);
+    }
+  }
+  return rebuilt;
+}
+
+void GdoService::reclaim_crashed(bool ignore_leases) {
+  if (transport_.fault_hooks() == nullptr) return;
+  for (std::size_t p = 0; p < partitions_.size(); ++p) {
+    Partition& part = partitions_[p];
+    std::vector<ObjectId> ids;
+    {
+      std::lock_guard<std::mutex> lock(part.mu);
+      ids.reserve(part.entries.size());
+      for (const auto& [id, e] : part.entries) ids.push_back(id);
+    }
+    std::sort(ids.begin(), ids.end(),
+              [](ObjectId a, ObjectId b) { return a.value() < b.value(); });
+    for (const ObjectId id : ids) {
+      std::lock_guard<std::mutex> lock(part.mu);
+      const auto it = part.entries.find(id);
+      if (it == part.entries.end()) continue;
+      FaultAtomicSection atomic(transport_.fault_hooks());
+      const std::uint64_t before = reclaimed_ + purged_;
+      std::vector<Grant> wakeups;
+      reap_dead_locked(id, it->second,
+                       NodeId(static_cast<std::uint32_t>(p)), ignore_leases,
+                       wakeups);
+      // A reap that freed or purged anything diverged from the mirror copy;
+      // sync it like any other mutation (a crash right after the reap must
+      // not resurrect the reclaimed holder from the stale mirror).
+      if (reclaimed_ + purged_ != before) replicate(id, it->second);
+    }
+  }
 }
 
 }  // namespace lotec

@@ -167,6 +167,33 @@ class GdoService {
   /// grants; exposed for the RC push path after an eager update install).
   void note_caching_site(ObjectId id, NodeId node);
 
+  // --- crash recovery (fault engine integration) --------------------------
+
+  /// A node died: drop its partition's cached directory state (entries and
+  /// mirror copies) and forget it as a caching site everywhere.  Requests
+  /// for objects homed there fail over along the replica chain; the locks
+  /// its families held are reclaimed lazily by lease timeout.
+  void on_node_crash(NodeId node);
+
+  /// A crashed node rejoined: pull its partition's entries back from the
+  /// surviving mirror copies (charged as rebuild request/reply pairs) and
+  /// refresh its own mirror copies from live homes.  Returns the number of
+  /// home entries rebuilt.
+  std::size_t rebuild_node(NodeId node);
+
+  /// Sweep the whole directory for locks and queued requests left behind by
+  /// crashed family incarnations.  With `ignore_leases` the sweep reclaims
+  /// immediately (end-of-batch cleanup); otherwise expired leases only.
+  /// No-op without fault hooks installed.
+  void reclaim_crashed(bool ignore_leases);
+
+  [[nodiscard]] std::uint64_t locks_reclaimed() const noexcept {
+    return reclaimed_;
+  }
+  [[nodiscard]] std::uint64_t waiters_purged() const noexcept {
+    return purged_;
+  }
+
   // --- deadlock support ---------------------------------------------------
 
   struct WaitEdge {
@@ -219,12 +246,38 @@ class GdoService {
   void grant_waiters(ObjectId id, GdoEntry& entry, NodeId serving_node,
                      std::vector<Grant>& out);
 
-  /// Apply one grant to the entry's holder bookkeeping.
-  static void install_holder(GdoEntry& entry, const WaiterFamily& w);
+  /// Apply one grant to the entry's holder bookkeeping (stamps the lease
+  /// when fault hooks are installed).
+  void install_holder(GdoEntry& entry, const WaiterFamily& w);
+
+  /// Stamp a fresh waiter/request with its node's current crash epoch.
+  void stamp_epoch(WaiterFamily& w) const;
+
+  /// Purge waiters from dead incarnations and reclaim orphaned holders
+  /// whose lease has expired (or all orphans with `ignore_leases`); grants
+  /// freed waiters.  Caller holds the serving partition lock.  No-op
+  /// without fault hooks.
+  void reap_dead_locked(ObjectId id, GdoEntry& entry, NodeId serving,
+                        bool ignore_leases, std::vector<Grant>& wakeups);
+
+  /// Serving-side entry lookup.  During failover a missing copy is a
+  /// *transient* condition (the surviving chain has not seen this object's
+  /// entry yet) and surfaces as NodeUnreachable so callers retry; at the
+  /// home it is a usage error.
+  [[nodiscard]] GdoEntry& find_serving(
+      std::unordered_map<ObjectId, GdoEntry>& map, ObjectId id, Route r,
+      const char* op);
 
   /// Synchronously copy the (mutated) entry to the mirror and charge the
   /// replication traffic.  Caller holds the home partition lock only.
+  /// Degrades (skips) if the mirror is down or crashes mid-sync.
   void replicate(ObjectId id, const GdoEntry& entry);
+
+  /// Failover counterpart of replicate(): while the home is down, the
+  /// serving mirror copies mutations one hop further down the replica
+  /// chain, so a second failure still finds a complete entry.  Fault-hooks
+  /// mode only (legacy failover keeps its exact message counts).
+  void replicate_failover(ObjectId id, const GdoEntry& entry, NodeId serving);
 
   [[nodiscard]] std::uint64_t grant_payload_bytes(const GdoEntry& entry,
                                                   std::size_t txn_list_len)
@@ -237,6 +290,9 @@ class GdoService {
   GdoConfig config_;
   std::function<void(const Grant&)> grant_delivery_;
   std::vector<Partition> partitions_;
+  /// Lease-reclamation tallies (token-serialized with fault hooks on).
+  std::uint64_t reclaimed_ = 0;
+  std::uint64_t purged_ = 0;
 };
 
 }  // namespace lotec

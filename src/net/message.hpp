@@ -34,6 +34,8 @@ enum class MessageKind : std::uint8_t {
   kGdoReplicaAck,
   kGdoLookupRequest,     ///< site -> GDO home: read-only entry lookup
   kGdoLookupReply,
+  kGdoRebuildRequest,    ///< restarted home -> mirror: entry copies wanted
+  kGdoRebuildReply,      ///< mirror -> restarted home: entry + page map
   // --- prefetch extension (Section 5.1 future work) ---
   kPrefetchLockRequest,  ///< optimistic pre-acquisition of a lock
   kPrefetchPageReply,
@@ -58,6 +60,8 @@ enum class MessageKind : std::uint8_t {
     case MessageKind::kGdoReplicaAck: return "GdoReplicaAck";
     case MessageKind::kGdoLookupRequest: return "GdoLookupRequest";
     case MessageKind::kGdoLookupReply: return "GdoLookupReply";
+    case MessageKind::kGdoRebuildRequest: return "GdoRebuildRequest";
+    case MessageKind::kGdoRebuildReply: return "GdoRebuildReply";
     case MessageKind::kPrefetchLockRequest: return "PrefetchLockRequest";
     case MessageKind::kPrefetchPageReply: return "PrefetchPageReply";
     case MessageKind::kNumKinds: break;

@@ -30,6 +30,10 @@ struct TraceEvent {
   ObjectId object{};
   std::uint64_t payload_bytes = 0;
   std::uint64_t total_bytes = 0;
+
+  /// Traces are compared whole for the fault-determinism guarantee (same
+  /// seed => byte-identical message sequence).
+  friend bool operator==(const TraceEvent&, const TraceEvent&) = default;
 };
 
 struct TrafficCounter {

@@ -4,8 +4,12 @@
 // a direct call into the destination's service object — but every such call
 // must pass its WireMessage(s) through the Transport, which (a) accounts
 // them in NetworkStats, (b) enforces reachability (a node can be marked
-// failed to exercise GDO replica failover), and (c) knows whether the
-// network is multicast-capable (Section 6 extension).
+// failed to exercise GDO replica failover), (c) knows whether the network
+// is multicast-capable (Section 6 extension), and (d) consults the
+// installed FaultHooks, the seam through which the fault-injection engine
+// (src/fault) drops, duplicates and delays messages and advances its
+// logical clock.  With no hooks installed the fault paths cost one pointer
+// comparison — the disabled engine is free.
 //
 // Local operations (src == dst) are free: the paper's model charges network
 // cost only for inter-site messages, and the locking-overhead analysis of
@@ -20,16 +24,103 @@
 
 namespace lotec {
 
-/// Destination node is marked failed.
+/// A message could not be delivered because a node is failed (crashed) or
+/// the link between src and dst is partitioned.  Carries both endpoints:
+/// the sender needs to know *which* side failed to pick a recovery path
+/// (relocate itself vs retry against another copy).  `src` may be invalid
+/// when the failure is detected outside a concrete send (directory routing).
 class NodeUnreachable : public Error {
  public:
-  explicit NodeUnreachable(NodeId node)
-      : Error("node " + std::to_string(node.value()) + " unreachable"),
-        node_(node) {}
-  [[nodiscard]] NodeId node() const noexcept { return node_; }
+  explicit NodeUnreachable(NodeId dst)
+      : Error("node " + std::to_string(dst.value()) + " unreachable"),
+        dst_(dst) {}
+  NodeUnreachable(NodeId src, NodeId dst)
+      : Error("node " + std::to_string(dst.value()) + " unreachable from " +
+              (src.valid() ? std::to_string(src.value()) : "?")),
+        src_(src),
+        dst_(dst) {}
+
+  [[nodiscard]] NodeId src() const noexcept { return src_; }
+  /// The unreachable node (kept as `node()` for pre-fault-engine callers).
+  [[nodiscard]] NodeId node() const noexcept { return dst_; }
 
  private:
-  NodeId node_;
+  NodeId src_{};
+  NodeId dst_;
+};
+
+/// A message was lost in transit by the fault engine.  Distinct from
+/// NodeUnreachable (both endpoints are up); the runtime treats both as
+/// transient and retries with backoff.
+class MessageDropped : public Error {
+ public:
+  explicit MessageDropped(const WireMessage& m)
+      : Error(std::string("message ") + std::string(to_string(m.kind)) +
+              " " + std::to_string(m.src.value()) + "->" +
+              std::to_string(m.dst.value()) + " dropped by fault injection"),
+        kind_(m.kind) {}
+  [[nodiscard]] MessageKind kind() const noexcept { return kind_; }
+
+ private:
+  MessageKind kind_;
+};
+
+/// The seam between the network substrate and the fault-injection engine
+/// (src/fault implements this; net stays dependency-free).  `on_message` is
+/// consulted for every send *before* reachability checks: it advances the
+/// engine's logical clock, fires due schedule events (which may flip node
+/// reachability via Transport::set_node_failed), and decides message fate —
+/// it may throw MessageDropped / NodeUnreachable (partition), and returns
+/// the number of EXTRA copies to account (duplication).
+///
+/// The query surface (now / crash_count / lease_term) is what the GDO's
+/// lock-lease machinery reads to detect orphaned locks: a holder installed
+/// at crash epoch E whose node is now at epoch > E belongs to a dead
+/// incarnation and may be reclaimed once its lease expires.
+class FaultHooks {
+ public:
+  virtual ~FaultHooks() = default;
+
+  /// May throw MessageDropped or NodeUnreachable; returns extra copies to
+  /// record (message duplication).
+  virtual std::size_t on_message(const WireMessage& m) = 0;
+
+  /// Logical time: messages consulted so far (the deterministic clock all
+  /// schedule triggers and leases are expressed in).
+  [[nodiscard]] virtual std::uint64_t now() const = 0;
+
+  /// How many times `node` has crashed so far (its crash epoch).
+  [[nodiscard]] virtual std::uint64_t crash_count(NodeId node) const = 0;
+
+  /// Lease term (in logical ticks) granted with every global lock.
+  [[nodiscard]] virtual std::uint64_t lease_term() const = 0;
+
+  /// Atomic sections.  While at least one is open, due schedule events are
+  /// deferred to the first message after the last section closes (the clock
+  /// and background chaos still run).  The directory opens a section around
+  /// each entry mutation *and its replica sync*: a crash event landing
+  /// between the two would strand the mutation on the dying home alone —
+  /// the caller keeps a grant (or loses a registration) that no surviving
+  /// copy records.  A real primary acks only after the backup does; this is
+  /// the synchronous emulation's equivalent of that ordering.
+  virtual void begin_atomic() noexcept {}
+  virtual void end_atomic() noexcept {}
+};
+
+/// RAII guard for FaultHooks atomic sections; no-op without hooks.
+class FaultAtomicSection {
+ public:
+  explicit FaultAtomicSection(FaultHooks* hooks) noexcept : hooks_(hooks) {
+    if (hooks_ != nullptr) hooks_->begin_atomic();
+  }
+  ~FaultAtomicSection() {
+    if (hooks_ != nullptr) hooks_->end_atomic();
+  }
+  FaultAtomicSection(const FaultAtomicSection&) = delete;
+  FaultAtomicSection& operator=(const FaultAtomicSection&) = delete;
+
+ private:
+  FaultHooks* hooks_;
 };
 
 struct NetworkConfig {
@@ -50,29 +141,53 @@ class Transport {
     return config_.multicast_capable;
   }
 
+  /// Install (or clear) the fault-injection seam.  Owned by the caller.
+  void set_fault_hooks(FaultHooks* hooks) noexcept { hooks_ = hooks; }
+  [[nodiscard]] FaultHooks* fault_hooks() const noexcept { return hooks_; }
+
   /// Account one message.  Messages where src == dst are local and free.
-  /// Throws NodeUnreachable if the destination is failed.
+  /// Throws NodeUnreachable if either endpoint is failed (a crashed sender
+  /// cannot put anything on the wire) and propagates fault-engine verdicts
+  /// (MessageDropped, partition NodeUnreachable).
   void send(const WireMessage& m) {
     check_node(m.src);
     check_node(m.dst);
-    if (failed_[m.dst.value()]) throw NodeUnreachable(m.dst);
+    std::size_t extra = 0;
+    if (hooks_ != nullptr) extra = hooks_->on_message(m);
+    if (failed_[m.src.value()]) throw NodeUnreachable(m.src, m.src);
+    if (failed_[m.dst.value()]) throw NodeUnreachable(m.src, m.dst);
     if (m.src == m.dst) return;  // local, no network traffic
     stats_.record(m);
+    for (std::size_t i = 0; i < extra; ++i) stats_.record(m);
   }
 
   /// Account a one-to-many push (RC extension).  `destinations` that equal
   /// src are skipped.  With multicast the network carries one copy.
-  void send_to_all(WireMessage m, const std::vector<NodeId>& destinations) {
+  ///
+  /// Partial-failure semantics: failed destinations are SKIPPED and
+  /// returned; stats record the successfully reached subset (with multicast
+  /// one wire copy as long as at least one destination is reachable).  The
+  /// caller must not apply the push's effects at the returned nodes.  A
+  /// failed *source* still throws: a crashed node sends nothing.
+  std::vector<NodeId> send_to_all(const WireMessage& m,
+                                  const std::vector<NodeId>& destinations) {
     check_node(m.src);
+    if (hooks_ != nullptr) (void)hooks_->on_message(m);
+    if (failed_[m.src.value()]) throw NodeUnreachable(m.src, m.src);
+    std::vector<NodeId> unreachable;
     std::size_t remote = 0;
     for (const NodeId dst : destinations) {
       check_node(dst);
       if (dst == m.src) continue;
-      if (failed_[dst.value()]) throw NodeUnreachable(dst);
+      if (failed_[dst.value()]) {
+        unreachable.push_back(dst);
+        continue;
+      }
       ++remote;
     }
-    if (remote == 0) return;
-    stats_.record_multicast(m, remote, config_.multicast_capable);
+    if (remote > 0)
+      stats_.record_multicast(m, remote, config_.multicast_capable);
+    return unreachable;
   }
 
   /// Count a purely local lock operation (Section 5.1 accounting).
@@ -83,7 +198,8 @@ class Transport {
     return !failed_[node.value()];
   }
 
-  /// Mark a node failed/recovered (used by GDO failover tests).
+  /// Mark a node failed/recovered (GDO failover tests and the fault
+  /// engine's crash/restart events).
   void set_node_failed(NodeId node, bool failed) {
     check_node(node);
     failed_[node.value()] = failed;
@@ -98,6 +214,7 @@ class Transport {
   NetworkConfig config_;
   NetworkStats stats_;
   std::vector<bool> failed_;
+  FaultHooks* hooks_ = nullptr;
 };
 
 }  // namespace lotec

@@ -49,6 +49,8 @@ ObjectId Cluster::create_object(ClassId cls, NodeId where) {
                       /*materialize=*/true);
   }
   core_.gdo.register_object(id, def.layout().num_pages(), creator);
+  if (core_.fault != nullptr)
+    core_.fault->note_created(creator, id, def.layout().num_pages());
   return id;
 }
 
@@ -100,9 +102,19 @@ std::vector<TxnResult> Cluster::execute(std::vector<RootRequest> requests) {
   // scheduling: the young victim restarts, re-forms the identical cycle and
   // is sacrificed forever while the cycle's core never progresses.
   auto victim_counts = std::make_shared<std::map<FamilyId, int>>();
-  const auto on_stall = [this, victim_counts]() -> std::size_t {
+  const auto on_stall = [this, victim_counts, &runners]() -> std::size_t {
     const auto cycle = DeadlockDetector::detect(core_.gdo);
-    if (!cycle) return Scheduler::kNoVictim;
+    if (!cycle) {
+      // No lock cycle explains the stall.  With fault injection active the
+      // usual cause is a crash: blocked families wait on grants a dead node
+      // will never send (or their own site died under them).  Victimize the
+      // lowest-index blocked runner; its retry path applies the pending
+      // crash work and re-routes around the failure.
+      if (core_.fault != nullptr)
+        for (const auto& r : runners)
+          if (r->blocked()) return r->index();
+      return Scheduler::kNoVictim;
+    }
     FamilyId victim = cycle->victim;
     int best = victim_counts->count(victim) ? (*victim_counts)[victim] : 0;
     for (const FamilyId f : cycle->families) {
@@ -141,6 +153,14 @@ std::vector<TxnResult> Cluster::execute(std::vector<RootRequest> requests) {
   {
     std::lock_guard<std::mutex> lock(core_.fam_mu);
     core_.runners.clear();
+  }
+
+  if (core_.fault != nullptr) {
+    // End-of-batch recovery: restart every node still down (so the cluster
+    // is whole for validation / the next batch) and reclaim directory locks
+    // left behind by crashed family incarnations, leases notwithstanding.
+    core_.fault->finalize();
+    core_.gdo.reclaim_crashed(/*ignore_leases=*/true);
   }
 
   for (const auto& r : runners)

@@ -135,6 +135,13 @@ class Cluster {
   [[nodiscard]] std::uint64_t total_evicted_pages() const {
     return core_.total_evicted_pages();
   }
+  /// The fault engine, when cfg.fault is non-empty (else nullptr).
+  [[nodiscard]] FaultEngine* fault_engine() noexcept {
+    return core_.fault.get();
+  }
+  [[nodiscard]] const FaultEngine* fault_engine() const noexcept {
+    return core_.fault.get();
+  }
 
  private:
   /// Gather `out.size()` bytes of `object` starting at `offset` from the

@@ -7,6 +7,7 @@
 
 #include "common/error.hpp"
 #include "common/ids.hpp"
+#include "fault/fault_schedule.hpp"
 #include "gdo/gdo_service.hpp"
 #include "net/transport.hpp"
 #include "page/undo_log.hpp"
@@ -34,6 +35,10 @@ struct ClusterConfig {
   UndoStrategy undo = UndoStrategy::kByteRange;
   GdoConfig gdo;
   NetworkConfig net;
+  /// Deterministic fault injection (crashes, restarts, partitions, message
+  /// chaos).  Requires the deterministic scheduler; node faults additionally
+  /// require gdo.replicate so directory state survives its home.
+  FaultConfig fault;
   SchedulerMode scheduler = SchedulerMode::kDeterministic;
   /// Seed for every random decision (scheduling, workload bodies).
   std::uint64_t seed = 1;
@@ -61,6 +66,13 @@ struct TxnResult {
   /// Execution attempts (1 + deadlock restarts).
   int attempts = 0;
   int deadlock_retries = 0;
+  /// Restarts forced by injected faults (crashes / dropped messages).
+  int fault_retries = 0;
+  /// The family's site crashed after commit processing had begun; the
+  /// outcome at the directory is undefined-but-consistent (some locks
+  /// released and pages stamped, the rest reclaimed by lease), so the
+  /// family is reported failed without retry.
+  bool crashed_in_commit = false;
   /// Transactions in the family's tree (last attempt).
   std::uint32_t txns_in_tree = 0;
   std::uint64_t demand_fetches = 0;

@@ -8,6 +8,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "fault/fault_engine.hpp"
 #include "gdo/gdo_service.hpp"
 #include "method/registry.hpp"
 #include "net/transport.hpp"
@@ -41,6 +42,19 @@ struct ClusterCore {
     for (std::size_t i = 0; i < cfg.nodes; ++i)
       nodes.push_back(
           std::make_unique<Node>(NodeId(static_cast<std::uint32_t>(i))));
+    if (cfg.fault.enabled()) {
+      if (cfg.scheduler != SchedulerMode::kDeterministic)
+        throw UsageError(
+            "ClusterConfig: fault injection requires the deterministic "
+            "scheduler (fault traces are defined over the token order)");
+      if (cfg.fault.has_node_faults() && !cfg.gdo.replicate)
+        throw UsageError(
+            "ClusterConfig: node crash/restart faults require gdo.replicate "
+            "(directory state must survive its home node)");
+      fault = std::make_unique<FaultEngine>(cfg.fault, transport, gdo, nodes,
+                                            cfg.page_size);
+      transport.set_fault_hooks(fault.get());
+    }
   }
 
   /// The protocol governing one object (its class's override, or the
@@ -91,6 +105,9 @@ struct ClusterCore {
   /// The cluster default (== protocols[config.protocol]).
   ConsistencyProtocol* protocol = nullptr;
   std::vector<std::unique_ptr<Node>> nodes;
+  /// Deterministic fault engine (null when cfg.fault is empty).  Declared
+  /// after `nodes` so it can capture references to them at construction.
+  std::unique_ptr<FaultEngine> fault;
 
   /// Live scheduler during an execute() run.
   Scheduler* scheduler = nullptr;

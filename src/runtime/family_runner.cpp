@@ -76,9 +76,20 @@ FamilyRunner::FamilyRunner(ClusterCore& core, std::size_t index,
       request_(std::move(request)) {}
 
 void FamilyRunner::run() {
+  FaultEngine* const eng = core_.fault.get();
   int attempts = 0;
   for (;;) {
     ++attempts;
+    if (eng != nullptr) {
+      eng->apply_pending();
+      if (eng->node_down(node_) && !relocate_family()) {
+        result_.committed = false;
+        result_.reason = AbortReason::kNodeFailure;
+        break;
+      }
+      crash_epoch_ = eng->crash_count(node_);
+    }
+    committing_ = false;
     // Re-seed per attempt: a restarted family makes the same decisions.
     rng_ = Rng(mix64(core_.config.seed ^ family_.id().value()));
     try {
@@ -88,7 +99,26 @@ void FamilyRunner::run() {
       if (!ok) result_.reason = last_abort_reason_;
       break;
     } catch (const DeadlockVictimError&) {
-      abort_family(AbortReason::kDeadlock);
+      // The stall handler also victimizes blocked families when a crash
+      // (not a lock cycle) explains the stall; route those to crash
+      // recovery — there is no site state left to abort.
+      if (crashed_since_attempt()) {
+        if (crash_retry(attempts, committing_)) continue;
+        break;
+      }
+      try {
+        abort_family(AbortReason::kDeadlock);
+      } catch (const Error&) {
+        // The abort's release traffic itself hit a fault (our own node
+        // crashed unnoticed, or an object's directory chain is down):
+        // reroute to fault recovery instead of leaking from the handler.
+        if (crashed_since_attempt()) {
+          if (crash_retry(attempts, committing_)) continue;
+          break;
+        }
+        if (transient_retry(attempts)) continue;
+        break;
+      }
       ++result_.deadlock_retries;
       if (core_.scheduler->cancelled() ||
           attempts >= core_.config.max_retries) {
@@ -101,9 +131,33 @@ void FamilyRunner::run() {
       // Without this, a deterministic schedule can restart the victim in
       // lockstep with the survivor and re-form the identical deadlock
       // forever (the deterministic analogue of randomized backoff).
-      for (int back = 0; back < attempts && back < 4; ++back)
-        core_.scheduler->preempt(index_);
+      backoff(attempts);
       continue;
+    } catch (const NodeCrashedError&) {
+      if (crash_retry(attempts, committing_)) continue;
+      break;
+    } catch (const NodeUnreachable&) {
+      if (eng == nullptr) {
+        // Legacy (no fault engine): an unreachable node is a configuration
+        // error — surface it like any other programming error.
+        error_ = std::current_exception();
+        try {
+          abort_family(AbortReason::kUser);
+        } catch (...) {
+        }
+        result_.committed = false;
+        result_.reason = AbortReason::kUser;
+        break;
+      }
+      if (crashed_since_attempt()) {
+        if (crash_retry(attempts, committing_)) continue;
+      } else if (transient_retry(attempts)) {
+        continue;
+      }
+      break;
+    } catch (const MessageDropped&) {
+      if (transient_retry(attempts)) continue;
+      break;
     } catch (const Error&) {
       // Programming error (precluded recursion, undeclared access, protocol
       // invariant violation): clean the family up and surface the exception
@@ -123,8 +177,132 @@ void FamilyRunner::run() {
   result_.txns_in_tree = family_.num_txns();
 }
 
+// --------------------------------------------------------------------------
+// Fault recovery
+// --------------------------------------------------------------------------
+
+bool FamilyRunner::crashed_since_attempt() const {
+  const FaultEngine* const eng = core_.fault.get();
+  return eng != nullptr && eng->crash_count(node_) > crash_epoch_;
+}
+
+void FamilyRunner::fault_checkpoint() {
+  FaultEngine* const eng = core_.fault.get();
+  if (eng == nullptr) return;
+  eng->apply_pending();
+  if (crashed_since_attempt()) throw NodeCrashedError(node_);
+}
+
+void FamilyRunner::pin_here(Node& site, ObjectId object) {
+  site.pin(object);
+  pin_epochs_[object] =
+      core_.fault != nullptr ? core_.fault->wipe_count(node_) : 0;
+}
+
+void FamilyRunner::unpin_here(Node& site, ObjectId object) {
+  const auto it = pin_epochs_.find(object);
+  if (it == pin_epochs_.end()) return;
+  const std::uint64_t now =
+      core_.fault != nullptr ? core_.fault->wipe_count(node_) : 0;
+  if (it->second == now) site.unpin(object);
+  pin_epochs_.erase(it);
+}
+
+void FamilyRunner::discard_local_state() {
+  // The site's memory is gone (or being abandoned): no release traffic and
+  // no undo — the crash wipe dropped the pre-crash pins, and the GDO
+  // reclaims the family's locks by lease expiry.  Pins taken after the site
+  // already restarted (the crash goes unnoticed until the next checkpoint)
+  // survived the wipe, though, and must be returned here or they leak.
+  {
+    Node& mine = core_.node(node_);
+    std::lock_guard<std::mutex> lock(mine.store_mu);
+    const std::uint64_t now =
+        core_.fault != nullptr ? core_.fault->wipe_count(node_) : 0;
+    for (const auto& [object, epoch] : pin_epochs_)
+      if (epoch == now) mine.unpin(object);
+  }
+  pin_epochs_.clear();
+  pending_grant_.reset();
+  blocked_on_ = ObjectId{};
+  object_maps_.clear();
+  family_.locks().clear();
+  current_ = nullptr;
+}
+
+bool FamilyRunner::relocate_family() {
+  const FaultEngine& eng = *core_.fault;
+  const std::size_t n = core_.nodes.size();
+  for (std::size_t off = 1; off < n; ++off) {
+    const NodeId cand(
+        static_cast<std::uint32_t>((node_.value() + off) % n));
+    if (eng.node_down(cand)) continue;
+    discard_local_state();
+    node_ = cand;
+    family_ = Family(family_.id(), cand, core_.config.undo);
+    return true;
+  }
+  return false;
+}
+
+bool FamilyRunner::crash_retry(int attempts, bool was_committing) {
+  if (was_committing) result_.crashed_in_commit = true;
+  discard_local_state();
+  ++result_.fault_retries;
+  // A crash inside commit processing leaves a partially committed family
+  // (some objects released with their new versions published, the rest
+  // reclaimed by lease).  Re-running it would double-apply the committed
+  // prefix, so the family ends here, honestly reported as failed.
+  if (was_committing || core_.scheduler->cancelled() ||
+      attempts >= core_.config.max_retries) {
+    result_.committed = false;
+    result_.reason = AbortReason::kNodeFailure;
+    return false;
+  }
+  family_.reset();
+  backoff(attempts);
+  return true;
+}
+
+bool FamilyRunner::transient_retry(int attempts) {
+  try {
+    abort_family(AbortReason::kNodeFailure);
+  } catch (const Error&) {
+    // The abort path itself hit an unreachable node (e.g. an object's whole
+    // directory chain is down).  Release what is still releasable object by
+    // object, then drop the rest locally; the end-of-run reclamation sweep
+    // mops up anything left at the directory.
+    Node& mine = core_.node(node_);
+    for (const ObjectId object : family_.locks().all_objects()) {
+      try {
+        (void)core_.gdo.release_family(object, family_.id(), node_, nullptr);
+      } catch (...) {
+      }
+      std::lock_guard<std::mutex> lock(mine.store_mu);
+      if (ObjectImage* img = mine.store.find(object)) img->clear_dirty();
+      unpin_here(mine, object);
+    }
+    discard_local_state();
+  }
+  ++result_.fault_retries;
+  if (core_.scheduler->cancelled() || attempts >= core_.config.max_retries) {
+    result_.committed = false;
+    result_.reason = AbortReason::kNodeFailure;
+    return false;
+  }
+  family_.reset();
+  backoff(attempts);
+  return true;
+}
+
+void FamilyRunner::backoff(int attempts) {
+  for (int back = 0; back < attempts && back < 4; ++back)
+    core_.scheduler->preempt(index_);
+}
+
 bool FamilyRunner::run_invocation(Transaction* parent, ObjectId object,
                                   MethodId method) {
+  fault_checkpoint();
   const ObjectMeta meta = core_.meta_of(object);
   const ClassDef& cls = core_.registry.get(meta.cls);
   const MethodDef& mdef = cls.method(method);
@@ -212,7 +390,7 @@ void FamilyRunner::acquire_for(const Transaction& txn, ObjectId object,
     object_maps_.insert_or_assign(object, std::move(granted_map));
     Node& mine = core_.node(node_);
     std::lock_guard<std::mutex> lock(mine.store_mu);
-    mine.pin(object);
+    pin_here(mine, object);
     mine.touch(object);
   }
 
@@ -256,7 +434,7 @@ void FamilyRunner::run_prefetch(const Transaction& root) {
     {
       Node& mine = core_.node(node_);
       std::lock_guard<std::mutex> lock(mine.store_mu);
-      mine.pin(object);
+      pin_here(mine, object);
       mine.touch(object);
     }
     ObjectImage& img = local_image(object);
@@ -291,8 +469,9 @@ void FamilyRunner::fetch_pages(ObjectId object, ObjectImage& image,
   // whose local copy is exactly one version behind.  The request then
   // carries our cached version per page (8 extra bytes each) so the source
   // can decide delta vs full page.
-  const bool delta_mode =
-      core_.protocol_for(core_.meta_of(object)).delta_transfers();
+  const ObjectMeta obj_meta = core_.meta_of(object);
+  const std::size_t num_pages = obj_meta.num_pages;
+  const bool delta_mode = core_.protocol_for(obj_meta).delta_transfers();
   std::unordered_map<std::uint32_t, Lsn> my_versions;
   if (delta_mode) {
     Node& mine = core_.node(node_);
@@ -343,6 +522,8 @@ void FamilyRunner::fetch_pages(ObjectId object, ObjectImage& image,
         // its version stamp lags a concurrent release; trust the map.
         page.version = std::max(page.version, map.at(p).version);
         map.record_current(p, node_, page.version);
+        if (core_.fault != nullptr)
+          core_.fault->note_page(node_, object, num_pages, p, page);
         image.install_page(p, std::move(page));
       }
     }
@@ -354,6 +535,7 @@ void FamilyRunner::fetch_pages(ObjectId object, ObjectImage& image,
 }
 
 void FamilyRunner::ensure_fresh(ObjectId object, const PageSet& pages) {
+  fault_checkpoint();
   const auto mit = object_maps_.find(object);
   if (mit == object_maps_.end())
     throw Error("attribute access without an acquired lock / page map");
@@ -380,8 +562,16 @@ void FamilyRunner::ensure_fresh(ObjectId object, const PageSet& pages) {
 }
 
 void FamilyRunner::commit_root(Transaction& root) {
+  // Last chance to notice that our site crashed and restarted under this
+  // attempt (a method touching no attributes has no checkpoint in between):
+  // committing wiped state would publish garbage versions.
+  fault_checkpoint();
+  // From here the family's effects begin to become visible (versions
+  // stamped, locks released); a crash inside this window must not retry.
+  committing_ = true;
   root.commit_root();
   release_all(/*commit=*/true);
+  committing_ = false;
 }
 
 void FamilyRunner::abort_subtree(Transaction& txn) {
@@ -396,7 +586,7 @@ void FamilyRunner::abort_subtree(Transaction& txn) {
     {
       std::lock_guard<std::mutex> lock(mine.store_mu);
       if (ObjectImage* img = mine.store.find(object)) img->clear_dirty();
-      mine.unpin(object);
+      unpin_here(mine, object);
     }
     items.push_back(ReleaseItem{object, std::nullopt});
   }
@@ -481,9 +671,13 @@ void FamilyRunner::release_all(bool commit) {
     for (auto& item : items) {
       if (!item.info || item.info->dirty.empty()) continue;
       const Lsn next = core_.gdo.snapshot(item.object).version_counter + 1;
+      const std::size_t npages = core_.meta_of(item.object).num_pages;
       std::lock_guard<std::mutex> lock(mine.store_mu);
       ObjectImage& img = mine.store.get(item.object);
       const PageSet stamped = img.stamp_dirty(next);
+      if (core_.fault != nullptr)
+        for (const PageIndex p : stamped.to_vector())
+          core_.fault->note_page(node_, item.object, npages, p, img.page(p));
       if (core_.protocol_for(core_.meta_of(item.object)).eager_push_on_release()) {
         Stamped s{item.object, {}, next};
         for (const PageIndex p : stamped.to_vector())
@@ -508,7 +702,7 @@ void FamilyRunner::release_all(bool commit) {
 
   {
     std::lock_guard<std::mutex> lock(mine.store_mu);
-    for (const auto& item : items) mine.unpin(item.object);
+    for (const auto& item : items) unpin_here(mine, item.object);
   }
   object_maps_.clear();
   family_.locks().clear();
@@ -524,11 +718,17 @@ void FamilyRunner::push_updates(
   std::sort(targets.begin(), targets.end());
 
   const ObjectMeta meta = core_.meta_of(object);
-  core_.transport.send_to_all(
+  // Partial-failure semantics: unreachable sites are skipped (the push is
+  // best-effort; a skipped site's stale pages are caught by the freshness
+  // check on its next access) and the updates install only where the
+  // multicast actually arrived.
+  const std::vector<NodeId> skipped = core_.transport.send_to_all(
       {MessageKind::kUpdatePush, node_, node_, object,
        pages.size() * (core_.config.page_size + 8ULL)},
       targets);
   for (const NodeId site : targets) {
+    if (std::find(skipped.begin(), skipped.end(), site) != skipped.end())
+      continue;
     Node& target = core_.node(site);
     {
       std::lock_guard<std::mutex> lock(target.store_mu);
@@ -537,8 +737,11 @@ void FamilyRunner::push_updates(
       // Defensive version guard: never replace a newer page with an older
       // pushed copy (belt to the push-before-release braces above).
       for (const auto& [p, page] : pages)
-        if (!img.has_page(p) || img.page_version(p) < page.version)
+        if (!img.has_page(p) || img.page_version(p) < page.version) {
           img.install_page(p, page);
+          if (core_.fault != nullptr)
+            core_.fault->note_page(site, object, meta.num_pages, p, page);
+        }
     }
     core_.enforce_cache_capacity(target);
   }

@@ -42,6 +42,11 @@ class FamilyRunner {
   /// Wakeup delivery (called from another family's thread / the GDO path).
   void deliver(Grant grant) { pending_grant_ = std::move(grant); }
 
+  /// Is this runner parked on a queued global lock request?  Used by the
+  /// stall handler to pick a fault victim when no deadlock cycle explains a
+  /// stall (e.g. the lock holder's node crashed).
+  [[nodiscard]] bool blocked() const noexcept { return blocked_on_.valid(); }
+
  private:
   friend class MethodContext;
 
@@ -87,6 +92,49 @@ class FamilyRunner {
   void push_updates(ObjectId object,
                     const std::vector<std::pair<PageIndex, Page>>& pages);
 
+  // --- fault recovery -----------------------------------------------------
+
+  /// Did this family's own site crash since the current attempt started?
+  [[nodiscard]] bool crashed_since_attempt() const;
+
+  /// Apply pending crash/restart work and, if our own site died under us,
+  /// unwind the attempt (throws NodeCrashedError).  Called at invocation
+  /// entry and before attribute accesses — the points where a method body
+  /// would observe wiped memory.
+  void fault_checkpoint();
+
+  /// Crash recovery: the family's site lost its memory, so there is nothing
+  /// to undo or release locally — drop all local bookkeeping without
+  /// generating release traffic (the GDO reclaims our locks by lease).
+  void discard_local_state();
+
+  /// Our execution site is down at attempt start: move the family to the
+  /// first reachable node.  False if every node is unreachable.
+  bool relocate_family();
+
+  /// Handle a crash of our own site mid-attempt.  True = retry the loop.
+  bool crash_retry(int attempts, bool was_committing);
+
+  /// Handle a transient remote failure (unreachable peer / dropped
+  /// message): abort the family and retry.  True = retry the loop.
+  bool transient_retry(int attempts);
+
+  /// Deterministic backoff: yield `attempts` (capped) token slots.
+  void backoff(int attempts);
+
+  /// Pin `object` at our site, remembering the site's wipe count: a crash
+  /// wipe clears the whole pin table, so only pins that survived every wipe
+  /// may later be returned.  (The wipe count, not the crash epoch — the
+  /// epoch flips the instant a crash fires, but the wipe lands later, and a
+  /// pin taken in between dies in the wipe despite its fresh epoch.)
+  /// Caller holds store_mu.
+  void pin_here(Node& site, ObjectId object);
+
+  /// Return our pin on `object` unless a wipe since pin_here cleared it
+  /// (unpinning then would throw or steal another family's refcount).
+  /// Caller holds store_mu.
+  void unpin_here(Node& site, ObjectId object);
+
   [[nodiscard]] ObjectImage& local_image(ObjectId object);
   [[nodiscard]] std::function<ObjectImage&(ObjectId)> undo_resolver();
 
@@ -104,11 +152,19 @@ class FamilyRunner {
   std::optional<Grant> pending_grant_;
   /// Page maps received with global grants, kept current as pages arrive.
   std::unordered_map<ObjectId, PageMap> object_maps_;
+  /// Site wipe count at the time each currently-held pin was taken.
+  std::unordered_map<ObjectId, std::uint64_t> pin_epochs_;
   /// Inside run_prefetch: suppress per-operation round-trip counting (the
   /// batch is modeled as one pipelined round trip).
   bool prefetch_batch_ = false;
   AbortReason last_abort_reason_ = AbortReason::kUser;
   std::exception_ptr error_;
+  /// True from the first root-commit action until release completes; a
+  /// crash inside this window leaves a partially committed family that must
+  /// not be retried (its released objects already expose the new state).
+  bool committing_ = false;
+  /// Our site's crash epoch at the start of the current attempt.
+  std::uint64_t crash_epoch_ = 0;
 
   TxnResult result_;
 };

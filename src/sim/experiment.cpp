@@ -62,7 +62,10 @@ ScenarioResult run_scenario(const Workload& workload, ProtocolKind protocol,
   cfg.net.multicast_capable = options.multicast;
   cfg.undo = options.undo;
   cfg.cache_capacity_pages = options.cache_capacity_pages;
+  cfg.fault = options.fault;
+  if (options.fault.has_node_faults()) cfg.gdo.replicate = true;
   Cluster cluster(cfg);
+  if (options.record_trace) cluster.stats().enable_trace(std::size_t{1} << 22);
 
   std::vector<RootRequest> requests = workload.instantiate(cluster);
   if (options.prefetch_hints) {
@@ -106,10 +109,15 @@ ScenarioResult run_scenario(const Workload& workload, ProtocolKind protocol,
     out.pages_fetched += r.pages_fetched;
     out.delta_pages += r.delta_pages;
     out.remote_round_trips += r.remote_round_trips;
+    out.fault_retries += static_cast<std::uint64_t>(r.fault_retries);
+    if (r.crashed_in_commit) ++out.crashed_in_commit;
     trips.push_back(static_cast<double>(r.remote_round_trips));
   }
   out.round_trips_p50 = percentile(trips, 50);
   out.round_trips_p95 = percentile(trips, 95);
+  if (const FaultEngine* engine = cluster.fault_engine())
+    out.fault_stats = engine->stats();
+  if (options.record_trace) out.trace = stats.trace();
   return out;
 }
 

@@ -38,6 +38,14 @@ struct ScenarioResult {
   /// latency proxy the prefetch ablation reduces).
   double round_trips_p50 = 0;
   double round_trips_p95 = 0;
+  // Fault-injection accounting (zero unless options.fault enables the
+  // engine; fault_stats also reflects the install_hooks-only ablation).
+  std::uint64_t fault_retries = 0;
+  std::size_t crashed_in_commit = 0;
+  FaultStats fault_stats;
+  /// Full message trace, recorded when options.record_trace is set (the
+  /// fault ablation compares runs for byte-identical traffic).
+  std::vector<TraceEvent> trace;
 
   [[nodiscard]] TrafficCounter object_traffic(ObjectId id) const {
     const auto it = per_object.find(id);
@@ -56,6 +64,11 @@ struct ExperimentOptions {
   UndoStrategy undo = UndoStrategy::kByteRange;
   /// Per-node cache budget in pages (0 = unbounded).
   std::size_t cache_capacity_pages = 0;
+  /// Deterministic fault injection for this run (chaos benchmarks and the
+  /// zero-overhead ablation).  Node faults imply GDO replication.
+  FaultConfig fault;
+  /// Record the full message trace into ScenarioResult::trace.
+  bool record_trace = false;
 };
 
 /// Run `workload` under `protocol` on a fresh cluster.

@@ -19,6 +19,29 @@ void dump_trace_csv(const std::vector<TraceEvent>& events, std::ostream& os) {
   }
 }
 
+void dump_fault_trace_csv(const std::vector<FaultRecord>& records,
+                          std::ostream& os) {
+  os << "tick,action,node,kind,object\n";
+  for (const FaultRecord& r : records) {
+    os << r.tick << ',' << to_string(r.action) << ',';
+    if (r.node.valid())
+      os << r.node.value();
+    else
+      os << "-";
+    os << ',';
+    if (r.kind != MessageKind::kNumKinds)
+      os << to_string(r.kind);
+    else
+      os << "-";
+    os << ',';
+    if (r.object.valid())
+      os << r.object.value();
+    else
+      os << "-";
+    os << '\n';
+  }
+}
+
 namespace {
 
 MessageKind parse_kind(const std::string& name) {

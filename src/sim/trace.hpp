@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "fault/fault_schedule.hpp"
 #include "net/net_stats.hpp"
 
 namespace lotec {
@@ -16,5 +17,10 @@ void dump_trace_csv(const std::vector<TraceEvent>& events, std::ostream& os);
 /// Parse a CSV produced by dump_trace_csv.  Throws UsageError on malformed
 /// input.
 [[nodiscard]] std::vector<TraceEvent> load_trace_csv(std::istream& is);
+
+/// Write the fault engine's injection trace as CSV with a header row (what
+/// fired, at which logical tick, against which node/message).
+void dump_fault_trace_csv(const std::vector<FaultRecord>& records,
+                          std::ostream& os);
 
 }  // namespace lotec

@@ -1,0 +1,65 @@
+// GDO replica failover under every consistency protocol (promotion of
+// examples/failover.cpp into the regression suite): kill an object's
+// directory home mid-run and check lock service continues from the mirror
+// with no committed update lost.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "runtime/cluster.hpp"
+
+namespace lotec {
+namespace {
+
+class FailoverTest : public ::testing::TestWithParam<ProtocolKind> {};
+
+TEST_P(FailoverTest, LockServiceSurvivesDirectoryHomeFailure) {
+  ClusterConfig cfg;
+  cfg.nodes = 4;
+  cfg.protocol = GetParam();
+  cfg.gdo.replicate = true;  // mirror every directory entry
+  Cluster cluster(cfg);
+
+  const ClassId cls = cluster.define_class(
+      ClassBuilder("Counter", cfg.page_size)
+          .attribute("value", 8)
+          .method("increment", {"value"}, {"value"},
+                  [](MethodContext& ctx) {
+                    ctx.set<std::int64_t>("value",
+                                          ctx.get<std::int64_t>("value") + 1);
+                  }));
+  const ObjectId obj = cluster.create_object(cls, NodeId(0));
+
+  const NodeId home = cluster.gdo().home_of(obj);
+
+  // Work from the two nodes that are neither home nor mirror, so the
+  // object's newest pages never live on the node we kill.
+  const NodeId a((home.value() + 2) % 4);
+  const NodeId b((home.value() + 3) % 4);
+
+  for (int i = 0; i < 5; ++i)
+    ASSERT_TRUE(cluster.run_root(obj, "increment", i % 2 ? a : b).committed);
+
+  cluster.transport().set_node_failed(home, true);
+
+  for (int i = 0; i < 5; ++i)
+    ASSERT_TRUE(cluster.run_root(obj, "increment", i % 2 ? a : b).committed)
+        << "increment " << i << " failed during failover under "
+        << to_string(GetParam());
+
+  EXPECT_EQ(cluster.peek<std::int64_t>(obj, "value"), 10);
+  EXPECT_GT(cluster.stats().by_kind(MessageKind::kGdoReplicaSync).messages,
+            0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllProtocols, FailoverTest,
+                         ::testing::Values(ProtocolKind::kCotec,
+                                           ProtocolKind::kOtec,
+                                           ProtocolKind::kLotec,
+                                           ProtocolKind::kRc),
+                         [](const auto& info) {
+                           return std::string(to_string(info.param));
+                         });
+
+}  // namespace
+}  // namespace lotec

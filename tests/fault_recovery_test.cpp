@@ -1,0 +1,250 @@
+// End-to-end fault injection and recovery: node crashes parked inside a
+// commit's release batch and inside a page gather, partition windows, and
+// bit-for-bit reproducibility of chaos runs under the token scheduler.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include "runtime/cluster.hpp"
+#include "sim/validate.hpp"
+
+namespace lotec {
+namespace {
+
+/// A one-page counter class: `increment` bumps `value`.
+ClassId define_counter(Cluster& cluster, std::uint32_t page_size) {
+  return cluster.define_class(
+      ClassBuilder("Counter", page_size)
+          .attribute("value", 8)
+          .method("increment", {"value"}, {"value"}, [](MethodContext& ctx) {
+            ctx.set<std::int64_t>("value",
+                                  ctx.get<std::int64_t>("value") + 1);
+          }));
+}
+
+/// `count` increment requests on `obj`, round-robin over `nodes` sites.
+std::vector<RootRequest> increment_batch(Cluster& cluster, ObjectId obj,
+                                         int count, std::size_t nodes) {
+  const MethodId m = cluster.method_id(obj, "increment");
+  std::vector<RootRequest> reqs;
+  for (int i = 0; i < count; ++i)
+    reqs.push_back({obj, m,
+                    NodeId(static_cast<std::uint32_t>(i % nodes)),
+                    {},
+                    nullptr});
+  return reqs;
+}
+
+/// Every family must end in one of the honest terminal states: committed,
+/// or aborted with a failure-class reason.
+void expect_clean_outcomes(const std::vector<TxnResult>& results) {
+  for (const TxnResult& r : results) {
+    if (r.committed) {
+      EXPECT_FALSE(r.crashed_in_commit);
+      continue;
+    }
+    EXPECT_TRUE(r.reason == AbortReason::kNodeFailure ||
+                r.reason == AbortReason::kRetryExhausted)
+        << "unexpected abort reason: " << to_string(r.reason);
+  }
+}
+
+TEST(FaultRecoveryTest, CrashDuringCommitYieldsHonestPartialResult) {
+  ClusterConfig cfg;
+  cfg.nodes = 4;
+  cfg.page_size = 256;
+  cfg.gdo.replicate = true;
+  // Crash whichever site is sending the third global release: the crash
+  // lands after commit processing began, mid release batch.
+  FaultEvent ev;
+  ev.action = FaultAction::kCrashNode;
+  ev.on_kind = MessageKind::kLockReleaseRequest;
+  ev.nth = 3;
+  ev.target = FaultTarget::kMessageSrc;
+  cfg.fault.events = {ev};
+  Cluster cluster(cfg);
+
+  const ClassId cls = define_counter(cluster, cfg.page_size);
+  const ObjectId obj = cluster.create_object(cls, NodeId(0));
+
+  const auto results =
+      cluster.execute(increment_batch(cluster, obj, 12, cfg.nodes));
+
+  expect_clean_outcomes(results);
+  const auto committed = static_cast<std::int64_t>(
+      std::count_if(results.begin(), results.end(),
+                    [](const TxnResult& r) { return r.committed; }));
+  const auto crashed_in_commit = static_cast<std::int64_t>(
+      std::count_if(results.begin(), results.end(),
+                    [](const TxnResult& r) { return r.crashed_in_commit; }));
+  // The family whose release triggered the crash is reported failed without
+  // retry; whether its stamps landed is undefined-but-consistent.
+  EXPECT_EQ(crashed_in_commit, 1);
+  EXPECT_GE(committed, 2);  // the two releases before the crash
+  const std::int64_t value = cluster.peek<std::int64_t>(obj, "value");
+  EXPECT_GE(value, committed);
+  EXPECT_LE(value, committed + crashed_in_commit);
+
+  // finalize() restarted the dead site: the cluster must be quiescent.
+  EXPECT_TRUE(validate_quiescent(cluster).empty());
+  EXPECT_EQ(cluster.fault_engine()->stats().crashes, 1u);
+  EXPECT_GE(cluster.fault_engine()->stats().restarts, 1u);
+}
+
+TEST(FaultRecoveryTest, CrashDuringPageGatherRecoversAfterRestart) {
+  ClusterConfig cfg;
+  cfg.nodes = 4;
+  cfg.page_size = 64;
+  cfg.gdo.replicate = true;
+  // All pages start at the creating site (node 0).  Crash it on the second
+  // page-fetch request — mid gather — and bring it back at tick 80 so the
+  // blocked families' retries eventually find the pages restored from the
+  // durable journal.
+  FaultEvent crash;
+  crash.action = FaultAction::kCrashNode;
+  crash.on_kind = MessageKind::kPageFetchRequest;
+  crash.nth = 2;
+  crash.node = NodeId(0);
+  FaultEvent restart;
+  restart.action = FaultAction::kRestartNode;
+  restart.at_tick = 80;
+  restart.node = NodeId(0);
+  cfg.fault.events = {crash, restart};
+  Cluster cluster(cfg);
+
+  // A three-page object so a gather is a real multi-page transfer.
+  const ClassId cls = cluster.define_class(
+      ClassBuilder("Triple", cfg.page_size)
+          .attribute("a", 64)
+          .attribute("b", 64)
+          .attribute("c", 64)
+          .method("fold", {"a", "b", "c"}, {"a"}, [](MethodContext& ctx) {
+            ctx.set<std::int64_t>(
+                "a", ctx.get<std::int64_t>("a") + ctx.get<std::int64_t>("b") +
+                         ctx.get<std::int64_t>("c") + 1);
+          }));
+  const ObjectId obj = cluster.create_object(cls, NodeId(0));
+
+  // Families at the surviving sites only: every gather crosses the wire.
+  const MethodId m = cluster.method_id(obj, "fold");
+  std::vector<RootRequest> reqs;
+  for (int i = 0; i < 18; ++i)
+    reqs.push_back(
+        {obj, m, NodeId(static_cast<std::uint32_t>(1 + i % 3)), {}, nullptr});
+  const auto results = cluster.execute(std::move(reqs));
+
+  expect_clean_outcomes(results);
+  const auto committed = static_cast<std::int64_t>(
+      std::count_if(results.begin(), results.end(),
+                    [](const TxnResult& r) { return r.committed; }));
+  // b and c stay zero, so `a` counts exactly the committed folds.
+  EXPECT_EQ(cluster.peek<std::int64_t>(obj, "a"), committed);
+  EXPECT_GT(committed, 0);
+  // The crash disturbed at least one family into a fault retry.
+  std::int64_t retries = 0;
+  for (const TxnResult& r : results) retries += r.fault_retries;
+  EXPECT_GT(retries, 0);
+
+  EXPECT_TRUE(validate_quiescent(cluster).empty());
+  const FaultStats fs = cluster.fault_engine()->stats();
+  EXPECT_EQ(fs.crashes, 1u);
+  EXPECT_GE(fs.restarts, 1u);
+}
+
+TEST(FaultRecoveryTest, TransientPartitionWindowRetriesToFullCommit) {
+  ClusterConfig cfg;
+  cfg.nodes = 4;
+  cfg.page_size = 256;
+  cfg.fault = fault_presets::partition_window({NodeId(0)}, {NodeId(2)},
+                                              /*start_tick=*/10,
+                                              /*heal_tick=*/40);
+  Cluster cluster(cfg);
+  const ClassId cls = define_counter(cluster, cfg.page_size);
+  const ObjectId obj = cluster.create_object(cls, NodeId(0));
+
+  // Node 2 must cross the cut to reach the pages at node 0.
+  const MethodId m = cluster.method_id(obj, "increment");
+  std::vector<RootRequest> reqs;
+  for (int i = 0; i < 16; ++i)
+    reqs.push_back({obj, m, NodeId(i % 2 ? 2u : 0u), {}, nullptr});
+  const auto results = cluster.execute(std::move(reqs));
+
+  // A partition is transient: abort-and-retry rides it out, nobody dies.
+  for (const TxnResult& r : results) EXPECT_TRUE(r.committed);
+  EXPECT_EQ(cluster.peek<std::int64_t>(obj, "value"), 16);
+  EXPECT_TRUE(validate_quiescent(cluster).empty());
+  EXPECT_GT(cluster.fault_engine()->stats().partition_drops, 0u);
+}
+
+/// One seeded chaos run: crash + restart the directory home of the hot
+/// object and a page-holding bystander mid-workload, with background drop.
+struct ChaosOutcome {
+  std::vector<TraceEvent> messages;
+  std::vector<FaultRecord> faults;
+  std::vector<std::pair<bool, AbortReason>> outcomes;
+  std::int64_t value = 0;
+  std::uint64_t crashes = 0;
+
+  friend bool operator==(const ChaosOutcome&, const ChaosOutcome&) = default;
+};
+
+ChaosOutcome run_chaos(std::uint64_t seed, NodeId home, NodeId holder) {
+  ClusterConfig cfg;
+  cfg.nodes = 4;
+  cfg.page_size = 256;
+  cfg.seed = seed;
+  cfg.gdo.replicate = true;
+  cfg.fault = fault_presets::chaos(home, holder, seed,
+                                   /*first_crash_tick=*/40, /*window=*/60,
+                                   /*drop=*/0.02);
+  Cluster cluster(cfg);
+  const ClassId cls = define_counter(cluster, cfg.page_size);
+  const ObjectId obj = cluster.create_object(cls, holder);
+  cluster.stats().enable_trace(1 << 20);
+
+  const auto results =
+      cluster.execute(increment_batch(cluster, obj, 48, cfg.nodes));
+
+  ChaosOutcome out;
+  out.messages = cluster.stats().trace();
+  out.faults = cluster.fault_engine()->trace();
+  for (const TxnResult& r : results)
+    out.outcomes.emplace_back(r.committed, r.reason);
+  out.value = cluster.peek<std::int64_t>(obj, "value");
+  out.crashes = cluster.fault_engine()->stats().crashes;
+  return out;
+}
+
+TEST(FaultRecoveryTest, ChaosRunsAreByteIdenticalAcrossSameSeedRuns) {
+  // The directory home is a pure hash of the object id, so probe it once
+  // with a fault-free cluster and aim the chaos at (home, page holder).
+  ClusterConfig probe_cfg;
+  probe_cfg.nodes = 4;
+  probe_cfg.page_size = 256;
+  Cluster probe(probe_cfg);
+  const ClassId probe_cls = define_counter(probe, probe_cfg.page_size);
+  const NodeId home = probe.gdo().home_of(
+      probe.create_object(probe_cls, NodeId(0)));
+  const NodeId holder((home.value() + 2) % 4);  // a non-home creator site
+
+  const ChaosOutcome a = run_chaos(7, home, holder);
+  const ChaosOutcome b = run_chaos(7, home, holder);
+  EXPECT_EQ(a, b);  // same seed: same messages, faults and outcomes
+
+  // The run was genuinely chaotic and still wound down cleanly.
+  EXPECT_GE(a.crashes, 1u);
+  EXPECT_FALSE(a.faults.empty());
+  std::int64_t committed = 0;
+  for (const auto& [ok, reason] : a.outcomes) committed += ok ? 1 : 0;
+  EXPECT_GT(committed, 0);
+  EXPECT_GE(a.value, committed);
+
+  const ChaosOutcome c = run_chaos(8, home, holder);
+  EXPECT_NE(a.messages, c.messages);  // different seed: different run
+}
+
+}  // namespace
+}  // namespace lotec

@@ -8,13 +8,31 @@
 namespace lotec {
 namespace {
 
-TEST(MiscCoverageTest, SendToAllThrowsOnFailedTarget) {
+TEST(MiscCoverageTest, SendToAllSkipsFailedTargetsAndReportsThem) {
   Transport t(3);
   t.set_node_failed(NodeId(2), true);
-  EXPECT_THROW(t.send_to_all({MessageKind::kUpdatePush, NodeId(0), NodeId(0),
-                              ObjectId(1), 10},
-                             {NodeId(1), NodeId(2)}),
-               NodeUnreachable);
+  const std::vector<NodeId> skipped =
+      t.send_to_all({MessageKind::kUpdatePush, NodeId(0), NodeId(0),
+                     ObjectId(1), 10},
+                    {NodeId(1), NodeId(2)});
+  ASSERT_EQ(skipped.size(), 1u);
+  EXPECT_EQ(skipped[0], NodeId(2));
+  // The multicast was charged for the subset it reached.
+  EXPECT_EQ(t.stats().total().messages, 1u);
+}
+
+TEST(MiscCoverageTest, SendToAllThrowsWhenSourceIsDown) {
+  Transport t(3);
+  t.set_node_failed(NodeId(0), true);
+  try {
+    (void)t.send_to_all({MessageKind::kUpdatePush, NodeId(0), NodeId(0),
+                         ObjectId(1), 10},
+                        {NodeId(1), NodeId(2)});
+    FAIL() << "expected NodeUnreachable";
+  } catch (const NodeUnreachable& e) {
+    EXPECT_EQ(e.src(), NodeId(0));
+    EXPECT_EQ(e.node(), NodeId(0));
+  }
 }
 
 TEST(MiscCoverageTest, NodePinningIsRefCounted) {

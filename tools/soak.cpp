@@ -5,7 +5,17 @@
 // and validates the quiescent-state invariants plus cross-protocol final-
 // state equivalence.  Any violation aborts with a reproduction line.
 //
-//   soak [iterations=50] [base-seed=1]
+// With --faults each iteration additionally runs a randomized seeded fault
+// schedule (crash + restart of two sites, a partition window, background
+// message chaos) through the deterministic fault engine and checks the same
+// invariants after recovery.
+//
+//   soak [iterations=50] [base-seed=1] [--faults] [--only N]
+//
+// --only N draws every iteration's configuration (keeping the random
+// stream identical) but executes only iteration N — cheap reproduction of
+// a failure report.
+#include <cstring>
 #include <iostream>
 
 #include "sim/validate.hpp"
@@ -19,6 +29,38 @@ struct Draw {
   WorkloadSpec spec;
   ClusterConfig cfg;
 };
+
+/// Chaos-mode constraints: node faults need the deterministic scheduler and
+/// a replicated directory, and every family must survive long enough to see
+/// the restart (bounded retry budget stays the default).
+void add_random_faults(Draw& d, Rng& rng) {
+  d.cfg.scheduler = SchedulerMode::kDeterministic;
+  d.cfg.gdo.replicate = true;
+
+  const auto node = [&] {
+    return NodeId(static_cast<std::uint32_t>(rng.below(d.cfg.nodes)));
+  };
+  const NodeId first = node();
+  NodeId second = node();
+  if (second == first)
+    second = NodeId((first.value() + 1) % d.cfg.nodes);
+  d.cfg.fault = fault_presets::chaos(first, second, rng.next(),
+                                     /*first_crash_tick=*/30 + rng.below(80),
+                                     /*window=*/60 + rng.below(120),
+                                     /*drop=*/rng.uniform() * 0.03);
+  if (rng.chance(0.4)) {
+    const std::uint64_t start = 20 + rng.below(100);
+    FaultConfig cut = fault_presets::partition_window(
+        {node()}, {node()}, start, start + 20 + rng.below(60));
+    // A node may not partition against itself; redraw collisions cheaply by
+    // skipping the window for this iteration.
+    if (cut.events[0].group_a[0] != cut.events[0].group_b[0])
+      d.cfg.fault.events.insert(d.cfg.fault.events.end(),
+                                cut.events.begin(), cut.events.end());
+  }
+  d.cfg.fault.duplicate_probability = rng.uniform() * 0.02;
+  d.cfg.fault.delay_probability = rng.uniform() * 0.05;
+}
 
 Draw random_setup(Rng& rng) {
   Draw d;
@@ -58,21 +100,38 @@ Draw random_setup(Rng& rng) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const int iterations = argc > 1 ? std::atoi(argv[1]) : 50;
+  bool with_faults = false;
+  int only = -1;
+  std::vector<const char*> positional;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--faults") == 0)
+      with_faults = true;
+    else if (std::strcmp(argv[i], "--only") == 0 && i + 1 < argc)
+      only = std::atoi(argv[++i]);
+    else
+      positional.push_back(argv[i]);
+  }
+  const int iterations =
+      positional.size() > 0 ? std::atoi(positional[0]) : 50;
   const std::uint64_t base_seed =
-      argc > 2 ? std::strtoull(argv[2], nullptr, 0) : 1;
+      positional.size() > 1 ? std::strtoull(positional[1], nullptr, 0) : 1;
   Rng rng(base_seed);
 
   for (int i = 0; i < iterations; ++i) {
-    const Draw d = random_setup(rng);
+    Draw d = random_setup(rng);
+    if (with_faults) add_random_faults(d, rng);
+    if (only >= 0 && i != only) continue;
     try {
       const Workload workload(d.spec);
       Cluster cluster(d.cfg);
       const auto results = cluster.execute(workload.instantiate(cluster));
-      std::size_t committed = 0, exhausted = 0;
+      std::size_t committed = 0, exhausted = 0, node_failed = 0;
+      std::uint64_t fault_retries = 0;
       for (const auto& r : results) {
         if (r.committed) ++committed;
         else if (r.reason == AbortReason::kRetryExhausted) ++exhausted;
+        else if (r.reason == AbortReason::kNodeFailure) ++node_failed;
+        fault_retries += static_cast<std::uint64_t>(r.fault_retries);
       }
       const auto violations = validate_quiescent(cluster);
       if (!violations.empty()) {
@@ -86,6 +145,14 @@ int main(int argc, char** argv) {
                 << d.spec.num_transactions << " txns on " << d.cfg.nodes
                 << " nodes -> " << committed << " committed";
       if (exhausted) std::cout << ", " << exhausted << " retry-exhausted";
+      if (node_failed) std::cout << ", " << node_failed << " node-failure";
+      if (with_faults) {
+        const FaultStats fs = cluster.fault_engine()->stats();
+        std::cout << " [faults: " << fs.crashes << " crashes, " << fs.dropped
+                  << " dropped, " << fault_retries << " retries, "
+                  << fs.locks_reclaimed << " leases reclaimed, "
+                  << fs.pages_restored << " pages restored]";
+      }
       std::cout << ", invariants OK\n";
     } catch (const std::exception& e) {
       std::cerr << "iteration " << i << " CRASHED (workload seed "
