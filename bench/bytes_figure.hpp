@@ -6,6 +6,7 @@
 #include <iostream>
 #include <string>
 
+#include "json_out.hpp"
 #include "sim/experiment.hpp"
 #include "sim/report.hpp"
 #include "sim/scenarios.hpp"
@@ -16,6 +17,9 @@ struct BytesFigureOptions {
   /// Print every `sample_step`-th object (the paper's Fig 4/5 label a
   /// sample of the 100 objects).
   std::size_t sample_step = 1;
+  /// When non-empty, also write BENCH_<json_name>.json with the aggregate
+  /// per-protocol traffic (the numbers CI regression-checks).
+  std::string json_name;
   ExperimentOptions experiment;
 };
 
@@ -71,6 +75,19 @@ inline void run_bytes_figure(const std::string& title,
            fmt_percent(lotec.total.bytes / ob),
            fmt_u64(lotec.demand_fetches)});
   agg.print();
+
+  if (!options.json_name.empty()) {
+    BenchJson json(options.json_name);
+    for (const ScenarioResult* r : {&cotec, &otec, &lotec})
+      json.row(std::string(to_string(r->protocol)))
+          .field("messages", r->total.messages)
+          .field("bytes", r->total.bytes)
+          .field("lock_messages", r->lock_messages)
+          .field("page_messages", r->page_messages)
+          .field("demand_fetches", r->demand_fetches)
+          .field("committed", r->committed);
+    json.write();
+  }
 
   std::cout << "\nCSV (per-object bytes):\n";
   Table csv({"object", "cotec", "otec", "lotec"});

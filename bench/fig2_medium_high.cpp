@@ -3,8 +3,10 @@
 #include "bytes_figure.hpp"
 
 int main() {
+  lotec::bench::BytesFigureOptions options;
+  options.json_name = "fig2_medium_high";
   lotec::bench::run_bytes_figure(
       "Figure 2: Medium Sized Objects with High Contention",
-      lotec::scenarios::medium_high_contention());
+      lotec::scenarios::medium_high_contention(), options);
   return 0;
 }

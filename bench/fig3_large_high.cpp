@@ -3,8 +3,10 @@
 #include "bytes_figure.hpp"
 
 int main() {
+  lotec::bench::BytesFigureOptions options;
+  options.json_name = "fig3_large_high";
   lotec::bench::run_bytes_figure(
       "Figure 3: Large Sized Objects with High Contention",
-      lotec::scenarios::large_high_contention());
+      lotec::scenarios::large_high_contention(), options);
   return 0;
 }

@@ -6,6 +6,7 @@
 int main() {
   lotec::bench::BytesFigureOptions options;
   options.sample_step = 7;
+  options.json_name = "fig4_medium_moderate";
   lotec::bench::run_bytes_figure(
       "Figure 4: Medium Sized Objects with Moderate Contention",
       lotec::scenarios::medium_moderate_contention(), options);

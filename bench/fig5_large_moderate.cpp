@@ -5,6 +5,7 @@
 int main() {
   lotec::bench::BytesFigureOptions options;
   options.sample_step = 7;
+  options.json_name = "fig5_large_moderate";
   lotec::bench::run_bytes_figure(
       "Figure 5: Large Sized Objects with Moderate Contention",
       lotec::scenarios::large_moderate_contention(), options);

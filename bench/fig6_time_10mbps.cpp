@@ -4,6 +4,7 @@
 
 int main() {
   lotec::bench::run_time_figure("Figure 6: Example Transfer Time at 10Mbps",
-                                lotec::NetworkCostModel::kEthernet10Mbps);
+                                lotec::NetworkCostModel::kEthernet10Mbps,
+                                "fig6_time_10mbps");
   return 0;
 }

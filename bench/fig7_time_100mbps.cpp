@@ -3,6 +3,7 @@
 
 int main() {
   lotec::bench::run_time_figure("Figure 7: Example Transfer Time at 100Mbps",
-                                lotec::NetworkCostModel::kEthernet100Mbps);
+                                lotec::NetworkCostModel::kEthernet100Mbps,
+                                "fig7_time_100mbps");
   return 0;
 }

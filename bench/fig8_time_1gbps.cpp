@@ -3,6 +3,7 @@
 
 int main() {
   lotec::bench::run_time_figure("Figure 8: Example Transfer Time at 1Gbps",
-                                lotec::NetworkCostModel::kEthernet1Gbps);
+                                lotec::NetworkCostModel::kEthernet1Gbps,
+                                "fig8_time_1gbps");
   return 0;
 }

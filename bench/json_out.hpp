@@ -1,0 +1,92 @@
+// Machine-readable bench output: every figure/ablation bench writes a
+// BENCH_<name>.json next to its stdout tables, so CI can diff runs against
+// committed baselines (tools/bench_check) instead of eyeballing tables.
+//
+// Format, kept deliberately flat for the hand-rolled parser in bench_check:
+//   {
+//     "bench": "<name>",
+//     "rows": [
+//       {"label": "<row label>", "<field>": <number>, ...},
+//       ...
+//     ]
+//   }
+// Field order is the insertion order; values are written as integers when
+// integral so reruns of a deterministic bench produce byte-identical files.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace lotec::bench {
+
+class BenchJson {
+ public:
+  explicit BenchJson(std::string name) : name_(std::move(name)) {}
+
+  /// Start a new row; subsequent field() calls attach to it.
+  BenchJson& row(std::string label) {
+    rows_.push_back({std::move(label), {}});
+    return *this;
+  }
+
+  BenchJson& field(std::string key, double value) {
+    rows_.back().fields.emplace_back(std::move(key), value);
+    return *this;
+  }
+
+  BenchJson& field(std::string key, std::uint64_t value) {
+    return field(std::move(key), static_cast<double>(value));
+  }
+
+  /// Write BENCH_<name>.json into the current directory (or `dir`).
+  /// Returns the path written, empty on I/O failure (benches keep going:
+  /// the stdout tables are still the primary human output).
+  std::string write(const std::string& dir = ".") const {
+    const std::string path = dir + "/BENCH_" + name_ + ".json";
+    std::ofstream os(path);
+    if (!os) {
+      std::cerr << "warning: cannot write " << path << '\n';
+      return {};
+    }
+    os << "{\n  \"bench\": \"" << name_ << "\",\n  \"rows\": [\n";
+    for (std::size_t i = 0; i < rows_.size(); ++i) {
+      const Row& r = rows_[i];
+      os << "    {\"label\": \"" << r.label << '"';
+      for (const auto& [key, value] : r.fields)
+        os << ", \"" << key << "\": " << render(value);
+      os << '}' << (i + 1 < rows_.size() ? "," : "") << '\n';
+    }
+    os << "  ]\n}\n";
+    std::cout << "wrote " << path << '\n';
+    return path;
+  }
+
+ private:
+  static std::string render(double v) {
+    if (std::nearbyint(v) == v && std::abs(v) < 1e15) {
+      std::ostringstream oss;
+      oss << static_cast<long long>(v);
+      return oss.str();
+    }
+    std::ostringstream oss;
+    oss.precision(6);
+    oss << v;
+    return oss.str();
+  }
+
+  struct Row {
+    std::string label;
+    std::vector<std::pair<std::string, double>> fields;
+  };
+
+  std::string name_;
+  std::vector<Row> rows_;
+};
+
+}  // namespace lotec::bench

@@ -13,6 +13,7 @@
 #include <iostream>
 #include <memory>
 
+#include "json_out.hpp"
 #include "runtime/cluster.hpp"
 #include "sim/report.hpp"
 
@@ -127,8 +128,15 @@ int main() {
   Table table({"Granularity", "GDO lock msgs", "Lock msgs/txn",
                "Local grants", "Control bytes", "Page bytes",
                "Control share"});
+  bench::BenchJson json("locking_overhead");
   for (const std::size_t pages : {20, 10, 5, 2, 1}) {
     const Measured m = run(pages);
+    json.row(fmt_u64(240 / pages) + "x" + fmt_u64(pages) + "p")
+        .field("gdo_lock_msgs", m.gdo_lock_msgs)
+        .field("local_grants", m.local_grants)
+        .field("control_bytes", m.control_bytes)
+        .field("page_bytes", m.page_bytes)
+        .field("total_bytes", m.total_bytes);
     table.row({fmt_u64(240 / pages) + " objects x " + fmt_u64(pages) + "p",
                fmt_u64(m.gdo_lock_msgs),
                fmt_double(static_cast<double>(m.gdo_lock_msgs) /
@@ -140,6 +148,7 @@ int main() {
                            static_cast<double>(m.total_bytes))});
   }
   table.print();
+  json.write();
   std::cout
       << "\nPaper's point: the same edit footprint costs more lock\n"
          "operations as objects get finer — the reason heavily object-based\n"

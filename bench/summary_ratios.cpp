@@ -7,6 +7,7 @@
 // across all four scenarios (Figures 2-5 workloads).
 #include <iostream>
 
+#include "json_out.hpp"
 #include "sim/experiment.hpp"
 #include "sim/report.hpp"
 #include "sim/scenarios.hpp"
@@ -36,6 +37,7 @@ int main() {
   Table msg_table({"Scenario", "COTEC msgs", "OTEC msgs", "LOTEC msgs",
                    "LOTEC/OTEC msgs", "LOTEC avg msg B", "OTEC avg msg B"});
 
+  bench::BenchJson json("summary_ratios");
   double worst_otec = 1.0, best_otec = 0.0;
   double worst_lotec = 1.0, best_lotec = 0.0;
   for (const Row& row : rows) {
@@ -54,6 +56,14 @@ int main() {
     best_otec = std::max(best_otec, otec_saving);
     worst_lotec = std::min(worst_lotec, lotec_saving);
     best_lotec = std::max(best_lotec, lotec_saving);
+
+    json.row(row.name)
+        .field("cotec_bytes", c.bytes)
+        .field("otec_bytes", o.bytes)
+        .field("lotec_bytes", l.bytes)
+        .field("cotec_messages", c.messages)
+        .field("otec_messages", o.messages)
+        .field("lotec_messages", l.messages);
 
     bytes_table.row({row.name, fmt_u64(c.bytes), fmt_u64(o.bytes),
                      fmt_u64(l.bytes), fmt_percent(otec_saving),
@@ -76,5 +86,6 @@ int main() {
 
   print_section("\"LOTEC sends many more messages (albeit small ones)\"");
   msg_table.print();
+  json.write();
   return 0;
 }

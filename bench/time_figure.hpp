@@ -14,6 +14,7 @@
 #include <iostream>
 #include <string>
 
+#include "json_out.hpp"
 #include "net/cost_model.hpp"
 #include "sim/experiment.hpp"
 #include "sim/report.hpp"
@@ -21,7 +22,8 @@
 
 namespace lotec::bench {
 
-inline void run_time_figure(const std::string& title, double bits_per_second) {
+inline void run_time_figure(const std::string& title, double bits_per_second,
+                            const std::string& json_name = {}) {
   const Workload workload(scenarios::large_high_contention());
   const auto results = run_protocol_suite(
       workload,
@@ -75,6 +77,22 @@ inline void run_time_figure(const std::string& title, double bits_per_second) {
     std::cout << sw_us << ',' << fmt_double(time_of(cotec), 1) << ','
               << fmt_double(time_of(otec), 1) << ','
               << fmt_double(time_of(lotec), 1) << '\n';
+  }
+
+  if (!json_name.empty()) {
+    BenchJson json(json_name);
+    for (const double sw_us : NetworkCostModel::software_cost_sweep_us()) {
+      const NetworkCostModel model(bits_per_second, sw_us);
+      const auto time_of = [&](const ScenarioResult& r) {
+        const TrafficCounter c = r.object_traffic(subject);
+        return model.total_time_us(c.messages, c.bytes);
+      };
+      json.row("sw_" + fmt_double(sw_us, 1) + "us")
+          .field("cotec_us", time_of(cotec))
+          .field("otec_us", time_of(otec))
+          .field("lotec_us", time_of(lotec));
+    }
+    json.write();
   }
 }
 

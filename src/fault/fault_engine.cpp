@@ -147,7 +147,8 @@ bool FaultEngine::fire(const FaultEvent& ev, const WireMessage& m) {
 }
 
 std::size_t FaultEngine::on_message(const WireMessage& m) {
-  if (applying_) return 0;  // recovery traffic is reliable and clock-free
+  // Recovery and post-finalize epilogue traffic is reliable and clock-free.
+  if (applying_ || finalized_) return 0;
 
   ++clock_;
   ++stats_.messages_seen;
@@ -240,6 +241,9 @@ void FaultEngine::wipe_node(NodeId node) {
     site.lru_pos.clear();
     ++wipe_counts_[node.value()];
   }
+  // Cached global locks (and their unflushed deferred reports) live in the
+  // wiped memory too; the directory reclaims the matching markers by lease.
+  site.lock_cache.clear();
   gdo_.on_node_crash(node);
   // Volatile journal state of the crash epoch is gone too: pages installed
   // by the dead incarnation after its last crash stay durable (the journal
@@ -310,6 +314,7 @@ void FaultEngine::apply_pending() {
 
 void FaultEngine::finalize() {
   apply_pending();
+  finalized_ = true;
   for (std::size_t n = 0; n < nodes_.size(); ++n) {
     const NodeId node(static_cast<std::uint32_t>(n));
     if (transport_.reachable(node)) continue;

@@ -84,7 +84,10 @@ class FaultEngine final : public FaultHooks {
 
   /// End-of-batch recovery: restart every still-crashed node (restoring its
   /// durable pages and rebuilding its directory partition) so the cluster
-  /// reaches the quiescent state the validator checks.
+  /// reaches the quiescent state the validator checks.  Also retires the
+  /// fault schedule: epilogue traffic sent after this point (the lock-cache
+  /// drain, validation peeks) runs on a healthy, reliable cluster instead
+  /// of re-arming not-yet-due events with its clock ticks.
   void finalize();
 
   /// Durability journal write-throughs (no-ops cost-wise: disk traffic is
@@ -179,6 +182,8 @@ class FaultEngine final : public FaultHooks {
   /// Recovery traffic in flight (restore/rebuild): its messages are modeled
   /// reliable and do not advance the fault clock or trigger further events.
   bool applying_ = false;
+  /// finalize() ran: the schedule is over, injection is off for good.
+  bool finalized_ = false;
   /// Open FaultAtomicSection count: while positive, schedule events are
   /// deferred (clock and chaos still run) so a directory mutation and its
   /// replica sync cannot be split by a crash.

@@ -73,11 +73,30 @@ struct WaiterFamily {
   std::uint64_t epoch = 0;
 };
 
+/// A site retaining the object's global lock across family lifetimes (the
+/// callback-locking extension).  No family is active under a cached holder:
+/// `state`/`read_count` track live holders only, and a cached-holder site
+/// re-activates its lock with a zero-message local re-grant.  The marker
+/// carries the same epoch/lease pair as a live HolderFamily so crash
+/// reclamation treats an idle cached holder exactly like a live one.
+struct CachedHolder {
+  NodeId node{};
+  LockMode mode = LockMode::kRead;
+  std::uint64_t epoch = 0;
+  std::uint64_t lease_expiry = 0;
+};
+
 struct GdoEntry {
   GdoLockState state = GdoLockState::kFree;
   std::uint32_t read_count = 0;  ///< # holder families in read mode
   std::unordered_map<FamilyId, HolderFamily> holders;
   std::deque<WaiterFamily> waiters;
+  /// Sites holding the lock *cached* between families (lock_cache knob).
+  /// Invariant: a non-empty waiter queue implies no marker conflicts with
+  /// the queued modes — retention is refused while waiters exist and
+  /// conflicting markers are revoked before a request queues — so the
+  /// grant/wakeup machinery never needs to consult this list.
+  std::vector<CachedHolder> cached;
   PageMap page_map;
   /// Sites holding any cached copy of the object (maintained for the RC
   /// extension's eager pushes and for cache metrics).
@@ -105,6 +124,13 @@ struct GdoEntry {
   [[nodiscard]] std::size_t waiter_index(FamilyId f) const {
     for (std::size_t i = 0; i < waiters.size(); ++i)
       if (waiters[i].family == f) return i;
+    return static_cast<std::size_t>(-1);
+  }
+
+  /// Find `node`'s cached-holder marker, or npos.
+  [[nodiscard]] std::size_t cached_index(NodeId node) const {
+    for (std::size_t i = 0; i < cached.size(); ++i)
+      if (cached[i].node == node) return i;
     return static_cast<std::size_t>(-1);
   }
 };

@@ -112,7 +112,105 @@ void GdoService::reap_dead_locked(ObjectId id, GdoEntry& e, NodeId serving,
     e.state = GdoLockState::kFree;
     e.read_count = 0;
   }
+  // Cached-holder markers of dead incarnations follow the same lease
+  // discipline as live holders: the site's unflushed (cached-committed)
+  // updates died with it, so reclamation applies no page report — the map
+  // keeps pointing at the last *published* versions, which is what the
+  // restart path restores from the durable journal.
+  if (!e.cached.empty()) {
+    const std::size_t removed =
+        std::erase_if(e.cached, [&](const CachedHolder& c) {
+          return hooks->crash_count(c.node) > c.epoch &&
+                 (ignore_leases || tick >= c.lease_expiry);
+        });
+    reclaimed_ += removed;
+    if (removed > 0) freed = true;
+  }
   if (freed) grant_waiters(id, e, serving, wakeups);
+}
+
+bool GdoService::marker_conflicts(const GdoEntry& e, LockMode mode) noexcept {
+  for (const CachedHolder& c : e.cached)
+    if (conflicts(c.mode, mode)) return true;
+  return false;
+}
+
+void GdoService::apply_flush(GdoEntry& e, NodeId site,
+                             const std::vector<std::pair<PageIndex, Lsn>>& recs,
+                             Lsn advance_to) {
+  e.version_counter = std::max(e.version_counter, advance_to);
+  // record_current's version guard makes replayed/stale records harmless.
+  for (const auto& [p, v] : recs) e.page_map.record_current(p, site, v);
+}
+
+void GdoService::revoke_conflicting_cached(ObjectId id, GdoEntry& e,
+                                           NodeId serving, NodeId requester,
+                                           LockMode mode) {
+  if (e.cached.empty()) return;
+  const FaultHooks* hooks = transport_.fault_hooks();
+  // The requester's own marker never needs a callback: the site consults
+  // its cache before going remote, so reaching acquire() proves it already
+  // flushed (or could not use) the entry.  Drop the marker silently.
+  std::erase_if(e.cached,
+                [&](const CachedHolder& c) { return c.node == requester; });
+  // Deterministic revocation order (markers are appended in request order,
+  // which can differ between runs of different configs): by node id.
+  std::vector<NodeId> targets;
+  for (const CachedHolder& c : e.cached)
+    if (conflicts(c.mode, mode)) targets.push_back(c.node);
+  std::sort(targets.begin(), targets.end(),
+            [](NodeId a, NodeId b) { return a.value() < b.value(); });
+  for (const NodeId site : targets) {
+    const std::size_t i = e.cached_index(site);
+    if (i == static_cast<std::size_t>(-1)) continue;
+    CachedHolder& c = e.cached[i];
+    if (hooks != nullptr && hooks->crash_count(c.node) > c.epoch) {
+      // Dead incarnation: its cached updates are already lost, but the
+      // lease is the only proof of death a real directory would have —
+      // leave the marker to block the request until reap_dead_locked
+      // collects it (immediately if the lease already ran out).
+      if (hooks->now() >= c.lease_expiry) {
+        e.cached.erase(e.cached.begin() + static_cast<std::ptrdiff_t>(i));
+        ++reclaimed_;
+      }
+      continue;
+    }
+    CachedFlush flush;
+    try {
+      transport_.send({MessageKind::kLockCallback, serving, site, id,
+                       wire::kLockRecordBytes});
+      if (callback_handler_) flush = callback_handler_(id, site, mode);
+      transport_.send(
+          {MessageKind::kCallbackReply, site, serving, id,
+           wire::kLockRecordBytes +
+               flush.records.size() * wire::kDirtyPageRecordBytes});
+    } catch (const Error&) {
+      if (hooks != nullptr && hooks->crash_count(site) > c.epoch) {
+        // The site died at this very tick: its flush is lost with it, and
+        // the crash we just witnessed *is* the proof of death the lease
+        // would otherwise have to provide — reclaim the marker now.
+        e.cached.erase(e.cached.begin() + static_cast<std::ptrdiff_t>(i));
+        ++reclaimed_;
+        continue;
+      }
+      if (hooks == nullptr) {
+        // Legacy failover (no fault engine, no leases): an unreachable
+        // caching site is simply dead; discard its marker.
+        e.cached.erase(e.cached.begin() + static_cast<std::ptrdiff_t>(i));
+        continue;
+      }
+      throw;  // transient (partition/drop): the requester retries
+    }
+    ++cache_callbacks_;
+    apply_flush(e, site, flush.records, flush.advance_to);
+    if (mode == LockMode::kRead) {
+      // A read request only needs writers out of the way: the site keeps
+      // its (now flushed, clean) cache entry in read mode.
+      c.mode = LockMode::kRead;
+    } else {
+      e.cached.erase(e.cached.begin() + static_cast<std::ptrdiff_t>(i));
+    }
+  }
 }
 
 void GdoService::register_object(ObjectId id, std::size_t num_pages,
@@ -194,6 +292,14 @@ AcquireResult GdoService::acquire(ObjectId id, const TxnId& txn,
     }
   }
 
+  // Lock caching: call back every cached holder whose marker conflicts with
+  // this request (no-op — and no cost — while the cache is disabled and the
+  // marker list stays empty).  Only lease-protected markers of crashed
+  // sites can survive this; the request then queues until the lease runs
+  // out.
+  revoke_conflicting_cached(id, e, serving, requester, mode);
+  const bool marker_blocked = marker_conflicts(e, mode);
+
   // --- upgrade path: family holds read, wants write ----------------------
   if (e.held_by(fam)) {
     HolderFamily& h = e.holders.at(fam);
@@ -223,7 +329,7 @@ AcquireResult GdoService::acquire(ObjectId id, const TxnId& txn,
       res.page_map = e.page_map;
       return res;
     }
-    if (e.holders.size() == 1) {
+    if (e.holders.size() == 1 && !marker_blocked) {
       // Sole reader: upgrade in place.  The grant message goes out before
       // the entry mutates so a fault thrown mid-send leaves a clean state.
       const bool new_txn =
@@ -279,7 +385,7 @@ AcquireResult GdoService::acquire(ObjectId id, const TxnId& txn,
          return w.mode == LockMode::kWrite;
        }));
 
-  if (!e.held() || read_shared) {
+  if ((!e.held() || read_shared) && !marker_blocked) {
     // Send before mutating: a fault thrown from the grant send (requester
     // crashed at this very tick) must not leave an orphaned holder.
     transport_.send({MessageKind::kLockAcquireGrant, serving, requester, id,
@@ -341,6 +447,13 @@ Lsn GdoService::apply_release(ObjectId id, GdoEntry& e, FamilyId family,
   const NodeId releasing_node = hit->second.node;
 
   if (info != nullptr) {
+    if (info->advance_to > 0) {
+      // Deferred-flush release (lock cache): the site stamped versions
+      // itself while releases were cached; apply its explicit records and
+      // catch the counter up instead of minting a fresh version.
+      apply_flush(e, releasing_node, info->stamped, info->advance_to);
+      stamped = info->advance_to;
+    }
     if (!info->dirty.empty()) {
       stamped = ++e.version_counter;
       e.page_map.record_update(info->dirty, releasing_node, stamped);
@@ -437,6 +550,10 @@ void GdoService::grant_waiters(ObjectId id, GdoEntry& e, NodeId serving,
   };
   while (!e.waiters.empty()) {
     WaiterFamily& w = e.waiters.front();
+    // A lingering cached-holder marker (only possible for a crashed site
+    // still inside its lease — live conflicts are revoked before a request
+    // may queue) blocks grants the same way a live holder would.
+    if (marker_conflicts(e, w.upgrade ? LockMode::kWrite : w.mode)) break;
     if (w.upgrade) {
       const bool sole_reader =
           e.holders.size() == 1 && e.holders.count(w.family) == 1;
@@ -508,6 +625,125 @@ std::vector<Grant> GdoService::cancel_waiter(ObjectId id, FamilyId family) {
   if (!r.failover) replicate(id, e);
   else replicate_failover(id, e, serving);
   return wakeups;
+}
+
+bool GdoService::retain_release(ObjectId id, FamilyId family, NodeId node) {
+  const Route r = route(id);
+  const NodeId serving(static_cast<std::uint32_t>(r.partition));
+  Partition& part = partitions_[r.partition];
+  std::unique_lock<std::mutex> lock(r.failover ? part.mirror_mu : part.mu);
+  auto& map = r.failover ? part.mirrors : part.entries;
+  GdoEntry& e = find_serving(map, id, r, "retain_release");
+  const auto hit = e.holders.find(family);
+  if (hit == e.holders.end()) return false;
+  // Retention must never starve a queued family: with anyone waiting the
+  // site releases normally (and the waiters are granted).
+  if (!e.waiters.empty()) return false;
+  FaultAtomicSection atomic(transport_.fault_hooks());
+  const LockMode mode = hit->second.mode;
+  if (mode == LockMode::kRead) --e.read_count;
+  e.holders.erase(hit);
+  if (e.holders.empty()) {
+    e.state = GdoLockState::kFree;
+    e.read_count = 0;
+  }
+  CachedHolder c{node, mode, 0, 0};
+  if (const FaultHooks* hooks = transport_.fault_hooks()) {
+    c.epoch = hooks->crash_count(node);
+    c.lease_expiry = hooks->now() + hooks->lease_term();
+  }
+  const std::size_t i = e.cached_index(node);
+  if (i == static_cast<std::size_t>(-1)) {
+    e.cached.push_back(c);
+  } else {
+    // The site already has a marker (another of its families retained
+    // earlier): keep the strongest mode and renew the lease.
+    CachedHolder& old = e.cached[i];
+    if (c.mode == LockMode::kWrite) old.mode = LockMode::kWrite;
+    old.epoch = c.epoch;
+    old.lease_expiry = c.lease_expiry;
+  }
+  if (!r.failover) replicate(id, e);
+  else replicate_failover(id, e, serving);
+  return true;
+}
+
+std::optional<LockMode> GdoService::local_regrant(ObjectId id,
+                                                  const TxnId& txn,
+                                                  NodeId node,
+                                                  LockMode wanted) {
+  const Route r = route(id);
+  const NodeId serving(static_cast<std::uint32_t>(r.partition));
+  Partition& part = partitions_[r.partition];
+  std::unique_lock<std::mutex> lock(r.failover ? part.mirror_mu : part.mu);
+  auto& map = r.failover ? part.mirrors : part.entries;
+  GdoEntry& e = find_serving(map, id, r, "local_regrant");
+  const std::size_t i = e.cached_index(node);
+  if (i == static_cast<std::size_t>(-1)) return std::nullopt;
+  const CachedHolder c = e.cached[i];
+  FaultHooks* const hooks = transport_.fault_hooks();
+  // A marker left by a dead incarnation of this same site is unusable (the
+  // crash wiped the cached pages); fall back to a full acquire, which
+  // reclaims it.
+  if (hooks != nullptr && hooks->crash_count(node) != c.epoch)
+    return std::nullopt;
+  // The cached mode must cover the request — regranting at the *cached*
+  // mode (not the wanted one) keeps later intra-family upgrades on the
+  // standard path.
+  if (wanted == LockMode::kWrite && c.mode == LockMode::kRead)
+    return std::nullopt;
+  FaultAtomicSection atomic(hooks);
+  e.cached.erase(e.cached.begin() + static_cast<std::ptrdiff_t>(i));
+  WaiterFamily w{txn.family, node, c.mode, /*upgrade=*/false, {txn}};
+  stamp_epoch(w);
+  install_holder(e, w);
+  e.caching_sites.insert(node);
+  ++cache_regrants_;
+  if (!r.failover) replicate(id, e);
+  else replicate_failover(id, e, serving);
+  return c.mode;
+}
+
+void GdoService::forget_cached(ObjectId id, NodeId node) {
+  const Route r = route(id);
+  const NodeId serving(static_cast<std::uint32_t>(r.partition));
+  Partition& part = partitions_[r.partition];
+  std::unique_lock<std::mutex> lock(r.failover ? part.mirror_mu : part.mu);
+  auto& map = r.failover ? part.mirrors : part.entries;
+  GdoEntry& e = find_serving(map, id, r, "forget_cached");
+  const std::size_t i = e.cached_index(node);
+  if (i == static_cast<std::size_t>(-1)) return;
+  FaultAtomicSection atomic(transport_.fault_hooks());
+  e.cached.erase(e.cached.begin() + static_cast<std::ptrdiff_t>(i));
+  if (!r.failover) replicate(id, e);
+  else replicate_failover(id, e, serving);
+}
+
+void GdoService::flush_cached(
+    ObjectId id, NodeId node,
+    const std::vector<std::pair<PageIndex, Lsn>>& records, Lsn advance_to) {
+  const Route r = route(id);
+  const NodeId serving(static_cast<std::uint32_t>(r.partition));
+  Partition& part = partitions_[r.partition];
+  std::unique_lock<std::mutex> lock(r.failover ? part.mirror_mu : part.mu);
+  auto& map = r.failover ? part.mirrors : part.entries;
+  GdoEntry& e = find_serving(map, id, r, "flush_cached");
+  // The deferred release finally goes on the wire, at the same cost it
+  // would have had at root-commit time.
+  transport_.send(
+      {MessageKind::kLockReleaseRequest, node, serving, id,
+       wire::kLockRecordBytes +
+           records.size() * wire::kDirtyPageRecordBytes});
+  if (config_.release_acks)
+    transport_.send({MessageKind::kLockReleaseAck, serving, node, id, 0});
+  FaultAtomicSection atomic(transport_.fault_hooks());
+  apply_flush(e, node, records, advance_to);
+  const std::size_t i = e.cached_index(node);
+  if (i != static_cast<std::size_t>(-1))
+    e.cached.erase(e.cached.begin() + static_cast<std::ptrdiff_t>(i));
+  ++cache_flushes_;
+  if (!r.failover) replicate(id, e);
+  else replicate_failover(id, e, serving);
 }
 
 PageMap GdoService::lookup_page_map(ObjectId id, NodeId requester) {

@@ -81,9 +81,18 @@ struct ReleaseInfo {
   /// holder's copy complete); LOTEC reports only dirty pages, which is what
   /// lets up-to-date pages scatter across sites.
   std::vector<std::pair<PageIndex, Lsn>> current;
+  /// Lock-cache flush path only (empty otherwise): explicit per-page
+  /// <page, version> records stamped at the site while releases were being
+  /// deferred.  The site assigns versions itself during deferral
+  /// (max(directory counter, pending max) + 1 per commit), so the directory
+  /// must apply the *site's* versions instead of minting a fresh one.
+  std::vector<std::pair<PageIndex, Lsn>> stamped;
+  /// Highest version the site assigned while deferring (0 = not a deferred
+  /// flush); the entry's version counter advances to at least this.
+  Lsn advance_to = 0;
 
   [[nodiscard]] std::uint64_t record_count() const noexcept {
-    return dirty.count() + current.size();
+    return dirty.count() + current.size() + stamped.size();
   }
 };
 
@@ -109,6 +118,15 @@ struct ReleaseItem {
 struct BatchReleaseResult {
   std::vector<Grant> wakeups;
   std::unordered_map<ObjectId, Lsn> stamped_versions;
+};
+
+/// What a caching site surrenders when its cached lock is called back:
+/// the per-page versions it stamped while deferring releases, and the
+/// highest version it assigned (the directory's counter catches up to it).
+/// Both empty/zero for a clean (read-mode) cache entry.
+struct CachedFlush {
+  std::vector<std::pair<PageIndex, Lsn>> records;
+  Lsn advance_to = 0;
 };
 
 class GdoService {
@@ -156,6 +174,57 @@ class GdoService {
   /// Remove a family's queued request (deadlock victim / cancelled txn).
   /// May unblock other waiters, which are granted and returned.
   std::vector<Grant> cancel_waiter(ObjectId id, FamilyId family);
+
+  // --- inter-family lock caching (callback-locking extension) -------------
+
+  /// Install the revocation seam: when a conflicting acquire must call back
+  /// a site's cached lock, the directory invokes this handler — under the
+  /// entry's partition lock, between the (charged) kLockCallback and
+  /// kCallbackReply messages — and the site returns its pending flush
+  /// records while erasing/downgrading its cache entry for `object`.
+  void set_callback_handler(
+      std::function<CachedFlush(ObjectId, NodeId, LockMode)> handler) {
+    callback_handler_ = std::move(handler);
+  }
+
+  /// Try to retain `family`'s released lock at its site instead of
+  /// releasing it: the holder converts to a cached-holder marker with a
+  /// renewed lease, at zero message cost (the site simply never sends the
+  /// release).  Refused (returns false; caller must release normally) when
+  /// any family is queued — retention must never starve a waiter — or when
+  /// the family does not hold the lock.
+  bool retain_release(ObjectId id, FamilyId family, NodeId node);
+
+  /// Zero-message re-activation of a cached lock: convert `node`'s
+  /// cached-holder marker back into a live holder for `txn`'s family at the
+  /// marker's (covering) mode.  Returns the granted mode, or nullopt when
+  /// no usable marker exists (revoked, crashed incarnation, or mode not
+  /// covering `wanted`) — the caller falls back to a full acquire().
+  std::optional<LockMode> local_regrant(ObjectId id, const TxnId& txn,
+                                        NodeId node, LockMode wanted);
+
+  /// Unilateral zero-message discard of `node`'s cached marker (clean
+  /// read-mode entries only — dropping an unflushed write cache would lose
+  /// committed updates).  Tolerates a missing marker.
+  void forget_cached(ObjectId id, NodeId node);
+
+  /// Site-initiated flush of a cached lock (capacity eviction, end-of-batch
+  /// drain, or pre-acquire cleanup): charged like a release message, applies
+  /// the deferred flush records and drops the marker.  Tolerates a missing
+  /// marker (it may have been revoked or reclaimed meanwhile).
+  void flush_cached(ObjectId id, NodeId node,
+                    const std::vector<std::pair<PageIndex, Lsn>>& records,
+                    Lsn advance_to);
+
+  [[nodiscard]] std::uint64_t cache_regrants() const noexcept {
+    return cache_regrants_;
+  }
+  [[nodiscard]] std::uint64_t cache_callbacks() const noexcept {
+    return cache_callbacks_;
+  }
+  [[nodiscard]] std::uint64_t cache_flushes() const noexcept {
+    return cache_flushes_;
+  }
 
   /// Read-only page-map lookup (charged as a lookup round trip when remote).
   [[nodiscard]] PageMap lookup_page_map(ObjectId id, NodeId requester);
@@ -253,12 +322,32 @@ class GdoService {
   /// Stamp a fresh waiter/request with its node's current crash epoch.
   void stamp_epoch(WaiterFamily& w) const;
 
-  /// Purge waiters from dead incarnations and reclaim orphaned holders
-  /// whose lease has expired (or all orphans with `ignore_leases`); grants
-  /// freed waiters.  Caller holds the serving partition lock.  No-op
-  /// without fault hooks.
+  /// Purge waiters from dead incarnations and reclaim orphaned holders and
+  /// cached-holder markers whose lease has expired (or all orphans with
+  /// `ignore_leases`); grants freed waiters.  Caller holds the serving
+  /// partition lock.  No-op without fault hooks.
   void reap_dead_locked(ObjectId id, GdoEntry& entry, NodeId serving,
                         bool ignore_leases, std::vector<Grant>& wakeups);
+
+  /// Revoke every cached-holder marker that conflicts with `mode` before a
+  /// request from `requester` is served: the requester's own marker is
+  /// dropped silently (its site flushed before re-acquiring), live markers
+  /// get a callback round (flush + erase, or downgrade to read when the
+  /// request is a read), dead markers wait out their lease.  Caller holds
+  /// the serving partition lock.
+  void revoke_conflicting_cached(ObjectId id, GdoEntry& entry, NodeId serving,
+                                 NodeId requester, LockMode mode);
+
+  /// Does any cached-holder marker conflict with a request for `mode`?
+  /// (Only lease-protected markers of crashed sites can conflict after
+  /// revoke_conflicting_cached ran; grants wait for their lease to expire.)
+  [[nodiscard]] static bool marker_conflicts(const GdoEntry& entry,
+                                             LockMode mode) noexcept;
+
+  /// Apply a deferred flush (records stamped at the site) to the entry.
+  static void apply_flush(GdoEntry& entry, NodeId site,
+                          const std::vector<std::pair<PageIndex, Lsn>>& recs,
+                          Lsn advance_to);
 
   /// Serving-side entry lookup.  During failover a missing copy is a
   /// *transient* condition (the surviving chain has not seen this object's
@@ -289,10 +378,15 @@ class GdoService {
   Transport& transport_;
   GdoConfig config_;
   std::function<void(const Grant&)> grant_delivery_;
+  std::function<CachedFlush(ObjectId, NodeId, LockMode)> callback_handler_;
   std::vector<Partition> partitions_;
   /// Lease-reclamation tallies (token-serialized with fault hooks on).
   std::uint64_t reclaimed_ = 0;
   std::uint64_t purged_ = 0;
+  /// Lock-cache tallies (deterministic scheduler required with lock_cache).
+  std::uint64_t cache_regrants_ = 0;
+  std::uint64_t cache_callbacks_ = 0;
+  std::uint64_t cache_flushes_ = 0;
 };
 
 }  // namespace lotec

@@ -39,6 +39,9 @@ enum class MessageKind : std::uint8_t {
   // --- prefetch extension (Section 5.1 future work) ---
   kPrefetchLockRequest,  ///< optimistic pre-acquisition of a lock
   kPrefetchPageReply,
+  // --- inter-family lock caching (callback locking extension) ---
+  kLockCallback,         ///< GDO home -> caching site: revoke/downgrade cached lock
+  kCallbackReply,        ///< caching site -> GDO home: flush + dirty-page records
 
   kNumKinds  // sentinel
 };
@@ -64,6 +67,8 @@ enum class MessageKind : std::uint8_t {
     case MessageKind::kGdoRebuildReply: return "GdoRebuildReply";
     case MessageKind::kPrefetchLockRequest: return "PrefetchLockRequest";
     case MessageKind::kPrefetchPageReply: return "PrefetchPageReply";
+    case MessageKind::kLockCallback: return "LockCallback";
+    case MessageKind::kCallbackReply: return "CallbackReply";
     case MessageKind::kNumKinds: break;
   }
   return "?";

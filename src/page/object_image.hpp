@@ -9,6 +9,7 @@
 // (or demand-fetching on a LOTEC misprediction).
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
 #include <cstdint>
 #include <optional>
@@ -68,6 +69,18 @@ struct Page {
     }
     return std::nullopt;
   }
+};
+
+/// A sub-page update shipped instead of a full page (DSD mode): the byte
+/// spans that changed between the receiver's cached version and `version`
+/// (content taken from the sender's current page), plus the sender's delta
+/// history so the receiver can serve further delta chains itself.
+struct PagePatch {
+  Lsn version = 0;
+  std::vector<PageDelta> history;
+  /// Ascending-by-construction (offset, bytes) spans; overlapping spans are
+  /// harmless (all carry the same final content).
+  std::vector<std::pair<std::uint32_t, std::vector<std::byte>>> spans;
 };
 
 /// Raised when an access touches a page that is not resident; the runtime
@@ -136,6 +149,26 @@ class ObjectImage {
     if (page.data.size() != page_size_)
       throw UsageError("ObjectImage: page size mismatch on install");
     pages_[idx.value()] = std::move(page);
+  }
+
+  /// Apply a sub-page patch to a resident page (DSD transfer).  A page
+  /// whose version already reached patch.version is left untouched (it was
+  /// concurrently installed); the caller guarantees the local content sits
+  /// on the patch's delta chain, so writing every span yields the sender's
+  /// exact content.  Does NOT mark pages dirty (committed remote state).
+  void patch_page(PageIndex idx, const PagePatch& patch) {
+    check(idx);
+    if (!pages_[idx.value()]) throw PageNotResident(id_, idx);
+    Page& page = *pages_[idx.value()];
+    if (page.version >= patch.version) return;
+    for (const auto& [off, bytes] : patch.spans) {
+      if (off + bytes.size() > page.data.size())
+        throw UsageError("ObjectImage: patch span out of page bounds");
+      std::copy(bytes.begin(), bytes.end(),
+                page.data.begin() + static_cast<std::ptrdiff_t>(off));
+    }
+    page.version = patch.version;
+    page.history = patch.history;
   }
 
   /// Copy of a resident page (for transfer to another site).

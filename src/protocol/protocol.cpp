@@ -4,6 +4,12 @@
 
 namespace lotec {
 
+// This staleness test is also what makes a *cached* page map (retained
+// across family lifetimes by the lock-cache extension) safe to reuse after
+// a local re-grant: any page another site published while the lock sat idle
+// could only have been written after a conflicting acquire, which revoked
+// or downgraded the cached entry first — so a surviving cached map is never
+// stale, and a re-granted map passes through here unchanged.
 PageSet stale_or_missing_pages(NodeId self, const ObjectImage& image,
                                const PageMap& map) {
   PageSet out(image.num_pages());

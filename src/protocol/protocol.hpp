@@ -80,6 +80,18 @@ class ConsistencyProtocol {
     return false;
   }
 
+  /// Inter-family lock caching interaction (sticky-lock extension): may the
+  /// protocol still push eagerly when the release is *retained* at the site
+  /// instead of flushing to the directory?  Never — the versions a cached
+  /// commit stamps are not yet published at the directory, and broadcasting
+  /// them would orphan pages in remote caches if the caching site crashed
+  /// before its flush.  RC therefore degrades to fetch-on-demand freshness
+  /// for updates committed under a cached lock (equivalent to OTEC's
+  /// staleness test) until the deferred report is flushed.
+  [[nodiscard]] virtual bool eager_push_on_retained_release() const noexcept {
+    return false;
+  }
+
   /// DSD mode (Section 4.2 / Section 6): when the acquirer's copy of a page
   /// is exactly one version behind, transfer only the delta ranges the last
   /// commit changed instead of the whole page.

@@ -155,11 +155,37 @@ std::vector<TxnResult> Cluster::execute(std::vector<RootRequest> requests) {
     core_.runners.clear();
   }
 
+  // End-of-batch recovery first: restart every node still down so the
+  // cluster is whole for the lock-cache drain and validation.
+  if (core_.fault != nullptr) core_.fault->finalize();
+
+  if (core_.config.lock_cache) {
+    // Drain the lock caches: flush every deferred report and return the
+    // cached locks to the directory, so the batch ends quiescent (no cached
+    // holders linger; validation and paper-figure accounting see a fully
+    // published page map).  Crashed sites lost their caches in the wipe;
+    // their directory-side markers fall to the reclamation sweep below.
+    for (auto& site : core_.nodes) {
+      for (const ObjectId obj : site->lock_cache.objects()) {
+        const auto entry = site->lock_cache.lookup(obj);
+        if (!entry) continue;
+        const CachedFlush flush = site->lock_cache.take_flush(obj);
+        try {
+          if (entry->mode == LockMode::kRead)
+            core_.gdo.forget_cached(obj, site->id);
+          else
+            core_.gdo.flush_cached(obj, site->id, flush.records,
+                                   flush.advance_to);
+        } catch (const Error&) {
+          // Chain unreachable: the sweep below reclaims the marker.
+        }
+      }
+    }
+  }
+
   if (core_.fault != nullptr) {
-    // End-of-batch recovery: restart every node still down (so the cluster
-    // is whole for validation / the next batch) and reclaim directory locks
-    // left behind by crashed family incarnations, leases notwithstanding.
-    core_.fault->finalize();
+    // Reclaim directory locks (and cached-holder markers) left behind by
+    // crashed family incarnations, leases notwithstanding.
     core_.gdo.reclaim_crashed(/*ignore_leases=*/true);
   }
 

@@ -50,6 +50,15 @@ struct ClusterConfig {
   /// compiler's conservative analysis must cover every access; methods with
   /// data-dependent accesses set MethodDef::may_access_undeclared).
   bool strict_access_checks = true;
+  /// Inter-family lock caching (callback locking): a site retains its
+  /// global locks across family lifetimes and re-grants them locally with
+  /// zero messages; conflicting remote requests revoke them via a callback
+  /// round.  Off by default — the paper's figures are produced without it —
+  /// and requires the deterministic scheduler.
+  bool lock_cache = false;
+  /// Cached global locks kept per site; 0 = unbounded.  Beyond the budget
+  /// the least-recently-used cached lock is flushed back to the directory.
+  std::size_t lock_cache_capacity = 0;
   /// Per-node cache budget in pages; 0 = unbounded.  Under pressure the
   /// least-recently-acquired unpinned objects lose the pages whose
   /// authoritative newest copy lives elsewhere (a site never discards the

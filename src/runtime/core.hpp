@@ -55,6 +55,19 @@ struct ClusterCore {
                                             cfg.page_size);
       transport.set_fault_hooks(fault.get());
     }
+    if (cfg.lock_cache) {
+      if (cfg.scheduler != SchedulerMode::kDeterministic)
+        throw UsageError(
+            "ClusterConfig: lock_cache requires the deterministic scheduler "
+            "(callback revocation is serialized with the token order)");
+      // Revocation seam: the directory calls back into the caching site's
+      // lock cache (a leaf mutex, safe under the partition lock) to collect
+      // the deferred release report and erase/downgrade the entry.
+      gdo.set_callback_handler(
+          [this](ObjectId obj, NodeId site, LockMode requested) {
+            return node(site).lock_cache.revoke(obj, requested);
+          });
+    }
   }
 
   /// The protocol governing one object (its class's override, or the
@@ -85,6 +98,10 @@ struct ClusterCore {
   /// Evict LRU unpinned pages beyond the configured per-node cache budget
   /// (never the authoritative newest copy of a page).
   void enforce_cache_capacity(Node& node);
+
+  /// Flush LRU cached global locks beyond config.lock_cache_capacity back
+  /// to the directory (inter-family lock caching extension).
+  void enforce_lock_cache_capacity(Node& node);
 
   /// Pages evicted across all nodes (cache-pressure metric).
   [[nodiscard]] std::uint64_t total_evicted_pages() const {

@@ -31,6 +31,9 @@ void ClusterCore::enforce_cache_capacity(Node& node) {
     const ObjectId obj = *it;
     ++it;  // advance before mutation below invalidates the list position
     if (node.pinned(obj)) continue;
+    // A cached global lock's deferred report names this site as the source
+    // of its stamped pages — they are the sole copies until the flush.
+    if (node.lock_cache.contains(obj)) continue;
     ObjectImage* img = node.store.find(obj);
     if (img == nullptr) {
       node.forget(obj);
@@ -48,6 +51,35 @@ void ClusterCore::enforce_cache_capacity(Node& node) {
       node.store.evict(obj);
       node.forget(obj);
       it = node.lru.rbegin();  // list edited; restart from the tail
+    }
+  }
+}
+
+void ClusterCore::enforce_lock_cache_capacity(Node& node) {
+  const std::size_t capacity = config.lock_cache_capacity;
+  if (!config.lock_cache || capacity == 0) return;
+  while (node.lock_cache.size() > capacity) {
+    ObjectId victim{};
+    {
+      std::lock_guard<std::mutex> lock(node.store_mu);
+      for (const ObjectId obj : node.lock_cache.lru_order()) {
+        if (node.pinned(obj)) continue;  // re-granted to a live family
+        victim = obj;
+        break;
+      }
+    }
+    if (!victim.valid()) return;
+    const auto entry = node.lock_cache.lookup(victim);
+    if (!entry) return;
+    const CachedFlush flush = node.lock_cache.take_flush(victim);
+    try {
+      if (entry->mode == LockMode::kRead)
+        gdo.forget_cached(victim, node.id);  // clean: unilateral silent drop
+      else
+        gdo.flush_cached(victim, node.id, flush.records, flush.advance_to);
+    } catch (const Error&) {
+      // Directory chain briefly unreachable: the local entry is gone either
+      // way; the marker falls to revocation or lease reclamation.
     }
   }
 }
@@ -274,6 +306,18 @@ bool FamilyRunner::transient_retry(int attempts) {
     // mops up anything left at the directory.
     Node& mine = core_.node(node_);
     for (const ObjectId object : family_.locks().all_objects()) {
+      if (core_.config.lock_cache) {
+        // A deferred report inherited from earlier (cached) commits must
+        // not die with the abort: publish it while the chain may be up.
+        const CachedFlush flush = mine.lock_cache.take_flush(object);
+        if (!flush.records.empty() || flush.advance_to > 0) {
+          try {
+            core_.gdo.flush_cached(object, node_, flush.records,
+                                   flush.advance_to);
+          } catch (...) {
+          }
+        }
+      }
       try {
         (void)core_.gdo.release_family(object, family_.id(), node_, nullptr);
       } catch (...) {
@@ -364,6 +408,17 @@ void FamilyRunner::acquire_for(const Transaction& txn, ObjectId object,
     return;
   }
 
+  // Lock-cache fast path: a compatible cached (idle) global lock at this
+  // site re-activates with zero network messages.
+  if (outcome == LocalAcquireOutcome::kNeedGlobal &&
+      try_cache_regrant(txn, object, mode, /*prefetch=*/false)) {
+    ObjectImage& img = local_image(object);
+    const PageSet fetch = core_.protocol_for(core_.meta_of(object)).pages_to_transfer(
+        node_, img, object_maps_.at(object), summary.predicted_pages);
+    fetch_pages(object, img, fetch, /*demand=*/false);
+    return;
+  }
+
   const bool remote = core_.gdo.home_of(object) != node_;
   core_.scheduler->preempt(index_);  // interleaving point at a global op
   AcquireResult res = core_.gdo.acquire(object, txn.id(), node_, mode);
@@ -412,6 +467,13 @@ void FamilyRunner::run_prefetch(const Transaction& root) {
         core_.registry.get(meta.cls).summary(method);
     const LockMode mode =
         summary.needs_write_lock ? LockMode::kWrite : LockMode::kRead;
+    if (try_cache_regrant(root, object, mode, /*prefetch=*/true)) {
+      ObjectImage& img = local_image(object);
+      const PageSet fetch = core_.protocol_for(meta).pages_to_transfer(
+          node_, img, object_maps_.at(object), summary.predicted_pages);
+      fetch_pages(object, img, fetch, /*demand=*/false);
+      continue;
+    }
     any_remote = any_remote || core_.gdo.home_of(object) != node_;
 
     core_.scheduler->preempt(index_);
@@ -446,6 +508,49 @@ void FamilyRunner::run_prefetch(const Transaction& root) {
   // The point of pre-acquisition is pipelining: model the whole batch as a
   // single blocking round trip on the family's critical path.
   result_.remote_round_trips = trips_before + (any_remote ? 1 : 0);
+}
+
+bool FamilyRunner::try_cache_regrant(const Transaction& txn, ObjectId object,
+                                     LockMode mode, bool prefetch) {
+  if (!core_.config.lock_cache) return false;
+  Node& mine = core_.node(node_);
+  const std::optional<CachedLock> cached = mine.lock_cache.lookup(object);
+  if (!cached) return false;
+  if (mode == LockMode::kWrite && cached->mode == LockMode::kRead) {
+    // The cached mode cannot cover the request.  A read entry is clean by
+    // invariant, so drop it unilaterally (zero messages) and go remote.
+    mine.lock_cache.erase(object);
+    core_.gdo.forget_cached(object, node_);
+    return false;
+  }
+  const std::optional<LockMode> granted =
+      core_.gdo.local_regrant(object, txn.id(), node_, cached->mode);
+  if (!granted) {
+    // No usable marker at the directory (revoked behind our back, or a
+    // concurrent family at this site already re-activated it).  Push any
+    // deferred report out and fall back to a normal acquisition.
+    const CachedFlush flush = mine.lock_cache.take_flush(object);
+    if (!flush.records.empty() || flush.advance_to > 0)
+      core_.gdo.flush_cached(object, node_, flush.records, flush.advance_to);
+    return false;
+  }
+  // Zero-message re-activation: same bookkeeping as a fresh global grant,
+  // at the cached (covering) mode so intra-family upgrades stay standard.
+  // The cache entry stays resident — it keeps carrying the deferred report
+  // until the release merges into it or a flush publishes it.
+  core_.transport.record_local_lock_op();
+  ++result_.local_lock_grants;
+  if (prefetch)
+    family_.locks().on_prefetch_grant(txn, object, *granted);
+  else
+    family_.locks().on_global_grant(txn, object, *granted, /*upgrade=*/false);
+  object_maps_.insert_or_assign(object, cached->map);
+  {
+    std::lock_guard<std::mutex> lock(mine.store_mu);
+    pin_here(mine, object);
+    mine.touch(object);
+  }
+  return true;
 }
 
 void FamilyRunner::fetch_pages(ObjectId object, ObjectImage& image,
@@ -488,6 +593,7 @@ void FamilyRunner::fetch_pages(ObjectId object, ObjectImage& image,
          wanted.size() * (wire::kPageRequestEntryBytes +
                           (delta_mode ? 8ULL : 0ULL))});
     std::vector<std::pair<PageIndex, Page>> copied;
+    std::vector<std::pair<PageIndex, PagePatch>> patched;
     copied.reserve(wanted.size());
     std::uint64_t reply_payload = 0;
     {
@@ -501,13 +607,27 @@ void FamilyRunner::fetch_pages(ObjectId object, ObjectImage& image,
         if (delta_mode && have != my_versions.end())
           chain = page.delta_chain_bytes(have->second);
         if (chain && *chain < core_.config.page_size) {
-          // Few versions behind: the wire carries only the delta chain.
+          // Few versions behind: the wire carries only the delta chain, so
+          // copy only the changed spans here — a full Page copy would hold
+          // the source's store_mu for the whole page payload.
+          PagePatch patch;
+          patch.version = page.version;
+          patch.history = page.history;
+          for (const PageDelta& d : page.history) {
+            for (const auto& [off, len] : d.ranges)
+              patch.spans.emplace_back(
+                  off, std::vector<std::byte>(
+                           page.data.begin() + off,
+                           page.data.begin() + off + len));
+            if (d.from_version == have->second) break;
+          }
+          patched.emplace_back(p, std::move(patch));
           reply_payload += *chain;
           ++result_.delta_pages;
         } else {
           reply_payload += core_.config.page_size + 8ULL;
+          copied.emplace_back(p, page);
         }
-        copied.emplace_back(p, page);
       }
     }
     core_.transport.send(
@@ -525,6 +645,16 @@ void FamilyRunner::fetch_pages(ObjectId object, ObjectImage& image,
         if (core_.fault != nullptr)
           core_.fault->note_page(node_, object, num_pages, p, page);
         image.install_page(p, std::move(page));
+      }
+      for (auto& [p, patch] : patched) {
+        // A raced eviction of the base copy (concurrent mode) voids the
+        // patch; the freshness check re-fetches the full page on demand.
+        if (!image.has_page(p)) continue;
+        patch.version = std::max(patch.version, map.at(p).version);
+        image.patch_page(p, patch);
+        map.record_current(p, node_, image.page_version(p));
+        if (core_.fault != nullptr)
+          core_.fault->note_page(node_, object, num_pages, p, image.page(p));
       }
     }
     if (!prefetch_batch_) ++result_.remote_round_trips;
@@ -628,38 +758,17 @@ void FamilyRunner::release_all(bool commit) {
   std::vector<ReleaseItem> items;
   items.reserve(objects.size());
   for (const ObjectId object : objects) {
-    if (!commit) {
-      items.push_back(ReleaseItem{object, std::nullopt});
-      continue;
-    }
-    ReleaseItem item{object, ReleaseInfo{}};
-    // Residency ("current") reports move page-map ownership, so they are
-    // only safe from WRITE holders: a read lock can be shared, and moving
-    // ownership under a concurrent read holder would silently invalidate
-    // the map copy that holder received with its grant (its later fetches
-    // could then target a site that has since evicted the page).
-    const LocalLock* lock_state = family_.locks().find(object);
-    const bool exclusive =
-        lock_state != nullptr && lock_state->global_mode == LockMode::kWrite;
-    std::lock_guard<std::mutex> lock(mine.store_mu);
-    if (const ObjectImage* img = mine.store.find(object)) {
-      item.info->dirty = img->dirty_pages();
-      if (exclusive) {
-        const PageSet report =
-            core_.protocol_for(core_.meta_of(object)).pages_to_report(*img);
-        for (const PageIndex p : report.to_vector())
-          item.info->current.emplace_back(p, img->page_version(p));
-      }
-    } else {
-      item.info->dirty = PageSet(core_.meta_of(object).num_pages);
-    }
-    items.push_back(std::move(item));
+    // Lock-cache path: keep the global lock parked at this site (zero
+    // messages) and defer the commit's report into the site cache.
+    if (core_.config.lock_cache && try_retain(object, commit)) continue;
+    items.push_back(make_release_item(object, commit));
   }
 
   // Stamp new page versions BEFORE the directory publishes them so a woken
   // family never fetches a page whose stamp lags (concurrent mode).  The
   // version values must match what the GDO will assign: it increments the
-  // per-object counter exactly when the dirty set is non-empty, so we
+  // per-object counter exactly when the dirty set is non-empty — after
+  // catching up to any deferred flush folded into the release — so we
   // pre-compute by peeking the entry's counter.
   struct Stamped {
     ObjectId object;
@@ -670,7 +779,9 @@ void FamilyRunner::release_all(bool commit) {
   if (commit) {
     for (auto& item : items) {
       if (!item.info || item.info->dirty.empty()) continue;
-      const Lsn next = core_.gdo.snapshot(item.object).version_counter + 1;
+      const Lsn next =
+          std::max(core_.gdo.snapshot(item.object).version_counter,
+                   item.info->advance_to) + 1;
       const std::size_t npages = core_.meta_of(item.object).num_pages;
       std::lock_guard<std::mutex> lock(mine.store_mu);
       ObjectImage& img = mine.store.get(item.object);
@@ -698,7 +809,8 @@ void FamilyRunner::release_all(bool commit) {
   // clobbered by our in-flight (older) push.
   for (const Stamped& s : pushes) push_updates(s.object, s.pages);
 
-  (void)core_.gdo.release_batch(family_.id(), node_, items);
+  if (!items.empty())
+    (void)core_.gdo.release_batch(family_.id(), node_, items);
 
   {
     std::lock_guard<std::mutex> lock(mine.store_mu);
@@ -706,6 +818,106 @@ void FamilyRunner::release_all(bool commit) {
   }
   object_maps_.clear();
   family_.locks().clear();
+  core_.enforce_lock_cache_capacity(mine);
+}
+
+bool FamilyRunner::try_retain(ObjectId object, bool commit) {
+  const auto mit = object_maps_.find(object);
+  const LocalLock* lock_state = family_.locks().find(object);
+  if (mit == object_maps_.end() || lock_state == nullptr) return false;
+  if (!core_.gdo.retain_release(object, family_.id(), node_)) return false;
+
+  // The lock is now parked at the directory as a cached-holder marker;
+  // mirror it in the site cache together with the grant's page map and —
+  // on commit — the deferred release report.  No RC eager push from here:
+  // deferred versions must not propagate to other sites before they are
+  // flushed (a crash of this site would orphan them in remote caches).
+  Node& mine = core_.node(node_);
+  CachedLock entry;
+  entry.mode = lock_state->global_mode;
+  entry.map = mit->second;
+  if (const std::optional<CachedLock> prev = mine.lock_cache.lookup(object)) {
+    entry.report = prev->report;
+    entry.max_version = prev->max_version;
+  }
+  const std::size_t npages = core_.meta_of(object).num_pages;
+  {
+    std::lock_guard<std::mutex> lock(mine.store_mu);
+    ObjectImage* img = mine.store.find(object);
+    if (img != nullptr && commit) {
+      if (entry.mode == LockMode::kWrite) {
+        // Residency ("current") reports are deferred like the dirty stamps
+        // and applied when the report is flushed.
+        const PageSet report =
+            core_.protocol_for(core_.meta_of(object)).pages_to_report(*img);
+        for (const PageIndex p : report.to_vector()) {
+          Lsn& rec = entry.report[p];
+          rec = std::max(rec, img->page_version(p));
+        }
+      }
+      if (!img->dirty_pages().empty()) {
+        // Deferred version stamping: the directory's counter stands still
+        // while releases are cached, so sequence locally above both the
+        // counter and our own deferred maximum.
+        const Lsn next =
+            std::max(core_.gdo.snapshot(object).version_counter,
+                     entry.max_version) + 1;
+        const PageSet stamped = img->stamp_dirty(next);
+        for (const PageIndex p : stamped.to_vector()) {
+          entry.report[p] = next;
+          if (core_.fault != nullptr)
+            core_.fault->note_page(node_, object, npages, p, img->page(p));
+        }
+        entry.map.record_update(stamped, node_, next);
+        entry.max_version = next;
+      }
+    } else if (img != nullptr) {
+      img->clear_dirty();
+    }
+    unpin_here(mine, object);
+  }
+  mine.lock_cache.put(object, std::move(entry));
+  return true;
+}
+
+ReleaseItem FamilyRunner::make_release_item(ObjectId object, bool commit) {
+  Node& mine = core_.node(node_);
+  // Fold the deferred report this site may still carry for the object into
+  // the release, so versions stamped by earlier (cached) commits publish
+  // together with ours.
+  CachedFlush pending;
+  if (core_.config.lock_cache) pending = mine.lock_cache.take_flush(object);
+  if (!commit && pending.records.empty() && pending.advance_to == 0)
+    return ReleaseItem{object, std::nullopt};
+
+  ReleaseItem item{object, ReleaseInfo{}};
+  if (commit) {
+    // Residency ("current") reports move page-map ownership, so they are
+    // only safe from WRITE holders: a read lock can be shared, and moving
+    // ownership under a concurrent read holder would silently invalidate
+    // the map copy that holder received with its grant (its later fetches
+    // could then target a site that has since evicted the page).
+    const LocalLock* lock_state = family_.locks().find(object);
+    const bool exclusive =
+        lock_state != nullptr && lock_state->global_mode == LockMode::kWrite;
+    std::lock_guard<std::mutex> lock(mine.store_mu);
+    if (const ObjectImage* img = mine.store.find(object)) {
+      item.info->dirty = img->dirty_pages();
+      if (exclusive) {
+        const PageSet report =
+            core_.protocol_for(core_.meta_of(object)).pages_to_report(*img);
+        for (const PageIndex p : report.to_vector())
+          item.info->current.emplace_back(p, img->page_version(p));
+      }
+    } else {
+      item.info->dirty = PageSet(core_.meta_of(object).num_pages);
+    }
+  } else {
+    item.info->dirty = PageSet(core_.meta_of(object).num_pages);
+  }
+  item.info->stamped = std::move(pending.records);
+  item.info->advance_to = pending.advance_to;
+  return item;
 }
 
 void FamilyRunner::push_updates(

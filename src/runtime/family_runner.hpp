@@ -64,6 +64,24 @@ class FamilyRunner {
   /// extension), pipelined as one round-trip batch.
   void run_prefetch(const Transaction& root);
 
+  /// Lock-cache fast path: if this site holds a cached (idle) global lock
+  /// on `object` in a mode covering `mode`, re-activate it for `txn` with
+  /// zero network messages.  Returns true when the grant happened (lock
+  /// table, page map and pins set up exactly as after a global grant).
+  bool try_cache_regrant(const Transaction& txn, ObjectId object,
+                         LockMode mode, bool prefetch);
+
+  /// Lock-cache release path: try to park the family's lock on `object` at
+  /// this site (GdoService::retain_release) instead of releasing it.  On
+  /// success the commit's version stamping and page report are deferred
+  /// into the site cache entry.  Returns false when retention was refused
+  /// (caller releases normally).
+  bool try_retain(ObjectId object, bool commit);
+
+  /// Build the ReleaseItem for one object, folding in any deferred report
+  /// this site still carries for it.
+  ReleaseItem make_release_item(ObjectId object, bool commit);
+
   /// Fetch `pages` of `object` from the sites the cached page map names,
   /// grouped per source site.  Updates the cached map to point here.
   void fetch_pages(ObjectId object, ObjectImage& image, PageSet pages,

@@ -9,6 +9,7 @@
 
 #include "common/ids.hpp"
 #include "page/page_store.hpp"
+#include "runtime/lock_cache.hpp"
 
 namespace lotec {
 
@@ -28,6 +29,12 @@ struct Node {
   std::list<ObjectId> lru;
   std::unordered_map<ObjectId, std::list<ObjectId>::iterator> lru_pos;
   std::uint64_t evicted_pages = 0;
+
+  /// Global locks this site retains between families (callback-locking
+  /// extension; empty unless config.lock_cache).  Own leaf mutex — NOT
+  /// guarded by store_mu (the directory's callback handler reaches it while
+  /// holding a partition lock).
+  GlobalLockCache lock_cache;
 
   // Callers hold store_mu for all of the following.
 

@@ -2,6 +2,7 @@
 
 #include <unordered_set>
 
+#include "common/rng.hpp"
 #include "common/stats.hpp"
 
 namespace lotec {
@@ -17,6 +18,8 @@ bool is_lock_kind(MessageKind k) {
     case MessageKind::kLockReleaseRequest:
     case MessageKind::kLockReleaseAck:
     case MessageKind::kPrefetchLockRequest:
+    case MessageKind::kLockCallback:
+    case MessageKind::kCallbackReply:
       return true;
     default:
       return false;
@@ -62,12 +65,22 @@ ScenarioResult run_scenario(const Workload& workload, ProtocolKind protocol,
   cfg.net.multicast_capable = options.multicast;
   cfg.undo = options.undo;
   cfg.cache_capacity_pages = options.cache_capacity_pages;
+  cfg.lock_cache = options.lock_cache;
+  cfg.lock_cache_capacity = options.lock_cache_capacity;
   cfg.fault = options.fault;
   if (options.fault.has_node_faults()) cfg.gdo.replicate = true;
   Cluster cluster(cfg);
   if (options.record_trace) cluster.stats().enable_trace(std::size_t{1} << 22);
 
   std::vector<RootRequest> requests = workload.instantiate(cluster);
+  if (options.site_locality >= 0.0) {
+    Rng placement(options.cluster_seed ^ 0x10CA11D1ULL);
+    for (RootRequest& r : requests)
+      r.node = NodeId(static_cast<std::uint32_t>(
+          placement.chance(options.site_locality)
+              ? 0
+              : placement.below(options.nodes)));
+  }
   if (options.prefetch_hints) {
     for (std::size_t i = 0; i < requests.size(); ++i) {
       const auto* script =
@@ -96,6 +109,9 @@ ScenarioResult run_scenario(const Workload& workload, ProtocolKind protocol,
     if (is_lock_kind(kind)) out.lock_messages += c.messages;
     if (is_page_kind(kind)) out.page_messages += c.messages;
   }
+  out.cache_regrants = cluster.gdo().cache_regrants();
+  out.cache_callbacks = cluster.gdo().cache_callbacks();
+  out.cache_flushes = cluster.gdo().cache_flushes();
 
   std::vector<double> trips;
   trips.reserve(results.size());

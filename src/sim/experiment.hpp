@@ -26,6 +26,10 @@ struct ScenarioResult {
   // Per-kind aggregates needed by the locking-overhead analysis.
   std::uint64_t lock_messages = 0;
   std::uint64_t page_messages = 0;
+  // Lock-cache tallies (zero unless options.lock_cache).
+  std::uint64_t cache_regrants = 0;
+  std::uint64_t cache_callbacks = 0;
+  std::uint64_t cache_flushes = 0;
   // Transaction outcomes.
   std::size_t committed = 0;
   std::size_t aborted = 0;
@@ -64,6 +68,22 @@ struct ExperimentOptions {
   UndoStrategy undo = UndoStrategy::kByteRange;
   /// Per-node cache budget in pages (0 = unbounded).
   std::size_t cache_capacity_pages = 0;
+  /// Inter-family lock caching (sticky global locks with callback
+  /// revocation).  Off for every paper figure; the locality ablation
+  /// toggles it.
+  bool lock_cache = false;
+  /// Cached global locks kept per site (0 = unbounded).
+  std::size_t lock_cache_capacity = 0;
+  /// Site-locality knob (lock-cache ablation): when non-negative, each
+  /// family executes at the designated hot site (node 0) with this
+  /// probability and at a uniformly random site otherwise — i.e. the
+  /// probability that consecutive acquires of an object originate at the
+  /// same site, which is the axis callback locking trades on.  Negative
+  /// (the default) keeps the cluster's round-robin placement.  The
+  /// assignment depends only on cluster_seed and the request list, never on
+  /// the protocol or the lock_cache flag, so paired runs see identical
+  /// placements.
+  double site_locality = -1.0;
   /// Deterministic fault injection for this run (chaos benchmarks and the
   /// zero-overhead ablation).  Node faults imply GDO replication.
   FaultConfig fault;

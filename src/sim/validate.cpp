@@ -20,6 +20,7 @@ void check_object(Cluster& cluster, ObjectId id,
     oops("lock not free (" + std::string(to_string(entry.state)) + ")");
   if (!entry.holders.empty()) oops("holder families linger");
   if (!entry.waiters.empty()) oops("waiter families linger");
+  if (!entry.cached.empty()) oops("cached lock holders linger");
 
   // 2/3. Page map honesty + no site ahead of the directory.
   for (std::size_t p = 0; p < entry.num_pages; ++p) {
@@ -99,6 +100,14 @@ std::vector<std::string> validate_quiescent(Cluster& cluster) {
       std::ostringstream oss;
       oss << "node " << n << " still pins " << node.pins.size()
           << " object(s)";
+      out.push_back(oss.str());
+    }
+    // 6. Lock caches drained (the end-of-batch drain flushed every deferred
+    // report back to the directory).
+    if (node.lock_cache.size() != 0) {
+      std::ostringstream oss;
+      oss << "node " << n << " still caches " << node.lock_cache.size()
+          << " global lock(s)";
       out.push_back(oss.str());
     }
   }

@@ -1,0 +1,47 @@
+// Golden message-count regression: the fig2 scenario's per-protocol traffic
+// totals, pinned exactly.  Any change to the locking or transfer paths that
+// alters the wire behaviour of a *disabled*-extensions run (lock_cache off,
+// no faults) must show up here as a conscious golden update — this is the
+// bit-identical guard for the paper-figure configurations.
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "sim/experiment.hpp"
+#include "sim/scenarios.hpp"
+
+namespace lotec {
+namespace {
+
+struct Golden {
+  ProtocolKind protocol;
+  std::uint64_t messages;
+  std::uint64_t bytes;
+  std::uint64_t lock_messages;
+  std::uint64_t page_messages;
+};
+
+// Captured from a clean run of scenarios::medium_high_contention() with the
+// default ExperimentOptions (16 nodes, 4 KiB pages, cluster seed 7).
+constexpr std::array<Golden, kNumProtocols> kGolden = {{
+    {ProtocolKind::kCotec, 10243u, 25956160u, 6455u, 3788u},
+    {ProtocolKind::kOtec, 9725u, 18912048u, 6455u, 3270u},
+    {ProtocolKind::kLotec, 11177u, 17618176u, 6455u, 4722u},
+    {ProtocolKind::kRc, 21881u, 129854976u, 6455u, 15426u},
+    {ProtocolKind::kLotecDsd, 11177u, 15575848u, 6455u, 4722u},
+}};
+
+TEST(MessageCountTest, Fig2ScenarioTrafficIsPinnedPerProtocol) {
+  const Workload workload(scenarios::medium_high_contention());
+  for (const Golden& g : kGolden) {
+    const ScenarioResult r = run_scenario(workload, g.protocol);
+    EXPECT_EQ(r.total.messages, g.messages) << to_string(g.protocol);
+    EXPECT_EQ(r.total.bytes, g.bytes) << to_string(g.protocol);
+    EXPECT_EQ(r.lock_messages, g.lock_messages) << to_string(g.protocol);
+    EXPECT_EQ(r.page_messages, g.page_messages) << to_string(g.protocol);
+    EXPECT_EQ(r.cache_regrants, 0u) << to_string(g.protocol);
+  }
+}
+
+}  // namespace
+}  // namespace lotec

@@ -1,0 +1,194 @@
+// CI perf-smoke gate: compare freshly generated BENCH_*.json files against
+// the committed baselines in bench/baselines/ and fail when any metric
+// drifts beyond the tolerance (default +/-10%).
+//
+// Usage: bench_check <baseline_dir> <candidate_dir> [tolerance]
+//   Every BENCH_*.json in <baseline_dir> must exist in <candidate_dir> with
+//   the same rows (by label) and every numeric field within tolerance of
+//   its baseline value.  Extra candidate files/fields are ignored, so new
+//   benches can land before their baselines do.
+//
+// The parser below handles exactly the flat format bench/json_out.hpp
+// emits ({"bench": ..., "rows": [{"label": ..., key: number, ...}]}) — the
+// repo takes no JSON library dependency for a 60-line need.
+#include <cmath>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+struct BenchFile {
+  // row label -> field name -> value
+  std::map<std::string, std::map<std::string, double>> rows;
+};
+
+void skip_ws(const std::string& s, std::size_t& i) {
+  while (i < s.size() && std::isspace(static_cast<unsigned char>(s[i]))) ++i;
+}
+
+std::string parse_string(const std::string& s, std::size_t& i) {
+  if (s.at(i) != '"') throw std::runtime_error("expected '\"'");
+  std::string out;
+  for (++i; s.at(i) != '"'; ++i) {
+    if (s[i] == '\\') ++i;  // json_out never escapes, but stay safe
+    out.push_back(s[i]);
+  }
+  ++i;
+  return out;
+}
+
+double parse_number(const std::string& s, std::size_t& i) {
+  std::size_t end = i;
+  while (end < s.size() &&
+         (std::isdigit(static_cast<unsigned char>(s[end])) || s[end] == '-' ||
+          s[end] == '+' || s[end] == '.' || s[end] == 'e' || s[end] == 'E'))
+    ++end;
+  const double v = std::stod(s.substr(i, end - i));
+  i = end;
+  return v;
+}
+
+/// Parse one {"label": "...", key: number, ...} row object.
+void parse_row(const std::string& s, std::size_t& i, BenchFile& out) {
+  if (s.at(i) != '{') throw std::runtime_error("expected '{'");
+  ++i;
+  std::string label;
+  std::map<std::string, double> fields;
+  while (true) {
+    skip_ws(s, i);
+    const std::string key = parse_string(s, i);
+    skip_ws(s, i);
+    if (s.at(i) != ':') throw std::runtime_error("expected ':'");
+    ++i;
+    skip_ws(s, i);
+    if (key == "label")
+      label = parse_string(s, i);
+    else
+      fields[key] = parse_number(s, i);
+    skip_ws(s, i);
+    if (s.at(i) == ',') {
+      ++i;
+      continue;
+    }
+    if (s.at(i) == '}') {
+      ++i;
+      break;
+    }
+    throw std::runtime_error("expected ',' or '}' in row");
+  }
+  if (label.empty()) throw std::runtime_error("row without label");
+  out.rows[label] = std::move(fields);
+}
+
+BenchFile parse_file(const std::filesystem::path& path) {
+  std::ifstream is(path);
+  if (!is) throw std::runtime_error("cannot open " + path.string());
+  std::stringstream buf;
+  buf << is.rdbuf();
+  const std::string s = buf.str();
+
+  BenchFile out;
+  std::size_t i = s.find("\"rows\"");
+  if (i == std::string::npos) throw std::runtime_error("no rows array");
+  i = s.find('[', i);
+  if (i == std::string::npos) throw std::runtime_error("no '[' after rows");
+  ++i;
+  while (true) {
+    skip_ws(s, i);
+    if (s.at(i) == ']') break;
+    parse_row(s, i, out);
+    skip_ws(s, i);
+    if (s.at(i) == ',') ++i;
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3 || argc > 4) {
+    std::cerr << "usage: bench_check <baseline_dir> <candidate_dir> "
+                 "[tolerance=0.10]\n";
+    return 2;
+  }
+  const std::filesystem::path baseline_dir = argv[1];
+  const std::filesystem::path candidate_dir = argv[2];
+  const double tolerance = argc == 4 ? std::atof(argv[3]) : 0.10;
+
+  int checked = 0, failures = 0;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(baseline_dir)) {
+    const std::string name = entry.path().filename().string();
+    if (name.rfind("BENCH_", 0) != 0 || entry.path().extension() != ".json")
+      continue;
+    const std::filesystem::path candidate = candidate_dir / name;
+    if (!std::filesystem::exists(candidate)) {
+      std::cerr << "FAIL " << name << ": candidate file missing (bench not "
+                << "run?)\n";
+      ++failures;
+      continue;
+    }
+    BenchFile base, cand;
+    try {
+      base = parse_file(entry.path());
+      cand = parse_file(candidate);
+    } catch (const std::exception& e) {
+      std::cerr << "FAIL " << name << ": " << e.what() << '\n';
+      ++failures;
+      continue;
+    }
+    for (const auto& [label, fields] : base.rows) {
+      const auto row = cand.rows.find(label);
+      if (row == cand.rows.end()) {
+        std::cerr << "FAIL " << name << ": row '" << label
+                  << "' missing from candidate\n";
+        ++failures;
+        continue;
+      }
+      for (const auto& [key, expect] : fields) {
+        const auto got = row->second.find(key);
+        if (got == row->second.end()) {
+          std::cerr << "FAIL " << name << ": " << label << "." << key
+                    << " missing from candidate\n";
+          ++failures;
+          continue;
+        }
+        ++checked;
+        const double actual = got->second;
+        // Tolerance is relative to the baseline; an exact-zero baseline
+        // demands an exact zero (these are deterministic simulations).
+        const bool ok =
+            expect == 0.0
+                ? actual == 0.0
+                : std::abs(actual - expect) <= tolerance * std::abs(expect);
+        if (!ok) {
+          std::cerr << "FAIL " << name << ": " << label << "." << key << " = "
+                    << actual << ", baseline " << expect << " (|delta| "
+                    << std::abs(actual / expect - 1.0) * 100.0 << "% > "
+                    << tolerance * 100.0 << "%)\n";
+          ++failures;
+        }
+      }
+    }
+  }
+
+  if (checked == 0) {
+    std::cerr << "FAIL: no BENCH_*.json baselines found in " << baseline_dir
+              << '\n';
+    return 2;
+  }
+  if (failures) {
+    std::cerr << failures << " metric(s) out of tolerance (" << checked
+              << " checked)\n";
+    return 1;
+  }
+  std::cout << "bench_check: " << checked << " metrics within "
+            << tolerance * 100.0 << "% of baseline\n";
+  return 0;
+}

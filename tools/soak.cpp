@@ -94,6 +94,16 @@ Draw random_setup(Rng& rng) {
       ProtocolKind::kCotec, ProtocolKind::kOtec, ProtocolKind::kLotec,
       ProtocolKind::kRc, ProtocolKind::kLotecDsd};
   d.cfg.protocol = kinds[rng.below(5)];
+  // Sticky lock caching rides along in a third of the runs.  Draw before
+  // gating so the random stream (and every later iteration's config) is
+  // identical whichever scheduler was picked; the end-of-batch cache drain
+  // assumes the deterministic scheduler's quiescence points.
+  const bool want_lock_cache = rng.chance(0.3);
+  const std::size_t cache_cap = 1 + rng.below(8);
+  if (d.cfg.scheduler == SchedulerMode::kDeterministic) {
+    d.cfg.lock_cache = want_lock_cache;
+    d.cfg.lock_cache_capacity = cache_cap;
+  }
   return d;
 }
 
