@@ -26,7 +26,8 @@ std::pair<std::uint64_t, std::uint64_t> run(const Workload& workload,
   const auto results = cluster.execute(workload.instantiate(cluster));
   for (const auto& r : results)
     if (!r.committed) throw Error("ablation workload aborted");
-  return {cluster.stats().total().bytes, cluster.total_evicted_pages()};
+  return {cluster.observe().stats().total().bytes,
+          cluster.observe().evicted_pages()};
 }
 
 }  // namespace

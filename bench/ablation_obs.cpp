@@ -1,0 +1,104 @@
+// Observability zero-overhead ablation: the fig2 scenario run with span
+// tracing ON must produce byte-identical message traffic to the same run
+// with tracing OFF — the tracer reads the logical clock and buffers span
+// records but never sends a message or perturbs the schedule.  Exits
+// non-zero on any divergence, so CI can gate on it.
+#include <iostream>
+#include <map>
+
+#include "json_out.hpp"
+#include "obs/chrome_trace.hpp"
+#include "sim/experiment.hpp"
+#include "sim/report.hpp"
+#include "sim/scenarios.hpp"
+
+using namespace lotec;
+
+namespace {
+
+/// Spans nest properly per (node, family) lane: every parent id closes at
+/// or after its children and interval spans have end >= begin.
+bool spans_well_formed(const std::vector<SpanRecord>& spans) {
+  std::map<std::uint64_t, const SpanRecord*> by_id;
+  for (const SpanRecord& s : spans) {
+    if (s.end < s.begin) {
+      std::cerr << "FAIL: span " << s.id << " ends before it begins\n";
+      return false;
+    }
+    by_id[s.id] = &s;
+  }
+  for (const SpanRecord& s : spans) {
+    if (s.parent == 0) continue;
+    const auto it = by_id.find(s.parent);
+    if (it == by_id.end()) {
+      std::cerr << "FAIL: span " << s.id << " has unknown parent "
+                << s.parent << "\n";
+      return false;
+    }
+    const SpanRecord& p = *it->second;
+    if (s.begin < p.begin || s.end > p.end) {
+      std::cerr << "FAIL: span " << s.id << " [" << s.begin << "," << s.end
+                << "] escapes parent " << p.id << " [" << p.begin << ","
+                << p.end << "]\n";
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main() {
+  const Workload workload(scenarios::medium_high_contention());
+
+  ExperimentOptions off;
+  off.record_trace = true;
+  ExperimentOptions on = off;
+  on.trace_spans = true;
+
+  print_section(
+      "Observability ablation: traced vs untraced fig2 run (LOTEC)");
+  const ScenarioResult plain =
+      run_scenario(workload, ProtocolKind::kLotec, off);
+  const ScenarioResult traced =
+      run_scenario(workload, ProtocolKind::kLotec, on);
+
+  Table table({"Variant", "Messages", "Bytes", "Committed", "Spans"});
+  table.row({"tracing off", fmt_u64(plain.total.messages),
+             fmt_u64(plain.total.bytes), fmt_u64(plain.committed),
+             fmt_u64(plain.spans.size())});
+  table.row({"tracing on", fmt_u64(traced.total.messages),
+             fmt_u64(traced.total.bytes), fmt_u64(traced.committed),
+             fmt_u64(traced.spans.size())});
+  table.print();
+
+  bool ok = true;
+  if (plain.trace != traced.trace) {
+    std::cerr << "FAIL: span tracing changed the message trace ("
+              << plain.trace.size() << " vs " << traced.trace.size()
+              << " events)\n";
+    ok = false;
+  }
+  if (traced.spans.empty()) {
+    std::cerr << "FAIL: traced run recorded no spans\n";
+    ok = false;
+  } else if (!spans_well_formed(traced.spans)) {
+    ok = false;
+  }
+
+  bench::BenchJson json("ablation_obs");
+  json.row("LOTEC")
+      .field("messages", plain.total.messages)
+      .field("bytes", plain.total.bytes)
+      .field("spans", traced.spans.size())
+      .field("trace_identical",
+             std::uint64_t(plain.trace == traced.trace ? 1 : 0))
+      .counters(traced.counters);
+  json.write();
+
+  std::cout << "\nbit-identity: "
+            << (plain.trace == traced.trace ? "byte-identical traffic"
+                                            : "MISMATCH")
+            << "; " << traced.spans.size() << " spans recorded\n";
+  return ok ? 0 : 1;
+}

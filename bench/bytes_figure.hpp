@@ -3,6 +3,7 @@
 // bytes-transferred series the paper plots, plus aggregate ratios.
 #pragma once
 
+#include <cstdlib>
 #include <iostream>
 #include <string>
 
@@ -27,10 +28,19 @@ inline void run_bytes_figure(const std::string& title,
                              const WorkloadSpec& spec,
                              const BytesFigureOptions& options = {}) {
   const Workload workload(spec);
+  ExperimentOptions experiment = options.experiment;
+  // LOTEC_SPANS=<path> turns on span tracing and writes a Perfetto-loadable
+  // Chrome trace per protocol (path_<PROTOCOL>.json); used by the CI traced
+  // bench artifact and for ad-hoc figure profiling.
+  if (const char* spans = std::getenv("LOTEC_SPANS");
+      spans != nullptr && *spans != '\0') {
+    experiment.trace_spans = true;
+    experiment.chrome_trace = spans;
+  }
   const auto results = run_protocol_suite(
       workload,
       {ProtocolKind::kCotec, ProtocolKind::kOtec, ProtocolKind::kLotec},
-      options.experiment);
+      experiment);
   const ScenarioResult& cotec = results[0];
   const ScenarioResult& otec = results[1];
   const ScenarioResult& lotec = results[2];
@@ -66,14 +76,14 @@ inline void run_bytes_figure(const std::string& title,
   const double cb = static_cast<double>(cotec.total.bytes);
   const double ob = static_cast<double>(otec.total.bytes);
   agg.row({"COTEC", fmt_u64(cotec.total.messages), fmt_u64(cotec.total.bytes),
-           "100.0%", "-", fmt_u64(cotec.demand_fetches)});
+           "100.0%", "-", fmt_u64(cotec.demand_fetches())});
   agg.row({"OTEC", fmt_u64(otec.total.messages), fmt_u64(otec.total.bytes),
            fmt_percent(otec.total.bytes / cb), "100.0%",
-           fmt_u64(otec.demand_fetches)});
+           fmt_u64(otec.demand_fetches())});
   agg.row({"LOTEC", fmt_u64(lotec.total.messages), fmt_u64(lotec.total.bytes),
            fmt_percent(lotec.total.bytes / cb),
            fmt_percent(lotec.total.bytes / ob),
-           fmt_u64(lotec.demand_fetches)});
+           fmt_u64(lotec.demand_fetches())});
   agg.print();
 
   if (!options.json_name.empty()) {
@@ -82,10 +92,11 @@ inline void run_bytes_figure(const std::string& title,
       json.row(std::string(to_string(r->protocol)))
           .field("messages", r->total.messages)
           .field("bytes", r->total.bytes)
-          .field("lock_messages", r->lock_messages)
-          .field("page_messages", r->page_messages)
-          .field("demand_fetches", r->demand_fetches)
-          .field("committed", r->committed);
+          .field("lock_messages", r->lock_messages())
+          .field("page_messages", r->page_messages())
+          .field("demand_fetches", r->demand_fetches())
+          .field("committed", r->committed)
+          .counters(r->counters);
     json.write();
   }
 

@@ -18,6 +18,7 @@
 #include <cstdint>
 #include <fstream>
 #include <iostream>
+#include <map>
 #include <sstream>
 #include <string>
 #include <utility>
@@ -42,6 +43,16 @@ class BenchJson {
 
   BenchJson& field(std::string key, std::uint64_t value) {
     return field(std::move(key), static_cast<double>(value));
+  }
+
+  /// Append a whole MetricsRegistry counter snapshot
+  /// (ScenarioResult::counters) to the current row — one field per named
+  /// counter.  This is how every figure bench gains the per-phase registry
+  /// breakdowns without per-bench plumbing; bench_check gates whichever of
+  /// them the committed baseline lists.
+  BenchJson& counters(const std::map<std::string, std::uint64_t>& snapshot) {
+    for (const auto& [name, value] : snapshot) field(name, value);
+    return *this;
   }
 
   /// Write BENCH_<name>.json into the current directory (or `dir`).

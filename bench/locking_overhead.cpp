@@ -103,7 +103,7 @@ Measured run(std::size_t pages_per_object) {
     if (!r.committed) throw Error("locking_overhead: transaction failed");
 
   Measured m;
-  const NetworkStats& stats = cluster.stats();
+  const NetworkStats& stats = cluster.observe().stats();
   for (const auto kind :
        {MessageKind::kLockAcquireRequest, MessageKind::kLockAcquireGrant,
         MessageKind::kLockAcquireQueued, MessageKind::kLockGrantWakeup,

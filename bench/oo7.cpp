@@ -179,9 +179,9 @@ Oo7Results run_oo7(ProtocolKind protocol) {
   // --- run the operation mix ----------------------------------------------
   Oo7Results out;
   const auto measure = [&](auto&& body) {
-    const TrafficCounter before = cluster.stats().total();
+    const TrafficCounter before = cluster.observe().stats().total();
     body();
-    const TrafficCounter after = cluster.stats().total();
+    const TrafficCounter after = cluster.observe().stats().total();
     return TrafficCounter{after.messages - before.messages,
                           after.bytes - before.bytes};
   };

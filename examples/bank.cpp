@@ -140,7 +140,7 @@ int main() {
             << " committed transfers\n"
             << "total money: " << total << " (expected "
             << kAccounts * kInitialBalance << ")\n";
-  const TrafficCounter t = cluster.stats().total();
+  const TrafficCounter t = cluster.observe().stats().total();
   std::cout << "network: " << t.messages << " messages, " << t.bytes
             << " bytes\n";
 

@@ -148,9 +148,9 @@ std::uint64_t run_design_workload(ProtocolKind protocol) {
     revisions += cluster.peek<std::int64_t>(a, "revision");
   std::cout << "  " << to_string(protocol) << ": committed " << committed
             << "/" << kRevisions << " revisions (ledger " << revisions
-            << "), traffic " << cluster.stats().total().messages
-            << " msgs / " << cluster.stats().total().bytes << " bytes\n";
-  return cluster.stats().total().bytes;
+            << "), traffic " << cluster.observe().stats().total().messages
+            << " msgs / " << cluster.observe().stats().total().bytes << " bytes\n";
+  return cluster.observe().stats().total().bytes;
 }
 
 }  // namespace

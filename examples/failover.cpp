@@ -27,8 +27,8 @@ int main() {
                   }));
   const ObjectId obj = cluster.create_object(cls, NodeId(0));
 
-  const NodeId home = cluster.gdo().home_of(obj);
-  const NodeId mirror = cluster.gdo().mirror_of(obj);
+  const NodeId home = cluster.observe().gdo().home_of(obj);
+  const NodeId mirror = cluster.observe().gdo().mirror_of(obj);
   std::cout << "object 0: directory home = node " << home.value()
             << ", mirror = node " << mirror.value() << "\n";
 
@@ -42,7 +42,7 @@ int main() {
       return 1;
   std::cout << "5 increments committed; killing directory home (node "
             << home.value() << ")\n";
-  cluster.transport().set_node_failed(home, true);
+  cluster.observe().transport().set_node_failed(home, true);
 
   for (int i = 0; i < 5; ++i) {
     const TxnResult r = cluster.run_root(obj, "increment", i % 2 ? a : b);
@@ -55,7 +55,10 @@ int main() {
             << "final value = " << cluster.peek<std::int64_t>(obj, "value")
             << " (expected 10)\n"
             << "replication traffic: "
-            << cluster.stats().by_kind(MessageKind::kGdoReplicaSync).messages
+            << cluster.observe()
+                   .stats()
+                   .by_kind(MessageKind::kGdoReplicaSync)
+                   .messages
             << " sync messages\n";
   return cluster.peek<std::int64_t>(obj, "value") == 10 ? 0 : 1;
 }

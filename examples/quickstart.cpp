@@ -58,7 +58,7 @@ int main() {
             << " (expected 12)\n"
             << "label = \"" << cluster.peek_string(obj, "label") << "\"\n";
 
-  const TrafficCounter t = cluster.stats().total();
+  const TrafficCounter t = cluster.observe().stats().total();
   std::cout << "network: " << t.messages << " messages, " << t.bytes
             << " bytes to keep " << cluster.num_nodes()
             << " nodes consistent\n";

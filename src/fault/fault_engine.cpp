@@ -110,6 +110,16 @@ bool FaultEngine::fire(const FaultEvent& ev, const WireMessage& m) {
   NodeId target = ev.node;
   if (ev.target == FaultTarget::kMessageSrc) target = m.src;
   if (ev.target == FaultTarget::kMessageDst) target = m.dst;
+  // Mirror every recorded event as a fault.event instant on the directory
+  // lane (family 0) so traces show when the environment, not a family, acted.
+  const auto mark = [&] {
+    if (tracer_ != nullptr) {
+      tracer_->instant(SpanPhase::kFaultEvent, 0,
+                       target.valid() ? target.value() : 0,
+                       m.object.valid() ? m.object.value()
+                                        : SpanRecord::kNoObject);
+    }
+  };
   switch (ev.action) {
     case FaultAction::kCrashNode:
       if (!transport_.reachable(target)) return false;  // already down
@@ -121,12 +131,14 @@ bool FaultEngine::fire(const FaultEvent& ev, const WireMessage& m) {
       pending_.push_back({/*restart=*/false, target});
       trace_.push_back({clock_, FaultAction::kCrashNode, target, m.kind,
                         m.object});
+      mark();
       return false;
     case FaultAction::kRestartNode:
       if (transport_.reachable(target)) return false;  // not crashed
       pending_.push_back({/*restart=*/true, target});
       trace_.push_back({clock_, FaultAction::kRestartNode, target, m.kind,
                         m.object});
+      mark();
       return false;
     case FaultAction::kPartitionStart:
     case FaultAction::kPartitionHeal: {
@@ -138,6 +150,7 @@ bool FaultEngine::fire(const FaultEvent& ev, const WireMessage& m) {
           depth = start ? depth + 1 : std::max(0, depth - 1);
         }
       trace_.push_back({clock_, ev.action, NodeId{}, m.kind, m.object});
+      mark();
       return false;
     }
     case FaultAction::kDropMessage:

@@ -124,6 +124,10 @@ class FaultEngine final : public FaultHooks {
     return trace_;
   }
 
+  /// Install (or clear) the span tracer; fired schedule events are recorded
+  /// as fault.event instants on the directory lane.  Owned by the caller.
+  void set_tracer(SpanTracer* tracer) noexcept { tracer_ = tracer; }
+
  private:
   /// Message kinds the engine may drop, partition or duplicate: request /
   /// lookup / fetch traffic whose failure the sender observes *before* any
@@ -191,6 +195,7 @@ class FaultEngine final : public FaultHooks {
 
   std::vector<FaultRecord> trace_;
   FaultStats stats_;
+  SpanTracer* tracer_ = nullptr;
 };
 
 }  // namespace lotec

@@ -19,10 +19,20 @@ std::uint64_t mix(std::uint64_t x) noexcept {
 
 }  // namespace
 
-GdoService::GdoService(Transport& transport, GdoConfig config)
+GdoService::GdoService(Transport& transport, GdoConfig config,
+                       MetricsRegistry* metrics)
     : transport_(transport), config_(config),
       partitions_(transport.num_nodes()) {
   if (partitions_.empty()) throw UsageError("GdoService: no nodes");
+  if (metrics == nullptr) {
+    owned_metrics_ = std::make_unique<MetricsRegistry>();
+    metrics = owned_metrics_.get();
+  }
+  reclaimed_ = &metrics->counter("lease.reclaimed");
+  purged_ = &metrics->counter("lease.purged");
+  cache_regrants_ = &metrics->counter("cache.regrants");
+  cache_callbacks_ = &metrics->counter("cache.callbacks");
+  cache_flushes_ = &metrics->counter("cache.flushes");
 }
 
 NodeId GdoService::home_of(ObjectId id) const noexcept {
@@ -90,7 +100,7 @@ void GdoService::reap_dead_locked(ObjectId id, GdoEntry& e, NodeId serving,
   std::erase_if(e.waiters, [&](const WaiterFamily& w) {
     return hooks->crash_count(w.node) > w.epoch;
   });
-  purged_ += before - e.waiters.size();
+  purged_->add(before - e.waiters.size());
   // Holders of dead incarnations are reclaimed once their lease runs out.
   // Like an abort release, reclamation carries no dirty-page info: the page
   // map is left untouched (the restart path restores exactly what the map
@@ -102,7 +112,7 @@ void GdoService::reap_dead_locked(ObjectId id, GdoEntry& e, NodeId serving,
         (ignore_leases || tick >= h.lease_expiry)) {
       if (h.mode == LockMode::kRead) --e.read_count;
       it = e.holders.erase(it);
-      ++reclaimed_;
+      reclaimed_->add();
       freed = true;
     } else {
       ++it;
@@ -123,7 +133,7 @@ void GdoService::reap_dead_locked(ObjectId id, GdoEntry& e, NodeId serving,
           return hooks->crash_count(c.node) > c.epoch &&
                  (ignore_leases || tick >= c.lease_expiry);
         });
-    reclaimed_ += removed;
+    reclaimed_->add(removed);
     if (removed > 0) freed = true;
   }
   if (freed) grant_waiters(id, e, serving, wakeups);
@@ -160,6 +170,11 @@ void GdoService::revoke_conflicting_cached(ObjectId id, GdoEntry& e,
     if (conflicts(c.mode, mode)) targets.push_back(c.node);
   std::sort(targets.begin(), targets.end(),
             [](NodeId a, NodeId b) { return a.value() < b.value(); });
+  // The revocation round lives on the directory lane (family 0): it is
+  // directory-side work triggered by, but not attributable to, the
+  // requesting family.
+  ScopedSpan round(targets.empty() ? nullptr : tracer_,
+                   SpanPhase::kCallbackRound, 0, serving.value(), id.value());
   for (const NodeId site : targets) {
     const std::size_t i = e.cached_index(site);
     if (i == static_cast<std::size_t>(-1)) continue;
@@ -171,7 +186,7 @@ void GdoService::revoke_conflicting_cached(ObjectId id, GdoEntry& e,
       // collects it (immediately if the lease already ran out).
       if (hooks->now() >= c.lease_expiry) {
         e.cached.erase(e.cached.begin() + static_cast<std::ptrdiff_t>(i));
-        ++reclaimed_;
+        reclaimed_->add();
       }
       continue;
     }
@@ -190,7 +205,7 @@ void GdoService::revoke_conflicting_cached(ObjectId id, GdoEntry& e,
         // the crash we just witnessed *is* the proof of death the lease
         // would otherwise have to provide — reclaim the marker now.
         e.cached.erase(e.cached.begin() + static_cast<std::ptrdiff_t>(i));
-        ++reclaimed_;
+        reclaimed_->add();
         continue;
       }
       if (hooks == nullptr) {
@@ -201,7 +216,7 @@ void GdoService::revoke_conflicting_cached(ObjectId id, GdoEntry& e,
       }
       throw;  // transient (partition/drop): the requester retries
     }
-    ++cache_callbacks_;
+    cache_callbacks_->add();
     apply_flush(e, site, flush.records, flush.advance_to);
     if (mode == LockMode::kRead) {
       // A read request only needs writers out of the way: the site keeps
@@ -283,7 +298,7 @@ AcquireResult GdoService::acquire(ObjectId id, const TxnId& txn,
         hooks->crash_count(self->second.node) > self->second.epoch) {
       if (self->second.mode == LockMode::kRead) --e.read_count;
       e.holders.erase(self);
-      ++reclaimed_;
+      reclaimed_->add();
       if (e.holders.empty()) {
         e.state = GdoLockState::kFree;
         e.read_count = 0;
@@ -528,7 +543,7 @@ void GdoService::grant_waiters(ObjectId id, GdoEntry& e, NodeId serving,
     std::erase_if(e.waiters, [&](const WaiterFamily& w) {
       return hooks->crash_count(w.node) > w.epoch;
     });
-    purged_ += before - e.waiters.size();
+    purged_->add(before - e.waiters.size());
   }
   const auto emit = [&](Grant g) {
     if (grant_delivery_) grant_delivery_(g);
@@ -561,7 +576,7 @@ void GdoService::grant_waiters(ObjectId id, GdoEntry& e, NodeId serving,
       if (!send_wakeup(w, wire::kLockRecordBytes +
                               w.txns.size() * wire::kTxnNodePairBytes)) {
         e.waiters.pop_front();
-        ++purged_;
+        purged_->add();
         continue;
       }
       HolderFamily& h = e.holders.at(w.family);
@@ -582,7 +597,7 @@ void GdoService::grant_waiters(ObjectId id, GdoEntry& e, NodeId serving,
       if (!e.holders.empty()) break;
       if (!send_wakeup(w, grant_payload_bytes(e, w.txns.size()))) {
         e.waiters.pop_front();
-        ++purged_;
+        purged_->add();
         continue;
       }
       Grant g{w.family, w.node, w.txns.front(), LockMode::kWrite,
@@ -597,7 +612,7 @@ void GdoService::grant_waiters(ObjectId id, GdoEntry& e, NodeId serving,
     if (!(e.holders.empty() || e.state == GdoLockState::kRead)) break;
     if (!send_wakeup(w, grant_payload_bytes(e, w.txns.size()))) {
       e.waiters.pop_front();
-      ++purged_;
+      purged_->add();
       continue;
     }
     Grant g{w.family, w.node, w.txns.front(), LockMode::kRead,
@@ -698,7 +713,7 @@ std::optional<LockMode> GdoService::local_regrant(ObjectId id,
   stamp_epoch(w);
   install_holder(e, w);
   e.caching_sites.insert(node);
-  ++cache_regrants_;
+  cache_regrants_->add();
   if (!r.failover) replicate(id, e);
   else replicate_failover(id, e, serving);
   return c.mode;
@@ -741,7 +756,7 @@ void GdoService::flush_cached(
   const std::size_t i = e.cached_index(node);
   if (i != static_cast<std::size_t>(-1))
     e.cached.erase(e.cached.begin() + static_cast<std::ptrdiff_t>(i));
-  ++cache_flushes_;
+  cache_flushes_->add();
   if (!r.failover) replicate(id, e);
   else replicate_failover(id, e, serving);
 }
@@ -1010,7 +1025,7 @@ void GdoService::reclaim_crashed(bool ignore_leases) {
       const auto it = part.entries.find(id);
       if (it == part.entries.end()) continue;
       FaultAtomicSection atomic(transport_.fault_hooks());
-      const std::uint64_t before = reclaimed_ + purged_;
+      const std::uint64_t before = reclaimed_->value() + purged_->value();
       std::vector<Grant> wakeups;
       reap_dead_locked(id, it->second,
                        NodeId(static_cast<std::uint32_t>(p)), ignore_leases,
@@ -1018,7 +1033,8 @@ void GdoService::reclaim_crashed(bool ignore_leases) {
       // A reap that freed or purged anything diverged from the mirror copy;
       // sync it like any other mutation (a crash right after the reap must
       // not resurrect the reclaimed holder from the stale mirror).
-      if (reclaimed_ + purged_ != before) replicate(id, it->second);
+      if (reclaimed_->value() + purged_->value() != before)
+        replicate(id, it->second);
     }
   }
 }

@@ -26,6 +26,7 @@
 
 #include "gdo/gdo_entry.hpp"
 #include "net/transport.hpp"
+#include "obs/metrics.hpp"
 
 namespace lotec {
 
@@ -131,7 +132,15 @@ struct CachedFlush {
 
 class GdoService {
  public:
-  GdoService(Transport& transport, GdoConfig config = {});
+  /// `metrics` is the cluster-wide registry the directory's tallies
+  /// (cache.*, lease.*) live in; when null (standalone directory tests) the
+  /// service owns a private registry so the accessors still work.
+  GdoService(Transport& transport, GdoConfig config = {},
+             MetricsRegistry* metrics = nullptr);
+
+  /// Install (or clear) the span tracer; callback revocation rounds are
+  /// recorded on the directory lane (family 0).  Owned by the caller.
+  void set_tracer(SpanTracer* tracer) noexcept { tracer_ = tracer; }
 
   /// Install a delivery hook invoked — under the entry's partition lock —
   /// for every Grant produced by a release or cancellation.  Delivering
@@ -217,13 +226,13 @@ class GdoService {
                     Lsn advance_to);
 
   [[nodiscard]] std::uint64_t cache_regrants() const noexcept {
-    return cache_regrants_;
+    return cache_regrants_->value();
   }
   [[nodiscard]] std::uint64_t cache_callbacks() const noexcept {
-    return cache_callbacks_;
+    return cache_callbacks_->value();
   }
   [[nodiscard]] std::uint64_t cache_flushes() const noexcept {
-    return cache_flushes_;
+    return cache_flushes_->value();
   }
 
   /// Read-only page-map lookup (charged as a lookup round trip when remote).
@@ -257,10 +266,10 @@ class GdoService {
   void reclaim_crashed(bool ignore_leases);
 
   [[nodiscard]] std::uint64_t locks_reclaimed() const noexcept {
-    return reclaimed_;
+    return reclaimed_->value();
   }
   [[nodiscard]] std::uint64_t waiters_purged() const noexcept {
-    return purged_;
+    return purged_->value();
   }
 
   // --- deadlock support ---------------------------------------------------
@@ -380,13 +389,16 @@ class GdoService {
   std::function<void(const Grant&)> grant_delivery_;
   std::function<CachedFlush(ObjectId, NodeId, LockMode)> callback_handler_;
   std::vector<Partition> partitions_;
-  /// Lease-reclamation tallies (token-serialized with fault hooks on).
-  std::uint64_t reclaimed_ = 0;
-  std::uint64_t purged_ = 0;
-  /// Lock-cache tallies (deterministic scheduler required with lock_cache).
-  std::uint64_t cache_regrants_ = 0;
-  std::uint64_t cache_callbacks_ = 0;
-  std::uint64_t cache_flushes_ = 0;
+  SpanTracer* tracer_ = nullptr;
+  /// Fallback registry for standalone use (null when the cluster owns one).
+  std::unique_ptr<MetricsRegistry> owned_metrics_;
+  /// Registry handles; tallies are token-serialized when their feature
+  /// (fault hooks / lock cache) is on, relaxed-atomic regardless.
+  MetricsCounter* reclaimed_;
+  MetricsCounter* purged_;
+  MetricsCounter* cache_regrants_;
+  MetricsCounter* cache_callbacks_;
+  MetricsCounter* cache_flushes_;
 };
 
 }  // namespace lotec

@@ -21,6 +21,7 @@
 
 #include "common/error.hpp"
 #include "net/net_stats.hpp"
+#include "obs/span.hpp"
 
 namespace lotec {
 
@@ -145,11 +146,18 @@ class Transport {
   void set_fault_hooks(FaultHooks* hooks) noexcept { hooks_ = hooks; }
   [[nodiscard]] FaultHooks* fault_hooks() const noexcept { return hooks_; }
 
+  /// Install (or clear) the span tracer whose logical clock advances once
+  /// per message.  Owned by the caller.  Like the fault seam, a disabled
+  /// tracer costs one pointer comparison plus one bool check per send.
+  void set_tracer(SpanTracer* tracer) noexcept { tracer_ = tracer; }
+  [[nodiscard]] SpanTracer* tracer() const noexcept { return tracer_; }
+
   /// Account one message.  Messages where src == dst are local and free.
   /// Throws NodeUnreachable if either endpoint is failed (a crashed sender
   /// cannot put anything on the wire) and propagates fault-engine verdicts
   /// (MessageDropped, partition NodeUnreachable).
   void send(const WireMessage& m) {
+    if (tracer_ != nullptr) tracer_->tick_message();
     check_node(m.src);
     check_node(m.dst);
     std::size_t extra = 0;
@@ -171,6 +179,7 @@ class Transport {
   /// failed *source* still throws: a crashed node sends nothing.
   std::vector<NodeId> send_to_all(const WireMessage& m,
                                   const std::vector<NodeId>& destinations) {
+    if (tracer_ != nullptr) tracer_->tick_message();
     check_node(m.src);
     if (hooks_ != nullptr) (void)hooks_->on_message(m);
     if (failed_[m.src.value()]) throw NodeUnreachable(m.src, m.src);
@@ -215,6 +224,7 @@ class Transport {
   NetworkStats stats_;
   std::vector<bool> failed_;
   FaultHooks* hooks_ = nullptr;
+  SpanTracer* tracer_ = nullptr;
 };
 
 }  // namespace lotec

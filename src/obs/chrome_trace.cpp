@@ -1,0 +1,169 @@
+#include "obs/chrome_trace.hpp"
+
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <set>
+#include <stdexcept>
+
+namespace lotec {
+
+namespace {
+
+bool is_instant_phase(SpanPhase phase) noexcept {
+  return phase == SpanPhase::kLockInherit || phase == SpanPhase::kFaultEvent;
+}
+
+// Minimal scanners for the flat one-line objects this module itself writes.
+// Keys are unique per line and values are unsigned integers or plain strings,
+// so substring search is unambiguous.
+std::optional<std::uint64_t> find_uint(const std::string& line,
+                                       std::string_view key) {
+  const std::string needle = "\"" + std::string(key) + "\":";
+  const auto pos = line.find(needle);
+  if (pos == std::string::npos) return std::nullopt;
+  std::size_t i = pos + needle.size();
+  while (i < line.size() && line[i] == ' ') ++i;
+  if (i >= line.size() || line[i] < '0' || line[i] > '9') return std::nullopt;
+  std::uint64_t value = 0;
+  while (i < line.size() && line[i] >= '0' && line[i] <= '9') {
+    value = value * 10 + static_cast<std::uint64_t>(line[i] - '0');
+    ++i;
+  }
+  return value;
+}
+
+std::optional<std::string> find_string(const std::string& line,
+                                       std::string_view key) {
+  const std::string needle = "\"" + std::string(key) + "\":\"";
+  const auto pos = line.find(needle);
+  if (pos == std::string::npos) return std::nullopt;
+  const auto start = pos + needle.size();
+  const auto close = line.find('"', start);
+  if (close == std::string::npos) return std::nullopt;
+  return line.substr(start, close - start);
+}
+
+}  // namespace
+
+std::optional<SpanPhase> phase_from_string(std::string_view name) noexcept {
+  for (std::size_t i = 0; i < kNumSpanPhases; ++i) {
+    const auto phase = static_cast<SpanPhase>(i);
+    if (to_string(phase) == name) return phase;
+  }
+  return std::nullopt;
+}
+
+void write_span_jsonl(const SpanRecord& span, std::ostream& os) {
+  os << "{\"id\":" << span.id << ",\"parent\":" << span.parent
+     << ",\"phase\":\"" << to_string(span.phase) << "\",\"family\":"
+     << span.family << ",\"node\":" << span.node;
+  if (span.object != SpanRecord::kNoObject) os << ",\"object\":" << span.object;
+  os << ",\"begin\":" << span.begin << ",\"end\":" << span.end << "}\n";
+}
+
+void write_spans_jsonl(const std::vector<SpanRecord>& spans,
+                       std::ostream& os) {
+  for (const auto& span : spans) write_span_jsonl(span, os);
+}
+
+std::vector<SpanRecord> load_spans_jsonl(std::istream& is) {
+  std::vector<SpanRecord> out;
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(is, line)) {
+    ++lineno;
+    if (line.empty()) continue;
+    const auto fail = [&](const char* what) {
+      throw std::runtime_error("span jsonl line " + std::to_string(lineno) +
+                               ": " + what);
+    };
+    SpanRecord span;
+    const auto id = find_uint(line, "id");
+    const auto parent = find_uint(line, "parent");
+    const auto phase_name = find_string(line, "phase");
+    const auto family = find_uint(line, "family");
+    const auto node = find_uint(line, "node");
+    const auto begin = find_uint(line, "begin");
+    const auto end = find_uint(line, "end");
+    if (!id || !parent || !phase_name || !family || !node || !begin || !end) {
+      fail("missing field");
+    }
+    const auto phase = phase_from_string(*phase_name);
+    if (!phase) fail("unknown phase");
+    span.id = *id;
+    span.parent = *parent;
+    span.phase = *phase;
+    span.family = *family;
+    span.node = static_cast<std::uint32_t>(*node);
+    span.object = find_uint(line, "object").value_or(SpanRecord::kNoObject);
+    span.begin = *begin;
+    span.end = *end;
+    out.push_back(span);
+  }
+  return out;
+}
+
+std::vector<SpanRecord> load_spans_jsonl_file(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) throw std::runtime_error("cannot open span file: " + path);
+  return load_spans_jsonl(is);
+}
+
+void write_chrome_trace(const std::vector<SpanRecord>& spans,
+                        std::ostream& os) {
+  os << "{\"traceEvents\":[";
+  bool first = true;
+  const auto sep = [&] {
+    if (!first) os << ",";
+    first = false;
+    os << "\n";
+  };
+
+  // Metadata: name each node's process and each family lane's thread so
+  // Perfetto shows "node N" / "family F" instead of bare pids.
+  std::set<std::uint32_t> nodes;
+  std::set<std::pair<std::uint32_t, std::uint64_t>> lanes;
+  for (const auto& span : spans) {
+    nodes.insert(span.node);
+    lanes.emplace(span.node, span.family);
+  }
+  for (const auto node : nodes) {
+    sep();
+    os << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" << node
+       << ",\"tid\":0,\"args\":{\"name\":\"node " << node << "\"}}";
+  }
+  for (const auto& [node, family] : lanes) {
+    sep();
+    os << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":" << node
+       << ",\"tid\":" << family << ",\"args\":{\"name\":\"";
+    if (family == 0) {
+      os << "directory";
+    } else {
+      os << "family " << family;
+    }
+    os << "\"}}";
+  }
+
+  for (const auto& span : spans) {
+    sep();
+    os << "{\"name\":\"" << to_string(span.phase)
+       << "\",\"cat\":\"lotec\",\"ph\":\""
+       << (is_instant_phase(span.phase) ? "i" : "X") << "\",\"ts\":"
+       << span.begin;
+    if (!is_instant_phase(span.phase)) {
+      os << ",\"dur\":" << (span.end - span.begin);
+    } else {
+      os << ",\"s\":\"t\"";
+    }
+    os << ",\"pid\":" << span.node << ",\"tid\":" << span.family
+       << ",\"args\":{\"id\":" << span.id << ",\"parent\":" << span.parent;
+    if (span.object != SpanRecord::kNoObject) {
+      os << ",\"object\":" << span.object;
+    }
+    os << "}}";
+  }
+  os << "\n]}\n";
+}
+
+}  // namespace lotec

@@ -1,0 +1,41 @@
+// Serialization for span records: JSON-lines (one object per line, the
+// stream format JsonLinesSink emits and `trace_report spans` reads back)
+// and Chrome trace-event JSON (the array-of-events format Perfetto and
+// chrome://tracing load directly).  Both are hand-rolled — the repo takes
+// no JSON dependency.
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/span.hpp"
+
+namespace lotec {
+
+/// Inverse of to_string(SpanPhase); nullopt on an unknown name.
+[[nodiscard]] std::optional<SpanPhase> phase_from_string(
+    std::string_view name) noexcept;
+
+/// One span as a single-line JSON object (trailing newline included).
+/// `object` is omitted when the span has none.
+void write_span_jsonl(const SpanRecord& span, std::ostream& os);
+
+void write_spans_jsonl(const std::vector<SpanRecord>& spans, std::ostream& os);
+
+/// Parse a JSON-lines span stream (blank lines skipped).  Throws
+/// std::runtime_error with the offending line number on malformed input.
+[[nodiscard]] std::vector<SpanRecord> load_spans_jsonl(std::istream& is);
+[[nodiscard]] std::vector<SpanRecord> load_spans_jsonl_file(
+    const std::string& path);
+
+/// Chrome trace-event JSON: {"traceEvents":[...]} with one complete ("X")
+/// event per span, instant ("i") events for zero-duration phases, and
+/// process_name metadata per node.  pid = node, tid = family (0 = the
+/// directory lane).  Timestamps are logical ticks passed as microseconds.
+void write_chrome_trace(const std::vector<SpanRecord>& spans,
+                        std::ostream& os);
+
+}  // namespace lotec

@@ -1,0 +1,43 @@
+// The per-cluster observability bundle: one MetricsRegistry (always on —
+// counters are free) and one SpanTracer (off unless ObsConfig asks).
+// ClusterCore owns an Observability instance and hands pointers to the
+// tracer down to Transport, GdoService, FamilyRunner and the fault engine.
+#pragma once
+
+#include <string>
+
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
+
+namespace lotec {
+
+struct ObsConfig {
+  /// Record per-family phase spans.  Off by default; a disabled run is
+  /// bit-identical in message traffic to a build without the layer.
+  bool trace_spans = false;
+  /// When non-empty (and trace_spans), stream spans as JSON lines here.
+  std::string spans_jsonl;
+  /// When non-empty (and trace_spans), write Chrome trace-event JSON here
+  /// on flush (open in Perfetto via `trace_report spans`).
+  std::string chrome_trace;
+};
+
+struct Observability {
+  MetricsRegistry metrics;
+  SpanTracer tracer;
+
+  /// Apply config: attach the registry and enable/attach sinks.
+  void configure(const ObsConfig& cfg) {
+    tracer.set_registry(&metrics);
+    if (!cfg.trace_spans) return;
+    if (!cfg.spans_jsonl.empty()) {
+      tracer.add_sink(std::make_unique<JsonLinesSink>(cfg.spans_jsonl));
+    }
+    if (!cfg.chrome_trace.empty()) {
+      tracer.add_sink(std::make_unique<ChromeTraceSink>(cfg.chrome_trace));
+    }
+    tracer.enable();
+  }
+};
+
+}  // namespace lotec

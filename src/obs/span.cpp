@@ -1,0 +1,148 @@
+#include "obs/span.hpp"
+
+#include <fstream>
+#include <ostream>
+#include <stdexcept>
+#include <utility>
+
+#include "obs/chrome_trace.hpp"
+#include "obs/metrics.hpp"
+
+namespace lotec {
+
+std::string_view to_string(SpanPhase phase) noexcept {
+  switch (phase) {
+    case SpanPhase::kFamilyAttempt: return "family.attempt";
+    case SpanPhase::kLockAcquire: return "lock.acquire";
+    case SpanPhase::kLockInherit: return "lock.inherit";
+    case SpanPhase::kGdoRound: return "gdo.round";
+    case SpanPhase::kPageGather: return "page.gather";
+    case SpanPhase::kMethodExecute: return "method.execute";
+    case SpanPhase::kUndo: return "txn.undo";
+    case SpanPhase::kCommitReport: return "commit.report";
+    case SpanPhase::kCallbackRound: return "cache.callback_round";
+    case SpanPhase::kFaultEvent: return "fault.event";
+  }
+  return "unknown";
+}
+
+JsonLinesSink::JsonLinesSink(const std::string& path)
+    : owned_(std::make_unique<std::ofstream>(path)), os_(owned_.get()) {
+  if (!*os_) throw std::runtime_error("cannot open span sink file: " + path);
+}
+
+JsonLinesSink::JsonLinesSink(std::ostream& os) : os_(&os) {}
+
+JsonLinesSink::~JsonLinesSink() { flush(); }
+
+void JsonLinesSink::on_span(const SpanRecord& span) {
+  write_span_jsonl(span, *os_);
+}
+
+void JsonLinesSink::flush() { os_->flush(); }
+
+ChromeTraceSink::ChromeTraceSink(std::string path) : path_(std::move(path)) {}
+
+ChromeTraceSink::~ChromeTraceSink() {
+  try {
+    flush();
+  } catch (...) {
+  }
+}
+
+void ChromeTraceSink::flush() {
+  std::ofstream os(path_);
+  if (!os) throw std::runtime_error("cannot open chrome trace file: " + path_);
+  write_chrome_trace(spans_, os);
+  written_ = true;
+}
+
+void SpanTracer::enable() {
+  std::lock_guard<std::mutex> lock(mu_);
+  enabled_ = true;
+  if (registry_) {
+    for (std::size_t i = 0; i < kNumSpanPhases; ++i) {
+      const auto phase = static_cast<SpanPhase>(i);
+      phase_hist_[i] = &registry_->histogram(
+          "span." + std::string(to_string(phase)));
+    }
+  }
+}
+
+void SpanTracer::add_sink(std::unique_ptr<SpanSink> sink) {
+  std::lock_guard<std::mutex> lock(mu_);
+  sinks_.push_back(std::move(sink));
+}
+
+std::uint64_t SpanTracer::begin(SpanPhase phase, std::uint64_t family,
+                                std::uint32_t node, std::uint64_t object) {
+  if (!enabled_) return 0;
+  std::lock_guard<std::mutex> lock(mu_);
+  SpanRecord span;
+  span.id = next_id_++;
+  span.phase = phase;
+  span.family = family;
+  span.node = node;
+  span.object = object;
+  span.begin = next_tick_locked();
+  span.end = span.begin;
+  auto& stack = open_[family];
+  span.parent = stack.empty() ? 0 : stack.back().id;
+  stack.push_back(span);
+  return span.id;
+}
+
+void SpanTracer::end(std::uint64_t id, std::uint64_t family) {
+  if (!enabled_ || id == 0) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = open_.find(family);
+  if (it == open_.end() || it->second.empty()) return;
+  // Spans are strictly LIFO per family lane; close any inner spans left
+  // open by an exception unwinding past their scope.
+  auto& stack = it->second;
+  while (!stack.empty()) {
+    SpanRecord span = stack.back();
+    stack.pop_back();
+    span.end = next_tick_locked();
+    emit_locked(span);
+    if (span.id == id) break;
+  }
+}
+
+void SpanTracer::instant(SpanPhase phase, std::uint64_t family,
+                         std::uint32_t node, std::uint64_t object) {
+  if (!enabled_) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  SpanRecord span;
+  span.id = next_id_++;
+  span.phase = phase;
+  span.family = family;
+  span.node = node;
+  span.object = object;
+  span.begin = next_tick_locked();
+  span.end = span.begin;
+  auto it = open_.find(family);
+  span.parent =
+      (it == open_.end() || it->second.empty()) ? 0 : it->second.back().id;
+  emit_locked(span);
+}
+
+void SpanTracer::emit_locked(const SpanRecord& span) {
+  done_.push_back(span);
+  if (auto* hist = phase_hist_[static_cast<std::size_t>(span.phase)]) {
+    hist->record(span.end - span.begin);
+  }
+  for (auto& sink : sinks_) sink->on_span(span);
+}
+
+std::vector<SpanRecord> SpanTracer::spans() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return done_;
+}
+
+void SpanTracer::flush_sinks() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& sink : sinks_) sink->flush();
+}
+
+}  // namespace lotec

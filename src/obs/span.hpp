@@ -1,0 +1,218 @@
+// Span tracer: per-family phase spans stamped with a deterministic logical
+// clock.  The clock advances once per transport message (Transport calls
+// tick_message()) and once per span edge, so timestamps are reproducible
+// across runs with the same seed — a trace diff is a real behaviour diff.
+//
+// Disabled is the default and must be provably free: every entry point
+// checks one bool (ScopedSpan latches it in its constructor), no memory is
+// touched, and no message is ever generated either way, so traced and
+// untraced runs carry bit-identical wire traffic.
+//
+// Span phases (the taxonomy is documented in docs/PROTOCOL.md §9):
+//   family.attempt       one (re)execution attempt of a root family
+//   lock.acquire         acquiring the global lock for one object
+//   lock.inherit         pre-commit lock inheritance to the parent (instant)
+//   gdo.round            the remote GDO request/grant round inside acquire
+//   page.gather          fetching pages for an object from caching sites
+//   method.execute       running a method body
+//   txn.undo             undoing a subtree or family on abort
+//   commit.report        the commit-time release/report round
+//   cache.callback_round one callback revocation round at the directory
+//   fault.event          an injected fault firing (instant)
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/ids.hpp"
+
+namespace lotec {
+
+class MetricsRegistry;
+class LatencyHistogram;
+
+enum class SpanPhase : std::uint8_t {
+  kFamilyAttempt = 0,
+  kLockAcquire,
+  kLockInherit,
+  kGdoRound,
+  kPageGather,
+  kMethodExecute,
+  kUndo,
+  kCommitReport,
+  kCallbackRound,
+  kFaultEvent,
+};
+
+inline constexpr std::size_t kNumSpanPhases = 10;
+
+[[nodiscard]] std::string_view to_string(SpanPhase phase) noexcept;
+
+/// One completed span (or instant, when begin == end and the phase is an
+/// instant phase).  family == 0 marks the directory lane (GDO-side work not
+/// attributable to a single family).  object == kNoObject when the span is
+/// not about one object.
+struct SpanRecord {
+  static constexpr std::uint64_t kNoObject = ~std::uint64_t{0};
+
+  std::uint64_t id = 0;
+  std::uint64_t parent = 0;  // 0 = root (no enclosing span)
+  SpanPhase phase = SpanPhase::kFamilyAttempt;
+  std::uint64_t family = 0;  // 0 = directory lane
+  std::uint32_t node = 0;
+  std::uint64_t object = kNoObject;
+  std::uint64_t begin = 0;  // logical ticks
+  std::uint64_t end = 0;
+
+  friend bool operator==(const SpanRecord&, const SpanRecord&) = default;
+};
+
+/// Receives completed spans.  Sinks are invoked under the tracer mutex in
+/// span-end order; implementations must not call back into the tracer.
+class SpanSink {
+ public:
+  virtual ~SpanSink() = default;
+  virtual void on_span(const SpanRecord& span) = 0;
+  virtual void flush() {}
+};
+
+/// Test sink: collects spans in memory.
+class InMemorySink final : public SpanSink {
+ public:
+  void on_span(const SpanRecord& span) override { spans_.push_back(span); }
+  [[nodiscard]] const std::vector<SpanRecord>& spans() const { return spans_; }
+
+ private:
+  std::vector<SpanRecord> spans_;
+};
+
+/// Writes one JSON object per line (machine-readable stream; the input
+/// format of `trace_report spans`).
+class JsonLinesSink final : public SpanSink {
+ public:
+  explicit JsonLinesSink(const std::string& path);
+  explicit JsonLinesSink(std::ostream& os);  // caller keeps os alive
+  ~JsonLinesSink() override;
+
+  void on_span(const SpanRecord& span) override;
+  void flush() override;
+
+ private:
+  std::unique_ptr<std::ostream> owned_;
+  std::ostream* os_;
+};
+
+/// Buffers spans and writes a Chrome trace-event JSON file on flush (or
+/// destruction) — loadable in Perfetto / chrome://tracing.
+class ChromeTraceSink final : public SpanSink {
+ public:
+  explicit ChromeTraceSink(std::string path);
+  ~ChromeTraceSink() override;
+
+  void on_span(const SpanRecord& span) override { spans_.push_back(span); }
+  void flush() override;
+
+ private:
+  std::string path_;
+  std::vector<SpanRecord> spans_;
+  bool written_ = false;
+};
+
+class SpanTracer {
+ public:
+  /// Turn tracing on.  Pre-resolves one `span.<phase>` histogram handle per
+  /// phase when a registry was attached, so span ends stay cheap.
+  void enable();
+  [[nodiscard]] bool enabled() const noexcept { return enabled_; }
+
+  /// Attach the registry that receives span-duration histograms.  Call
+  /// before enable().
+  void set_registry(MetricsRegistry* registry) { registry_ = registry; }
+
+  /// Sinks receive every completed span; the tracer always also keeps an
+  /// in-memory record (spans()).
+  void add_sink(std::unique_ptr<SpanSink> sink);
+
+  /// Advance the logical clock for one transport message.  The disabled
+  /// cost of observability on the message path is exactly this bool check.
+  void tick_message() noexcept {
+    if (enabled_) clock_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] std::uint64_t now() const noexcept {
+    return clock_.load(std::memory_order_relaxed);
+  }
+
+  /// Open a span; returns its id (0 when disabled).  Parent is the
+  /// innermost open span of the same family lane.
+  std::uint64_t begin(SpanPhase phase, std::uint64_t family,
+                      std::uint32_t node,
+                      std::uint64_t object = SpanRecord::kNoObject);
+  /// Close the innermost open span of the family lane (must match `id`).
+  void end(std::uint64_t id, std::uint64_t family);
+  /// Record a zero-duration event (begin == end).
+  void instant(SpanPhase phase, std::uint64_t family, std::uint32_t node,
+               std::uint64_t object = SpanRecord::kNoObject);
+
+  /// All completed spans so far, in completion order.
+  [[nodiscard]] std::vector<SpanRecord> spans() const;
+
+  void flush_sinks();
+
+ private:
+  std::uint64_t next_tick_locked() noexcept {
+    return clock_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void emit_locked(const SpanRecord& span);
+
+  bool enabled_ = false;
+  std::atomic<std::uint64_t> clock_{0};
+  MetricsRegistry* registry_ = nullptr;
+  LatencyHistogram* phase_hist_[kNumSpanPhases] = {};
+
+  mutable std::mutex mu_;
+  std::uint64_t next_id_ = 1;
+  // Per family-lane stack of open spans (record kept until end()).
+  std::map<std::uint64_t, std::vector<SpanRecord>> open_;
+  std::vector<SpanRecord> done_;
+  std::vector<std::unique_ptr<SpanSink>> sinks_;
+};
+
+/// RAII span.  Latches the enabled check once; all methods are no-ops on a
+/// disabled tracer or null pointer.
+class ScopedSpan {
+ public:
+  ScopedSpan(SpanTracer* tracer, SpanPhase phase, std::uint64_t family,
+             std::uint32_t node,
+             std::uint64_t object = SpanRecord::kNoObject)
+      : tracer_(tracer && tracer->enabled() ? tracer : nullptr),
+        family_(family) {
+    if (tracer_) id_ = tracer_->begin(phase, family, node, object);
+  }
+  ~ScopedSpan() { finish(); }
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  /// Close early (idempotent).
+  void finish() {
+    if (tracer_) {
+      tracer_->end(id_, family_);
+      tracer_ = nullptr;
+    }
+  }
+
+ private:
+  SpanTracer* tracer_;
+  std::uint64_t family_;
+  std::uint64_t id_ = 0;
+};
+
+}  // namespace lotec

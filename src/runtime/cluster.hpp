@@ -37,6 +37,44 @@
 
 namespace lotec {
 
+/// Read-mostly introspection facade returned by Cluster::observe(): one
+/// handle bundling the network stats, directory, fault engine and the
+/// observability layer, so examples and tools stop collecting views through
+/// four separate getters.  Cheap to construct (wraps a ClusterCore&); valid
+/// as long as the Cluster is.
+class ClusterObservation {
+ public:
+  explicit ClusterObservation(ClusterCore& core) noexcept : core_(core) {}
+
+  [[nodiscard]] const ClusterConfig& config() const noexcept {
+    return core_.config;
+  }
+  [[nodiscard]] NetworkStats& stats() noexcept {
+    return core_.transport.stats();
+  }
+  [[nodiscard]] GdoService& gdo() noexcept { return core_.gdo; }
+  [[nodiscard]] Transport& transport() noexcept { return core_.transport; }
+  /// Null when the fault engine is not configured.
+  [[nodiscard]] FaultEngine* fault_engine() noexcept {
+    return core_.fault.get();
+  }
+  [[nodiscard]] MetricsRegistry& metrics() noexcept {
+    return core_.obs.metrics;
+  }
+  [[nodiscard]] SpanTracer& tracer() noexcept { return core_.obs.tracer; }
+  /// All spans recorded so far (empty unless config().obs.trace_spans).
+  [[nodiscard]] std::vector<SpanRecord> spans() const {
+    return core_.obs.tracer.spans();
+  }
+  /// Pages evicted under cache pressure across all nodes.
+  [[nodiscard]] std::uint64_t evicted_pages() const {
+    return core_.total_evicted_pages();
+  }
+
+ private:
+  ClusterCore& core_;
+};
+
 class Cluster {
  public:
   explicit Cluster(ClusterConfig config);
@@ -115,6 +153,13 @@ class Cluster {
                     std::span<const std::byte> in);
 
   // --- introspection ---------------------------------------------------------
+
+  /// The unified introspection facade (stats / gdo / fault engine / metrics
+  /// / spans); prefer this over the individual getters below, which are
+  /// kept for existing call sites.
+  [[nodiscard]] ClusterObservation observe() noexcept {
+    return ClusterObservation(core_);
+  }
 
   [[nodiscard]] const ClusterConfig& config() const noexcept {
     return core_.config;

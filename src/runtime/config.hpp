@@ -10,6 +10,7 @@
 #include "fault/fault_schedule.hpp"
 #include "gdo/gdo_service.hpp"
 #include "net/transport.hpp"
+#include "obs/observability.hpp"
 #include "page/undo_log.hpp"
 #include "protocol/protocol.hpp"
 
@@ -65,6 +66,8 @@ struct ClusterConfig {
   /// only up-to-date copy of a page).  Evicted pages are simply re-fetched
   /// by the normal transfer/demand machinery on the next acquisition.
   std::size_t cache_capacity_pages = 0;
+  /// Observability: span tracing config (metrics counters are always on).
+  ObsConfig obs;
 };
 
 /// Outcome and per-family metrics of one root transaction.

@@ -12,6 +12,7 @@
 #include "gdo/gdo_service.hpp"
 #include "method/registry.hpp"
 #include "net/transport.hpp"
+#include "obs/observability.hpp"
 #include "protocol/protocol.hpp"
 #include "runtime/config.hpp"
 #include "runtime/node.hpp"
@@ -31,10 +32,35 @@ struct ObjectMeta {
 
 class FamilyRunner;
 
+/// Registry handles the family runners bump on their hot paths, resolved
+/// once at cluster construction (a runner never touches the name map).
+struct CoreCounters {
+  MetricsCounter* deadlock_retries = nullptr;
+  MetricsCounter* fault_retries = nullptr;
+  MetricsCounter* demand_fetches = nullptr;
+  MetricsCounter* pages_fetched = nullptr;
+  MetricsCounter* delta_pages = nullptr;
+  MetricsCounter* remote_round_trips = nullptr;
+  MetricsCounter* page_evictions = nullptr;
+  MetricsCounter* local_lock_grants = nullptr;
+};
+
 struct ClusterCore {
   explicit ClusterCore(const ClusterConfig& cfg)
-      : config(cfg), transport(cfg.nodes, cfg.net), gdo(transport, cfg.gdo) {
+      : config(cfg), transport(cfg.nodes, cfg.net),
+        gdo(transport, cfg.gdo, &obs.metrics) {
     if (cfg.nodes == 0) throw UsageError("ClusterConfig: nodes must be >= 1");
+    obs.configure(cfg.obs);
+    transport.set_tracer(&obs.tracer);
+    gdo.set_tracer(&obs.tracer);
+    counters.deadlock_retries = &obs.metrics.counter("txn.deadlock_retries");
+    counters.fault_retries = &obs.metrics.counter("txn.fault_retries");
+    counters.demand_fetches = &obs.metrics.counter("page.demand_fetches");
+    counters.pages_fetched = &obs.metrics.counter("page.fetched");
+    counters.delta_pages = &obs.metrics.counter("page.delta");
+    counters.remote_round_trips = &obs.metrics.counter("net.round_trips");
+    counters.page_evictions = &obs.metrics.counter("page.evicted");
+    counters.local_lock_grants = &obs.metrics.counter("lock.local_grants");
     for (std::size_t k = 0; k < protocols.size(); ++k)
       protocols[k] = make_protocol(static_cast<ProtocolKind>(k));
     protocol = protocols[static_cast<std::size_t>(cfg.protocol)].get();
@@ -42,6 +68,11 @@ struct ClusterCore {
     for (std::size_t i = 0; i < cfg.nodes; ++i)
       nodes.push_back(
           std::make_unique<Node>(NodeId(static_cast<std::uint32_t>(i))));
+    {
+      MetricsCounter* retained = &obs.metrics.counter("cache.retained");
+      MetricsCounter* revoked = &obs.metrics.counter("cache.revoked");
+      for (auto& n : nodes) n->lock_cache.set_counters(retained, revoked);
+    }
     if (cfg.fault.enabled()) {
       if (cfg.scheduler != SchedulerMode::kDeterministic)
         throw UsageError(
@@ -53,6 +84,7 @@ struct ClusterCore {
             "(directory state must survive its home node)");
       fault = std::make_unique<FaultEngine>(cfg.fault, transport, gdo, nodes,
                                             cfg.page_size);
+      fault->set_tracer(&obs.tracer);
       transport.set_fault_hooks(fault.get());
     }
     if (cfg.lock_cache) {
@@ -114,6 +146,9 @@ struct ClusterCore {
   }
 
   ClusterConfig config;
+  /// Declared before transport/gdo: both capture pointers into it.
+  Observability obs;
+  CoreCounters counters;
   Transport transport;
   GdoService gdo;
   ClassRegistry registry;

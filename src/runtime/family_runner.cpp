@@ -45,6 +45,7 @@ void ClusterCore::enforce_cache_capacity(Node& node) {
       if (entry.page_map.at(p).node == node.id) continue;  // sole newest copy
       img->evict_page(p);
       ++node.evicted_pages;
+      counters.page_evictions->add();
       if (--resident <= capacity) break;
     }
     if (img->resident().empty()) {
@@ -112,6 +113,10 @@ void FamilyRunner::run() {
   int attempts = 0;
   for (;;) {
     ++attempts;
+    // The attempt span stays open through the catch handlers so undo and
+    // retry bookkeeping nest under the attempt they belong to.
+    ScopedSpan attempt_span(&core_.obs.tracer, SpanPhase::kFamilyAttempt,
+                            family_.id().value(), node_.value());
     if (eng != nullptr) {
       eng->apply_pending();
       if (eng->node_down(node_) && !relocate_family()) {
@@ -152,6 +157,7 @@ void FamilyRunner::run() {
         break;
       }
       ++result_.deadlock_retries;
+      core_.counters.deadlock_retries->add();
       if (core_.scheduler->cancelled() ||
           attempts >= core_.config.max_retries) {
         result_.committed = false;
@@ -281,6 +287,7 @@ bool FamilyRunner::crash_retry(int attempts, bool was_committing) {
   if (was_committing) result_.crashed_in_commit = true;
   discard_local_state();
   ++result_.fault_retries;
+  core_.counters.fault_retries->add();
   // A crash inside commit processing leaves a partially committed family
   // (some objects released with their new versions published, the rest
   // reclaimed by lease).  Re-running it would double-apply the committed
@@ -329,6 +336,7 @@ bool FamilyRunner::transient_retry(int attempts) {
     discard_local_state();
   }
   ++result_.fault_retries;
+  core_.counters.fault_retries->add();
   if (core_.scheduler->cancelled() || attempts >= core_.config.max_retries) {
     result_.committed = false;
     result_.reason = AbortReason::kNodeFailure;
@@ -361,9 +369,15 @@ bool FamilyRunner::run_invocation(Transaction* parent, ObjectId object,
     if (parent == nullptr) run_prefetch(txn);
     acquire_for(txn, object, summary);
     MethodContext ctx(*this, txn, cls, mdef);
-    mdef.body(ctx);
+    {
+      ScopedSpan exec(&core_.obs.tracer, SpanPhase::kMethodExecute,
+                      family_.id().value(), node_.value(), object.value());
+      mdef.body(ctx);
+    }
     if (parent != nullptr) {
       txn.pre_commit();
+      core_.obs.tracer.instant(SpanPhase::kLockInherit, family_.id().value(),
+                               node_.value(), object.value());
       family_.locks().on_pre_commit(txn);
     } else {
       commit_root(txn);
@@ -384,6 +398,8 @@ bool FamilyRunner::run_invocation(Transaction* parent, ObjectId object,
 
 void FamilyRunner::acquire_for(const Transaction& txn, ObjectId object,
                                const AccessSummary& summary) {
+  ScopedSpan acquire_span(&core_.obs.tracer, SpanPhase::kLockAcquire,
+                          family_.id().value(), node_.value(), object.value());
   const LockMode mode =
       summary.needs_write_lock ? LockMode::kWrite : LockMode::kRead;
   const LocalAcquireOutcome outcome =
@@ -392,6 +408,7 @@ void FamilyRunner::acquire_for(const Transaction& txn, ObjectId object,
   if (outcome == LocalAcquireOutcome::kGranted) {
     core_.transport.record_local_lock_op();
     ++result_.local_lock_grants;
+    core_.counters.local_lock_grants->add();
     {
       Node& mine = core_.node(node_);
       std::lock_guard<std::mutex> lock(mine.store_mu);
@@ -420,6 +437,8 @@ void FamilyRunner::acquire_for(const Transaction& txn, ObjectId object,
   }
 
   const bool remote = core_.gdo.home_of(object) != node_;
+  ScopedSpan gdo_round(&core_.obs.tracer, SpanPhase::kGdoRound,
+                       family_.id().value(), node_.value(), object.value());
   core_.scheduler->preempt(index_);  // interleaving point at a global op
   AcquireResult res = core_.gdo.acquire(object, txn.id(), node_, mode);
   bool upgrade = outcome == LocalAcquireOutcome::kNeedUpgrade;
@@ -438,7 +457,11 @@ void FamilyRunner::acquire_for(const Transaction& txn, ObjectId object,
     upgrade = res.upgrade;
     granted_map = std::move(res.page_map);
   }
-  if (remote && !prefetch_batch_) ++result_.remote_round_trips;
+  gdo_round.finish();
+  if (remote && !prefetch_batch_) {
+    ++result_.remote_round_trips;
+    core_.counters.remote_round_trips->add();
+  }
 
   family_.locks().on_global_grant(txn, object, mode, upgrade);
   if (!upgrade) {
@@ -462,6 +485,9 @@ void FamilyRunner::run_prefetch(const Transaction& root) {
   bool any_remote = false;
   for (const auto& [object, method] : request_.prefetch) {
     if (family_.locks().find(object) != nullptr) continue;
+    ScopedSpan acquire_span(&core_.obs.tracer, SpanPhase::kLockAcquire,
+                            family_.id().value(), node_.value(),
+                            object.value());
     const ObjectMeta meta = core_.meta_of(object);
     const AccessSummary& summary =
         core_.registry.get(meta.cls).summary(method);
@@ -508,6 +534,7 @@ void FamilyRunner::run_prefetch(const Transaction& root) {
   // The point of pre-acquisition is pipelining: model the whole batch as a
   // single blocking round trip on the family's critical path.
   result_.remote_round_trips = trips_before + (any_remote ? 1 : 0);
+  if (any_remote) core_.counters.remote_round_trips->add();
 }
 
 bool FamilyRunner::try_cache_regrant(const Transaction& txn, ObjectId object,
@@ -540,6 +567,7 @@ bool FamilyRunner::try_cache_regrant(const Transaction& txn, ObjectId object,
   // until the release merges into it or a flush publishes it.
   core_.transport.record_local_lock_op();
   ++result_.local_lock_grants;
+  core_.counters.local_lock_grants->add();
   if (prefetch)
     family_.locks().on_prefetch_grant(txn, object, *granted);
   else
@@ -556,6 +584,8 @@ bool FamilyRunner::try_cache_regrant(const Transaction& txn, ObjectId object,
 void FamilyRunner::fetch_pages(ObjectId object, ObjectImage& image,
                                PageSet pages, bool demand) {
   if (pages.empty()) return;
+  ScopedSpan gather(&core_.obs.tracer, SpanPhase::kPageGather,
+                    family_.id().value(), node_.value(), object.value());
   const auto mit = object_maps_.find(object);
   if (mit == object_maps_.end())
     throw Error("fetch_pages without a cached page map");
@@ -624,6 +654,7 @@ void FamilyRunner::fetch_pages(ObjectId object, ObjectImage& image,
           patched.emplace_back(p, std::move(patch));
           reply_payload += *chain;
           ++result_.delta_pages;
+          core_.counters.delta_pages->add();
         } else {
           reply_payload += core_.config.page_size + 8ULL;
           copied.emplace_back(p, page);
@@ -657,9 +688,16 @@ void FamilyRunner::fetch_pages(ObjectId object, ObjectImage& image,
           core_.fault->note_page(node_, object, num_pages, p, image.page(p));
       }
     }
-    if (!prefetch_batch_) ++result_.remote_round_trips;
+    if (!prefetch_batch_) {
+      ++result_.remote_round_trips;
+      core_.counters.remote_round_trips->add();
+    }
     result_.pages_fetched += wanted.size();
-    if (demand) ++result_.demand_fetches;
+    core_.counters.pages_fetched->add(wanted.size());
+    if (demand) {
+      ++result_.demand_fetches;
+      core_.counters.demand_fetches->add();
+    }
   }
   core_.enforce_cache_capacity(core_.node(node_));
 }
@@ -700,11 +738,17 @@ void FamilyRunner::commit_root(Transaction& root) {
   // stamped, locks released); a crash inside this window must not retry.
   committing_ = true;
   root.commit_root();
-  release_all(/*commit=*/true);
+  {
+    ScopedSpan report(&core_.obs.tracer, SpanPhase::kCommitReport,
+                      family_.id().value(), node_.value());
+    release_all(/*commit=*/true);
+  }
   committing_ = false;
 }
 
 void FamilyRunner::abort_subtree(Transaction& txn) {
+  ScopedSpan undo(&core_.obs.tracer, SpanPhase::kUndo, family_.id().value(),
+                  node_.value(), txn.target().value());
   txn.abort(undo_resolver());
   const std::vector<ObjectId> to_release = family_.locks().on_abort(txn);
   if (to_release.empty()) return;
@@ -724,6 +768,8 @@ void FamilyRunner::abort_subtree(Transaction& txn) {
 }
 
 void FamilyRunner::abort_family(AbortReason /*reason*/) {
+  ScopedSpan undo(&core_.obs.tracer, SpanPhase::kUndo, family_.id().value(),
+                  node_.value());
   // UNDO the active path bottom-up (pre-committed children were absorbed
   // into their parents' logs; aborted ones already rolled back).
   const auto resolve = undo_resolver();

@@ -57,6 +57,13 @@ struct CachedLock {
 
 class GlobalLockCache {
  public:
+  /// Attach cluster-wide tallies (cache.retained / cache.revoked); null
+  /// handles (standalone tests) leave the cache untallied.
+  void set_counters(MetricsCounter* retained, MetricsCounter* revoked) {
+    retained_ = retained;
+    revoked_ = revoked;
+  }
+
   [[nodiscard]] std::optional<CachedLock> lookup(ObjectId obj) const {
     std::lock_guard<std::mutex> lock(mu_);
     const auto it = entries_.find(obj);
@@ -78,6 +85,7 @@ class GlobalLockCache {
     std::lock_guard<std::mutex> lock(mu_);
     entry.last_use = ++use_tick_;
     entries_.insert_or_assign(obj, std::move(entry));
+    if (retained_ != nullptr) retained_->add();
   }
 
   void erase(ObjectId obj) {
@@ -97,6 +105,7 @@ class GlobalLockCache {
       entries_.erase(it);
     else
       it->second.mode = LockMode::kRead;
+    if (revoked_ != nullptr) revoked_->add();
     return flush;
   }
 
@@ -154,6 +163,8 @@ class GlobalLockCache {
   mutable std::mutex mu_;
   std::unordered_map<ObjectId, CachedLock> entries_;
   std::uint64_t use_tick_ = 0;
+  MetricsCounter* retained_ = nullptr;
+  MetricsCounter* revoked_ = nullptr;
 };
 
 }  // namespace lotec

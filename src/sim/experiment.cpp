@@ -54,8 +54,81 @@ std::vector<std::pair<ObjectId, MethodId>> script_lock_set(
 
 }  // namespace
 
+void ExperimentOptions::validate() const {
+  if (nodes == 0)
+    throw UsageError("ExperimentOptions: nodes must be >= 1");
+  if (page_size == 0)
+    throw UsageError("ExperimentOptions: page_size must be > 0");
+  if (max_active_families == 0)
+    throw UsageError("ExperimentOptions: max_active_families must be >= 1");
+  if (lock_cache_capacity > 0 && !lock_cache)
+    throw UsageError(
+        "ExperimentOptions: lock_cache_capacity = " +
+        std::to_string(lock_cache_capacity) +
+        " but lock_cache is off — enable lock_cache or drop the capacity");
+  if (site_locality < -1.0 || site_locality > 1.0)
+    throw UsageError(
+        "ExperimentOptions: site_locality must lie in [-1, 1] (negative "
+        "disables hot-site placement); got " + std::to_string(site_locality));
+  const auto check_probability = [](double p, const char* name) {
+    if (p < 0.0 || p > 1.0)
+      throw UsageError(std::string("ExperimentOptions: fault.") + name +
+                       " must be a probability in [0, 1]; got " +
+                       std::to_string(p));
+  };
+  check_probability(fault.drop_probability, "drop_probability");
+  check_probability(fault.duplicate_probability, "duplicate_probability");
+  check_probability(fault.delay_probability, "delay_probability");
+  const auto in_cluster = [&](NodeId n) {
+    return n.valid() && n.value() < nodes;
+  };
+  for (std::size_t i = 0; i < fault.events.size(); ++i) {
+    const FaultEvent& ev = fault.events[i];
+    const bool node_action = ev.action == FaultAction::kCrashNode ||
+                             ev.action == FaultAction::kRestartNode;
+    if (node_action && ev.target == FaultTarget::kFixed &&
+        !in_cluster(ev.node))
+      throw UsageError(
+          "ExperimentOptions: fault event #" + std::to_string(i) +
+          " crashes/restarts node " +
+          (ev.node.valid() ? std::to_string(ev.node.value()) : "<invalid>") +
+          " but the cluster has nodes 0.." + std::to_string(nodes - 1) +
+          " — there is no such node to fault");
+    for (const NodeId n : ev.group_a)
+      if (!in_cluster(n))
+        throw UsageError(
+            "ExperimentOptions: fault event #" + std::to_string(i) +
+            " partitions node " + std::to_string(n.value()) +
+            " outside the cluster (nodes 0.." + std::to_string(nodes - 1) +
+            ")");
+    for (const NodeId n : ev.group_b)
+      if (!in_cluster(n))
+        throw UsageError(
+            "ExperimentOptions: fault event #" + std::to_string(i) +
+            " partitions node " + std::to_string(n.value()) +
+            " outside the cluster (nodes 0.." + std::to_string(nodes - 1) +
+            ")");
+  }
+  if (!trace_spans && (!spans_jsonl.empty() || !chrome_trace.empty()))
+    throw UsageError(
+        "ExperimentOptions: spans_jsonl/chrome_trace name span output files "
+        "but trace_spans is off — set trace_spans = true to record spans");
+}
+
+std::string protocol_trace_path(const std::string& base,
+                                ProtocolKind protocol) {
+  const std::string tag = "_" + std::string(to_string(protocol));
+  const auto dot = base.rfind('.');
+  const auto slash = base.find_last_of("/\\");
+  if (dot == std::string::npos ||
+      (slash != std::string::npos && dot < slash))
+    return base + tag;
+  return base.substr(0, dot) + tag + base.substr(dot);
+}
+
 ScenarioResult run_scenario(const Workload& workload, ProtocolKind protocol,
                             const ExperimentOptions& options) {
+  options.validate();
   ClusterConfig cfg;
   cfg.nodes = options.nodes;
   cfg.protocol = protocol;
@@ -69,6 +142,9 @@ ScenarioResult run_scenario(const Workload& workload, ProtocolKind protocol,
   cfg.lock_cache_capacity = options.lock_cache_capacity;
   cfg.fault = options.fault;
   if (options.fault.has_node_faults()) cfg.gdo.replicate = true;
+  cfg.obs.trace_spans = options.trace_spans;
+  cfg.obs.spans_jsonl = options.spans_jsonl;
+  cfg.obs.chrome_trace = options.chrome_trace;
   Cluster cluster(cfg);
   if (options.record_trace) cluster.stats().enable_trace(std::size_t{1} << 22);
 
@@ -96,22 +172,33 @@ ScenarioResult run_scenario(const Workload& workload, ProtocolKind protocol,
   for (std::size_t i = 0; i < workload.num_objects(); ++i)
     out.object_ids.push_back(ObjectId(i));
 
-  const NetworkStats& stats = cluster.stats();
+  ClusterObservation obs = cluster.observe();
+  const NetworkStats& stats = obs.stats();
   out.per_object = stats.per_object();
   for (const ObjectId id : out.object_ids)
     out.page_data[id] = stats.page_data_by_object(id);
   out.total = stats.total();
-  out.local_lock_ops = stats.local_lock_ops();
-  for (std::size_t k = 0;
-       k < static_cast<std::size_t>(MessageKind::kNumKinds); ++k) {
-    const auto kind = static_cast<MessageKind>(k);
-    const TrafficCounter c = stats.by_kind(kind);
-    if (is_lock_kind(kind)) out.lock_messages += c.messages;
-    if (is_page_kind(kind)) out.page_messages += c.messages;
+
+  // Fold stats-derived measurements into the registry so the counters map
+  // is the single complete snapshot.  Everything the runners and the
+  // directory tally ("txn.*", "page.*", "cache.*", "lease.*",
+  // "net.round_trips", "lock.local_grants") is already there — only the
+  // message-kind classification and the local-lock tally live in
+  // NetworkStats and get folded here.
+  MetricsRegistry& metrics = obs.metrics();
+  metrics.counter("lock.local_ops").add(stats.local_lock_ops());
+  {
+    std::uint64_t lock_msgs = 0, page_msgs = 0;
+    for (std::size_t k = 0;
+         k < static_cast<std::size_t>(MessageKind::kNumKinds); ++k) {
+      const auto kind = static_cast<MessageKind>(k);
+      const TrafficCounter c = stats.by_kind(kind);
+      if (is_lock_kind(kind)) lock_msgs += c.messages;
+      if (is_page_kind(kind)) page_msgs += c.messages;
+    }
+    metrics.counter("net.lock_messages").add(lock_msgs);
+    metrics.counter("net.page_messages").add(page_msgs);
   }
-  out.cache_regrants = cluster.gdo().cache_regrants();
-  out.cache_callbacks = cluster.gdo().cache_callbacks();
-  out.cache_flushes = cluster.gdo().cache_flushes();
 
   std::vector<double> trips;
   trips.reserve(results.size());
@@ -120,20 +207,21 @@ ScenarioResult run_scenario(const Workload& workload, ProtocolKind protocol,
       ++out.committed;
     else
       ++out.aborted;
-    out.deadlock_retries += static_cast<std::uint64_t>(r.deadlock_retries);
-    out.demand_fetches += r.demand_fetches;
-    out.pages_fetched += r.pages_fetched;
-    out.delta_pages += r.delta_pages;
-    out.remote_round_trips += r.remote_round_trips;
-    out.fault_retries += static_cast<std::uint64_t>(r.fault_retries);
     if (r.crashed_in_commit) ++out.crashed_in_commit;
     trips.push_back(static_cast<double>(r.remote_round_trips));
   }
   out.round_trips_p50 = percentile(trips, 50);
   out.round_trips_p95 = percentile(trips, 95);
-  if (const FaultEngine* engine = cluster.fault_engine())
+  if (const FaultEngine* engine = obs.fault_engine())
     out.fault_stats = engine->stats();
   if (options.record_trace) out.trace = stats.trace();
+
+  out.counters = metrics.counters();
+  if (options.trace_spans) {
+    obs.tracer().flush_sinks();
+    out.spans = obs.spans();
+    out.histograms = metrics.histograms();
+  }
   return out;
 }
 
@@ -142,8 +230,14 @@ std::vector<ScenarioResult> run_protocol_suite(
     const ExperimentOptions& options) {
   std::vector<ScenarioResult> out;
   out.reserve(protocols.size());
-  for (const ProtocolKind p : protocols)
-    out.push_back(run_scenario(workload, p, options));
+  for (const ProtocolKind p : protocols) {
+    ExperimentOptions per = options;
+    if (!per.spans_jsonl.empty())
+      per.spans_jsonl = protocol_trace_path(per.spans_jsonl, p);
+    if (!per.chrome_trace.empty())
+      per.chrome_trace = protocol_trace_path(per.chrome_trace, p);
+    out.push_back(run_scenario(workload, p, per));
+  }
   return out;
 }
 

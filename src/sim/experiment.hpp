@@ -3,6 +3,8 @@
 // figures report.
 #pragma once
 
+#include <cstdint>
+#include <map>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -13,6 +15,15 @@
 namespace lotec {
 
 /// Everything measured from one (workload, protocol) run.
+///
+/// Counter redesign (PR 3): the flat per-run tallies now live in `counters`,
+/// a name -> value snapshot of the cluster's MetricsRegistry taken at the
+/// end of the run (naming conventions: PROTOCOL.md §9).  The former flat
+/// fields (`lock_messages`, `cache_regrants`, ...) remain as thin accessor
+/// methods over that map — call sites migrate by adding `()`.  New
+/// measurements get a registry name and are readable via `counter(name)`
+/// without touching this struct; the accessors below exist only for
+/// compatibility and are documented as deprecated in DESIGN.md.
 struct ScenarioResult {
   ProtocolKind protocol = ProtocolKind::kLotec;
   /// Object ids in creation order (Oi of the figures = object_ids[i]).
@@ -22,34 +33,72 @@ struct ScenarioResult {
   /// Page-data-only traffic per object.
   std::unordered_map<ObjectId, TrafficCounter> page_data;
   TrafficCounter total;
-  std::uint64_t local_lock_ops = 0;
-  // Per-kind aggregates needed by the locking-overhead analysis.
-  std::uint64_t lock_messages = 0;
-  std::uint64_t page_messages = 0;
-  // Lock-cache tallies (zero unless options.lock_cache).
-  std::uint64_t cache_regrants = 0;
-  std::uint64_t cache_callbacks = 0;
-  std::uint64_t cache_flushes = 0;
+  /// End-of-run snapshot of every named counter in the cluster's
+  /// MetricsRegistry (sorted by name; zero-valued entries included).
+  std::map<std::string, std::uint64_t> counters;
+  /// Span-duration histograms by name ("span.<phase>"), populated only when
+  /// options.trace_spans was set.
+  std::map<std::string, HistogramSnapshot> histograms;
+  /// All spans recorded during the run (empty unless options.trace_spans).
+  std::vector<SpanRecord> spans;
   // Transaction outcomes.
   std::size_t committed = 0;
   std::size_t aborted = 0;
-  std::uint64_t deadlock_retries = 0;
-  std::uint64_t demand_fetches = 0;
-  std::uint64_t pages_fetched = 0;
-  std::uint64_t delta_pages = 0;
-  std::uint64_t remote_round_trips = 0;
+  std::size_t crashed_in_commit = 0;
   /// Distribution of blocking round trips per root transaction (the
   /// latency proxy the prefetch ablation reduces).
   double round_trips_p50 = 0;
   double round_trips_p95 = 0;
   // Fault-injection accounting (zero unless options.fault enables the
   // engine; fault_stats also reflects the install_hooks-only ablation).
-  std::uint64_t fault_retries = 0;
-  std::size_t crashed_in_commit = 0;
   FaultStats fault_stats;
   /// Full message trace, recorded when options.record_trace is set (the
   /// fault ablation compares runs for byte-identical traffic).
   std::vector<TraceEvent> trace;
+
+  /// Value of a named registry counter; 0 when never registered.
+  [[nodiscard]] std::uint64_t counter(const std::string& name) const {
+    const auto it = counters.find(name);
+    return it == counters.end() ? 0 : it->second;
+  }
+
+  // Compatibility accessors over `counters` (deprecated; see DESIGN.md).
+  [[nodiscard]] std::uint64_t local_lock_ops() const {
+    return counter("lock.local_ops");
+  }
+  [[nodiscard]] std::uint64_t lock_messages() const {
+    return counter("net.lock_messages");
+  }
+  [[nodiscard]] std::uint64_t page_messages() const {
+    return counter("net.page_messages");
+  }
+  [[nodiscard]] std::uint64_t cache_regrants() const {
+    return counter("cache.regrants");
+  }
+  [[nodiscard]] std::uint64_t cache_callbacks() const {
+    return counter("cache.callbacks");
+  }
+  [[nodiscard]] std::uint64_t cache_flushes() const {
+    return counter("cache.flushes");
+  }
+  [[nodiscard]] std::uint64_t deadlock_retries() const {
+    return counter("txn.deadlock_retries");
+  }
+  [[nodiscard]] std::uint64_t demand_fetches() const {
+    return counter("page.demand_fetches");
+  }
+  [[nodiscard]] std::uint64_t pages_fetched() const {
+    return counter("page.fetched");
+  }
+  [[nodiscard]] std::uint64_t delta_pages() const {
+    return counter("page.delta");
+  }
+  [[nodiscard]] std::uint64_t remote_round_trips() const {
+    return counter("net.round_trips");
+  }
+  [[nodiscard]] std::uint64_t fault_retries() const {
+    return counter("txn.fault_retries");
+  }
 
   [[nodiscard]] TrafficCounter object_traffic(ObjectId id) const {
     const auto it = per_object.find(id);
@@ -89,6 +138,19 @@ struct ExperimentOptions {
   FaultConfig fault;
   /// Record the full message trace into ScenarioResult::trace.
   bool record_trace = false;
+  /// Record per-family phase spans into ScenarioResult::spans (and the
+  /// span.<phase> histograms).  Off by default; a disabled run produces
+  /// bit-identical message traffic.
+  bool trace_spans = false;
+  /// Stream spans as JSON lines to this file (requires trace_spans).
+  std::string spans_jsonl;
+  /// Write Chrome trace-event JSON (Perfetto-loadable) to this file at the
+  /// end of the run (requires trace_spans).
+  std::string chrome_trace;
+
+  /// Reject incoherent option combinations with an actionable UsageError.
+  /// Called by run_scenario before any cluster is built.
+  void validate() const;
 };
 
 /// Run `workload` under `protocol` on a fresh cluster.
@@ -97,9 +159,16 @@ struct ExperimentOptions {
                                           const ExperimentOptions& options = {});
 
 /// Run the workload under each protocol in `protocols` (fresh identical
-/// cluster each time).
+/// cluster each time).  When options name span output files, each
+/// protocol's files get a `_<PROTOCOL>` suffix before the extension (see
+/// protocol_trace_path).
 [[nodiscard]] std::vector<ScenarioResult> run_protocol_suite(
     const Workload& workload, const std::vector<ProtocolKind>& protocols,
     const ExperimentOptions& options = {});
+
+/// `base` with `_<PROTOCOL>` inserted before the extension:
+/// ("trace.json", kLotec) -> "trace_LOTEC.json".
+[[nodiscard]] std::string protocol_trace_path(const std::string& base,
+                                              ProtocolKind protocol);
 
 }  // namespace lotec

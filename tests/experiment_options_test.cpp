@@ -1,0 +1,162 @@
+// ExperimentOptions::validate(): every incoherent knob combination is
+// rejected up front with an actionable UsageError (run_scenario calls it
+// before building a cluster).
+#include <gtest/gtest.h>
+
+#include "sim/experiment.hpp"
+#include "sim/scenarios.hpp"
+
+namespace lotec {
+namespace {
+
+/// The validation error for `options` must mention every `needles` substring
+/// (the message has to tell the user what to change, not just say "invalid").
+void expect_rejected(const ExperimentOptions& options,
+                     std::initializer_list<const char*> needles) {
+  try {
+    options.validate();
+    FAIL() << "expected UsageError";
+  } catch (const UsageError& e) {
+    const std::string what = e.what();
+    for (const char* needle : needles)
+      EXPECT_NE(what.find(needle), std::string::npos)
+          << "message '" << what << "' lacks '" << needle << "'";
+  }
+}
+
+TEST(ExperimentOptionsTest, DefaultsValidate) {
+  const ExperimentOptions options;
+  EXPECT_NO_THROW(options.validate());
+}
+
+TEST(ExperimentOptionsTest, RejectsEmptyCluster) {
+  ExperimentOptions options;
+  options.nodes = 0;
+  expect_rejected(options, {"nodes"});
+
+  options = {};
+  options.page_size = 0;
+  expect_rejected(options, {"page_size"});
+
+  options = {};
+  options.max_active_families = 0;
+  expect_rejected(options, {"max_active_families"});
+}
+
+TEST(ExperimentOptionsTest, RejectsLockCacheCapacityWithoutLockCache) {
+  ExperimentOptions options;
+  options.lock_cache_capacity = 8;
+  expect_rejected(options, {"lock_cache_capacity", "enable lock_cache"});
+
+  options.lock_cache = true;
+  EXPECT_NO_THROW(options.validate());
+}
+
+TEST(ExperimentOptionsTest, RejectsSiteLocalityOutsideUnitRange) {
+  ExperimentOptions options;
+  options.site_locality = 1.5;
+  expect_rejected(options, {"site_locality", "[-1, 1]"});
+
+  options.site_locality = -2.0;
+  expect_rejected(options, {"site_locality"});
+
+  options.site_locality = -1.0;  // negative within range disables the knob
+  EXPECT_NO_THROW(options.validate());
+  options.site_locality = 1.0;
+  EXPECT_NO_THROW(options.validate());
+}
+
+TEST(ExperimentOptionsTest, RejectsFaultProbabilitiesOutsideUnitRange) {
+  ExperimentOptions options;
+  options.fault.drop_probability = 1.5;
+  expect_rejected(options, {"drop_probability", "[0, 1]"});
+
+  options = {};
+  options.fault.duplicate_probability = -0.1;
+  expect_rejected(options, {"duplicate_probability"});
+
+  options = {};
+  options.fault.delay_probability = 2.0;
+  expect_rejected(options, {"delay_probability"});
+}
+
+TEST(ExperimentOptionsTest, RejectsFaultsAgainstNonexistentNodes) {
+  // Crash targeting a node outside the cluster.
+  ExperimentOptions options;
+  options.nodes = 4;
+  FaultEvent crash;
+  crash.action = FaultAction::kCrashNode;
+  crash.at_tick = 10;
+  crash.node = NodeId(7);
+  options.fault.events.push_back(crash);
+  expect_rejected(options, {"node 7", "no such node"});
+
+  // Crash with no target node at all.
+  options.fault.events[0].node = NodeId{};
+  expect_rejected(options, {"no such node"});
+
+  // A valid target passes.
+  options.fault.events[0].node = NodeId(3);
+  EXPECT_NO_THROW(options.validate());
+
+  // Partition naming a node outside the cluster.
+  options = {};
+  options.nodes = 4;
+  FaultEvent part;
+  part.action = FaultAction::kPartitionStart;
+  part.at_tick = 10;
+  part.group_a = {NodeId(0), NodeId(9)};
+  part.group_b = {NodeId(1)};
+  options.fault.events.push_back(part);
+  expect_rejected(options, {"partitions node 9"});
+}
+
+TEST(ExperimentOptionsTest, MessageTargetedFaultsNeedNoFixedNode) {
+  // kMessageSrc/kMessageDst crashes resolve their node at fire time — the
+  // fixed-node check must not reject them.
+  ExperimentOptions options;
+  options.nodes = 4;
+  FaultEvent crash;
+  crash.action = FaultAction::kCrashNode;
+  crash.on_kind = MessageKind::kLockAcquireRequest;
+  crash.target = FaultTarget::kMessageDst;
+  options.fault.events.push_back(crash);
+  EXPECT_NO_THROW(options.validate());
+}
+
+TEST(ExperimentOptionsTest, RejectsSpanFilesWithoutTracing) {
+  ExperimentOptions options;
+  options.spans_jsonl = "spans.jsonl";
+  expect_rejected(options, {"trace_spans"});
+
+  options = {};
+  options.chrome_trace = "trace.json";
+  expect_rejected(options, {"trace_spans"});
+
+  options.trace_spans = true;
+  EXPECT_NO_THROW(options.validate());
+}
+
+TEST(ExperimentOptionsTest, RunScenarioValidatesBeforeBuildingACluster) {
+  WorkloadSpec spec = scenarios::medium_high_contention();
+  spec.num_transactions = 1;
+  const Workload workload(spec);
+  ExperimentOptions options;
+  options.site_locality = 2.0;
+  EXPECT_THROW((void)run_scenario(workload, ProtocolKind::kLotec, options),
+               UsageError);
+}
+
+TEST(ExperimentOptionsTest, ProtocolTracePathInsertsTagBeforeExtension) {
+  EXPECT_EQ(protocol_trace_path("trace.json", ProtocolKind::kLotec),
+            "trace_LOTEC.json");
+  EXPECT_EQ(protocol_trace_path("out/spans.jsonl", ProtocolKind::kCotec),
+            "out/spans_COTEC.jsonl");
+  EXPECT_EQ(protocol_trace_path("spans", ProtocolKind::kRc), "spans_RC");
+  // A dot inside a directory name is not an extension.
+  EXPECT_EQ(protocol_trace_path("run.d/spans", ProtocolKind::kOtec),
+            "run.d/spans_OTEC");
+}
+
+}  // namespace
+}  // namespace lotec

@@ -172,8 +172,10 @@ TEST(LockCacheTest, CapacityEvictionFlushesLeastRecentlyUsedEntry) {
 }
 
 TEST(LockCacheTest, DisabledKnobsAreInertOnTheWire) {
-  // lock_cache=false must behave bit-identically no matter what the other
-  // cache knobs say: same messages, same bytes, same order.
+  // An unbounded cache config (capacity 0) with the cache itself off must
+  // behave bit-identically to the plain config: same messages, same bytes,
+  // same order.  A *bounded* capacity with the cache off is no longer
+  // silently ignored — ExperimentOptions::validate() rejects it up front.
   WorkloadSpec spec = scenarios::medium_high_contention();
   spec.num_transactions = 60;
   const Workload workload(spec);
@@ -183,16 +185,21 @@ TEST(LockCacheTest, DisabledKnobsAreInertOnTheWire) {
   base.record_trace = true;
   ExperimentOptions knobs = base;
   knobs.lock_cache = false;
-  knobs.lock_cache_capacity = 4;  // must be ignored while disabled
+  knobs.lock_cache_capacity = 0;
 
   const ScenarioResult a = run_scenario(workload, ProtocolKind::kLotec, base);
   const ScenarioResult b = run_scenario(workload, ProtocolKind::kLotec, knobs);
   EXPECT_EQ(a.trace, b.trace);
   EXPECT_EQ(a.total.messages, b.total.messages);
   EXPECT_EQ(a.total.bytes, b.total.bytes);
-  EXPECT_EQ(b.cache_regrants, 0u);
-  EXPECT_EQ(b.cache_callbacks, 0u);
-  EXPECT_EQ(b.cache_flushes, 0u);
+  EXPECT_EQ(b.cache_regrants(), 0u);
+  EXPECT_EQ(b.cache_callbacks(), 0u);
+  EXPECT_EQ(b.cache_flushes(), 0u);
+
+  // The previously inert combination is now a configuration error.
+  ExperimentOptions bad = base;
+  bad.lock_cache_capacity = 4;
+  EXPECT_THROW(bad.validate(), UsageError);
 }
 
 TEST(LockCacheTest, HotSiteWorkloadCutsLockTraffic) {
@@ -215,8 +222,8 @@ TEST(LockCacheTest, HotSiteWorkloadCutsLockTraffic) {
 
   EXPECT_EQ(on.committed, off.committed);
   EXPECT_EQ(on.aborted, off.aborted);
-  EXPECT_GT(on.cache_regrants, 0u);
-  EXPECT_LT(on.lock_messages, off.lock_messages);
+  EXPECT_GT(on.cache_regrants(), 0u);
+  EXPECT_LT(on.lock_messages(), off.lock_messages());
 }
 
 /// One seeded chaos run with the lock cache on: crash + restart the hot

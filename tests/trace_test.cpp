@@ -59,14 +59,18 @@ TEST(TraceTest, CsvRoundTrip) {
   dump_trace_csv(events, ss);
   const auto parsed = load_trace_csv(ss);
   ASSERT_EQ(parsed.size(), 2u);
+  EXPECT_EQ(parsed[0].seq, 1u);
   EXPECT_EQ(parsed[0].kind, MessageKind::kLockAcquireRequest);
   EXPECT_EQ(parsed[0].src, NodeId(0));
   EXPECT_EQ(parsed[0].dst, NodeId(3));
   EXPECT_EQ(parsed[0].object, ObjectId(9));
   EXPECT_EQ(parsed[0].payload_bytes, 24u);
   EXPECT_EQ(parsed[0].total_bytes, 88u);
+  EXPECT_EQ(parsed[1].seq, 2u);
   EXPECT_FALSE(parsed[1].object.valid());
   EXPECT_EQ(parsed[1].kind, MessageKind::kGdoReplicaSync);
+  // Whole-struct round trip: every TraceEvent field survives the CSV.
+  EXPECT_EQ(parsed, events);
 }
 
 TEST(TraceTest, LoadRejectsMalformedCsv) {

@@ -70,7 +70,9 @@ void usage() {
       "  --per-object         print the per-object byte series\n"
       "  --time-model         print the Figure 6-8 time sweep\n"
       "  --validate           check quiescent-state invariants afterwards\n"
-      "  --trace=FILE         dump a message-trace CSV of the last protocol\n";
+      "  --trace=FILE         dump a message-trace CSV of the last protocol\n"
+      "  --spans=FILE         record phase spans; writes FILE (JSON lines)\n"
+      "                       and FILE.chrome.json (Perfetto-loadable)\n";
 }
 
 ProtocolKind parse_protocol(const std::string& name) {
@@ -122,6 +124,11 @@ bool parse_one(Args& args, const std::string& arg) {
   else if (key == "--time-model") args.time_model = true;
   else if (key == "--validate") args.validate = true;
   else if (key == "--trace") args.trace_path = val;
+  else if (key == "--spans") {
+    args.options.trace_spans = true;
+    args.options.spans_jsonl = val;
+    args.options.chrome_trace = val + ".chrome.json";
+  }
   else return false;
   return true;
 }
@@ -159,18 +166,40 @@ int main(int argc, char** argv) {
             << "\n";
 
   std::vector<ScenarioResult> results;
-  for (const ProtocolKind protocol : args.protocols)
-    results.push_back(run_scenario(workload, protocol, args.options));
+  for (const ProtocolKind protocol : args.protocols) {
+    ExperimentOptions options = args.options;
+    if (args.protocols.size() > 1 && options.trace_spans) {
+      options.spans_jsonl = protocol_trace_path(options.spans_jsonl, protocol);
+      options.chrome_trace =
+          protocol_trace_path(options.chrome_trace, protocol);
+    }
+    results.push_back(run_scenario(workload, protocol, options));
+  }
 
   Table table({"Protocol", "Committed", "Aborted", "DL retries", "Messages",
                "Bytes", "Demand", "Local grants"});
   for (const auto& r : results)
     table.row({std::string(to_string(r.protocol)),
                std::to_string(r.committed), std::to_string(r.aborted),
-               fmt_u64(r.deadlock_retries), fmt_u64(r.total.messages),
-               fmt_u64(r.total.bytes), fmt_u64(r.demand_fetches),
-               fmt_u64(r.local_lock_ops)});
+               fmt_u64(r.deadlock_retries()), fmt_u64(r.total.messages),
+               fmt_u64(r.total.bytes), fmt_u64(r.demand_fetches()),
+               fmt_u64(r.local_lock_ops())});
   table.print();
+
+  if (args.options.trace_spans) {
+    std::cout << "\nspans: ";
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      if (i) std::cout << ", ";
+      std::cout << to_string(results[i].protocol) << "="
+                << results[i].spans.size();
+    }
+    std::cout << " -> "
+              << (args.protocols.size() == 1
+                      ? args.options.spans_jsonl
+                      : protocol_trace_path(args.options.spans_jsonl,
+                                            args.protocols.front()) + " ...")
+              << " (+ .chrome.json)\n";
+  }
 
   if (args.per_object) {
     print_section("Per-object bytes");
@@ -218,14 +247,15 @@ int main(int argc, char** argv) {
     cfg.seed = args.options.cluster_seed;
     cfg.cache_capacity_pages = args.options.cache_capacity_pages;
     Cluster cluster(cfg);
-    cluster.stats().enable_trace(1u << 22);
+    ClusterObservation obs = cluster.observe();
+    obs.stats().enable_trace(1u << 22);
     (void)cluster.execute(workload.instantiate(cluster));
     std::ofstream out(args.trace_path);
-    dump_trace_csv(cluster.stats().trace(), out);
-    std::cout << "\ntrace: " << cluster.stats().trace().size()
+    dump_trace_csv(obs.stats().trace(), out);
+    std::cout << "\ntrace: " << obs.stats().trace().size()
               << " messages -> " << args.trace_path;
-    if (cluster.stats().trace_dropped() > 0)
-      std::cout << " (" << cluster.stats().trace_dropped() << " dropped)";
+    if (obs.stats().trace_dropped() > 0)
+      std::cout << " (" << obs.stats().trace_dropped() << " dropped)";
     std::cout << "\n";
   }
 

@@ -157,7 +157,7 @@ int main(int argc, char** argv) {
       if (exhausted) std::cout << ", " << exhausted << " retry-exhausted";
       if (node_failed) std::cout << ", " << node_failed << " node-failure";
       if (with_faults) {
-        const FaultStats fs = cluster.fault_engine()->stats();
+        const FaultStats fs = cluster.observe().fault_engine()->stats();
         std::cout << " [faults: " << fs.crashes << " crashes, " << fs.dropped
                   << " dropped, " << fault_retries << " retries, "
                   << fs.locks_reclaimed << " leases reclaimed, "

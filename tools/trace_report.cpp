@@ -1,26 +1,101 @@
 // trace_report: analyze a message-trace CSV (produced by lotec_sim --trace
 // or the sim library's dump_trace_csv) into per-kind / per-object / per-link
-// rollups and a network time model.
+// rollups and a network time model — or, with the `spans` subcommand, roll
+// up a span JSONL file (lotec_sim --spans) per phase and optionally convert
+// it to Chrome trace-event JSON for Perfetto.
 //
 //   trace_report trace.csv
 //   trace_report trace.csv --top=10 --bitrate=100e6 --sw-cost=20
+//   trace_report spans spans.jsonl [--out=chrome.json]
 #include <algorithm>
 #include <fstream>
 #include <iostream>
 #include <map>
 
 #include "net/cost_model.hpp"
+#include "obs/chrome_trace.hpp"
+#include "obs/span.hpp"
 #include "sim/report.hpp"
 #include "sim/trace.hpp"
 
 using namespace lotec;
 
+namespace {
+
+int run_spans(int argc, char** argv) {
+  if (argc < 3) {
+    std::cerr << "usage: trace_report spans <spans.jsonl> [--out=chrome.json]\n";
+    return 2;
+  }
+  std::string out_path;
+  for (int i = 3; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--out=", 0) == 0) out_path = arg.substr(6);
+    else {
+      std::cerr << "unknown flag " << arg << "\n";
+      return 2;
+    }
+  }
+
+  std::vector<SpanRecord> spans;
+  try {
+    spans = load_spans_jsonl_file(argv[2]);
+  } catch (const std::exception& e) {
+    std::cerr << "parse error: " << e.what() << "\n";
+    return 1;
+  }
+
+  struct PhaseAgg {
+    std::uint64_t count = 0;
+    std::uint64_t ticks = 0;
+  };
+  std::map<std::string, PhaseAgg> by_phase;
+  std::uint64_t total_ticks = 0;
+  for (const SpanRecord& s : spans) {
+    PhaseAgg& agg = by_phase[std::string(to_string(s.phase))];
+    ++agg.count;
+    agg.ticks += s.end - s.begin;
+    total_ticks += s.end - s.begin;
+  }
+
+  std::cout << "spans: " << spans.size() << " records, " << by_phase.size()
+            << " phases, " << total_ticks << " ticks of tracked time\n";
+  print_section("By phase");
+  Table table({"Phase", "Spans", "Ticks", "Ticks/span", "Share"});
+  for (const auto& [name, agg] : by_phase)
+    table.row({name, fmt_u64(agg.count), fmt_u64(agg.ticks),
+               fmt_double(static_cast<double>(agg.ticks) /
+                              static_cast<double>(agg.count),
+                          1),
+               total_ticks
+                   ? fmt_percent(static_cast<double>(agg.ticks) /
+                                 static_cast<double>(total_ticks))
+                   : "-"});
+  table.print();
+
+  if (!out_path.empty()) {
+    std::ofstream os(out_path);
+    if (!os) {
+      std::cerr << "cannot write " << out_path << "\n";
+      return 1;
+    }
+    write_chrome_trace(spans, os);
+    std::cout << "\nwrote " << out_path
+              << " (load it at ui.perfetto.dev or chrome://tracing)\n";
+  }
+  return 0;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   if (argc < 2) {
     std::cerr << "usage: trace_report <trace.csv> [--top=N] [--bitrate=BPS] "
-                 "[--sw-cost=US]\n";
+                 "[--sw-cost=US]\n"
+                 "       trace_report spans <spans.jsonl> [--out=chrome.json]\n";
     return 2;
   }
+  if (std::string(argv[1]) == "spans") return run_spans(argc, argv);
   std::size_t top = 10;
   double bitrate = NetworkCostModel::kEthernet100Mbps;
   double sw_cost_us = 20.0;
