@@ -1,0 +1,46 @@
+#include "check/decision_trace.hpp"
+
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace lotec::check {
+
+namespace {
+constexpr const char* kHeader = "lotec-decision-trace v1";
+}
+
+std::size_t DecisionTrace::nonzero_picks() const noexcept {
+  std::size_t n = 0;
+  for (const Decision& d : decisions)
+    if (d.pick != 0) ++n;
+  return n;
+}
+
+std::string DecisionTrace::serialize() const {
+  std::ostringstream out;
+  out << kHeader << '\n';
+  for (const Decision& d : decisions) out << d.k << ' ' << d.pick << '\n';
+  return out.str();
+}
+
+DecisionTrace DecisionTrace::parse(const std::string& text) {
+  std::istringstream in(text);
+  std::string header;
+  if (!std::getline(in, header) || header != kHeader)
+    throw Error("DecisionTrace::parse: missing '" + std::string(kHeader) +
+                "' header");
+  DecisionTrace trace;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::istringstream fields(line);
+    Decision d;
+    if (!(fields >> d.k >> d.pick) || d.k < 2 || d.pick >= d.k)
+      throw Error("DecisionTrace::parse: bad decision line '" + line + "'");
+    trace.decisions.push_back(d);
+  }
+  return trace;
+}
+
+}  // namespace lotec::check

@@ -1,0 +1,196 @@
+// Schedule-exploration strategies: who decides what the token scheduler
+// does at each decision point with more than one choice.
+//
+// The checker driver adapts a Strategy into a SchedulePicker and records
+// every (k, pick) into a DecisionTrace, so all strategies — including the
+// replaying one — produce traces replayable through ReplayStrategy.
+//
+//   RandomWalkStrategy  seeded uniform walk; schedule i uses seed^i, so a
+//                       budget of N schedules samples N independent walks.
+//   PctStrategy         PCT-style priority scheduling (Burckhardt et al.,
+//                       "A Randomized Scheduler with Probabilistic
+//                       Guarantees of Finding Bugs"): each candidate gets a
+//                       random fixed priority, the highest-priority
+//                       runnable always runs, and d-1 priority changepoints
+//                       — keyed on the transport message count — demote the
+//                       current leader to the bottom.  Finds ordering bugs
+//                       of depth d with known probability.
+//   DfsStrategy         bounded-depth depth-first enumeration of all picks
+//                       with a sleep-set-flavoured partial-order pruning
+//                       (see the class comment).
+//   ReplayStrategy      forced replay of a DecisionTrace.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "check/decision_trace.hpp"
+#include "common/rng.hpp"
+
+namespace lotec::check {
+
+class Strategy {
+ public:
+  virtual ~Strategy() = default;
+
+  /// Prepare schedule number `index` (0-based).  Returns false when the
+  /// strategy has exhausted its search space (DFS) — the driver stops.
+  virtual bool begin_schedule(std::uint64_t index) = 0;
+
+  /// One scheduler decision point.  `runnable` holds the runnable families'
+  /// scheduler indices (== FamilyId values on a fresh cluster);
+  /// `spawn_candidate` is the index of the next unstarted family, or
+  /// kNoSpawn.  Total choices k = runnable.size() + (spawn ? 1 : 0) >= 2;
+  /// must return a value in [0, k).
+  virtual std::uint32_t pick(const std::vector<std::size_t>& runnable,
+                             std::size_t spawn_candidate) = 0;
+
+  /// Fed by the driver for every transport message (PCT changepoints).
+  virtual void note_message() {}
+
+  /// Fed by the driver for every lock grant: the family in scheduler slot
+  /// `family` (the index space pick() sees) performed a lock operation on
+  /// `object` (DFS independence footprints).
+  virtual void note_lock_op(std::uint64_t /*family*/, std::uint64_t /*object*/,
+                            bool /*write*/) {}
+
+  virtual void end_schedule() {}
+
+  static constexpr std::size_t kNoSpawn = static_cast<std::size_t>(-1);
+};
+
+class RandomWalkStrategy final : public Strategy {
+ public:
+  explicit RandomWalkStrategy(std::uint64_t seed) : seed_(seed) {}
+
+  bool begin_schedule(std::uint64_t index) override;
+  std::uint32_t pick(const std::vector<std::size_t>& runnable,
+                     std::size_t spawn_candidate) override;
+
+ private:
+  std::uint64_t seed_;
+  Rng rng_{0};
+};
+
+class PctStrategy final : public Strategy {
+ public:
+  /// `changepoints` = d-1 in PCT terms (bug-depth d).
+  PctStrategy(std::uint64_t seed, std::uint32_t changepoints)
+      : seed_(seed), changepoints_(changepoints) {}
+
+  bool begin_schedule(std::uint64_t index) override;
+  std::uint32_t pick(const std::vector<std::size_t>& runnable,
+                     std::size_t spawn_candidate) override;
+  void note_message() override { ++messages_; }
+  void end_schedule() override;
+
+ private:
+  [[nodiscard]] std::uint64_t priority_of(std::size_t candidate);
+
+  std::uint64_t seed_;
+  std::uint32_t changepoints_;
+  Rng rng_{0};
+  std::unordered_map<std::size_t, std::uint64_t> prio_;
+  std::vector<std::uint64_t> change_at_;  // message counts, ascending
+  std::size_t next_change_ = 0;
+  std::uint64_t messages_ = 0;
+  /// Estimated schedule length in messages, adapted from the last run so
+  /// changepoints land inside the schedule regardless of scenario size.
+  std::uint64_t est_steps_ = 512;
+  /// Demoted priorities count down from here — always below every randomly
+  /// assigned priority (which have the top bit set).
+  std::uint64_t demote_next_ = (1ULL << 32);
+};
+
+/// Bounded-depth DFS over the decision tree with partial-order pruning.
+///
+/// Pruning (sleep-set-lite): at a node, candidate c need not be explored if
+/// the first global lock operation c's family performs after this node is
+/// INDEPENDENT of the first lock operation of every sibling already
+/// explored — different objects, both reads, or the family finished without
+/// another lock op.  Independent first steps commute, so some explored
+/// sibling's subtree already covers an equivalent interleaving.  Footprints
+/// are learned by watchers during exploration (a candidate's footprint at a
+/// node is filled in the first time any schedule passes through the node
+/// and later observes that family's next lock op), so pruning only kicks in
+/// once the footprint is known — unknown candidates are always explored.
+/// This is a heuristic reduction in the spirit of sleep sets, not a
+/// verified persistent-set computation; it never prunes the first (default)
+/// child, so the unreduced behaviours remain reachable through deeper
+/// nodes.
+///
+/// Decisions beyond `max_depth` are not branched on (pick 0, untracked):
+/// the tree is complete only up to the depth bound.
+class DfsStrategy final : public Strategy {
+ public:
+  explicit DfsStrategy(std::size_t max_depth) : max_depth_(max_depth) {}
+
+  bool begin_schedule(std::uint64_t index) override;
+  std::uint32_t pick(const std::vector<std::size_t>& runnable,
+                     std::size_t spawn_candidate) override;
+  void note_lock_op(std::uint64_t family, std::uint64_t object,
+                    bool write) override;
+  void end_schedule() override;
+
+  /// Nodes currently on the DFS stack (introspection / tests).
+  [[nodiscard]] std::size_t stack_depth() const noexcept {
+    return stack_.size();
+  }
+
+ private:
+  struct Footprint {
+    bool known = false;
+    /// Family finished (or was never observed again) without another lock
+    /// op — independent of everything.
+    bool finished = false;
+    std::uint64_t object = 0;
+    bool write = false;
+  };
+  struct Choice {
+    std::uint64_t key = 0;  ///< family index (spawn slot: the spawned family)
+    Footprint fp;
+    bool explored = false;
+  };
+  struct NodeRec {
+    std::vector<Choice> choices;
+    std::uint32_t chosen = 0;
+  };
+  struct Watcher {
+    std::size_t node = 0;
+    std::size_t slot = 0;
+    std::uint64_t key = 0;
+  };
+
+  /// Backtrack to the deepest node with an unexplored, unpruned sibling.
+  /// False = tree exhausted.
+  bool advance();
+  [[nodiscard]] bool pruned(const NodeRec& node, std::size_t slot) const;
+  static bool independent(const Footprint& a, const Footprint& b) noexcept;
+
+  std::size_t max_depth_;
+  std::vector<NodeRec> stack_;
+  std::size_t depth_ = 0;  ///< cursor within stack_ during a schedule
+  std::vector<Watcher> watchers_;
+  bool exhausted_ = false;
+  bool first_ = true;
+};
+
+class ReplayStrategy final : public Strategy {
+ public:
+  explicit ReplayStrategy(DecisionTrace trace) : trace_(std::move(trace)) {}
+
+  bool begin_schedule(std::uint64_t /*index*/) override {
+    pos_ = 0;
+    return true;
+  }
+  std::uint32_t pick(const std::vector<std::size_t>& runnable,
+                     std::size_t spawn_candidate) override;
+
+ private:
+  DecisionTrace trace_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace lotec::check

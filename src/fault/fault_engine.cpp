@@ -128,6 +128,8 @@ bool FaultEngine::fire(const FaultEvent& ev, const WireMessage& m) {
       transport_.set_node_failed(target, true);
       ++crash_counts_[target.value()];
       ++stats_.crashes;
+      if (check_ != nullptr)
+        check_->on_node_crash(target, crash_counts_[target.value()]);
       pending_.push_back({/*restart=*/false, target});
       trace_.push_back({clock_, FaultAction::kCrashNode, target, m.kind,
                         m.object});
@@ -135,6 +137,7 @@ bool FaultEngine::fire(const FaultEvent& ev, const WireMessage& m) {
       return false;
     case FaultAction::kRestartNode:
       if (transport_.reachable(target)) return false;  // not crashed
+      if (check_ != nullptr) check_->on_node_restart(target);
       pending_.push_back({/*restart=*/true, target});
       trace_.push_back({clock_, FaultAction::kRestartNode, target, m.kind,
                         m.object});

@@ -32,6 +32,7 @@
 #include <memory>
 #include <vector>
 
+#include "check/events.hpp"
 #include "common/rng.hpp"
 #include "fault/fault_schedule.hpp"
 #include "gdo/gdo_service.hpp"
@@ -128,6 +129,11 @@ class FaultEngine final : public FaultHooks {
   /// as fault.event instants on the directory lane.  Owned by the caller.
   void set_tracer(SpanTracer* tracer) noexcept { tracer_ = tracer; }
 
+  /// Install (or clear) the schedule checker's event sink: crash/restart
+  /// events carry the per-node epoch so the lock-cache safety oracle can
+  /// scope cached-lock claims to crash epochs.  Owned by the caller.
+  void set_check_sink(CheckSink* sink) noexcept { check_ = sink; }
+
  private:
   /// Message kinds the engine may drop, partition or duplicate: request /
   /// lookup / fetch traffic whose failure the sender observes *before* any
@@ -196,6 +202,7 @@ class FaultEngine final : public FaultHooks {
   std::vector<FaultRecord> trace_;
   FaultStats stats_;
   SpanTracer* tracer_ = nullptr;
+  CheckSink* check_ = nullptr;
 };
 
 }  // namespace lotec

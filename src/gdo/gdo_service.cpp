@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <map>
 
+#include "check/events.hpp"
 #include "common/logging.hpp"
 
 namespace lotec {
@@ -145,12 +146,15 @@ bool GdoService::marker_conflicts(const GdoEntry& e, LockMode mode) noexcept {
   return false;
 }
 
-void GdoService::apply_flush(GdoEntry& e, NodeId site,
+void GdoService::apply_flush(ObjectId id, GdoEntry& e, NodeId site,
                              const std::vector<std::pair<PageIndex, Lsn>>& recs,
                              Lsn advance_to) {
   e.version_counter = std::max(e.version_counter, advance_to);
   // record_current's version guard makes replayed/stale records harmless.
-  for (const auto& [p, v] : recs) e.page_map.record_current(p, site, v);
+  for (const auto& [p, v] : recs) {
+    e.page_map.record_current(p, site, v);
+    if (check_ != nullptr) check_->on_directory_stamp(id, p, v, site);
+  }
 }
 
 void GdoService::revoke_conflicting_cached(ObjectId id, GdoEntry& e,
@@ -217,7 +221,7 @@ void GdoService::revoke_conflicting_cached(ObjectId id, GdoEntry& e,
       throw;  // transient (partition/drop): the requester retries
     }
     cache_callbacks_->add();
-    apply_flush(e, site, flush.records, flush.advance_to);
+    apply_flush(id, e, site, flush.records, flush.advance_to);
     if (mode == LockMode::kRead) {
       // A read request only needs writers out of the way: the site keeps
       // its (now flushed, clean) cache entry in read mode.
@@ -466,12 +470,15 @@ Lsn GdoService::apply_release(ObjectId id, GdoEntry& e, FamilyId family,
       // Deferred-flush release (lock cache): the site stamped versions
       // itself while releases were cached; apply its explicit records and
       // catch the counter up instead of minting a fresh version.
-      apply_flush(e, releasing_node, info->stamped, info->advance_to);
+      apply_flush(id, e, releasing_node, info->stamped, info->advance_to);
       stamped = info->advance_to;
     }
     if (!info->dirty.empty()) {
       stamped = ++e.version_counter;
       e.page_map.record_update(info->dirty, releasing_node, stamped);
+      if (check_ != nullptr)
+        for (const PageIndex p : info->dirty.to_vector())
+          check_->on_directory_stamp(id, p, stamped, releasing_node);
     }
     for (const auto& [p, v] : info->current)
       e.page_map.record_current(p, releasing_node, v);
@@ -752,7 +759,7 @@ void GdoService::flush_cached(
   if (config_.release_acks)
     transport_.send({MessageKind::kLockReleaseAck, serving, node, id, 0});
   FaultAtomicSection atomic(transport_.fault_hooks());
-  apply_flush(e, node, records, advance_to);
+  apply_flush(id, e, node, records, advance_to);
   const std::size_t i = e.cached_index(node);
   if (i != static_cast<std::size_t>(-1))
     e.cached.erase(e.cached.begin() + static_cast<std::ptrdiff_t>(i));

@@ -30,6 +30,8 @@
 
 namespace lotec {
 
+class CheckSink;
+
 struct GdoConfig {
   /// Mirror every entry on a second node and fail over to it.
   bool replicate = false;
@@ -141,6 +143,13 @@ class GdoService {
   /// Install (or clear) the span tracer; callback revocation rounds are
   /// recorded on the directory lane (family 0).  Owned by the caller.
   void set_tracer(SpanTracer* tracer) noexcept { tracer_ = tracer; }
+
+  /// Install (or clear) the schedule checker's event sink.  The directory
+  /// reports every page-version *publication* (release stamping, deferred
+  /// cache flushes) so the coherence oracle can compare what acquirers read
+  /// against what was actually published — independently of what the
+  /// releasing runner believes it stamped.  Owned by the caller.
+  void set_check_sink(CheckSink* sink) noexcept { check_ = sink; }
 
   /// Install a delivery hook invoked — under the entry's partition lock —
   /// for every Grant produced by a release or cancellation.  Delivering
@@ -354,7 +363,7 @@ class GdoService {
                                              LockMode mode) noexcept;
 
   /// Apply a deferred flush (records stamped at the site) to the entry.
-  static void apply_flush(GdoEntry& entry, NodeId site,
+  void apply_flush(ObjectId id, GdoEntry& entry, NodeId site,
                           const std::vector<std::pair<PageIndex, Lsn>>& recs,
                           Lsn advance_to);
 
@@ -390,6 +399,7 @@ class GdoService {
   std::function<CachedFlush(ObjectId, NodeId, LockMode)> callback_handler_;
   std::vector<Partition> partitions_;
   SpanTracer* tracer_ = nullptr;
+  CheckSink* check_ = nullptr;
   /// Fallback registry for standalone use (null when the cluster owns one).
   std::unique_ptr<MetricsRegistry> owned_metrics_;
   /// Registry handles; tallies are token-serialized when their feature

@@ -124,6 +124,19 @@ class FaultAtomicSection {
   FaultHooks* hooks_;
 };
 
+/// Passive observation seam on the same choke point FaultHooks uses.  The
+/// schedule checker (src/check) listens here to count delivery steps and
+/// drive PCT priority changepoints.  A probe sees every message BEFORE the
+/// fault engine's verdict — dropped or delayed messages still count as
+/// steps, so step numbering is stable across fault outcomes — and it must
+/// never send, mutate cluster state, or throw.  Disabled cost: one pointer
+/// comparison per send (mirrors the fault and tracer seams).
+class MessageProbe {
+ public:
+  virtual ~MessageProbe() = default;
+  virtual void on_transport_message(const WireMessage& m) = 0;
+};
+
 struct NetworkConfig {
   bool multicast_capable = false;
 };
@@ -152,12 +165,17 @@ class Transport {
   void set_tracer(SpanTracer* tracer) noexcept { tracer_ = tracer; }
   [[nodiscard]] SpanTracer* tracer() const noexcept { return tracer_; }
 
+  /// Install (or clear) the passive message probe.  Owned by the caller.
+  void set_probe(MessageProbe* probe) noexcept { probe_ = probe; }
+  [[nodiscard]] MessageProbe* probe() const noexcept { return probe_; }
+
   /// Account one message.  Messages where src == dst are local and free.
   /// Throws NodeUnreachable if either endpoint is failed (a crashed sender
   /// cannot put anything on the wire) and propagates fault-engine verdicts
   /// (MessageDropped, partition NodeUnreachable).
   void send(const WireMessage& m) {
     if (tracer_ != nullptr) tracer_->tick_message();
+    if (probe_ != nullptr) probe_->on_transport_message(m);
     check_node(m.src);
     check_node(m.dst);
     std::size_t extra = 0;
@@ -180,6 +198,7 @@ class Transport {
   std::vector<NodeId> send_to_all(const WireMessage& m,
                                   const std::vector<NodeId>& destinations) {
     if (tracer_ != nullptr) tracer_->tick_message();
+    if (probe_ != nullptr) probe_->on_transport_message(m);
     check_node(m.src);
     if (hooks_ != nullptr) (void)hooks_->on_message(m);
     if (failed_[m.src.value()]) throw NodeUnreachable(m.src, m.src);
@@ -225,6 +244,7 @@ class Transport {
   std::vector<bool> failed_;
   FaultHooks* hooks_ = nullptr;
   SpanTracer* tracer_ = nullptr;
+  MessageProbe* probe_ = nullptr;
 };
 
 }  // namespace lotec

@@ -63,6 +63,7 @@ std::vector<TxnResult> Cluster::execute(std::vector<RootRequest> requests) {
     TokenScheduler::Config sc;
     sc.seed = mix64(core_.config.seed ^ execute_count_);
     sc.max_active = core_.config.max_active_families;
+    sc.picker = core_.config.schedule_picker;
     scheduler = std::make_unique<TokenScheduler>(sc);
   } else {
     ConcurrentScheduler::Config sc;

@@ -1,0 +1,85 @@
+#include "runtime/config.hpp"
+
+#include <string>
+
+namespace lotec {
+
+void ClusterConfig::validate() const {
+  if (nodes == 0) throw UsageError("ClusterConfig: nodes must be >= 1");
+  if (page_size == 0) throw UsageError("ClusterConfig: page_size must be > 0");
+  if (max_active_families == 0)
+    throw UsageError("ClusterConfig: max_active_families must be >= 1");
+  if (lock_cache_capacity > 0 && !lock_cache)
+    throw UsageError(
+        "ClusterConfig: lock_cache_capacity = " +
+        std::to_string(lock_cache_capacity) +
+        " but lock_cache is off — enable lock_cache or drop the capacity");
+  const auto check_probability = [](double p, const char* name) {
+    if (p < 0.0 || p > 1.0)
+      throw UsageError(std::string("ClusterConfig: fault.") + name +
+                       " must be a probability in [0, 1]; got " +
+                       std::to_string(p));
+  };
+  check_probability(fault.drop_probability, "drop_probability");
+  check_probability(fault.duplicate_probability, "duplicate_probability");
+  check_probability(fault.delay_probability, "delay_probability");
+  const auto in_cluster = [&](NodeId n) {
+    return n.valid() && n.value() < nodes;
+  };
+  for (std::size_t i = 0; i < fault.events.size(); ++i) {
+    const FaultEvent& ev = fault.events[i];
+    const bool node_action = ev.action == FaultAction::kCrashNode ||
+                             ev.action == FaultAction::kRestartNode;
+    if (node_action && ev.target == FaultTarget::kFixed &&
+        !in_cluster(ev.node))
+      throw UsageError(
+          "ClusterConfig: fault event #" + std::to_string(i) +
+          " crashes/restarts node " +
+          (ev.node.valid() ? std::to_string(ev.node.value()) : "<invalid>") +
+          " but the cluster has nodes 0.." + std::to_string(nodes - 1) +
+          " — there is no such node to fault");
+    for (const NodeId n : ev.group_a)
+      if (!in_cluster(n))
+        throw UsageError(
+            "ClusterConfig: fault event #" + std::to_string(i) +
+            " partitions node " + std::to_string(n.value()) +
+            " outside the cluster (nodes 0.." + std::to_string(nodes - 1) +
+            ")");
+    for (const NodeId n : ev.group_b)
+      if (!in_cluster(n))
+        throw UsageError(
+            "ClusterConfig: fault event #" + std::to_string(i) +
+            " partitions node " + std::to_string(n.value()) +
+            " outside the cluster (nodes 0.." + std::to_string(nodes - 1) +
+            ")");
+  }
+  if (!obs.trace_spans &&
+      (!obs.spans_jsonl.empty() || !obs.chrome_trace.empty()))
+    throw UsageError(
+        "ClusterConfig: spans_jsonl/chrome_trace name span output files "
+        "but trace_spans is off — set trace_spans = true to record spans");
+  if (fault.enabled()) {
+    if (scheduler != SchedulerMode::kDeterministic)
+      throw UsageError(
+          "ClusterConfig: fault injection requires the deterministic "
+          "scheduler (fault traces are defined over the token order)");
+    if (fault.has_node_faults() && !gdo.replicate)
+      throw UsageError(
+          "ClusterConfig: node crash/restart faults require gdo.replicate "
+          "(directory state must survive its home node)");
+  }
+  if (lock_cache && scheduler != SchedulerMode::kDeterministic)
+    throw UsageError(
+        "ClusterConfig: lock_cache requires the deterministic scheduler "
+        "(callback revocation is serialized with the token order)");
+  if (schedule_picker && scheduler != SchedulerMode::kDeterministic)
+    throw UsageError(
+        "ClusterConfig: schedule_picker requires the deterministic "
+        "scheduler (decision points exist only in the token order)");
+  if (check_sink != nullptr && scheduler != SchedulerMode::kDeterministic)
+    throw UsageError(
+        "ClusterConfig: check_sink requires the deterministic scheduler "
+        "(invariant oracles assume a linearized event stream)");
+}
+
+}  // namespace lotec

@@ -13,8 +13,11 @@
 #include "obs/observability.hpp"
 #include "page/undo_log.hpp"
 #include "protocol/protocol.hpp"
+#include "runtime/scheduler.hpp"
 
 namespace lotec {
+
+class CheckSink;
 
 enum class SchedulerMode : std::uint8_t {
   /// Token-passing cooperative scheduling; identical seeds give identical
@@ -68,6 +71,30 @@ struct ClusterConfig {
   std::size_t cache_capacity_pages = 0;
   /// Observability: span tracing config (metrics counters are always on).
   ObsConfig obs;
+  /// Controlled scheduling (src/check): when set, replaces the token
+  /// scheduler's seeded RNG at every decision point with more than one
+  /// choice.  Requires the deterministic scheduler.
+  SchedulePicker schedule_picker;
+  /// Invariant-oracle event sink (src/check).  Not owned; must outlive the
+  /// cluster.  Null (the default) costs one pointer comparison per emission
+  /// point and leaves message traffic bit-identical.  Requires the
+  /// deterministic scheduler (oracles assume a linearized event stream).
+  CheckSink* check_sink = nullptr;
+  /// Test-only correctness mutations, hidden behind this struct so no
+  /// production path flips them by accident.  The mutation tests in
+  /// tests/check_*.cpp break an invariant on purpose and assert the
+  /// checker's oracles produce a counterexample.
+  struct TestMutations {
+    /// Break Moss retained-lock inheritance: a pre-committing
+    /// sub-transaction RELEASES the global locks only its subtree touched
+    /// (publishing its writes) instead of passing them up retained.
+    bool break_retention = false;
+  } test_mutations;
+
+  /// Reject incoherent knob combinations with an actionable UsageError.
+  /// Called by ClusterCore construction (so directly-built clusters get the
+  /// same errors as run_scenario) and by ExperimentOptions::validate().
+  void validate() const;
 };
 
 /// Outcome and per-family metrics of one root transaction.

@@ -8,6 +8,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "check/events.hpp"
 #include "fault/fault_engine.hpp"
 #include "gdo/gdo_service.hpp"
 #include "method/registry.hpp"
@@ -47,12 +48,18 @@ struct CoreCounters {
 
 struct ClusterCore {
   explicit ClusterCore(const ClusterConfig& cfg)
-      : config(cfg), transport(cfg.nodes, cfg.net),
+      // validate() before any member sees the config: an incoherent config
+      // must produce its UsageError, not whatever a member ctor does with
+      // nonsense values.
+      : config((cfg.validate(), cfg)), transport(cfg.nodes, cfg.net),
         gdo(transport, cfg.gdo, &obs.metrics) {
-    if (cfg.nodes == 0) throw UsageError("ClusterConfig: nodes must be >= 1");
     obs.configure(cfg.obs);
     transport.set_tracer(&obs.tracer);
     gdo.set_tracer(&obs.tracer);
+    if (cfg.check_sink != nullptr) {
+      transport.set_probe(cfg.check_sink);
+      gdo.set_check_sink(cfg.check_sink);
+    }
     counters.deadlock_retries = &obs.metrics.counter("txn.deadlock_retries");
     counters.fault_retries = &obs.metrics.counter("txn.fault_retries");
     counters.demand_fetches = &obs.metrics.counter("page.demand_fetches");
@@ -71,27 +78,20 @@ struct ClusterCore {
     {
       MetricsCounter* retained = &obs.metrics.counter("cache.retained");
       MetricsCounter* revoked = &obs.metrics.counter("cache.revoked");
-      for (auto& n : nodes) n->lock_cache.set_counters(retained, revoked);
+      for (auto& n : nodes) {
+        n->lock_cache.set_counters(retained, revoked);
+        if (cfg.check_sink != nullptr)
+          n->lock_cache.set_check(cfg.check_sink, n->id);
+      }
     }
     if (cfg.fault.enabled()) {
-      if (cfg.scheduler != SchedulerMode::kDeterministic)
-        throw UsageError(
-            "ClusterConfig: fault injection requires the deterministic "
-            "scheduler (fault traces are defined over the token order)");
-      if (cfg.fault.has_node_faults() && !cfg.gdo.replicate)
-        throw UsageError(
-            "ClusterConfig: node crash/restart faults require gdo.replicate "
-            "(directory state must survive its home node)");
       fault = std::make_unique<FaultEngine>(cfg.fault, transport, gdo, nodes,
                                             cfg.page_size);
       fault->set_tracer(&obs.tracer);
+      if (cfg.check_sink != nullptr) fault->set_check_sink(cfg.check_sink);
       transport.set_fault_hooks(fault.get());
     }
     if (cfg.lock_cache) {
-      if (cfg.scheduler != SchedulerMode::kDeterministic)
-        throw UsageError(
-            "ClusterConfig: lock_cache requires the deterministic scheduler "
-            "(callback revocation is serialized with the token order)");
       // Revocation seam: the directory calls back into the caching site's
       // lock cache (a leaf mutex, safe under the partition lock) to collect
       // the deferred release report and erase/downgrade the entry.

@@ -106,7 +106,9 @@ FamilyRunner::FamilyRunner(ClusterCore& core, std::size_t index,
       index_(index),
       family_(family, node, core.config.undo),
       node_(node),
-      request_(std::move(request)) {}
+      request_(std::move(request)) {
+  family_.locks().set_check(core_.config.check_sink, family_.id());
+}
 
 void FamilyRunner::run() {
   FaultEngine* const eng = core_.fault.get();
@@ -126,6 +128,7 @@ void FamilyRunner::run() {
       }
       crash_epoch_ = eng->crash_count(node_);
     }
+    if (CheckSink* s = check()) s->on_attempt_start(family_.id());
     committing_ = false;
     // Re-seed per attempt: a restarted family makes the same decisions.
     rng_ = Rng(mix64(core_.config.seed ^ family_.id().value()));
@@ -211,6 +214,8 @@ void FamilyRunner::run() {
       break;
     }
   }
+  if (CheckSink* s = check())
+    s->on_family_outcome(family_.id(), result_.committed);
   result_.attempts = attempts;
   result_.txns_in_tree = family_.num_txns();
 }
@@ -278,6 +283,7 @@ bool FamilyRunner::relocate_family() {
     discard_local_state();
     node_ = cand;
     family_ = Family(family_.id(), cand, core_.config.undo);
+    family_.locks().set_check(core_.config.check_sink, family_.id());
     return true;
   }
   return false;
@@ -363,6 +369,11 @@ bool FamilyRunner::run_invocation(Transaction* parent, ObjectId object,
   Transaction& txn = parent
                          ? family_.begin_child(*parent, object, method)
                          : family_.begin_root(object, method);
+  if (CheckSink* s = check())
+    s->on_txn_begin(family_.id(), txn.id().serial,
+                    parent != nullptr ? parent->id().serial
+                                      : CheckSink::kNoSerial,
+                    object);
   Transaction* const saved = current_;
   current_ = &txn;
   try {
@@ -378,7 +389,12 @@ bool FamilyRunner::run_invocation(Transaction* parent, ObjectId object,
       txn.pre_commit();
       core_.obs.tracer.instant(SpanPhase::kLockInherit, family_.id().value(),
                                node_.value(), object.value());
-      family_.locks().on_pre_commit(txn);
+      if (CheckSink* s = check())
+        s->on_pre_commit(family_.id(), txn.id().serial, parent->id().serial);
+      if (core_.config.test_mutations.break_retention)
+        broken_retention_release(txn);
+      else
+        family_.locks().on_pre_commit(txn);
     } else {
       commit_root(txn);
     }
@@ -409,6 +425,8 @@ void FamilyRunner::acquire_for(const Transaction& txn, ObjectId object,
     core_.transport.record_local_lock_op();
     ++result_.local_lock_grants;
     core_.counters.local_lock_grants->add();
+    if (CheckSink* s = check())
+      s->on_local_grant(family_.id(), txn.id().serial, object, mode);
     {
       Node& mine = core_.node(node_);
       std::lock_guard<std::mutex> lock(mine.store_mu);
@@ -464,6 +482,9 @@ void FamilyRunner::acquire_for(const Transaction& txn, ObjectId object,
   }
 
   family_.locks().on_global_grant(txn, object, mode, upgrade);
+  if (CheckSink* s = check())
+    s->on_global_grant(family_.id(), txn.id().serial, object, mode, upgrade,
+                       /*cached_regrant=*/false, /*prefetch=*/false);
   if (!upgrade) {
     object_maps_.insert_or_assign(object, std::move(granted_map));
     Node& mine = core_.node(node_);
@@ -518,6 +539,10 @@ void FamilyRunner::run_prefetch(const Transaction& root) {
       granted_map = std::move(res.page_map);
     }
     family_.locks().on_prefetch_grant(root, object, mode);
+    if (CheckSink* s = check())
+      s->on_global_grant(family_.id(), root.id().serial, object, mode,
+                         /*upgrade=*/false, /*cached_regrant=*/false,
+                         /*prefetch=*/true);
     object_maps_.insert_or_assign(object, std::move(granted_map));
     {
       Node& mine = core_.node(node_);
@@ -572,6 +597,9 @@ bool FamilyRunner::try_cache_regrant(const Transaction& txn, ObjectId object,
     family_.locks().on_prefetch_grant(txn, object, *granted);
   else
     family_.locks().on_global_grant(txn, object, *granted, /*upgrade=*/false);
+  if (CheckSink* s = check())
+    s->on_global_grant(family_.id(), txn.id().serial, object, *granted,
+                       /*upgrade=*/false, /*cached_regrant=*/true, prefetch);
   object_maps_.insert_or_assign(object, cached->map);
   {
     std::lock_guard<std::mutex> lock(mine.store_mu);
@@ -751,6 +779,9 @@ void FamilyRunner::abort_subtree(Transaction& txn) {
                   node_.value(), txn.target().value());
   txn.abort(undo_resolver());
   const std::vector<ObjectId> to_release = family_.locks().on_abort(txn);
+  if (CheckSink* s = check())
+    s->on_subtree_abort(family_.id(), txn.id().serial,
+                        static_cast<std::uint32_t>(family_.num_txns()));
   if (to_release.empty()) return;
   std::vector<ReleaseItem> items;
   items.reserve(to_release.size());
@@ -765,6 +796,55 @@ void FamilyRunner::abort_subtree(Transaction& txn) {
     items.push_back(ReleaseItem{object, std::nullopt});
   }
   (void)core_.gdo.release_batch(family_.id(), node_, items);
+  if (CheckSink* s = check())
+    for (const auto& item : items)
+      s->on_lock_release(family_.id(), item.object,
+                         CheckReleaseReason::kSubtreeAbort);
+}
+
+void FamilyRunner::broken_retention_release(Transaction& txn) {
+  // Rule-4 disposition applied at pre-commit instead of rule-3 retention:
+  // the child's subtree-exclusive locks leave the family early, exposing
+  // its (now stamped-as-committed) writes to other families before the
+  // root decides.  The lock oracle flags the kSubtreeAbort releases below
+  // on every schedule; the serializability oracle additionally finds the
+  // non-serializable interleavings this enables.
+  const std::vector<ObjectId> to_release = family_.locks().on_abort(txn);
+  if (to_release.empty()) return;
+  Node& mine = core_.node(node_);
+  std::vector<ReleaseItem> items;
+  items.reserve(to_release.size());
+  for (const ObjectId object : to_release) {
+    object_maps_.erase(object);
+    const std::size_t npages = core_.meta_of(object).num_pages;
+    const Lsn next = core_.gdo.snapshot(object).version_counter + 1;
+    ReleaseItem item{object, ReleaseInfo{}};
+    {
+      std::lock_guard<std::mutex> lock(mine.store_mu);
+      ObjectImage* img = mine.store.find(object);
+      if (img != nullptr) {
+        item.info->dirty = img->dirty_pages();
+        if (!item.info->dirty.empty()) {
+          const PageSet stamped = img->stamp_dirty(next);
+          for (const PageIndex p : stamped.to_vector()) {
+            if (core_.fault != nullptr)
+              core_.fault->note_page(node_, object, npages, p, img->page(p));
+            if (CheckSink* s = check())
+              s->on_commit_stamp(family_.id(), object, p, next, node_);
+          }
+        }
+      } else {
+        item.info->dirty = PageSet(npages);
+      }
+      unpin_here(mine, object);
+    }
+    items.push_back(std::move(item));
+  }
+  (void)core_.gdo.release_batch(family_.id(), node_, items);
+  if (CheckSink* s = check())
+    for (const auto& item : items)
+      s->on_lock_release(family_.id(), item.object,
+                         CheckReleaseReason::kSubtreeAbort);
 }
 
 void FamilyRunner::abort_family(AbortReason /*reason*/) {
@@ -835,6 +915,9 @@ void FamilyRunner::release_all(bool commit) {
       if (core_.fault != nullptr)
         for (const PageIndex p : stamped.to_vector())
           core_.fault->note_page(node_, item.object, npages, p, img.page(p));
+      if (CheckSink* s = check())
+        for (const PageIndex p : stamped.to_vector())
+          s->on_commit_stamp(family_.id(), item.object, p, next, node_);
       if (core_.protocol_for(core_.meta_of(item.object)).eager_push_on_release()) {
         Stamped s{item.object, {}, next};
         for (const PageIndex p : stamped.to_vector())
@@ -857,6 +940,11 @@ void FamilyRunner::release_all(bool commit) {
 
   if (!items.empty())
     (void)core_.gdo.release_batch(family_.id(), node_, items);
+  if (CheckSink* s = check())
+    for (const auto& item : items)
+      s->on_lock_release(family_.id(), item.object,
+                         commit ? CheckReleaseReason::kRootCommit
+                                : CheckReleaseReason::kRootAbort);
 
   {
     std::lock_guard<std::mutex> lock(mine.store_mu);
@@ -913,6 +1001,8 @@ bool FamilyRunner::try_retain(ObjectId object, bool commit) {
           entry.report[p] = next;
           if (core_.fault != nullptr)
             core_.fault->note_page(node_, object, npages, p, img->page(p));
+          if (CheckSink* s = check())
+            s->on_commit_stamp(family_.id(), object, p, next, node_);
         }
         entry.map.record_update(stamped, node_, next);
         entry.max_version = next;
@@ -1049,6 +1139,11 @@ void MethodContext::read_raw(AttrId attr, std::span<std::byte> out) {
   ObjectImage& img = runner_.local_image(txn_.target());
   Node& mine = runner_.core_.node(runner_.node_);
   std::lock_guard<std::mutex> lock(mine.store_mu);
+  if (CheckSink* s = runner_.check())
+    for (const PageIndex p : pages.to_vector())
+      s->on_page_access(runner_.family_.id(), txn_.id().serial, txn_.target(),
+                        p, img.has_page(p) ? img.page_version(p) : 0,
+                        /*write=*/false);
   img.read_bytes(cls_.layout().offset_of(attr), out);
 }
 
@@ -1060,6 +1155,11 @@ void MethodContext::write_raw(AttrId attr, std::span<const std::byte> in) {
   ObjectImage& img = runner_.local_image(txn_.target());
   Node& mine = runner_.core_.node(runner_.node_);
   std::lock_guard<std::mutex> lock(mine.store_mu);
+  if (CheckSink* s = runner_.check())
+    for (const PageIndex p : pages.to_vector())
+      s->on_page_access(runner_.family_.id(), txn_.id().serial, txn_.target(),
+                        p, img.has_page(p) ? img.page_version(p) : 0,
+                        /*write=*/true);
   const std::uint64_t offset = cls_.layout().offset_of(attr);
   txn_.undo().before_write(img, offset, in.size());
   img.write_bytes(offset, in);

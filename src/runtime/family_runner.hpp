@@ -102,6 +102,14 @@ class FamilyRunner {
   /// Whole-family abort (root abort or deadlock victim).
   void abort_family(AbortReason reason);
 
+  /// TEST MUTATION (ClusterConfig::test_mutations.break_retention): at
+  /// sub-transaction pre-commit, instead of retaining the child's locks at
+  /// the parent (rule 3), treat them like an abort's rule-4 disposition and
+  /// release the subtree-exclusive ones to other families — with the
+  /// child's uncommitted writes stamped as if committed.  Exists solely so
+  /// the schedule checker can demonstrate it catches broken retention.
+  void broken_retention_release(Transaction& txn);
+
   /// Release every object the family holds.  `commit` selects dirty/current
   /// reporting vs "no dirty page info".
   void release_all(bool commit);
@@ -155,6 +163,12 @@ class FamilyRunner {
 
   [[nodiscard]] ObjectImage& local_image(ObjectId object);
   [[nodiscard]] std::function<ObjectImage&(ObjectId)> undo_resolver();
+
+  /// The schedule checker's event sink (nullptr when checking is off; every
+  /// emission site guards on it, so the disabled cost is a pointer test).
+  [[nodiscard]] CheckSink* check() const noexcept {
+    return core_.config.check_sink;
+  }
 
   ClusterCore& core_;
   std::size_t index_;

@@ -31,6 +31,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "check/events.hpp"
 #include "common/ids.hpp"
 #include "gdo/gdo_service.hpp"
 
@@ -64,6 +65,16 @@ class GlobalLockCache {
     revoked_ = revoked;
   }
 
+  /// Attach the schedule checker's event sink (oracle 4: no two sites may
+  /// simultaneously believe they hold a cached global write lock).  The
+  /// cache reports its own puts/drops so every path — retention, callback
+  /// revocation, capacity eviction, drain, crash wipe — is covered without
+  /// the callers repeating themselves.
+  void set_check(CheckSink* sink, NodeId site) {
+    check_ = sink;
+    site_ = site;
+  }
+
   [[nodiscard]] std::optional<CachedLock> lookup(ObjectId obj) const {
     std::lock_guard<std::mutex> lock(mu_);
     const auto it = entries_.find(obj);
@@ -84,13 +95,16 @@ class GlobalLockCache {
   void put(ObjectId obj, CachedLock entry) {
     std::lock_guard<std::mutex> lock(mu_);
     entry.last_use = ++use_tick_;
+    const LockMode mode = entry.mode;
     entries_.insert_or_assign(obj, std::move(entry));
     if (retained_ != nullptr) retained_->add();
+    if (check_ != nullptr) check_->on_cache_put(site_, obj, mode);
   }
 
   void erase(ObjectId obj) {
     std::lock_guard<std::mutex> lock(mu_);
-    entries_.erase(obj);
+    if (entries_.erase(obj) != 0 && check_ != nullptr)
+      check_->on_cache_drop(site_, obj);
   }
 
   /// Directory callback: surrender the pending report; a write request
@@ -101,10 +115,15 @@ class GlobalLockCache {
     const auto it = entries_.find(obj);
     if (it == entries_.end()) return {};
     CachedFlush flush = extract_locked(it->second);
-    if (requested == LockMode::kWrite)
+    if (requested == LockMode::kWrite) {
       entries_.erase(it);
-    else
+      if (check_ != nullptr) check_->on_cache_drop(site_, obj);
+    } else {
       it->second.mode = LockMode::kRead;
+      // A downgrade re-announces the entry at its new mode; the oracle
+      // models puts as insert-or-assign.
+      if (check_ != nullptr) check_->on_cache_put(site_, obj, LockMode::kRead);
+    }
     if (revoked_ != nullptr) revoked_->add();
     return flush;
   }
@@ -117,6 +136,7 @@ class GlobalLockCache {
     if (it == entries_.end()) return {};
     CachedFlush flush = extract_locked(it->second);
     entries_.erase(it);
+    if (check_ != nullptr) check_->on_cache_drop(site_, obj);
     return flush;
   }
 
@@ -147,6 +167,8 @@ class GlobalLockCache {
   /// directory reclaims the matching markers by lease).
   void clear() {
     std::lock_guard<std::mutex> lock(mu_);
+    if (check_ != nullptr)
+      for (const auto& [obj, e] : entries_) check_->on_cache_drop(site_, obj);
     entries_.clear();
   }
 
@@ -165,6 +187,8 @@ class GlobalLockCache {
   std::uint64_t use_tick_ = 0;
   MetricsCounter* retained_ = nullptr;
   MetricsCounter* revoked_ = nullptr;
+  CheckSink* check_ = nullptr;
+  NodeId site_{};
 };
 
 }  // namespace lotec

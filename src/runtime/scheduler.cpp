@@ -84,7 +84,24 @@ void TokenScheduler::schedule_next_locked() {
   }
 
   const std::size_t k = runnable.size() + (can_spawn ? 1 : 0);
-  const std::size_t pick = (k == 1) ? 0 : rng_.below(k);
+  std::size_t pick = 0;
+  if (k > 1) {
+    if (config_.picker) {
+      pick = config_.picker(runnable,
+                            can_spawn ? next_unstarted_ : kNoSpawn);
+      if (pick >= k) {
+        // Cancel and drain rather than throw: this runs on family threads.
+        if (!cancelled_.load()) {
+          cancelled_.store(true);
+          failure_ = "picker returned choice " + std::to_string(pick) +
+                     " of " + std::to_string(k);
+        }
+        pick = 0;
+      }
+    } else {
+      pick = rng_.below(k);
+    }
+  }
   if (pick < runnable.size()) {
     current_ = runnable[pick];
     cv_.notify_all();

@@ -80,13 +80,34 @@ class Scheduler {
   [[nodiscard]] virtual bool cancelled() const = 0;
 };
 
+/// Controlled-scheduling hook (src/check): replaces the TokenScheduler's
+/// seeded RNG at every *real* decision point (two or more choices).
+/// `runnable` lists the family indices that could take the token next;
+/// `spawn_candidate` is the index of the next not-yet-started family when a
+/// thread slot is free, or TokenScheduler::kNoSpawn.  Return a value in
+/// [0, runnable.size()]: values below runnable.size() hand the token to that
+/// runnable family, exactly runnable.size() (only legal when a spawn
+/// candidate exists) starts the spawn candidate.  Forced moves (one choice)
+/// and stall/victim resolution never consult the picker, so a recorded
+/// decision sequence is exactly the schedule's branching structure.  The
+/// picker runs under the scheduler mutex: it must not touch the scheduler
+/// or the cluster, only its own state.
+using SchedulePicker = std::function<std::size_t(
+    const std::vector<std::size_t>& runnable, std::size_t spawn_candidate)>;
+
 class TokenScheduler final : public Scheduler {
  public:
+  /// spawn_candidate value when no thread slot is free (see SchedulePicker).
+  static constexpr std::size_t kNoSpawn = static_cast<std::size_t>(-1);
+
   struct Config {
     std::uint64_t seed = 1;
     /// Maximum families with live threads at once; further families start
     /// as earlier ones finish.
     std::size_t max_active = 16;
+    /// When set, consulted instead of the seeded RNG at every decision
+    /// point with more than one choice.
+    SchedulePicker picker;
   };
 
   explicit TokenScheduler(Config config) : config_(config) {

@@ -54,65 +54,36 @@ std::vector<std::pair<ObjectId, MethodId>> script_lock_set(
 
 }  // namespace
 
+ClusterConfig ExperimentOptions::to_cluster_config(
+    ProtocolKind protocol) const {
+  ClusterConfig cfg;
+  cfg.nodes = nodes;
+  cfg.protocol = protocol;
+  cfg.page_size = page_size;
+  cfg.seed = cluster_seed;
+  cfg.max_active_families = max_active_families;
+  cfg.net.multicast_capable = multicast;
+  cfg.undo = undo;
+  cfg.cache_capacity_pages = cache_capacity_pages;
+  cfg.lock_cache = lock_cache;
+  cfg.lock_cache_capacity = lock_cache_capacity;
+  cfg.fault = fault;
+  if (fault.has_node_faults()) cfg.gdo.replicate = true;
+  cfg.obs.trace_spans = trace_spans;
+  cfg.obs.spans_jsonl = spans_jsonl;
+  cfg.obs.chrome_trace = chrome_trace;
+  return cfg;
+}
+
 void ExperimentOptions::validate() const {
-  if (nodes == 0)
-    throw UsageError("ExperimentOptions: nodes must be >= 1");
-  if (page_size == 0)
-    throw UsageError("ExperimentOptions: page_size must be > 0");
-  if (max_active_families == 0)
-    throw UsageError("ExperimentOptions: max_active_families must be >= 1");
-  if (lock_cache_capacity > 0 && !lock_cache)
-    throw UsageError(
-        "ExperimentOptions: lock_cache_capacity = " +
-        std::to_string(lock_cache_capacity) +
-        " but lock_cache is off — enable lock_cache or drop the capacity");
   if (site_locality < -1.0 || site_locality > 1.0)
     throw UsageError(
         "ExperimentOptions: site_locality must lie in [-1, 1] (negative "
         "disables hot-site placement); got " + std::to_string(site_locality));
-  const auto check_probability = [](double p, const char* name) {
-    if (p < 0.0 || p > 1.0)
-      throw UsageError(std::string("ExperimentOptions: fault.") + name +
-                       " must be a probability in [0, 1]; got " +
-                       std::to_string(p));
-  };
-  check_probability(fault.drop_probability, "drop_probability");
-  check_probability(fault.duplicate_probability, "duplicate_probability");
-  check_probability(fault.delay_probability, "delay_probability");
-  const auto in_cluster = [&](NodeId n) {
-    return n.valid() && n.value() < nodes;
-  };
-  for (std::size_t i = 0; i < fault.events.size(); ++i) {
-    const FaultEvent& ev = fault.events[i];
-    const bool node_action = ev.action == FaultAction::kCrashNode ||
-                             ev.action == FaultAction::kRestartNode;
-    if (node_action && ev.target == FaultTarget::kFixed &&
-        !in_cluster(ev.node))
-      throw UsageError(
-          "ExperimentOptions: fault event #" + std::to_string(i) +
-          " crashes/restarts node " +
-          (ev.node.valid() ? std::to_string(ev.node.value()) : "<invalid>") +
-          " but the cluster has nodes 0.." + std::to_string(nodes - 1) +
-          " — there is no such node to fault");
-    for (const NodeId n : ev.group_a)
-      if (!in_cluster(n))
-        throw UsageError(
-            "ExperimentOptions: fault event #" + std::to_string(i) +
-            " partitions node " + std::to_string(n.value()) +
-            " outside the cluster (nodes 0.." + std::to_string(nodes - 1) +
-            ")");
-    for (const NodeId n : ev.group_b)
-      if (!in_cluster(n))
-        throw UsageError(
-            "ExperimentOptions: fault event #" + std::to_string(i) +
-            " partitions node " + std::to_string(n.value()) +
-            " outside the cluster (nodes 0.." + std::to_string(nodes - 1) +
-            ")");
-  }
-  if (!trace_spans && (!spans_jsonl.empty() || !chrome_trace.empty()))
-    throw UsageError(
-        "ExperimentOptions: spans_jsonl/chrome_trace name span output files "
-        "but trace_spans is off — set trace_spans = true to record spans");
+  // Everything else maps onto a ClusterConfig knob; one validator, one set
+  // of messages (and Cluster construction runs the same checks, so nothing
+  // slips through a path that skips run_scenario).
+  to_cluster_config(ProtocolKind::kLotec).validate();
 }
 
 std::string protocol_trace_path(const std::string& base,
@@ -129,23 +100,7 @@ std::string protocol_trace_path(const std::string& base,
 ScenarioResult run_scenario(const Workload& workload, ProtocolKind protocol,
                             const ExperimentOptions& options) {
   options.validate();
-  ClusterConfig cfg;
-  cfg.nodes = options.nodes;
-  cfg.protocol = protocol;
-  cfg.page_size = options.page_size;
-  cfg.seed = options.cluster_seed;
-  cfg.max_active_families = options.max_active_families;
-  cfg.net.multicast_capable = options.multicast;
-  cfg.undo = options.undo;
-  cfg.cache_capacity_pages = options.cache_capacity_pages;
-  cfg.lock_cache = options.lock_cache;
-  cfg.lock_cache_capacity = options.lock_cache_capacity;
-  cfg.fault = options.fault;
-  if (options.fault.has_node_faults()) cfg.gdo.replicate = true;
-  cfg.obs.trace_spans = options.trace_spans;
-  cfg.obs.spans_jsonl = options.spans_jsonl;
-  cfg.obs.chrome_trace = options.chrome_trace;
-  Cluster cluster(cfg);
+  Cluster cluster(options.to_cluster_config(protocol));
   if (options.record_trace) cluster.stats().enable_trace(std::size_t{1} << 22);
 
   std::vector<RootRequest> requests = workload.instantiate(cluster);

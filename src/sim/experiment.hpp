@@ -148,8 +148,18 @@ struct ExperimentOptions {
   /// end of the run (requires trace_spans).
   std::string chrome_trace;
 
+  /// The ClusterConfig these options describe for `protocol`.  run_scenario
+  /// builds its cluster from exactly this (plus the request-level knobs —
+  /// site_locality, prefetch_hints, record_trace — which act on requests,
+  /// not the cluster).
+  [[nodiscard]] ClusterConfig to_cluster_config(ProtocolKind protocol) const;
+
   /// Reject incoherent option combinations with an actionable UsageError.
-  /// Called by run_scenario before any cluster is built.
+  /// Checks the experiment-level knobs, then delegates everything with a
+  /// ClusterConfig counterpart to ClusterConfig::validate() — the same
+  /// validation Cluster construction itself runs, so run_scenario and a
+  /// directly-built Cluster reject identical configs with identical
+  /// messages.  Called by run_scenario before any cluster is built.
   void validate() const;
 };
 

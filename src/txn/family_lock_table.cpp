@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "check/events.hpp"
+
 namespace lotec {
 
 LocalAcquireOutcome FamilyLockTable::try_local_acquire(const Transaction& txn,
@@ -25,6 +27,8 @@ LocalAcquireOutcome FamilyLockTable::try_local_acquire(const Transaction& txn,
   for (const auto& [holder_serial, holder_mode] : lock.holders) {
     if (holder_serial == serial) continue;  // re-entrant, handled below
     if (txn.is_self_or_ancestor(holder_serial) && write_involved) {
+      if (check_ != nullptr)
+        check_->on_recursion_precluded(family_, serial, obj);
       throw RecursiveInvocationError(
           obj, txn.id(), TxnId{txn.id().family, holder_serial});
     }

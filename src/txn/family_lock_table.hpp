@@ -27,6 +27,10 @@
 #include "txn/transaction.hpp"
 
 namespace lotec {
+class CheckSink;
+}
+
+namespace lotec {
 
 /// What the local algorithm decided about an acquisition request.
 enum class LocalAcquireOutcome : std::uint8_t {
@@ -101,8 +105,18 @@ class FamilyLockTable {
   [[nodiscard]] std::size_t size() const noexcept { return locks_.size(); }
   void clear() { locks_.clear(); }
 
+  /// Attach the schedule checker's event sink (survives clear()).  The
+  /// table reports mutual-recursion preclusions so the checker can confirm
+  /// the Section 3.4 rule actually fires under adversarial schedules.
+  void set_check(CheckSink* sink, FamilyId family) {
+    check_ = sink;
+    family_ = family;
+  }
+
  private:
   std::unordered_map<ObjectId, LocalLock> locks_;
+  CheckSink* check_ = nullptr;
+  FamilyId family_{};
 };
 
 }  // namespace lotec

@@ -1,0 +1,317 @@
+// Unit tests for the invariant oracles (src/check/oracles): each oracle is
+// fed a synthetic event stream — one clean, one violating — and must flag
+// exactly the violating one.
+#include <gtest/gtest.h>
+
+#include "check/oracles.hpp"
+
+using namespace lotec;
+using namespace lotec::check;
+
+namespace {
+
+constexpr std::uint32_t kRoot = 0;
+constexpr std::uint32_t kNoSerial = CheckSink::kNoSerial;
+
+FamilyId fam(std::uint64_t v) { return FamilyId{v}; }
+ObjectId obj(std::uint64_t v) { return ObjectId{v}; }
+PageIndex pg(std::uint32_t v) { return PageIndex{v}; }
+NodeId node(std::uint32_t v) { return NodeId{v}; }
+
+// --- serializability -------------------------------------------------------
+
+TEST(SerializabilityOracleTest, DisjointFamiliesAreClean) {
+  SerializabilityOracle o;
+  o.on_attempt_start(fam(1));
+  o.on_page_access(fam(1), kRoot, obj(1), pg(0), 0, true);
+  o.on_commit_stamp(fam(1), obj(1), pg(0), 1, node(0));
+  o.on_family_outcome(fam(1), true);
+  o.on_attempt_start(fam(2));
+  o.on_page_access(fam(2), kRoot, obj(2), pg(0), 0, true);
+  o.on_commit_stamp(fam(2), obj(2), pg(0), 1, node(1));
+  o.on_family_outcome(fam(2), true);
+  EXPECT_FALSE(o.finish().has_value());
+}
+
+TEST(SerializabilityOracleTest, RwCycleIsFlagged) {
+  // f1 reads o1 at the version f2 later overwrites (rw: f1 -> f2) and f2
+  // reads o2 at the version f1 later overwrites (rw: f2 -> f1): a classic
+  // write-skew cycle, not conflict-serializable.
+  SerializabilityOracle o;
+  o.on_attempt_start(fam(1));
+  o.on_attempt_start(fam(2));
+  o.on_page_access(fam(1), kRoot, obj(1), pg(0), 0, false);
+  o.on_page_access(fam(2), kRoot, obj(2), pg(0), 0, false);
+  o.on_commit_stamp(fam(1), obj(2), pg(0), 1, node(0));
+  o.on_commit_stamp(fam(2), obj(1), pg(0), 1, node(1));
+  o.on_family_outcome(fam(1), true);
+  o.on_family_outcome(fam(2), true);
+  const auto v = o.finish();
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->oracle, "serializability");
+  EXPECT_NE(v->detail.find("cycle"), std::string::npos) << v->detail;
+}
+
+TEST(SerializabilityOracleTest, UncommittedFamiliesGenerateNoEdges) {
+  SerializabilityOracle o;
+  o.on_attempt_start(fam(1));
+  o.on_attempt_start(fam(2));
+  o.on_page_access(fam(1), kRoot, obj(1), pg(0), 0, false);
+  o.on_page_access(fam(2), kRoot, obj(2), pg(0), 0, false);
+  o.on_commit_stamp(fam(1), obj(2), pg(0), 1, node(0));
+  o.on_commit_stamp(fam(2), obj(1), pg(0), 1, node(1));
+  o.on_family_outcome(fam(1), true);
+  o.on_family_outcome(fam(2), false);  // f2 aborted: no cycle remains
+  EXPECT_FALSE(o.finish().has_value());
+}
+
+TEST(SerializabilityOracleTest, SubtreeAbortErasesItsAccesses) {
+  // The cycle-making access of f1 came from a sub-transaction whose subtree
+  // then aborted: its accesses are rolled back and must not count.
+  SerializabilityOracle o;
+  o.on_attempt_start(fam(1));
+  o.on_attempt_start(fam(2));
+  o.on_page_access(fam(1), /*serial=*/1, obj(1), pg(0), 0, false);
+  o.on_subtree_abort(fam(1), /*first=*/1, /*end=*/2);
+  o.on_page_access(fam(2), kRoot, obj(2), pg(0), 0, false);
+  o.on_commit_stamp(fam(1), obj(2), pg(0), 1, node(0));
+  o.on_commit_stamp(fam(2), obj(1), pg(0), 1, node(1));
+  o.on_family_outcome(fam(1), true);
+  o.on_family_outcome(fam(2), true);
+  EXPECT_FALSE(o.finish().has_value());
+}
+
+TEST(SerializabilityOracleTest, RetryDropsEarlierAttemptAccesses) {
+  SerializabilityOracle o;
+  o.on_attempt_start(fam(1));
+  o.on_page_access(fam(1), kRoot, obj(1), pg(0), 0, false);
+  o.on_attempt_start(fam(1));  // deadlock restart: attempt 1 rolled back
+  o.on_page_access(fam(1), kRoot, obj(2), pg(0), 0, false);
+  o.on_commit_stamp(fam(1), obj(2), pg(0), 1, node(0));
+  o.on_family_outcome(fam(1), true);
+  o.on_attempt_start(fam(2));
+  o.on_commit_stamp(fam(2), obj(1), pg(0), 1, node(1));
+  o.on_family_outcome(fam(2), true);
+  // With attempt 1's o1 access dropped, f1 only conflicts with f2 via its
+  // own o2 stamp ordering — no cycle.
+  EXPECT_FALSE(o.finish().has_value());
+}
+
+// --- lock discipline -------------------------------------------------------
+
+TEST(LockDisciplineOracleTest, RetentionLifecycleIsClean) {
+  LockDisciplineOracle o;
+  o.on_attempt_start(fam(1));
+  o.on_txn_begin(fam(1), kRoot, kNoSerial, obj(1));
+  o.on_txn_begin(fam(1), 1, kRoot, obj(2));
+  o.on_global_grant(fam(1), 1, obj(2), LockMode::kWrite, false, false, false);
+  o.on_pre_commit(fam(1), 1, kRoot);  // rule 3: retained by the root
+  o.on_lock_release(fam(1), obj(2), CheckReleaseReason::kRootCommit);
+  o.on_family_outcome(fam(1), true);
+  EXPECT_FALSE(o.finish().has_value());
+}
+
+TEST(LockDisciplineOracleTest, MidFamilyReleaseWhileRetainedIsFlagged) {
+  // Exactly the break_retention mutation: the sub-transaction pre-commits
+  // (lock retained by its parent) and the lock is then released mid-family.
+  LockDisciplineOracle o;
+  o.on_attempt_start(fam(1));
+  o.on_txn_begin(fam(1), kRoot, kNoSerial, obj(1));
+  o.on_txn_begin(fam(1), 1, kRoot, obj(2));
+  o.on_global_grant(fam(1), 1, obj(2), LockMode::kWrite, false, false, false);
+  o.on_pre_commit(fam(1), 1, kRoot);
+  o.on_lock_release(fam(1), obj(2), CheckReleaseReason::kSubtreeAbort);
+  const auto v = o.finish();
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->oracle, "lock-discipline");
+  EXPECT_NE(v->detail.find("Moss retention broken"), std::string::npos)
+      << v->detail;
+}
+
+TEST(LockDisciplineOracleTest, SubtreeAbortReleaseIsClean) {
+  LockDisciplineOracle o;
+  o.on_attempt_start(fam(1));
+  o.on_txn_begin(fam(1), kRoot, kNoSerial, obj(1));
+  o.on_txn_begin(fam(1), 1, kRoot, obj(2));
+  o.on_global_grant(fam(1), 1, obj(2), LockMode::kWrite, false, false, false);
+  o.on_subtree_abort(fam(1), 1, 2);  // rule 4: t1's locks may now go
+  o.on_lock_release(fam(1), obj(2), CheckReleaseReason::kSubtreeAbort);
+  o.on_family_outcome(fam(1), false);
+  EXPECT_FALSE(o.finish().has_value());
+}
+
+TEST(LockDisciplineOracleTest, MidFamilyReleaseWithoutAbortIsFlagged) {
+  LockDisciplineOracle o;
+  o.on_attempt_start(fam(1));
+  o.on_txn_begin(fam(1), kRoot, kNoSerial, obj(1));
+  // The lock was never tracked as held (already released), but no subtree
+  // abort preceded the release either — rule 4 fired without its premise.
+  o.on_lock_release(fam(1), obj(2), CheckReleaseReason::kSubtreeAbort);
+  const auto v = o.finish();
+  ASSERT_TRUE(v.has_value());
+  EXPECT_NE(v->detail.find("without a preceding subtree abort"),
+            std::string::npos)
+      << v->detail;
+}
+
+TEST(LockDisciplineOracleTest, NonAncestorRetainerIsFlagged) {
+  // Tree: root 0 -> {1 -> 2, 3}.  t2 pre-commits (retainer becomes t1);
+  // granting the same lock to t3 violates rule 1: t1 is not t3's ancestor.
+  LockDisciplineOracle o;
+  o.on_attempt_start(fam(1));
+  o.on_txn_begin(fam(1), kRoot, kNoSerial, obj(1));
+  o.on_txn_begin(fam(1), 1, kRoot, obj(2));
+  o.on_txn_begin(fam(1), 2, 1, obj(3));
+  o.on_global_grant(fam(1), 2, obj(3), LockMode::kWrite, false, false, false);
+  o.on_pre_commit(fam(1), 2, 1);
+  o.on_txn_begin(fam(1), 3, kRoot, obj(3));
+  o.on_global_grant(fam(1), 3, obj(3), LockMode::kWrite, false, false, false);
+  const auto v = o.finish();
+  ASSERT_TRUE(v.has_value());
+  EXPECT_NE(v->detail.find("non-ancestor"), std::string::npos) << v->detail;
+}
+
+TEST(LockDisciplineOracleTest, AncestorRetainerIsClean) {
+  // Same shape, but the second requester t3 is a DESCENDANT of the retainer.
+  LockDisciplineOracle o;
+  o.on_attempt_start(fam(1));
+  o.on_txn_begin(fam(1), kRoot, kNoSerial, obj(1));
+  o.on_txn_begin(fam(1), 1, kRoot, obj(2));
+  o.on_global_grant(fam(1), 1, obj(3), LockMode::kWrite, false, false, false);
+  o.on_pre_commit(fam(1), 1, kRoot);  // retainer: root
+  o.on_txn_begin(fam(1), 2, kRoot, obj(3));
+  o.on_global_grant(fam(1), 2, obj(3), LockMode::kWrite, false, false, false);
+  o.on_lock_release(fam(1), obj(3), CheckReleaseReason::kRootCommit);
+  o.on_family_outcome(fam(1), true);
+  EXPECT_FALSE(o.finish().has_value());
+}
+
+TEST(LockDisciplineOracleTest, CountsRecursionPreclusions) {
+  LockDisciplineOracle o;
+  EXPECT_EQ(o.recursion_preclusions(), 0u);
+  o.on_recursion_precluded(fam(1), 2, obj(3));
+  o.on_recursion_precluded(fam(1), 2, obj(3));
+  EXPECT_EQ(o.recursion_preclusions(), 2u);
+  EXPECT_FALSE(o.finish().has_value());
+}
+
+// --- page coherence --------------------------------------------------------
+
+TEST(CoherenceOracleTest, FreshAccessIsClean) {
+  CoherenceOracle o;
+  o.on_commit_stamp(fam(1), obj(1), pg(0), 1, node(0));
+  o.on_directory_stamp(obj(1), pg(0), 1, node(0));
+  o.on_page_access(fam(2), kRoot, obj(1), pg(0), 1, false);
+  EXPECT_FALSE(o.finish().has_value());
+}
+
+TEST(CoherenceOracleTest, StaleAccessIsFlagged) {
+  CoherenceOracle o;
+  o.on_commit_stamp(fam(1), obj(1), pg(0), 2, node(0));
+  o.on_directory_stamp(obj(1), pg(0), 2, node(0));
+  o.on_page_access(fam(2), kRoot, obj(1), pg(0), 1, false);
+  const auto v = o.finish();
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->oracle, "page-coherence");
+  EXPECT_NE(v->detail.find("directory has published"), std::string::npos)
+      << v->detail;
+}
+
+TEST(CoherenceOracleTest, PublicationWithoutCommitStampIsFlagged) {
+  CoherenceOracle o;
+  o.on_directory_stamp(obj(1), pg(0), 3, node(0));
+  const auto v = o.finish();
+  ASSERT_TRUE(v.has_value());
+  EXPECT_NE(v->detail.find("no site-side commit stamp"), std::string::npos)
+      << v->detail;
+}
+
+TEST(CoherenceOracleTest, CrashDisablesStalenessChecks) {
+  // Crash recovery legitimately republishes older state; the oracle must
+  // stand down instead of false-positive on lease reclamation.
+  CoherenceOracle o;
+  o.on_commit_stamp(fam(1), obj(1), pg(0), 2, node(0));
+  o.on_directory_stamp(obj(1), pg(0), 2, node(0));
+  o.on_node_crash(node(0), 1);
+  o.on_page_access(fam(2), kRoot, obj(1), pg(0), 1, false);
+  o.on_directory_stamp(obj(1), pg(0), 9, node(1));
+  EXPECT_FALSE(o.finish().has_value());
+}
+
+// --- cache epochs ----------------------------------------------------------
+
+TEST(CacheEpochOracleTest, SharedReadCachingIsClean) {
+  CacheEpochOracle o;
+  o.on_cache_put(node(0), obj(1), LockMode::kRead);
+  o.on_cache_put(node(1), obj(1), LockMode::kRead);
+  EXPECT_FALSE(o.finish().has_value());
+}
+
+TEST(CacheEpochOracleTest, ConflictingCachedLocksAreFlagged) {
+  CacheEpochOracle o;
+  o.on_cache_put(node(0), obj(1), LockMode::kWrite);
+  o.on_cache_put(node(1), obj(1), LockMode::kRead);
+  const auto v = o.finish();
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->oracle, "cache-epoch");
+  EXPECT_NE(v->detail.find("conflicting modes"), std::string::npos)
+      << v->detail;
+}
+
+TEST(CacheEpochOracleTest, DropClearsTheEntry) {
+  CacheEpochOracle o;
+  o.on_cache_put(node(0), obj(1), LockMode::kWrite);
+  o.on_cache_drop(node(0), obj(1));
+  o.on_cache_put(node(1), obj(1), LockMode::kWrite);
+  EXPECT_FALSE(o.finish().has_value());
+}
+
+TEST(CacheEpochOracleTest, CrashWipesTheSite) {
+  CacheEpochOracle o;
+  o.on_cache_put(node(0), obj(1), LockMode::kWrite);
+  o.on_node_crash(node(0), 1);
+  o.on_cache_put(node(1), obj(1), LockMode::kWrite);
+  EXPECT_FALSE(o.finish().has_value());
+}
+
+// --- fanout ----------------------------------------------------------------
+
+TEST(FanoutSinkTest, CountsAndFingerprintsMessages) {
+  FanoutSink a, b;
+  WireMessage m{};
+  m.kind = MessageKind::kLockAcquireRequest;
+  m.src = node(0);
+  m.dst = node(1);
+  m.object = obj(3);
+  m.payload_bytes = 64;
+  a.on_transport_message(m);
+  b.on_transport_message(m);
+  EXPECT_EQ(a.messages(), 1u);
+  EXPECT_EQ(a.message_hash(), b.message_hash());
+  // Any field difference must change the fingerprint.
+  m.payload_bytes = 65;
+  b.on_transport_message(m);
+  a.on_transport_message(m);
+  EXPECT_EQ(a.message_hash(), b.message_hash());
+  m.dst = node(0);
+  a.on_transport_message(m);
+  EXPECT_NE(a.message_hash(), b.message_hash());
+}
+
+TEST(FanoutSinkTest, ForwardsToAllSinksInOrder) {
+  LockDisciplineOracle locks;
+  SerializabilityOracle ser;
+  FanoutSink fanout;
+  fanout.add(&locks);
+  fanout.add(&ser);
+  fanout.on_attempt_start(fam(1));
+  fanout.on_txn_begin(fam(1), kRoot, kNoSerial, obj(1));
+  fanout.on_page_access(fam(1), kRoot, obj(1), pg(0), 0, true);
+  fanout.on_recursion_precluded(fam(1), kRoot, obj(1));
+  EXPECT_EQ(locks.recursion_preclusions(), 1u);
+  fanout.on_family_outcome(fam(1), true);
+  EXPECT_FALSE(locks.finish().has_value());
+  EXPECT_FALSE(ser.finish().has_value());
+}
+
+}  // namespace

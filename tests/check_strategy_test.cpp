@@ -1,0 +1,229 @@
+// Unit tests for the schedule-exploration strategies and the decision-trace
+// format (src/check): trace round-tripping, replay clamping, random-walk /
+// PCT determinism, and the DFS enumeration with partial-order pruning,
+// driven against synthetic decision trees.
+#include <gtest/gtest.h>
+
+#include "check/decision_trace.hpp"
+#include "check/strategy.hpp"
+#include "common/error.hpp"
+
+using namespace lotec;
+using namespace lotec::check;
+
+namespace {
+
+constexpr std::size_t kNoSpawn = Strategy::kNoSpawn;
+
+TEST(DecisionTraceTest, SerializeParseRoundTrip) {
+  DecisionTrace t;
+  t.decisions = {{2, 1}, {3, 0}, {4, 3}};
+  const DecisionTrace back = DecisionTrace::parse(t.serialize());
+  EXPECT_EQ(back, t);
+  EXPECT_EQ(t.nonzero_picks(), 2u);
+}
+
+TEST(DecisionTraceTest, ParseRejectsMalformedInput) {
+  EXPECT_THROW((void)DecisionTrace::parse("not a trace\n2 1\n"), Error);
+  // k < 2 is never recorded (the picker only runs at real decision points).
+  EXPECT_THROW(
+      (void)DecisionTrace::parse(DecisionTrace{{{2, 1}}}.serialize() + "1 0\n"),
+      Error);
+  // pick out of range for its k.
+  EXPECT_THROW(
+      (void)DecisionTrace::parse(DecisionTrace{{{2, 1}}}.serialize() + "2 2\n"),
+      Error);
+}
+
+TEST(ReplayStrategyTest, ReplaysPicksAndClampsOutOfRange) {
+  DecisionTrace t;
+  t.decisions = {{3, 2}, {4, 3}};
+  ReplayStrategy replay(t);
+  ASSERT_TRUE(replay.begin_schedule(0));
+  EXPECT_EQ(replay.pick({5, 6, 7}, kNoSpawn), 2u);
+  // Recorded pick 3 but only 2 choices offered now: fall back to 0.
+  EXPECT_EQ(replay.pick({5, 6}, kNoSpawn), 0u);
+  // Past the end of the trace: 0.
+  EXPECT_EQ(replay.pick({5, 6, 7}, kNoSpawn), 0u);
+}
+
+TEST(RandomWalkStrategyTest, DeterministicPerScheduleIndex) {
+  RandomWalkStrategy a(99), b(99);
+  for (const std::uint64_t index : {0ULL, 1ULL, 7ULL}) {
+    ASSERT_TRUE(a.begin_schedule(index));
+    ASSERT_TRUE(b.begin_schedule(index));
+    for (int i = 0; i < 50; ++i) {
+      const std::uint32_t pa = a.pick({0, 1, 2}, 3);
+      EXPECT_EQ(pa, b.pick({0, 1, 2}, 3));
+      EXPECT_LT(pa, 4u);
+    }
+  }
+}
+
+TEST(RandomWalkStrategyTest, DifferentIndicesGiveDifferentWalks) {
+  RandomWalkStrategy s(7);
+  std::vector<std::uint32_t> first, second;
+  ASSERT_TRUE(s.begin_schedule(0));
+  for (int i = 0; i < 32; ++i) first.push_back(s.pick({0, 1, 2, 3}, kNoSpawn));
+  ASSERT_TRUE(s.begin_schedule(1));
+  for (int i = 0; i < 32; ++i) second.push_back(s.pick({0, 1, 2, 3}, kNoSpawn));
+  EXPECT_NE(first, second);
+}
+
+TEST(PctStrategyTest, DeterministicAndInRange) {
+  PctStrategy a(5, 3), b(5, 3);
+  for (const std::uint64_t index : {0ULL, 3ULL}) {
+    ASSERT_TRUE(a.begin_schedule(index));
+    ASSERT_TRUE(b.begin_schedule(index));
+    for (int i = 0; i < 64; ++i) {
+      if (i % 3 == 0) {
+        a.note_message();
+        b.note_message();
+      }
+      const std::uint32_t pa = a.pick({0, 1, 2}, 3);
+      EXPECT_EQ(pa, b.pick({0, 1, 2}, 3));
+      EXPECT_LT(pa, 4u);
+    }
+    a.end_schedule();
+    b.end_schedule();
+  }
+}
+
+TEST(PctStrategyTest, LeaderIsStableBetweenChangepoints) {
+  // With no messages flowing, no changepoint fires, so the highest-priority
+  // candidate keeps running — the defining property of PCT.
+  PctStrategy s(123, 2);
+  ASSERT_TRUE(s.begin_schedule(0));
+  const std::uint32_t first = s.pick({0, 1, 2}, kNoSpawn);
+  for (int i = 0; i < 10; ++i)
+    EXPECT_EQ(s.pick({0, 1, 2}, kNoSpawn), first);
+}
+
+// Drives the DFS against a synthetic two-decision tree where both
+// candidates' first lock ops are writes to the SAME object (dependent),
+// so nothing may be pruned and the full 2x2 tree is enumerated.
+TEST(DfsStrategyTest, EnumeratesFullTreeWhenDependent) {
+  DfsStrategy dfs(8);
+  std::vector<std::vector<std::uint32_t>> schedules;
+  std::uint64_t index = 0;
+  while (dfs.begin_schedule(index++)) {
+    std::vector<std::uint32_t> picks;
+    for (int d = 0; d < 2; ++d) {
+      const std::uint32_t p = dfs.pick({0, 1}, kNoSpawn);
+      picks.push_back(p);
+      // Both families run and immediately write the shared object.
+      dfs.note_lock_op(0, 7, /*write=*/true);
+      dfs.note_lock_op(1, 7, /*write=*/true);
+    }
+    dfs.end_schedule();
+    schedules.push_back(picks);
+    ASSERT_LT(index, 64u) << "DFS failed to exhaust";
+  }
+  EXPECT_EQ(schedules.size(), 4u);
+  // All four leaves, first-child-first order.
+  const std::vector<std::vector<std::uint32_t>> expect = {
+      {0, 0}, {0, 1}, {1, 0}, {1, 1}};
+  EXPECT_EQ(schedules, expect);
+}
+
+TEST(DfsStrategyTest, PrunesIndependentSiblings) {
+  // First lock ops touch DIFFERENT objects: the sibling's subtree is an
+  // equivalent interleaving of the explored one, so each node collapses to
+  // its first child and the whole tree is one schedule.
+  DfsStrategy dfs(8);
+  std::uint64_t schedules = 0;
+  std::uint64_t index = 0;
+  while (dfs.begin_schedule(index++)) {
+    for (int d = 0; d < 2; ++d) {
+      (void)dfs.pick({0, 1}, kNoSpawn);
+      dfs.note_lock_op(0, 100, /*write=*/true);
+      dfs.note_lock_op(1, 200, /*write=*/true);
+    }
+    dfs.end_schedule();
+    ++schedules;
+    ASSERT_LT(index, 64u);
+  }
+  EXPECT_EQ(schedules, 1u);
+}
+
+TEST(DfsStrategyTest, ReadsAreIndependentWritesAreNot) {
+  // Same object, both reads: pruned down to one schedule.
+  DfsStrategy reads(8);
+  std::uint64_t n = 0, index = 0;
+  while (reads.begin_schedule(index++)) {
+    (void)reads.pick({0, 1}, kNoSpawn);
+    reads.note_lock_op(0, 7, false);
+    reads.note_lock_op(1, 7, false);
+    reads.end_schedule();
+    ++n;
+    ASSERT_LT(index, 16u);
+  }
+  EXPECT_EQ(n, 1u);
+
+  // Same object, read vs write: both orders matter.
+  DfsStrategy mixed(8);
+  n = 0;
+  index = 0;
+  while (mixed.begin_schedule(index++)) {
+    (void)mixed.pick({0, 1}, kNoSpawn);
+    mixed.note_lock_op(0, 7, false);
+    mixed.note_lock_op(1, 7, true);
+    mixed.end_schedule();
+    ++n;
+    ASSERT_LT(index, 16u);
+  }
+  EXPECT_EQ(n, 2u);
+}
+
+TEST(DfsStrategyTest, NeverPrunesUnknownFootprints) {
+  // No lock ops observed during the schedule: footprints resolve to
+  // "finished" only at end_schedule, so the first schedule explores slot 0
+  // everywhere and the siblings are then pruned as independent.
+  DfsStrategy dfs(8);
+  std::uint64_t n = 0, index = 0;
+  while (dfs.begin_schedule(index++)) {
+    for (int d = 0; d < 3; ++d) (void)dfs.pick({0, 1, 2}, kNoSpawn);
+    dfs.end_schedule();
+    ++n;
+    ASSERT_LT(index, 128u);
+  }
+  EXPECT_EQ(n, 1u);
+}
+
+TEST(DfsStrategyTest, DepthBoundLimitsBranching) {
+  // max_depth 1: only the first decision branches; deeper picks default to
+  // 0 untracked.  Dependent ops -> exactly k schedules.
+  DfsStrategy dfs(1);
+  std::vector<std::uint32_t> first_picks;
+  std::uint64_t index = 0;
+  while (dfs.begin_schedule(index++)) {
+    first_picks.push_back(dfs.pick({0, 1, 2}, kNoSpawn));
+    dfs.note_lock_op(0, 7, true);
+    dfs.note_lock_op(1, 7, true);
+    dfs.note_lock_op(2, 7, true);
+    // Beyond the bound: untracked, always 0.
+    EXPECT_EQ(dfs.pick({0, 1, 2}, kNoSpawn), 0u);
+    EXPECT_EQ(dfs.stack_depth(), 1u);
+    dfs.end_schedule();
+    ASSERT_LT(index, 32u);
+  }
+  EXPECT_EQ(first_picks, (std::vector<std::uint32_t>{0, 1, 2}));
+}
+
+TEST(DfsStrategyTest, SpawnSlotIsBranchedLikeAnyChoice) {
+  // One runnable family plus a spawn candidate: k = 2, both orders explored
+  // when the spawned family's first op conflicts.
+  DfsStrategy dfs(4);
+  std::vector<std::uint32_t> picks;
+  std::uint64_t index = 0;
+  while (dfs.begin_schedule(index++)) {
+    picks.push_back(dfs.pick({0}, /*spawn_candidate=*/1));
+    dfs.note_lock_op(0, 7, true);
+    dfs.note_lock_op(1, 7, true);
+    dfs.end_schedule();
+    ASSERT_LT(index, 16u);
+  }
+  EXPECT_EQ(picks, (std::vector<std::uint32_t>{0, 1}));
+}
+
+}  // namespace

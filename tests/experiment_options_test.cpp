@@ -147,6 +147,103 @@ TEST(ExperimentOptionsTest, RunScenarioValidatesBeforeBuildingACluster) {
                UsageError);
 }
 
+TEST(ExperimentOptionsTest, ToClusterConfigCarriesEveryKnob) {
+  ExperimentOptions options;
+  options.nodes = 7;
+  options.page_size = 512;
+  options.cluster_seed = 99;
+  options.max_active_families = 3;
+  options.multicast = true;
+  options.undo = UndoStrategy::kShadowPage;
+  options.cache_capacity_pages = 11;
+  options.lock_cache = true;
+  options.lock_cache_capacity = 5;
+  options.trace_spans = true;
+  options.spans_jsonl = "spans.jsonl";
+  const ClusterConfig cfg = options.to_cluster_config(ProtocolKind::kRc);
+  EXPECT_EQ(cfg.nodes, 7u);
+  EXPECT_EQ(cfg.protocol, ProtocolKind::kRc);
+  EXPECT_EQ(cfg.page_size, 512u);
+  EXPECT_EQ(cfg.seed, 99u);
+  EXPECT_EQ(cfg.max_active_families, 3u);
+  EXPECT_TRUE(cfg.net.multicast_capable);
+  EXPECT_EQ(cfg.undo, UndoStrategy::kShadowPage);
+  EXPECT_EQ(cfg.cache_capacity_pages, 11u);
+  EXPECT_TRUE(cfg.lock_cache);
+  EXPECT_EQ(cfg.lock_cache_capacity, 5u);
+  EXPECT_TRUE(cfg.obs.trace_spans);
+  EXPECT_EQ(cfg.obs.spans_jsonl, "spans.jsonl");
+}
+
+TEST(ExperimentOptionsTest, NodeFaultsImplyGdoReplication) {
+  ExperimentOptions options;
+  FaultEvent crash;
+  crash.action = FaultAction::kCrashNode;
+  crash.at_tick = 10;
+  crash.node = NodeId(1);
+  options.fault.events.push_back(crash);
+  EXPECT_TRUE(
+      options.to_cluster_config(ProtocolKind::kLotec).gdo.replicate);
+  EXPECT_NO_THROW(options.validate());
+}
+
+// The previously missing test: a directly-constructed Cluster rejects the
+// same incoherent configs run_scenario rejects — validation happens in
+// ClusterCore construction, not only in the experiment harness.
+TEST(ExperimentOptionsTest, ClusterConstructionValidates) {
+  const auto expect_ctor_rejected = [](const ClusterConfig& cfg,
+                                       const char* needle) {
+    try {
+      Cluster cluster(cfg);
+      FAIL() << "expected UsageError mentioning '" << needle << "'";
+    } catch (const UsageError& e) {
+      EXPECT_NE(std::string(e.what()).find(needle), std::string::npos)
+          << e.what();
+    }
+  };
+
+  ClusterConfig cfg;
+  cfg.nodes = 0;
+  expect_ctor_rejected(cfg, "nodes must be >= 1");
+
+  cfg = {};
+  cfg.lock_cache_capacity = 4;
+  expect_ctor_rejected(cfg, "enable lock_cache");
+
+  cfg = {};
+  cfg.fault.drop_probability = 1.5;
+  expect_ctor_rejected(cfg, "[0, 1]");
+
+  cfg = {};
+  FaultEvent crash;
+  crash.action = FaultAction::kCrashNode;
+  crash.at_tick = 1;
+  crash.node = NodeId(99);
+  cfg.fault.events.push_back(crash);
+  cfg.gdo.replicate = true;
+  expect_ctor_rejected(cfg, "no such node");
+
+  cfg = {};
+  FaultEvent part;
+  part.action = FaultAction::kPartitionStart;
+  part.at_tick = 1;
+  part.group_a = {NodeId(99)};
+  cfg.fault.events.push_back(part);
+  expect_ctor_rejected(cfg, "partitions node");
+
+  cfg = {};
+  cfg.obs.chrome_trace = "trace.json";
+  expect_ctor_rejected(cfg, "trace_spans");
+
+  cfg = {};
+  cfg.scheduler = SchedulerMode::kConcurrent;
+  cfg.lock_cache = true;
+  expect_ctor_rejected(cfg, "deterministic scheduler");
+
+  cfg = {};
+  EXPECT_NO_THROW(Cluster{cfg});
+}
+
 TEST(ExperimentOptionsTest, ProtocolTracePathInsertsTagBeforeExtension) {
   EXPECT_EQ(protocol_trace_path("trace.json", ProtocolKind::kLotec),
             "trace_LOTEC.json");

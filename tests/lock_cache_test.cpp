@@ -226,6 +226,71 @@ TEST(LockCacheTest, HotSiteWorkloadCutsLockTraffic) {
   EXPECT_LT(on.lock_messages(), off.lock_messages());
 }
 
+TEST(LockCacheTest, EvictionRacingCallbackRoundLeavesDirectoryConsistent) {
+  // The evict-while-callback-pending window: capacity eviction extracts the
+  // entry locally (take_flush) *before* its flush reaches the directory.  If
+  // the flush never lands, the directory still holds the cached marker and a
+  // later conflicting acquire runs a full kLockCallback round against a site
+  // whose entry is already gone — revoke() must come back empty-handed and
+  // the directory must still erase the marker and grant.  Releases are
+  // modeled reliable (cannot be dropped), so the flush is killed the only
+  // way a reliable send can die: its destination — o1's directory home —
+  // crashes on that exact message, and the replicated failover directory
+  // keeps serving the stale marker.
+  ClusterConfig cfg = cache_config(true);
+  cfg.lock_cache_capacity = 1;
+  cfg.gdo.replicate = true;
+  FaultEvent crash;  // fell the flush's destination on the flush itself
+  crash.action = FaultAction::kCrashNode;
+  crash.on_kind = MessageKind::kLockReleaseRequest;
+  crash.nth = 1;
+  crash.target = FaultTarget::kMessageDst;
+  cfg.fault.events.push_back(crash);
+  Cluster cluster(cfg);
+  const ClassId cls = define_counter(cluster, 256);
+  const ObjectId o1 = cluster.create_object(cls, NodeId(0));
+  const ObjectId o2 = cluster.create_object(cls, NodeId(0));
+  const NodeId a = remote_site(cluster, o1, NodeId(0));
+  const NodeId home = cluster.gdo().home_of(o1);
+  NodeId b;
+  for (std::uint32_t n = 0; n < cluster.num_nodes(); ++n)
+    if (NodeId(n) != home && NodeId(n) != a) b = NodeId(n);
+
+  // f1 caches o1's write lock at `a`; f2 (o2 at `a`) overflows the 1-entry
+  // cache and evicts o1 — the flush is the batch's first kLockReleaseRequest
+  // and the fault schedule kills it, stranding o1's marker at the directory;
+  // f3 (o1 at `b`) then collides with that stale marker.
+  auto reqs = batch_at(cluster, o1, "increment", 1, a);
+  auto more = batch_at(cluster, o2, "increment", 1, a);
+  reqs.insert(reqs.end(), more.begin(), more.end());
+  more = batch_at(cluster, o1, "increment", 1, b);
+  reqs.insert(reqs.end(), more.begin(), more.end());
+  const auto results = cluster.execute(std::move(reqs));
+  for (const TxnResult& r : results) ASSERT_TRUE(r.committed);
+
+  // Exactly the flush died (its destination crashed on it), and it was o1's.
+  ASSERT_GE(cluster.fault_engine()->trace().size(), 1u);
+  const FaultRecord& killed = cluster.fault_engine()->trace()[0];
+  EXPECT_EQ(killed.action, FaultAction::kCrashNode);
+  EXPECT_EQ(killed.kind, MessageKind::kLockReleaseRequest);
+  EXPECT_EQ(killed.object, o1);
+  EXPECT_EQ(killed.node, home);
+
+  // The collision ran a real callback round (wire messages and all) against
+  // the evicted entry, and the empty reply still cleared the marker.
+  EXPECT_EQ(cluster.gdo().cache_callbacks(), 1u);
+  EXPECT_EQ(cluster.stats().by_kind(MessageKind::kLockCallback).messages, 1u);
+  EXPECT_EQ(cluster.stats().by_kind(MessageKind::kCallbackReply).messages, 1u);
+  EXPECT_FALSE(cluster.node(a).lock_cache.contains(o1));
+
+  // Writeback semantics: o1's update at `a` was committed under the cached
+  // lock and its flush died, so `b` built on the last *published* version —
+  // the deferred increment is lost, the directory never serves a torn state.
+  EXPECT_EQ(cluster.peek<std::int64_t>(o1, "value"), 1);
+  EXPECT_EQ(cluster.peek<std::int64_t>(o2, "value"), 1);
+  EXPECT_TRUE(validate_quiescent(cluster).empty());
+}
+
 /// One seeded chaos run with the lock cache on: crash + restart the hot
 /// object's directory home and the caching site mid-workload.
 struct CacheChaosOutcome {

@@ -10,7 +10,7 @@ namespace lotec {
 namespace {
 
 TEST(TokenSchedulerTest, RunsEveryBodyOnce) {
-  TokenScheduler sched({.seed = 1, .max_active = 2});
+  TokenScheduler sched({.seed = 1, .max_active = 2, .picker = {}});
   std::vector<int> counts(5, 0);
   std::vector<std::function<void()>> bodies;
   for (int i = 0; i < 5; ++i)
@@ -20,13 +20,13 @@ TEST(TokenSchedulerTest, RunsEveryBodyOnce) {
 }
 
 TEST(TokenSchedulerTest, EmptyRunCompletes) {
-  TokenScheduler sched({.seed = 1, .max_active = 4});
+  TokenScheduler sched({.seed = 1, .max_active = 4, .picker = {}});
   EXPECT_NO_THROW(sched.run({}, nullptr));
 }
 
 TEST(TokenSchedulerTest, InterleavingIsDeterministicPerSeed) {
   const auto trace_for = [](std::uint64_t seed) {
-    TokenScheduler sched({.seed = seed, .max_active = 4});
+    TokenScheduler sched({.seed = seed, .max_active = 4, .picker = {}});
     std::vector<int> trace;
     std::vector<std::function<void()>> bodies;
     for (int i = 0; i < 6; ++i)
@@ -48,7 +48,7 @@ TEST(TokenSchedulerTest, InterleavingIsDeterministicPerSeed) {
 }
 
 TEST(TokenSchedulerTest, OnlyOneFamilyRunsAtATime) {
-  TokenScheduler sched({.seed = 3, .max_active = 8});
+  TokenScheduler sched({.seed = 3, .max_active = 8, .picker = {}});
   std::atomic<int> running{0};
   std::atomic<bool> overlap{false};
   std::vector<std::function<void()>> bodies;
@@ -65,7 +65,7 @@ TEST(TokenSchedulerTest, OnlyOneFamilyRunsAtATime) {
 }
 
 TEST(TokenSchedulerTest, BlockWakeHandshake) {
-  TokenScheduler sched({.seed = 1, .max_active = 2});
+  TokenScheduler sched({.seed = 1, .max_active = 2, .picker = {}});
   std::vector<int> order;
   std::vector<std::function<void()>> bodies(2);
   bodies[0] = [&] {
@@ -85,7 +85,7 @@ TEST(TokenSchedulerTest, BlockWakeHandshake) {
 }
 
 TEST(TokenSchedulerTest, StallPicksVictimWhichThrows) {
-  TokenScheduler sched({.seed = 1, .max_active = 2});
+  TokenScheduler sched({.seed = 1, .max_active = 2, .picker = {}});
   bool victimized = false;
   int stalls = 0;
   std::vector<std::function<void()>> bodies(2);
@@ -107,7 +107,7 @@ TEST(TokenSchedulerTest, StallPicksVictimWhichThrows) {
 }
 
 TEST(TokenSchedulerTest, UnresolvableStallCancelsRun) {
-  TokenScheduler sched({.seed = 1, .max_active = 1});
+  TokenScheduler sched({.seed = 1, .max_active = 1, .picker = {}});
   bool saw_victim_error = false;
   std::vector<std::function<void()>> bodies(1);
   bodies[0] = [&] {
@@ -126,7 +126,7 @@ TEST(TokenSchedulerTest, UnresolvableStallCancelsRun) {
 }
 
 TEST(TokenSchedulerTest, MaxActiveBoundsConcurrentFamilies) {
-  TokenScheduler sched({.seed = 2, .max_active = 2});
+  TokenScheduler sched({.seed = 2, .max_active = 2, .picker = {}});
   // With max_active=2 and bodies that block until woken by a later body,
   // progress requires the scheduler to only admit 2 at a time and still
   // finish: body i wakes body i-1.

@@ -8,6 +8,13 @@
 //   its baseline value.  Extra candidate files/fields are ignored, so new
 //   benches can land before their baselines do.
 //
+// Exit codes (CI distinguishes "perf regressed" from "bench never ran"):
+//   0  every metric within tolerance
+//   1  at least one metric out of tolerance (and nothing missing)
+//   2  usage error
+//   3  missing data: candidate file absent, unparseable JSON, row/field
+//      missing from the candidate, or no BENCH_*.json baselines at all
+//
 // The parser below handles exactly the flat format bench/json_out.hpp
 // emits ({"bench": ..., "rows": [{"label": ..., key: number, ...}]}) — the
 // repo takes no JSON library dependency for a 60-line need.
@@ -121,7 +128,7 @@ int main(int argc, char** argv) {
   const std::filesystem::path candidate_dir = argv[2];
   const double tolerance = argc == 4 ? std::atof(argv[3]) : 0.10;
 
-  int checked = 0, failures = 0;
+  int checked = 0, out_of_tolerance = 0, missing = 0;
   for (const auto& entry :
        std::filesystem::directory_iterator(baseline_dir)) {
     const std::string name = entry.path().filename().string();
@@ -131,7 +138,7 @@ int main(int argc, char** argv) {
     if (!std::filesystem::exists(candidate)) {
       std::cerr << "FAIL " << name << ": candidate file missing (bench not "
                 << "run?)\n";
-      ++failures;
+      ++missing;
       continue;
     }
     BenchFile base, cand;
@@ -140,7 +147,7 @@ int main(int argc, char** argv) {
       cand = parse_file(candidate);
     } catch (const std::exception& e) {
       std::cerr << "FAIL " << name << ": " << e.what() << '\n';
-      ++failures;
+      ++missing;
       continue;
     }
     for (const auto& [label, fields] : base.rows) {
@@ -148,7 +155,7 @@ int main(int argc, char** argv) {
       if (row == cand.rows.end()) {
         std::cerr << "FAIL " << name << ": row '" << label
                   << "' missing from candidate\n";
-        ++failures;
+        ++missing;
         continue;
       }
       for (const auto& [key, expect] : fields) {
@@ -156,7 +163,7 @@ int main(int argc, char** argv) {
         if (got == row->second.end()) {
           std::cerr << "FAIL " << name << ": " << label << "." << key
                     << " missing from candidate\n";
-          ++failures;
+          ++missing;
           continue;
         }
         ++checked;
@@ -172,20 +179,29 @@ int main(int argc, char** argv) {
                     << actual << ", baseline " << expect << " (|delta| "
                     << std::abs(actual / expect - 1.0) * 100.0 << "% > "
                     << tolerance * 100.0 << "%)\n";
-          ++failures;
+          ++out_of_tolerance;
         }
       }
     }
   }
 
-  if (checked == 0) {
+  if (checked == 0 && missing == 0) {
     std::cerr << "FAIL: no BENCH_*.json baselines found in " << baseline_dir
               << '\n';
-    return 2;
+    return 3;
   }
-  if (failures) {
-    std::cerr << failures << " metric(s) out of tolerance (" << checked
-              << " checked)\n";
+  if (missing) {
+    std::cerr << missing << " metric(s)/file(s) missing"
+              << (out_of_tolerance
+                      ? ", " + std::to_string(out_of_tolerance) +
+                            " out of tolerance"
+                      : std::string())
+              << " (" << checked << " checked)\n";
+    return 3;
+  }
+  if (out_of_tolerance) {
+    std::cerr << out_of_tolerance << " metric(s) out of tolerance ("
+              << checked << " checked)\n";
     return 1;
   }
   std::cout << "bench_check: " << checked << " metrics within "

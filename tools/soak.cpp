@@ -100,8 +100,11 @@ Draw random_setup(Rng& rng) {
   // assumes the deterministic scheduler's quiescence points.
   const bool want_lock_cache = rng.chance(0.3);
   const std::size_t cache_cap = 1 + rng.below(8);
-  if (d.cfg.scheduler == SchedulerMode::kDeterministic) {
-    d.cfg.lock_cache = want_lock_cache;
+  if (d.cfg.scheduler == SchedulerMode::kDeterministic && want_lock_cache) {
+    // A capacity without the cache is no longer silently inert — Cluster
+    // construction rejects it — so the capacity draw only lands when the
+    // cache itself is on (the draw above keeps the stream identical).
+    d.cfg.lock_cache = true;
     d.cfg.lock_cache_capacity = cache_cap;
   }
   return d;
