@@ -8,6 +8,7 @@
 
 #include "json_out.hpp"
 #include "obs/chrome_trace.hpp"
+#include "obs/critical_path.hpp"
 #include "sim/experiment.hpp"
 #include "sim/report.hpp"
 #include "sim/scenarios.hpp"
@@ -79,11 +80,44 @@ int main() {
               << " events)\n";
     ok = false;
   }
+  // The causal-propagation sub-gate: the TraceContext header rides in the
+  // fixed frame's padding, so the traced run must cost exactly zero extra
+  // messages and zero extra accounted bytes — and the untraced run carries
+  // no header at all (its trace above is the seed-identical baseline).
+  const std::uint64_t extra_messages =
+      traced.total.messages - plain.total.messages;
+  const std::uint64_t extra_bytes = traced.total.bytes - plain.total.bytes;
+  if (extra_messages != 0 || extra_bytes != 0) {
+    std::cerr << "FAIL: causal header cost " << extra_messages
+              << " extra messages / " << extra_bytes << " extra bytes\n";
+    ok = false;
+  }
   if (traced.spans.empty()) {
     std::cerr << "FAIL: traced run recorded no spans\n";
     ok = false;
   } else if (!spans_well_formed(traced.spans)) {
     ok = false;
+  }
+
+  // Critical-path analysis over the traced run's causal DAG: the per-phase
+  // self times must account for (nearly) all of the slowest root family's
+  // wall time.
+  const CriticalPath cp =
+      analyze_critical_path(traced.spans, traced.messages);
+  if (!cp.valid()) {
+    std::cerr << "FAIL: no family.attempt span to analyze\n";
+    ok = false;
+  } else {
+    std::cout << "\ncritical path: family " << cp.family << " on node "
+              << cp.node << ", wall " << cp.wall_ticks << " ticks, self-time "
+              << cp.phase_self_total() << " ticks, chain depth "
+              << cp.chain.size() << "\n";
+    if (cp.phase_self_total() > cp.wall_ticks) {
+      std::cerr << "FAIL: critical-path self time ("
+                << cp.phase_self_total() << ") exceeds wall time ("
+                << cp.wall_ticks << ")\n";
+      ok = false;
+    }
   }
 
   bench::BenchJson json("ablation_obs");
@@ -93,12 +127,20 @@ int main() {
       .field("spans", traced.spans.size())
       .field("trace_identical",
              std::uint64_t(plain.trace == traced.trace ? 1 : 0))
+      .field("causal_header_extra_messages", extra_messages)
+      .field("causal_header_extra_bytes", extra_bytes)
+      .field("critical_path_wall_ticks", cp.wall_ticks)
+      .field("critical_path_self_ticks", cp.phase_self_total())
+      .field("critical_path_chain_depth",
+             static_cast<std::uint64_t>(cp.chain.size()))
       .counters(traced.counters);
   json.write();
 
   std::cout << "\nbit-identity: "
             << (plain.trace == traced.trace ? "byte-identical traffic"
                                             : "MISMATCH")
-            << "; " << traced.spans.size() << " spans recorded\n";
+            << "; causal header +" << extra_messages << " msgs / +"
+            << extra_bytes << " bytes; " << traced.spans.size()
+            << " spans recorded\n";
   return ok ? 0 : 1;
 }

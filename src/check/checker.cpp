@@ -62,6 +62,13 @@ ScheduleOutcome ScheduleChecker::run_schedule(Strategy& strategy,
     const std::vector<TxnResult> results = cluster.execute(std::move(requests));
     for (const TxnResult& r : results)
       if (r.committed) ++out.committed;
+    // When this schedule is being dumped (counterexample replay), attach the
+    // flight-recorder post-mortem next to the Chrome trace while the cluster
+    // is still alive — the last N events per node of the violating run.
+    if (!chrome_out.empty()) {
+      if (FlightRecorder* rec = cluster.observe().flight_recorder())
+        (void)rec->dump_file(chrome_out + ".postmortem.json");
+    }
     // Cluster destruction flushes the tracer (Chrome dump, when requested).
   } catch (const Error& e) {
     out.error = e.what();

@@ -111,13 +111,14 @@ bool FaultEngine::fire(const FaultEvent& ev, const WireMessage& m) {
   if (ev.target == FaultTarget::kMessageSrc) target = m.src;
   if (ev.target == FaultTarget::kMessageDst) target = m.dst;
   // Mirror every recorded event as a fault.event instant on the directory
-  // lane (family 0) so traces show when the environment, not a family, acted.
+  // lane (family 0) so traces show when the environment, not a family, acted
+  // — linked to the context of the message whose send triggered it.
   const auto mark = [&] {
     if (tracer_ != nullptr) {
-      tracer_->instant(SpanPhase::kFaultEvent, 0,
-                       target.valid() ? target.value() : 0,
-                       m.object.valid() ? m.object.value()
-                                        : SpanRecord::kNoObject);
+      tracer_->instant_linked(SpanPhase::kFaultEvent, 0,
+                              target.valid() ? target.value() : 0, m.trace,
+                              m.object.valid() ? m.object.value()
+                                               : SpanRecord::kNoObject);
     }
   };
   switch (ev.action) {
@@ -134,6 +135,19 @@ bool FaultEngine::fire(const FaultEvent& ev, const WireMessage& m) {
       trace_.push_back({clock_, FaultAction::kCrashNode, target, m.kind,
                         m.object});
       mark();
+      if (recorder_ != nullptr) {
+        // Black-box the crash instant: the victim's ring still holds its
+        // in-flight spans (e.g. a commit.report that will never end).
+        recorder_->note_crash(target.value());
+        if (!flight_dump_.empty()) {
+          ++dumps_written_;
+          const std::string path =
+              dumps_written_ == 1
+                  ? flight_dump_
+                  : flight_dump_ + "." + std::to_string(dumps_written_);
+          recorder_->dump_file(path, target.value());
+        }
+      }
       return false;
     case FaultAction::kRestartNode:
       if (transport_.reachable(target)) return false;  // not crashed

@@ -30,6 +30,7 @@
 
 #include <map>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "check/events.hpp"
@@ -134,6 +135,17 @@ class FaultEngine final : public FaultHooks {
   /// scope cached-lock claims to crash epochs.  Owned by the caller.
   void set_check_sink(CheckSink* sink) noexcept { check_ = sink; }
 
+  /// Install (or clear) the always-on flight recorder: every crash event
+  /// marks the victim's ring, and — when a dump path is set — writes the
+  /// post-mortem (Perfetto-loadable) at the crash instant, before the
+  /// deferred wipe erases any more context.  Owned by the caller.
+  void set_flight_recorder(FlightRecorder* recorder) noexcept {
+    recorder_ = recorder;
+  }
+  /// Where crash post-mortems go (empty = record but never dump).  A second
+  /// crash dumps to "<path>.2", the third to "<path>.3", and so on.
+  void set_flight_dump(std::string path) { flight_dump_ = std::move(path); }
+
  private:
   /// Message kinds the engine may drop, partition or duplicate: request /
   /// lookup / fetch traffic whose failure the sender observes *before* any
@@ -203,6 +215,9 @@ class FaultEngine final : public FaultHooks {
   FaultStats stats_;
   SpanTracer* tracer_ = nullptr;
   CheckSink* check_ = nullptr;
+  FlightRecorder* recorder_ = nullptr;
+  std::string flight_dump_;
+  std::uint64_t dumps_written_ = 0;
 };
 
 }  // namespace lotec

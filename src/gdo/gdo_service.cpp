@@ -285,6 +285,13 @@ AcquireResult GdoService::acquire(ObjectId id, const TxnId& txn,
 
   transport_.send({MessageKind::kLockAcquireRequest, requester, serving, id,
                    wire::kLockRecordBytes});
+  // Directory-side serve span: the emulation's call is synchronous, so the
+  // requester's context is still on this thread — the span lands on the
+  // serving node's directory lane, causally linked to the requester's
+  // gdo.round.  Everything the serve does (callback rounds, grant sends)
+  // nests inside it.
+  ScopedServeSpan serve(tracer_, SpanPhase::kGdoServe, serving.value(),
+                        id.value());
 
   // The request could fail (drop, partition, crash); from here on the
   // mutation and its replica sync are one atomic unit against crash events.
@@ -510,6 +517,8 @@ ReleaseResult GdoService::release_family(ObjectId id, FamilyId family,
   transport_.send({MessageKind::kLockReleaseRequest, node, serving, id,
                    wire::kLockRecordBytes +
                        records * wire::kDirtyPageRecordBytes});
+  ScopedServeSpan serve(tracer_, SpanPhase::kGdoServe, serving.value(),
+                        id.value());
   if (config_.release_acks)
     transport_.send({MessageKind::kLockReleaseAck, serving, node, id, 0});
 
@@ -553,6 +562,10 @@ void GdoService::grant_waiters(ObjectId id, GdoEntry& e, NodeId serving,
     purged_->add(before - e.waiters.size());
   }
   const auto emit = [&](Grant g) {
+    // Stamp the directory-side causal context (the enclosing gdo.serve) so
+    // the woken family's lock.grant instant links back across lanes.
+    if (tracer_ != nullptr && tracer_->enabled())
+      g.trace = tracer_->current_context();
     if (grant_delivery_) grant_delivery_(g);
     out.push_back(std::move(g));
   };
@@ -756,6 +769,8 @@ void GdoService::flush_cached(
       {MessageKind::kLockReleaseRequest, node, serving, id,
        wire::kLockRecordBytes +
            records.size() * wire::kDirtyPageRecordBytes});
+  ScopedServeSpan serve(tracer_, SpanPhase::kGdoServe, serving.value(),
+                        id.value());
   if (config_.release_acks)
     transport_.send({MessageKind::kLockReleaseAck, serving, node, id, 0});
   FaultAtomicSection atomic(transport_.fault_hooks());
@@ -777,6 +792,8 @@ PageMap GdoService::lookup_page_map(ObjectId id, NodeId requester) {
   const GdoEntry& e = find_serving(map, id, r, "lookup_page_map");
   transport_.send({MessageKind::kGdoLookupRequest, requester, serving, id,
                    wire::kLockRecordBytes});
+  ScopedServeSpan serve(tracer_, SpanPhase::kGdoServe, serving.value(),
+                        id.value());
   transport_.send({MessageKind::kGdoLookupReply, serving, requester, id,
                    e.page_map.wire_bytes()});
   return e.page_map;

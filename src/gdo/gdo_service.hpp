@@ -63,6 +63,10 @@ struct Grant {
   /// sent during global lock acquisition").
   PageMap page_map;
   ObjectId object{};
+  /// Causal context of the directory-side work that produced the grant
+  /// (stamped by grant_waiters while tracing; zero otherwise).  Trailing
+  /// member: the seven fields above stay positionally brace-initializable.
+  TraceContext trace{};
 };
 
 struct AcquireResult {

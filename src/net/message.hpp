@@ -12,6 +12,7 @@
 #include <string_view>
 
 #include "common/ids.hpp"
+#include "obs/trace_context.hpp"
 
 namespace lotec {
 
@@ -113,6 +114,12 @@ struct WireMessage {
   /// for directory housekeeping not attributable to a single object).
   ObjectId object{};
   std::uint64_t payload_bytes = 0;
+  /// Causal header (rides in the fixed frame's padding — see
+  /// obs/trace_context.hpp).  NOT part of total_bytes() and never compared
+  /// by the checker's message fingerprint; `mutable` so the Transport can
+  /// stamp it on the const reference every call site passes (the five
+  /// members above stay positional-brace-initializable).
+  mutable TraceContext trace{};
 
   [[nodiscard]] std::uint64_t total_bytes() const noexcept {
     return wire::kHeaderBytes + payload_bytes;

@@ -21,6 +21,7 @@
 
 #include "common/error.hpp"
 #include "net/net_stats.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/span.hpp"
 
 namespace lotec {
@@ -169,12 +170,22 @@ class Transport {
   void set_probe(MessageProbe* probe) noexcept { probe_ = probe; }
   [[nodiscard]] MessageProbe* probe() const noexcept { return probe_; }
 
+  /// Install (or clear) the always-on flight recorder; every send is
+  /// mirrored into both endpoints' rings.  Owned by the caller.
+  void set_flight_recorder(FlightRecorder* recorder) noexcept {
+    recorder_ = recorder;
+  }
+  [[nodiscard]] FlightRecorder* flight_recorder() const noexcept {
+    return recorder_;
+  }
+
   /// Account one message.  Messages where src == dst are local and free.
   /// Throws NodeUnreachable if either endpoint is failed (a crashed sender
   /// cannot put anything on the wire) and propagates fault-engine verdicts
   /// (MessageDropped, partition NodeUnreachable).
   void send(const WireMessage& m) {
     if (tracer_ != nullptr) tracer_->tick_message();
+    stamp_and_record(m);
     if (probe_ != nullptr) probe_->on_transport_message(m);
     check_node(m.src);
     check_node(m.dst);
@@ -198,6 +209,7 @@ class Transport {
   std::vector<NodeId> send_to_all(const WireMessage& m,
                                   const std::vector<NodeId>& destinations) {
     if (tracer_ != nullptr) tracer_->tick_message();
+    stamp_and_record(m);
     if (probe_ != nullptr) probe_->on_transport_message(m);
     check_node(m.src);
     if (hooks_ != nullptr) (void)hooks_->on_message(m);
@@ -234,6 +246,30 @@ class Transport {
   }
 
  private:
+  /// Stamp the sender's causal context into the frame padding and mirror
+  /// the message into the tracer's record and the flight recorder.  Runs
+  /// BEFORE the probe and the fault hooks so remote-side spans, checker
+  /// probes and fault redeliveries all see the stamped context.  The stamp
+  /// rides in WireMessage padding (`mutable TraceContext trace`) — zero
+  /// accounted bytes, zero extra messages, and the checker's fingerprint
+  /// hashes explicit fields only, so traffic stays bit-identical.
+  void stamp_and_record(const WireMessage& m) {
+    const bool traced = tracer_ != nullptr && tracer_->enabled();
+    if (traced) m.trace = tracer_->current_context();
+    if (!traced && recorder_ == nullptr) return;
+    const std::uint64_t object =
+        m.object.valid() ? m.object.value() : SpanRecord::kNoObject;
+    if (traced) {
+      tracer_->note_message(to_string(m.kind), m.src.value(), m.dst.value(),
+                            object, m.total_bytes(), m.trace);
+    }
+    if (recorder_ != nullptr) {
+      recorder_->note_message(to_string(m.kind), m.src.value(),
+                              m.dst.value(), object, m.total_bytes(),
+                              m.trace);
+    }
+  }
+
   void check_node(NodeId node) const {
     if (!node.valid() || node.value() >= failed_.size())
       throw UsageError("Transport: node id out of range");
@@ -245,6 +281,7 @@ class Transport {
   FaultHooks* hooks_ = nullptr;
   SpanTracer* tracer_ = nullptr;
   MessageProbe* probe_ = nullptr;
+  FlightRecorder* recorder_ = nullptr;
 };
 
 }  // namespace lotec

@@ -1,7 +1,9 @@
 #include "obs/chrome_trace.hpp"
 
+#include <algorithm>
 #include <fstream>
 #include <istream>
+#include <map>
 #include <ostream>
 #include <set>
 #include <stdexcept>
@@ -11,7 +13,8 @@ namespace lotec {
 namespace {
 
 bool is_instant_phase(SpanPhase phase) noexcept {
-  return phase == SpanPhase::kLockInherit || phase == SpanPhase::kFaultEvent;
+  return phase == SpanPhase::kLockInherit ||
+         phase == SpanPhase::kFaultEvent || phase == SpanPhase::kLockGrant;
 }
 
 // Minimal scanners for the flat one-line objects this module itself writes.
@@ -44,7 +47,85 @@ std::optional<std::string> find_string(const std::string& line,
   return line.substr(start, close - start);
 }
 
+const char kHexDigits[] = "0123456789abcdef";
+
 }  // namespace
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += "\\u00";
+          out += kHexDigits[(static_cast<unsigned char>(c) >> 4) & 0xF];
+          out += kHexDigits[static_cast<unsigned char>(c) & 0xF];
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+bool json_wellformed(std::string_view text) {
+  std::vector<char> stack;
+  bool in_string = false;
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    if (in_string) {
+      if (c == '\\') {
+        if (i + 1 >= text.size()) return false;
+        const char esc = text[++i];
+        switch (esc) {
+          case '"': case '\\': case '/': case 'b': case 'f':
+          case 'n': case 'r': case 't':
+            break;
+          case 'u': {
+            if (i + 4 >= text.size()) return false;
+            for (int k = 1; k <= 4; ++k) {
+              const char h = text[i + static_cast<std::size_t>(k)];
+              const bool hex = (h >= '0' && h <= '9') ||
+                               (h >= 'a' && h <= 'f') ||
+                               (h >= 'A' && h <= 'F');
+              if (!hex) return false;
+            }
+            i += 4;
+            break;
+          }
+          default:
+            return false;
+        }
+      } else if (c == '"') {
+        in_string = false;
+      } else if (static_cast<unsigned char>(c) < 0x20) {
+        return false;  // raw control character inside a string literal
+      }
+      continue;
+    }
+    switch (c) {
+      case '"': in_string = true; break;
+      case '{': stack.push_back('}'); break;
+      case '[': stack.push_back(']'); break;
+      case '}':
+      case ']':
+        if (stack.empty() || stack.back() != c) return false;
+        stack.pop_back();
+        break;
+      default:
+        break;
+    }
+  }
+  return !in_string && stack.empty();
+}
 
 std::optional<SpanPhase> phase_from_string(std::string_view name) noexcept {
   for (std::size_t i = 0; i < kNumSpanPhases; ++i) {
@@ -56,10 +137,24 @@ std::optional<SpanPhase> phase_from_string(std::string_view name) noexcept {
 
 void write_span_jsonl(const SpanRecord& span, std::ostream& os) {
   os << "{\"id\":" << span.id << ",\"parent\":" << span.parent
-     << ",\"phase\":\"" << to_string(span.phase) << "\",\"family\":"
-     << span.family << ",\"node\":" << span.node;
+     << ",\"phase\":\"" << json_escape(to_string(span.phase))
+     << "\",\"family\":" << span.family << ",\"node\":" << span.node;
   if (span.object != SpanRecord::kNoObject) os << ",\"object\":" << span.object;
+  if (span.trace != 0) os << ",\"trace\":" << span.trace;
+  if (span.link != 0) os << ",\"link\":" << span.link;
   os << ",\"begin\":" << span.begin << ",\"end\":" << span.end << "}\n";
+}
+
+void write_message_jsonl(const MessageRecord& message, std::ostream& os) {
+  os << "{\"msg\":\"" << json_escape(message.kind)
+     << "\",\"tick\":" << message.tick << ",\"src\":" << message.src
+     << ",\"dst\":" << message.dst;
+  if (message.object != SpanRecord::kNoObject)
+    os << ",\"object\":" << message.object;
+  os << ",\"bytes\":" << message.bytes;
+  if (message.trace != 0) os << ",\"trace\":" << message.trace;
+  if (message.span != 0) os << ",\"span\":" << message.span;
+  os << "}\n";
 }
 
 void write_spans_jsonl(const std::vector<SpanRecord>& spans,
@@ -67,8 +162,8 @@ void write_spans_jsonl(const std::vector<SpanRecord>& spans,
   for (const auto& span : spans) write_span_jsonl(span, os);
 }
 
-std::vector<SpanRecord> load_spans_jsonl(std::istream& is) {
-  std::vector<SpanRecord> out;
+void load_obs_jsonl(std::istream& is, std::vector<SpanRecord>& spans,
+                    std::vector<MessageRecord>& messages) {
   std::string line;
   std::size_t lineno = 0;
   while (std::getline(is, line)) {
@@ -78,6 +173,24 @@ std::vector<SpanRecord> load_spans_jsonl(std::istream& is) {
       throw std::runtime_error("span jsonl line " + std::to_string(lineno) +
                                ": " + what);
     };
+    if (const auto kind = find_string(line, "msg")) {
+      MessageRecord rec;
+      const auto tick = find_uint(line, "tick");
+      const auto src = find_uint(line, "src");
+      const auto dst = find_uint(line, "dst");
+      const auto bytes = find_uint(line, "bytes");
+      if (!tick || !src || !dst || !bytes) fail("missing field");
+      rec.kind = *kind;
+      rec.tick = *tick;
+      rec.src = static_cast<std::uint32_t>(*src);
+      rec.dst = static_cast<std::uint32_t>(*dst);
+      rec.object = find_uint(line, "object").value_or(SpanRecord::kNoObject);
+      rec.bytes = *bytes;
+      rec.trace = find_uint(line, "trace").value_or(0);
+      rec.span = find_uint(line, "span").value_or(0);
+      messages.push_back(std::move(rec));
+      continue;
+    }
     SpanRecord span;
     const auto id = find_uint(line, "id");
     const auto parent = find_uint(line, "parent");
@@ -97,11 +210,19 @@ std::vector<SpanRecord> load_spans_jsonl(std::istream& is) {
     span.family = *family;
     span.node = static_cast<std::uint32_t>(*node);
     span.object = find_uint(line, "object").value_or(SpanRecord::kNoObject);
+    span.trace = find_uint(line, "trace").value_or(0);
+    span.link = find_uint(line, "link").value_or(0);
     span.begin = *begin;
     span.end = *end;
-    out.push_back(span);
+    spans.push_back(span);
   }
-  return out;
+}
+
+std::vector<SpanRecord> load_spans_jsonl(std::istream& is) {
+  std::vector<SpanRecord> spans;
+  std::vector<MessageRecord> messages;
+  load_obs_jsonl(is, spans, messages);
+  return spans;
 }
 
 std::vector<SpanRecord> load_spans_jsonl_file(const std::string& path) {
@@ -124,9 +245,11 @@ void write_chrome_trace(const std::vector<SpanRecord>& spans,
   // Perfetto shows "node N" / "family F" instead of bare pids.
   std::set<std::uint32_t> nodes;
   std::set<std::pair<std::uint32_t, std::uint64_t>> lanes;
+  std::map<std::uint64_t, const SpanRecord*> by_id;
   for (const auto& span : spans) {
     nodes.insert(span.node);
     lanes.emplace(span.node, span.family);
+    by_id[span.id] = &span;
   }
   for (const auto node : nodes) {
     sep();
@@ -147,7 +270,7 @@ void write_chrome_trace(const std::vector<SpanRecord>& spans,
 
   for (const auto& span : spans) {
     sep();
-    os << "{\"name\":\"" << to_string(span.phase)
+    os << "{\"name\":\"" << json_escape(to_string(span.phase))
        << "\",\"cat\":\"lotec\",\"ph\":\""
        << (is_instant_phase(span.phase) ? "i" : "X") << "\",\"ts\":"
        << span.begin;
@@ -161,7 +284,31 @@ void write_chrome_trace(const std::vector<SpanRecord>& spans,
     if (span.object != SpanRecord::kNoObject) {
       os << ",\"object\":" << span.object;
     }
+    if (span.trace != 0) os << ",\"trace\":" << span.trace;
+    if (span.link != 0) os << ",\"link\":" << span.link;
     os << "}}";
+  }
+
+  // Flow events: one s->f arrow per cross-lane causal link, anchored inside
+  // the linked (source) span and at the start of the linked-to (child)
+  // span.  Links whose source span is not in this trace are skipped.
+  for (const auto& span : spans) {
+    if (span.link == 0) continue;
+    const auto it = by_id.find(span.link);
+    if (it == by_id.end()) continue;
+    const SpanRecord& from = *it->second;
+    // Clamp the start anchor into the source slice so Perfetto binds it.
+    const std::uint64_t ts_from =
+        std::clamp(span.begin, from.begin, from.end);
+    sep();
+    os << "{\"name\":\"causal\",\"cat\":\"lotec\",\"ph\":\"s\",\"id\":"
+       << span.id << ",\"ts\":" << ts_from << ",\"pid\":" << from.node
+       << ",\"tid\":" << from.family << "}";
+    sep();
+    os << "{\"name\":\"causal\",\"cat\":\"lotec\",\"ph\":\"f\",\"bp\":\"e\","
+          "\"id\":"
+       << span.id << ",\"ts\":" << span.begin << ",\"pid\":" << span.node
+       << ",\"tid\":" << span.family << "}";
   }
   os << "\n]}\n";
 }

@@ -19,22 +19,46 @@ namespace lotec {
 [[nodiscard]] std::optional<SpanPhase> phase_from_string(
     std::string_view name) noexcept;
 
+/// Escape a string for inclusion inside a JSON string literal: quotes,
+/// backslashes and control characters (the latter as \u00XX).  Every name
+/// this module emits goes through here, so a hostile span/counter name can
+/// never break the trace file.
+[[nodiscard]] std::string json_escape(std::string_view s);
+
+/// Minimal structural JSON validator: balanced braces/brackets outside
+/// string literals, legal escape sequences inside them.  NOT a full parser
+/// — it exists so tests can re-parse emitted traces without a JSON
+/// dependency.
+[[nodiscard]] bool json_wellformed(std::string_view text);
+
 /// One span as a single-line JSON object (trailing newline included).
-/// `object` is omitted when the span has none.
+/// `object` is omitted when the span has none; `trace`/`link` are omitted
+/// when zero, so pre-causal files and records round-trip byte-identically.
 void write_span_jsonl(const SpanRecord& span, std::ostream& os);
+
+/// One message record as a single-line JSON object keyed by "msg" (so span
+/// readers can skip it).
+void write_message_jsonl(const MessageRecord& message, std::ostream& os);
 
 void write_spans_jsonl(const std::vector<SpanRecord>& spans, std::ostream& os);
 
-/// Parse a JSON-lines span stream (blank lines skipped).  Throws
-/// std::runtime_error with the offending line number on malformed input.
+/// Parse a JSON-lines observability stream (blank lines skipped) into
+/// spans and messages.  Throws std::runtime_error with the offending line
+/// number on malformed input.
+void load_obs_jsonl(std::istream& is, std::vector<SpanRecord>& spans,
+                    std::vector<MessageRecord>& messages);
+
+/// Span-only convenience readers ("msg" lines are parsed and discarded).
 [[nodiscard]] std::vector<SpanRecord> load_spans_jsonl(std::istream& is);
 [[nodiscard]] std::vector<SpanRecord> load_spans_jsonl_file(
     const std::string& path);
 
 /// Chrome trace-event JSON: {"traceEvents":[...]} with one complete ("X")
-/// event per span, instant ("i") events for zero-duration phases, and
-/// process_name metadata per node.  pid = node, tid = family (0 = the
-/// directory lane).  Timestamps are logical ticks passed as microseconds.
+/// event per span, instant ("i") events for zero-duration phases, flow
+/// ("s"/"f") event pairs for spans carrying a cross-lane causal `link`
+/// (Perfetto draws them as arrows), and process_name metadata per node.
+/// pid = node, tid = family (0 = the directory lane).  Timestamps are
+/// logical ticks passed as microseconds.
 void write_chrome_trace(const std::vector<SpanRecord>& spans,
                         std::ostream& os);
 

@@ -1,0 +1,160 @@
+#include "obs/critical_path.hpp"
+
+#include <algorithm>
+#include <cstddef>
+#include <unordered_map>
+
+namespace lotec {
+
+namespace {
+
+// The causal tree-parent of a span: the cross-lane link when present
+// (remote serve spans, grant-linked instants), the in-lane parent
+// otherwise.
+std::uint64_t tree_parent(const SpanRecord& span) noexcept {
+  return span.link != 0 ? span.link : span.parent;
+}
+
+// Sum of the parts of [begin,end) covered by the children's intervals,
+// clipped to the parent and deduplicated (overlapping children count once).
+std::uint64_t covered_by_children(const SpanRecord& parent,
+                                  const std::vector<const SpanRecord*>& kids) {
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> ivs;
+  ivs.reserve(kids.size());
+  for (const SpanRecord* kid : kids) {
+    const std::uint64_t lo = std::max(kid->begin, parent.begin);
+    const std::uint64_t hi = std::min(kid->end, parent.end);
+    if (lo < hi) ivs.emplace_back(lo, hi);
+  }
+  std::sort(ivs.begin(), ivs.end());
+  std::uint64_t covered = 0;
+  std::uint64_t cursor = 0;
+  bool any = false;
+  for (const auto& [lo, hi] : ivs) {
+    if (!any || lo > cursor) {
+      covered += hi - lo;
+      cursor = hi;
+      any = true;
+    } else if (hi > cursor) {
+      covered += hi - cursor;
+      cursor = hi;
+    }
+  }
+  return covered;
+}
+
+}  // namespace
+
+CriticalPath analyze_critical_path(const std::vector<SpanRecord>& spans,
+                                   const std::vector<MessageRecord>& messages) {
+  CriticalPath out;
+
+  // Slowest root: the longest family.attempt span (ties broken by lowest
+  // family, then lowest id, for determinism).
+  const SpanRecord* root = nullptr;
+  for (const auto& span : spans) {
+    if (span.phase != SpanPhase::kFamilyAttempt) continue;
+    if (root == nullptr) {
+      root = &span;
+      continue;
+    }
+    const std::uint64_t dur = span.end - span.begin;
+    const std::uint64_t best = root->end - root->begin;
+    if (dur > best ||
+        (dur == best && (span.family < root->family ||
+                         (span.family == root->family && span.id < root->id)))) {
+      root = &span;
+    }
+  }
+  if (root == nullptr) return out;
+
+  out.trace_id = root->trace;
+  out.root = root->id;
+  out.family = root->family;
+  out.node = root->node;
+  out.wall_ticks = root->end - root->begin;
+
+  // Children index over the spans reachable from the root.  Restrict to the
+  // root's trace when the trace has ids (cross-trace links never exist, but
+  // legacy traces with trace == 0 everywhere still work — the reachability
+  // walk alone scopes them).
+  std::unordered_map<std::uint64_t, std::vector<const SpanRecord*>> kids;
+  for (const auto& span : spans) {
+    if (span.id == root->id) continue;
+    if (root->trace != 0 && span.trace != 0 && span.trace != root->trace)
+      continue;
+    const std::uint64_t up = tree_parent(span);
+    if (up != 0) kids[up].push_back(&span);
+  }
+
+  // Depth-first over the tree: self-time per phase plus the slowest-child
+  // chain.  The tree is acyclic by construction (ids are allocated in
+  // begin order and parents precede children), but a visited set guards
+  // against corrupt input files.
+  std::unordered_map<std::uint64_t, bool> visited;
+  std::vector<const SpanRecord*> stack{root};
+  visited[root->id] = true;
+  while (!stack.empty()) {
+    const SpanRecord* span = stack.back();
+    stack.pop_back();
+    std::vector<const SpanRecord*> children;
+    if (const auto it = kids.find(span->id); it != kids.end()) {
+      for (const SpanRecord* kid : it->second) {
+        if (visited[kid->id]) continue;
+        visited[kid->id] = true;
+        children.push_back(kid);
+        stack.push_back(kid);
+      }
+    }
+    const std::uint64_t dur = span->end - span->begin;
+    const std::uint64_t covered = covered_by_children(*span, children);
+    const std::uint64_t self = dur > covered ? dur - covered : 0;
+    out.phase_self[static_cast<std::size_t>(span->phase)] += self;
+  }
+
+  // Blocking chain: repeatedly descend into the longest child.
+  const SpanRecord* cursor = root;
+  std::unordered_map<std::uint64_t, bool> on_chain;
+  while (cursor != nullptr && !on_chain[cursor->id]) {
+    on_chain[cursor->id] = true;
+    std::vector<const SpanRecord*> children;
+    if (const auto it = kids.find(cursor->id); it != kids.end())
+      children = it->second;
+    const std::uint64_t dur = cursor->end - cursor->begin;
+    const std::uint64_t covered = covered_by_children(*cursor, children);
+    CriticalPathStep step;
+    step.id = cursor->id;
+    step.phase = cursor->phase;
+    step.family = cursor->family;
+    step.node = cursor->node;
+    step.object = cursor->object;
+    step.duration = dur;
+    step.self = dur > covered ? dur - covered : 0;
+    out.chain.push_back(step);
+    const SpanRecord* next = nullptr;
+    for (const SpanRecord* kid : children) {
+      if (next == nullptr) {
+        next = kid;
+        continue;
+      }
+      const std::uint64_t kd = kid->end - kid->begin;
+      const std::uint64_t nd = next->end - next->begin;
+      if (kd > nd || (kd == nd && kid->id < next->id)) next = kid;
+    }
+    cursor = next;
+  }
+
+  // Message attribution: every wire message stamped with this trace id.
+  if (root->trace != 0) {
+    for (const auto& msg : messages) {
+      if (msg.trace != root->trace) continue;
+      MessageKindCost& cost = out.by_kind[msg.kind];
+      ++cost.messages;
+      cost.bytes += msg.bytes;
+    }
+  }
+
+  return out;
+}
+
+}  // namespace lotec

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <bit>
+#include <cmath>
 
 namespace lotec {
 
@@ -19,6 +20,7 @@ std::size_t bucket_for(std::uint64_t ticks) noexcept {
 
 double HistogramSnapshot::percentile(double p) const noexcept {
   if (count == 0) return 0.0;
+  if (std::isnan(p)) return 0.0;  // std::clamp on NaN is UB
   p = std::clamp(p, 0.0, 100.0);
   if (p <= 0.0) return static_cast<double>(min);
   if (p >= 100.0) return static_cast<double>(max);

@@ -65,7 +65,9 @@ struct HistogramSnapshot {
   }
 
   /// Bucket-resolution percentile estimate (upper bound of the bucket the
-  /// p-th sample falls into); exact min/max at the extremes.
+  /// p-th sample falls into); exact min/max at the extremes.  Total on any
+  /// input: an empty histogram yields 0.0 for every p, a NaN p yields 0.0,
+  /// and out-of-range p is clamped to [0, 100] — never NaN, never UB.
   [[nodiscard]] double percentile(double p) const noexcept;
 };
 

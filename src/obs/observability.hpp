@@ -1,11 +1,16 @@
 // The per-cluster observability bundle: one MetricsRegistry (always on —
-// counters are free) and one SpanTracer (off unless ObsConfig asks).
-// ClusterCore owns an Observability instance and hands pointers to the
-// tracer down to Transport, GdoService, FamilyRunner and the fault engine.
+// counters are free), one SpanTracer (off unless ObsConfig asks) and one
+// FlightRecorder (always on, see obs/flight_recorder.hpp).  ClusterCore
+// owns an Observability instance and hands pointers to the tracer and the
+// recorder down to Transport, GdoService, FamilyRunner and the fault
+// engine.
 #pragma once
 
+#include <cstddef>
+#include <memory>
 #include <string>
 
+#include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
 #include "obs/span.hpp"
 
@@ -20,15 +25,29 @@ struct ObsConfig {
   /// When non-empty (and trace_spans), write Chrome trace-event JSON here
   /// on flush (open in Perfetto via `trace_report spans`).
   std::string chrome_trace;
+  /// Keep the always-on flight recorder (independent of trace_spans).
+  bool flight_recorder = true;
+  /// Ring capacity per node (events retained for the post-mortem).
+  std::size_t flight_recorder_capacity = 512;
+  /// When non-empty, the fault engine dumps the recorder here on every
+  /// node-crash event (second crash appends ".2", and so on).
+  std::string flight_dump;
 };
 
 struct Observability {
   MetricsRegistry metrics;
   SpanTracer tracer;
+  std::unique_ptr<FlightRecorder> recorder;
 
-  /// Apply config: attach the registry and enable/attach sinks.
-  void configure(const ObsConfig& cfg) {
+  /// Apply config: attach the registry, create the flight recorder (needs
+  /// the cluster's node count) and enable/attach span sinks.
+  void configure(const ObsConfig& cfg, std::size_t nodes = 0) {
     tracer.set_registry(&metrics);
+    if (cfg.flight_recorder && nodes > 0) {
+      recorder = std::make_unique<FlightRecorder>(
+          nodes, cfg.flight_recorder_capacity);
+      tracer.set_flight_recorder(recorder.get());
+    }
     if (!cfg.trace_spans) return;
     if (!cfg.spans_jsonl.empty()) {
       tracer.add_sink(std::make_unique<JsonLinesSink>(cfg.spans_jsonl));

@@ -1,14 +1,33 @@
 #include "obs/span.hpp"
 
+#include <algorithm>
 #include <fstream>
 #include <ostream>
 #include <stdexcept>
 #include <utility>
 
 #include "obs/chrome_trace.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
 
 namespace lotec {
+
+namespace {
+
+/// The calling thread's open spans, innermost last.  Spans are begun and
+/// ended on the thread doing the traced work (family runner threads, or the
+/// driver thread for directory serves — the emulation's calls are
+/// synchronous), so a thread-local stack gives "the span I am inside" for
+/// message stamping without widening any call signature.
+struct TlsEntry {
+  const SpanTracer* tracer;
+  std::uint64_t span;
+  std::uint64_t trace;
+  SpanPhase phase;
+};
+thread_local std::vector<TlsEntry> tls_spans;
+
+}  // namespace
 
 std::string_view to_string(SpanPhase phase) noexcept {
   switch (phase) {
@@ -22,6 +41,9 @@ std::string_view to_string(SpanPhase phase) noexcept {
     case SpanPhase::kCommitReport: return "commit.report";
     case SpanPhase::kCallbackRound: return "cache.callback_round";
     case SpanPhase::kFaultEvent: return "fault.event";
+    case SpanPhase::kGdoServe: return "gdo.serve";
+    case SpanPhase::kPageServe: return "page.serve";
+    case SpanPhase::kLockGrant: return "lock.grant";
   }
   return "unknown";
 }
@@ -37,6 +59,10 @@ JsonLinesSink::~JsonLinesSink() { flush(); }
 
 void JsonLinesSink::on_span(const SpanRecord& span) {
   write_span_jsonl(span, *os_);
+}
+
+void JsonLinesSink::on_message(const MessageRecord& message) {
+  write_message_jsonl(message, *os_);
 }
 
 void JsonLinesSink::flush() { os_->flush(); }
@@ -57,6 +83,18 @@ void ChromeTraceSink::flush() {
   written_ = true;
 }
 
+SpanTracer::~SpanTracer() {
+  // Drop any stale context entries this thread still holds for the dying
+  // tracer: a later tracer allocated at the same address must not inherit
+  // them.  (Other threads' entries die with their threads — family runner
+  // threads never outlive the cluster that owns the tracer.)
+  tls_spans.erase(std::remove_if(tls_spans.begin(), tls_spans.end(),
+                                 [this](const TlsEntry& e) {
+                                   return e.tracer == this;
+                                 }),
+                  tls_spans.end());
+}
+
 void SpanTracer::enable() {
   std::lock_guard<std::mutex> lock(mu_);
   enabled_ = true;
@@ -74,10 +112,11 @@ void SpanTracer::add_sink(std::unique_ptr<SpanSink> sink) {
   sinks_.push_back(std::move(sink));
 }
 
-std::uint64_t SpanTracer::begin(SpanPhase phase, std::uint64_t family,
-                                std::uint32_t node, std::uint64_t object) {
-  if (!enabled_) return 0;
-  std::lock_guard<std::mutex> lock(mu_);
+std::uint64_t SpanTracer::begin_locked(SpanPhase phase, std::uint64_t family,
+                                       std::uint32_t node,
+                                       std::uint64_t object,
+                                       std::uint64_t trace_override,
+                                       std::uint64_t link) {
   SpanRecord span;
   span.id = next_id_++;
   span.phase = phase;
@@ -86,31 +125,83 @@ std::uint64_t SpanTracer::begin(SpanPhase phase, std::uint64_t family,
   span.object = object;
   span.begin = next_tick_locked();
   span.end = span.begin;
-  auto& stack = open_[family];
+  span.link = link;
+  const std::uint64_t lane = lane_for(family, node);
+  auto& stack = open_[lane];
   span.parent = stack.empty() ? 0 : stack.back().id;
+  if (trace_override != 0) {
+    span.trace = trace_override;
+  } else if (phase == SpanPhase::kFamilyAttempt) {
+    // Every attempt — including each retry — is its own causal domain.
+    span.trace = next_trace_++;
+  } else {
+    span.trace = stack.empty() ? 0 : stack.back().trace;
+  }
   stack.push_back(span);
+  open_lane_[span.id] = lane;
+  if (recorder_ != nullptr) recorder_->note_span_begin(span);
+  tls_spans.push_back({this, span.id, span.trace, phase});
   return span.id;
+}
+
+std::uint64_t SpanTracer::begin(SpanPhase phase, std::uint64_t family,
+                                std::uint32_t node, std::uint64_t object) {
+  if (!enabled_) return 0;
+  std::lock_guard<std::mutex> lock(mu_);
+  return begin_locked(phase, family, node, object, /*trace_override=*/0,
+                      /*link=*/0);
+}
+
+std::uint64_t SpanTracer::begin_remote(SpanPhase phase, std::uint32_t node,
+                                       const TraceContext& ctx,
+                                       std::uint64_t object) {
+  if (!enabled_) return 0;
+  std::lock_guard<std::mutex> lock(mu_);
+  return begin_locked(phase, /*family=*/0, node, object, ctx.trace_id,
+                      ctx.parent_span);
 }
 
 void SpanTracer::end(std::uint64_t id, std::uint64_t family) {
   if (!enabled_ || id == 0) return;
   std::lock_guard<std::mutex> lock(mu_);
-  auto it = open_.find(family);
+  const auto lane_it = open_lane_.find(id);
+  // Resolve the lane the span was opened on; fall back to the caller's
+  // family hint for ids the tracer no longer knows (already closed).
+  std::uint64_t lane = family;
+  if (lane_it != open_lane_.end()) lane = lane_it->second;
+  auto it = open_.find(lane);
   if (it == open_.end() || it->second.empty()) return;
-  // Spans are strictly LIFO per family lane; close any inner spans left
-  // open by an exception unwinding past their scope.
+  // Spans are strictly LIFO per lane; close any inner spans left open by an
+  // exception unwinding past their scope.
   auto& stack = it->second;
+  std::vector<std::uint64_t> closed;
   while (!stack.empty()) {
     SpanRecord span = stack.back();
     stack.pop_back();
     span.end = next_tick_locked();
+    open_lane_.erase(span.id);
+    closed.push_back(span.id);
     emit_locked(span);
     if (span.id == id) break;
   }
+  tls_spans.erase(
+      std::remove_if(tls_spans.begin(), tls_spans.end(),
+                     [&](const TlsEntry& e) {
+                       return e.tracer == this &&
+                              std::find(closed.begin(), closed.end(),
+                                        e.span) != closed.end();
+                     }),
+      tls_spans.end());
 }
 
 void SpanTracer::instant(SpanPhase phase, std::uint64_t family,
                          std::uint32_t node, std::uint64_t object) {
+  instant_linked(phase, family, node, TraceContext{}, object);
+}
+
+void SpanTracer::instant_linked(SpanPhase phase, std::uint64_t family,
+                                std::uint32_t node, const TraceContext& ctx,
+                                std::uint64_t object) {
   if (!enabled_) return;
   std::lock_guard<std::mutex> lock(mu_);
   SpanRecord span;
@@ -121,14 +212,49 @@ void SpanTracer::instant(SpanPhase phase, std::uint64_t family,
   span.object = object;
   span.begin = next_tick_locked();
   span.end = span.begin;
-  auto it = open_.find(family);
-  span.parent =
-      (it == open_.end() || it->second.empty()) ? 0 : it->second.back().id;
+  span.link = ctx.parent_span;
+  const auto it = open_.find(lane_for(family, node));
+  if (it != open_.end() && !it->second.empty()) {
+    span.parent = it->second.back().id;
+    span.trace = it->second.back().trace;
+  } else if (ctx.valid()) {
+    span.trace = ctx.trace_id;
+  }
+  if (recorder_ != nullptr) recorder_->note_instant(span);
   emit_locked(span);
+}
+
+TraceContext SpanTracer::current_context() const {
+  if (!enabled_) return {};
+  for (auto it = tls_spans.rbegin(); it != tls_spans.rend(); ++it) {
+    if (it->tracer == this)
+      return {it->trace, it->span, static_cast<std::uint8_t>(it->phase)};
+  }
+  return {};
+}
+
+void SpanTracer::note_message(std::string_view kind, std::uint32_t src,
+                              std::uint32_t dst, std::uint64_t object,
+                              std::uint64_t bytes, const TraceContext& ctx) {
+  if (!enabled_) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  MessageRecord rec;
+  rec.tick = now();
+  rec.kind = std::string(kind);
+  rec.src = src;
+  rec.dst = dst;
+  rec.object = object;
+  rec.bytes = bytes;
+  rec.trace = ctx.trace_id;
+  rec.span = ctx.parent_span;
+  for (auto& sink : sinks_) sink->on_message(rec);
+  messages_.push_back(std::move(rec));
 }
 
 void SpanTracer::emit_locked(const SpanRecord& span) {
   done_.push_back(span);
+  if (recorder_ != nullptr && span.end != span.begin)
+    recorder_->note_span_end(span);
   if (auto* hist = phase_hist_[static_cast<std::size_t>(span.phase)]) {
     hist->record(span.end - span.begin);
   }
@@ -138,6 +264,18 @@ void SpanTracer::emit_locked(const SpanRecord& span) {
 std::vector<SpanRecord> SpanTracer::spans() const {
   std::lock_guard<std::mutex> lock(mu_);
   return done_;
+}
+
+std::vector<MessageRecord> SpanTracer::messages() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return messages_;
+}
+
+std::size_t SpanTracer::open_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::size_t n = 0;
+  for (const auto& [lane, stack] : open_) n += stack.size();
+  return n;
 }
 
 void SpanTracer::flush_sinks() {

@@ -1,0 +1,36 @@
+// TraceContext: the compact causal header piggybacked on every WireMessage
+// when span tracing is enabled.
+//
+// Wire format (modeled, never serialized separately): the context rides in
+// the reserved padding of the fixed 64-byte message frame (see
+// net/message.hpp — the LOTEC protocol header budget), laid out as
+//
+//   trace_id     8 bytes   per-root-attempt causal domain (0 = untraced)
+//   parent_span  8 bytes   span open at the sender when the message left
+//   phase        1 byte    SpanPhase of that span (attribution hint)
+//
+// so it costs ZERO accounted messages and ZERO accounted bytes whether
+// tracing is on or off: total_bytes() never changes and NetworkStats never
+// sees it.  This keeps the PR 3 contract that traced and untraced runs
+// carry bit-identical wire traffic.  When tracing is disabled the context
+// is never written at all (trace_id stays 0).
+//
+// This header depends only on <cstdint>: src/net includes it, and src/obs
+// must not depend back on src/net.
+#pragma once
+
+#include <cstdint>
+
+namespace lotec {
+
+struct TraceContext {
+  std::uint64_t trace_id = 0;     ///< 0 = no causal context attached
+  std::uint64_t parent_span = 0;  ///< sender's open span id (0 = none)
+  std::uint8_t phase = 0;         ///< SpanPhase of the sender's span
+
+  [[nodiscard]] bool valid() const noexcept { return trace_id != 0; }
+
+  friend bool operator==(const TraceContext&, const TraceContext&) = default;
+};
+
+}  // namespace lotec

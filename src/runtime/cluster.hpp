@@ -66,6 +66,14 @@ class ClusterObservation {
   [[nodiscard]] std::vector<SpanRecord> spans() const {
     return core_.obs.tracer.spans();
   }
+  /// All messages recorded so far (empty unless config().obs.trace_spans).
+  [[nodiscard]] std::vector<MessageRecord> messages() const {
+    return core_.obs.tracer.messages();
+  }
+  /// The always-on flight recorder (null only when cfg.obs disabled it).
+  [[nodiscard]] FlightRecorder* flight_recorder() noexcept {
+    return core_.obs.recorder.get();
+  }
   /// Pages evicted under cache pressure across all nodes.
   [[nodiscard]] std::uint64_t evicted_pages() const {
     return core_.total_evicted_pages();

@@ -53,8 +53,9 @@ struct ClusterCore {
       // nonsense values.
       : config((cfg.validate(), cfg)), transport(cfg.nodes, cfg.net),
         gdo(transport, cfg.gdo, &obs.metrics) {
-    obs.configure(cfg.obs);
+    obs.configure(cfg.obs, cfg.nodes);
     transport.set_tracer(&obs.tracer);
+    transport.set_flight_recorder(obs.recorder.get());
     gdo.set_tracer(&obs.tracer);
     if (cfg.check_sink != nullptr) {
       transport.set_probe(cfg.check_sink);
@@ -88,6 +89,8 @@ struct ClusterCore {
       fault = std::make_unique<FaultEngine>(cfg.fault, transport, gdo, nodes,
                                             cfg.page_size);
       fault->set_tracer(&obs.tracer);
+      fault->set_flight_recorder(obs.recorder.get());
+      fault->set_flight_dump(cfg.obs.flight_dump);
       if (cfg.check_sink != nullptr) fault->set_check_sink(cfg.check_sink);
       transport.set_fault_hooks(fault.get());
     }

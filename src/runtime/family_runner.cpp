@@ -471,6 +471,11 @@ void FamilyRunner::acquire_for(const Transaction& txn, ObjectId object,
     pending_grant_.reset();
     upgrade = g.upgrade;
     granted_map = std::move(g.page_map);
+    // The wakeup crossed lanes: link this family's grant instant to the
+    // directory-side release/serve span that produced it.
+    core_.obs.tracer.instant_linked(SpanPhase::kLockGrant,
+                                    family_.id().value(), node_.value(),
+                                    g.trace, object.value());
   } else {
     upgrade = res.upgrade;
     granted_map = std::move(res.page_map);
@@ -535,6 +540,9 @@ void FamilyRunner::run_prefetch(const Transaction& root) {
       Grant g = std::move(*pending_grant_);
       pending_grant_.reset();
       granted_map = std::move(g.page_map);
+      core_.obs.tracer.instant_linked(SpanPhase::kLockGrant,
+                                      family_.id().value(), node_.value(),
+                                      g.trace, object.value());
     } else {
       granted_map = std::move(res.page_map);
     }
@@ -650,6 +658,10 @@ void FamilyRunner::fetch_pages(ObjectId object, ObjectImage& image,
          node_, source, object,
          wanted.size() * (wire::kPageRequestEntryBytes +
                           (delta_mode ? 8ULL : 0ULL))});
+    // Remote side of the fetch: the source site serving our request, on its
+    // directory lane, linked to this family's page.gather.
+    ScopedServeSpan serve(&core_.obs.tracer, SpanPhase::kPageServe,
+                          source.value(), object.value());
     std::vector<std::pair<PageIndex, Page>> copied;
     std::vector<std::pair<PageIndex, PagePatch>> patched;
     copied.reserve(wanted.size());
@@ -693,6 +705,7 @@ void FamilyRunner::fetch_pages(ObjectId object, ObjectImage& image,
         {demand ? MessageKind::kDemandFetchReply
                 : MessageKind::kPageFetchReply,
          source, node_, object, reply_payload});
+    serve.finish();
     {
       Node& mine = core_.node(node_);
       std::lock_guard<std::mutex> lock(mine.store_mu);

@@ -72,6 +72,7 @@ ClusterConfig ExperimentOptions::to_cluster_config(
   cfg.obs.trace_spans = trace_spans;
   cfg.obs.spans_jsonl = spans_jsonl;
   cfg.obs.chrome_trace = chrome_trace;
+  cfg.obs.flight_dump = flight_dump;
   return cfg;
 }
 
@@ -175,6 +176,7 @@ ScenarioResult run_scenario(const Workload& workload, ProtocolKind protocol,
   if (options.trace_spans) {
     obs.tracer().flush_sinks();
     out.spans = obs.spans();
+    out.messages = obs.messages();
     out.histograms = metrics.histograms();
   }
   return out;

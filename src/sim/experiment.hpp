@@ -41,6 +41,10 @@ struct ScenarioResult {
   std::map<std::string, HistogramSnapshot> histograms;
   /// All spans recorded during the run (empty unless options.trace_spans).
   std::vector<SpanRecord> spans;
+  /// All messages observed at the Transport choke point with their causal
+  /// stamps (empty unless options.trace_spans) — the per-message-kind axis
+  /// of analyze_critical_path.
+  std::vector<MessageRecord> messages;
   // Transaction outcomes.
   std::size_t committed = 0;
   std::size_t aborted = 0;
@@ -147,6 +151,9 @@ struct ExperimentOptions {
   /// Write Chrome trace-event JSON (Perfetto-loadable) to this file at the
   /// end of the run (requires trace_spans).
   std::string chrome_trace;
+  /// Dump the always-on flight recorder here on every node-crash event (the
+  /// post-mortem black box; works with or without trace_spans).
+  std::string flight_dump;
 
   /// The ClusterConfig these options describe for `protocol`.  run_scenario
   /// builds its cluster from exactly this (plus the request-level knobs —

@@ -4,6 +4,8 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cmath>
+#include <limits>
 #include <map>
 #include <sstream>
 
@@ -59,6 +61,28 @@ TEST(MetricsRegistryTest, HistogramTracksCountSumExtremesAndPercentiles) {
   const HistogramSnapshot empty;
   EXPECT_DOUBLE_EQ(empty.mean(), 0.0);
   EXPECT_DOUBLE_EQ(empty.percentile(50), 0.0);
+}
+
+TEST(MetricsRegistryTest, PercentileIsTotalOnAnyInput) {
+  // An empty histogram yields 0.0 for EVERY p — including NaN and values
+  // far outside [0, 100]; a populated one clamps out-of-range p and maps
+  // NaN to 0.0.  Never NaN out, never UB (std::clamp on NaN is UB).
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const HistogramSnapshot empty;
+  EXPECT_DOUBLE_EQ(empty.percentile(0), 0.0);
+  EXPECT_DOUBLE_EQ(empty.percentile(100), 0.0);
+  EXPECT_DOUBLE_EQ(empty.percentile(-40), 0.0);
+  EXPECT_DOUBLE_EQ(empty.percentile(1e9), 0.0);
+  EXPECT_DOUBLE_EQ(empty.percentile(nan), 0.0);
+
+  MetricsRegistry registry;
+  LatencyHistogram& h = registry.histogram("span.any");
+  for (const std::uint64_t v : {3u, 5u, 9u}) h.record(v);
+  const HistogramSnapshot snap = h.snapshot();
+  EXPECT_DOUBLE_EQ(snap.percentile(-10), snap.percentile(0));
+  EXPECT_DOUBLE_EQ(snap.percentile(250), snap.percentile(100));
+  EXPECT_DOUBLE_EQ(snap.percentile(nan), 0.0);
+  EXPECT_FALSE(std::isnan(snap.percentile(nan)));
 }
 
 TEST(SpanTracerTest, DisabledTracerRecordsNothingAndHoldsTheClock) {
@@ -165,6 +189,91 @@ TEST(SpanSerializationTest, JsonlLoaderRejectsMalformedInput) {
         "\"node\":0,\"begin\":1,\"end\":2}\n");
     EXPECT_THROW((void)load_spans_jsonl(ss), std::runtime_error);
   }
+}
+
+TEST(SpanSerializationTest, JsonEscapeNeutralizesHostileStrings) {
+  // Quotes, backslashes, control characters, embedded newlines: whatever
+  // lands in a name, the emitted document must stay structurally valid.
+  const std::string hostile_cases[] = {
+      "plain",
+      "with \"quotes\" inside",
+      "back\\slash",
+      std::string("nul\0byte", 8),
+      "newline\nand\ttab\rand\x01\x1f controls",
+      "trailing backslash\\",
+      "}]\",\"injected\":\"x",  // attempts to escape the string literal
+  };
+  for (const std::string& s : hostile_cases) {
+    const std::string escaped = json_escape(s);
+    // No raw control characters or unescaped quotes survive.
+    for (const char c : escaped)
+      EXPECT_GE(static_cast<unsigned char>(c), 0x20u);
+    const std::string doc = "{\"k\":\"" + escaped + "\"}";
+    EXPECT_TRUE(json_wellformed(doc)) << "hostile input: " << s;
+  }
+  EXPECT_FALSE(json_wellformed("{\"k\":\"unterminated"));
+  EXPECT_FALSE(json_wellformed("{\"k\":1"));
+}
+
+TEST(SpanSerializationTest, ObsStreamRoundTripsSpansAndMessages) {
+  // The full observability stream — span lines interleaved with "msg"
+  // lines — re-parses into the identical records, causal fields included.
+  SpanTracer tracer;
+  tracer.enable();
+  const std::uint64_t outer = tracer.begin(SpanPhase::kFamilyAttempt, 9, 2);
+  TraceContext ctx = tracer.current_context();
+  tracer.note_message("LockAcquireRequest", 2, 0, 17, 96, ctx);
+  const std::uint64_t serve =
+      tracer.begin_remote(SpanPhase::kGdoServe, 0, ctx, 17);
+  tracer.end(serve, 0);
+  tracer.note_message("LockAcquireGrant", 0, 2, 17, 64, ctx);
+  tracer.end(outer, 9);
+
+  const auto spans = tracer.spans();
+  const auto messages = tracer.messages();
+  ASSERT_EQ(spans.size(), 2u);
+  ASSERT_EQ(messages.size(), 2u);
+  // The serve span carries the causal fields the round trip must keep.
+  const SpanRecord& s = spans.front();
+  EXPECT_EQ(s.phase, SpanPhase::kGdoServe);
+  EXPECT_NE(s.trace, 0u);
+  EXPECT_EQ(s.link, outer);
+
+  std::stringstream ss;
+  for (const SpanRecord& span : spans) write_span_jsonl(span, ss);
+  for (const MessageRecord& m : messages) write_message_jsonl(m, ss);
+  for (std::string line; std::getline(ss, line);)
+    EXPECT_TRUE(json_wellformed(line)) << line;
+  ss.clear();
+  ss.seekg(0);
+
+  std::vector<SpanRecord> spans_back;
+  std::vector<MessageRecord> messages_back;
+  load_obs_jsonl(ss, spans_back, messages_back);
+  EXPECT_EQ(spans_back, spans);
+  EXPECT_EQ(messages_back, messages);
+}
+
+TEST(SpanSerializationTest, ChromeTraceDrawsFlowArrowsForCausalLinks) {
+  SpanTracer tracer;
+  tracer.enable();
+  const std::uint64_t outer = tracer.begin(SpanPhase::kFamilyAttempt, 4, 1);
+  const TraceContext ctx = tracer.current_context();
+  const std::uint64_t serve =
+      tracer.begin_remote(SpanPhase::kGdoServe, 0, ctx, 3);
+  tracer.end(serve, 0);
+  tracer.end(outer, 4);
+
+  std::stringstream ss;
+  write_chrome_trace(tracer.spans(), ss);
+  const std::string json = ss.str();
+  EXPECT_TRUE(json_wellformed(json));
+  // One flow start ("s") / finish ("f") pair, bound to the enclosing
+  // slices, so Perfetto draws the cross-lane arrow.
+  EXPECT_NE(json.find("\"ph\":\"s\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"f\""), std::string::npos);
+  EXPECT_NE(json.find("\"bp\":\"e\""), std::string::npos);
+  EXPECT_NE(json.find("\"gdo.serve\""), std::string::npos);
 }
 
 TEST(SpanSerializationTest, ChromeTraceEmitsValidEventsAndMetadata) {

@@ -1,0 +1,20 @@
+# Assert a command exits with a specific code.  CTest treats any nonzero
+# exit as failure, so tools with a multi-code contract (trace_report,
+# bench_check) are tested through this script:
+#
+#   cmake -DCMD=<exe> [-DARGS="a;b;c"] -DEXPECTED=<code> -P expect_exit.cmake
+if(NOT DEFINED CMD OR NOT DEFINED EXPECTED)
+  message(FATAL_ERROR "expect_exit.cmake needs -DCMD= and -DEXPECTED=")
+endif()
+if(DEFINED ARGS)
+  separate_arguments(ARGS)
+else()
+  set(ARGS "")
+endif()
+execute_process(COMMAND ${CMD} ${ARGS} RESULT_VARIABLE rc
+                OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rc STREQUAL "${EXPECTED}")
+  message(FATAL_ERROR
+          "${CMD} ${ARGS}: expected exit ${EXPECTED}, got '${rc}'\n"
+          "stdout:\n${out}\nstderr:\n${err}")
+endif()

@@ -37,6 +37,8 @@ struct Args {
   bool per_object = false;
   bool time_model = false;
   bool validate = false;
+  bool faults = false;
+  std::uint64_t fault_seed = 42;
   std::string trace_path;
 };
 
@@ -72,7 +74,11 @@ void usage() {
       "  --validate           check quiescent-state invariants afterwards\n"
       "  --trace=FILE         dump a message-trace CSV of the last protocol\n"
       "  --spans=FILE         record phase spans; writes FILE (JSON lines)\n"
-      "                       and FILE.chrome.json (Perfetto-loadable)\n";
+      "                       and FILE.chrome.json (Perfetto-loadable)\n"
+      "  --faults[=SEED]      chaos preset: crash+restart two nodes mid-run\n"
+      "                       with mild message drop (seed defaults to 42)\n"
+      "  --flight-dump=FILE   dump the always-on flight recorder to FILE on\n"
+      "                       every node-crash event (post-mortem black box)\n";
 }
 
 ProtocolKind parse_protocol(const std::string& name) {
@@ -129,6 +135,11 @@ bool parse_one(Args& args, const std::string& arg) {
     args.options.spans_jsonl = val;
     args.options.chrome_trace = val + ".chrome.json";
   }
+  else if (key == "--faults") {
+    args.faults = true;
+    if (!val.empty()) args.fault_seed = std::stoull(val);
+  }
+  else if (key == "--flight-dump") args.options.flight_dump = val;
   else return false;
   return true;
 }
@@ -158,6 +169,17 @@ int main(int argc, char** argv) {
     }
   }
 
+  if (args.faults) {
+    // Built after the flag loop so --nodes takes effect regardless of flag
+    // order.  Victims: node 1 (a directory home under the default
+    // partitioning) and the last node; run_scenario turns on GDO
+    // replication automatically for node faults.
+    args.options.fault = fault_presets::chaos(
+        NodeId(1),
+        NodeId(static_cast<std::uint32_t>(args.options.nodes - 1)),
+        args.fault_seed);
+  }
+
   const Workload workload(args.spec);
   std::cout << "workload: " << workload.num_objects() << " objects, "
             << args.spec.num_transactions << " roots, "
@@ -173,6 +195,8 @@ int main(int argc, char** argv) {
       options.chrome_trace =
           protocol_trace_path(options.chrome_trace, protocol);
     }
+    if (args.protocols.size() > 1 && !options.flight_dump.empty())
+      options.flight_dump = protocol_trace_path(options.flight_dump, protocol);
     results.push_back(run_scenario(workload, protocol, options));
   }
 
@@ -185,6 +209,20 @@ int main(int argc, char** argv) {
                fmt_u64(r.total.bytes), fmt_u64(r.demand_fetches()),
                fmt_u64(r.local_lock_ops())});
   table.print();
+
+  if (args.faults) {
+    std::cout << "\nfaults: ";
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      const FaultStats& fs = results[i].fault_stats;
+      if (i) std::cout << ", ";
+      std::cout << to_string(results[i].protocol) << " crashes=" << fs.crashes
+                << " restarts=" << fs.restarts << " dropped=" << fs.dropped;
+    }
+    if (!args.options.flight_dump.empty())
+      std::cout << "\nflight recorder -> " << args.options.flight_dump
+                << " (one dump per crash; later crashes get .2, .3, ...)";
+    std::cout << "\n";
+  }
 
   if (args.options.trace_spans) {
     std::cout << "\nspans: ";

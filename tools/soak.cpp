@@ -11,12 +11,18 @@
 // invariants after recovery.
 //
 //   soak [iterations=50] [base-seed=1] [--faults] [--only N]
+//        [--flight-dump PREFIX]
 //
 // --only N draws every iteration's configuration (keeping the random
 // stream identical) but executes only iteration N — cheap reproduction of
 // a failure report.
+//
+// --flight-dump PREFIX arms the always-on flight recorder: every crash
+// event of iteration i dumps a Perfetto-loadable post-mortem to
+// PREFIX.<i>.json (CI uploads these when a soak fails).
 #include <cstring>
 #include <iostream>
+#include <string>
 
 #include "sim/validate.hpp"
 #include "workload/generator.hpp"
@@ -115,12 +121,15 @@ Draw random_setup(Rng& rng) {
 int main(int argc, char** argv) {
   bool with_faults = false;
   int only = -1;
+  std::string flight_prefix;
   std::vector<const char*> positional;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--faults") == 0)
       with_faults = true;
     else if (std::strcmp(argv[i], "--only") == 0 && i + 1 < argc)
       only = std::atoi(argv[++i]);
+    else if (std::strcmp(argv[i], "--flight-dump") == 0 && i + 1 < argc)
+      flight_prefix = argv[++i];
     else
       positional.push_back(argv[i]);
   }
@@ -134,6 +143,8 @@ int main(int argc, char** argv) {
     Draw d = random_setup(rng);
     if (with_faults) add_random_faults(d, rng);
     if (only >= 0 && i != only) continue;
+    if (!flight_prefix.empty())
+      d.cfg.obs.flight_dump = flight_prefix + "." + std::to_string(i) + ".json";
     try {
       const Workload workload(d.spec);
       Cluster cluster(d.cfg);

@@ -1,12 +1,20 @@
 // trace_report: analyze a message-trace CSV (produced by lotec_sim --trace
 // or the sim library's dump_trace_csv) into per-kind / per-object / per-link
 // rollups and a network time model — or, with the `spans` subcommand, roll
-// up a span JSONL file (lotec_sim --spans) per phase and optionally convert
-// it to Chrome trace-event JSON for Perfetto.
+// up a span JSONL file (lotec_sim --spans) per phase, run critical-path
+// analysis over the causal DAG, and optionally convert it to Chrome
+// trace-event JSON for Perfetto.
 //
 //   trace_report trace.csv
 //   trace_report trace.csv --top=10 --bitrate=100e6 --sw-cost=20
-//   trace_report spans spans.jsonl [--out=chrome.json]
+//   trace_report spans spans.jsonl [--out=chrome.json] [--critical-path]
+//
+// Exit codes (the bench_check convention, plus 4):
+//   0  report printed
+//   1  input exists but is malformed
+//   2  usage error (bad flag / missing argument)
+//   3  input file missing / unreadable
+//   4  input parsed but holds no events (empty trace)
 #include <algorithm>
 #include <fstream>
 #include <iostream>
@@ -14,6 +22,7 @@
 
 #include "net/cost_model.hpp"
 #include "obs/chrome_trace.hpp"
+#include "obs/critical_path.hpp"
 #include "obs/span.hpp"
 #include "sim/report.hpp"
 #include "sim/trace.hpp"
@@ -22,27 +31,95 @@ using namespace lotec;
 
 namespace {
 
+// Exit codes, named so the semantics can't drift between the two modes.
+constexpr int kOk = 0;
+constexpr int kMalformed = 1;
+constexpr int kUsage = 2;
+constexpr int kMissing = 3;
+constexpr int kEmpty = 4;
+
+void print_critical_path(const CriticalPath& cp) {
+  print_section("Critical path");
+  if (!cp.valid()) {
+    std::cout << "no family.attempt span in the trace; nothing to analyze\n";
+    return;
+  }
+  std::cout << "slowest root: family " << cp.family << " on node " << cp.node
+            << ", wall " << cp.wall_ticks << " ticks";
+  if (cp.trace_id != 0) std::cout << " (trace " << cp.trace_id << ")";
+  std::cout << "\n";
+
+  Table phases({"Phase", "Self ticks", "Share of wall"});
+  for (std::size_t p = 0; p < kNumSpanPhases; ++p) {
+    const std::uint64_t self = cp.phase_self[p];
+    if (self == 0) continue;
+    phases.row({std::string(to_string(static_cast<SpanPhase>(p))),
+                fmt_u64(self),
+                cp.wall_ticks
+                    ? fmt_percent(static_cast<double>(self) /
+                                  static_cast<double>(cp.wall_ticks))
+                    : "-"});
+  }
+  phases.print();
+  std::cout << "self-time total " << cp.phase_self_total() << " / wall "
+            << cp.wall_ticks << " ticks\n";
+
+  print_section("Longest blocking chain");
+  Table chain({"Depth", "Phase", "Family", "Node", "Object", "Ticks", "Self"});
+  for (std::size_t d = 0; d < cp.chain.size(); ++d) {
+    const CriticalPathStep& s = cp.chain[d];
+    chain.row({std::to_string(d), std::string(to_string(s.phase)),
+               fmt_u64(s.family), fmt_u64(s.node),
+               s.object == SpanRecord::kNoObject ? "-"
+                                                 : "O" + std::to_string(s.object),
+               fmt_u64(s.duration), fmt_u64(s.self)});
+  }
+  chain.print();
+
+  if (!cp.by_kind.empty()) {
+    print_section("Messages on this trace");
+    Table kinds({"Kind", "Messages", "Bytes"});
+    for (const auto& [name, c] : cp.by_kind)
+      kinds.row({name, fmt_u64(c.messages), fmt_u64(c.bytes)});
+    kinds.print();
+  }
+}
+
 int run_spans(int argc, char** argv) {
   if (argc < 3) {
-    std::cerr << "usage: trace_report spans <spans.jsonl> [--out=chrome.json]\n";
-    return 2;
+    std::cerr << "usage: trace_report spans <spans.jsonl> [--out=chrome.json] "
+                 "[--critical-path]\n";
+    return kUsage;
   }
   std::string out_path;
+  bool critical_path = false;
   for (int i = 3; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg.rfind("--out=", 0) == 0) out_path = arg.substr(6);
+    else if (arg == "--critical-path") critical_path = true;
     else {
       std::cerr << "unknown flag " << arg << "\n";
-      return 2;
+      return kUsage;
     }
   }
 
+  std::ifstream in(argv[2]);
+  if (!in) {
+    std::cerr << "cannot open " << argv[2] << "\n";
+    return kMissing;
+  }
   std::vector<SpanRecord> spans;
+  std::vector<MessageRecord> messages;
   try {
-    spans = load_spans_jsonl_file(argv[2]);
+    load_obs_jsonl(in, spans, messages);
   } catch (const std::exception& e) {
     std::cerr << "parse error: " << e.what() << "\n";
-    return 1;
+    return kMalformed;
+  }
+  if (spans.empty() && messages.empty()) {
+    std::cerr << "empty trace: " << argv[2] << " holds no spans or messages "
+                 "(was the run traced? pass --spans to lotec_sim)\n";
+    return kEmpty;
   }
 
   struct PhaseAgg {
@@ -58,8 +135,9 @@ int run_spans(int argc, char** argv) {
     total_ticks += s.end - s.begin;
   }
 
-  std::cout << "spans: " << spans.size() << " records, " << by_phase.size()
-            << " phases, " << total_ticks << " ticks of tracked time\n";
+  std::cout << "spans: " << spans.size() << " records, " << messages.size()
+            << " messages, " << by_phase.size() << " phases, " << total_ticks
+            << " ticks of tracked time\n";
   print_section("By phase");
   Table table({"Phase", "Spans", "Ticks", "Ticks/span", "Share"});
   for (const auto& [name, agg] : by_phase)
@@ -73,17 +151,19 @@ int run_spans(int argc, char** argv) {
                    : "-"});
   table.print();
 
+  if (critical_path) print_critical_path(analyze_critical_path(spans, messages));
+
   if (!out_path.empty()) {
     std::ofstream os(out_path);
     if (!os) {
       std::cerr << "cannot write " << out_path << "\n";
-      return 1;
+      return kMissing;
     }
     write_chrome_trace(spans, os);
     std::cout << "\nwrote " << out_path
               << " (load it at ui.perfetto.dev or chrome://tracing)\n";
   }
-  return 0;
+  return kOk;
 }
 
 }  // namespace
@@ -92,8 +172,9 @@ int main(int argc, char** argv) {
   if (argc < 2) {
     std::cerr << "usage: trace_report <trace.csv> [--top=N] [--bitrate=BPS] "
                  "[--sw-cost=US]\n"
-                 "       trace_report spans <spans.jsonl> [--out=chrome.json]\n";
-    return 2;
+                 "       trace_report spans <spans.jsonl> [--out=chrome.json] "
+                 "[--critical-path]\n";
+    return kUsage;
   }
   if (std::string(argv[1]) == "spans") return run_spans(argc, argv);
   std::size_t top = 10;
@@ -106,21 +187,26 @@ int main(int argc, char** argv) {
     else if (arg.rfind("--sw-cost=", 0) == 0) sw_cost_us = std::stod(arg.substr(10));
     else {
       std::cerr << "unknown flag " << arg << "\n";
-      return 2;
+      return kUsage;
     }
   }
 
   std::ifstream in(argv[1]);
   if (!in) {
     std::cerr << "cannot open " << argv[1] << "\n";
-    return 1;
+    return kMissing;
   }
   std::vector<TraceEvent> events;
   try {
     events = load_trace_csv(in);
   } catch (const std::exception& e) {
     std::cerr << "parse error: " << e.what() << "\n";
-    return 1;
+    return kMalformed;
+  }
+  if (events.empty()) {
+    std::cerr << "empty trace: " << argv[1] << " holds no messages (was the "
+                 "run recorded? pass --trace to lotec_sim)\n";
+    return kEmpty;
   }
 
   const NetworkCostModel model(bitrate, sw_cost_us);
@@ -181,5 +267,5 @@ int main(int argc, char** argv) {
                  fmt_u64(links[i].second.messages),
                  fmt_u64(links[i].second.bytes)});
   busiest.print();
-  return 0;
+  return kOk;
 }
