@@ -147,6 +147,12 @@ class Transport {
   explicit Transport(std::size_t num_nodes, NetworkConfig config = {})
       : config_(config), failed_(num_nodes, false) {}
 
+  /// Polymorphic: the wire transport (src/wire) overrides the three
+  /// behavioral entry points below to ship each accounted message through
+  /// real worker processes.  NetworkStats holds a mutex, so Transport was
+  /// never copyable; slicing is not a hazard.
+  virtual ~Transport() = default;
+
   [[nodiscard]] std::size_t num_nodes() const noexcept {
     return failed_.size();
   }
@@ -183,7 +189,7 @@ class Transport {
   /// Throws NodeUnreachable if either endpoint is failed (a crashed sender
   /// cannot put anything on the wire) and propagates fault-engine verdicts
   /// (MessageDropped, partition NodeUnreachable).
-  void send(const WireMessage& m) {
+  virtual void send(const WireMessage& m) {
     if (tracer_ != nullptr) tracer_->tick_message();
     stamp_and_record(m);
     if (probe_ != nullptr) probe_->on_transport_message(m);
@@ -206,8 +212,8 @@ class Transport {
   /// one wire copy as long as at least one destination is reachable).  The
   /// caller must not apply the push's effects at the returned nodes.  A
   /// failed *source* still throws: a crashed node sends nothing.
-  std::vector<NodeId> send_to_all(const WireMessage& m,
-                                  const std::vector<NodeId>& destinations) {
+  virtual std::vector<NodeId> send_to_all(
+      const WireMessage& m, const std::vector<NodeId>& destinations) {
     if (tracer_ != nullptr) tracer_->tick_message();
     stamp_and_record(m);
     if (probe_ != nullptr) probe_->on_transport_message(m);
@@ -239,13 +245,20 @@ class Transport {
   }
 
   /// Mark a node failed/recovered (GDO failover tests and the fault
-  /// engine's crash/restart events).
-  void set_node_failed(NodeId node, bool failed) {
+  /// engine's crash/restart events).  The wire transport overrides this to
+  /// kill/respawn the corresponding worker process.
+  virtual void set_node_failed(NodeId node, bool failed) {
     check_node(node);
     failed_[node.value()] = failed;
   }
 
- private:
+  /// Called once by Cluster::execute after a batch drains, before results
+  /// are assembled.  The wire transport gathers every worker's delivery
+  /// ledger here and cross-checks it against what it shipped; the
+  /// in-process transport has nothing to reconcile.
+  virtual void on_batch_complete() {}
+
+ protected:
   /// Stamp the sender's causal context into the frame padding and mirror
   /// the message into the tracer's record and the flight recorder.  Runs
   /// BEFORE the probe and the fault hooks so remote-side spans, checker

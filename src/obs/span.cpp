@@ -44,6 +44,7 @@ std::string_view to_string(SpanPhase phase) noexcept {
     case SpanPhase::kGdoServe: return "gdo.serve";
     case SpanPhase::kPageServe: return "page.serve";
     case SpanPhase::kLockGrant: return "lock.grant";
+    case SpanPhase::kWireDeliver: return "wire.deliver";
   }
   return "unknown";
 }

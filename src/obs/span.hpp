@@ -24,6 +24,8 @@
 //   gdo.serve            the directory serving one request (remote side)
 //   page.serve           a site serving one page-fetch request (remote side)
 //   lock.grant           a queued request waking with a grant (instant)
+//   wire.deliver         a wire-transport worker delivering one frame
+//                        (distributed runs only; emitted by lotec_worker)
 #pragma once
 
 #include <atomic>
@@ -59,9 +61,10 @@ enum class SpanPhase : std::uint8_t {
   kGdoServe,
   kPageServe,
   kLockGrant,
+  kWireDeliver,
 };
 
-inline constexpr std::size_t kNumSpanPhases = 13;
+inline constexpr std::size_t kNumSpanPhases = 14;
 
 [[nodiscard]] std::string_view to_string(SpanPhase phase) noexcept;
 

@@ -193,6 +193,11 @@ std::vector<TxnResult> Cluster::execute(std::vector<RootRequest> requests) {
   for (const auto& r : runners)
     if (r->error()) std::rethrow_exception(r->error());
 
+  // Batch drained and recovered: let the transport settle.  The wire
+  // backend gathers every worker's delivery ledger here and cross-checks
+  // it against the shipped counters (the in-process backend is a no-op).
+  core_.transport.on_batch_complete();
+
   std::vector<TxnResult> results;
   results.reserve(runners.size());
   for (const auto& r : runners) results.push_back(r->result());

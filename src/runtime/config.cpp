@@ -80,6 +80,38 @@ void ClusterConfig::validate() const {
     throw UsageError(
         "ClusterConfig: check_sink requires the deterministic scheduler "
         "(invariant oracles assume a linearized event stream)");
+  if (wire.enabled) {
+    if (scheduler != SchedulerMode::kDeterministic)
+      throw UsageError(
+          "ClusterConfig: the wire transport (--distributed) requires the "
+          "deterministic scheduler — drop --concurrent, the worker fleet "
+          "mirrors the deterministic token order");
+    if (schedule_picker)
+      throw UsageError(
+          "ClusterConfig: the wire transport (--distributed) cannot be "
+          "combined with schedule exploration — controlled schedules are "
+          "defined over the in-process transport only; run --explore/"
+          "--schedule without --distributed");
+    if (check_sink != nullptr)
+      throw UsageError(
+          "ClusterConfig: the wire transport (--distributed) cannot be "
+          "combined with a check sink — the serializability checker "
+          "observes the in-process transport only; run --check without "
+          "--distributed");
+    if (fault.drop_probability > 0.0 || fault.duplicate_probability > 0.0 ||
+        fault.delay_probability > 0.0)
+      throw UsageError(
+          "ClusterConfig: the wire transport (--distributed) cannot be "
+          "combined with FaultEngine message chaos (drop/duplicate/delay "
+          "probabilities) — the wire has its own loss handling; use "
+          "crash/restart and partition events instead");
+    for (std::size_t i = 0; i < fault.events.size(); ++i)
+      if (fault.events[i].action == FaultAction::kDropMessage)
+        throw UsageError(
+            "ClusterConfig: fault event #" + std::to_string(i) +
+            " drops a message, which the wire transport (--distributed) "
+            "does not support — use crash/restart or partition events");
+  }
 }
 
 }  // namespace lotec

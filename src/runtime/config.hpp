@@ -10,6 +10,7 @@
 #include "fault/fault_schedule.hpp"
 #include "gdo/gdo_service.hpp"
 #include "net/transport.hpp"
+#include "net/wire_config.hpp"
 #include "obs/observability.hpp"
 #include "page/undo_log.hpp"
 #include "protocol/protocol.hpp"
@@ -44,6 +45,12 @@ struct ClusterConfig {
   /// require gdo.replicate so directory state survives its home.
   FaultConfig fault;
   SchedulerMode scheduler = SchedulerMode::kDeterministic;
+  /// Cross-process wire transport (src/wire): run one lotec_worker OS
+  /// process per node and ship every accounted message over real sockets.
+  /// Requires the deterministic scheduler; incompatible with schedule
+  /// exploration, check sinks and FaultEngine *message* faults (crash/
+  /// restart and partitions work — worker processes really die).
+  WireConfig wire;
   /// Seed for every random decision (scheduling, workload bodies).
   std::uint64_t seed = 1;
   /// Families concurrently active (threads).

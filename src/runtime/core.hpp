@@ -33,6 +33,13 @@ struct ObjectMeta {
 
 class FamilyRunner;
 
+/// Build the transport backend for `cfg`: the in-process accounting
+/// Transport by default, or the cross-process WireTransport (src/wire)
+/// when cfg.wire.enabled spawns one worker process per node.  Defined in
+/// transport_factory.cpp so this header stays socket-free.
+[[nodiscard]] std::unique_ptr<Transport> make_cluster_transport(
+    const ClusterConfig& cfg);
+
 /// Registry handles the family runners bump on their hot paths, resolved
 /// once at cluster construction (a runner never touches the name map).
 struct CoreCounters {
@@ -51,8 +58,9 @@ struct ClusterCore {
       // validate() before any member sees the config: an incoherent config
       // must produce its UsageError, not whatever a member ctor does with
       // nonsense values.
-      : config((cfg.validate(), cfg)), transport(cfg.nodes, cfg.net),
-        gdo(transport, cfg.gdo, &obs.metrics) {
+      : config((cfg.validate(), cfg)),
+        transport_owner(make_cluster_transport(cfg)),
+        transport(*transport_owner), gdo(transport, cfg.gdo, &obs.metrics) {
     obs.configure(cfg.obs, cfg.nodes);
     transport.set_tracer(&obs.tracer);
     transport.set_flight_recorder(obs.recorder.get());
@@ -152,7 +160,11 @@ struct ClusterCore {
   /// Declared before transport/gdo: both capture pointers into it.
   Observability obs;
   CoreCounters counters;
-  Transport transport;
+  /// Owner + reference pair: the owner holds whichever backend the config
+  /// selected; the reference keeps every `core.transport.` call site
+  /// working unchanged against the polymorphic interface.
+  std::unique_ptr<Transport> transport_owner;
+  Transport& transport;
   GdoService gdo;
   ClassRegistry registry;
   /// One instance of every protocol (stateless policies).

@@ -1,0 +1,15 @@
+#include <memory>
+
+#include "runtime/core.hpp"
+#include "wire/wire_transport.hpp"
+
+namespace lotec {
+
+std::unique_ptr<Transport> make_cluster_transport(const ClusterConfig& cfg) {
+  if (cfg.wire.enabled)
+    return std::make_unique<wire::WireTransport>(cfg.nodes, cfg.net,
+                                                 cfg.wire);
+  return std::make_unique<Transport>(cfg.nodes, cfg.net);
+}
+
+}  // namespace lotec

@@ -73,6 +73,7 @@ ClusterConfig ExperimentOptions::to_cluster_config(
   cfg.obs.spans_jsonl = spans_jsonl;
   cfg.obs.chrome_trace = chrome_trace;
   cfg.obs.flight_dump = flight_dump;
+  cfg.wire = wire;
   return cfg;
 }
 
@@ -151,6 +152,12 @@ ScenarioResult run_scenario(const Workload& workload, ProtocolKind protocol,
       const TrafficCounter c = stats.by_kind(kind);
       if (is_lock_kind(kind)) lock_msgs += c.messages;
       if (is_page_kind(kind)) page_msgs += c.messages;
+      // Per-kind breakdown ("net.kind.<Kind>.messages/bytes"): the series
+      // lotec_sim --counters-out exports and the distributed-smoke CI job
+      // diffs between in-process and --distributed runs.
+      const std::string base = "net.kind." + std::string(to_string(kind));
+      metrics.counter(base + ".messages").add(c.messages);
+      metrics.counter(base + ".bytes").add(c.bytes);
     }
     metrics.counter("net.lock_messages").add(lock_msgs);
     metrics.counter("net.page_messages").add(page_msgs);

@@ -154,6 +154,11 @@ struct ExperimentOptions {
   /// Dump the always-on flight recorder here on every node-crash event (the
   /// post-mortem black box; works with or without trace_spans).
   std::string flight_dump;
+  /// Run the cluster as real OS processes over sockets (src/wire): one
+  /// lotec_worker per node, every accounted message physically shipped and
+  /// ledger-cross-checked at batch end.  `wire.enabled` is the master
+  /// switch (lotec_sim --distributed N sets it along with nodes).
+  WireConfig wire;
 
   /// The ClusterConfig these options describe for `protocol`.  run_scenario
   /// builds its cluster from exactly this (plus the request-level knobs —

@@ -1,0 +1,124 @@
+#include "wire/frame.hpp"
+
+#include <cstring>
+#include <string>
+
+namespace lotec::wire {
+
+namespace {
+
+void put_u32(std::span<std::byte, kFrameSize> b, std::size_t at,
+             std::uint32_t v) {
+  for (int i = 0; i < 4; ++i)
+    b[at + static_cast<std::size_t>(i)] =
+        static_cast<std::byte>((v >> (8 * i)) & 0xFF);
+}
+
+void put_u64(std::span<std::byte, kFrameSize> b, std::size_t at,
+             std::uint64_t v) {
+  for (int i = 0; i < 8; ++i)
+    b[at + static_cast<std::size_t>(i)] =
+        static_cast<std::byte>((v >> (8 * i)) & 0xFF);
+}
+
+std::uint32_t get_u32(std::span<const std::byte> b, std::size_t at) {
+  std::uint32_t v = 0;
+  for (int i = 3; i >= 0; --i)
+    v = (v << 8) | std::to_integer<std::uint32_t>(
+                       b[at + static_cast<std::size_t>(i)]);
+  return v;
+}
+
+std::uint64_t get_u64(std::span<const std::byte> b, std::size_t at) {
+  std::uint64_t v = 0;
+  for (int i = 7; i >= 0; --i)
+    v = (v << 8) | std::to_integer<std::uint64_t>(
+                       b[at + static_cast<std::size_t>(i)]);
+  return v;
+}
+
+}  // namespace
+
+void encode_frame(const Frame& frame, std::span<std::byte, kFrameSize> out) {
+  std::memset(out.data(), 0, kFrameSize);
+  put_u32(out, 0, kMagic);
+  out[4] = static_cast<std::byte>(kWireVersion);
+  out[5] = static_cast<std::byte>(frame.type);
+  out[6] = static_cast<std::byte>(frame.kind);
+  out[7] = static_cast<std::byte>(frame.flags);
+  put_u32(out, 8, frame.src);
+  put_u32(out, 12, frame.dst);
+  put_u64(out, 16, frame.object);
+  put_u64(out, 24, frame.payload_bytes);
+  put_u64(out, 32, frame.correlation);
+  put_u64(out, 40, frame.trace.trace_id);
+  put_u64(out, 48, frame.trace.parent_span);
+  out[56] = static_cast<std::byte>(frame.trace.phase);
+  // Bytes 57..63 stay zero (reserved).
+}
+
+std::array<std::byte, kFrameSize> encode_frame(const Frame& frame) {
+  std::array<std::byte, kFrameSize> out;
+  encode_frame(frame, out);
+  return out;
+}
+
+Frame decode_frame(std::span<const std::byte> in) {
+  if (in.size() < kFrameSize)
+    throw WireProtocolError("wire frame truncated: " +
+                            std::to_string(in.size()) + " of " +
+                            std::to_string(kFrameSize) + " header bytes");
+  if (get_u32(in, 0) != kMagic)
+    throw WireProtocolError("wire frame: bad magic");
+  if (std::to_integer<std::uint8_t>(in[4]) != kWireVersion)
+    throw WireProtocolError(
+        "wire frame: unsupported version " +
+        std::to_string(std::to_integer<std::uint8_t>(in[4])));
+  const std::uint8_t type = std::to_integer<std::uint8_t>(in[5]);
+  if (type < static_cast<std::uint8_t>(FrameType::kData) ||
+      type > static_cast<std::uint8_t>(FrameType::kShutdown))
+    throw WireProtocolError("wire frame: unknown frame type " +
+                            std::to_string(type));
+  const std::uint8_t kind = std::to_integer<std::uint8_t>(in[6]);
+  if (kind >= static_cast<std::uint8_t>(MessageKind::kNumKinds))
+    throw WireProtocolError("wire frame: message kind " +
+                            std::to_string(kind) + " out of range");
+  for (std::size_t i = 57; i < kFrameSize; ++i)
+    if (in[i] != std::byte{0})
+      throw WireProtocolError("wire frame: nonzero reserved byte at offset " +
+                              std::to_string(i));
+
+  Frame f;
+  f.type = static_cast<FrameType>(type);
+  f.kind = static_cast<MessageKind>(kind);
+  f.flags = std::to_integer<std::uint8_t>(in[7]);
+  f.src = get_u32(in, 8);
+  f.dst = get_u32(in, 12);
+  f.object = get_u64(in, 16);
+  f.payload_bytes = get_u64(in, 24);
+  if (f.payload_bytes > kMaxPayloadBytes)
+    throw WireProtocolError("wire frame: declared payload of " +
+                            std::to_string(f.payload_bytes) +
+                            " bytes exceeds the " +
+                            std::to_string(kMaxPayloadBytes) + "-byte cap");
+  f.correlation = get_u64(in, 32);
+  f.trace.trace_id = get_u64(in, 40);
+  f.trace.parent_span = get_u64(in, 48);
+  f.trace.phase = std::to_integer<std::uint8_t>(in[56]);
+  return f;
+}
+
+Frame data_frame(const WireMessage& m, std::uint64_t correlation) {
+  Frame f;
+  f.type = FrameType::kData;
+  f.kind = m.kind;
+  f.src = m.src.valid() ? m.src.value() : kCoordinatorNode;
+  f.dst = m.dst.valid() ? m.dst.value() : kCoordinatorNode;
+  f.object = m.object.valid() ? m.object.value() : ~std::uint64_t{0};
+  f.payload_bytes = m.payload_bytes;
+  f.correlation = correlation;
+  f.trace = m.trace;
+  return f;
+}
+
+}  // namespace lotec::wire

@@ -1,0 +1,111 @@
+// Wire frame: the binary serialization of a WireMessage.
+//
+// Every cross-node message in the system has always been *sized* as a fixed
+// 64-byte header plus a computed payload (net/message.hpp).  The wire
+// transport makes that layout real: a frame is exactly the 64 bytes below,
+// followed by `payload_bytes` of page/control data on the socket, so the
+// bytes the analytic model charges are the bytes the kernel carries.
+//
+// Layout (little-endian, offsets in bytes):
+//
+//   0   u32  magic            "LOTC" = 0x4C4F5443
+//   4   u8   version          kWireVersion
+//   5   u8   frame type       FrameType
+//   6   u8   message kind     MessageKind (Data frames; 0 otherwise)
+//   7   u8   flags            FrameFlags / Nack reason
+//   8   u32  src node         0xFFFFFFFF = coordinator / invalid
+//   12  u32  dst node
+//   16  u64  object id        ~0 = no object
+//   24  u64  payload bytes    bytes following the header on the socket
+//   32  u64  correlation id   request/reply matching (monotonic)
+//   40  u64  trace id         |
+//   48  u64  parent span      |  PR 5 TraceContext riding in the frame
+//   56  u8   trace phase      |  padding — exactly the modeled placement
+//   57  u8x7 reserved         must be zero
+//
+// The causal TraceContext occupies the padding the in-process model already
+// reserved for it, so Perfetto flow arrows keep working across real
+// processes with zero accounted bytes: total_bytes() is unchanged.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+#include "common/error.hpp"
+#include "net/message.hpp"
+#include "obs/trace_context.hpp"
+
+namespace lotec::wire {
+
+inline constexpr std::uint32_t kMagic = 0x4C4F5443;  // "LOTC"
+inline constexpr std::uint8_t kWireVersion = 1;
+inline constexpr std::size_t kFrameSize = 64;
+static_assert(kFrameSize == wire::kHeaderBytes,
+              "the wire frame must realize exactly the modeled fixed header");
+
+/// Node id marker for the coordinator endpoint in Hello frames.
+inline constexpr std::uint32_t kCoordinatorNode = 0xFFFFFFFFu;
+
+/// Largest payload a decoder accepts; anything bigger is hostile or
+/// corrupt (the biggest legitimate payloads are page batches, well under
+/// this).
+inline constexpr std::uint64_t kMaxPayloadBytes = std::uint64_t{1} << 26;
+
+enum class FrameType : std::uint8_t {
+  kData = 1,        ///< one WireMessage, coordinator -> src, src -> dst
+  kAck = 2,         ///< delivery confirmed (correlation id matches)
+  kNack = 3,        ///< delivery failed; flags carry a NackReason
+  kHello = 4,       ///< connection identification (src = sender id)
+  kHelloAck = 5,    ///< worker ready (peer mesh connected)
+  kStatsRequest = 6,///< coordinator -> worker: ship me your ledger
+  kStatsReply = 7,  ///< worker -> coordinator: serialized WorkerLedger
+  kShutdown = 8,    ///< coordinator -> worker: flush and exit cleanly
+};
+
+enum class NackReason : std::uint8_t {
+  kNone = 0,
+  kPeerUnreachable = 1,  ///< relay target's connection is dead
+  kTimeout = 2,          ///< relay target never acknowledged
+  kBadFrame = 3,         ///< receiver rejected the frame
+};
+
+/// A decoded frame header (payload travels separately on the socket).
+struct Frame {
+  FrameType type = FrameType::kData;
+  MessageKind kind = MessageKind::kLockAcquireRequest;
+  std::uint8_t flags = 0;
+  std::uint32_t src = kCoordinatorNode;
+  std::uint32_t dst = kCoordinatorNode;
+  std::uint64_t object = ~std::uint64_t{0};
+  std::uint64_t payload_bytes = 0;
+  std::uint64_t correlation = 0;
+  TraceContext trace{};
+
+  friend bool operator==(const Frame&, const Frame&) = default;
+};
+
+/// Malformed or hostile bytes on the wire.  Distinct from Error so the
+/// worker can reject a frame without tearing the process down.
+class WireProtocolError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// Serialize `frame` into exactly kFrameSize bytes.
+void encode_frame(const Frame& frame, std::span<std::byte, kFrameSize> out);
+
+[[nodiscard]] std::array<std::byte, kFrameSize> encode_frame(
+    const Frame& frame);
+
+/// Parse and validate one frame header.  Throws WireProtocolError on short
+/// buffers, bad magic/version, unknown frame types, out-of-range message
+/// kinds, oversized payload declarations, and nonzero reserved bytes —
+/// hostile input never reaches the worker's state machines.
+[[nodiscard]] Frame decode_frame(std::span<const std::byte> in);
+
+/// Convenience: the Data frame for one accounted WireMessage.
+[[nodiscard]] Frame data_frame(const WireMessage& m, std::uint64_t correlation);
+
+}  // namespace lotec::wire

@@ -1,0 +1,213 @@
+#include "wire/wire_transport.hpp"
+
+#include <algorithm>
+#include <string>
+#include <utility>
+
+namespace lotec::wire {
+
+WireTransport::WireTransport(std::size_t num_nodes, NetworkConfig net_config,
+                             WireConfig wire_config)
+    : Transport(num_nodes, net_config),
+      wire_(std::move(wire_config)),
+      supervisor_(std::make_unique<WorkerSupervisor>(
+          wire_, static_cast<std::uint32_t>(num_nodes))) {
+  conns_.resize(num_nodes);
+  worker_ledgers_.resize(num_nodes);
+  for (std::uint32_t k = 0; k < num_nodes; ++k) handshake(k);
+}
+
+WireTransport::~WireTransport() {
+  // Graceful shutdown first so workers flush span files; the supervisor's
+  // destructor SIGKILLs whatever ignored us.
+  for (std::uint32_t k = 0; k < conns_.size(); ++k) {
+    if (!conns_[k].valid()) continue;
+    try {
+      Frame f;
+      f.type = FrameType::kShutdown;
+      f.dst = k;
+      f.correlation = ++next_correlation_;
+      write_full(conns_[k], encode_frame(f));
+      (void)read_reply(conns_[k], f.correlation,
+                       deadline_after(Millis(wire_.ack_timeout_ms)));
+    } catch (const Error&) {
+      // Best effort; the supervisor cleans up.
+    }
+  }
+}
+
+void WireTransport::handshake(std::uint32_t node) {
+  conns_[node] = supervisor_->connect_to(
+      node, Millis(wire_.handshake_timeout_ms));
+  Frame hello;
+  hello.type = FrameType::kHello;
+  hello.src = kCoordinatorNode;
+  hello.dst = node;
+  hello.correlation = ++next_correlation_;
+  write_full(conns_[node], encode_frame(hello));
+  const Frame reply =
+      read_reply(conns_[node], hello.correlation,
+                 deadline_after(Millis(wire_.handshake_timeout_ms)));
+  if (reply.type != FrameType::kHelloAck)
+    throw Error("wire: worker " + std::to_string(node) +
+                " handshake failed (got frame type " +
+                std::to_string(static_cast<int>(reply.type)) + ")");
+}
+
+void WireTransport::reconnect(std::uint32_t node) {
+  conns_[node].reset();
+  handshake(node);
+}
+
+Frame WireTransport::read_reply(const Fd& conn, std::uint64_t correlation,
+                                std::chrono::steady_clock::time_point deadline,
+                                std::vector<std::byte>* payload_out) {
+  for (;;) {
+    std::array<std::byte, kFrameSize> header;
+    read_full(conn, header, deadline);
+    const Frame f = decode_frame(header);
+    std::vector<std::byte> payload(f.payload_bytes);
+    if (f.payload_bytes > 0) read_full(conn, payload, deadline);
+    if (f.correlation == correlation &&
+        (f.type == FrameType::kAck || f.type == FrameType::kNack ||
+         f.type == FrameType::kHelloAck || f.type == FrameType::kStatsReply)) {
+      if (payload_out != nullptr) *payload_out = std::move(payload);
+      return f;
+    }
+    // Stale reply from a timed-out earlier attempt: skip and keep reading.
+  }
+}
+
+void WireTransport::ship(const WireMessage& m, std::uint32_t dst) {
+  const std::uint32_t src = m.src.value();
+  Frame f = data_frame(m, ++next_correlation_);
+  f.dst = dst;  // send_to_all ships one copy per destination
+  Millis timeout(wire_.ack_timeout_ms);
+  for (std::uint32_t attempt = 0; attempt < wire_.max_send_attempts;
+       ++attempt) {
+    try {
+      if (!conns_[src].valid()) reconnect(src);
+      write_full(conns_[src], encode_frame(f));
+      if (f.payload_bytes > 0) {
+        static const std::array<std::byte, 64 * 1024> zeros{};
+        std::uint64_t left = f.payload_bytes;
+        while (left > 0) {
+          const std::size_t n = static_cast<std::size_t>(
+              std::min<std::uint64_t>(left, zeros.size()));
+          write_full(conns_[src],
+                     std::span<const std::byte>(zeros.data(), n));
+          left -= n;
+        }
+      }
+      const Frame reply =
+          read_reply(conns_[src], f.correlation, deadline_after(timeout));
+      if (reply.type == FrameType::kAck) {
+        auto& counts = shipped_[static_cast<std::size_t>(m.kind)];
+        counts.messages += 1;
+        counts.bytes += m.total_bytes();
+        return;
+      }
+      // Nack: the relay chain reported the destination unreachable or a
+      // timeout; retry after backoff like a lost message.
+    } catch (const SocketError&) {
+      // Connection to worker[src] is gone; next attempt reconnects.
+      conns_[src].reset();
+    }
+    timeout *= 2;
+  }
+  // The message was accounted but never physically delivered: the strict
+  // batch-end ledger comparison can no longer hold.
+  ledger_complete_ = false;
+  throw NodeUnreachable(m.src, NodeId(dst));
+}
+
+void WireTransport::send(const WireMessage& m) {
+  // Base class: tracer tick, causal stamp, probe, fault hooks,
+  // reachability, NetworkStats accounting.  Throws exactly as in-process.
+  Transport::send(m);
+  if (m.src == m.dst) return;  // local: no wire traffic in either mode
+  ship(m, m.dst.value());
+}
+
+std::vector<NodeId> WireTransport::send_to_all(
+    const WireMessage& m, const std::vector<NodeId>& destinations) {
+  std::vector<NodeId> unreachable = Transport::send_to_all(m, destinations);
+  // Ship one physical copy per destination the base class accounted as
+  // reached.  (With multicast the *accounting* records one wire copy; the
+  // cross-check compares shipped_ — what this method counted — against the
+  // workers' delivered ledgers, so the bases differ by design and stay
+  // consistent.)
+  for (const NodeId dst : destinations) {
+    if (dst == m.src) continue;
+    bool skipped = false;
+    for (const NodeId u : unreachable)
+      if (u == dst) {
+        skipped = true;
+        break;
+      }
+    if (!skipped) ship(m, dst.value());
+  }
+  return unreachable;
+}
+
+void WireTransport::set_node_failed(NodeId node, bool failed) {
+  Transport::set_node_failed(node, failed);
+  const std::uint32_t k = node.value();
+  if (failed) {
+    if (supervisor_->alive(k)) {
+      supervisor_->kill_worker(k);
+      // Whatever that incarnation had delivered died with it.
+      ledger_complete_ = false;
+    }
+    conns_[k].reset();
+  } else if (!supervisor_->alive(k)) {
+    supervisor_->respawn_worker(k);
+    reconnect(k);
+  }
+}
+
+void WireTransport::on_batch_complete() {
+  gathered_ = WorkerLedger{};
+  for (std::uint32_t k = 0; k < conns_.size(); ++k) {
+    if (!supervisor_->alive(k)) {
+      worker_ledgers_[k] = WorkerLedger{};
+      continue;
+    }
+    Frame req;
+    req.type = FrameType::kStatsRequest;
+    req.dst = k;
+    req.correlation = ++next_correlation_;
+    std::vector<std::byte> payload;
+    try {
+      if (!conns_[k].valid()) reconnect(k);
+      write_full(conns_[k], encode_frame(req));
+      const Frame reply =
+          read_reply(conns_[k], req.correlation,
+                     deadline_after(Millis(wire_.handshake_timeout_ms)),
+                     &payload);
+      if (reply.type != FrameType::kStatsReply)
+        throw Error("wire: worker " + std::to_string(k) +
+                    " answered the stats request with frame type " +
+                    std::to_string(static_cast<int>(reply.type)));
+    } catch (const SocketError& e) {
+      throw Error("wire: gathering stats from worker " + std::to_string(k) +
+                  ": " + e.what());
+    }
+    worker_ledgers_[k] = parse_ledger(payload);
+    gathered_ += worker_ledgers_[k];
+  }
+  if (!ledger_complete_) return;  // kills happened; strict check impossible
+  for (std::size_t kind = 0; kind < kNumWireKinds; ++kind) {
+    if (shipped_[kind] == gathered_.delivered[kind]) continue;
+    throw Error(
+        "wire: ledger mismatch for " +
+        std::string(to_string(static_cast<MessageKind>(kind))) +
+        ": coordinator shipped " + std::to_string(shipped_[kind].messages) +
+        " msgs / " + std::to_string(shipped_[kind].bytes) +
+        " bytes, workers delivered " +
+        std::to_string(gathered_.delivered[kind].messages) + " msgs / " +
+        std::to_string(gathered_.delivered[kind].bytes) + " bytes");
+  }
+}
+
+}  // namespace lotec::wire

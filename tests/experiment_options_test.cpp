@@ -3,6 +3,7 @@
 // before building a cluster).
 #include <gtest/gtest.h>
 
+#include "check/events.hpp"
 #include "sim/experiment.hpp"
 #include "sim/scenarios.hpp"
 
@@ -242,6 +243,89 @@ TEST(ExperimentOptionsTest, ClusterConstructionValidates) {
 
   cfg = {};
   EXPECT_NO_THROW(Cluster{cfg});
+}
+
+// --- wire transport (--distributed) composition rules ----------------------
+// The wire backend keeps the deterministic coordinator in charge; every
+// mode that wants to intercept or reorder individual in-process messages
+// (schedule exploration, the serializability checker's sink, FaultEngine
+// message chaos) is meaningless across real sockets and must be rejected
+// up front with a message that says what to drop.
+
+TEST(ExperimentOptionsTest, WireDefaultsValidate) {
+  ExperimentOptions options;
+  options.wire.enabled = true;
+  EXPECT_NO_THROW(options.validate());
+}
+
+TEST(ExperimentOptionsTest, RejectsWireWithMessageChaos) {
+  ExperimentOptions options;
+  options.wire.enabled = true;
+  options.fault.drop_probability = 0.01;
+  expect_rejected(options, {"--distributed", "crash/restart"});
+
+  options.fault.drop_probability = 0.0;
+  options.fault.duplicate_probability = 0.5;
+  expect_rejected(options, {"--distributed"});
+
+  options.fault.duplicate_probability = 0.0;
+  options.fault.delay_probability = 0.2;
+  expect_rejected(options, {"--distributed"});
+}
+
+TEST(ExperimentOptionsTest, RejectsWireWithDropMessageEvents) {
+  ExperimentOptions options;
+  options.wire.enabled = true;
+  FaultEvent drop;
+  drop.action = FaultAction::kDropMessage;
+  drop.on_kind = MessageKind::kLockAcquireRequest;
+  options.fault.events.push_back(drop);
+  expect_rejected(options, {"--distributed", "event #0"});
+
+  // Crash/restart events stay legal: they map onto real worker kills.
+  options = {};
+  options.wire.enabled = true;
+  options.nodes = 4;
+  FaultEvent crash;
+  crash.action = FaultAction::kCrashNode;
+  crash.at_tick = 10;
+  crash.node = NodeId(1);
+  options.fault.events.push_back(crash);
+  EXPECT_NO_THROW(options.validate());
+}
+
+TEST(ExperimentOptionsTest, WireClusterConfigRejectsCheckAndExploreModes) {
+  // schedule_picker / check_sink / the concurrent scheduler live on
+  // ClusterConfig (the check and explore tools build one directly), so the
+  // rules are asserted there; validate() runs before any worker spawns.
+  const auto expect_cfg_rejected = [](const ClusterConfig& cfg,
+                                      const char* needle) {
+    try {
+      cfg.validate();
+      FAIL() << "expected UsageError mentioning '" << needle << "'";
+    } catch (const UsageError& e) {
+      EXPECT_NE(std::string(e.what()).find(needle), std::string::npos)
+          << e.what();
+    }
+  };
+
+  ClusterConfig cfg;
+  cfg.wire.enabled = true;
+  cfg.scheduler = SchedulerMode::kConcurrent;
+  expect_cfg_rejected(cfg, "deterministic scheduler");
+
+  cfg = {};
+  cfg.wire.enabled = true;
+  cfg.schedule_picker = [](const std::vector<std::size_t>&, std::size_t) {
+    return std::size_t{0};
+  };
+  expect_cfg_rejected(cfg, "schedule exploration");
+
+  cfg = {};
+  cfg.wire.enabled = true;
+  CheckSink sink;
+  cfg.check_sink = &sink;
+  expect_cfg_rejected(cfg, "check sink");
 }
 
 TEST(ExperimentOptionsTest, ProtocolTracePathInsertsTagBeforeExtension) {

@@ -9,6 +9,7 @@
 //             --max-pages=20 --txns=300 --theta=0.8 --nodes=16
 //
 // Run `lotec_sim --help` for the full knob list.
+#include <cctype>
 #include <cstdlib>
 #include <iostream>
 #include <map>
@@ -20,6 +21,7 @@
 #include "sim/report.hpp"
 #include <fstream>
 
+#include "sim/scenarios.hpp"
 #include "sim/trace.hpp"
 #include "sim/validate.hpp"
 #include "workload/generator.hpp"
@@ -40,6 +42,7 @@ struct Args {
   bool faults = false;
   std::uint64_t fault_seed = 42;
   std::string trace_path;
+  std::string counters_out;
 };
 
 void usage() {
@@ -78,7 +81,21 @@ void usage() {
       "  --faults[=SEED]      chaos preset: crash+restart two nodes mid-run\n"
       "                       with mild message drop (seed defaults to 42)\n"
       "  --flight-dump=FILE   dump the always-on flight recorder to FILE on\n"
-      "                       every node-crash event (post-mortem black box)\n";
+      "                       every node-crash event (post-mortem black box)\n"
+      "  --scenario=NAME      preset workload: fig2|fig3|fig4|fig5 (paper\n"
+      "                       scenarios; overrides the workload knobs)\n"
+      "  --counters-out=FILE  write per-message-kind counts of the last\n"
+      "                       protocol as JSON (golden-counter diffing)\n"
+      "Distributed (wire transport, src/wire):\n"
+      "  --distributed=N      run N nodes as real OS processes joined by\n"
+      "                       Unix-domain sockets (sets --nodes=N); every\n"
+      "                       accounted message is physically shipped and\n"
+      "                       ledger-cross-checked at batch end\n"
+      "  --tcp                TCP loopback sockets instead of Unix-domain\n"
+      "  --worker=PATH        lotec_worker binary (default: $LOTEC_WORKER,\n"
+      "                       then next to this executable)\n"
+      "  --worker-spans=PFX   each worker writes PFX.node<K>.jsonl with one\n"
+      "                       wire.deliver span per delivered frame\n";
 }
 
 ProtocolKind parse_protocol(const std::string& name) {
@@ -140,8 +157,51 @@ bool parse_one(Args& args, const std::string& arg) {
     if (!val.empty()) args.fault_seed = std::stoull(val);
   }
   else if (key == "--flight-dump") args.options.flight_dump = val;
+  else if (key == "--scenario") {
+    const std::uint64_t keep_seed = args.spec.seed;
+    if (val == "fig2") args.spec = scenarios::medium_high_contention();
+    else if (val == "fig3") args.spec = scenarios::large_high_contention();
+    else if (val == "fig4") args.spec = scenarios::medium_moderate_contention();
+    else if (val == "fig5") args.spec = scenarios::large_moderate_contention();
+    else throw UsageError("unknown scenario '" + val +
+                          "' (fig2|fig3|fig4|fig5)");
+    (void)keep_seed;  // presets carry their own seeds (paper fidelity)
+  }
+  else if (key == "--counters-out") args.counters_out = val;
+  else if (key == "--distributed") {
+    args.options.wire.enabled = true;
+    if (!val.empty()) args.options.nodes = u();
+  }
+  else if (key == "--tcp") args.options.wire.tcp = true;
+  else if (key == "--worker") args.options.wire.worker_path = val;
+  else if (key == "--worker-spans") args.options.wire.worker_spans = val;
   else return false;
   return true;
+}
+
+/// Per-message-kind counts of one run as a small JSON document — the
+/// artifact CI diffs between an in-process and a --distributed run of the
+/// same scenario (they must be byte-identical).
+void write_counters_json(const ScenarioResult& r, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw UsageError("cannot open --counters-out file: " + path);
+  out << "{\n  \"protocol\": \"" << to_string(r.protocol) << "\",\n"
+      << "  \"total\": {\"messages\": " << r.total.messages
+      << ", \"bytes\": " << r.total.bytes << "},\n  \"by_kind\": {\n";
+  for (std::size_t k = 0; k < static_cast<std::size_t>(MessageKind::kNumKinds);
+       ++k) {
+    const auto kind = static_cast<MessageKind>(k);
+    const std::uint64_t msgs = r.counter(
+        "net.kind." + std::string(to_string(kind)) + ".messages");
+    const std::uint64_t bytes =
+        r.counter("net.kind." + std::string(to_string(kind)) + ".bytes");
+    out << "    \"" << to_string(kind) << "\": {\"messages\": " << msgs
+        << ", \"bytes\": " << bytes << "}"
+        << (k + 1 < static_cast<std::size_t>(MessageKind::kNumKinds) ? ","
+                                                                     : "")
+        << "\n";
+  }
+  out << "  }\n}\n";
 }
 
 }  // namespace
@@ -153,11 +213,16 @@ int main(int argc, char** argv) {
   args.spec.seed = 0xF162;
 
   for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
+    std::string arg = argv[i];
     if (arg == "--help" || arg == "-h") {
       usage();
       return 0;
     }
+    // `--distributed 4` reads naturally in docs and CI scripts; fold the
+    // space-separated node count into the uniform key=value form.
+    if (arg == "--distributed" && i + 1 < argc &&
+        std::isdigit(static_cast<unsigned char>(argv[i + 1][0])))
+      arg += std::string("=") + argv[++i];
     try {
       if (!parse_one(args, arg)) {
         std::cerr << "unknown flag: " << arg << " (see --help)\n";
@@ -209,6 +274,18 @@ int main(int argc, char** argv) {
                fmt_u64(r.total.bytes), fmt_u64(r.demand_fetches()),
                fmt_u64(r.local_lock_ops())});
   table.print();
+
+  if (!args.counters_out.empty()) {
+    write_counters_json(results.back(), args.counters_out);
+    std::cout << "\ncounters: " << to_string(results.back().protocol)
+              << " -> " << args.counters_out << "\n";
+  }
+
+  if (args.options.wire.enabled)
+    std::cout << "\nwire: " << args.options.nodes << " worker processes over "
+              << (args.options.wire.tcp ? "TCP loopback" : "unix sockets")
+              << "; per-worker delivery ledgers cross-checked against "
+                 "shipped counters\n";
 
   if (args.faults) {
     std::cout << "\nfaults: ";

@@ -1,0 +1,24 @@
+// lotec_worker: one LOTEC node as a real OS process.
+//
+// Spawned by the WorkerSupervisor (src/wire/launcher.cpp) behind
+// `lotec_sim --distributed N`; not meant to be run by hand.  The listen
+// socket is pre-bound by the supervisor and inherited via --listen-fd.
+//
+//   lotec_worker --node=K --nodes=N --listen-fd=F
+//                (--dir=DIR | --tcp --ports=p0,p1,...)
+//                [--spans=FILE] [--relay-timeout-ms=MS]
+#include <cstdio>
+#include <exception>
+
+#include "wire/worker.hpp"
+
+int main(int argc, char** argv) {
+  try {
+    const lotec::wire::WorkerOptions options =
+        lotec::wire::parse_worker_options(argc, argv);
+    return lotec::wire::worker_main(options);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "lotec_worker: %s\n", e.what());
+    return 1;
+  }
+}

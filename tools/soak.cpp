@@ -11,7 +11,14 @@
 // invariants after recovery.
 //
 //   soak [iterations=50] [base-seed=1] [--faults] [--only N]
-//        [--flight-dump PREFIX]
+//        [--flight-dump PREFIX] [--transport=wire]
+//
+// --transport=wire runs every iteration on the cross-process wire
+// transport (src/wire): one lotec_worker OS process per node.  Chaos is
+// restricted to crash/restart (and partitions) — worker processes really
+// get SIGKILLed and respawned — and each faulted iteration asserts the
+// transport observed matching kill/respawn counts, i.e. worker-death
+// recovery actually exercised the process lifecycle.
 //
 // --only N draws every iteration's configuration (keeping the random
 // stream identical) but executes only iteration N — cheap reproduction of
@@ -25,6 +32,7 @@
 #include <string>
 
 #include "sim/validate.hpp"
+#include "wire/wire_transport.hpp"
 #include "workload/generator.hpp"
 
 using namespace lotec;
@@ -116,16 +124,35 @@ Draw random_setup(Rng& rng) {
   return d;
 }
 
+/// Constrain one drawn iteration to what the wire transport supports:
+/// deterministic scheduler, no message chaos (drop/duplicate/delay), no
+/// drop events — crash/restart and partitions stay, as real process kills.
+/// Applied AFTER the draws so the random stream is identical with and
+/// without --transport=wire.
+void constrain_for_wire(Draw& d) {
+  d.cfg.wire.enabled = true;
+  d.cfg.scheduler = SchedulerMode::kDeterministic;
+  d.cfg.fault.drop_probability = 0.0;
+  d.cfg.fault.duplicate_probability = 0.0;
+  d.cfg.fault.delay_probability = 0.0;
+  std::erase_if(d.cfg.fault.events, [](const FaultEvent& e) {
+    return e.action == FaultAction::kDropMessage;
+  });
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   bool with_faults = false;
+  bool wire_transport = false;
   int only = -1;
   std::string flight_prefix;
   std::vector<const char*> positional;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--faults") == 0)
       with_faults = true;
+    else if (std::strcmp(argv[i], "--transport=wire") == 0)
+      wire_transport = true;
     else if (std::strcmp(argv[i], "--only") == 0 && i + 1 < argc)
       only = std::atoi(argv[++i]);
     else if (std::strcmp(argv[i], "--flight-dump") == 0 && i + 1 < argc)
@@ -142,6 +169,7 @@ int main(int argc, char** argv) {
   for (int i = 0; i < iterations; ++i) {
     Draw d = random_setup(rng);
     if (with_faults) add_random_faults(d, rng);
+    if (wire_transport) constrain_for_wire(d);
     if (only >= 0 && i != only) continue;
     if (!flight_prefix.empty())
       d.cfg.obs.flight_dump = flight_prefix + "." + std::to_string(i) + ".json";
@@ -176,6 +204,30 @@ int main(int argc, char** argv) {
                   << " dropped, " << fault_retries << " retries, "
                   << fs.locks_reclaimed << " leases reclaimed, "
                   << fs.pages_restored << " pages restored]";
+        if (wire_transport) {
+          // Worker-death recovery must have really happened: every crash
+          // event SIGKILLed a worker process and every restart respawned
+          // one (finalize() restarts stragglers, so counts balance).
+          const auto* wt = dynamic_cast<const wire::WireTransport*>(
+              &cluster.observe().transport());
+          if (wt == nullptr) {
+            std::cerr << "iteration " << i
+                      << " FAILED: --transport=wire did not select the "
+                         "WireTransport backend\n";
+            return 1;
+          }
+          const std::uint64_t kills = wt->supervisor().kills();
+          const std::uint64_t respawns = wt->supervisor().respawns();
+          std::cout << " [wire: " << kills << " worker kills, " << respawns
+                    << " respawns]";
+          if (kills != fs.crashes || respawns != kills) {
+            std::cerr << "\niteration " << i << " FAILED: wire transport saw "
+                      << kills << " kills / " << respawns << " respawns but "
+                      << "the fault engine reports " << fs.crashes
+                      << " crashes — worker-death recovery out of sync\n";
+            return 1;
+          }
+        }
       }
       std::cout << ", invariants OK\n";
     } catch (const std::exception& e) {

@@ -7,7 +7,15 @@
 //
 //   trace_report trace.csv
 //   trace_report trace.csv --top=10 --bitrate=100e6 --sw-cost=20
-//   trace_report spans spans.jsonl [--out=chrome.json] [--critical-path]
+//   trace_report spans spans.jsonl [more.jsonl ...] [--out=chrome.json]
+//                [--critical-path]
+//
+// `spans` accepts several JSONL files and merges them — the shape a
+// distributed run produces (the coordinator's --spans file plus one
+// --worker-spans file per lotec_worker process).  Merging is safe without
+// rewriting ids: worker span ids carry the worker bit plus the node id in
+// their high bits, and every record names its node, so lanes stay stable
+// and collision-free per node no matter how many files are combined.
 //
 // Exit codes (the bench_check convention, plus 4):
 //   0  report printed
@@ -86,38 +94,51 @@ void print_critical_path(const CriticalPath& cp) {
 }
 
 int run_spans(int argc, char** argv) {
-  if (argc < 3) {
-    std::cerr << "usage: trace_report spans <spans.jsonl> [--out=chrome.json] "
-                 "[--critical-path]\n";
-    return kUsage;
-  }
   std::string out_path;
   bool critical_path = false;
-  for (int i = 3; i < argc; ++i) {
+  std::vector<std::string> inputs;
+  for (int i = 2; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg.rfind("--out=", 0) == 0) out_path = arg.substr(6);
     else if (arg == "--critical-path") critical_path = true;
-    else {
+    else if (arg.rfind("--", 0) == 0) {
       std::cerr << "unknown flag " << arg << "\n";
       return kUsage;
+    } else {
+      inputs.push_back(arg);
     }
   }
-
-  std::ifstream in(argv[2]);
-  if (!in) {
-    std::cerr << "cannot open " << argv[2] << "\n";
-    return kMissing;
+  if (inputs.empty()) {
+    std::cerr << "usage: trace_report spans <spans.jsonl> [more.jsonl ...] "
+                 "[--out=chrome.json] [--critical-path]\n";
+    return kUsage;
   }
+
   std::vector<SpanRecord> spans;
   std::vector<MessageRecord> messages;
-  try {
-    load_obs_jsonl(in, spans, messages);
-  } catch (const std::exception& e) {
-    std::cerr << "parse error: " << e.what() << "\n";
-    return kMalformed;
+  for (const std::string& path : inputs) {
+    std::ifstream in(path);
+    if (!in) {
+      std::cerr << "cannot open " << path << "\n";
+      return kMissing;
+    }
+    const std::size_t before = spans.size() + messages.size();
+    try {
+      load_obs_jsonl(in, spans, messages);
+    } catch (const std::exception& e) {
+      std::cerr << "parse error in " << path << ": " << e.what() << "\n";
+      return kMalformed;
+    }
+    if (inputs.size() > 1)
+      std::cout << path << ": "
+                << (spans.size() + messages.size() - before) << " records\n";
   }
   if (spans.empty() && messages.empty()) {
-    std::cerr << "empty trace: " << argv[2] << " holds no spans or messages "
+    std::cerr << "empty trace: "
+              << (inputs.size() == 1 ? inputs[0]
+                                     : std::to_string(inputs.size()) +
+                                           " merged files")
+              << " holds no spans or messages "
                  "(was the run traced? pass --spans to lotec_sim)\n";
     return kEmpty;
   }
@@ -127,11 +148,15 @@ int run_spans(int argc, char** argv) {
     std::uint64_t ticks = 0;
   };
   std::map<std::string, PhaseAgg> by_phase;
+  std::map<std::uint32_t, PhaseAgg> by_node;
   std::uint64_t total_ticks = 0;
   for (const SpanRecord& s : spans) {
     PhaseAgg& agg = by_phase[std::string(to_string(s.phase))];
     ++agg.count;
     agg.ticks += s.end - s.begin;
+    PhaseAgg& node_agg = by_node[s.node];
+    ++node_agg.count;
+    node_agg.ticks += s.end - s.begin;
     total_ticks += s.end - s.begin;
   }
 
@@ -150,6 +175,17 @@ int run_spans(int argc, char** argv) {
                                  static_cast<double>(total_ticks))
                    : "-"});
   table.print();
+
+  // One lane per node in Perfetto; the same breakdown here makes merged
+  // multi-worker input legible without leaving the terminal.
+  if (by_node.size() > 1) {
+    print_section("By node");
+    Table nodes({"Node", "Spans", "Ticks"});
+    for (const auto& [node, agg] : by_node)
+      nodes.row({std::to_string(node), fmt_u64(agg.count),
+                 fmt_u64(agg.ticks)});
+    nodes.print();
+  }
 
   if (critical_path) print_critical_path(analyze_critical_path(spans, messages));
 
@@ -172,8 +208,8 @@ int main(int argc, char** argv) {
   if (argc < 2) {
     std::cerr << "usage: trace_report <trace.csv> [--top=N] [--bitrate=BPS] "
                  "[--sw-cost=US]\n"
-                 "       trace_report spans <spans.jsonl> [--out=chrome.json] "
-                 "[--critical-path]\n";
+                 "       trace_report spans <spans.jsonl> [more.jsonl ...] "
+                 "[--out=chrome.json] [--critical-path]\n";
     return kUsage;
   }
   if (std::string(argv[1]) == "spans") return run_spans(argc, argv);
