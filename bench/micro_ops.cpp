@@ -1,9 +1,14 @@
 // Micro-benchmarks (google-benchmark) of the runtime's hot operations:
 // local vs global lock acquisition, the full acquire/release protocol
 // cycle, page transfer, undo capture under both strategies (Section 4.1:
-// "local UNDO logs or shadow pages"), GDO lookup and PageSet algebra.
+// "local UNDO logs or shadow pages"), GDO lookup and PageSet algebra, and
+// the hot-path containers (FlatMap vs std::unordered_map, Arena vs heap).
 #include <benchmark/benchmark.h>
 
+#include <unordered_map>
+
+#include "common/arena.hpp"
+#include "common/flat_map.hpp"
 #include "gdo/gdo_service.hpp"
 #include "page/undo_log.hpp"
 #include "runtime/cluster.hpp"
@@ -160,6 +165,70 @@ void BM_PageSetOps(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_PageSetOps)->Arg(8)->Arg(64)->Arg(1024);
+
+/// Hot-table lookup: FlatMap (open addressing, the runtime's per-node
+/// object/pin tables) vs std::unordered_map on the same ObjectId keys.
+/// The access pattern mirrors meta_of(): uniform hits over a table of
+/// state.range(0) live objects.
+template <typename Map>
+void table_lookup(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  Map map;
+  for (std::size_t i = 0; i < n; ++i)
+    map[ObjectId(static_cast<std::uint32_t>(i * 7 + 3))] = i;
+  std::uint32_t probe = 3;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(map.find(ObjectId(probe)));
+    probe += 7;
+    if (probe >= 7 * n + 3) probe = 3;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+void BM_FlatMapLookup(benchmark::State& state) {
+  table_lookup<FlatMap<ObjectId, std::uint64_t>>(state);
+}
+BENCHMARK(BM_FlatMapLookup)->Arg(16)->Arg(256)->Arg(4096);
+
+void BM_UnorderedMapLookup(benchmark::State& state) {
+  table_lookup<std::unordered_map<ObjectId, std::uint64_t>>(state);
+}
+BENCHMARK(BM_UnorderedMapLookup)->Arg(16)->Arg(256)->Arg(4096);
+
+/// Attempt-scoped scratch allocation: the undo log's byte-record pattern —
+/// a burst of small variable-size buffers that all die together.  Arena
+/// reuses its blocks across iterations (reset keeps capacity); the heap
+/// variant pays a malloc/free pair per record.
+void BM_ArenaAlloc(benchmark::State& state) {
+  const int records = static_cast<int>(state.range(0));
+  Arena arena;
+  for (auto _ : state) {
+    for (int i = 0; i < records; ++i) {
+      std::byte* p =
+          arena.allocate_array<std::byte>(16 + (i % 32) * 16);
+      benchmark::DoNotOptimize(p);
+    }
+    arena.reset();
+  }
+  state.SetItemsProcessed(state.iterations() * records);
+}
+BENCHMARK(BM_ArenaAlloc)->Arg(16)->Arg(256);
+
+void BM_HeapAlloc(benchmark::State& state) {
+  const int records = static_cast<int>(state.range(0));
+  std::vector<std::unique_ptr<std::byte[]>> live;
+  live.reserve(static_cast<std::size_t>(records));
+  for (auto _ : state) {
+    for (int i = 0; i < records; ++i) {
+      live.push_back(std::make_unique<std::byte[]>(
+          static_cast<std::size_t>(16 + (i % 32) * 16)));
+      benchmark::DoNotOptimize(live.back().get());
+    }
+    live.clear();
+  }
+  state.SetItemsProcessed(state.iterations() * records);
+}
+BENCHMARK(BM_HeapAlloc)->Arg(16)->Arg(256);
 
 }  // namespace
 }  // namespace lotec

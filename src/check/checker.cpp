@@ -37,6 +37,7 @@ ScheduleOutcome ScheduleChecker::run_schedule(Strategy& strategy,
   cfg.seed = opts_.seed;
   cfg.lock_cache = opts_.lock_cache;
   cfg.lock_cache_capacity = opts_.lock_cache_capacity;
+  cfg.net.batch_messages = opts_.batch_messages;
   cfg.test_mutations.break_retention = opts_.break_retention;
   cfg.check_sink = &fanout;
   if (!chrome_out.empty()) {

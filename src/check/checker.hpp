@@ -34,6 +34,10 @@ struct CheckOptions {
   std::uint64_t seed = 42;
   bool lock_cache = false;
   std::size_t lock_cache_capacity = 0;
+  /// Explore schedules with message batching on (NetworkConfig::
+  /// batch_messages).  Batching is physical-only, so the oracles must stay
+  /// green with the knob in either position.
+  bool batch_messages = false;
   /// The hidden mutation switch (tests / demo): break Moss retention and
   /// let the checker find the counterexample.
   bool break_retention = false;

@@ -1,0 +1,209 @@
+// Arena: a block-based bump allocator for per-family-attempt transient
+// state.
+//
+// A family attempt allocates a burst of short-lived records — undo byte
+// images, gathered page lists, span scratch — and frees them all at once
+// when the attempt commits or retries.  malloc/free per record is the wrong
+// shape for that lifetime: every allocation pays locking and size-class
+// bookkeeping, and the frees are pure overhead because the whole generation
+// dies together.  Arena instead bumps a pointer through geometrically
+// growing blocks and recycles the blocks wholesale on reset().
+//
+// Deliberate design points:
+//  * reset() keeps the blocks.  Attempt N+1 refills at roughly attempt N's
+//    scale, so steady state allocates zero bytes from the system.
+//  * adopt() splices another arena's blocks into this one without moving
+//    any bytes — pointers into the adopted arena stay valid.  This is what
+//    lets a child UndoLog's records survive absorb() into the parent
+//    without copying.
+//  * No per-object destructors run; only trivially-destructible payloads
+//    (byte images, PODs) or types whose destructors are no-ops belong here.
+//    ArenaVector handles its own element destruction for the general case.
+#pragma once
+
+#include <algorithm>
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <utility>
+#include <vector>
+
+namespace lotec {
+
+class Arena {
+ public:
+  static constexpr std::size_t kDefaultBlockBytes = 16 * 1024;
+
+  explicit Arena(std::size_t first_block_bytes = kDefaultBlockBytes)
+      : next_block_bytes_(first_block_bytes) {}
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+  Arena(Arena&&) = default;
+  Arena& operator=(Arena&&) = default;
+
+  /// Raw aligned storage; alignment must be a power of two.
+  [[nodiscard]] void* allocate(std::size_t bytes,
+                               std::size_t alignment = alignof(std::max_align_t)) {
+    assert((alignment & (alignment - 1)) == 0);
+    if (bytes == 0) bytes = 1;  // distinct non-null pointers, like operator new
+    std::uintptr_t p = reinterpret_cast<std::uintptr_t>(cursor_);
+    std::uintptr_t aligned = (p + alignment - 1) & ~(alignment - 1);
+    if (aligned + bytes > reinterpret_cast<std::uintptr_t>(limit_)) {
+      refill(bytes, alignment);
+      p = reinterpret_cast<std::uintptr_t>(cursor_);
+      aligned = (p + alignment - 1) & ~(alignment - 1);
+    }
+    cursor_ = reinterpret_cast<std::byte*>(aligned + bytes);
+    allocated_ += bytes;
+    return reinterpret_cast<void*>(aligned);
+  }
+
+  /// Typed uninitialized array of `n` elements.
+  template <class T>
+  [[nodiscard]] T* allocate_array(std::size_t n) {
+    return static_cast<T*>(allocate(n * sizeof(T), alignof(T)));
+  }
+
+  /// Construct a single object in the arena.  No destructor will run.
+  template <class T, class... Args>
+  [[nodiscard]] T* make(Args&&... args) {
+    return ::new (allocate(sizeof(T), alignof(T)))
+        T(std::forward<Args>(args)...);
+  }
+
+  /// Copy a byte span into the arena; returns the stable copy.
+  [[nodiscard]] std::byte* copy_bytes(const std::byte* src, std::size_t n) {
+    auto* dst = allocate_array<std::byte>(n);
+    for (std::size_t i = 0; i < n; ++i) dst[i] = src[i];
+    return dst;
+  }
+
+  /// Drop all allocations but keep the blocks for reuse.  Blocks are
+  /// reordered largest-first and the bump cursor walks through all of them
+  /// before any new block is allocated, so a steady-state attempt that
+  /// refills at the previous attempt's scale touches the system allocator
+  /// zero times.  (Reordering moves only the block headers; the storage —
+  /// and any stale pointers into it — never moves.)
+  void reset() {
+    std::sort(blocks_.begin(), blocks_.end(),
+              [](const Block& a, const Block& b) { return a.size > b.size; });
+    active_ = 0;
+    if (!blocks_.empty()) {
+      cursor_ = blocks_.front().data.get();
+      limit_ = cursor_ + blocks_.front().size;
+    } else {
+      cursor_ = limit_ = nullptr;
+    }
+    allocated_ = 0;
+  }
+
+  /// Splice `other`'s blocks into this arena.  Pointers into `other` remain
+  /// valid for this arena's lifetime; `other` is left empty and reusable.
+  void adopt(Arena&& other) {
+    if (&other == this) return;
+    // Adopted blocks hold live bytes of the current generation, so they go
+    // *before* the active block — the bump walk never re-enters them until
+    // reset() declares the whole generation dead.  Their tails are simply
+    // lost until then.
+    blocks_.insert(blocks_.begin(),
+                   std::make_move_iterator(other.blocks_.begin()),
+                   std::make_move_iterator(other.blocks_.end()));
+    active_ += other.blocks_.size();
+    allocated_ += other.allocated_;
+    other.blocks_.clear();
+    other.cursor_ = nullptr;
+    other.limit_ = nullptr;
+    other.allocated_ = 0;
+  }
+
+  /// Total bytes handed out since the last reset (not block capacity).
+  [[nodiscard]] std::size_t allocated_bytes() const { return allocated_; }
+  /// Total block capacity currently held.
+  [[nodiscard]] std::size_t capacity_bytes() const {
+    std::size_t c = 0;
+    for (const Block& b : blocks_) c += b.size;
+    return c;
+  }
+  [[nodiscard]] std::size_t block_count() const { return blocks_.size(); }
+
+ private:
+  struct Block {
+    std::unique_ptr<std::byte[]> data;
+    std::size_t size = 0;
+  };
+
+  void refill(std::size_t bytes, std::size_t alignment) {
+    // Walk into the next recycled block that fits before growing.  A
+    // too-small block is skipped (its space is lost until the next reset,
+    // when the largest-first order makes it the tail again).
+    while (active_ + 1 < blocks_.size()) {
+      Block& b = blocks_[++active_];
+      if (b.size >= bytes + alignment) {
+        cursor_ = b.data.get();
+        limit_ = cursor_ + b.size;
+        return;
+      }
+    }
+    std::size_t want = next_block_bytes_;
+    while (want < bytes + alignment) want *= 2;
+    Block b;
+    b.data = std::make_unique<std::byte[]>(want);
+    b.size = want;
+    cursor_ = b.data.get();
+    limit_ = cursor_ + want;
+    blocks_.push_back(std::move(b));
+    active_ = blocks_.size() - 1;
+    next_block_bytes_ = want * 2;  // geometric growth caps block count
+  }
+
+  std::vector<Block> blocks_;
+  /// Index of the block the bump cursor currently sits in; blocks before it
+  /// are full (or adopted) this generation, blocks after it are recycled
+  /// and free.
+  std::size_t active_ = 0;
+  std::byte* cursor_ = nullptr;
+  std::byte* limit_ = nullptr;
+  std::size_t next_block_bytes_;
+  std::size_t allocated_ = 0;
+};
+
+/// std-compatible allocator over an Arena.  Deallocation is a no-op; memory
+/// is reclaimed by Arena::reset().
+template <class T>
+class ArenaAllocator {
+ public:
+  using value_type = T;
+
+  explicit ArenaAllocator(Arena& arena) noexcept : arena_(&arena) {}
+  template <class U>
+  ArenaAllocator(const ArenaAllocator<U>& o) noexcept : arena_(o.arena_) {}
+
+  [[nodiscard]] T* allocate(std::size_t n) {
+    return arena_->allocate_array<T>(n);
+  }
+  void deallocate(T*, std::size_t) noexcept {}
+
+  [[nodiscard]] Arena& arena() const noexcept { return *arena_; }
+
+  friend bool operator==(const ArenaAllocator& a, const ArenaAllocator& b) {
+    return a.arena_ == b.arena_;
+  }
+  friend bool operator!=(const ArenaAllocator& a, const ArenaAllocator& b) {
+    return !(a == b);
+  }
+
+ private:
+  template <class U>
+  friend class ArenaAllocator;
+  Arena* arena_;
+};
+
+/// Vector whose backing storage lives in an Arena.  Element destructors run
+/// normally (vector semantics); only the storage is arena-owned.
+template <class T>
+using ArenaVector = std::vector<T, ArenaAllocator<T>>;
+
+}  // namespace lotec

@@ -1,0 +1,387 @@
+// FlatMap: an open-addressing hash map for the runtime's hot lookup tables.
+//
+// std::unordered_map pays a heap allocation per node and a pointer chase per
+// lookup; the directory entry map, page-store index and per-family lock/pin
+// tables are hit on every acquire/release/access, so those costs are pure
+// overhead.  FlatMap stores keys and values inline in two parallel slot
+// arrays with one control byte per slot (empty / full / tombstone) and
+// resolves collisions by linear probing over a power-of-two table — one
+// cache line of control bytes covers 64 probes.
+//
+// Deliberate design points:
+//  * Drop-in subset of the std::unordered_map API (find / at / operator[] /
+//    try_emplace / insert_or_assign / erase / contains / iteration), so call
+//    sites migrate without churn.
+//  * Pointer/reference stability is NOT provided across rehash (std's node
+//    maps give it; open addressing cannot).  Callers that need stable
+//    addresses keep values behind unique_ptr — exactly what PageStore does.
+//  * Iteration order is slot order: deterministic for a fixed key sequence
+//    (std::hash is deterministic per build), but different from
+//    std::unordered_map's.  Anything order-sensitive must sort, same as the
+//    repo's existing rule for unordered containers.
+//  * Erase leaves a tombstone; tombstones are reclaimed wholesale at the
+//    next rehash.  Growth triggers when full + tombstone slots exceed 7/8
+//    of capacity, keeping probe chains short.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <new>
+#include <stdexcept>
+#include <type_traits>
+#include <utility>
+
+namespace lotec {
+
+template <class Key, class T, class Hash = std::hash<Key>,
+          class KeyEqual = std::equal_to<Key>>
+class FlatMap {
+  enum class Ctrl : std::uint8_t { kEmpty = 0, kFull = 1, kTombstone = 2 };
+
+ public:
+  using key_type = Key;
+  using mapped_type = T;
+  using value_type = std::pair<const Key, T>;
+  using size_type = std::size_t;
+
+  template <bool Const>
+  class Iter {
+   public:
+    using map_type = std::conditional_t<Const, const FlatMap, FlatMap>;
+    using value_type = std::pair<const Key, T>;
+    using reference =
+        std::conditional_t<Const, const value_type&, value_type&>;
+    using pointer = std::conditional_t<Const, const value_type*, value_type*>;
+    using difference_type = std::ptrdiff_t;
+    using iterator_category = std::forward_iterator_tag;
+
+    Iter() = default;
+    Iter(map_type* map, size_type slot) : map_(map), slot_(slot) {
+      skip_to_full();
+    }
+    /// iterator -> const_iterator.
+    template <bool C = Const, class = std::enable_if_t<C>>
+    Iter(const Iter<false>& o) : map_(o.map_), slot_(o.slot_) {}
+
+    reference operator*() const { return *map_->slot_ptr(slot_); }
+    pointer operator->() const { return map_->slot_ptr(slot_); }
+
+    Iter& operator++() {
+      ++slot_;
+      skip_to_full();
+      return *this;
+    }
+    Iter operator++(int) {
+      Iter tmp = *this;
+      ++*this;
+      return tmp;
+    }
+
+    friend bool operator==(const Iter& a, const Iter& b) {
+      return a.slot_ == b.slot_;
+    }
+    friend bool operator!=(const Iter& a, const Iter& b) { return !(a == b); }
+
+   private:
+    friend class FlatMap;
+    friend class Iter<true>;
+    void skip_to_full() {
+      while (map_ != nullptr && slot_ < map_->capacity_ &&
+             map_->ctrl_[slot_] != Ctrl::kFull)
+        ++slot_;
+    }
+    map_type* map_ = nullptr;
+    size_type slot_ = 0;
+  };
+
+  using iterator = Iter<false>;
+  using const_iterator = Iter<true>;
+
+  FlatMap() = default;
+  explicit FlatMap(size_type initial_capacity) { reserve(initial_capacity); }
+
+  FlatMap(const FlatMap& o) { copy_from(o); }
+  FlatMap& operator=(const FlatMap& o) {
+    if (this != &o) {
+      destroy_all();
+      copy_from(o);
+    }
+    return *this;
+  }
+  FlatMap(FlatMap&& o) noexcept { move_from(std::move(o)); }
+  FlatMap& operator=(FlatMap&& o) noexcept {
+    if (this != &o) {
+      destroy_all();
+      move_from(std::move(o));
+    }
+    return *this;
+  }
+  ~FlatMap() { destroy_all(); }
+
+  [[nodiscard]] size_type size() const noexcept { return size_; }
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+  [[nodiscard]] size_type capacity() const noexcept { return capacity_; }
+
+  [[nodiscard]] iterator begin() { return iterator(this, 0); }
+  [[nodiscard]] iterator end() { return iterator(this, capacity_); }
+  [[nodiscard]] const_iterator begin() const {
+    return const_iterator(this, 0);
+  }
+  [[nodiscard]] const_iterator end() const {
+    return const_iterator(this, capacity_);
+  }
+  [[nodiscard]] const_iterator cbegin() const { return begin(); }
+  [[nodiscard]] const_iterator cend() const { return end(); }
+
+  /// Ensure capacity for `n` elements without rehash.
+  void reserve(size_type n) {
+    // Max load factor 7/8 counts tombstones too; sizing from live elements
+    // keeps the next rehash at least n inserts away.
+    size_type want = kMinCapacity;
+    while (want - want / 8 < n) want <<= 1;
+    if (want > capacity_) rehash(want);
+  }
+
+  void clear() {
+    destroy_all();
+    // Keep the arrays: clear() callers (per-attempt state) refill at the
+    // same scale, so freeing would just re-pay the allocation.
+    for (size_type i = 0; i < capacity_; ++i) ctrl_[i] = Ctrl::kEmpty;
+    size_ = 0;
+    used_ = 0;
+  }
+
+  [[nodiscard]] iterator find(const Key& key) {
+    const size_type s = find_slot(key);
+    return s == kNotFound ? end() : iterator_at(s);
+  }
+  [[nodiscard]] const_iterator find(const Key& key) const {
+    const size_type s = find_slot(key);
+    return s == kNotFound ? end() : const_iterator_at(s);
+  }
+  [[nodiscard]] bool contains(const Key& key) const {
+    return find_slot(key) != kNotFound;
+  }
+  [[nodiscard]] size_type count(const Key& key) const {
+    return contains(key) ? 1 : 0;
+  }
+
+  [[nodiscard]] T& at(const Key& key) {
+    const size_type s = find_slot(key);
+    if (s == kNotFound) throw std::out_of_range("FlatMap::at: missing key");
+    return slot_ptr(s)->second;
+  }
+  [[nodiscard]] const T& at(const Key& key) const {
+    const size_type s = find_slot(key);
+    if (s == kNotFound) throw std::out_of_range("FlatMap::at: missing key");
+    return slot_ptr(s)->second;
+  }
+
+  T& operator[](const Key& key) { return try_emplace(key).first->second; }
+
+  template <class... Args>
+  std::pair<iterator, bool> try_emplace(const Key& key, Args&&... args) {
+    grow_if_needed();
+    const auto [slot, inserted] = insert_slot(key);
+    if (inserted)
+      construct(slot, key, T(std::forward<Args>(args)...));
+    return {iterator_at(slot), inserted};
+  }
+
+  template <class V>
+  std::pair<iterator, bool> insert_or_assign(const Key& key, V&& value) {
+    grow_if_needed();
+    const auto [slot, inserted] = insert_slot(key);
+    if (inserted)
+      construct(slot, key, T(std::forward<V>(value)));
+    else
+      slot_ptr(slot)->second = std::forward<V>(value);
+    return {iterator_at(slot), inserted};
+  }
+
+  std::pair<iterator, bool> insert(const value_type& v) {
+    return try_emplace(v.first, v.second);
+  }
+  std::pair<iterator, bool> insert(value_type&& v) {
+    return try_emplace(v.first, std::move(v.second));
+  }
+  template <class... Args>
+  std::pair<iterator, bool> emplace(Args&&... args) {
+    return insert(value_type(std::forward<Args>(args)...));
+  }
+
+  size_type erase(const Key& key) {
+    const size_type s = find_slot(key);
+    if (s == kNotFound) return 0;
+    erase_slot(s);
+    return 1;
+  }
+  iterator erase(iterator pos) {
+    erase_slot(pos.slot_);
+    return iterator(this, pos.slot_ + 1);
+  }
+  iterator erase(const_iterator pos) {
+    erase_slot(pos.slot_);
+    return iterator(this, pos.slot_ + 1);
+  }
+
+ private:
+  static constexpr size_type kMinCapacity = 16;  // power of two
+  static constexpr size_type kNotFound = ~size_type{0};
+
+  [[nodiscard]] iterator iterator_at(size_type slot) {
+    iterator it;
+    it.map_ = this;
+    it.slot_ = slot;
+    return it;
+  }
+  [[nodiscard]] const_iterator const_iterator_at(size_type slot) const {
+    const_iterator it;
+    it.map_ = this;
+    it.slot_ = slot;
+    return it;
+  }
+
+  [[nodiscard]] value_type* slot_ptr(size_type slot) {
+    return std::launder(reinterpret_cast<value_type*>(slots_.get()) + slot);
+  }
+  [[nodiscard]] const value_type* slot_ptr(size_type slot) const {
+    return std::launder(
+        reinterpret_cast<const value_type*>(slots_.get()) + slot);
+  }
+
+  [[nodiscard]] size_type probe_start(const Key& key) const {
+    // Multiply-shift spread of the std::hash value: identity hashes (the
+    // common std::hash<integral>) would otherwise cluster consecutive ids.
+    std::uint64_t h = static_cast<std::uint64_t>(Hash{}(key));
+    h *= 0x9e3779b97f4a7c15ULL;
+    h ^= h >> 32;
+    return static_cast<size_type>(h) & (capacity_ - 1);
+  }
+
+  /// Slot holding `key`, or kNotFound.
+  [[nodiscard]] size_type find_slot(const Key& key) const {
+    if (capacity_ == 0) return kNotFound;
+    size_type s = probe_start(key);
+    for (;;) {
+      const Ctrl c = ctrl_[s];
+      if (c == Ctrl::kEmpty) return kNotFound;
+      if (c == Ctrl::kFull && KeyEqual{}(slot_ptr(s)->first, key)) return s;
+      s = (s + 1) & (capacity_ - 1);
+    }
+  }
+
+  /// Slot to insert `key` at (reusing the first tombstone on the probe
+  /// path), or the existing slot.  Caller guaranteed capacity.
+  std::pair<size_type, bool> insert_slot(const Key& key) {
+    size_type s = probe_start(key);
+    size_type first_tombstone = kNotFound;
+    for (;;) {
+      const Ctrl c = ctrl_[s];
+      if (c == Ctrl::kEmpty) {
+        if (first_tombstone != kNotFound) return {first_tombstone, true};
+        return {s, true};
+      }
+      if (c == Ctrl::kTombstone) {
+        if (first_tombstone == kNotFound) first_tombstone = s;
+      } else if (KeyEqual{}(slot_ptr(s)->first, key)) {
+        return {s, false};
+      }
+      s = (s + 1) & (capacity_ - 1);
+    }
+  }
+
+  void construct(size_type slot, const Key& key, T&& value) {
+    ::new (static_cast<void*>(slot_ptr(slot)))
+        value_type(key, std::move(value));
+    if (ctrl_[slot] == Ctrl::kEmpty) ++used_;  // tombstone reuse keeps used_
+    ctrl_[slot] = Ctrl::kFull;
+    ++size_;
+  }
+
+  void erase_slot(size_type slot) {
+    slot_ptr(slot)->~value_type();
+    // An empty successor proves no probe chain crosses this slot, so it can
+    // revert to empty instead of a tombstone (keeps long-lived maps with
+    // erase churn from accumulating tombstones at the chain tails).
+    const size_type next = (slot + 1) & (capacity_ - 1);
+    if (capacity_ != 0 && ctrl_[next] == Ctrl::kEmpty) {
+      ctrl_[slot] = Ctrl::kEmpty;
+      --used_;
+    } else {
+      ctrl_[slot] = Ctrl::kTombstone;
+    }
+    --size_;
+  }
+
+  void grow_if_needed() {
+    if (capacity_ == 0) {
+      rehash(kMinCapacity);
+      return;
+    }
+    // used_ counts full + tombstone slots: both lengthen probe chains.
+    if (used_ + 1 > capacity_ - capacity_ / 8)
+      rehash(size_ + 1 > capacity_ / 2 ? capacity_ * 2 : capacity_);
+  }
+
+  void rehash(size_type new_capacity) {
+    auto old_ctrl = std::move(ctrl_);
+    auto old_slots = std::move(slots_);
+    const size_type old_capacity = capacity_;
+
+    ctrl_ = std::make_unique<Ctrl[]>(new_capacity);
+    slots_.reset(new std::byte[new_capacity * sizeof(value_type)]);
+    capacity_ = new_capacity;
+    size_ = 0;
+    used_ = 0;
+
+    for (size_type i = 0; i < old_capacity; ++i) {
+      if (old_ctrl[i] != Ctrl::kFull) continue;
+      auto* v = std::launder(
+          reinterpret_cast<value_type*>(old_slots.get()) + i);
+      const auto [slot, inserted] = insert_slot(v->first);
+      (void)inserted;  // keys were unique
+      construct(slot, v->first, std::move(v->second));
+      v->~value_type();
+    }
+  }
+
+  void destroy_all() {
+    for (size_type i = 0; i < capacity_; ++i)
+      if (ctrl_[i] == Ctrl::kFull) slot_ptr(i)->~value_type();
+    size_ = 0;
+    used_ = 0;
+  }
+
+  void copy_from(const FlatMap& o) {
+    ctrl_.reset();
+    slots_.reset();
+    capacity_ = 0;
+    size_ = 0;
+    used_ = 0;
+    if (o.size_ == 0) return;
+    reserve(o.size_);
+    for (const auto& [k, v] : o) try_emplace(k, v);
+  }
+
+  void move_from(FlatMap&& o) noexcept {
+    ctrl_ = std::move(o.ctrl_);
+    slots_ = std::move(o.slots_);
+    capacity_ = o.capacity_;
+    size_ = o.size_;
+    used_ = o.used_;
+    o.capacity_ = 0;
+    o.size_ = 0;
+    o.used_ = 0;
+  }
+
+  std::unique_ptr<Ctrl[]> ctrl_;
+  std::unique_ptr<std::byte[]> slots_;
+  size_type capacity_ = 0;
+  size_type size_ = 0;  ///< full slots
+  size_type used_ = 0;  ///< full + tombstone slots
+};
+
+}  // namespace lotec

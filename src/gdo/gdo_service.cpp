@@ -29,11 +29,7 @@ GdoService::GdoService(Transport& transport, GdoConfig config,
     owned_metrics_ = std::make_unique<MetricsRegistry>();
     metrics = owned_metrics_.get();
   }
-  reclaimed_ = &metrics->counter("lease.reclaimed");
-  purged_ = &metrics->counter("lease.purged");
-  cache_regrants_ = &metrics->counter("cache.regrants");
-  cache_callbacks_ = &metrics->counter("cache.callbacks");
-  cache_flushes_ = &metrics->counter("cache.flushes");
+  stats_.resolve(*metrics);
 }
 
 NodeId GdoService::home_of(ObjectId id) const noexcept {
@@ -69,9 +65,8 @@ GdoService::Route GdoService::route(ObjectId id) const {
   throw NodeUnreachable(home);
 }
 
-GdoEntry& GdoService::find_serving(
-    std::unordered_map<ObjectId, GdoEntry>& map, ObjectId id, Route r,
-    const char* op) {
+GdoEntry& GdoService::find_serving(FlatMap<ObjectId, GdoEntry>& map,
+                                   ObjectId id, Route r, const char* op) {
   const auto it = map.find(id);
   if (it == map.end()) {
     if (r.failover && transport_.fault_hooks() != nullptr)
@@ -101,7 +96,7 @@ void GdoService::reap_dead_locked(ObjectId id, GdoEntry& e, NodeId serving,
   std::erase_if(e.waiters, [&](const WaiterFamily& w) {
     return hooks->crash_count(w.node) > w.epoch;
   });
-  purged_->add(before - e.waiters.size());
+  stats_.purged->add(before - e.waiters.size());
   // Holders of dead incarnations are reclaimed once their lease runs out.
   // Like an abort release, reclamation carries no dirty-page info: the page
   // map is left untouched (the restart path restores exactly what the map
@@ -113,7 +108,7 @@ void GdoService::reap_dead_locked(ObjectId id, GdoEntry& e, NodeId serving,
         (ignore_leases || tick >= h.lease_expiry)) {
       if (h.mode == LockMode::kRead) --e.read_count;
       it = e.holders.erase(it);
-      reclaimed_->add();
+      stats_.reclaimed->add();
       freed = true;
     } else {
       ++it;
@@ -134,7 +129,7 @@ void GdoService::reap_dead_locked(ObjectId id, GdoEntry& e, NodeId serving,
           return hooks->crash_count(c.node) > c.epoch &&
                  (ignore_leases || tick >= c.lease_expiry);
         });
-    reclaimed_->add(removed);
+    stats_.reclaimed->add(removed);
     if (removed > 0) freed = true;
   }
   if (freed) grant_waiters(id, e, serving, wakeups);
@@ -179,6 +174,10 @@ void GdoService::revoke_conflicting_cached(ObjectId id, GdoEntry& e,
   // requesting family.
   ScopedSpan round(targets.empty() ? nullptr : tracer_,
                    SpanPhase::kCallbackRound, 0, serving.value(), id.value());
+  // One revocation round = one batch window: repeated callbacks from the
+  // serving node (and the replica syncs apply_flush triggers) coalesce per
+  // destination when batching is on.
+  BatchWindow window(transport_);
   for (const NodeId site : targets) {
     const std::size_t i = e.cached_index(site);
     if (i == static_cast<std::size_t>(-1)) continue;
@@ -190,7 +189,7 @@ void GdoService::revoke_conflicting_cached(ObjectId id, GdoEntry& e,
       // collects it (immediately if the lease already ran out).
       if (hooks->now() >= c.lease_expiry) {
         e.cached.erase(e.cached.begin() + static_cast<std::ptrdiff_t>(i));
-        reclaimed_->add();
+        stats_.reclaimed->add();
       }
       continue;
     }
@@ -209,7 +208,7 @@ void GdoService::revoke_conflicting_cached(ObjectId id, GdoEntry& e,
         // the crash we just witnessed *is* the proof of death the lease
         // would otherwise have to provide — reclaim the marker now.
         e.cached.erase(e.cached.begin() + static_cast<std::ptrdiff_t>(i));
-        reclaimed_->add();
+        stats_.reclaimed->add();
         continue;
       }
       if (hooks == nullptr) {
@@ -220,7 +219,7 @@ void GdoService::revoke_conflicting_cached(ObjectId id, GdoEntry& e,
       }
       throw;  // transient (partition/drop): the requester retries
     }
-    cache_callbacks_->add();
+    stats_.cache_callbacks->add();
     apply_flush(id, e, site, flush.records, flush.advance_to);
     if (mode == LockMode::kRead) {
       // A read request only needs writers out of the way: the site keeps
@@ -309,7 +308,7 @@ AcquireResult GdoService::acquire(ObjectId id, const TxnId& txn,
         hooks->crash_count(self->second.node) > self->second.epoch) {
       if (self->second.mode == LockMode::kRead) --e.read_count;
       e.holders.erase(self);
-      reclaimed_->add();
+      stats_.reclaimed->add();
       if (e.holders.empty()) {
         e.state = GdoLockState::kFree;
         e.read_count = 0;
@@ -539,7 +538,11 @@ BatchReleaseResult GdoService::release_batch(
   // Releases are charged per object: attributing a combined message to a
   // single object would skew the per-object byte accounting the Figure 2-5
   // experiments report, and the locking traffic is identical across the
-  // compared protocols anyway.
+  // compared protocols anyway.  The batch window below changes none of
+  // that — it only lets the per-object release/replica-sync messages bound
+  // for the same destination share one physical frame when
+  // net.batch_messages is on.
+  BatchWindow window(transport_);
   BatchReleaseResult res;
   for (const auto& item : items) {
     ReleaseResult one = release_family(item.object, family, node,
@@ -559,7 +562,7 @@ void GdoService::grant_waiters(ObjectId id, GdoEntry& e, NodeId serving,
     std::erase_if(e.waiters, [&](const WaiterFamily& w) {
       return hooks->crash_count(w.node) > w.epoch;
     });
-    purged_->add(before - e.waiters.size());
+    stats_.purged->add(before - e.waiters.size());
   }
   const auto emit = [&](Grant g) {
     // Stamp the directory-side causal context (the enclosing gdo.serve) so
@@ -596,7 +599,7 @@ void GdoService::grant_waiters(ObjectId id, GdoEntry& e, NodeId serving,
       if (!send_wakeup(w, wire::kLockRecordBytes +
                               w.txns.size() * wire::kTxnNodePairBytes)) {
         e.waiters.pop_front();
-        purged_->add();
+        stats_.purged->add();
         continue;
       }
       HolderFamily& h = e.holders.at(w.family);
@@ -617,7 +620,7 @@ void GdoService::grant_waiters(ObjectId id, GdoEntry& e, NodeId serving,
       if (!e.holders.empty()) break;
       if (!send_wakeup(w, grant_payload_bytes(e, w.txns.size()))) {
         e.waiters.pop_front();
-        purged_->add();
+        stats_.purged->add();
         continue;
       }
       Grant g{w.family, w.node, w.txns.front(), LockMode::kWrite,
@@ -632,7 +635,7 @@ void GdoService::grant_waiters(ObjectId id, GdoEntry& e, NodeId serving,
     if (!(e.holders.empty() || e.state == GdoLockState::kRead)) break;
     if (!send_wakeup(w, grant_payload_bytes(e, w.txns.size()))) {
       e.waiters.pop_front();
-      purged_->add();
+      stats_.purged->add();
       continue;
     }
     Grant g{w.family, w.node, w.txns.front(), LockMode::kRead,
@@ -733,7 +736,7 @@ std::optional<LockMode> GdoService::local_regrant(ObjectId id,
   stamp_epoch(w);
   install_holder(e, w);
   e.caching_sites.insert(node);
-  cache_regrants_->add();
+  stats_.cache_regrants->add();
   if (!r.failover) replicate(id, e);
   else replicate_failover(id, e, serving);
   return c.mode;
@@ -778,7 +781,7 @@ void GdoService::flush_cached(
   const std::size_t i = e.cached_index(node);
   if (i != static_cast<std::size_t>(-1))
     e.cached.erase(e.cached.begin() + static_cast<std::ptrdiff_t>(i));
-  cache_flushes_->add();
+  stats_.cache_flushes->add();
   if (!r.failover) replicate(id, e);
   else replicate_failover(id, e, serving);
 }
@@ -805,8 +808,7 @@ std::vector<NodeId> GdoService::caching_sites(ObjectId id) const {
   std::unique_lock<std::mutex> lock(r.failover ? part.mirror_mu : part.mu);
   const auto& map = r.failover ? part.mirrors : part.entries;
   const GdoEntry& e = const_cast<GdoService*>(this)->find_serving(
-      const_cast<std::unordered_map<ObjectId, GdoEntry>&>(map), id, r,
-      "caching_sites");
+      const_cast<FlatMap<ObjectId, GdoEntry>&>(map), id, r, "caching_sites");
   return {e.caching_sites.begin(), e.caching_sites.end()};
 }
 
@@ -851,8 +853,7 @@ GdoEntry GdoService::snapshot(ObjectId id) const {
   std::unique_lock<std::mutex> lock(r.failover ? part.mirror_mu : part.mu);
   const auto& map = r.failover ? part.mirrors : part.entries;
   return const_cast<GdoService*>(this)->find_serving(
-      const_cast<std::unordered_map<ObjectId, GdoEntry>&>(map), id, r,
-      "snapshot");
+      const_cast<FlatMap<ObjectId, GdoEntry>&>(map), id, r, "snapshot");
 }
 
 std::size_t GdoService::num_objects() const {
@@ -1049,7 +1050,7 @@ void GdoService::reclaim_crashed(bool ignore_leases) {
       const auto it = part.entries.find(id);
       if (it == part.entries.end()) continue;
       FaultAtomicSection atomic(transport_.fault_hooks());
-      const std::uint64_t before = reclaimed_->value() + purged_->value();
+      const std::uint64_t before = stats_.reclaimed->value() + stats_.purged->value();
       std::vector<Grant> wakeups;
       reap_dead_locked(id, it->second,
                        NodeId(static_cast<std::uint32_t>(p)), ignore_leases,
@@ -1057,7 +1058,7 @@ void GdoService::reclaim_crashed(bool ignore_leases) {
       // A reap that freed or purged anything diverged from the mirror copy;
       // sync it like any other mutation (a crash right after the reap must
       // not resurrect the reclaimed holder from the stale mirror).
-      if (reclaimed_->value() + purged_->value() != before)
+      if (stats_.reclaimed->value() + stats_.purged->value() != before)
         replicate(id, it->second);
     }
   }

@@ -24,9 +24,11 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/flat_map.hpp"
 #include "gdo/gdo_entry.hpp"
 #include "net/transport.hpp"
 #include "obs/metrics.hpp"
+#include "obs/stats_macros.hpp"
 
 namespace lotec {
 
@@ -136,6 +138,16 @@ struct CachedFlush {
   Lsn advance_to = 0;
 };
 
+// clang-format off
+#define LOTEC_GDO_STATS(COUNTER)              \
+  COUNTER(reclaimed, "lease.reclaimed")       \
+  COUNTER(purged, "lease.purged")             \
+  COUNTER(cache_regrants, "cache.regrants")   \
+  COUNTER(cache_callbacks, "cache.callbacks") \
+  COUNTER(cache_flushes, "cache.flushes")
+// clang-format on
+LOTEC_DEFINE_STATS_STRUCT(GdoStats, LOTEC_GDO_STATS);
+
 class GdoService {
  public:
   /// `metrics` is the cluster-wide registry the directory's tallies
@@ -239,13 +251,13 @@ class GdoService {
                     Lsn advance_to);
 
   [[nodiscard]] std::uint64_t cache_regrants() const noexcept {
-    return cache_regrants_->value();
+    return stats_.cache_regrants->value();
   }
   [[nodiscard]] std::uint64_t cache_callbacks() const noexcept {
-    return cache_callbacks_->value();
+    return stats_.cache_callbacks->value();
   }
   [[nodiscard]] std::uint64_t cache_flushes() const noexcept {
-    return cache_flushes_->value();
+    return stats_.cache_flushes->value();
   }
 
   /// Read-only page-map lookup (charged as a lookup round trip when remote).
@@ -279,10 +291,10 @@ class GdoService {
   void reclaim_crashed(bool ignore_leases);
 
   [[nodiscard]] std::uint64_t locks_reclaimed() const noexcept {
-    return reclaimed_->value();
+    return stats_.reclaimed->value();
   }
   [[nodiscard]] std::uint64_t waiters_purged() const noexcept {
-    return purged_->value();
+    return stats_.purged->value();
   }
 
   // --- deadlock support ---------------------------------------------------
@@ -310,8 +322,12 @@ class GdoService {
     /// ordering: an entry `mu` may be held while taking a `mirror_mu`
     /// (replication), never the reverse.
     mutable std::mutex mirror_mu;
-    std::unordered_map<ObjectId, GdoEntry> entries;
-    std::unordered_map<ObjectId, GdoEntry> mirrors;
+    // FlatMap: the entry lookup is on every acquire/release/lookup path —
+    // the single hottest table in the system.  All iteration over these
+    // maps is order-insensitive (wait_edges feeds a sorting detector,
+    // rebuild/reclaim collect into ordered sets first).
+    FlatMap<ObjectId, GdoEntry> entries;
+    FlatMap<ObjectId, GdoEntry> mirrors;
   };
 
   /// Which partition serves `id` right now (home, or mirror on failover) —
@@ -375,9 +391,8 @@ class GdoService {
   /// *transient* condition (the surviving chain has not seen this object's
   /// entry yet) and surfaces as NodeUnreachable so callers retry; at the
   /// home it is a usage error.
-  [[nodiscard]] GdoEntry& find_serving(
-      std::unordered_map<ObjectId, GdoEntry>& map, ObjectId id, Route r,
-      const char* op);
+  [[nodiscard]] GdoEntry& find_serving(FlatMap<ObjectId, GdoEntry>& map,
+                                       ObjectId id, Route r, const char* op);
 
   /// Synchronously copy the (mutated) entry to the mirror and charge the
   /// replication traffic.  Caller holds the home partition lock only.
@@ -408,11 +423,7 @@ class GdoService {
   std::unique_ptr<MetricsRegistry> owned_metrics_;
   /// Registry handles; tallies are token-serialized when their feature
   /// (fault hooks / lock cache) is on, relaxed-atomic regardless.
-  MetricsCounter* reclaimed_;
-  MetricsCounter* purged_;
-  MetricsCounter* cache_regrants_;
-  MetricsCounter* cache_callbacks_;
-  MetricsCounter* cache_flushes_;
+  GdoStats stats_;
 };
 
 }  // namespace lotec

@@ -103,6 +103,11 @@ inline constexpr std::uint64_t kDirtyPageRecordBytes = 8;
 inline constexpr std::uint64_t kPageRequestEntryBytes = 8;
 /// Lock metadata (object id, mode, state flags) in lock messages.
 inline constexpr std::uint64_t kLockRecordBytes = 24;
+/// Per-entry header inside a batched frame (kind, ids, length): a message
+/// that joins an open batch pays this instead of the full kHeaderBytes —
+/// the network/transport framing (Ethernet/IP/UDP) is shared with the batch
+/// head.  Physical accounting only; logical per-message costs never change.
+inline constexpr std::uint64_t kBatchEntryHeaderBytes = 16;
 }  // namespace wire
 
 /// One recorded message.  `payload_bytes` excludes the fixed header.

@@ -15,6 +15,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/flat_map.hpp"
 #include "net/cost_model.hpp"
 #include "net/message.hpp"
 
@@ -53,10 +54,16 @@ struct TrafficCounter {
 
 class NetworkStats {
  public:
-  /// Record one unicast message.
-  void record(const WireMessage& m) {
+  /// Record one unicast message.  `joined_batch` marks a message that rode
+  /// an already-open physical batch frame to the same destination
+  /// (Transport's MessageBatcher): its LOGICAL accounting — total, per-kind,
+  /// per-object, trace — is identical either way (the paper's cost model and
+  /// every figure counter stay bit-exact); only the PHYSICAL ledger differs,
+  /// charging a batch entry header instead of a full frame header and no new
+  /// physical send.
+  void record(const WireMessage& m, bool joined_batch = false) {
     std::lock_guard<std::mutex> lock(mu_);
-    record_locked(m);
+    record_locked(m, joined_batch);
   }
 
   /// Record a message sent to `fanout` destinations.  With multicast
@@ -114,11 +121,15 @@ class NetworkStats {
     return it == by_object_.end() ? TrafficCounter{} : it->second;
   }
 
-  /// All per-object rows (copy).
+  /// All per-object rows (copy; the internal table is a FlatMap but callers
+  /// keep the familiar unordered_map shape).
   [[nodiscard]] std::unordered_map<ObjectId, TrafficCounter> per_object()
       const {
     std::lock_guard<std::mutex> lock(mu_);
-    return by_object_;
+    std::unordered_map<ObjectId, TrafficCounter> out;
+    out.reserve(by_object_.size());
+    for (const auto& [id, c] : by_object_) out.emplace(id, c);
+    return out;
   }
 
   /// Bytes of page data only (excluding control traffic), per object.
@@ -131,6 +142,22 @@ class NetworkStats {
   [[nodiscard]] std::uint64_t local_lock_ops() const {
     std::lock_guard<std::mutex> lock(mu_);
     return local_lock_ops_;
+  }
+
+  /// Physical wire traffic: frames actually put on the network after
+  /// batching.  Equals total() exactly when batching is off (or never
+  /// coalesced anything); with batching on, messages here counts frames and
+  /// bytes reflects the per-entry header saving.
+  [[nodiscard]] TrafficCounter physical() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return physical_;
+  }
+
+  /// Logical messages that rode an existing batch frame instead of paying a
+  /// physical send of their own.
+  [[nodiscard]] std::uint64_t batched_joins() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return batched_joins_;
   }
 
   /// Total consistency-maintenance time for one object under a cost model
@@ -147,19 +174,29 @@ class NetworkStats {
     by_kind_.fill(TrafficCounter{});
     by_object_.clear();
     page_data_by_object_.clear();
+    physical_ = {};
+    batched_joins_ = 0;
     local_lock_ops_ = 0;
     trace_.clear();
     trace_dropped_ = 0;
   }
 
  private:
-  void record_locked(const WireMessage& m) {
+  void record_locked(const WireMessage& m, bool joined_batch = false) {
     const std::uint64_t n = m.total_bytes();
     total_.add(n);
     by_kind_[static_cast<std::size_t>(m.kind)].add(n);
     if (m.object.valid()) {
       by_object_[m.object].add(n);
       if (carries_page_data(m.kind)) page_data_by_object_[m.object].add(n);
+    }
+    if (joined_batch) {
+      // Rides the open frame: payload plus a batch entry header, no new
+      // physical send.
+      physical_.bytes += m.payload_bytes + wire::kBatchEntryHeaderBytes;
+      ++batched_joins_;
+    } else {
+      physical_.add(n);
     }
     if (trace_capacity_ > 0) {
       if (trace_.size() < trace_capacity_) {
@@ -175,8 +212,10 @@ class NetworkStats {
   TrafficCounter total_;
   std::array<TrafficCounter, static_cast<std::size_t>(MessageKind::kNumKinds)>
       by_kind_{};
-  std::unordered_map<ObjectId, TrafficCounter> by_object_;
-  std::unordered_map<ObjectId, TrafficCounter> page_data_by_object_;
+  FlatMap<ObjectId, TrafficCounter> by_object_;
+  FlatMap<ObjectId, TrafficCounter> page_data_by_object_;
+  TrafficCounter physical_;
+  std::uint64_t batched_joins_ = 0;
   std::uint64_t local_lock_ops_ = 0;
   std::size_t trace_capacity_ = 0;
   std::vector<TraceEvent> trace_;

@@ -140,7 +140,34 @@ class MessageProbe {
 
 struct NetworkConfig {
   bool multicast_capable = false;
+  /// Coalesce same-round directory traffic (release, replica-sync, callback
+  /// rounds) to one destination into one physical batch frame.  Off by
+  /// default: the figures' logical per-kind counters are identical either
+  /// way, but the physical ledger and wire-transport framing change, so the
+  /// knob must be explicit.  Incompatible with the fault engine (batched
+  /// tails defer their acks, which would mask per-message fault verdicts);
+  /// ClusterConfig::validate enforces that.
+  bool batch_messages = false;
 };
+
+/// Which message kinds may join a batch frame: round traffic the directory
+/// emits in bursts to the same destination within one protocol action.
+/// Grants, wakeups and fetches stay unbatched — their recipients act on
+/// them immediately and reordering relative to the round would change the
+/// schedule.
+[[nodiscard]] constexpr bool batch_eligible(MessageKind k) noexcept {
+  switch (k) {
+    case MessageKind::kLockReleaseRequest:
+    case MessageKind::kLockReleaseAck:
+    case MessageKind::kGdoReplicaSync:
+    case MessageKind::kGdoReplicaAck:
+    case MessageKind::kLockCallback:
+    case MessageKind::kCallbackReply:
+      return true;
+    default:
+      return false;
+  }
+}
 
 class Transport {
  public:
@@ -199,9 +226,45 @@ class Transport {
     if (hooks_ != nullptr) extra = hooks_->on_message(m);
     if (failed_[m.src.value()]) throw NodeUnreachable(m.src, m.src);
     if (failed_[m.dst.value()]) throw NodeUnreachable(m.src, m.dst);
-    if (m.src == m.dst) return;  // local, no network traffic
-    stats_.record(m);
+    if (m.src == m.dst) {
+      last_send_joined_ = false;
+      return;  // local, no network traffic
+    }
+    // Batching decides the PHYSICAL fate only, after every per-message
+    // semantic above (tick, stamp, probe, fault verdict, reachability) has
+    // run unchanged — which is why the logical ledgers and the checker's
+    // schedules are bit-identical whether the knob is on or off.
+    const bool joined = note_batch(m);
+    stats_.record(m, joined);
     for (std::size_t i = 0; i < extra; ++i) stats_.record(m);
+    last_send_joined_ = joined;
+  }
+
+  /// Open/close a batch window.  Within a window, the second and later
+  /// batch-eligible messages to the same (src, dst) pair join the pair's
+  /// open batch frame instead of paying a physical send.  Windows are
+  /// opened around one protocol round (a release batch, a callback round);
+  /// nesting is allowed and coalescing spans the outermost window.  No-ops
+  /// when batching is off.
+  void begin_batch_window() {
+    if (!config_.batch_messages) return;
+    ++batch_depth_;
+  }
+  void end_batch_window() {
+    if (!config_.batch_messages || batch_depth_ == 0) return;
+    if (--batch_depth_ == 0) {
+      open_batches_.clear();
+      on_batch_window_end();
+    }
+  }
+
+  [[nodiscard]] bool batching_enabled() const noexcept {
+    return config_.batch_messages;
+  }
+  /// Whether the most recent send() joined an open batch (the wire
+  /// transport reads this to defer the per-message ack wait).
+  [[nodiscard]] bool last_send_joined() const noexcept {
+    return last_send_joined_;
   }
 
   /// Account a one-to-many push (RC extension).  `destinations` that equal
@@ -233,6 +296,7 @@ class Transport {
     }
     if (remote > 0)
       stats_.record_multicast(m, remote, config_.multicast_capable);
+    last_send_joined_ = false;  // fan-out traffic never joins a batch
     return unreachable;
   }
 
@@ -259,6 +323,22 @@ class Transport {
   virtual void on_batch_complete() {}
 
  protected:
+  /// Hook for subclasses when the outermost batch window closes: the wire
+  /// transport flushes deferred acks here.  In-process delivery is
+  /// synchronous, so the base class has nothing to flush.
+  virtual void on_batch_window_end() {}
+
+  /// Decide whether `m` joins an open batch.  Returns false (and opens a
+  /// batch head for the pair when eligible) outside that case.
+  [[nodiscard]] bool note_batch(const WireMessage& m) {
+    if (batch_depth_ == 0 || !batch_eligible(m.kind)) return false;
+    const std::uint64_t pair =
+        (static_cast<std::uint64_t>(m.src.value()) << 32) | m.dst.value();
+    for (const std::uint64_t open : open_batches_)
+      if (open == pair) return true;
+    open_batches_.push_back(pair);  // m becomes the pair's batch head
+    return false;
+  }
   /// Stamp the sender's causal context into the frame padding and mirror
   /// the message into the tracer's record and the flight recorder.  Runs
   /// BEFORE the probe and the fault hooks so remote-side spans, checker
@@ -295,6 +375,27 @@ class Transport {
   SpanTracer* tracer_ = nullptr;
   MessageProbe* probe_ = nullptr;
   FlightRecorder* recorder_ = nullptr;
+  /// (src << 32 | dst) pairs with an open batch head in the current window.
+  /// A round touches a handful of destinations, so a linear scan beats any
+  /// map; cleared when the outermost window closes.
+  std::vector<std::uint64_t> open_batches_;
+  std::size_t batch_depth_ = 0;
+  bool last_send_joined_ = false;
+};
+
+/// RAII batch window (no-op when batching is disabled).
+class BatchWindow {
+ public:
+  explicit BatchWindow(Transport& transport) noexcept
+      : transport_(transport) {
+    transport_.begin_batch_window();
+  }
+  ~BatchWindow() { transport_.end_batch_window(); }
+  BatchWindow(const BatchWindow&) = delete;
+  BatchWindow& operator=(const BatchWindow&) = delete;
+
+ private:
+  Transport& transport_;
 };
 
 }  // namespace lotec

@@ -180,7 +180,7 @@ void load_obs_jsonl(std::istream& is, std::vector<SpanRecord>& spans,
       const auto dst = find_uint(line, "dst");
       const auto bytes = find_uint(line, "bytes");
       if (!tick || !src || !dst || !bytes) fail("missing field");
-      rec.kind = *kind;
+      rec.kind = intern_message_kind(*kind);
       rec.tick = *tick;
       rec.src = static_cast<std::uint32_t>(*src);
       rec.dst = static_cast<std::uint32_t>(*dst);

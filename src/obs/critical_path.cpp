@@ -148,7 +148,7 @@ CriticalPath analyze_critical_path(const std::vector<SpanRecord>& spans,
   if (root->trace != 0) {
     for (const auto& msg : messages) {
       if (msg.trace != root->trace) continue;
-      MessageKindCost& cost = out.by_kind[msg.kind];
+      MessageKindCost& cost = out.by_kind[std::string(msg.kind)];
       ++cost.messages;
       cost.bytes += msg.bytes;
     }

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <fstream>
 #include <ostream>
+#include <set>
 #include <stdexcept>
 #include <utility>
 
@@ -47,6 +48,18 @@ std::string_view to_string(SpanPhase phase) noexcept {
     case SpanPhase::kWireDeliver: return "wire.deliver";
   }
   return "unknown";
+}
+
+std::string_view intern_message_kind(std::string_view kind) {
+  // A leaked set of owned strings: entries must outlive every MessageRecord,
+  // including records held across tracer teardown, so process lifetime is
+  // the only safe bound.  The domain is message-kind names — a few dozen.
+  static std::mutex mu;
+  static auto* interned = new std::set<std::string, std::less<>>();
+  std::lock_guard<std::mutex> lock(mu);
+  auto it = interned->find(kind);
+  if (it == interned->end()) it = interned->emplace(kind).first;
+  return *it;
 }
 
 JsonLinesSink::JsonLinesSink(const std::string& path)
@@ -241,7 +254,7 @@ void SpanTracer::note_message(std::string_view kind, std::uint32_t src,
   std::lock_guard<std::mutex> lock(mu_);
   MessageRecord rec;
   rec.tick = now();
-  rec.kind = std::string(kind);
+  rec.kind = kind;  // view of the caller's static to_string table: no copy
   rec.src = src;
   rec.dst = dst;
   rec.object = object;

@@ -68,6 +68,12 @@ inline constexpr std::size_t kNumSpanPhases = 14;
 
 [[nodiscard]] std::string_view to_string(SpanPhase phase) noexcept;
 
+/// Returns a stable-backed copy of `kind` for MessageRecord::kind when the
+/// caller's string is transient (e.g. parsed from a JSONL file).  Interned
+/// strings live until process exit; the set of message kinds is tiny, so
+/// this never grows past a few dozen entries.
+[[nodiscard]] std::string_view intern_message_kind(std::string_view kind);
+
 /// One completed span (or instant, when begin == end and the phase is an
 /// instant phase).  family == 0 marks the directory lane (GDO-side work not
 /// attributable to a single family).  object == kNoObject when the span is
@@ -96,10 +102,13 @@ struct SpanRecord {
 
 /// One message observed at the Transport choke point while tracing was
 /// enabled — the per-message-kind axis of the critical-path analysis.
-/// `kind` is the MessageKind name (src/obs cannot depend on src/net).
+/// `kind` is the MessageKind name (src/obs cannot depend on src/net).  It is
+/// a view, not an owned string: the hot path hands in `to_string(kind)`
+/// (static storage) and pays zero allocations; anything loading records from
+/// disk must go through intern_message_kind() to get a stable backing.
 struct MessageRecord {
   std::uint64_t tick = 0;  ///< tracer clock right after the message's tick
-  std::string kind;
+  std::string_view kind;
   std::uint32_t src = 0;
   std::uint32_t dst = 0;
   std::uint64_t object = SpanRecord::kNoObject;
@@ -243,6 +252,14 @@ class SpanTracer {
   void note_message(std::string_view kind, std::uint32_t src,
                     std::uint32_t dst, std::uint64_t object,
                     std::uint64_t bytes, const TraceContext& ctx);
+
+  /// Pre-size the message record buffer so note_message stays allocation
+  /// free up to `n` records (benches call this with the expected message
+  /// count; growth past it just falls back to amortized doubling).
+  void reserve_messages(std::size_t n) {
+    std::lock_guard<std::mutex> lock(mu_);
+    messages_.reserve(n);
+  }
 
   /// All completed spans so far, in completion order.
   [[nodiscard]] std::vector<SpanRecord> spans() const;

@@ -2,9 +2,9 @@
 #pragma once
 
 #include <memory>
-#include <unordered_map>
 
 #include "common/error.hpp"
+#include "common/flat_map.hpp"
 #include "page/object_image.hpp"
 
 namespace lotec {
@@ -69,7 +69,10 @@ class PageStore {
   }
 
  private:
-  std::unordered_map<ObjectId, std::unique_ptr<ObjectImage>> images_;
+  // FlatMap keyed lookup on every page access; images stay behind
+  // unique_ptr so ObjectImage references survive rehash.  The only
+  // iteration (resident_pages) is an order-insensitive sum.
+  FlatMap<ObjectId, std::unique_ptr<ObjectImage>> images_;
 };
 
 }  // namespace lotec

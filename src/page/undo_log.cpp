@@ -6,9 +6,9 @@ void UndoLog::before_write(ObjectImage& img, std::uint64_t offset,
                            std::size_t len) {
   if (len == 0) return;
   if (strategy_ == UndoStrategy::kByteRange) {
-    ByteRecord rec{img.id(), offset, std::vector<std::byte>(len)};
-    img.read_bytes(offset, rec.before);
-    byte_records_.push_back(std::move(rec));
+    std::byte* buf = arena_.allocate_array<std::byte>(len);
+    img.read_bytes(offset, std::span<std::byte>(buf, len));
+    byte_records_.push_back(ByteRecord{img.id(), offset, buf, len});
     order_.emplace_back(Which::kByte, byte_records_.size() - 1);
     return;
   }
@@ -30,6 +30,9 @@ void UndoLog::absorb(UndoLog&& child) {
     throw UsageError("UndoLog::absorb: mixed undo strategies");
   const std::size_t byte_base = byte_records_.size();
   const std::size_t page_base = page_records_.size();
+  // Splice the child's arena blocks in first so its before-image pointers
+  // stay valid after the records move over.
+  arena_.adopt(std::move(child.arena_));
   for (auto& r : child.byte_records_) byte_records_.push_back(std::move(r));
   for (auto& r : child.page_records_) page_records_.push_back(std::move(r));
   for (const auto& [which, idx] : child.order_)
@@ -51,7 +54,8 @@ void UndoLog::undo(const std::function<ObjectImage&(ObjectId)>& resolve) {
   for (auto it = order_.rbegin(); it != order_.rend(); ++it) {
     if (it->first == Which::kByte) {
       const ByteRecord& r = byte_records_[it->second];
-      resolve(r.object).restore_bytes(r.offset, r.before);
+      resolve(r.object).restore_bytes(
+          r.offset, std::span<const std::byte>(r.before, r.len));
     } else {
       PageRecord& r = page_records_[it->second];
       resolve(r.object).restore_page(r.page, std::move(r.before));
@@ -65,13 +69,14 @@ void UndoLog::clear() {
   page_records_.clear();
   order_.clear();
   shadowed_.clear();
+  arena_.reset();  // keeps blocks: the next attempt refills in place
 }
 
 std::size_t UndoLog::record_count() const noexcept { return order_.size(); }
 
 std::size_t UndoLog::memory_bytes() const noexcept {
   std::size_t n = 0;
-  for (const auto& r : byte_records_) n += r.before.size();
+  for (const auto& r : byte_records_) n += r.len;
   for (const auto& r : page_records_) n += r.before.data.size();
   return n;
 }

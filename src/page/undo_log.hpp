@@ -23,6 +23,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "common/arena.hpp"
 #include "common/ids.hpp"
 #include "page/object_image.hpp"
 
@@ -65,7 +66,11 @@ class UndoLog {
   struct ByteRecord {
     ObjectId object;
     std::uint64_t offset;
-    std::vector<std::byte> before;
+    /// Before-image bytes, owned by `arena_` (or, after absorb, by blocks
+    /// the arena adopted from the child — either way pointer-stable until
+    /// clear()).
+    std::byte* before;
+    std::size_t len;
   };
   struct PageRecord {
     ObjectId object;
@@ -77,6 +82,10 @@ class UndoLog {
   enum class Which : std::uint8_t { kByte, kPage };
 
   UndoStrategy strategy_;
+  /// Backing store for ByteRecord before-images.  One attempt's records die
+  /// together at clear(), so a bump arena with wholesale reset beats one
+  /// heap vector per captured write.
+  Arena arena_;
   std::vector<ByteRecord> byte_records_;
   std::vector<PageRecord> page_records_;
   std::vector<std::pair<Which, std::size_t>> order_;

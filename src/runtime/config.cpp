@@ -80,6 +80,12 @@ void ClusterConfig::validate() const {
     throw UsageError(
         "ClusterConfig: check_sink requires the deterministic scheduler "
         "(invariant oracles assume a linearized event stream)");
+  if (net.batch_messages && fault.enabled())
+    throw UsageError(
+        "ClusterConfig: net.batch_messages cannot be combined with fault "
+        "injection — batched tails defer their delivery acknowledgement, "
+        "which would mask per-message fault verdicts; run faults with "
+        "batching off");
   if (wire.enabled) {
     if (scheduler != SchedulerMode::kDeterministic)
       throw UsageError(

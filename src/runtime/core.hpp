@@ -5,15 +5,16 @@
 #include <array>
 #include <memory>
 #include <mutex>
-#include <unordered_map>
 #include <vector>
 
 #include "check/events.hpp"
+#include "common/flat_map.hpp"
 #include "fault/fault_engine.hpp"
 #include "gdo/gdo_service.hpp"
 #include "method/registry.hpp"
 #include "net/transport.hpp"
 #include "obs/observability.hpp"
+#include "obs/stats_macros.hpp"
 #include "protocol/protocol.hpp"
 #include "runtime/config.hpp"
 #include "runtime/node.hpp"
@@ -42,16 +43,18 @@ class FamilyRunner;
 
 /// Registry handles the family runners bump on their hot paths, resolved
 /// once at cluster construction (a runner never touches the name map).
-struct CoreCounters {
-  MetricsCounter* deadlock_retries = nullptr;
-  MetricsCounter* fault_retries = nullptr;
-  MetricsCounter* demand_fetches = nullptr;
-  MetricsCounter* pages_fetched = nullptr;
-  MetricsCounter* delta_pages = nullptr;
-  MetricsCounter* remote_round_trips = nullptr;
-  MetricsCounter* page_evictions = nullptr;
-  MetricsCounter* local_lock_grants = nullptr;
-};
+// clang-format off
+#define LOTEC_CORE_COUNTERS(COUNTER)                      \
+  COUNTER(deadlock_retries, "txn.deadlock_retries")       \
+  COUNTER(fault_retries, "txn.fault_retries")             \
+  COUNTER(demand_fetches, "page.demand_fetches")          \
+  COUNTER(pages_fetched, "page.fetched")                  \
+  COUNTER(delta_pages, "page.delta")                      \
+  COUNTER(remote_round_trips, "net.round_trips")          \
+  COUNTER(page_evictions, "page.evicted")                 \
+  COUNTER(local_lock_grants, "lock.local_grants")
+// clang-format on
+LOTEC_DEFINE_STATS_STRUCT(CoreCounters, LOTEC_CORE_COUNTERS);
 
 struct ClusterCore {
   explicit ClusterCore(const ClusterConfig& cfg)
@@ -69,14 +72,7 @@ struct ClusterCore {
       transport.set_probe(cfg.check_sink);
       gdo.set_check_sink(cfg.check_sink);
     }
-    counters.deadlock_retries = &obs.metrics.counter("txn.deadlock_retries");
-    counters.fault_retries = &obs.metrics.counter("txn.fault_retries");
-    counters.demand_fetches = &obs.metrics.counter("page.demand_fetches");
-    counters.pages_fetched = &obs.metrics.counter("page.fetched");
-    counters.delta_pages = &obs.metrics.counter("page.delta");
-    counters.remote_round_trips = &obs.metrics.counter("net.round_trips");
-    counters.page_evictions = &obs.metrics.counter("page.evicted");
-    counters.local_lock_grants = &obs.metrics.counter("lock.local_grants");
+    counters.resolve(obs.metrics);
     for (std::size_t k = 0; k < protocols.size(); ++k)
       protocols[k] = make_protocol(static_cast<ProtocolKind>(k));
     protocol = protocols[static_cast<std::size_t>(cfg.protocol)].get();
@@ -180,12 +176,12 @@ struct ClusterCore {
   Scheduler* scheduler = nullptr;
 
   mutable std::mutex obj_mu;
-  std::unordered_map<ObjectId, ObjectMeta> objects;
+  FlatMap<ObjectId, ObjectMeta> objects;
   std::uint64_t next_object_id = 0;
 
   /// FamilyId -> runner, for wakeup delivery during a run.
   mutable std::mutex fam_mu;
-  std::unordered_map<FamilyId, FamilyRunner*> runners;
+  FlatMap<FamilyId, FamilyRunner*> runners;
 };
 
 }  // namespace lotec

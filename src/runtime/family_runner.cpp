@@ -1,7 +1,6 @@
 #include "runtime/family_runner.hpp"
 
 #include <algorithm>
-#include <map>
 
 #include "common/logging.hpp"
 
@@ -130,6 +129,7 @@ void FamilyRunner::run() {
     }
     if (CheckSink* s = check()) s->on_attempt_start(family_.id());
     committing_ = false;
+    scratch_.reset();  // previous attempt's gather scratch dies here
     // Re-seed per attempt: a restarted family makes the same decisions.
     rng_ = Rng(mix64(core_.config.seed ^ family_.id().value()));
     try {
@@ -627,14 +627,29 @@ void FamilyRunner::fetch_pages(ObjectId object, ObjectImage& image,
     throw Error("fetch_pages without a cached page map");
   PageMap& map = mit->second;
 
-  // Group wanted pages per source site (ordered: deterministic traffic).
-  std::map<NodeId, std::vector<PageIndex>> by_source;
-  for (const PageIndex p : pages.to_vector()) {
+  // Group wanted pages per source site, visited in node-id order — the same
+  // deterministic traffic as the sorted map this replaces.  The grouping is
+  // a stable counting sort over attempt-scoped arena scratch, so the hot
+  // fetch path allocates nothing from the heap.
+  const std::vector<PageIndex> wanted_all = pages.to_vector();
+  const std::size_t n_nodes = core_.nodes.size();
+  auto* counts = scratch_.allocate_array<std::uint32_t>(n_nodes);
+  for (std::size_t i = 0; i < n_nodes; ++i) counts[i] = 0;
+  for (const PageIndex p : wanted_all) {
     const PageLocation& loc = map.at(p);
     if (loc.node == node_)
       throw Error("fetch_pages: newest copy of the page is already local");
-    by_source[loc.node].push_back(p);
+    ++counts[loc.node.value()];
   }
+  auto* offsets = scratch_.allocate_array<std::uint32_t>(n_nodes + 1);
+  offsets[0] = 0;
+  for (std::size_t i = 0; i < n_nodes; ++i)
+    offsets[i + 1] = offsets[i] + counts[i];
+  auto* grouped = scratch_.allocate_array<PageIndex>(wanted_all.size());
+  auto* cursor = scratch_.allocate_array<std::uint32_t>(n_nodes);
+  for (std::size_t i = 0; i < n_nodes; ++i) cursor[i] = offsets[i];
+  for (const PageIndex p : wanted_all)
+    grouped[cursor[map.at(p).node.value()]++] = p;
 
   // DSD mode (Section 4.2/6): ship only the changed byte ranges for pages
   // whose local copy is exactly one version behind.  The request then
@@ -643,15 +658,18 @@ void FamilyRunner::fetch_pages(ObjectId object, ObjectImage& image,
   const ObjectMeta obj_meta = core_.meta_of(object);
   const std::size_t num_pages = obj_meta.num_pages;
   const bool delta_mode = core_.protocol_for(obj_meta).delta_transfers();
-  std::unordered_map<std::uint32_t, Lsn> my_versions;
+  FlatMap<std::uint32_t, Lsn> my_versions;
   if (delta_mode) {
     Node& mine = core_.node(node_);
     std::lock_guard<std::mutex> lock(mine.store_mu);
-    for (const PageIndex p : pages.to_vector())
+    for (const PageIndex p : wanted_all)
       if (image.has_page(p)) my_versions[p.value()] = image.page_version(p);
   }
 
-  for (auto& [source, wanted] : by_source) {
+  for (std::size_t s = 0; s < n_nodes; ++s) {
+    if (counts[s] == 0) continue;
+    const NodeId source(static_cast<std::uint32_t>(s));
+    const std::span<const PageIndex> wanted(grouped + offsets[s], counts[s]);
     core_.transport.send(
         {demand ? MessageKind::kDemandFetchRequest
                 : MessageKind::kPageFetchRequest,

@@ -11,8 +11,9 @@
 
 #include <optional>
 #include <span>
-#include <unordered_map>
 
+#include "common/arena.hpp"
+#include "common/flat_map.hpp"
 #include "method/value.hpp"
 #include "runtime/core.hpp"
 #include "txn/family.hpp"
@@ -183,9 +184,13 @@ class FamilyRunner {
   ObjectId blocked_on_{};
   std::optional<Grant> pending_grant_;
   /// Page maps received with global grants, kept current as pages arrive.
-  std::unordered_map<ObjectId, PageMap> object_maps_;
+  FlatMap<ObjectId, PageMap> object_maps_;
+  /// Attempt-scoped bump arena for transient scratch (page-gather grouping
+  /// buffers); reset wholesale when the next attempt starts.
+  Arena scratch_;
   /// Site wipe count at the time each currently-held pin was taken.
-  std::unordered_map<ObjectId, std::uint64_t> pin_epochs_;
+  /// (Iterated only to unpin each entry — order-insensitive.)
+  FlatMap<ObjectId, std::uint64_t> pin_epochs_;
   /// Inside run_prefetch: suppress per-operation round-trip counting (the
   /// batch is modeled as one pipelined round trip).
   bool prefetch_batch_ = false;

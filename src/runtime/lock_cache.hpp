@@ -28,10 +28,10 @@
 #include <map>
 #include <mutex>
 #include <optional>
-#include <unordered_map>
 #include <vector>
 
 #include "check/events.hpp"
+#include "common/flat_map.hpp"
 #include "common/ids.hpp"
 #include "gdo/gdo_service.hpp"
 
@@ -183,7 +183,9 @@ class GlobalLockCache {
   }
 
   mutable std::mutex mu_;
-  std::unordered_map<ObjectId, CachedLock> entries_;
+  // Hot lookup on every global-lock acquisition; iterations either sort
+  // (objects, lru_order) or fan out commutative per-object drops (clear).
+  FlatMap<ObjectId, CachedLock> entries_;
   std::uint64_t use_tick_ = 0;
   MetricsCounter* retained_ = nullptr;
   MetricsCounter* revoked_ = nullptr;

@@ -63,6 +63,7 @@ ClusterConfig ExperimentOptions::to_cluster_config(
   cfg.seed = cluster_seed;
   cfg.max_active_families = max_active_families;
   cfg.net.multicast_capable = multicast;
+  cfg.net.batch_messages = batch_messages;
   cfg.undo = undo;
   cfg.cache_capacity_pages = cache_capacity_pages;
   cfg.lock_cache = lock_cache;

@@ -116,6 +116,10 @@ struct ExperimentOptions {
   std::uint64_t cluster_seed = 7;
   std::size_t max_active_families = 16;
   bool multicast = false;
+  /// Coalesce same-round directory traffic into batch frames (PROTOCOL.md
+  /// §13).  Physical-only: the logical per-kind ledgers every figure is
+  /// computed from are bit-identical either way.
+  bool batch_messages = false;
   bool prefetch_hints = false;  ///< Section 5.1 ablation: pre-acquire the
                                 ///< whole script's lock set at family start
   UndoStrategy undo = UndoStrategy::kByteRange;

@@ -14,10 +14,16 @@ WireTransport::WireTransport(std::size_t num_nodes, NetworkConfig net_config,
           wire_, static_cast<std::uint32_t>(num_nodes))) {
   conns_.resize(num_nodes);
   worker_ledgers_.resize(num_nodes);
+  deferred_.resize(num_nodes);
+  stray_replies_.resize(num_nodes);
   for (std::uint32_t k = 0; k < num_nodes; ++k) handshake(k);
 }
 
 WireTransport::~WireTransport() {
+  // Windows are RAII-closed by their opener, so nothing should be pending
+  // here; if teardown happens mid-window anyway (exception unwind), drop
+  // the queue silently — the shutdown below supersedes any flush.
+  for (auto& v : deferred_) v.clear();
   // Graceful shutdown first so workers flush span files; the supervisor's
   // destructor SIGKILLs whatever ignored us.
   for (std::uint32_t k = 0; k < conns_.size(); ++k) {
@@ -28,7 +34,7 @@ WireTransport::~WireTransport() {
       f.dst = k;
       f.correlation = ++next_correlation_;
       write_full(conns_[k], encode_frame(f));
-      (void)read_reply(conns_[k], f.correlation,
+      (void)read_reply(k, f.correlation,
                        deadline_after(Millis(wire_.ack_timeout_ms)));
     } catch (const Error&) {
       // Best effort; the supervisor cleans up.
@@ -46,7 +52,7 @@ void WireTransport::handshake(std::uint32_t node) {
   hello.correlation = ++next_correlation_;
   write_full(conns_[node], encode_frame(hello));
   const Frame reply =
-      read_reply(conns_[node], hello.correlation,
+      read_reply(node, hello.correlation,
                  deadline_after(Millis(wire_.handshake_timeout_ms)));
   if (reply.type != FrameType::kHelloAck)
     throw Error("wire: worker " + std::to_string(node) +
@@ -59,9 +65,10 @@ void WireTransport::reconnect(std::uint32_t node) {
   handshake(node);
 }
 
-Frame WireTransport::read_reply(const Fd& conn, std::uint64_t correlation,
+Frame WireTransport::read_reply(std::uint32_t node, std::uint64_t correlation,
                                 std::chrono::steady_clock::time_point deadline,
                                 std::vector<std::byte>* payload_out) {
+  const Fd& conn = conns_[node];
   for (;;) {
     std::array<std::byte, kFrameSize> header;
     read_full(conn, header, deadline);
@@ -74,14 +81,48 @@ Frame WireTransport::read_reply(const Fd& conn, std::uint64_t correlation,
       if (payload_out != nullptr) *payload_out = std::move(payload);
       return f;
     }
-    // Stale reply from a timed-out earlier attempt: skip and keep reading.
+    // Not ours.  An Ack/Nack belongs to an earlier deferred ship on this
+    // connection — remember it for flush_deferred.  Anything else is a
+    // stale reply from a timed-out attempt: skip and keep reading.
+    if (f.type == FrameType::kAck || f.type == FrameType::kNack)
+      stray_replies_[node].emplace(f.correlation, f.type);
   }
 }
 
-void WireTransport::ship(const WireMessage& m, std::uint32_t dst) {
+void WireTransport::ship(const WireMessage& m, std::uint32_t dst,
+                         bool deferred) {
   const std::uint32_t src = m.src.value();
   Frame f = data_frame(m, ++next_correlation_);
   f.dst = dst;  // send_to_all ships one copy per destination
+  if (deferred) {
+    // Batched tail: write the frame and move on.  No retry cycle — there is
+    // no ack to time out on here; delivery is proven when flush_deferred
+    // waits out the queue tail (FIFO link, serial worker).  A torn write is
+    // a hard connection failure, mapped to the same NodeUnreachable the
+    // retry exhaustion path produces.
+    try {
+      if (!conns_[src].valid()) reconnect(src);
+      write_full(conns_[src], encode_frame(f));
+      if (f.payload_bytes > 0) {
+        static const std::array<std::byte, 64 * 1024> zeros{};
+        std::uint64_t left = f.payload_bytes;
+        while (left > 0) {
+          const std::size_t n = static_cast<std::size_t>(
+              std::min<std::uint64_t>(left, zeros.size()));
+          write_full(conns_[src],
+                     std::span<const std::byte>(zeros.data(), n));
+          left -= n;
+        }
+      }
+    } catch (const SocketError&) {
+      conns_[src].reset();
+      ledger_complete_ = false;
+      throw NodeUnreachable(m.src, NodeId(dst));
+    }
+    deferred_[src].push_back(
+        PendingShip{m.kind, NodeId(dst), m.total_bytes(), f.correlation});
+    return;
+  }
   Millis timeout(wire_.ack_timeout_ms);
   for (std::uint32_t attempt = 0; attempt < wire_.max_send_attempts;
        ++attempt) {
@@ -100,7 +141,7 @@ void WireTransport::ship(const WireMessage& m, std::uint32_t dst) {
         }
       }
       const Frame reply =
-          read_reply(conns_[src], f.correlation, deadline_after(timeout));
+          read_reply(src, f.correlation, deadline_after(timeout));
       if (reply.type == FrameType::kAck) {
         auto& counts = shipped_[static_cast<std::size_t>(m.kind)];
         counts.messages += 1;
@@ -121,12 +162,62 @@ void WireTransport::ship(const WireMessage& m, std::uint32_t dst) {
   throw NodeUnreachable(m.src, NodeId(dst));
 }
 
+void WireTransport::flush_deferred(std::uint32_t src) {
+  auto& pending = deferred_[src];
+  if (pending.empty()) return;
+  auto& stray = stray_replies_[src];
+  const std::uint64_t tail = pending.back().correlation;
+  bool ok = true;
+  if (stray.find(tail) == stray.end()) {
+    // One generous wait for the queue tail; every earlier ack either gets
+    // skipped into `stray` on the way or was already recorded by an
+    // interleaved waiting ship.
+    try {
+      const Frame reply = read_reply(
+          src, tail,
+          deadline_after(Millis(wire_.ack_timeout_ms *
+                                std::max<std::uint32_t>(
+                                    1, wire_.max_send_attempts))));
+      if (reply.type != FrameType::kAck) ok = false;
+    } catch (const SocketError&) {
+      conns_[src].reset();
+      ok = false;
+    }
+  }
+  const NodeId last_dst = pending.back().dst;
+  for (const PendingShip& p : pending) {
+    const auto it = stray.find(p.correlation);
+    if (it != stray.end()) {
+      if (it->second != FrameType::kAck) ok = false;
+      stray.erase(it);
+    }
+  }
+  if (!ok) {
+    pending.clear();
+    ledger_complete_ = false;
+    throw NodeUnreachable(NodeId(src), last_dst);
+  }
+  for (const PendingShip& p : pending) {
+    auto& counts = shipped_[static_cast<std::size_t>(p.kind)];
+    counts.messages += 1;
+    counts.bytes += p.total_bytes;
+  }
+  pending.clear();
+}
+
+void WireTransport::on_batch_window_end() {
+  for (std::uint32_t src = 0; src < deferred_.size(); ++src)
+    flush_deferred(src);
+}
+
 void WireTransport::send(const WireMessage& m) {
   // Base class: tracer tick, causal stamp, probe, fault hooks,
   // reachability, NetworkStats accounting.  Throws exactly as in-process.
   Transport::send(m);
   if (m.src == m.dst) return;  // local: no wire traffic in either mode
-  ship(m, m.dst.value());
+  // A message that joined an open batch pipelines: its frame goes out now,
+  // its ack is collected when the batch window closes.
+  ship(m, m.dst.value(), last_send_joined());
 }
 
 std::vector<NodeId> WireTransport::send_to_all(
@@ -160,6 +251,9 @@ void WireTransport::set_node_failed(NodeId node, bool failed) {
       ledger_complete_ = false;
     }
     conns_[k].reset();
+    // Acks owed by the dead incarnation will never arrive.
+    deferred_[k].clear();
+    stray_replies_[k].clear();
   } else if (!supervisor_->alive(k)) {
     supervisor_->respawn_worker(k);
     reconnect(k);
@@ -167,6 +261,10 @@ void WireTransport::set_node_failed(NodeId node, bool failed) {
 }
 
 void WireTransport::on_batch_complete() {
+  // Defensive: a well-formed run has no open window here, but the ledger
+  // cross-check below requires every shipped frame resolved.
+  for (std::uint32_t src = 0; src < deferred_.size(); ++src)
+    flush_deferred(src);
   gathered_ = WorkerLedger{};
   for (std::uint32_t k = 0; k < conns_.size(); ++k) {
     if (!supervisor_->alive(k)) {
@@ -182,7 +280,7 @@ void WireTransport::on_batch_complete() {
       if (!conns_[k].valid()) reconnect(k);
       write_full(conns_[k], encode_frame(req));
       const Frame reply =
-          read_reply(conns_[k], req.correlation,
+          read_reply(k, req.correlation,
                      deadline_after(Millis(wire_.handshake_timeout_ms)),
                      &payload);
       if (reply.type != FrameType::kStatsReply)

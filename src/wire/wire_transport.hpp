@@ -27,6 +27,7 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <vector>
 
@@ -56,6 +57,13 @@ class WireTransport final : public Transport {
   void set_node_failed(NodeId node, bool failed) override;
   void on_batch_complete() override;
 
+  /// Deferred acks still outstanding (0 outside an open batch window).
+  [[nodiscard]] std::size_t deferred_pending() const noexcept {
+    std::size_t n = 0;
+    for (const auto& v : deferred_) n += v.size();
+    return n;
+  }
+
   /// What this coordinator successfully shipped, by kind (full wire bytes).
   [[nodiscard]] const std::array<KindCounts, kNumWireKinds>& shipped()
       const noexcept {
@@ -79,15 +87,37 @@ class WireTransport final : public Transport {
     return *supervisor_;
   }
 
+ protected:
+  /// Flush every deferred ack when the outermost batch window closes.
+  void on_batch_window_end() override;
+
  private:
+  /// A frame written without waiting for its ack (batched tail): resolved
+  /// wholesale when the batch window closes.
+  struct PendingShip {
+    MessageKind kind{};
+    NodeId dst{};
+    std::uint64_t total_bytes = 0;
+    std::uint64_t correlation = 0;
+  };
+
   void handshake(std::uint32_t node);
   void reconnect(std::uint32_t node);
   /// One physical delivery attempt cycle with retry/backoff; counts the
   /// frame into shipped_ on success, throws NodeUnreachable on exhaustion.
-  void ship(const WireMessage& m, std::uint32_t dst);
-  /// Read frames from `conn` until an Ack/Nack matching `correlation`
-  /// arrives (stale replies are skipped, StatsReply payloads drained).
-  Frame read_reply(const Fd& conn, std::uint64_t correlation,
+  /// With `deferred` set (the message joined an open batch) the frame is
+  /// written and queued on deferred_[src] instead of waiting for its ack —
+  /// the worker link is FIFO and the worker serial, so the later flush of
+  /// the queue tail proves delivery of the whole run.
+  void ship(const WireMessage& m, std::uint32_t dst, bool deferred = false);
+  /// Wait out the deferred-ack queue of worker[src]; counts the flushed
+  /// frames into shipped_ or throws NodeUnreachable on a Nack/timeout.
+  void flush_deferred(std::uint32_t src);
+  /// Read frames from worker[node]'s connection until an Ack/Nack matching
+  /// `correlation` arrives.  Skipped Ack/Nack frames are remembered in
+  /// stray_replies_[node] — they are the acknowledgements of earlier
+  /// deferred ships, consumed later by flush_deferred.
+  Frame read_reply(std::uint32_t node, std::uint64_t correlation,
                    std::chrono::steady_clock::time_point deadline,
                    std::vector<std::byte>* payload_out = nullptr);
 
@@ -98,6 +128,8 @@ class WireTransport final : public Transport {
   std::array<KindCounts, kNumWireKinds> shipped_{};
   WorkerLedger gathered_;
   std::vector<WorkerLedger> worker_ledgers_;
+  std::vector<std::vector<PendingShip>> deferred_;   // index = src node
+  std::vector<std::map<std::uint64_t, FrameType>> stray_replies_;
   bool ledger_complete_ = true;
 };
 

@@ -1,0 +1,236 @@
+// FlatMap correctness: API semantics, tombstone/rehash behaviour, and a
+// randomized property test against std::unordered_map as the reference
+// model.  FlatMap backs the GDO entry map, page-store index and per-family
+// tables, so this is the memory-safety surface the sanitize CI job leans
+// on.
+#include "common/flat_map.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <random>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/ids.hpp"
+
+namespace lotec {
+namespace {
+
+TEST(FlatMapTest, EmptyMapBasics) {
+  FlatMap<int, int> m;
+  EXPECT_TRUE(m.empty());
+  EXPECT_EQ(m.size(), 0u);
+  EXPECT_EQ(m.find(7), m.end());
+  EXPECT_FALSE(m.contains(7));
+  EXPECT_EQ(m.count(7), 0u);
+  EXPECT_EQ(m.erase(7), 0u);
+  EXPECT_EQ(m.begin(), m.end());
+  EXPECT_THROW(m.at(7), std::out_of_range);
+}
+
+TEST(FlatMapTest, InsertFindErase) {
+  FlatMap<int, std::string> m;
+  auto [it, inserted] = m.try_emplace(1, "one");
+  EXPECT_TRUE(inserted);
+  EXPECT_EQ(it->second, "one");
+
+  auto [it2, inserted2] = m.try_emplace(1, "uno");
+  EXPECT_FALSE(inserted2);
+  EXPECT_EQ(it2->second, "one");  // try_emplace does not overwrite
+
+  m.insert_or_assign(1, "uno");
+  EXPECT_EQ(m.at(1), "uno");
+
+  m[2] = "two";
+  EXPECT_EQ(m.size(), 2u);
+  EXPECT_TRUE(m.contains(2));
+
+  EXPECT_EQ(m.erase(1), 1u);
+  EXPECT_FALSE(m.contains(1));
+  EXPECT_EQ(m.size(), 1u);
+  EXPECT_EQ(m.at(2), "two");
+}
+
+TEST(FlatMapTest, OperatorBracketDefaultConstructs) {
+  FlatMap<int, int> m;
+  EXPECT_EQ(m[5], 0);
+  m[5] += 3;
+  EXPECT_EQ(m.at(5), 3);
+}
+
+TEST(FlatMapTest, RehashPreservesContents) {
+  FlatMap<std::uint64_t, std::uint64_t> m;
+  for (std::uint64_t i = 0; i < 1000; ++i) m[i] = i * 31;
+  EXPECT_EQ(m.size(), 1000u);
+  for (std::uint64_t i = 0; i < 1000; ++i) {
+    ASSERT_TRUE(m.contains(i)) << i;
+    EXPECT_EQ(m.at(i), i * 31);
+  }
+}
+
+TEST(FlatMapTest, ReserveAvoidsRehash) {
+  FlatMap<int, int> m;
+  m.reserve(100);
+  const auto cap = m.capacity();
+  for (int i = 0; i < 100; ++i) m[i] = i;
+  EXPECT_EQ(m.capacity(), cap) << "reserve(100) must absorb 100 inserts";
+}
+
+TEST(FlatMapTest, TombstoneReuseDoesNotGrowUnbounded) {
+  // Insert/erase churn at constant live size must not balloon the table:
+  // tombstones are reclaimed by rehash-in-place or slot reuse.
+  FlatMap<int, int> m;
+  for (int i = 0; i < 10000; ++i) {
+    m[i] = i;
+    m.erase(i - 5);  // keep ~5 live
+  }
+  EXPECT_LE(m.size(), 6u);
+  EXPECT_LE(m.capacity(), 1024u)
+      << "churn at ~5 live elements grew capacity to " << m.capacity();
+}
+
+TEST(FlatMapTest, EraseDuringIterationViaIterator) {
+  FlatMap<int, int> m;
+  for (int i = 0; i < 50; ++i) m[i] = i;
+  std::size_t erased = 0;
+  for (auto it = m.begin(); it != m.end();) {
+    if (it->first % 2 == 0) {
+      it = m.erase(it);
+      ++erased;
+    } else {
+      ++it;
+    }
+  }
+  EXPECT_EQ(erased, 25u);
+  EXPECT_EQ(m.size(), 25u);
+  for (const auto& [k, v] : m) EXPECT_EQ(k % 2, 1);
+}
+
+TEST(FlatMapTest, ClearKeepsCapacityAndWorksAfter) {
+  FlatMap<int, int> m;
+  for (int i = 0; i < 200; ++i) m[i] = i;
+  const auto cap = m.capacity();
+  m.clear();
+  EXPECT_TRUE(m.empty());
+  EXPECT_EQ(m.capacity(), cap);
+  m[42] = 7;
+  EXPECT_EQ(m.at(42), 7);
+  EXPECT_EQ(m.size(), 1u);
+}
+
+TEST(FlatMapTest, CopyAndMove) {
+  FlatMap<int, std::string> a;
+  for (int i = 0; i < 64; ++i) a[i] = std::to_string(i);
+
+  FlatMap<int, std::string> b = a;  // copy
+  EXPECT_EQ(b.size(), 64u);
+  b[64] = "sixty-four";
+  EXPECT_FALSE(a.contains(64)) << "copy must be independent";
+
+  FlatMap<int, std::string> c = std::move(a);  // move
+  EXPECT_EQ(c.size(), 64u);
+  EXPECT_EQ(c.at(63), "63");
+
+  c = std::move(b);  // move-assign over live contents
+  EXPECT_EQ(c.size(), 65u);
+  EXPECT_EQ(c.at(64), "sixty-four");
+}
+
+TEST(FlatMapTest, WorksWithTypedIds) {
+  // The real hot-path key type: strongly-typed Id with its std::hash
+  // specialization.
+  FlatMap<ObjectId, int> m;
+  for (std::uint32_t i = 0; i < 100; ++i) m[ObjectId{i}] = static_cast<int>(i);
+  EXPECT_EQ(m.size(), 100u);
+  EXPECT_EQ(m.at(ObjectId{57}), 57);
+  EXPECT_EQ(m.erase(ObjectId{57}), 1u);
+  EXPECT_FALSE(m.contains(ObjectId{57}));
+}
+
+TEST(FlatMapTest, MoveOnlyValues) {
+  // PageStore keeps pages behind unique_ptr for pointer stability; the map
+  // must support move-only mapped types.
+  FlatMap<int, std::unique_ptr<int>> m;
+  m.try_emplace(1, std::make_unique<int>(10));
+  m.insert_or_assign(2, std::make_unique<int>(20));
+  EXPECT_EQ(*m.at(1), 10);
+  EXPECT_EQ(*m.at(2), 20);
+  m.insert_or_assign(1, std::make_unique<int>(11));
+  EXPECT_EQ(*m.at(1), 11);
+  m.erase(1);
+  EXPECT_EQ(m.size(), 1u);
+}
+
+TEST(FlatMapTest, PropertyVsUnorderedMapReference) {
+  // Randomized op sequence applied to both maps; contents must agree after
+  // every op.  Keys drawn from a small domain to force collisions, erases,
+  // tombstone reuse and rehashes.
+  std::mt19937_64 rng(20260807);
+  FlatMap<std::uint32_t, std::uint64_t> subject;
+  std::unordered_map<std::uint32_t, std::uint64_t> reference;
+
+  for (int op = 0; op < 20000; ++op) {
+    const std::uint32_t key = static_cast<std::uint32_t>(rng() % 512);
+    const std::uint64_t value = rng();
+    switch (rng() % 5) {
+      case 0:
+      case 1: {  // insert_or_assign (weighted: maps grow)
+        subject.insert_or_assign(key, value);
+        reference[key] = value;
+        break;
+      }
+      case 2: {  // try_emplace
+        const auto [it, inserted] = subject.try_emplace(key, value);
+        const auto [rit, rinserted] = reference.try_emplace(key, value);
+        ASSERT_EQ(inserted, rinserted) << "op " << op;
+        ASSERT_EQ(it->second, rit->second) << "op " << op;
+        break;
+      }
+      case 3: {  // erase
+        ASSERT_EQ(subject.erase(key), reference.erase(key)) << "op " << op;
+        break;
+      }
+      case 4: {  // find
+        const auto it = subject.find(key);
+        const auto rit = reference.find(key);
+        ASSERT_EQ(it != subject.end(), rit != reference.end()) << "op " << op;
+        if (rit != reference.end()) ASSERT_EQ(it->second, rit->second);
+        break;
+      }
+    }
+    ASSERT_EQ(subject.size(), reference.size()) << "op " << op;
+  }
+
+  // Full-content equivalence both directions.
+  std::size_t visited = 0;
+  for (const auto& [k, v] : subject) {
+    const auto rit = reference.find(k);
+    ASSERT_NE(rit, reference.end()) << "stale key " << k;
+    ASSERT_EQ(v, rit->second);
+    ++visited;
+  }
+  EXPECT_EQ(visited, reference.size());
+}
+
+TEST(FlatMapTest, DeterministicIterationOrderForFixedInsertSequence) {
+  // Two maps fed the same key sequence must iterate identically — the
+  // property the deterministic scheduler relies on for any migrated table
+  // that gets iterated.
+  auto build = [] {
+    FlatMap<std::uint64_t, int> m;
+    std::mt19937_64 rng(99);
+    for (int i = 0; i < 300; ++i) m[rng() % 1000] = i;
+    return m;
+  };
+  const auto a = build();
+  const auto b = build();
+  std::vector<std::uint64_t> ka, kb;
+  for (const auto& [k, v] : a) ka.push_back(k);
+  for (const auto& [k, v] : b) kb.push_back(k);
+  EXPECT_EQ(ka, kb);
+}
+
+}  // namespace
+}  // namespace lotec

@@ -1,0 +1,70 @@
+// The tracing hook on the Transport send path must not allocate: a span-
+// traced run records one MessageRecord per message, and a heap allocation
+// per record would put malloc on the hottest path in the system.  The kind
+// string rides as a std::string_view over to_string's static table and the
+// record buffer is pre-sized, so the steady state is allocation-free —
+// asserted here with a counting global operator new.
+//
+// The counter is compiled into this binary's global operator new, which is
+// shared by every test in the suite; it only *counts* between arm()/disarm()
+// so the other tests see stock behaviour.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+#include "net/message.hpp"
+#include "obs/span.hpp"
+
+namespace {
+
+std::atomic<bool> g_counting{false};
+std::atomic<std::uint64_t> g_allocations{0};
+
+void count_alloc() noexcept {
+  if (g_counting.load(std::memory_order_relaxed))
+    g_allocations.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace
+
+void* operator new(std::size_t size) {
+  count_alloc();
+  if (void* p = std::malloc(size == 0 ? 1 : size)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) { return ::operator new(size); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace lotec {
+namespace {
+
+TEST(NoteMessageAllocTest, SteadyStateNoteMessageDoesNotAllocate) {
+  SpanTracer tracer;
+  tracer.enable();
+  constexpr std::size_t kMessages = 4096;
+  tracer.reserve_messages(kMessages);
+  const TraceContext ctx{};
+
+  // Warm-up record (first call may lazily touch thread-local state).
+  tracer.note_message(to_string(MessageKind::kLockAcquireRequest), 0, 1,
+                      /*object=*/7, /*bytes=*/64, ctx);
+
+  g_allocations.store(0);
+  g_counting.store(true);
+  for (std::size_t i = 1; i < kMessages; ++i) {
+    tracer.tick_message();
+    tracer.note_message(to_string(MessageKind::kLockReleaseRequest), 0, 1,
+                        /*object=*/i % 13, /*bytes=*/128, ctx);
+  }
+  g_counting.store(false);
+  EXPECT_EQ(g_allocations.load(), 0u)
+      << "note_message allocated on the steady-state path";
+}
+
+}  // namespace
+}  // namespace lotec

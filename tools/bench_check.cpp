@@ -2,11 +2,15 @@
 // the committed baselines in bench/baselines/ and fail when any metric
 // drifts beyond the tolerance (default +/-10%).
 //
-// Usage: bench_check <baseline_dir> <candidate_dir> [tolerance]
+// Usage: bench_check <baseline_dir> <candidate_dir> [tolerance] [FILE=TOL...]
 //   Every BENCH_*.json in <baseline_dir> must exist in <candidate_dir> with
 //   the same rows (by label) and every numeric field within tolerance of
 //   its baseline value.  Extra candidate files/fields are ignored, so new
 //   benches can land before their baselines do.
+//
+//   Trailing FILE=TOL arguments override the tolerance per baseline file,
+//   e.g. `BENCH_walltime.json=0.25` — wall-clock benches get a generous
+//   band while the deterministic counter benches stay tight.
 //
 // Exit codes (CI distinguishes "perf regressed" from "bench never ran"):
 //   0  every metric within tolerance
@@ -119,14 +123,25 @@ BenchFile parse_file(const std::filesystem::path& path) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 3 || argc > 4) {
+  if (argc < 3) {
     std::cerr << "usage: bench_check <baseline_dir> <candidate_dir> "
-                 "[tolerance=0.10]\n";
+                 "[tolerance=0.10] [FILE=TOL...]\n";
     return 2;
   }
   const std::filesystem::path baseline_dir = argv[1];
   const std::filesystem::path candidate_dir = argv[2];
-  const double tolerance = argc == 4 ? std::atof(argv[3]) : 0.10;
+  double default_tolerance = 0.10;
+  std::map<std::string, double> per_file_tolerance;
+  for (int a = 3; a < argc; ++a) {
+    const std::string arg = argv[a];
+    const std::size_t eq = arg.find('=');
+    if (eq == std::string::npos) {
+      default_tolerance = std::atof(arg.c_str());
+    } else {
+      per_file_tolerance[arg.substr(0, eq)] =
+          std::atof(arg.substr(eq + 1).c_str());
+    }
+  }
 
   int checked = 0, out_of_tolerance = 0, missing = 0;
   for (const auto& entry :
@@ -134,6 +149,10 @@ int main(int argc, char** argv) {
     const std::string name = entry.path().filename().string();
     if (name.rfind("BENCH_", 0) != 0 || entry.path().extension() != ".json")
       continue;
+    const auto override_it = per_file_tolerance.find(name);
+    const double tolerance = override_it != per_file_tolerance.end()
+                                 ? override_it->second
+                                 : default_tolerance;
     const std::filesystem::path candidate = candidate_dir / name;
     if (!std::filesystem::exists(candidate)) {
       std::cerr << "FAIL " << name << ": candidate file missing (bench not "
@@ -205,6 +224,11 @@ int main(int argc, char** argv) {
     return 1;
   }
   std::cout << "bench_check: " << checked << " metrics within "
-            << tolerance * 100.0 << "% of baseline\n";
+            << default_tolerance * 100.0 << "% of baseline"
+            << (per_file_tolerance.empty()
+                    ? std::string()
+                    : " (" + std::to_string(per_file_tolerance.size()) +
+                          " per-file override(s))")
+            << '\n';
   return 0;
 }

@@ -68,6 +68,8 @@ void usage() {
       "  --page-size=N        DSM page size in bytes (4096)\n"
       "  --cache=N            per-node cache budget in pages (0 = unbounded)\n"
       "  --multicast          multicast-capable network\n"
+      "  --batch              coalesce same-round directory traffic into\n"
+      "                       batch frames (physical-only; PROTOCOL.md 13)\n"
       "  --prefetch           Section 5.1 lock pre-acquisition hints\n"
       "  --shadow-pages       shadow-page undo instead of byte-range log\n"
       "Run:\n"
@@ -133,6 +135,7 @@ bool parse_one(Args& args, const std::string& arg) {
       static_cast<std::uint32_t>(u());
   else if (key == "--cache") args.options.cache_capacity_pages = u();
   else if (key == "--multicast") args.options.multicast = true;
+  else if (key == "--batch") args.options.batch_messages = true;
   else if (key == "--prefetch") args.options.prefetch_hints = true;
   else if (key == "--shadow-pages") args.options.undo =
       UndoStrategy::kShadowPage;
