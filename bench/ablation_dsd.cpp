@@ -36,8 +36,8 @@ int main() {
                fmt_u64(dsd.total.bytes),
                fmt_percent(static_cast<double>(dsd.total.bytes) /
                            static_cast<double>(lotec.total.bytes)),
-               fmt_u64(dsd.delta_pages()),
-               fmt_u64(dsd.pages_fetched() - dsd.delta_pages())});
+               fmt_u64(dsd.counter("page.delta")),
+               fmt_u64(dsd.counter("page.fetched") - dsd.counter("page.delta"))});
   }
   table.print();
   std::cout << "\nExpectation: with one attribute per page a delta IS the "

@@ -74,7 +74,7 @@ bool run_chaos_suite(const Workload& workload) {
                     r.committed == again.committed;
     const FaultStats& fs = r.fault_stats;
     table.row({std::string(to_string(p)), fmt_u64(r.committed),
-               fmt_u64(r.aborted), fmt_u64(r.fault_retries()),
+               fmt_u64(r.aborted), fmt_u64(r.counter("txn.fault_retries")),
                fmt_u64(fs.crashes), fmt_u64(fs.locks_reclaimed),
                fmt_u64(fs.gdo_entries_rebuilt), fmt_u64(fs.pages_restored),
                fmt_u64(fs.dropped)});

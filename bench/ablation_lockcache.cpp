@@ -58,24 +58,24 @@ int main() {
         run_scenario(workload, ProtocolKind::kLotec, options);
 
     const double saved =
-        1.0 - static_cast<double>(on.lock_messages()) /
-                  static_cast<double>(off.lock_messages());
-    table.row({fmt_double(locality, 2), fmt_u64(off.lock_messages()),
-               fmt_u64(on.lock_messages()), fmt_percent(saved),
-               fmt_u64(on.cache_regrants()), fmt_u64(on.cache_callbacks()),
-               fmt_u64(on.cache_flushes()),
+        1.0 - static_cast<double>(on.counter("net.lock_messages")) /
+                  static_cast<double>(off.counter("net.lock_messages"));
+    table.row({fmt_double(locality, 2), fmt_u64(off.counter("net.lock_messages")),
+               fmt_u64(on.counter("net.lock_messages")), fmt_percent(saved),
+               fmt_u64(on.counter("cache.regrants")), fmt_u64(on.counter("cache.callbacks")),
+               fmt_u64(on.counter("cache.flushes")),
                fmt_percent(static_cast<double>(on.total.messages) /
                            static_cast<double>(off.total.messages))});
     json.row("locality_" + fmt_double(locality, 2))
-        .field("lock_messages_off", off.lock_messages())
-        .field("lock_messages_on", on.lock_messages())
+        .field("lock_messages_off", off.counter("net.lock_messages"))
+        .field("lock_messages_on", on.counter("net.lock_messages"))
         .field("total_messages_off", off.total.messages)
         .field("total_messages_on", on.total.messages)
         .field("bytes_off", off.total.bytes)
         .field("bytes_on", on.total.bytes)
-        .field("cache_regrants", on.cache_regrants())
-        .field("cache_callbacks", on.cache_callbacks())
-        .field("cache_flushes", on.cache_flushes());
+        .field("cache_regrants", on.counter("cache.regrants"))
+        .field("cache_callbacks", on.counter("cache.callbacks"))
+        .field("cache_flushes", on.counter("cache.flushes"));
 
     if (on.committed != off.committed || on.aborted != off.aborted) {
       std::cerr << "FAIL: cache changed outcomes at locality " << locality

@@ -34,8 +34,8 @@ int main() {
   Table table({"Variant", "Blocking round trips", "Per txn", "p50", "p95",
                "Messages", "Bytes", "Committed"});
   const auto row = [&](const std::string& name, const ScenarioResult& r) {
-    table.row({name, fmt_u64(r.remote_round_trips()),
-               fmt_double(static_cast<double>(r.remote_round_trips()) /
+    table.row({name, fmt_u64(r.counter("net.round_trips")),
+               fmt_double(static_cast<double>(r.counter("net.round_trips")) /
                               static_cast<double>(r.committed),
                           2),
                fmt_double(r.round_trips_p50, 1),
@@ -51,10 +51,10 @@ int main() {
   Table lat({"Round-trip cost", "no prefetch", "prefetch", "speedup"});
   for (const double rtt_us : {200.0, 50.0, 10.0, 2.0}) {
     const double lat_without = rtt_us *
-                               static_cast<double>(without.remote_round_trips()) /
+                               static_cast<double>(without.counter("net.round_trips")) /
                                static_cast<double>(without.committed);
     const double lat_with = rtt_us *
-                            static_cast<double>(with.remote_round_trips()) /
+                            static_cast<double>(with.counter("net.round_trips")) /
                             static_cast<double>(with.committed);
     lat.row({fmt_double(rtt_us, 0) + "us", fmt_double(lat_without, 1) + "us",
              fmt_double(lat_with, 1) + "us",

@@ -76,14 +76,14 @@ inline void run_bytes_figure(const std::string& title,
   const double cb = static_cast<double>(cotec.total.bytes);
   const double ob = static_cast<double>(otec.total.bytes);
   agg.row({"COTEC", fmt_u64(cotec.total.messages), fmt_u64(cotec.total.bytes),
-           "100.0%", "-", fmt_u64(cotec.demand_fetches())});
+           "100.0%", "-", fmt_u64(cotec.counter("page.demand_fetches"))});
   agg.row({"OTEC", fmt_u64(otec.total.messages), fmt_u64(otec.total.bytes),
            fmt_percent(otec.total.bytes / cb), "100.0%",
-           fmt_u64(otec.demand_fetches())});
+           fmt_u64(otec.counter("page.demand_fetches"))});
   agg.row({"LOTEC", fmt_u64(lotec.total.messages), fmt_u64(lotec.total.bytes),
            fmt_percent(lotec.total.bytes / cb),
            fmt_percent(lotec.total.bytes / ob),
-           fmt_u64(lotec.demand_fetches())});
+           fmt_u64(lotec.counter("page.demand_fetches"))});
   agg.print();
 
   if (!options.json_name.empty()) {
@@ -92,9 +92,9 @@ inline void run_bytes_figure(const std::string& title,
       json.row(std::string(to_string(r->protocol)))
           .field("messages", r->total.messages)
           .field("bytes", r->total.bytes)
-          .field("lock_messages", r->lock_messages())
-          .field("page_messages", r->page_messages())
-          .field("demand_fetches", r->demand_fetches())
+          .field("lock_messages", r->counter("net.lock_messages"))
+          .field("page_messages", r->counter("net.page_messages"))
+          .field("demand_fetches", r->counter("page.demand_fetches"))
           .field("committed", r->committed)
           .counters(r->counters);
     json.write();

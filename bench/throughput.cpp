@@ -58,6 +58,11 @@ struct Options {
   std::size_t nodes = 8;
   std::uint64_t seed = 10;
   bool distributed = false;
+  /// When positive, add a paired read-heavy row set: the same mix with this
+  /// share of families submitted read-only, run with mv_read off and on
+  /// (in-process, unbatched).  The base rows are unaffected — they always
+  /// run at fraction 0 — so the committed baseline stays comparable.
+  double read_fraction = 0.0;
   /// Acceptance floor for the batching rows: physical sends must come in
   /// at least this fraction below logical sends.  The default holds on the
   /// canonical Zipfian mix; exploratory runs (e.g. cold multi-million
@@ -84,6 +89,7 @@ Options parse_args(int argc, char** argv) {
     else if (arg == "--nodes") opt.nodes = std::stoull(value());
     else if (arg == "--seed") opt.seed = std::stoull(value());
     else if (arg == "--distributed") opt.distributed = true;
+    else if (arg == "--read-fraction") opt.read_fraction = std::stod(value());
     else if (arg == "--min-savings") opt.min_savings = std::stod(value());
     else {
       std::cerr << "unknown option " << arg << '\n';
@@ -112,6 +118,8 @@ struct ModeOutcome {
   TrafficCounter total;
   TrafficCounter physical;
   std::uint64_t joins = 0;
+  std::uint64_t lock_messages = 0;
+  std::uint64_t snapshot_reads = 0;
   double elapsed_seconds = 0;
   std::vector<double> sojourn_us;  // scheduled arrival -> completion
   // Logical-tick percentiles of the family.attempt span histogram:
@@ -129,8 +137,8 @@ double percentile(std::vector<double> v, double p) {
 }
 
 ModeOutcome run_mode(const Workload& workload, const Options& opt,
-                     bool batching, bool wire,
-                     const std::string& worker_path) {
+                     bool batching, bool wire, const std::string& worker_path,
+                     double read_fraction = 0.0, bool mv_read = false) {
   ClusterConfig cfg;
   cfg.nodes = opt.nodes;
   cfg.seed = opt.seed;
@@ -140,9 +148,11 @@ ModeOutcome run_mode(const Workload& workload, const Options& opt,
   cfg.obs.trace_spans = true;
   cfg.wire.enabled = wire;
   cfg.wire.worker_path = worker_path;
+  cfg.mv_read = mv_read;
 
   Cluster cluster(cfg);
-  std::vector<RootRequest> requests = workload.instantiate(cluster);
+  std::vector<RootRequest> requests =
+      workload.instantiate(cluster, read_fraction);
 
   // Open-loop dispatch: roots arrive at t_i = i / rate; they are admitted
   // in waves of max_active_families so the scheduler keeps its usual
@@ -187,6 +197,12 @@ ModeOutcome run_mode(const Workload& workload, const Options& opt,
   out.total = cluster.stats().total();
   out.physical = cluster.stats().physical();
   out.joins = cluster.stats().batched_joins();
+  for (const MessageKind k :
+       {MessageKind::kLockAcquireRequest, MessageKind::kLockAcquireGrant,
+        MessageKind::kLockReleaseRequest, MessageKind::kLockCallback,
+        MessageKind::kCallbackReply})
+    out.lock_messages += cluster.stats().by_kind(k).messages;
+  out.snapshot_reads = cluster.observe().metrics().value("snapshot.reads");
   const HistogramSnapshot hist =
       cluster.observe().metrics().histogram("span.family.attempt").snapshot();
   out.span_p50 = hist.percentile(50);
@@ -312,6 +328,37 @@ int main(int argc, char** argv) {
       wire_ran = true;
     }
   }
+  if (opt.read_fraction > 0.0) {
+    // Read-heavy pair: the same mix with a read-only population, lock path
+    // vs snapshot path.  Gated on the snapshot contract, not on batching:
+    // same outcomes, strictly less lock traffic, snapshot reads happening.
+    const ModeOutcome roff = run_mode(workload, opt, false, false, "",
+                                      opt.read_fraction, /*mv_read=*/false);
+    report("readfrac mv=off ", roff);
+    const ModeOutcome ron = run_mode(workload, opt, false, false, "",
+                                     opt.read_fraction, /*mv_read=*/true);
+    report("readfrac mv=on  ", ron);
+    if (ron.committed != roff.committed) {
+      std::cerr << "FAIL [readfrac]: mv_read changed outcomes ("
+                << ron.committed << " vs " << roff.committed << ")\n";
+      ++failures;
+    }
+    if (ron.snapshot_reads == 0 || ron.lock_messages >= roff.lock_messages) {
+      std::cerr << "FAIL [readfrac]: snapshot path inactive or lock traffic "
+                << "not reduced (" << ron.snapshot_reads << " snapshot reads, "
+                << ron.lock_messages << " vs " << roff.lock_messages
+                << " lock messages)\n";
+      ++failures;
+    }
+    emit_row(json, "readfrac_mv_off", roff);
+    emit_row(json, "readfrac_mv_on", ron);
+    json.row("readfrac_meta")
+        .field("read_fraction", opt.read_fraction)
+        .field("lock_messages_off", roff.lock_messages)
+        .field("lock_messages_on", ron.lock_messages)
+        .field("snapshot_reads", ron.snapshot_reads);
+  }
+
   json.row("meta")
       .field("objects", static_cast<std::uint64_t>(opt.objects))
       .field("txns", static_cast<std::uint64_t>(opt.txns))

@@ -37,6 +37,7 @@ ScheduleOutcome ScheduleChecker::run_schedule(Strategy& strategy,
   cfg.seed = opts_.seed;
   cfg.lock_cache = opts_.lock_cache;
   cfg.lock_cache_capacity = opts_.lock_cache_capacity;
+  cfg.mv_read = opts_.scenario.mv_read;
   cfg.net.batch_messages = opts_.batch_messages;
   cfg.test_mutations.break_retention = opts_.break_retention;
   cfg.check_sink = &fanout;
@@ -59,7 +60,8 @@ ScheduleOutcome ScheduleChecker::run_schedule(Strategy& strategy,
 
   try {
     Cluster cluster(cfg);
-    std::vector<RootRequest> requests = workload_.instantiate(cluster);
+    std::vector<RootRequest> requests =
+        workload_.instantiate(cluster, opts_.scenario.read_only_fraction);
     const std::vector<TxnResult> results = cluster.execute(std::move(requests));
     for (const TxnResult& r : results)
       if (r.committed) ++out.committed;

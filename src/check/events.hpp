@@ -113,9 +113,20 @@ class CheckSink : public MessageProbe {
                                PageIndex /*page*/, Lsn /*version*/,
                                NodeId /*site*/) {}
   /// The directory recorded `version` as the newest copy of `page` at
-  /// `site` — the publication step every later grant must observe.
+  /// `site` — the publication step every later grant must observe.  `tick`
+  /// is the global commit tick published with the version (0 for residency
+  /// re-records that introduce no new version).
   virtual void on_directory_stamp(ObjectId /*object*/, PageIndex /*page*/,
-                                  Lsn /*version*/, NodeId /*site*/) {}
+                                  Lsn /*version*/, NodeId /*site*/,
+                                  std::uint64_t /*tick*/) {}
+  /// A snapshot-isolated read-only family resolved `page` of `object` to
+  /// committed `version` under its start stamp (mv_read extension; no lock,
+  /// no on_page_access).  The serializability oracle checks `version` is
+  /// the newest publication with tick <= `stamp` and folds the read into
+  /// the conflict graph.
+  virtual void on_snapshot_read(FamilyId /*family*/, std::uint32_t /*serial*/,
+                                ObjectId /*object*/, PageIndex /*page*/,
+                                Lsn /*version*/, std::uint64_t /*stamp*/) {}
 
   // -- lock cache / faults ------------------------------------------------
   /// `site` now holds (or downgraded to) a cached inter-family lock.

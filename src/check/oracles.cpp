@@ -13,7 +13,9 @@ void SerializabilityOracle::on_attempt_start(FamilyId family) {
   // A restarted attempt re-executes from scratch; only the final attempt's
   // accesses count.  Published stamps from a broken earlier attempt stay —
   // they are visible to other families regardless.
-  fams_[family.value()].accesses.clear();
+  Fam& fam = fams_[family.value()];
+  fam.accesses.clear();
+  fam.snapshot_reads.clear();
 }
 
 void SerializabilityOracle::on_page_access(FamilyId family,
@@ -31,15 +33,38 @@ void SerializabilityOracle::on_commit_stamp(FamilyId family, ObjectId object,
       {object.value(), page.value(), version});
 }
 
+void SerializabilityOracle::on_directory_stamp(ObjectId object, PageIndex page,
+                                               Lsn version, NodeId /*site*/,
+                                               std::uint64_t tick) {
+  if (tick == 0) return;  // residency re-record: no new version
+  ticked_pubs_[{object.value(), page.value()}].emplace_back(tick, version);
+}
+
+void SerializabilityOracle::on_snapshot_read(FamilyId family,
+                                             std::uint32_t serial,
+                                             ObjectId object, PageIndex page,
+                                             Lsn version, std::uint64_t stamp) {
+  Fam& fam = fams_[family.value()];
+  // A snapshot read is a plain read edge-wise: the wr/rw machinery places
+  // the reader after the version it observed and before every later writer.
+  fam.accesses.push_back(
+      {serial, object.value(), page.value(), version, /*write=*/false});
+  fam.snapshot_reads.push_back(
+      {serial, object.value(), page.value(), version, stamp});
+}
+
 void SerializabilityOracle::on_subtree_abort(FamilyId family,
                                              std::uint32_t first_serial,
                                              std::uint32_t end_serial) {
   // The aborted subtree's accesses are rolled back and must not generate
   // conflict edges.  Depth-first execution means the aborted serials are
   // exactly [first, end).
-  auto& accesses = fams_[family.value()].accesses;
-  std::erase_if(accesses, [&](const Access& a) {
+  auto& fam = fams_[family.value()];
+  std::erase_if(fam.accesses, [&](const Access& a) {
     return a.serial >= first_serial && a.serial < end_serial;
+  });
+  std::erase_if(fam.snapshot_reads, [&](const SnapRead& r) {
+    return r.serial >= first_serial && r.serial < end_serial;
   });
 }
 
@@ -50,6 +75,38 @@ void SerializabilityOracle::on_family_outcome(FamilyId family,
 
 std::optional<Violation> SerializabilityOracle::finish() {
   if (violation_) return violation_;
+
+  // Snapshot validity: every committed snapshot read must have observed the
+  // newest ticked publication at or below its stamp (version 0 — the
+  // creation image — when nothing at all was published under the stamp).
+  // Ticks are allocated and published atomically under the deterministic
+  // scheduler, so evaluating against the full publication set is exact.
+  for (const auto& [fid, fam] : fams_) {
+    if (!fam.committed) continue;
+    for (const SnapRead& r : fam.snapshot_reads) {
+      Lsn expected = 0;
+      std::uint64_t best_tick = 0;
+      const auto it = ticked_pubs_.find({r.object, r.page});
+      if (it != ticked_pubs_.end()) {
+        for (const auto& [tick, version] : it->second) {
+          if (tick <= r.stamp && tick >= best_tick) {
+            best_tick = tick;
+            expected = version;
+          }
+        }
+      }
+      if (r.version != expected) {
+        std::ostringstream out;
+        out << "family f" << fid << " t" << r.serial << " snapshot-read o"
+            << r.object << " page " << r.page << " at version " << r.version
+            << " under stamp " << r.stamp
+            << " but the newest publication at or below the stamp is version "
+            << expected;
+        flag(out.str());
+        return violation_;
+      }
+    }
+  }
 
   // Conflict edges between committed families over (object, page):
   //   wr: B stamped version v, A read/wrote at version v        => B -> A
@@ -285,7 +342,8 @@ void CoherenceOracle::on_commit_stamp(FamilyId /*family*/, ObjectId object,
 }
 
 void CoherenceOracle::on_directory_stamp(ObjectId object, PageIndex page,
-                                         Lsn version, NodeId site) {
+                                         Lsn version, NodeId site,
+                                         std::uint64_t /*tick*/) {
   if (!saw_crash_ && version > 0 &&
       commit_stamps_.count({object.value(), page.value(), version}) == 0) {
     std::ostringstream out;
@@ -418,9 +476,17 @@ void FanoutSink::on_commit_stamp(FamilyId family, ObjectId object,
 }
 
 void FanoutSink::on_directory_stamp(ObjectId object, PageIndex page,
-                                    Lsn version, NodeId site) {
+                                    Lsn version, NodeId site,
+                                    std::uint64_t tick) {
   for (CheckSink* s : sinks_)
-    s->on_directory_stamp(object, page, version, site);
+    s->on_directory_stamp(object, page, version, site, tick);
+}
+
+void FanoutSink::on_snapshot_read(FamilyId family, std::uint32_t serial,
+                                  ObjectId object, PageIndex page, Lsn version,
+                                  std::uint64_t stamp) {
+  for (CheckSink* s : sinks_)
+    s->on_snapshot_read(family, serial, object, page, version, stamp);
 }
 
 void FanoutSink::on_cache_put(NodeId site, ObjectId object, LockMode mode) {

@@ -6,7 +6,11 @@
 //                          serializable: the wr/ww/rw conflict graph over
 //                          (object, page, version) accesses and commit
 //                          stamps must be acyclic (Section 3's correctness
-//                          target for nested families).
+//                          target for nested families).  Snapshot reads
+//                          (mv_read) join the graph as plain reads and are
+//                          additionally checked against version order: each
+//                          must observe the newest ticked publication at or
+//                          below its stamp.
 //   LockDisciplineOracle   shadow-Moss lock accounting: rule-3 retention at
 //                          pre-commit, rule-1 ancestor-only retainers at
 //                          grant, and no mid-family (kSubtreeAbort) release
@@ -74,6 +78,11 @@ class SerializabilityOracle final : public OracleBase {
                       PageIndex page, Lsn version, bool write) override;
   void on_commit_stamp(FamilyId family, ObjectId object, PageIndex page,
                        Lsn version, NodeId site) override;
+  void on_directory_stamp(ObjectId object, PageIndex page, Lsn version,
+                          NodeId site, std::uint64_t tick) override;
+  void on_snapshot_read(FamilyId family, std::uint32_t serial, ObjectId object,
+                        PageIndex page, Lsn version,
+                        std::uint64_t stamp) override;
   void on_subtree_abort(FamilyId family, std::uint32_t first_serial,
                         std::uint32_t end_serial) override;
   void on_family_outcome(FamilyId family, bool committed) override;
@@ -91,12 +100,25 @@ class SerializabilityOracle final : public OracleBase {
     std::uint32_t page;
     Lsn version;
   };
+  struct SnapRead {
+    std::uint32_t serial;
+    std::uint64_t object;
+    std::uint32_t page;
+    Lsn version;
+    std::uint64_t stamp;
+  };
   struct Fam {
     std::vector<Access> accesses;
     std::vector<Stamp> stamps;
+    std::vector<SnapRead> snapshot_reads;
     bool committed = false;
   };
   std::map<std::uint64_t, Fam> fams_;
+  /// Ticked directory publications per (object, page): the version order a
+  /// snapshot read must be consistent with.  Residency re-records (tick 0)
+  /// introduce no version and are excluded.
+  std::map<std::pair<std::uint64_t, std::uint32_t>,
+           std::vector<std::pair<std::uint64_t, Lsn>>> ticked_pubs_;
 };
 
 class LockDisciplineOracle final : public OracleBase {
@@ -169,7 +191,7 @@ class CoherenceOracle final : public OracleBase {
   void on_commit_stamp(FamilyId family, ObjectId object, PageIndex page,
                        Lsn version, NodeId site) override;
   void on_directory_stamp(ObjectId object, PageIndex page, Lsn version,
-                          NodeId site) override;
+                          NodeId site, std::uint64_t tick) override;
   void on_node_crash(NodeId /*node*/, std::uint64_t /*crash_count*/) override {
     // Crash recovery legitimately rolls published state back (lease
     // reclamation, partition rebuild); the staleness check is only sound on
@@ -240,7 +262,10 @@ class FanoutSink final : public CheckSink {
   void on_commit_stamp(FamilyId family, ObjectId object, PageIndex page,
                        Lsn version, NodeId site) override;
   void on_directory_stamp(ObjectId object, PageIndex page, Lsn version,
-                          NodeId site) override;
+                          NodeId site, std::uint64_t tick) override;
+  void on_snapshot_read(FamilyId family, std::uint32_t serial, ObjectId object,
+                        PageIndex page, Lsn version,
+                        std::uint64_t stamp) override;
   void on_cache_put(NodeId site, ObjectId object, LockMode mode) override;
   void on_cache_drop(NodeId site, ObjectId object) override;
   void on_node_crash(NodeId node, std::uint64_t crash_count) override;

@@ -21,6 +21,12 @@ struct CheckScenario {
   std::string name;
   std::size_t nodes = 2;
   WorkloadSpec workload;
+  /// Share of families submitted as declared read-only (shadow reader
+  /// scripts).  With mv_read they take the snapshot path, and the extended
+  /// serializability oracle validates every snapshot read against the
+  /// commit-tick publication order.
+  double read_only_fraction = 0.0;
+  bool mv_read = false;
 };
 
 /// "tiny": 6 families of depth <= 2 over 3 hot objects on 2 nodes, with a
@@ -72,11 +78,26 @@ inline CheckScenario check_small() {
   return s;
 }
 
+/// "mixed": the tiny contention core plus a read-only population, run with
+/// snapshot reads on — exploration interleaves snapshot readers against
+/// in-flight writers, the regime where a wrong version resolution (a read
+/// above its stamp, or a torn pre/post-commit mix) is actually reachable.
+inline CheckScenario check_mixed() {
+  CheckScenario s = check_tiny();
+  s.name = "mixed";
+  s.workload.num_transactions = 8;
+  s.workload.seed = 31;
+  s.read_only_fraction = 0.5;
+  s.mv_read = true;
+  return s;
+}
+
 inline CheckScenario check_scenario(const std::string& name) {
   if (name == "tiny") return check_tiny();
   if (name == "small") return check_small();
+  if (name == "mixed") return check_mixed();
   throw UsageError("unknown check scenario '" + name +
-                   "' (expected tiny or small)");
+                   "' (expected tiny, small or mixed)");
 }
 
 }  // namespace lotec::check

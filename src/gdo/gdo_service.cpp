@@ -146,9 +146,11 @@ void GdoService::apply_flush(ObjectId id, GdoEntry& e, NodeId site,
                              Lsn advance_to) {
   e.version_counter = std::max(e.version_counter, advance_to);
   // record_current's version guard makes replayed/stale records harmless.
+  // Deferred-flush publications carry tick 0: the lock cache defers the
+  // stamping itself, which is why validate() rejects lock_cache + mv_read.
   for (const auto& [p, v] : recs) {
     e.page_map.record_current(p, site, v);
-    if (check_ != nullptr) check_->on_directory_stamp(id, p, v, site);
+    if (check_ != nullptr) check_->on_directory_stamp(id, p, v, site, 0);
   }
 }
 
@@ -481,10 +483,12 @@ Lsn GdoService::apply_release(ObjectId id, GdoEntry& e, FamilyId family,
     }
     if (!info->dirty.empty()) {
       stamped = ++e.version_counter;
-      e.page_map.record_update(info->dirty, releasing_node, stamped);
+      e.page_map.record_update(info->dirty, releasing_node, stamped,
+                               info->commit_tick);
       if (check_ != nullptr)
         for (const PageIndex p : info->dirty.to_vector())
-          check_->on_directory_stamp(id, p, stamped, releasing_node);
+          check_->on_directory_stamp(id, p, stamped, releasing_node,
+                                     info->commit_tick);
     }
     for (const auto& [p, v] : info->current)
       e.page_map.record_current(p, releasing_node, v);
@@ -800,6 +804,27 @@ PageMap GdoService::lookup_page_map(ObjectId id, NodeId requester) {
   transport_.send({MessageKind::kGdoLookupReply, serving, requester, id,
                    e.page_map.wire_bytes()});
   return e.page_map;
+}
+
+GdoService::SnapshotMap GdoService::snapshot_lookup(ObjectId id,
+                                                    NodeId requester) {
+  const Route r = route(id);
+  const NodeId serving(static_cast<std::uint32_t>(r.partition));
+  Partition& part = partitions_[r.partition];
+  std::unique_lock<std::mutex> lock(r.failover ? part.mirror_mu : part.mu);
+  auto& map = r.failover ? part.mirrors : part.entries;
+  const GdoEntry& e = find_serving(map, id, r, "snapshot_lookup");
+  // Pure directory read: no lock state consulted or mutated, no queueing
+  // behind writers — the whole point of the snapshot path.  The reply
+  // carries the map (same entry format as a grant payload) plus the commit
+  // tick it is current as of, riding in the reply header.
+  transport_.send({MessageKind::kSnapshotMapRequest, requester, serving, id,
+                   wire::kLockRecordBytes});
+  ScopedServeSpan serve(tracer_, SpanPhase::kGdoServe, serving.value(),
+                        id.value());
+  transport_.send({MessageKind::kSnapshotMapReply, serving, requester, id,
+                   e.page_map.wire_bytes()});
+  return SnapshotMap{e.page_map, current_commit_tick()};
 }
 
 std::vector<NodeId> GdoService::caching_sites(ObjectId id) const {

@@ -18,6 +18,7 @@
 // All cross-node traffic generated here is charged through the Transport.
 #pragma once
 
+#include <atomic>
 #include <functional>
 #include <mutex>
 #include <optional>
@@ -99,6 +100,10 @@ struct ReleaseInfo {
   /// Highest version the site assigned while deferring (0 = not a deferred
   /// flush); the entry's version counter advances to at least this.
   Lsn advance_to = 0;
+  /// Global commit tick the releasing family's stamps were published under
+  /// (mv_read extension; allocated once per committing family).  Piggybacks
+  /// on the release message like the dirty records — no extra wire bytes.
+  std::uint64_t commit_tick = 0;
 
   [[nodiscard]] std::uint64_t record_count() const noexcept {
     return dirty.count() + current.size() + stamped.size();
@@ -263,6 +268,37 @@ class GdoService {
   /// Read-only page-map lookup (charged as a lookup round trip when remote).
   [[nodiscard]] PageMap lookup_page_map(ObjectId id, NodeId requester);
 
+  // --- commit ticks & snapshot reads (mv_read extension) ------------------
+
+  /// Allocate the global commit tick a committing family publishes its
+  /// version stamps under.  Monotone across the cluster; under the
+  /// deterministic scheduler the allocating family's release path runs
+  /// without preemption, so allocation and publication are atomic with
+  /// respect to every other family.
+  [[nodiscard]] std::uint64_t allocate_commit_tick() noexcept {
+    return commit_tick_.fetch_add(1, std::memory_order_acq_rel) + 1;
+  }
+
+  /// Newest published commit tick — the stamp a starting read-only family
+  /// adopts.  Disseminated by piggybacking on existing frames (like the
+  /// PR 5 causal header), so reading it costs no messages.
+  [[nodiscard]] std::uint64_t current_commit_tick() const noexcept {
+    return commit_tick_.load(std::memory_order_acquire);
+  }
+
+  /// A snapshot map: the object's page map plus the commit tick it is
+  /// current as of — every publication with tick <= `tick` is reflected.
+  struct SnapshotMap {
+    PageMap map;
+    std::uint64_t tick = 0;
+  };
+
+  /// Lock-free directory read for a snapshot reader: copy the page map
+  /// without touching lock state or queueing behind writers.  Charged as a
+  /// kSnapshotMapRequest/Reply round trip when the requester is not the
+  /// serving node (free when local, like every src==dst send).
+  [[nodiscard]] SnapshotMap snapshot_lookup(ObjectId id, NodeId requester);
+
   /// Sites caching any part of the object (RC extension push targets).
   [[nodiscard]] std::vector<NodeId> caching_sites(ObjectId id) const;
 
@@ -424,6 +460,9 @@ class GdoService {
   /// Registry handles; tallies are token-serialized when their feature
   /// (fault hooks / lock cache) is on, relaxed-atomic regardless.
   GdoStats stats_;
+  /// Global monotone commit tick (mv_read): one per committing family,
+  /// allocated at release-stamp time.
+  std::atomic<std::uint64_t> commit_tick_{0};
 };
 
 }  // namespace lotec

@@ -19,6 +19,11 @@ namespace lotec {
 struct PageLocation {
   NodeId node{};   ///< site holding the newest copy
   Lsn version = 0; ///< version stamped at the root commit that produced it
+  /// Global commit tick published with the version (mv_read extension).
+  /// Rides in the existing 16-byte map entry the way the PR 5 TraceContext
+  /// rides in frame padding — wire_bytes() is unchanged, so traffic is
+  /// bit-identical whether or not snapshot reads consume the tick.
+  std::uint64_t tick = 0;
 
   friend bool operator==(const PageLocation&, const PageLocation&) = default;
 };
@@ -41,17 +46,22 @@ class PageMap {
   /// Apply a release's dirty-page report: `node` now owns `dirty` at
   /// `version` (Algorithm 4.4, "record the NodeIdentifier of the updating
   /// site ... for each updated page").
-  void record_update(const PageSet& dirty, NodeId node, Lsn version) {
+  void record_update(const PageSet& dirty, NodeId node, Lsn version,
+                     std::uint64_t tick = 0) {
     for (const PageIndex p : dirty.to_vector())
-      locations_.at(p.value()) = PageLocation{node, version};
+      locations_.at(p.value()) = PageLocation{node, version, tick};
   }
 
   /// Record that `node` holds a current copy of page `p` at `version`
   /// without any new update (COTEC/OTEC residency reports).  Ignored if the
-  /// directory already knows a newer version.
-  void record_current(PageIndex p, NodeId node, Lsn version) {
+  /// directory already knows a newer version.  A same-version residency
+  /// report keeps the tick the version was committed under; a newer one
+  /// carries the tick of the commit that produced it.
+  void record_current(PageIndex p, NodeId node, Lsn version,
+                      std::uint64_t tick = 0) {
     PageLocation& loc = locations_.at(p.value());
-    if (version >= loc.version) loc = PageLocation{node, version};
+    if (version > loc.version) loc = PageLocation{node, version, tick};
+    else if (version == loc.version) loc.node = node;
   }
 
   /// Pages whose newest version is strictly newer than `cached_versions`

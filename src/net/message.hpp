@@ -43,6 +43,11 @@ enum class MessageKind : std::uint8_t {
   // --- inter-family lock caching (callback locking extension) ---
   kLockCallback,         ///< GDO home -> caching site: revoke/downgrade cached lock
   kCallbackReply,        ///< caching site -> GDO home: flush + dirty-page records
+  // --- multi-version snapshot reads (mv_read extension) ---
+  kSnapshotMapRequest,   ///< reading site -> GDO home: page map + commit tick
+  kSnapshotMapReply,     ///< GDO home -> reading site: map copy, no lock taken
+  kSnapshotFetchRequest, ///< reading site -> owner site: versioned pages wanted
+  kSnapshotFetchReply,   ///< owner site -> reading site: newest-\<=-stamp pages
 
   kNumKinds  // sentinel
 };
@@ -70,6 +75,10 @@ enum class MessageKind : std::uint8_t {
     case MessageKind::kPrefetchPageReply: return "PrefetchPageReply";
     case MessageKind::kLockCallback: return "LockCallback";
     case MessageKind::kCallbackReply: return "CallbackReply";
+    case MessageKind::kSnapshotMapRequest: return "SnapshotMapRequest";
+    case MessageKind::kSnapshotMapReply: return "SnapshotMapReply";
+    case MessageKind::kSnapshotFetchRequest: return "SnapshotFetchRequest";
+    case MessageKind::kSnapshotFetchReply: return "SnapshotFetchReply";
     case MessageKind::kNumKinds: break;
   }
   return "?";
@@ -82,6 +91,7 @@ enum class MessageKind : std::uint8_t {
     case MessageKind::kDemandFetchReply:
     case MessageKind::kUpdatePush:
     case MessageKind::kPrefetchPageReply:
+    case MessageKind::kSnapshotFetchReply:
       return true;
     default:
       return false;

@@ -35,6 +35,13 @@ void ObjectImage::write_bytes(std::uint64_t offset,
     const std::uint64_t in_page = pos % page_size_;
     const std::size_t n = static_cast<std::size_t>(
         std::min<std::uint64_t>(page_size_ - in_page, in.size() - done));
+    // First write of the epoch to a committed page: capture the before-image
+    // into the version ring so a snapshot reader overlapping this (future)
+    // commit still resolves the pre-commit content.
+    if (retain_depth_ > 0 && !dirty_.contains(p)) {
+      retain(page_idx, *pages_[page_idx]);
+      pending_retained_[page_idx] = pages_[page_idx]->version;
+    }
     std::memcpy(pages_[page_idx]->data.data() + in_page, in.data() + done, n);
     dirty_.insert(p);
     dirty_ranges_[page_idx].emplace_back(static_cast<std::uint32_t>(in_page),
@@ -65,7 +72,7 @@ std::vector<std::pair<std::uint32_t, std::uint32_t>> coalesce(
 
 }  // namespace
 
-PageSet ObjectImage::stamp_dirty(Lsn version) {
+PageSet ObjectImage::stamp_dirty(Lsn version, std::uint64_t tick) {
   const PageSet stamped = dirty_;
   for (const PageIndex p : stamped.to_vector()) {
     Page& page = *pages_[p.value()];
@@ -77,10 +84,85 @@ PageSet ObjectImage::stamp_dirty(Lsn version) {
     if (page.history.size() > kDeltaHistory)
       page.history.resize(kDeltaHistory);
     page.version = version;
+    page.tick = tick;
   }
   dirty_.clear();
   dirty_ranges_.clear();
+  // The epoch committed: its before-images are now permanent ring entries.
+  pending_retained_.clear();
   return stamped;
+}
+
+void ObjectImage::retain(std::uint32_t page_idx, const Page& page) {
+  std::vector<RetainedVersion>& ring = rings_[page_idx];
+  const auto pos = std::find_if(
+      ring.begin(), ring.end(),
+      [&](const RetainedVersion& r) { return r.tick <= page.tick; });
+  if (pos != ring.end() && pos->version == page.version) return;
+  ring.insert(pos, RetainedVersion{page.data, page.version, page.tick});
+  trim_ring(page_idx);
+}
+
+void ObjectImage::trim_ring(std::uint32_t page_idx) {
+  std::vector<RetainedVersion>& ring = rings_[page_idx];
+  const std::uint64_t fence =
+      fence_ ? fence_->load(std::memory_order_acquire)
+             : ~std::uint64_t{0};
+  // Drop the oldest entry past the bound only when the next newer retained
+  // version already covers every live snapshot stamp — a reader pinned at
+  // `fence` resolving newest-<=-fence then lands on that newer entry (or
+  // something newer still), never on the reclaimed one.
+  while (ring.size() > retain_depth_ &&
+         ring[ring.size() - 2].tick <= fence)
+    ring.pop_back();
+}
+
+void ObjectImage::discard_pending_retained() {
+  for (const auto& [page_idx, version] : pending_retained_) {
+    const auto it = rings_.find(page_idx);
+    if (it == rings_.end()) continue;
+    std::erase_if(it->second, [&](const RetainedVersion& r) {
+      return r.version == version;
+    });
+    if (it->second.empty()) rings_.erase(it);
+  }
+  pending_retained_.clear();
+}
+
+std::optional<SnapshotView> ObjectImage::snapshot_page(
+    PageIndex idx, std::uint64_t stamp) const {
+  check(idx);
+  std::optional<SnapshotView> best;
+  const auto& slot = pages_[idx.value()];
+  if (slot && !dirty_.contains(idx) && slot->tick <= stamp)
+    best = SnapshotView{slot->data.data(), slot->version, slot->tick};
+  const auto it = rings_.find(idx.value());
+  if (it != rings_.end()) {
+    for (const RetainedVersion& r : it->second) {
+      if (r.tick > stamp) continue;
+      // Ring is newest-first: the first admissible entry is the ring's best.
+      if (!best || r.tick > best->tick)
+        best = SnapshotView{r.data.data(), r.version, r.tick};
+      break;
+    }
+  }
+  return best;
+}
+
+void ObjectImage::adopt_version(PageIndex idx, std::vector<std::byte> data,
+                                Lsn version, std::uint64_t tick) {
+  check(idx);
+  if (retain_depth_ == 0)
+    throw UsageError("ObjectImage: adopt_version without retention");
+  if (data.size() != page_size_)
+    throw UsageError("ObjectImage: page size mismatch on adopt");
+  std::vector<RetainedVersion>& ring = rings_[idx.value()];
+  const auto pos = std::find_if(
+      ring.begin(), ring.end(),
+      [&](const RetainedVersion& r) { return r.tick <= tick; });
+  if (pos != ring.end() && pos->version == version) return;
+  ring.insert(pos, RetainedVersion{std::move(data), version, tick});
+  trim_ring(idx.value());
 }
 
 void ObjectImage::restore_bytes(std::uint64_t offset,

@@ -10,6 +10,7 @@
 #pragma once
 
 #include <algorithm>
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <optional>
@@ -53,6 +54,10 @@ inline constexpr std::size_t kDeltaHistory = 8;
 struct Page {
   std::vector<std::byte> data;
   Lsn version = 0;
+  /// Global commit tick `version` was published under (mv_read extension);
+  /// 0 for the initial materialization.  Copied along with the data on
+  /// transfer, so a fetched page knows which snapshot stamps it satisfies.
+  std::uint64_t tick = 0;
   std::vector<PageDelta> history;
 
   /// Wire bytes needed to bring a copy at `have` up to `version` using the
@@ -77,6 +82,8 @@ struct Page {
 /// history so the receiver can serve further delta chains itself.
 struct PagePatch {
   Lsn version = 0;
+  /// Commit tick of `version` (rides the patch like Page::tick).
+  std::uint64_t tick = 0;
   std::vector<PageDelta> history;
   /// Ascending-by-construction (offset, bytes) spans; overlapping spans are
   /// harmless (all carry the same final content).
@@ -99,6 +106,24 @@ class PageNotResident : public Error {
  private:
   ObjectId object_;
   PageIndex page_;
+};
+
+/// One superseded committed page version retained for snapshot readers
+/// (mv_read extension): full page content plus the (version, tick) pair it
+/// was committed under.
+struct RetainedVersion {
+  std::vector<std::byte> data;
+  Lsn version = 0;
+  std::uint64_t tick = 0;
+};
+
+/// What a snapshot read resolved a page to: a borrowed view of either the
+/// live committed page or a retained ring entry (valid while the store
+/// mutex is held).
+struct SnapshotView {
+  const std::byte* data = nullptr;
+  Lsn version = 0;
+  std::uint64_t tick = 0;
 };
 
 class ObjectImage {
@@ -143,11 +168,17 @@ class ObjectImage {
     }
   }
 
-  /// Install (or overwrite) a page received from another site.
+  /// Install (or overwrite) a page received from another site.  When
+  /// retention is on, a superseded committed local copy moves into the
+  /// version ring instead of being destroyed.
   void install_page(PageIndex idx, Page page) {
     check(idx);
     if (page.data.size() != page_size_)
       throw UsageError("ObjectImage: page size mismatch on install");
+    if (retain_depth_ > 0 && pages_[idx.value()] &&
+        !dirty_.contains(idx) &&
+        pages_[idx.value()]->version < page.version)
+      retain(idx.value(), *pages_[idx.value()]);
     pages_[idx.value()] = std::move(page);
   }
 
@@ -161,6 +192,7 @@ class ObjectImage {
     if (!pages_[idx.value()]) throw PageNotResident(id_, idx);
     Page& page = *pages_[idx.value()];
     if (page.version >= patch.version) return;
+    if (retain_depth_ > 0 && !dirty_.contains(idx)) retain(idx.value(), page);
     for (const auto& [off, bytes] : patch.spans) {
       if (off + bytes.size() > page.data.size())
         throw UsageError("ObjectImage: patch span out of page bounds");
@@ -168,6 +200,7 @@ class ObjectImage {
                 page.data.begin() + static_cast<std::ptrdiff_t>(off));
     }
     page.version = patch.version;
+    page.tick = patch.tick;
     page.history = patch.history;
   }
 
@@ -217,11 +250,55 @@ class ObjectImage {
   void clear_dirty() {
     dirty_.clear();
     dirty_ranges_.clear();
+    // An aborted epoch's before-images duplicate the (restored) live pages;
+    // drop them so the ring holds only genuinely superseded versions.
+    discard_pending_retained();
   }
   /// Stamp dirty pages with a new version at root commit; each stamped page
   /// also receives the delta (coalesced written ranges) that produced it
-  /// from its previous version.  Returns the stamped set.
-  PageSet stamp_dirty(Lsn version);
+  /// from its previous version, and carries the global commit `tick` the
+  /// version is published under.  Returns the stamped set.
+  PageSet stamp_dirty(Lsn version, std::uint64_t tick = 0);
+
+  // --- bounded version retention (mv_read extension) ----------------------
+
+  /// Start retaining superseded committed page versions in a bounded ring of
+  /// `depth` entries per page.  `fence` (may be null = no live snapshots) is
+  /// the oldest live snapshot stamp: the ring garbage-collects past the
+  /// bound only when no live reader could still resolve to the dropped
+  /// version.  Off by default — a non-retaining image has zero overhead.
+  void enable_retention(std::size_t depth,
+                        const std::atomic<std::uint64_t>* fence) {
+    if (depth == 0) throw UsageError("ObjectImage: retention depth 0");
+    retain_depth_ = depth;
+    fence_ = fence;
+  }
+
+  [[nodiscard]] bool retention_enabled() const noexcept {
+    return retain_depth_ > 0;
+  }
+
+  /// Resolve page `idx` for a reader stamped `stamp`: the newest committed
+  /// content with tick <= stamp known at this site — the live page (when
+  /// resident, clean, and old enough) or a retained ring entry.  Returns
+  /// nullopt when nothing here is old (or new) enough; the caller falls back
+  /// to a remote snapshot fetch.  The view borrows storage: copy out while
+  /// still holding the store mutex.
+  [[nodiscard]] std::optional<SnapshotView> snapshot_page(
+      PageIndex idx, std::uint64_t stamp) const;
+
+  /// Adopt remotely-fetched snapshot content into the ring (never touches
+  /// the live page, so coherence state is unaffected).  No-op if the ring
+  /// already holds this version.
+  void adopt_version(PageIndex idx, std::vector<std::byte> data, Lsn version,
+                     std::uint64_t tick);
+
+  /// Retained ring entries of a page, newest first (tests / introspection).
+  [[nodiscard]] std::vector<RetainedVersion> retained(PageIndex idx) const {
+    check(idx);
+    const auto it = rings_.find(idx.value());
+    return it == rings_.end() ? std::vector<RetainedVersion>{} : it->second;
+  }
 
   /// The most recent delta of page `idx` (the one that produced its
   /// current version), if known.
@@ -238,6 +315,17 @@ class ObjectImage {
       throw UsageError("ObjectImage: page index out of range");
   }
 
+  /// Move a copy of a committed page into its version ring (newest first,
+  /// deduplicated by version), then trim past the bound where the snapshot
+  /// fence allows.
+  void retain(std::uint32_t page_idx, const Page& page);
+  /// GC: drop oldest ring entries beyond the bound — but only when the next
+  /// newer retained version is itself old enough for every live snapshot
+  /// (tick <= fence), so no reader's newest-<=-stamp resolution can land on
+  /// a reclaimed entry.
+  void trim_ring(std::uint32_t page_idx);
+  void discard_pending_retained();
+
   ObjectId id_;
   std::uint32_t page_size_;
   std::vector<std::optional<Page>> pages_;
@@ -246,6 +334,14 @@ class ObjectImage {
   std::unordered_map<std::uint32_t,
                      std::vector<std::pair<std::uint32_t, std::uint32_t>>>
       dirty_ranges_;
+  // --- version retention state (empty unless enable_retention ran) --------
+  std::size_t retain_depth_ = 0;
+  const std::atomic<std::uint64_t>* fence_ = nullptr;
+  /// Per-page ring of superseded committed versions, newest first.
+  std::unordered_map<std::uint32_t, std::vector<RetainedVersion>> rings_;
+  /// Before-images captured for the current un-stamped dirty epoch
+  /// (page -> retained version), discarded again if the epoch aborts.
+  std::unordered_map<std::uint32_t, Lsn> pending_retained_;
 };
 
 }  // namespace lotec

@@ -21,8 +21,19 @@ class PageStore {
     if (!inserted)
       throw UsageError("PageStore: object " + std::to_string(id.value()) +
                        " already cached");
+    if (retain_depth_ > 0)
+      it->second->enable_retention(retain_depth_, fence_);
     if (materialize) it->second->materialize_all();
     return *it->second;
+  }
+
+  /// Turn on bounded version retention (mv_read) for every image created at
+  /// this site from now on.  `fence` is the cluster's oldest-live-snapshot
+  /// stamp, shared by the retention GC.  Call before any object exists.
+  void configure_retention(std::size_t depth,
+                           const std::atomic<std::uint64_t>* fence) {
+    retain_depth_ = depth;
+    fence_ = fence;
   }
 
   [[nodiscard]] bool contains(ObjectId id) const {
@@ -54,8 +65,31 @@ class PageStore {
     return create(id, num_pages, page_size, /*materialize=*/false);
   }
 
-  /// Drop an object entirely (capacity/invalidation experiments).
-  void evict(ObjectId id) { images_.erase(id); }
+  /// Drop an object entirely (capacity/invalidation experiments).  Refused
+  /// — returns false, image untouched — while a snapshot reader has the
+  /// object pinned: evicting would reclaim ring versions the reader's stamp
+  /// may still resolve to.
+  bool evict(ObjectId id) {
+    if (snapshot_pinned(id)) return false;
+    images_.erase(id);
+    return true;
+  }
+
+  // --- snapshot pins (mv_read): a live reader's claim on this site's
+  // --- image + version ring; eviction is refused while any pin is live ----
+
+  void pin_snapshot(ObjectId id) { ++snapshot_pins_[id]; }
+
+  void unpin_snapshot(ObjectId id) {
+    const auto it = snapshot_pins_.find(id);
+    if (it == snapshot_pins_.end())
+      throw UsageError("PageStore: snapshot unpin without pin");
+    if (--it->second == 0) snapshot_pins_.erase(it);
+  }
+
+  [[nodiscard]] bool snapshot_pinned(ObjectId id) const {
+    return snapshot_pins_.count(id) != 0;
+  }
 
   [[nodiscard]] std::size_t num_objects() const noexcept {
     return images_.size();
@@ -73,6 +107,9 @@ class PageStore {
   // unique_ptr so ObjectImage references survive rehash.  The only
   // iteration (resident_pages) is an order-insensitive sum.
   FlatMap<ObjectId, std::unique_ptr<ObjectImage>> images_;
+  FlatMap<ObjectId, std::uint32_t> snapshot_pins_;
+  std::size_t retain_depth_ = 0;
+  const std::atomic<std::uint64_t>* fence_ = nullptr;
 };
 
 }  // namespace lotec

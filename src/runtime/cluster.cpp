@@ -56,6 +56,22 @@ ObjectId Cluster::create_object(ClassId cls, NodeId where) {
 
 std::vector<TxnResult> Cluster::execute(std::vector<RootRequest> requests) {
   if (requests.empty()) return {};
+  // Read-intent validation: FamilyKind is a first-class input, checked
+  // whether or not the snapshot path (mv_read) is on — a declared-read-only
+  // family whose root method writes, or whose accesses the analysis could
+  // not bound, is a submission error, not a runtime surprise.
+  for (const RootRequest& req : requests) {
+    if (req.kind != FamilyKind::kReadOnly) continue;
+    const ObjectMeta meta = core_.meta_of(req.object);
+    const ClassDef& cls = core_.registry.get(meta.cls);
+    const MethodDef& m = cls.method(req.method);
+    if (!m.writes.empty() || m.may_access_undeclared)
+      throw UsageError(
+          "read-only family root '" + m.name + "' " +
+          (m.writes.empty() ? "may access undeclared attributes"
+                            : "declares attribute writes") +
+          " (kReadOnly requires a bounded read-only access analysis)");
+  }
   ++execute_count_;
 
   std::unique_ptr<Scheduler> scheduler;

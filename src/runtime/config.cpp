@@ -68,6 +68,33 @@ void ClusterConfig::validate() const {
           "ClusterConfig: node crash/restart faults require gdo.replicate "
           "(directory state must survive its home node)");
   }
+  if (mv_read) {
+    if (scheduler != SchedulerMode::kDeterministic)
+      throw UsageError(
+          "ClusterConfig: mv_read requires the deterministic scheduler "
+          "(commit-tick allocation and publication must be atomic over the "
+          "token order)");
+    if (lock_cache)
+      throw UsageError(
+          "ClusterConfig: mv_read cannot be combined with lock_cache — "
+          "deferred (cached) releases publish versions without commit "
+          "ticks, so a snapshot reader could miss a committed write that "
+          "precedes its stamp; run one or the other");
+    if (wire.enabled)
+      throw UsageError(
+          "ClusterConfig: mv_read cannot be combined with the wire "
+          "transport (--distributed) — snapshot fetches are defined over "
+          "the in-process transport only");
+    if (fault.enabled())
+      throw UsageError(
+          "ClusterConfig: mv_read cannot be combined with fault injection "
+          "— lease reclamation rolls published versions back, which would "
+          "break snapshot-stamp monotonicity");
+    if (mv_version_ring == 0)
+      throw UsageError(
+          "ClusterConfig: mv_read requires mv_version_ring >= 1 (a reader "
+          "overlapping a writer needs at least the before-image retained)");
+  }
   if (lock_cache && scheduler != SchedulerMode::kDeterministic)
     throw UsageError(
         "ClusterConfig: lock_cache requires the deterministic scheduler "

@@ -20,6 +20,23 @@ namespace lotec {
 
 class CheckSink;
 
+/// Declared intent of a root family, validated at submission (a declared
+/// read-only family whose root method writes — or *may* write, via
+/// may_access_undeclared — is rejected before it runs).  With
+/// ClusterConfig::mv_read on, read-only families take the snapshot path:
+/// no locks, no GDO lock rounds, never blocking or aborting writers.  With
+/// it off the kind is inert — purely a validated annotation — so traffic
+/// stays bit-identical.
+enum class FamilyKind : std::uint8_t { kReadWrite, kReadOnly };
+
+[[nodiscard]] constexpr const char* to_string(FamilyKind k) noexcept {
+  switch (k) {
+    case FamilyKind::kReadWrite: return "read-write";
+    case FamilyKind::kReadOnly: return "read-only";
+  }
+  return "?";
+}
+
 enum class SchedulerMode : std::uint8_t {
   /// Token-passing cooperative scheduling; identical seeds give identical
   /// traces.  Used by every benchmark and property test.
@@ -70,6 +87,21 @@ struct ClusterConfig {
   /// Cached global locks kept per site; 0 = unbounded.  Beyond the budget
   /// the least-recently-used cached lock is flushed back to the directory.
   std::size_t lock_cache_capacity = 0;
+  /// Multi-version snapshot reads: declared read-only families resolve
+  /// every page against the newest committed version at or below a start
+  /// stamp instead of locking.  Commit ticks are allocated and published
+  /// unconditionally (they ride existing frames and map entries at zero
+  /// modeled wire cost, like the PR 5 trace context in frame padding), so
+  /// with this off the wire traffic is bit-identical — only the read path
+  /// is gated.  Requires the deterministic scheduler; incompatible with
+  /// lock_cache (deferred stamping publishes versions without ticks), the
+  /// wire transport, and fault injection.
+  bool mv_read = false;
+  /// Committed versions retained per page beyond the live one when mv_read
+  /// is on (the paper-side bound on snapshot lag).  GC additionally fences
+  /// on the oldest live snapshot stamp, so a pinned version is never
+  /// reclaimed even past this bound.
+  std::size_t mv_version_ring = 4;
   /// Per-node cache budget in pages; 0 = unbounded.  Under pressure the
   /// least-recently-acquired unpinned objects lose the pages whose
   /// authoritative newest copy lives elsewhere (a site never discards the
@@ -146,6 +178,10 @@ struct RootRequest {
   /// Opaque per-family payload retrievable via MethodContext::user_data()
   /// (the workload generator hangs each family's invocation script here).
   std::shared_ptr<const void> user_data;
+  /// Declared intent (see FamilyKind): kReadOnly is validated against the
+  /// root method's declaration at submission and, under mv_read, routes the
+  /// family through the lock-free snapshot path.
+  FamilyKind kind = FamilyKind::kReadWrite;
 };
 
 }  // namespace lotec

@@ -19,6 +19,7 @@
 #include "runtime/config.hpp"
 #include "runtime/node.hpp"
 #include "runtime/scheduler.hpp"
+#include "runtime/snapshot_registry.hpp"
 
 namespace lotec {
 
@@ -52,7 +53,12 @@ class FamilyRunner;
   COUNTER(delta_pages, "page.delta")                      \
   COUNTER(remote_round_trips, "net.round_trips")          \
   COUNTER(page_evictions, "page.evicted")                 \
-  COUNTER(local_lock_grants, "lock.local_grants")
+  COUNTER(local_lock_grants, "lock.local_grants")         \
+  COUNTER(snapshot_reads, "snapshot.reads")               \
+  COUNTER(snapshot_map_refreshes, "snapshot.map_refreshes") \
+  COUNTER(snapshot_fetches, "snapshot.fetches")           \
+  COUNTER(snapshot_local_hits, "snapshot.local_hits")     \
+  COUNTER(snapshot_retries, "snapshot.retries")
 // clang-format on
 LOTEC_DEFINE_STATS_STRUCT(CoreCounters, LOTEC_CORE_COUNTERS);
 
@@ -80,6 +86,9 @@ struct ClusterCore {
     for (std::size_t i = 0; i < cfg.nodes; ++i)
       nodes.push_back(
           std::make_unique<Node>(NodeId(static_cast<std::uint32_t>(i))));
+    if (cfg.mv_read)
+      for (auto& n : nodes)
+        n->store.configure_retention(cfg.mv_version_ring, snapshots.fence());
     {
       MetricsCounter* retained = &obs.metrics.counter("cache.retained");
       MetricsCounter* revoked = &obs.metrics.counter("cache.revoked");
@@ -167,6 +176,10 @@ struct ClusterCore {
   std::array<std::unique_ptr<ConsistencyProtocol>, kNumProtocols> protocols;
   /// The cluster default (== protocols[config.protocol]).
   ConsistencyProtocol* protocol = nullptr;
+  /// Live snapshot stamps (mv_read).  Declared before `nodes`: every
+  /// node's PageStore shares its fence pointer, so it must be destroyed
+  /// after them.
+  SnapshotRegistry snapshots;
   std::vector<std::unique_ptr<Node>> nodes;
   /// Deterministic fault engine (null when cfg.fault is empty).  Declared
   /// after `nodes` so it can capture references to them at construction.

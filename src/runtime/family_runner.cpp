@@ -30,6 +30,9 @@ void ClusterCore::enforce_cache_capacity(Node& node) {
     const ObjectId obj = *it;
     ++it;  // advance before mutation below invalidates the list position
     if (node.pinned(obj)) continue;
+    // A live snapshot reader resolves its fetches against this image and
+    // its version ring; eviction under it would strand the reader.
+    if (node.store.snapshot_pinned(obj)) continue;
     // A cached global lock's deferred report names this site as the source
     // of its stamped pages — they are the sole copies until the flush.
     if (node.lock_cache.contains(obj)) continue;
@@ -107,6 +110,8 @@ FamilyRunner::FamilyRunner(ClusterCore& core, std::size_t index,
       node_(node),
       request_(std::move(request)) {
   family_.locks().set_check(core_.config.check_sink, family_.id());
+  snapshot_mode_ =
+      core_.config.mv_read && request_.kind == FamilyKind::kReadOnly;
 }
 
 void FamilyRunner::run() {
@@ -132,6 +137,15 @@ void FamilyRunner::run() {
     scratch_.reset();  // previous attempt's gather scratch dies here
     // Re-seed per attempt: a restarted family makes the same decisions.
     rng_ = Rng(mix64(core_.config.seed ^ family_.id().value()));
+    if (snapshot_mode_) begin_snapshot_attempt();
+    // Every exit from this iteration — commit, any retrying catch, any
+    // break — must drop the attempt's snapshot pins and stamp.
+    struct SnapshotAttemptGuard {
+      FamilyRunner* runner;
+      ~SnapshotAttemptGuard() {
+        if (runner != nullptr) runner->end_snapshot_attempt();
+      }
+    } snapshot_guard{snapshot_mode_ ? this : nullptr};
     try {
       const bool ok =
           run_invocation(nullptr, request_.object, request_.method);
@@ -199,6 +213,22 @@ void FamilyRunner::run() {
     } catch (const MessageDropped&) {
       if (transient_retry(attempts)) continue;
       break;
+    } catch (const SnapshotUnavailableError&) {
+      // A needed version is gone at its owner (eviction raced our map
+      // lookup).  Nothing to undo or release — the snapshot path holds no
+      // locks and writes nothing; retry under a fresh stamp, whose newest
+      // versions are always resolvable.
+      core_.counters.snapshot_retries->add();
+      current_ = nullptr;
+      if (core_.scheduler->cancelled() ||
+          attempts >= core_.config.max_retries) {
+        result_.committed = false;
+        result_.reason = AbortReason::kRetryExhausted;
+        break;
+      }
+      family_.reset();
+      backoff(attempts);
+      continue;
     } catch (const Error&) {
       // Programming error (precluded recursion, undeclared access, protocol
       // invariant violation): clean the family up and surface the exception
@@ -377,8 +407,14 @@ bool FamilyRunner::run_invocation(Transaction* parent, ObjectId object,
   Transaction* const saved = current_;
   current_ = &txn;
   try {
-    if (parent == nullptr) run_prefetch(txn);
-    acquire_for(txn, object, summary);
+    // Snapshot mode reads a committed past: no prefetch planning (there is
+    // no lock round to amortize it into) and no lock acquisition at all —
+    // the stamp taken at attempt start replaces both.
+    if (parent == nullptr && !snapshot_active_) run_prefetch(txn);
+    if (snapshot_active_)
+      snapshot_acquire(object);
+    else
+      acquire_for(txn, object, summary);
     MethodContext ctx(*this, txn, cls, mdef);
     {
       ScopedSpan exec(&core_.obs.tracer, SpanPhase::kMethodExecute,
@@ -700,6 +736,7 @@ void FamilyRunner::fetch_pages(ObjectId object, ObjectImage& image,
           // the source's store_mu for the whole page payload.
           PagePatch patch;
           patch.version = page.version;
+          patch.tick = page.tick;
           patch.history = page.history;
           for (const PageDelta& d : page.history) {
             for (const auto& [off, len] : d.ranges)
@@ -786,6 +823,268 @@ void FamilyRunner::ensure_fresh(ObjectId object, const PageSet& pages) {
                 ": method touched a page the transfer plan skipped "
                 "(protocol invariant violated)");
   fetch_pages(object, img, missing, /*demand=*/true);
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot read path (mv_read): a declared read-only family resolves every
+// page against the newest committed version at or below the stamp it took at
+// attempt start.  No lock table, no GDO lock rounds, no blocking — writers
+// never see it.
+// ---------------------------------------------------------------------------
+
+void FamilyRunner::begin_snapshot_attempt() {
+  snapshot_stamp_ = core_.gdo.current_commit_tick();
+  core_.snapshots.register_stamp(snapshot_stamp_);
+  snapshot_active_ = true;
+}
+
+void FamilyRunner::end_snapshot_attempt() {
+  if (!snapshot_active_) return;
+  Node& mine = core_.node(node_);
+  {
+    std::lock_guard<std::mutex> lock(mine.store_mu);
+    for (const ObjectId object : snapshot_objects_)
+      mine.store.unpin_snapshot(object);
+  }
+  snapshot_objects_.clear();
+  snapshot_versions_.clear();
+  core_.snapshots.release_stamp(snapshot_stamp_);
+  snapshot_active_ = false;
+}
+
+void FamilyRunner::snapshot_acquire(ObjectId object) {
+  // Linear scan: snapshot families touch a handful of objects, and this
+  // doubles as the pin set released at attempt end.
+  for (const ObjectId seen : snapshot_objects_)
+    if (seen == object) return;
+
+  Node& mine = core_.node(node_);
+  bool have_map = false;
+  {
+    std::lock_guard<std::mutex> lock(mine.store_mu);
+    const auto it = mine.snapshot_maps.find(object);
+    // A cached map with tick >= our stamp already contains every
+    // publication our snapshot may resolve to.
+    have_map = it != mine.snapshot_maps.end() &&
+               it->second.tick >= snapshot_stamp_;
+  }
+  if (!have_map) {
+    // One lock-free directory round: where does each page's newest copy
+    // live?  This replaces the lock acquisition round — it is the only
+    // directory traffic a snapshot family generates per object.
+    ScopedSpan round(&core_.obs.tracer, SpanPhase::kGdoRound,
+                     family_.id().value(), node_.value(), object.value());
+    core_.scheduler->preempt(index_);
+    GdoService::SnapshotMap fetched = core_.gdo.snapshot_lookup(object, node_);
+    core_.counters.snapshot_map_refreshes->add();
+    if (core_.gdo.home_of(object) != node_) {
+      ++result_.remote_round_trips;
+      core_.counters.remote_round_trips->add();
+    }
+    std::lock_guard<std::mutex> lock(mine.store_mu);
+    mine.snapshot_maps[object] =
+        Node::CachedSnapshotMap{std::move(fetched.map), fetched.tick};
+  }
+  {
+    std::lock_guard<std::mutex> lock(mine.store_mu);
+    if (mine.store.find(object) == nullptr) {
+      const ObjectMeta meta = core_.meta_of(object);
+      mine.store.create(object, meta.num_pages, core_.config.page_size,
+                        /*materialize=*/false);
+    }
+    mine.store.pin_snapshot(object);
+    mine.touch(object);
+  }
+  snapshot_objects_.push_back(object);
+}
+
+void FamilyRunner::snapshot_read_bytes(Transaction& txn, ObjectId object,
+                                       const PageSet& pages,
+                                       std::uint64_t offset,
+                                       std::span<std::byte> out) {
+  snapshot_acquire(object);  // child invocations reach here un-acquired
+  Node& mine = core_.node(node_);
+  const std::vector<PageIndex> wanted = pages.to_vector();
+
+  // Pass 1 — decide each page's REQUIRED version: the newest publication at
+  // or below the stamp.  A locally resolvable version is not enough — a
+  // residual copy from an earlier family can be admissible (old tick) yet
+  // older than the version the snapshot must observe.  The cached snapshot
+  // map (taken at tick >= stamp, so it covers every publication <= stamp)
+  // decides: when a page's last publication is at or below the stamp, the
+  // map names the required version outright; when it is above, only the
+  // owner's version ring knows which older version tops out at the stamp.
+  PageSet missing(pages.universe_size());
+  {
+    std::lock_guard<std::mutex> lock(mine.store_mu);
+    const auto mit = mine.snapshot_maps.find(object);
+    if (mit == mine.snapshot_maps.end())
+      throw Error("snapshot read without a snapshot map");
+    const PageMap& map = mit->second.map;
+    const ObjectImage& img = mine.store.get(object);
+    for (const PageIndex p : wanted) {
+      if (snapshot_versions_.count({object.value(), p.value()}))
+        continue;  // resolved earlier in this attempt
+      const PageLocation& loc = map.at(p);
+      if (loc.node == node_) {
+        // We hold the authoritative lineage (live page + ring).
+        const std::optional<SnapshotView> v =
+            img.snapshot_page(p, snapshot_stamp_);
+        if (!v)
+          throw SnapshotUnavailableError(
+              "snapshot version unresolvable at the owning site, object " +
+              std::to_string(object.value()));
+        snapshot_versions_[{object.value(), p.value()}] = v->version;
+      } else if (loc.tick <= snapshot_stamp_) {
+        snapshot_versions_[{object.value(), p.value()}] = loc.version;
+        const std::optional<SnapshotView> v =
+            img.snapshot_page(p, snapshot_stamp_);
+        if (!v || v->version != loc.version) missing.insert(p);
+      } else {
+        missing.insert(p);
+      }
+    }
+  }
+  if (!missing.empty())
+    snapshot_fetch(object, missing);
+  core_.counters.snapshot_local_hits->add(wanted.size() - missing.count());
+
+  // Pass 2 — resolve and copy under ONE store_mu hold (SnapshotView borrows
+  // storage, so the views must stay valid through the byte copy), verifying
+  // every page against its required version.
+  std::lock_guard<std::mutex> lock(mine.store_mu);
+  const ObjectImage& img = mine.store.get(object);
+  CheckSink* const s = check();
+  for (const PageIndex p : wanted) {
+    const auto rit = snapshot_versions_.find({object.value(), p.value()});
+    if (rit == snapshot_versions_.end())
+      throw SnapshotUnavailableError(
+          "snapshot version never resolved for object " +
+          std::to_string(object.value()) + " page " +
+          std::to_string(p.value()));
+    const std::optional<SnapshotView> v = img.snapshot_page(p, snapshot_stamp_);
+    if (!v || v->version != rit->second)
+      // The version we just adopted (or found) raced an eviction; a fresh
+      // stamp resolves against live state, which is always present.
+      throw SnapshotUnavailableError(
+          "snapshot version unavailable for object " +
+          std::to_string(object.value()) + " page " + std::to_string(p.value()));
+    core_.counters.snapshot_reads->add();
+    if (s != nullptr)
+      s->on_snapshot_read(family_.id(), txn.id().serial, object, p, v->version,
+                          snapshot_stamp_);
+    const std::uint64_t page_size = core_.config.page_size;
+    const std::uint64_t lo = std::max<std::uint64_t>(offset,
+                                                     p.value() * page_size);
+    const std::uint64_t hi = std::min<std::uint64_t>(
+        offset + out.size(), (p.value() + 1ULL) * page_size);
+    if (lo >= hi) continue;  // declared page outside this attribute span
+    std::copy_n(v->data + (lo - p.value() * page_size), hi - lo,
+                out.data() + (lo - offset));
+  }
+}
+
+void FamilyRunner::snapshot_fetch(ObjectId object, const PageSet& missing) {
+  PageMap map;
+  Node& mine = core_.node(node_);
+  {
+    std::lock_guard<std::mutex> lock(mine.store_mu);
+    const auto it = mine.snapshot_maps.find(object);
+    if (it == mine.snapshot_maps.end())
+      throw Error("snapshot fetch without a snapshot map");
+    map = it->second.map;
+  }
+  ScopedSpan gather(&core_.obs.tracer, SpanPhase::kPageGather,
+                    family_.id().value(), node_.value(), object.value());
+
+  // Group per owning site, visited in node-id order (same deterministic
+  // traffic discipline as fetch_pages).
+  const std::vector<PageIndex> wanted_all = missing.to_vector();
+  const std::size_t n_nodes = core_.nodes.size();
+  auto* counts = scratch_.allocate_array<std::uint32_t>(n_nodes);
+  for (std::size_t i = 0; i < n_nodes; ++i) counts[i] = 0;
+  for (const PageIndex p : wanted_all) {
+    const NodeId owner = map.at(p).node;
+    if (owner == node_)
+      // The map says the version is already here, but snapshot_page could
+      // not resolve it: the ring entry was trimmed before we registered, or
+      // the live page moved past our stamp.  Retry under a fresh stamp.
+      throw SnapshotUnavailableError(
+          "snapshot version owned locally but unresolvable, object " +
+          std::to_string(object.value()));
+    ++counts[owner.value()];
+  }
+  auto* offsets = scratch_.allocate_array<std::uint32_t>(n_nodes + 1);
+  offsets[0] = 0;
+  for (std::size_t i = 0; i < n_nodes; ++i)
+    offsets[i + 1] = offsets[i] + counts[i];
+  auto* grouped = scratch_.allocate_array<PageIndex>(wanted_all.size());
+  auto* cursor = scratch_.allocate_array<std::uint32_t>(n_nodes);
+  for (std::size_t i = 0; i < n_nodes; ++i) cursor[i] = offsets[i];
+  for (const PageIndex p : wanted_all)
+    grouped[cursor[map.at(p).node.value()]++] = p;
+
+  struct Fetched {
+    PageIndex page{};
+    std::vector<std::byte> data;
+    Lsn version = 0;
+    std::uint64_t tick = 0;
+  };
+  for (std::size_t sidx = 0; sidx < n_nodes; ++sidx) {
+    if (counts[sidx] == 0) continue;
+    const NodeId source(static_cast<std::uint32_t>(sidx));
+    const std::span<const PageIndex> wanted(grouped + offsets[sidx],
+                                            counts[sidx]);
+    core_.scheduler->preempt(index_);
+    core_.transport.send({MessageKind::kSnapshotFetchRequest, node_, source,
+                          object,
+                          wanted.size() * wire::kPageRequestEntryBytes});
+    ScopedServeSpan serve(&core_.obs.tracer, SpanPhase::kPageServe,
+                          source.value(), object.value());
+    std::vector<Fetched> copied;
+    copied.reserve(wanted.size());
+    std::uint64_t reply_payload = 0;
+    {
+      Node& src = core_.node(source);
+      std::lock_guard<std::mutex> lock(src.store_mu);
+      const ObjectImage* simg = src.store.find(object);
+      for (const PageIndex p : wanted) {
+        const std::optional<SnapshotView> v =
+            simg != nullptr ? simg->snapshot_page(p, snapshot_stamp_)
+                            : std::nullopt;
+        if (!v)
+          // The owner's ring dropped the version (it was published before
+          // our stamp registered).  Retry under a fresh stamp.
+          throw SnapshotUnavailableError(
+              "snapshot version gone at owner, object " +
+              std::to_string(object.value()) + " page " +
+              std::to_string(p.value()));
+        copied.push_back(
+            Fetched{p,
+                    std::vector<std::byte>(v->data,
+                                           v->data + core_.config.page_size),
+                    v->version, v->tick});
+        reply_payload += core_.config.page_size + 8ULL;
+      }
+    }
+    core_.transport.send({MessageKind::kSnapshotFetchReply, source, node_,
+                          object, reply_payload});
+    serve.finish();
+    {
+      std::lock_guard<std::mutex> lock(mine.store_mu);
+      ObjectImage& img = mine.store.get(object);
+      for (Fetched& f : copied) {
+        // emplace: a page whose requirement the map already named keeps it;
+        // the verify pass cross-checks the owner's resolution against it.
+        snapshot_versions_.emplace(
+            std::make_pair(object.value(), f.page.value()), f.version);
+        img.adopt_version(f.page, std::move(f.data), f.version, f.tick);
+      }
+    }
+    ++result_.remote_round_trips;
+    core_.counters.remote_round_trips->add();
+    core_.counters.snapshot_fetches->add(wanted.size());
+  }
 }
 
 void FamilyRunner::commit_root(Transaction& root) {
@@ -934,15 +1233,23 @@ void FamilyRunner::release_all(bool commit) {
   };
   std::vector<Stamped> pushes;
   if (commit) {
+    // One commit tick per committing family, allocated lazily at the first
+    // dirty item and shared by all of them (the family commits atomically).
+    // Allocated whether or not mv_read is on: the tick rides the release
+    // message and the map entry at zero modeled wire cost, so knob-off
+    // traffic stays bit-identical by construction.
+    std::uint64_t commit_tick = 0;
     for (auto& item : items) {
       if (!item.info || item.info->dirty.empty()) continue;
+      if (commit_tick == 0) commit_tick = core_.gdo.allocate_commit_tick();
+      item.info->commit_tick = commit_tick;
       const Lsn next =
           std::max(core_.gdo.snapshot(item.object).version_counter,
                    item.info->advance_to) + 1;
       const std::size_t npages = core_.meta_of(item.object).num_pages;
       std::lock_guard<std::mutex> lock(mine.store_mu);
       ObjectImage& img = mine.store.get(item.object);
-      const PageSet stamped = img.stamp_dirty(next);
+      const PageSet stamped = img.stamp_dirty(next, commit_tick);
       if (core_.fault != nullptr)
         for (const PageIndex p : stamped.to_vector())
           core_.fault->note_page(node_, item.object, npages, p, img.page(p));
@@ -1166,6 +1473,11 @@ void MethodContext::read_raw(AttrId attr, std::span<std::byte> out) {
   if (out.size() > cls_.layout().attribute(attr).size_bytes)
     throw UsageError("read_raw: larger than attribute");
   const PageSet pages = check_access(attr, /*write=*/false);
+  if (runner_.snapshot_active()) {
+    runner_.snapshot_read_bytes(txn_, txn_.target(), pages,
+                                cls_.layout().offset_of(attr), out);
+    return;
+  }
   runner_.ensure_fresh(txn_.target(), pages);
   ObjectImage& img = runner_.local_image(txn_.target());
   Node& mine = runner_.core_.node(runner_.node_);
@@ -1179,6 +1491,12 @@ void MethodContext::read_raw(AttrId attr, std::span<std::byte> out) {
 }
 
 void MethodContext::write_raw(AttrId attr, std::span<const std::byte> in) {
+  // Submission-time validation rejects read-only roots whose declared call
+  // graph writes; this guards the dynamic escape hatches (invoke through
+  // may_access_undeclared reaching a writer at runtime).
+  if (runner_.snapshot_active())
+    throw UsageError("method '" + method_.name +
+                     "' writes inside a read-only (snapshot) family");
   if (in.size() > cls_.layout().attribute(attr).size_bytes)
     throw UsageError("write_raw: larger than attribute");
   const PageSet pages = check_access(attr, /*write=*/true);

@@ -9,8 +9,10 @@
 // invocation of further methods, each of which becomes a sub-transaction.
 #pragma once
 
+#include <map>
 #include <optional>
 #include <span>
+#include <utility>
 
 #include "common/arena.hpp"
 #include "common/flat_map.hpp"
@@ -21,6 +23,16 @@
 namespace lotec {
 
 class MethodContext;
+
+/// Internal control flow (mv_read): a snapshot attempt could not resolve a
+/// page version under its stamp (the owner site no longer retains it, e.g.
+/// after a capacity eviction raced the map lookup).  The runner retries the
+/// attempt with a fresh stamp, under which the newest versions are always
+/// resolvable.
+class SnapshotUnavailableError : public Error {
+ public:
+  explicit SnapshotUnavailableError(const std::string& what) : Error(what) {}
+};
 
 class FamilyRunner {
  public:
@@ -47,6 +59,12 @@ class FamilyRunner {
   /// stall handler to pick a fault victim when no deadlock cycle explains a
   /// stall (e.g. the lock holder's node crashed).
   [[nodiscard]] bool blocked() const noexcept { return blocked_on_.valid(); }
+
+  /// Is the current attempt running on the snapshot-isolated read path
+  /// (mv_read on + declared read-only family)?
+  [[nodiscard]] bool snapshot_active() const noexcept {
+    return snapshot_active_;
+  }
 
  private:
   friend class MethodContext;
@@ -92,6 +110,37 @@ class FamilyRunner {
   /// "if additional parts turn out to be needed, these can be fetched on
   /// demand").
   void ensure_fresh(ObjectId object, const PageSet& pages);
+
+  // --- snapshot read path (mv_read) ---------------------------------------
+
+  /// Take the attempt's snapshot stamp (newest published commit tick) and
+  /// register it so version-ring GC fences on it.
+  void begin_snapshot_attempt();
+
+  /// Drop the attempt's snapshot pins and stamp registration.  Idempotent;
+  /// called on every attempt exit (commit, retry, error).
+  void end_snapshot_attempt();
+
+  /// Lock-free "acquisition" of `object` for the snapshot path: make the
+  /// node's snapshot map for the object at least as new as our stamp
+  /// (refreshing via GdoService::snapshot_lookup when not), ensure a local
+  /// image exists and pin it against eviction.  No lock-table or directory
+  /// lock state is touched.
+  void snapshot_acquire(ObjectId object);
+
+  /// Resolve every page of `pages` to its newest committed version at or
+  /// below the attempt stamp — fetching remote versions from the owning
+  /// sites into the local ring as needed — and copy the attribute bytes at
+  /// `offset` out of the resolved views.  Emits on_snapshot_read per page.
+  void snapshot_read_bytes(Transaction& txn, ObjectId object,
+                           const PageSet& pages, std::uint64_t offset,
+                           std::span<std::byte> out);
+
+  /// Fetch the newest-<=-stamp versions of `missing` from the sites the
+  /// snapshot map names, grouped per source, adopting them into the local
+  /// version ring.  Throws SnapshotUnavailableError when a named owner can
+  /// no longer produce an admissible version.
+  void snapshot_fetch(ObjectId object, const PageSet& missing);
 
   /// Root commit: Algorithm 4.3 "root transaction commits" + 4.4, then
   /// page-version stamping and (RC) eager pushes.
@@ -202,6 +251,20 @@ class FamilyRunner {
   bool committing_ = false;
   /// Our site's crash epoch at the start of the current attempt.
   std::uint64_t crash_epoch_ = 0;
+
+  /// mv_read + declared read-only: this family runs on the snapshot path.
+  bool snapshot_mode_ = false;
+  /// A snapshot attempt is live (stamp registered, pins held).
+  bool snapshot_active_ = false;
+  /// The attempt's stamp: reads resolve to the newest version <= this.
+  std::uint64_t snapshot_stamp_ = 0;
+  /// Objects snapshot-pinned at our site this attempt (doubles as the
+  /// "already prepared" set — families touch few objects, linear scan).
+  std::vector<ObjectId> snapshot_objects_;
+  /// (object, page) -> the version this attempt's snapshot MUST observe
+  /// (newest publication at or below the stamp), resolved from the snapshot
+  /// map or the owning site's ring; every read verifies against it.
+  std::map<std::pair<std::uint64_t, std::uint32_t>, Lsn> snapshot_versions_;
 
   TxnResult result_;
 };

@@ -8,6 +8,7 @@
 #include <unordered_map>
 
 #include "common/ids.hpp"
+#include "gdo/page_map.hpp"
 #include "page/page_store.hpp"
 #include "runtime/lock_cache.hpp"
 
@@ -35,6 +36,17 @@ struct Node {
   /// guarded by store_mu (the directory's callback handler reaches it while
   /// holding a partition lock).
   GlobalLockCache lock_cache;
+
+  /// Snapshot map cache (mv_read): the last directory map this site fetched
+  /// per object, tagged with the commit tick it was current as of.  A
+  /// reader with stamp S may reuse a cached map with tick >= S — every
+  /// publication at or below S is already in it — and otherwise refreshes
+  /// via GdoService::snapshot_lookup.  Guarded by store_mu.
+  struct CachedSnapshotMap {
+    PageMap map;
+    std::uint64_t tick = 0;
+  };
+  std::unordered_map<ObjectId, CachedSnapshotMap> snapshot_maps;
 
   // Callers hold store_mu for all of the following.
 

@@ -34,6 +34,10 @@ bool is_page_kind(MessageKind k) {
     case MessageKind::kDemandFetchReply:
     case MessageKind::kUpdatePush:
     case MessageKind::kPrefetchPageReply:
+    case MessageKind::kSnapshotMapRequest:
+    case MessageKind::kSnapshotMapReply:
+    case MessageKind::kSnapshotFetchRequest:
+    case MessageKind::kSnapshotFetchReply:
       return true;
     default:
       return false;
@@ -75,6 +79,8 @@ ClusterConfig ExperimentOptions::to_cluster_config(
   cfg.obs.chrome_trace = chrome_trace;
   cfg.obs.flight_dump = flight_dump;
   cfg.wire = wire;
+  cfg.mv_read = mv_read;
+  cfg.mv_version_ring = mv_version_ring;
   return cfg;
 }
 
@@ -83,6 +89,14 @@ void ExperimentOptions::validate() const {
     throw UsageError(
         "ExperimentOptions: site_locality must lie in [-1, 1] (negative "
         "disables hot-site placement); got " + std::to_string(site_locality));
+  if (read_only_fraction < 0.0 || read_only_fraction > 1.0)
+    throw UsageError(
+        "ExperimentOptions: read_only_fraction must lie in [0, 1]; got " +
+        std::to_string(read_only_fraction));
+  if (prefetch_hints && read_only_fraction > 0.0)
+    throw UsageError(
+        "ExperimentOptions: prefetch_hints assumes every family takes the "
+        "locking path; disable it when read_only_fraction > 0");
   // Everything else maps onto a ClusterConfig knob; one validator, one set
   // of messages (and Cluster construction runs the same checks, so nothing
   // slips through a path that skips run_scenario).
@@ -106,7 +120,10 @@ ScenarioResult run_scenario(const Workload& workload, ProtocolKind protocol,
   Cluster cluster(options.to_cluster_config(protocol));
   if (options.record_trace) cluster.stats().enable_trace(std::size_t{1} << 22);
 
-  std::vector<RootRequest> requests = workload.instantiate(cluster);
+  std::vector<RootRequest> requests =
+      workload.instantiate(cluster, options.read_only_fraction);
+  if (options.strip_family_kinds)
+    for (RootRequest& r : requests) r.kind = FamilyKind::kReadWrite;
   if (options.site_locality >= 0.0) {
     Rng placement(options.cluster_seed ^ 0x10CA11D1ULL);
     for (RootRequest& r : requests)

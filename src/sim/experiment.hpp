@@ -16,14 +16,12 @@ namespace lotec {
 
 /// Everything measured from one (workload, protocol) run.
 ///
-/// Counter redesign (PR 3): the flat per-run tallies now live in `counters`,
-/// a name -> value snapshot of the cluster's MetricsRegistry taken at the
-/// end of the run (naming conventions: PROTOCOL.md §9).  The former flat
-/// fields (`lock_messages`, `cache_regrants`, ...) remain as thin accessor
-/// methods over that map — call sites migrate by adding `()`.  New
-/// measurements get a registry name and are readable via `counter(name)`
-/// without touching this struct; the accessors below exist only for
-/// compatibility and are documented as deprecated in DESIGN.md.
+/// Counter redesign (PR 3): the flat per-run tallies live in `counters`, a
+/// name -> value snapshot of the cluster's MetricsRegistry taken at the end
+/// of the run (naming conventions: PROTOCOL.md §9).  Read them via
+/// `counter(name)`; new measurements get a registry name and need no new
+/// struct field.  (The PR-3 compatibility accessors over this map were
+/// retired once every call site migrated.)
 struct ScenarioResult {
   ProtocolKind protocol = ProtocolKind::kLotec;
   /// Object ids in creation order (Oi of the figures = object_ids[i]).
@@ -64,44 +62,6 @@ struct ScenarioResult {
   [[nodiscard]] std::uint64_t counter(const std::string& name) const {
     const auto it = counters.find(name);
     return it == counters.end() ? 0 : it->second;
-  }
-
-  // Compatibility accessors over `counters` (deprecated; see DESIGN.md).
-  [[nodiscard]] std::uint64_t local_lock_ops() const {
-    return counter("lock.local_ops");
-  }
-  [[nodiscard]] std::uint64_t lock_messages() const {
-    return counter("net.lock_messages");
-  }
-  [[nodiscard]] std::uint64_t page_messages() const {
-    return counter("net.page_messages");
-  }
-  [[nodiscard]] std::uint64_t cache_regrants() const {
-    return counter("cache.regrants");
-  }
-  [[nodiscard]] std::uint64_t cache_callbacks() const {
-    return counter("cache.callbacks");
-  }
-  [[nodiscard]] std::uint64_t cache_flushes() const {
-    return counter("cache.flushes");
-  }
-  [[nodiscard]] std::uint64_t deadlock_retries() const {
-    return counter("txn.deadlock_retries");
-  }
-  [[nodiscard]] std::uint64_t demand_fetches() const {
-    return counter("page.demand_fetches");
-  }
-  [[nodiscard]] std::uint64_t pages_fetched() const {
-    return counter("page.fetched");
-  }
-  [[nodiscard]] std::uint64_t delta_pages() const {
-    return counter("page.delta");
-  }
-  [[nodiscard]] std::uint64_t remote_round_trips() const {
-    return counter("net.round_trips");
-  }
-  [[nodiscard]] std::uint64_t fault_retries() const {
-    return counter("txn.fault_retries");
   }
 
   [[nodiscard]] TrafficCounter object_traffic(ObjectId id) const {
@@ -163,6 +123,21 @@ struct ExperimentOptions {
   /// ledger-cross-checked at batch end.  `wire.enabled` is the master
   /// switch (lotec_sim --distributed N sets it along with nodes).
   WireConfig wire;
+  /// Share of families submitted as declared read-only (kReadOnly), their
+  /// scripts remapped onto the generator's shadow reader methods.  Acts on
+  /// requests; meaningful with or without mv_read (without it, read-only
+  /// families take the ordinary lock path).
+  double read_only_fraction = 0.0;
+  /// Multi-version snapshot reads (PROTOCOL.md §14): read-only families
+  /// resolve pages against a commit-tick snapshot, with zero lock traffic.
+  bool mv_read = false;
+  /// Committed versions retained per page for snapshot resolution.
+  std::size_t mv_version_ring = 4;
+  /// Test hook (knob-off bit-identity): after instantiation, demote every
+  /// kReadOnly request back to kReadWrite.  With mv_read off the two runs
+  /// must produce bit-identical wire traffic — the declared kind alone
+  /// never touches the protocol.
+  bool strip_family_kinds = false;
 
   /// The ClusterConfig these options describe for `protocol`.  run_scenario
   /// builds its cluster from exactly this (plus the request-level knobs —

@@ -195,7 +195,10 @@ std::size_t Workload::emit_script_node(FamilyScript& script, Rng& rng,
   return index;
 }
 
-std::vector<RootRequest> Workload::instantiate(Cluster& cluster) const {
+std::vector<RootRequest> Workload::instantiate(Cluster& cluster,
+                                               double read_only_fraction) const {
+  if (read_only_fraction < 0.0 || read_only_fraction > 1.0)
+    throw UsageError("Workload: read_only_fraction must be in [0, 1]");
   const std::uint32_t page_size = cluster.config().page_size;
   if (page_size % static_cast<std::uint32_t>(spec_.attrs_per_page) != 0)
     throw UsageError("Workload: page_size must be divisible by attrs_per_page");
@@ -223,18 +226,50 @@ std::vector<RootRequest> Workload::instantiate(Cluster& cluster) const {
           make_script_body(mp.reads, mp.writes, object_ids),
           /*may_access_undeclared=*/false, mp.prediction_hint);
     }
+    // Shadow reader variants, one per method, appended AFTER the originals
+    // so shadow ids are original id + methods_per_class.  Same touched
+    // attributes with writes folded into reads — a read-only family replays
+    // the same reference pattern without mutating anything.  Derived, not
+    // drawn: the population Rng stream is untouched.
+    for (std::size_t m = 0; m < plan.methods.size(); ++m) {
+      const MethodPlan& mp = plan.methods[m];
+      const AttrSet all = mp.reads.united(mp.writes);
+      builder.method_ids("m" + std::to_string(m) + "_ro", all, AttrSet{},
+                         make_script_body(all, AttrSet{}, object_ids),
+                         /*may_access_undeclared=*/false, mp.prediction_hint);
+    }
     const ClassId cls = cluster.define_class(builder);
     object_ids->push_back(cluster.create_object(cls));
   }
 
+  // Which families become read-only: an independent Rng, so the draw for
+  // family i is the same at every fraction and a higher fraction strictly
+  // grows the read-only set (fraction sweeps change only the conversions).
+  Rng select(spec_.seed ^ 0x726f5f73656c6563ULL);  // "ro_selec"
+  const std::uint32_t shift =
+      static_cast<std::uint32_t>(spec_.methods_per_class);
+
   std::vector<RootRequest> requests;
   requests.reserve(scripts_.size());
   for (const auto& script : scripts_) {
-    const ScriptNode& root = script->nodes.front();
     RootRequest req;
-    req.object = object_ids->at(root.object);
-    req.method = root.method;
-    req.user_data = std::shared_ptr<const void>(script, script.get());
+    const bool read_only = select.uniform() < read_only_fraction;
+    if (read_only) {
+      // Clone the script with every method remapped onto its shadow reader;
+      // the clone owns itself through user_data.
+      auto shadow = std::make_shared<FamilyScript>(*script);
+      for (ScriptNode& n : shadow->nodes)
+        n.method = MethodId(n.method.value() + shift);
+      req.object = object_ids->at(shadow->nodes.front().object);
+      req.method = shadow->nodes.front().method;
+      req.user_data = std::shared_ptr<const void>(shadow, shadow.get());
+      req.kind = FamilyKind::kReadOnly;
+    } else {
+      const ScriptNode& root = script->nodes.front();
+      req.object = object_ids->at(root.object);
+      req.method = root.method;
+      req.user_data = std::shared_ptr<const void>(script, script.get());
+    }
     requests.push_back(std::move(req));
   }
   return requests;

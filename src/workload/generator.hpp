@@ -39,7 +39,16 @@ class Workload {
 
   /// Create the classes and objects on `cluster` and return the executable
   /// root requests.  Call once per (fresh) cluster.
-  [[nodiscard]] std::vector<RootRequest> instantiate(Cluster& cluster) const;
+  ///
+  /// `read_only_fraction` (in [0, 1]) converts that share of the families
+  /// into declared read-only ones (RootRequest::kind = kReadOnly): their
+  /// scripts are remapped onto the per-class shadow reader methods (same
+  /// touched attributes, writes folded into reads), so the reference pattern
+  /// is preserved while the declared intent changes.  The selection uses its
+  /// own deterministically seeded Rng — the population and scripts are
+  /// identical across different fractions.
+  [[nodiscard]] std::vector<RootRequest> instantiate(
+      Cluster& cluster, double read_only_fraction = 0.0) const;
 
   [[nodiscard]] const WorkloadSpec& spec() const noexcept { return spec_; }
   [[nodiscard]] std::size_t num_objects() const noexcept {

@@ -200,7 +200,7 @@ TEST(LockDisciplineOracleTest, CountsRecursionPreclusions) {
 TEST(CoherenceOracleTest, FreshAccessIsClean) {
   CoherenceOracle o;
   o.on_commit_stamp(fam(1), obj(1), pg(0), 1, node(0));
-  o.on_directory_stamp(obj(1), pg(0), 1, node(0));
+  o.on_directory_stamp(obj(1), pg(0), 1, node(0), 1);
   o.on_page_access(fam(2), kRoot, obj(1), pg(0), 1, false);
   EXPECT_FALSE(o.finish().has_value());
 }
@@ -208,7 +208,7 @@ TEST(CoherenceOracleTest, FreshAccessIsClean) {
 TEST(CoherenceOracleTest, StaleAccessIsFlagged) {
   CoherenceOracle o;
   o.on_commit_stamp(fam(1), obj(1), pg(0), 2, node(0));
-  o.on_directory_stamp(obj(1), pg(0), 2, node(0));
+  o.on_directory_stamp(obj(1), pg(0), 2, node(0), 1);
   o.on_page_access(fam(2), kRoot, obj(1), pg(0), 1, false);
   const auto v = o.finish();
   ASSERT_TRUE(v.has_value());
@@ -219,7 +219,7 @@ TEST(CoherenceOracleTest, StaleAccessIsFlagged) {
 
 TEST(CoherenceOracleTest, PublicationWithoutCommitStampIsFlagged) {
   CoherenceOracle o;
-  o.on_directory_stamp(obj(1), pg(0), 3, node(0));
+  o.on_directory_stamp(obj(1), pg(0), 3, node(0), 1);
   const auto v = o.finish();
   ASSERT_TRUE(v.has_value());
   EXPECT_NE(v->detail.find("no site-side commit stamp"), std::string::npos)
@@ -231,10 +231,10 @@ TEST(CoherenceOracleTest, CrashDisablesStalenessChecks) {
   // stand down instead of false-positive on lease reclamation.
   CoherenceOracle o;
   o.on_commit_stamp(fam(1), obj(1), pg(0), 2, node(0));
-  o.on_directory_stamp(obj(1), pg(0), 2, node(0));
+  o.on_directory_stamp(obj(1), pg(0), 2, node(0), 1);
   o.on_node_crash(node(0), 1);
   o.on_page_access(fam(2), kRoot, obj(1), pg(0), 1, false);
-  o.on_directory_stamp(obj(1), pg(0), 9, node(1));
+  o.on_directory_stamp(obj(1), pg(0), 9, node(1), 2);
   EXPECT_FALSE(o.finish().has_value());
 }
 

@@ -143,7 +143,7 @@ TEST_P(CrossProtocolTest, DeterministicRunsAreBitIdentical) {
   EXPECT_EQ(a.total.messages, b.total.messages);
   EXPECT_EQ(a.total.bytes, b.total.bytes);
   EXPECT_EQ(a.committed, b.committed);
-  EXPECT_EQ(a.deadlock_retries(), b.deadlock_retries());
+  EXPECT_EQ(a.counter("txn.deadlock_retries"), b.counter("txn.deadlock_retries"));
   for (const ObjectId id : a.object_ids)
     EXPECT_EQ(a.object_traffic(id).bytes, b.object_traffic(id).bytes);
 }

@@ -179,7 +179,7 @@ TEST(DsdRuntimeTest, DsdNeverExceedsLotecPayload) {
       workload, {ProtocolKind::kLotec, ProtocolKind::kLotecDsd}, options);
   EXPECT_EQ(results[0].committed, results[1].committed);
   EXPECT_LE(results[1].total.bytes, results[0].total.bytes);
-  EXPECT_GT(results[1].delta_pages(), 0u);
+  EXPECT_GT(results[1].counter("page.delta"), 0u);
 }
 
 TEST(PerClassProtocolTest, ClassesOverrideTheClusterDefault) {

@@ -192,9 +192,9 @@ TEST(LockCacheTest, DisabledKnobsAreInertOnTheWire) {
   EXPECT_EQ(a.trace, b.trace);
   EXPECT_EQ(a.total.messages, b.total.messages);
   EXPECT_EQ(a.total.bytes, b.total.bytes);
-  EXPECT_EQ(b.cache_regrants(), 0u);
-  EXPECT_EQ(b.cache_callbacks(), 0u);
-  EXPECT_EQ(b.cache_flushes(), 0u);
+  EXPECT_EQ(b.counter("cache.regrants"), 0u);
+  EXPECT_EQ(b.counter("cache.callbacks"), 0u);
+  EXPECT_EQ(b.counter("cache.flushes"), 0u);
 
   // The previously inert combination is now a configuration error.
   ExperimentOptions bad = base;
@@ -222,8 +222,8 @@ TEST(LockCacheTest, HotSiteWorkloadCutsLockTraffic) {
 
   EXPECT_EQ(on.committed, off.committed);
   EXPECT_EQ(on.aborted, off.aborted);
-  EXPECT_GT(on.cache_regrants(), 0u);
-  EXPECT_LT(on.lock_messages(), off.lock_messages());
+  EXPECT_GT(on.counter("cache.regrants"), 0u);
+  EXPECT_LT(on.counter("net.lock_messages"), off.counter("net.lock_messages"));
 }
 
 TEST(LockCacheTest, EvictionRacingCallbackRoundLeavesDirectoryConsistent) {

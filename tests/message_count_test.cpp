@@ -37,9 +37,9 @@ TEST(MessageCountTest, Fig2ScenarioTrafficIsPinnedPerProtocol) {
     const ScenarioResult r = run_scenario(workload, g.protocol);
     EXPECT_EQ(r.total.messages, g.messages) << to_string(g.protocol);
     EXPECT_EQ(r.total.bytes, g.bytes) << to_string(g.protocol);
-    EXPECT_EQ(r.lock_messages(), g.lock_messages) << to_string(g.protocol);
-    EXPECT_EQ(r.page_messages(), g.page_messages) << to_string(g.protocol);
-    EXPECT_EQ(r.cache_regrants(), 0u) << to_string(g.protocol);
+    EXPECT_EQ(r.counter("net.lock_messages"), g.lock_messages) << to_string(g.protocol);
+    EXPECT_EQ(r.counter("net.page_messages"), g.page_messages) << to_string(g.protocol);
+    EXPECT_EQ(r.counter("cache.regrants"), 0u) << to_string(g.protocol);
   }
 }
 

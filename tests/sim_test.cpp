@@ -77,8 +77,8 @@ TEST(ExperimentTest, ScenarioResultIsComplete) {
   EXPECT_EQ(r.object_ids.size(), 6u);
   EXPECT_EQ(r.committed + r.aborted, 25u);
   EXPECT_GT(r.total.messages, 0u);
-  EXPECT_GT(r.lock_messages(), 0u);
-  EXPECT_GT(r.page_messages(), 0u);
+  EXPECT_GT(r.counter("net.lock_messages"), 0u);
+  EXPECT_GT(r.counter("net.page_messages"), 0u);
   // Per-object rows are queryable for every object.
   for (const ObjectId id : r.object_ids)
     EXPECT_LE(r.page_data.at(id).bytes, r.object_traffic(id).bytes);
@@ -122,7 +122,7 @@ TEST(ExperimentTest, PrefetchOptionReducesRoundTrips) {
   const ScenarioResult with =
       run_scenario(workload, ProtocolKind::kLotec, hinted);
   EXPECT_EQ(without.committed, with.committed);
-  EXPECT_LT(with.remote_round_trips(), without.remote_round_trips());
+  EXPECT_LT(with.counter("net.round_trips"), without.counter("net.round_trips"));
 }
 
 }  // namespace

@@ -36,7 +36,7 @@ void usage() {
       "lotec_check — schedule exploration & serializability checking\n\n"
       "Exploration:\n"
       "  --mode=M             random | pct | dfs (default random)\n"
-      "  --scenario=S         tiny | small (default tiny)\n"
+      "  --scenario=S         tiny | small | mixed (default tiny)\n"
       "  --schedules=N        max schedules to explore (1000)\n"
       "  --budget=SECONDS     wall-clock budget, 0 = unlimited (0)\n"
       "  --seed=N             exploration seed (42)\n"

@@ -71,6 +71,10 @@ void usage() {
       "  --batch              coalesce same-round directory traffic into\n"
       "                       batch frames (physical-only; PROTOCOL.md 13)\n"
       "  --prefetch           Section 5.1 lock pre-acquisition hints\n"
+      "  --read-fraction=F    share of families submitted as declared\n"
+      "                       read-only (shadow reader scripts) (0)\n"
+      "  --mv-read            snapshot-isolated reads for read-only\n"
+      "                       families (PROTOCOL.md 14; zero lock traffic)\n"
       "  --shadow-pages       shadow-page undo instead of byte-range log\n"
       "Run:\n"
       "  --protocols=a,b,...  cotec|otec|lotec|rc|lotec-dsd (default cotec,otec,lotec)\n"
@@ -137,6 +141,8 @@ bool parse_one(Args& args, const std::string& arg) {
   else if (key == "--multicast") args.options.multicast = true;
   else if (key == "--batch") args.options.batch_messages = true;
   else if (key == "--prefetch") args.options.prefetch_hints = true;
+  else if (key == "--read-fraction") args.options.read_only_fraction = f();
+  else if (key == "--mv-read") args.options.mv_read = true;
   else if (key == "--shadow-pages") args.options.undo =
       UndoStrategy::kShadowPage;
   else if (key == "--protocols") {
@@ -273,9 +279,9 @@ int main(int argc, char** argv) {
   for (const auto& r : results)
     table.row({std::string(to_string(r.protocol)),
                std::to_string(r.committed), std::to_string(r.aborted),
-               fmt_u64(r.deadlock_retries()), fmt_u64(r.total.messages),
-               fmt_u64(r.total.bytes), fmt_u64(r.demand_fetches()),
-               fmt_u64(r.local_lock_ops())});
+               fmt_u64(r.counter("txn.deadlock_retries")), fmt_u64(r.total.messages),
+               fmt_u64(r.total.bytes), fmt_u64(r.counter("page.demand_fetches")),
+               fmt_u64(r.counter("lock.local_ops"))});
   table.print();
 
   if (!args.counters_out.empty()) {

@@ -42,6 +42,7 @@ namespace {
 struct Draw {
   WorkloadSpec spec;
   ClusterConfig cfg;
+  double read_only_fraction = 0.0;
 };
 
 /// Chaos-mode constraints: node faults need the deterministic scheduler and
@@ -74,6 +75,9 @@ void add_random_faults(Draw& d, Rng& rng) {
   }
   d.cfg.fault.duplicate_probability = rng.uniform() * 0.02;
   d.cfg.fault.delay_probability = rng.uniform() * 0.05;
+  // Snapshot reads sit out fault runs (read-only families still ride the
+  // ordinary lock path under read_only_fraction).
+  d.cfg.mv_read = false;
 }
 
 Draw random_setup(Rng& rng) {
@@ -121,6 +125,23 @@ Draw random_setup(Rng& rng) {
     d.cfg.lock_cache = true;
     d.cfg.lock_cache_capacity = cache_cap;
   }
+  // Read-intent and snapshot reads: a third of the runs submit a share of
+  // their families as declared read-only; mv_read additionally rides along
+  // when the drawn config supports it (deterministic scheduler, no lock
+  // cache — fault and wire modes strip it again below).  Everything drawn
+  // before gating so the stream stays identical across modes.
+  const bool want_read_only = rng.chance(0.35);
+  const double read_only_fraction = 0.2 + rng.uniform() * 0.6;
+  const bool want_mv = rng.chance(0.6);
+  const std::size_t ring_depth = 2 + rng.below(6);
+  if (want_read_only) {
+    d.read_only_fraction = read_only_fraction;
+    if (want_mv && d.cfg.scheduler == SchedulerMode::kDeterministic &&
+        !d.cfg.lock_cache) {
+      d.cfg.mv_read = true;
+      d.cfg.mv_version_ring = ring_depth;
+    }
+  }
   return d;
 }
 
@@ -138,6 +159,7 @@ void constrain_for_wire(Draw& d) {
   std::erase_if(d.cfg.fault.events, [](const FaultEvent& e) {
     return e.action == FaultAction::kDropMessage;
   });
+  d.cfg.mv_read = false;  // snapshot fetches are not wired yet
 }
 
 }  // namespace
@@ -176,7 +198,8 @@ int main(int argc, char** argv) {
     try {
       const Workload workload(d.spec);
       Cluster cluster(d.cfg);
-      const auto results = cluster.execute(workload.instantiate(cluster));
+      const auto results =
+          cluster.execute(workload.instantiate(cluster, d.read_only_fraction));
       std::size_t committed = 0, exhausted = 0, node_failed = 0;
       std::uint64_t fault_retries = 0;
       for (const auto& r : results) {
