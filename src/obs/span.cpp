@@ -46,6 +46,7 @@ std::string_view to_string(SpanPhase phase) noexcept {
     case SpanPhase::kPageServe: return "page.serve";
     case SpanPhase::kLockGrant: return "lock.grant";
     case SpanPhase::kWireDeliver: return "wire.deliver";
+    case SpanPhase::kShardMigrate: return "shard.migrate";
   }
   return "unknown";
 }

@@ -26,6 +26,8 @@
 //   lock.grant           a queued request waking with a grant (instant)
 //   wire.deliver         a wire-transport worker delivering one frame
 //                        (distributed runs only; emitted by lotec_worker)
+//   shard.migrate        the elastic directory moving one entry to its new
+//                        ring owner (directory lane)
 #pragma once
 
 #include <atomic>
@@ -62,9 +64,10 @@ enum class SpanPhase : std::uint8_t {
   kPageServe,
   kLockGrant,
   kWireDeliver,
+  kShardMigrate,
 };
 
-inline constexpr std::size_t kNumSpanPhases = 14;
+inline constexpr std::size_t kNumSpanPhases = 15;
 
 [[nodiscard]] std::string_view to_string(SpanPhase phase) noexcept;
 

@@ -132,6 +132,9 @@ void FamilyRunner::run() {
       }
       crash_epoch_ = eng->crash_count(node_);
     }
+    // Elastic directory: every attempt advances the background shard
+    // migration by one bounded step (no-op while the ring is off).
+    core_.gdo.pump_migrations(core_.config.gdo.ring.migration_batch);
     if (CheckSink* s = check()) s->on_attempt_start(family_.id());
     committing_ = false;
     scratch_.reset();  // previous attempt's gather scratch dies here

@@ -74,6 +74,8 @@ ClusterConfig ExperimentOptions::to_cluster_config(
   cfg.lock_cache_capacity = lock_cache_capacity;
   cfg.fault = fault;
   if (fault.has_node_faults()) cfg.gdo.replicate = true;
+  cfg.gdo.ring = ring;
+  if (ring.enabled) cfg.gdo.replicate = true;  // quorum groups need it
   cfg.obs.trace_spans = trace_spans;
   cfg.obs.spans_jsonl = spans_jsonl;
   cfg.obs.chrome_trace = chrome_trace;

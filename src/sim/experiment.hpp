@@ -133,6 +133,11 @@ struct ExperimentOptions {
   bool mv_read = false;
   /// Committed versions retained per page for snapshot resolution.
   std::size_t mv_version_ring = 4;
+  /// Elastic directory (PROTOCOL.md §15): consistent-hash placement with
+  /// online shard migration and quorum mirror groups.  `ring.enabled` is
+  /// the master switch (soak --rebalance sets it); off, the static
+  /// partition map and single mirror produce bit-identical traffic.
+  RingConfig ring;
   /// Test hook (knob-off bit-identity): after instantiation, demote every
   /// kReadOnly request back to kReadWrite.  With mv_read off the two runs
   /// must produce bit-identical wire traffic — the declared kind alone

@@ -133,6 +133,80 @@ TEST_P(FailoverTest, CachedHolderCrashIsReclaimedByLease) {
   EXPECT_GE(cluster.fault_engine()->stats().restarts, 1u);
 }
 
+TEST(FailoverRebuildTest, RestartedMirrorRefreshesItsCopiesBeforeServing) {
+  // Double-failover regression: home A dies, canonical mirror B serves and
+  // the chain copy moves to C; then B dies too and C serves.  When B
+  // restarts while A is STILL down, rebuild_node's home-driven refresh
+  // (step 2) cannot consult A — yet B is the first chain candidate, so the
+  // very next request routes to it.  B must adopt the newest surviving
+  // chain copy (from C) before serving again; without that step every
+  // request bounces as a transient NodeUnreachable until A returns.
+  ClusterConfig cfg;
+  cfg.nodes = 4;
+  cfg.page_size = 256;
+  cfg.gdo.replicate = true;
+  cfg.fault.install_hooks = true;  // chain-walk failover + lease machinery
+  Cluster cluster(cfg);
+
+  const ClassId cls = cluster.define_class(
+      ClassBuilder("Counter", cfg.page_size)
+          .attribute("value", 8)
+          .method("increment", {"value"}, {"value"},
+                  [](MethodContext& ctx) {
+                    ctx.set<std::int64_t>("value",
+                                          ctx.get<std::int64_t>("value") + 1);
+                  }));
+  const ObjectId obj = cluster.create_object(cls, NodeId(0));
+  const NodeId home = cluster.gdo().home_of(obj);
+  const NodeId mirror((home.value() + 1) % 4);
+
+  // Work from the two sites outside the (home, mirror) pair so the newest
+  // pages always survive the directory crashes.
+  std::vector<NodeId> workers;
+  for (std::uint32_t n = 0; n < 4; ++n)
+    if (NodeId(n) != home && NodeId(n) != mirror) workers.push_back(NodeId(n));
+
+  for (int i = 0; i < 2; ++i)
+    ASSERT_TRUE(cluster.run_root(obj, "increment", workers[i % 2]).committed);
+
+  // First failover: B serves from its mirror copy and pushes the mutation
+  // one hop further down the chain.
+  cluster.transport().set_node_failed(home, true);
+  for (int i = 0; i < 2; ++i)
+    ASSERT_TRUE(cluster.run_root(obj, "increment", workers[i % 2]).committed)
+        << "increment " << i << " failed on the canonical mirror";
+
+  // Second failover: B crashes (losing its directory state); the next chain
+  // survivor picks up from the copy replicate_failover parked there.
+  cluster.transport().set_node_failed(mirror, true);
+  cluster.gdo().on_node_crash(mirror);
+  for (int i = 0; i < 2; ++i)
+    ASSERT_TRUE(cluster.run_root(obj, "increment", workers[i % 2]).committed)
+        << "increment " << i << " failed on the second chain survivor";
+
+  // B restarts while A is still down.  Its rebuild must pull the newest
+  // chain copy for the objects it canonically mirrors — routing sends the
+  // next request straight to B.
+  cluster.transport().set_node_failed(mirror, false);
+  const auto rebuilds_before =
+      cluster.stats().by_kind(MessageKind::kGdoRebuildRequest).messages;
+  (void)cluster.gdo().rebuild_node(mirror);
+  EXPECT_GT(cluster.stats().by_kind(MessageKind::kGdoRebuildRequest).messages,
+            rebuilds_before)
+      << "restart pulled no copies though it mirrors an orphaned object";
+  for (int i = 0; i < 2; ++i)
+    ASSERT_TRUE(cluster.run_root(obj, "increment", workers[i % 2]).committed)
+        << "increment " << i
+        << " failed after the mirror restarted with the home still down";
+
+  // Finally the home returns and recovers the canonical entry; no committed
+  // update may have been lost across the double failover.
+  cluster.transport().set_node_failed(home, false);
+  EXPECT_EQ(cluster.gdo().rebuild_node(home), 1u);
+  ASSERT_TRUE(cluster.run_root(obj, "increment", workers[0]).committed);
+  EXPECT_EQ(cluster.peek<std::int64_t>(obj, "value"), 9);
+}
+
 INSTANTIATE_TEST_SUITE_P(AllProtocols, FailoverTest,
                          ::testing::Values(ProtocolKind::kCotec,
                                            ProtocolKind::kOtec,

@@ -2,6 +2,7 @@
 // run — commits, aborts, deadlock storms, cache pressure, every protocol.
 #include <gtest/gtest.h>
 
+#include "sim/experiment.hpp"
 #include "sim/validate.hpp"
 #include "workload/generator.hpp"
 
@@ -155,6 +156,106 @@ TEST(ValidateTest2, DetectsArtificialViolations) {
     n1.store.get(obj).evict_page(PageIndex(0));
   }
   EXPECT_FALSE(validate_quiescent(cluster).empty());
+}
+
+// --- elastic-directory knob validation (PROTOCOL.md §15) --------------------
+// The ring composes with most of the stack but not all of it; every illegal
+// combination must die at validate() with a message that names the fix, not
+// surface as a mid-run surprise.
+
+std::string rejection_of(const ClusterConfig& cfg) {
+  try {
+    cfg.validate();
+  } catch (const UsageError& e) {
+    return e.what();
+  }
+  ADD_FAILURE() << "config unexpectedly validated";
+  return {};
+}
+
+ClusterConfig ring_cfg() {
+  ClusterConfig cfg;
+  cfg.nodes = 4;
+  cfg.gdo.replicate = true;
+  cfg.gdo.ring.enabled = true;
+  return cfg;
+}
+
+TEST(RingValidationTest, AcceptsAWellFormedRingConfig) {
+  EXPECT_NO_THROW(ring_cfg().validate());
+}
+
+TEST(RingValidationTest, RejectsIncompatibleKnobs) {
+  ClusterConfig cfg = ring_cfg();
+  cfg.wire.enabled = true;
+  EXPECT_NE(rejection_of(cfg).find("--distributed"), std::string::npos);
+
+  cfg = ring_cfg();
+  cfg.mv_read = true;
+  EXPECT_NE(rejection_of(cfg).find("mv_read"), std::string::npos);
+
+  cfg = ring_cfg();
+  cfg.lock_cache = true;
+  EXPECT_NE(rejection_of(cfg).find("lock_cache"), std::string::npos);
+
+  cfg = ring_cfg();
+  cfg.scheduler = SchedulerMode::kConcurrent;
+  EXPECT_NE(rejection_of(cfg).find("deterministic"), std::string::npos);
+
+  cfg = ring_cfg();
+  cfg.gdo.replicate = false;
+  EXPECT_NE(rejection_of(cfg).find("gdo.replicate"), std::string::npos);
+}
+
+TEST(RingValidationTest, RejectsDegenerateRingShapes) {
+  ClusterConfig cfg = ring_cfg();
+  cfg.gdo.ring.mirror_group = 0;
+  EXPECT_NE(rejection_of(cfg).find("mirror_group"), std::string::npos);
+
+  cfg = ring_cfg();
+  cfg.gdo.ring.mirror_group = 4;  // == nodes: the group cannot fit
+  EXPECT_NE(rejection_of(cfg).find("mirror_group"), std::string::npos);
+
+  cfg = ring_cfg();
+  cfg.gdo.ring.virtual_nodes = 0;
+  EXPECT_NE(rejection_of(cfg).find("virtual_nodes"), std::string::npos);
+
+  cfg = ring_cfg();
+  cfg.nodes = 1;
+  cfg.gdo.ring.mirror_group = 1;
+  EXPECT_NE(rejection_of(cfg).find("2 nodes"), std::string::npos);
+}
+
+TEST(RingValidationTest, RejectsRingFaultEventsWithoutTheRing) {
+  ClusterConfig cfg;
+  cfg.nodes = 4;
+  cfg.fault = fault_presets::rebalance({NodeId(1)}, 1);
+  EXPECT_NE(rejection_of(cfg).find("--rebalance"), std::string::npos);
+
+  // And with the ring on, the membership events must name a real node.
+  cfg = ring_cfg();
+  cfg.fault = fault_presets::rebalance({NodeId(9)}, 1);
+  EXPECT_NE(rejection_of(cfg).find("ring member"), std::string::npos);
+}
+
+TEST(RingValidationTest, ExperimentOptionsRunTheSameChecks) {
+  // The sim-side options funnel through to_cluster_config().validate(), so
+  // a tool passing --rebalance plus an incompatible flag dies identically.
+  ExperimentOptions opt;
+  opt.nodes = 4;
+  opt.ring.enabled = true;  // options path force-enables gdo.replicate
+  EXPECT_NO_THROW(opt.validate());
+
+  opt.mv_read = true;
+  EXPECT_THROW(opt.validate(), UsageError);
+  opt.mv_read = false;
+
+  opt.wire.enabled = true;
+  EXPECT_THROW(opt.validate(), UsageError);
+  opt.wire.enabled = false;
+
+  opt.lock_cache = true;
+  EXPECT_THROW(opt.validate(), UsageError);
 }
 
 }  // namespace
