@@ -22,6 +22,14 @@
 //
 //   throughput [--objects N] [--txns N] [--theta Z] [--arrival-rate R]
 //              [--nodes N] [--seed S] [--distributed]
+//              [--timeseries [--window MSGS] [--timeseries-jsonl PATH]]
+//
+// --timeseries installs the PROTOCOL.md §16 telemetry plane on the
+// in-process rows: per-window txn / p50/p99/p999 rows land in the BenchJson,
+// the window stream lands in --timeseries-jsonl (tail it with
+// `lotec_top --jsonl`), and a population tail-attribution table decomposes
+// every root attempt's sojourn into exclusive phase buckets (the bench
+// fails if any attempt's buckets do not sum to its sojourn).
 //
 // --objects scales the object population (millions are fine: object state
 // is materialised lazily per page, the directory is a flat map), --theta
@@ -42,6 +50,8 @@
 
 #include "json_out.hpp"
 #include "obs/metrics.hpp"
+#include "obs/tail_attribution.hpp"
+#include "obs/timeseries.hpp"
 #include "runtime/cluster.hpp"
 #include "wire/launcher.hpp"
 #include "workload/generator.hpp"
@@ -69,6 +79,15 @@ struct Options {
   /// object populations dominated by unbatchable page fetches) can relax
   /// it with --min-savings.
   double min_savings = 0.15;
+  /// Telemetry plane (PROTOCOL.md §16): install a TimeseriesCollector on
+  /// the in-process runs, stream the inproc batch=off run's windows to
+  /// --timeseries-jsonl, emit per-window BenchJson rows, and print a
+  /// population tail-attribution table.  Off by default; the base rows are
+  /// bit-identical either way (the collector never sends).
+  bool timeseries = false;
+  /// Logical window length in transport messages.
+  std::uint64_t window = 2048;
+  std::string timeseries_jsonl = "BENCH_throughput_timeseries.jsonl";
 };
 
 Options parse_args(int argc, char** argv) {
@@ -91,6 +110,9 @@ Options parse_args(int argc, char** argv) {
     else if (arg == "--distributed") opt.distributed = true;
     else if (arg == "--read-fraction") opt.read_fraction = std::stod(value());
     else if (arg == "--min-savings") opt.min_savings = std::stod(value());
+    else if (arg == "--timeseries") opt.timeseries = true;
+    else if (arg == "--window") opt.window = std::stoull(value());
+    else if (arg == "--timeseries-jsonl") opt.timeseries_jsonl = value();
     else {
       std::cerr << "unknown option " << arg << '\n';
       std::exit(2);
@@ -125,6 +147,13 @@ struct ModeOutcome {
   // Logical-tick percentiles of the family.attempt span histogram:
   // deterministic, so these carry the latency shape into the baseline.
   double span_p50 = 0, span_p99 = 0, span_p999 = 0;
+  // --timeseries extras (empty otherwise): closed windows plus the name
+  // tables their vectors are parallel to, and the population tail
+  // decomposition over every root attempt's spans.
+  std::vector<TimeseriesWindow> windows;
+  std::vector<std::string> window_counter_names;
+  std::vector<std::string> window_histogram_names;
+  TailAttribution tail;
 };
 
 double percentile(std::vector<double> v, double p) {
@@ -138,7 +167,9 @@ double percentile(std::vector<double> v, double p) {
 
 ModeOutcome run_mode(const Workload& workload, const Options& opt,
                      bool batching, bool wire, const std::string& worker_path,
-                     double read_fraction = 0.0, bool mv_read = false) {
+                     double read_fraction = 0.0, bool mv_read = false,
+                     bool telemetry = false,
+                     const std::string& telemetry_jsonl = {}) {
   ClusterConfig cfg;
   cfg.nodes = opt.nodes;
   cfg.seed = opt.seed;
@@ -149,6 +180,11 @@ ModeOutcome run_mode(const Workload& workload, const Options& opt,
   cfg.wire.enabled = wire;
   cfg.wire.worker_path = worker_path;
   cfg.mv_read = mv_read;
+  if (telemetry) {
+    cfg.obs.timeseries = true;
+    cfg.obs.timeseries_interval = opt.window;
+    cfg.obs.timeseries_jsonl = telemetry_jsonl;
+  }
 
   Cluster cluster(cfg);
   std::vector<RootRequest> requests =
@@ -208,6 +244,15 @@ ModeOutcome run_mode(const Workload& workload, const Options& opt,
   out.span_p50 = hist.percentile(50);
   out.span_p99 = hist.percentile(99);
   out.span_p999 = hist.percentile(99.9);
+  if (telemetry) {
+    if (TimeseriesCollector* ts = cluster.observe().timeseries()) {
+      ts->close_window();  // flush the trailing partial window
+      out.windows = ts->windows();
+      out.window_counter_names = ts->counter_names();
+      out.window_histogram_names = ts->histogram_names();
+    }
+    out.tail = analyze_tail_attribution(cluster.observe().spans());
+  }
   return out;
 }
 
@@ -230,6 +275,68 @@ void emit_row(bench::BenchJson& json, const std::string& label,
       .field("sojourn_p50_us", percentile(m.sojourn_us, 50))
       .field("sojourn_p99_us", percentile(m.sojourn_us, 99))
       .field("sojourn_p999_us", percentile(m.sojourn_us, 99.9));
+}
+
+/// Per-window BenchJson rows ("window_<k>"): per-window txn count is the
+/// txn.commits delta, the latency shape the family.attempt window
+/// percentiles.  These are the rows bench_check diffs with per-file
+/// tolerance when a baseline lists them.
+void emit_window_rows(bench::BenchJson& json, const ModeOutcome& m) {
+  auto index_of = [](const std::vector<std::string>& names,
+                     const std::string& want) -> std::ptrdiff_t {
+    const auto it = std::find(names.begin(), names.end(), want);
+    return it == names.end() ? -1 : it - names.begin();
+  };
+  const std::ptrdiff_t commits =
+      index_of(m.window_counter_names, "txn.commits");
+  const std::ptrdiff_t sends =
+      index_of(m.window_counter_names, "net.logical_sends");
+  const std::ptrdiff_t attempt =
+      index_of(m.window_histogram_names, "span.family.attempt");
+  for (const TimeseriesWindow& w : m.windows) {
+    json.row("window_" + std::to_string(w.index))
+        .field("open_tick", w.open_tick)
+        .field("close_tick", w.close_tick);
+    if (commits >= 0)
+      json.field("txn", w.counter_deltas[static_cast<std::size_t>(commits)]);
+    if (sends >= 0)
+      json.field("logical_sends",
+                 w.counter_deltas[static_cast<std::size_t>(sends)]);
+    if (attempt >= 0) {
+      const WindowHistogram& h =
+          w.hist_deltas[static_cast<std::size_t>(attempt)];
+      json.field("attempts", h.count)
+          .field("p50_ticks", h.percentile(50))
+          .field("p99_ticks", h.percentile(99))
+          .field("p999_ticks", h.percentile(99.9));
+    }
+  }
+}
+
+/// Tail-attribution table + BenchJson rows, and the §16 identity check:
+/// every attempt's phase buckets must sum to its sojourn ticks exactly.
+int emit_tail(bench::BenchJson& json, const ModeOutcome& m) {
+  int failures = 0;
+  for (const AttemptAttribution& a : m.tail.attempts) {
+    std::uint64_t sum = 0;
+    for (const std::uint64_t b : a.buckets) sum += b;
+    if (sum != a.sojourn) {
+      std::cerr << "FAIL [tail]: attempt " << a.root << " buckets sum to "
+                << sum << " but sojourn is " << a.sojourn << " ticks\n";
+      ++failures;
+      break;
+    }
+  }
+  write_tail_attribution(m.tail, std::cout);
+  for (const TailBand& band : m.tail.bands) {
+    json.row("tail_" + std::string(band.label))
+        .field("attempts", band.attempts)
+        .field("sojourn_ticks", band.sojourn);
+    for (std::size_t k = 0; k < kNumTailBuckets; ++k)
+      json.field(std::string(to_string(static_cast<TailBucket>(k))) + "_ticks",
+                 band.buckets[k]);
+  }
+  return failures;
 }
 
 void report(const std::string& label, const ModeOutcome& m) {
@@ -288,9 +395,12 @@ int main(int argc, char** argv) {
   const Options opt = parse_args(argc, argv);
   const Workload workload(make_spec(opt));
 
-  const ModeOutcome off = run_mode(workload, opt, false, false, "");
+  const ModeOutcome off =
+      run_mode(workload, opt, false, false, "", 0.0, false, opt.timeseries,
+               opt.timeseries ? opt.timeseries_jsonl : std::string());
   report("inproc batch=off", off);
-  const ModeOutcome on = run_mode(workload, opt, true, false, "");
+  const ModeOutcome on = run_mode(workload, opt, true, false, "", 0.0, false,
+                                  opt.timeseries);
   report("inproc batch=on ", on);
 
   int failures = check_pair("inproc", off, on, opt.min_savings);
@@ -298,6 +408,13 @@ int main(int argc, char** argv) {
   bench::BenchJson json("throughput");
   emit_row(json, "inproc_batch_off", off);
   emit_row(json, "inproc_batch_on", on);
+
+  if (opt.timeseries) {
+    std::cout << "timeseries: " << off.windows.size() << " windows of "
+              << opt.window << " msgs -> " << opt.timeseries_jsonl << '\n';
+    emit_window_rows(json, off);
+    failures += emit_tail(json, off);
+  }
 
   bool wire_ran = false;
   if (opt.distributed) {

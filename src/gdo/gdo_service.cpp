@@ -367,6 +367,9 @@ void GdoService::ring_prep_request(ObjectId id, NodeId requester,
   transport_.send({kind, requester, believed, id, wire::kLockRecordBytes});
   transport_.send({MessageKind::kShardRedirect, believed, requester, id,
                    wire::kLockRecordBytes});
+  if (tracer_ != nullptr)
+    tracer_->instant(SpanPhase::kShardRedirect, 0, believed.value(),
+                     id.value());
   ring_stats_.redirects->add();
   if (check_ != nullptr) check_->on_shard_redirect(id, believed, requester);
 }

@@ -23,6 +23,7 @@
 #include "net/net_stats.hpp"
 #include "obs/flight_recorder.hpp"
 #include "obs/span.hpp"
+#include "obs/timeseries.hpp"
 
 namespace lotec {
 
@@ -203,6 +204,28 @@ class Transport {
   void set_probe(MessageProbe* probe) noexcept { probe_ = probe; }
   [[nodiscard]] MessageProbe* probe() const noexcept { return probe_; }
 
+  /// Install (or clear) the timeseries collector whose logical window
+  /// clock advances once per accounted message.  Owned by the caller.
+  /// Same contract as the tracer seam: the collector never sends, so a
+  /// run with telemetry on carries bit-identical traffic; when off the
+  /// cost is one pointer comparison per send.
+  void set_timeseries(TimeseriesCollector* collector) noexcept {
+    timeseries_ = collector;
+  }
+  [[nodiscard]] TimeseriesCollector* timeseries() const noexcept {
+    return timeseries_;
+  }
+
+  /// Install (or clear) the always-on logical/physical send tallies (the
+  /// registry counters `net.logical_sends` / `net.physical_sends`), so the
+  /// timeseries can rate batching effectiveness per window.  Owned by the
+  /// caller (ClusterCore resolves them at construction).
+  void set_send_counters(MetricsCounter* logical,
+                         MetricsCounter* physical) noexcept {
+    logical_sends_ = logical;
+    physical_sends_ = physical;
+  }
+
   /// Install (or clear) the always-on flight recorder; every send is
   /// mirrored into both endpoints' rings.  Owned by the caller.
   void set_flight_recorder(FlightRecorder* recorder) noexcept {
@@ -238,6 +261,12 @@ class Transport {
     stats_.record(m, joined);
     for (std::size_t i = 0; i < extra; ++i) stats_.record(m);
     last_send_joined_ = joined;
+    if (joined) ++window_joins_;
+    if (logical_sends_ != nullptr) {
+      logical_sends_->add(1 + extra);
+      physical_sends_->add((joined ? 0 : 1) + extra);
+    }
+    if (timeseries_ != nullptr) timeseries_->on_message();
   }
 
   /// Open/close a batch window.  Within a window, the second and later
@@ -253,6 +282,12 @@ class Transport {
   void end_batch_window() {
     if (!config_.batch_messages || batch_depth_ == 0) return;
     if (--batch_depth_ == 0) {
+      // Mark the flush point in the trace when the window actually
+      // coalesced something (object carries the join count); instants send
+      // nothing, so traffic stays identical.
+      if (tracer_ != nullptr && window_joins_ > 0)
+        tracer_->instant(SpanPhase::kBatchFlush, 0, 0, window_joins_);
+      window_joins_ = 0;
       open_batches_.clear();
       on_batch_window_end();
     }
@@ -294,9 +329,16 @@ class Transport {
       }
       ++remote;
     }
-    if (remote > 0)
+    if (remote > 0) {
       stats_.record_multicast(m, remote, config_.multicast_capable);
+      const std::size_t copies = config_.multicast_capable ? 1 : remote;
+      if (logical_sends_ != nullptr) {
+        logical_sends_->add(copies);
+        physical_sends_->add(copies);
+      }
+    }
     last_send_joined_ = false;  // fan-out traffic never joins a batch
+    if (timeseries_ != nullptr) timeseries_->on_message();
     return unreachable;
   }
 
@@ -375,6 +417,11 @@ class Transport {
   SpanTracer* tracer_ = nullptr;
   MessageProbe* probe_ = nullptr;
   FlightRecorder* recorder_ = nullptr;
+  TimeseriesCollector* timeseries_ = nullptr;
+  MetricsCounter* logical_sends_ = nullptr;
+  MetricsCounter* physical_sends_ = nullptr;
+  /// Joins coalesced in the current batch window (batch.flush instant).
+  std::uint64_t window_joins_ = 0;
   /// (src << 32 | dst) pairs with an open batch head in the current window.
   /// A round touches a handful of destinations, so a linear scan beats any
   /// map; cleared when the outermost window closes.

@@ -64,15 +64,44 @@ void LatencyHistogram::reset() noexcept {
 MetricsCounter& MetricsRegistry::counter(const std::string& name) {
   std::lock_guard<std::mutex> lock(mu_);
   auto& slot = counters_[name];
-  if (!slot) slot = std::make_unique<MetricsCounter>();
+  if (!slot) {
+    slot = std::make_unique<MetricsCounter>();
+    ++generation_;
+  }
   return *slot;
 }
 
 LatencyHistogram& MetricsRegistry::histogram(const std::string& name) {
   std::lock_guard<std::mutex> lock(mu_);
   auto& slot = histograms_[name];
-  if (!slot) slot = std::make_unique<LatencyHistogram>();
+  if (!slot) {
+    slot = std::make_unique<LatencyHistogram>();
+    ++generation_;
+  }
   return *slot;
+}
+
+std::uint64_t MetricsRegistry::generation() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return generation_;
+}
+
+std::vector<std::pair<std::string, const MetricsCounter*>>
+MetricsRegistry::counter_handles() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<std::string, const MetricsCounter*>> out;
+  out.reserve(counters_.size());
+  for (const auto& [name, c] : counters_) out.emplace_back(name, c.get());
+  return out;
+}
+
+std::vector<std::pair<std::string, const LatencyHistogram*>>
+MetricsRegistry::histogram_handles() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<std::string, const LatencyHistogram*>> out;
+  out.reserve(histograms_.size());
+  for (const auto& [name, h] : histograms_) out.emplace_back(name, h.get());
+  return out;
 }
 
 std::uint64_t MetricsRegistry::value(const std::string& name) const {

@@ -26,6 +26,8 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <utility>
+#include <vector>
 
 namespace lotec {
 
@@ -99,6 +101,20 @@ class MetricsRegistry {
   [[nodiscard]] std::map<std::string, std::uint64_t> counters() const;
   [[nodiscard]] std::map<std::string, HistogramSnapshot> histograms() const;
 
+  /// Bumped whenever a NEW counter or histogram name is registered.  The
+  /// timeseries collector compares this against the generation its handle
+  /// table was built at: unchanged means every registered metric already has
+  /// a cached handle and the scrape stays allocation-free.
+  [[nodiscard]] std::uint64_t generation() const;
+
+  /// Name-sorted stable handles to every registered counter / histogram
+  /// (valid for the registry's lifetime).  Allocates; called only when
+  /// generation() moved.
+  [[nodiscard]] std::vector<std::pair<std::string, const MetricsCounter*>>
+  counter_handles() const;
+  [[nodiscard]] std::vector<std::pair<std::string, const LatencyHistogram*>>
+  histogram_handles() const;
+
   /// Zero every counter and histogram (registrations stay).
   void reset();
 
@@ -107,6 +123,7 @@ class MetricsRegistry {
   // unique_ptr values keep handles stable across map rehash/insertion.
   std::map<std::string, std::unique_ptr<MetricsCounter>> counters_;
   std::map<std::string, std::unique_ptr<LatencyHistogram>> histograms_;
+  std::uint64_t generation_ = 0;
 };
 
 }  // namespace lotec

@@ -13,6 +13,7 @@
 #include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
 #include "obs/span.hpp"
+#include "obs/timeseries.hpp"
 
 namespace lotec {
 
@@ -32,12 +33,25 @@ struct ObsConfig {
   /// When non-empty, the fault engine dumps the recorder here on every
   /// node-crash event (second crash appends ".2", and so on).
   std::string flight_dump;
+  /// Time-series telemetry plane (PROTOCOL.md §16).  Off by default; when
+  /// off, traffic AND span output are bit-identical to a build without the
+  /// collector (it is simply never installed on the transport).
+  bool timeseries = false;
+  /// Logical window length: close a window every this many transport
+  /// messages.  0 = explicit close_window() only (wall-clock pacing).
+  std::uint64_t timeseries_interval = 0;
+  /// Windows retained in the collector's ring.
+  std::size_t timeseries_retain = 256;
+  /// When non-empty, stream one JSON line per closed window here (what
+  /// `lotec_top --jsonl` tails).
+  std::string timeseries_jsonl;
 };
 
 struct Observability {
   MetricsRegistry metrics;
   SpanTracer tracer;
   std::unique_ptr<FlightRecorder> recorder;
+  std::unique_ptr<TimeseriesCollector> timeseries;
 
   /// Apply config: attach the registry, create the flight recorder (needs
   /// the cluster's node count) and enable/attach span sinks.
@@ -47,6 +61,13 @@ struct Observability {
       recorder = std::make_unique<FlightRecorder>(
           nodes, cfg.flight_recorder_capacity);
       tracer.set_flight_recorder(recorder.get());
+    }
+    if (cfg.timeseries) {
+      TimeseriesConfig ts;
+      ts.tick_interval = cfg.timeseries_interval;
+      ts.retain = cfg.timeseries_retain;
+      ts.jsonl_path = cfg.timeseries_jsonl;
+      timeseries = std::make_unique<TimeseriesCollector>(metrics, ts);
     }
     if (!cfg.trace_spans) return;
     if (!cfg.spans_jsonl.empty()) {

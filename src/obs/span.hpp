@@ -28,6 +28,14 @@
 //                        (distributed runs only; emitted by lotec_worker)
 //   shard.migrate        the elastic directory moving one entry to its new
 //                        ring owner (directory lane)
+//   shard.redirect       the directory bouncing a request to the entry's
+//                        new ring owner during migration (instant)
+//   snapshot.map_round   a read-only family refreshing its snapshot page
+//                        map from the directory (mv_read path)
+//   snapshot.fetch       a read-only family fetching committed page
+//                        versions for its snapshot (mv_read path)
+//   batch.flush          the outermost batch window closing and flushing
+//                        its deferred messages (instant)
 #pragma once
 
 #include <atomic>
@@ -65,9 +73,13 @@ enum class SpanPhase : std::uint8_t {
   kLockGrant,
   kWireDeliver,
   kShardMigrate,
+  kShardRedirect,
+  kSnapshotMapRound,
+  kSnapshotFetch,
+  kBatchFlush,
 };
 
-inline constexpr std::size_t kNumSpanPhases = 15;
+inline constexpr std::size_t kNumSpanPhases = 19;
 
 [[nodiscard]] std::string_view to_string(SpanPhase phase) noexcept;
 

@@ -74,6 +74,10 @@ class ClusterObservation {
   [[nodiscard]] FlightRecorder* flight_recorder() noexcept {
     return core_.obs.recorder.get();
   }
+  /// Null unless config().obs.timeseries (PROTOCOL.md §16).
+  [[nodiscard]] TimeseriesCollector* timeseries() noexcept {
+    return core_.obs.timeseries.get();
+  }
   /// Pages evicted under cache pressure across all nodes.
   [[nodiscard]] std::uint64_t evicted_pages() const {
     return core_.total_evicted_pages();

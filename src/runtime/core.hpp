@@ -46,6 +46,7 @@ class FamilyRunner;
 /// once at cluster construction (a runner never touches the name map).
 // clang-format off
 #define LOTEC_CORE_COUNTERS(COUNTER)                      \
+  COUNTER(commits, "txn.commits")                         \
   COUNTER(deadlock_retries, "txn.deadlock_retries")       \
   COUNTER(fault_retries, "txn.fault_retries")             \
   COUNTER(demand_fetches, "page.demand_fetches")          \
@@ -73,6 +74,9 @@ struct ClusterCore {
     obs.configure(cfg.obs, cfg.nodes);
     transport.set_tracer(&obs.tracer);
     transport.set_flight_recorder(obs.recorder.get());
+    transport.set_timeseries(obs.timeseries.get());
+    transport.set_send_counters(&obs.metrics.counter("net.logical_sends"),
+                                &obs.metrics.counter("net.physical_sends"));
     gdo.set_tracer(&obs.tracer);
     if (cfg.check_sink != nullptr) {
       transport.set_probe(cfg.check_sink);

@@ -153,6 +153,7 @@ void FamilyRunner::run() {
       const bool ok =
           run_invocation(nullptr, request_.object, request_.method);
       result_.committed = ok;
+      if (ok) core_.counters.commits->add();
       if (!ok) result_.reason = last_abort_reason_;
       break;
     } catch (const DeadlockVictimError&) {
@@ -875,7 +876,7 @@ void FamilyRunner::snapshot_acquire(ObjectId object) {
     // One lock-free directory round: where does each page's newest copy
     // live?  This replaces the lock acquisition round — it is the only
     // directory traffic a snapshot family generates per object.
-    ScopedSpan round(&core_.obs.tracer, SpanPhase::kGdoRound,
+    ScopedSpan round(&core_.obs.tracer, SpanPhase::kSnapshotMapRound,
                      family_.id().value(), node_.value(), object.value());
     core_.scheduler->preempt(index_);
     GdoService::SnapshotMap fetched = core_.gdo.snapshot_lookup(object, node_);
@@ -997,7 +998,7 @@ void FamilyRunner::snapshot_fetch(ObjectId object, const PageSet& missing) {
       throw Error("snapshot fetch without a snapshot map");
     map = it->second.map;
   }
-  ScopedSpan gather(&core_.obs.tracer, SpanPhase::kPageGather,
+  ScopedSpan gather(&core_.obs.tracer, SpanPhase::kSnapshotFetch,
                     family_.id().value(), node_.value(), object.value());
 
   // Group per owning site, visited in node-id order (same deterministic

@@ -80,6 +80,9 @@ ClusterConfig ExperimentOptions::to_cluster_config(
   cfg.obs.spans_jsonl = spans_jsonl;
   cfg.obs.chrome_trace = chrome_trace;
   cfg.obs.flight_dump = flight_dump;
+  cfg.obs.timeseries = timeseries;
+  cfg.obs.timeseries_interval = timeseries_interval;
+  cfg.obs.timeseries_jsonl = timeseries_jsonl;
   cfg.wire = wire;
   cfg.mv_read = mv_read;
   cfg.mv_version_ring = mv_version_ring;

@@ -112,6 +112,15 @@ struct ExperimentOptions {
   bool trace_spans = false;
   /// Stream spans as JSON lines to this file (requires trace_spans).
   std::string spans_jsonl;
+  /// Time-series telemetry plane (PROTOCOL.md §16): install the per-window
+  /// scrape collector.  Off for every paper figure; the ablation_obs bench
+  /// gates that an off run is bit-identical and an on run costs < 2% wall
+  /// clock.
+  bool timeseries = false;
+  /// Logical window length in transport messages (timeseries only).
+  std::uint64_t timeseries_interval = 256;
+  /// Stream one JSON line per closed window here (timeseries only).
+  std::string timeseries_jsonl;
   /// Write Chrome trace-event JSON (Perfetto-loadable) to this file at the
   /// end of the run (requires trace_spans).
   std::string chrome_trace;

@@ -76,7 +76,7 @@ Frame decode_frame(std::span<const std::byte> in) {
         std::to_string(std::to_integer<std::uint8_t>(in[4])));
   const std::uint8_t type = std::to_integer<std::uint8_t>(in[5]);
   if (type < static_cast<std::uint8_t>(FrameType::kData) ||
-      type > static_cast<std::uint8_t>(FrameType::kShutdown))
+      type > static_cast<std::uint8_t>(FrameType::kStatsScrapeReply))
     throw WireProtocolError("wire frame: unknown frame type " +
                             std::to_string(type));
   const std::uint8_t kind = std::to_integer<std::uint8_t>(in[6]);

@@ -48,6 +48,11 @@ static_assert(kFrameSize == wire::kHeaderBytes,
 /// Node id marker for the coordinator endpoint in Hello frames.
 inline constexpr std::uint32_t kCoordinatorNode = 0xFFFFFFFFu;
 
+/// Node id marker for an out-of-band admin/observer endpoint (lotec_top).
+/// An admin connection may only ever ask for stats scrapes; workers never
+/// route data through it and its teardown must not end the batch.
+inline constexpr std::uint32_t kAdminNode = 0xFFFFFFFEu;
+
 /// Largest payload a decoder accepts; anything bigger is hostile or
 /// corrupt (the biggest legitimate payloads are page batches, well under
 /// this).
@@ -62,6 +67,9 @@ enum class FrameType : std::uint8_t {
   kStatsRequest = 6,///< coordinator -> worker: ship me your ledger
   kStatsReply = 7,  ///< worker -> coordinator: serialized WorkerLedger
   kShutdown = 8,    ///< coordinator -> worker: flush and exit cleanly
+  kStatsScrapeRequest = 9,  ///< admin -> worker: telemetry scrape (PROTOCOL §16)
+  kStatsScrapeReply = 10,   ///< worker -> admin: ledger + counters as
+                            ///< Prometheus text (never accounted)
 };
 
 enum class NackReason : std::uint8_t {

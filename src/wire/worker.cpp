@@ -10,12 +10,14 @@
 #include <map>
 #include <memory>
 #include <span>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "common/error.hpp"
 #include "obs/chrome_trace.hpp"
 #include "obs/span.hpp"
+#include "obs/timeseries.hpp"
 #include "wire/frame.hpp"
 #include "wire/ledger.hpp"
 #include "wire/socket.hpp"
@@ -34,6 +36,7 @@ enum class ConnRole : std::uint8_t {
   kInboundPeer,
   kCoordinator,
   kOutboundPeer,
+  kAdmin,  ///< lotec_top observer: scrape-only, teardown is inconsequential
 };
 
 struct Conn {
@@ -257,12 +260,16 @@ class Worker {
     switch (f.type) {
       case FrameType::kHello:
         c.peer = f.src;
-        if (f.src == kCoordinatorNode) {
-          c.role = ConnRole::kCoordinator;
+        if (f.src == kCoordinatorNode || f.src == kAdminNode) {
+          // An admin observer identifies like the coordinator but is
+          // remembered as such: its disconnect must NOT end the batch, and
+          // data frames are never accepted from it.
+          c.role = f.src == kCoordinatorNode ? ConnRole::kCoordinator
+                                             : ConnRole::kAdmin;
           Frame ack;
           ack.type = FrameType::kHelloAck;
           ack.src = opt_.node;
-          ack.dst = kCoordinatorNode;
+          ack.dst = f.src;
           ack.correlation = f.correlation;
           send_or_close(c, ack, {});
         } else {
@@ -270,6 +277,7 @@ class Worker {
         }
         return;
       case FrameType::kData:
+        if (c.role == ConnRole::kAdmin) return;  // observers cannot inject
         if (c.role == ConnRole::kCoordinator)
           relay(f);
         else
@@ -285,6 +293,24 @@ class Worker {
         reply.type = FrameType::kStatsReply;
         reply.src = opt_.node;
         reply.dst = kCoordinatorNode;
+        reply.correlation = f.correlation;
+        reply.payload_bytes = payload.size();
+        send_or_close(c, reply, payload);
+        return;
+      }
+      case FrameType::kStatsScrapeRequest: {
+        // Telemetry scrape (PROTOCOL §16): the live ledger + derived
+        // counters rendered as Prometheus text.  Out-of-band by
+        // construction — nothing here touches the delivered/relayed
+        // ledgers, so a scraped run's accounted counters are bit-identical
+        // to an unscraped one (asserted by the worker scrape test).
+        const std::string text = scrape_payload();
+        std::vector<std::byte> payload(text.size());
+        std::memcpy(payload.data(), text.data(), text.size());
+        Frame reply;
+        reply.type = FrameType::kStatsScrapeReply;
+        reply.src = opt_.node;
+        reply.dst = c.peer;
         reply.correlation = f.correlation;
         reply.payload_bytes = payload.size();
         send_or_close(c, reply, payload);
@@ -306,6 +332,7 @@ class Worker {
       }
       case FrameType::kHelloAck:
       case FrameType::kStatsReply:
+      case FrameType::kStatsScrapeReply:
         return;  // not expected at a worker; ignore
     }
   }
@@ -505,6 +532,45 @@ class Worker {
         left -= n;
       }
     }
+  }
+
+  /// Render the worker's live state as Prometheus text: per-kind
+  /// delivered/relayed ledgers plus the node-local mirror counters, all
+  /// labeled node="<id>".  lotec_top decodes this with
+  /// parse_prometheus_text — the same writer/parser pair the coordinator's
+  /// exposition uses.
+  [[nodiscard]] std::string scrape_payload() const {
+    std::map<std::string, std::uint64_t> counters;
+    for (std::size_t k = 0;
+         k < static_cast<std::size_t>(MessageKind::kNumKinds); ++k) {
+      const auto kind = static_cast<MessageKind>(k);
+      const auto& d = ledger_.delivered[k];
+      const auto& r = ledger_.relayed[k];
+      if (d.messages != 0) {
+        counters["wire.delivered." + std::string(to_string(kind))] =
+            d.messages;
+        counters["wire.delivered_bytes." + std::string(to_string(kind))] =
+            d.bytes;
+      }
+      if (r.messages != 0) {
+        counters["wire.relayed." + std::string(to_string(kind))] = r.messages;
+        counters["wire.relayed_bytes." + std::string(to_string(kind))] =
+            r.bytes;
+      }
+    }
+    counters["wire.duplicates_dropped"] = ledger_.duplicates_dropped;
+    counters["wire.locks_granted"] = ledger_.locks_granted;
+    counters["wire.locks_released"] = ledger_.locks_released;
+    counters["wire.gdo_requests_served"] = ledger_.gdo_requests_served;
+    counters["wire.replica_syncs_applied"] = ledger_.replica_syncs_applied;
+    counters["wire.page_bytes_stored"] = ledger_.page_bytes_stored;
+    counters["wire.spans_emitted"] = span_seq_;
+    std::ostringstream os;
+    write_prometheus_text(counters, {},
+                          {{"node", std::to_string(opt_.node)},
+                           {"transport", opt_.tcp ? "tcp" : "uds"}},
+                          os);
+    return os.str();
   }
 
   void send_or_close(Conn& c, const Frame& f,

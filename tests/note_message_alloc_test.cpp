@@ -15,7 +15,9 @@
 #include <new>
 
 #include "net/message.hpp"
+#include "obs/metrics.hpp"
 #include "obs/span.hpp"
+#include "obs/timeseries.hpp"
 
 namespace {
 
@@ -64,6 +66,40 @@ TEST(NoteMessageAllocTest, SteadyStateNoteMessageDoesNotAllocate) {
   g_counting.store(false);
   EXPECT_EQ(g_allocations.load(), 0u)
       << "note_message allocated on the steady-state path";
+}
+
+TEST(TimeseriesAllocTest, SteadyStateScrapeDoesNotAllocate) {
+  // The telemetry collector shares the transport hot path with
+  // note_message, so it obeys the same contract: once the handle tables
+  // match the registry generation, on_message — including the window
+  // closes it triggers — performs zero heap allocations.  (Registering a
+  // NEW metric bumps the generation and re-allocates the tables; that is
+  // the one sanctioned slow path, exercised un-armed here.)
+  MetricsRegistry registry;
+  MetricsCounter& commits = registry.counter("txn.commits");
+  MetricsCounter& sends = registry.counter("net.logical_sends");
+  LatencyHistogram& attempt = registry.histogram("span.family.attempt");
+  TimeseriesConfig cfg;
+  cfg.tick_interval = 8;  // close a window every 8 messages while armed
+  cfg.retain = 16;
+  TimeseriesCollector ts(registry, cfg);
+
+  // Warm-up: cross one window boundary so the handle tables and the ring
+  // slots are sized for the current registry generation.
+  for (int i = 0; i < 10; ++i) ts.on_message();
+
+  g_allocations.store(0);
+  g_counting.store(true);
+  for (int i = 0; i < 256; ++i) {
+    commits.add(1);
+    sends.add(2);
+    attempt.record(static_cast<std::uint64_t>(i) % 77);
+    ts.on_message();
+  }
+  g_counting.store(false);
+  EXPECT_GT(ts.windows_closed(), 30u) << "interval never fired";
+  EXPECT_EQ(g_allocations.load(), 0u)
+      << "the timeseries scrape allocated on the steady-state path";
 }
 
 }  // namespace

@@ -1,0 +1,230 @@
+// Wire-plane telemetry scrape (PROTOCOL.md §16): an admin connection —
+// identified by the kAdminNode sentinel in its Hello — may poll a live
+// lotec_worker with kStatsScrapeRequest and gets the worker's ledger and
+// counters back as Prometheus text.  The channel is strictly out-of-band:
+// the contract asserted here is that scraping adds exactly ZERO accounted
+// messages and bytes (coordinator ledger AND worker delivered/relayed
+// ledgers), that an admin cannot inject data frames, and that an admin
+// disconnect never tears the worker down.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+#include <unistd.h>
+#include <vector>
+
+#include "obs/timeseries.hpp"
+#include "runtime/cluster.hpp"
+#include "wire/frame.hpp"
+#include "wire/socket.hpp"
+#include "wire/wire_transport.hpp"
+
+namespace lotec {
+namespace {
+
+using wire::Fd;
+using wire::Frame;
+using wire::FrameType;
+using wire::kAdminNode;
+using wire::kFrameSize;
+
+/// A scratch socket directory the test controls, so it knows where the
+/// workers listen (the launcher's default is a private temp dir).
+std::string make_socket_dir() {
+  std::string templ = "/tmp/lotec_scrape_test_XXXXXX";
+  if (::mkdtemp(templ.data()) == nullptr) ADD_FAILURE() << "mkdtemp failed";
+  return templ;
+}
+
+ClusterConfig wire_config(std::size_t nodes, const std::string& socket_dir) {
+  ClusterConfig cfg;
+  cfg.nodes = nodes;
+  cfg.wire.enabled = true;
+  cfg.wire.socket_dir = socket_dir;
+#ifdef LOTEC_WORKER_BIN
+  cfg.wire.worker_path = LOTEC_WORKER_BIN;
+#endif
+  return cfg;
+}
+
+/// Minimal admin client: the same handshake lotec_top performs.
+class AdminConn {
+ public:
+  AdminConn(const std::string& socket_dir, std::uint32_t node)
+      : fd_(wire::uds_connect(socket_dir + "/node" + std::to_string(node) +
+                                  ".sock",
+                              wire::Millis(3000))),
+        node_(node) {
+    Frame hello;
+    hello.type = FrameType::kHello;
+    hello.src = kAdminNode;
+    hello.dst = node;
+    hello.correlation = ++corr_;
+    wire::write_full(fd_, wire::encode_frame(hello));
+    EXPECT_EQ(read_frame().first.type, FrameType::kHelloAck);
+  }
+
+  std::string scrape() {
+    Frame req;
+    req.type = FrameType::kStatsScrapeRequest;
+    req.src = kAdminNode;
+    req.dst = node_;
+    req.correlation = ++corr_;
+    wire::write_full(fd_, wire::encode_frame(req));
+    const auto [reply, payload] = read_frame();
+    EXPECT_EQ(reply.type, FrameType::kStatsScrapeReply);
+    return payload;
+  }
+
+  /// Hostile: an admin trying to inject an accounted data frame.
+  void inject_data_frame() {
+    Frame f;
+    f.type = FrameType::kData;
+    f.kind = MessageKind::kLockAcquireRequest;
+    f.src = kAdminNode;
+    f.dst = node_;
+    f.correlation = ++corr_;
+    wire::write_full(fd_, wire::encode_frame(f));
+  }
+
+ private:
+  std::pair<Frame, std::string> read_frame() {
+    const auto deadline = wire::deadline_after(wire::Millis(5000));
+    std::array<std::byte, kFrameSize> header;
+    wire::read_full(fd_, header, deadline);
+    const Frame f = wire::decode_frame(header);
+    std::string payload(static_cast<std::size_t>(f.payload_bytes), '\0');
+    if (f.payload_bytes > 0)
+      wire::read_full(fd_,
+                      std::span<std::byte>(
+                          reinterpret_cast<std::byte*>(payload.data()),
+                          payload.size()),
+                      deadline);
+    return {f, payload};
+  }
+
+  Fd fd_;
+  std::uint32_t node_;
+  std::uint64_t corr_ = 0;
+};
+
+ObjectId setup_counter(Cluster& cluster, const ClusterConfig& cfg) {
+  const ClassId cls = cluster.define_class(
+      ClassBuilder("Counter", cfg.page_size)
+          .attribute("value", 8)
+          .method("increment", {"value"}, {"value"},
+                  [](MethodContext& ctx) {
+                    ctx.set<std::int64_t>("value",
+                                          ctx.get<std::int64_t>("value") + 1);
+                  }));
+  return cluster.create_object(cls, NodeId(0));
+}
+
+double sample_sum(const std::vector<PromSample>& samples,
+                  const std::string& prefix, const std::string& suffix) {
+  double sum = 0;
+  for (const PromSample& s : samples)
+    if (s.name.rfind(prefix, 0) == 0 &&
+        s.name.size() >= suffix.size() &&
+        s.name.compare(s.name.size() - suffix.size(), suffix.size(),
+                       suffix) == 0)
+      sum += s.value;
+  return sum;
+}
+
+TEST(ScrapeWireTest, AdminScrapeAddsZeroAccountedTraffic) {
+  const std::string dir = make_socket_dir();
+  const ClusterConfig cfg = wire_config(3, dir);
+  Cluster cluster(cfg);
+  const ObjectId obj = setup_counter(cluster, cfg);
+  for (int i = 0; i < 6; ++i)
+    ASSERT_TRUE(cluster.run_root(obj, "increment", NodeId(i % 3)).committed);
+
+  const TrafficCounter before = cluster.stats().total();
+  ASSERT_GT(before.messages, 0u);
+
+  AdminConn admin(dir, /*node=*/1);
+  const std::vector<PromSample> first =
+      parse_prometheus_text(admin.scrape());
+  ASSERT_FALSE(first.empty());
+
+  // The payload is the worker's real ledger: it delivered frames and says
+  // which node it is.
+  EXPECT_GT(sample_sum(first, "lotec_wire_delivered_", "_total"), 0.0);
+  bool node_label_seen = false;
+  for (const PromSample& s : first)
+    for (const auto& [k, v] : s.labels)
+      if (k == "node" && v == "1") node_label_seen = true;
+  EXPECT_TRUE(node_label_seen) << "scrape payload lost its node label";
+
+  // A second scrape — plus a hostile injected data frame in between — must
+  // read back the IDENTICAL ledger: the admin channel itself is never
+  // delivered, never relayed, never accounted, and cannot inject.
+  admin.inject_data_frame();
+  const std::vector<PromSample> second =
+      parse_prometheus_text(admin.scrape());
+  EXPECT_EQ(first.size(), second.size());
+  EXPECT_EQ(sample_sum(first, "lotec_wire_", "_total"),
+            sample_sum(second, "lotec_wire_", "_total"))
+      << "scraping (or admin data injection) changed the worker's ledger";
+
+  // Coordinator-side accounting is equally untouched.
+  const TrafficCounter after = cluster.stats().total();
+  EXPECT_EQ(after.messages, before.messages);
+  EXPECT_EQ(after.bytes, before.bytes);
+}
+
+TEST(ScrapeWireTest, WorkerSurvivesAdminDisconnectAndKeepsWorking) {
+  const std::string dir = make_socket_dir();
+  const ClusterConfig cfg = wire_config(3, dir);
+  Cluster cluster(cfg);
+  const ObjectId obj = setup_counter(cluster, cfg);
+  ASSERT_TRUE(cluster.run_root(obj, "increment", NodeId(1)).committed);
+
+  {
+    AdminConn admin(dir, /*node=*/1);
+    (void)admin.scrape();
+  }  // admin disconnects here — the worker must NOT treat it as shutdown
+
+  // The fleet still executes work after the observer went away.
+  for (int i = 0; i < 4; ++i)
+    ASSERT_TRUE(cluster.run_root(obj, "increment", NodeId(i % 3)).committed);
+  EXPECT_EQ(cluster.peek<std::int64_t>(obj, "value"), 5);
+
+  const auto* wt = dynamic_cast<const wire::WireTransport*>(
+      &cluster.observe().transport());
+  ASSERT_NE(wt, nullptr);
+  EXPECT_TRUE(wt->ledger_complete());
+}
+
+TEST(ScrapeWireTest, ScrapeChannelIsBitIdenticalToAnUnobservedRun) {
+  // The strongest form of the zero-accounting contract: a run that was
+  // scraped mid-flight produces the identical coordinator ledger to one
+  // that was never observed at all.
+  auto run = [&](bool observed) {
+    const std::string dir = make_socket_dir();
+    const ClusterConfig cfg = wire_config(3, dir);
+    Cluster cluster(cfg);
+    const ObjectId obj = setup_counter(cluster, cfg);
+    for (int i = 0; i < 3; ++i)
+      EXPECT_TRUE(
+          cluster.run_root(obj, "increment", NodeId(i % 3)).committed);
+    if (observed) {
+      AdminConn admin(dir, /*node=*/2);
+      (void)admin.scrape();
+      (void)admin.scrape();
+    }
+    for (int i = 0; i < 3; ++i)
+      EXPECT_TRUE(
+          cluster.run_root(obj, "increment", NodeId(i % 3)).committed);
+    return cluster.stats().total();
+  };
+  const TrafficCounter unobserved = run(false);
+  const TrafficCounter observed = run(true);
+  EXPECT_EQ(unobserved.messages, observed.messages);
+  EXPECT_EQ(unobserved.bytes, observed.bytes);
+}
+
+}  // namespace
+}  // namespace lotec

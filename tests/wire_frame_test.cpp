@@ -134,7 +134,7 @@ TEST(WireFrameTest, HostileMutationTable) {
       {"bad magic byte 3", 3, 0xFF},
       {"unknown version", 4, 99},
       {"frame type zero", 5, 0},
-      {"frame type out of range", 5, 9},
+      {"frame type out of range", 5, 11},  // one past kStatsScrapeReply
       {"frame type hostile", 5, 0xFF},
       {"message kind out of range", 6,
        static_cast<std::uint8_t>(MessageKind::kNumKinds)},

@@ -12,6 +12,14 @@
 //   e.g. `BENCH_walltime.json=0.25` — wall-clock benches get a generous
 //   band while the deterministic counter benches stay tight.
 //
+//   FILE:ROWPREFIX=TOL narrows an override to the rows of FILE whose label
+//   starts with ROWPREFIX, e.g. `BENCH_throughput.json:window_=0.30` — the
+//   per-window telemetry rows ride a wide band while the same file's
+//   aggregate rows stay on the file/default tolerance.  Prefix-scoped rows
+//   are also allowed to disappear from the candidate's tail: a faster run
+//   closes fewer windows, so a missing `window_7` is reported as skipped,
+//   not as missing data.
+//
 // Exit codes (CI distinguishes "perf regressed" from "bench never ran"):
 //   0  every metric within tolerance
 //   1  at least one metric out of tolerance (and nothing missing)
@@ -125,25 +133,34 @@ BenchFile parse_file(const std::filesystem::path& path) {
 int main(int argc, char** argv) {
   if (argc < 3) {
     std::cerr << "usage: bench_check <baseline_dir> <candidate_dir> "
-                 "[tolerance=0.10] [FILE=TOL...]\n";
+                 "[tolerance=0.10] [FILE=TOL...] [FILE:ROWPREFIX=TOL...]\n";
     return 2;
   }
   const std::filesystem::path baseline_dir = argv[1];
   const std::filesystem::path candidate_dir = argv[2];
   double default_tolerance = 0.10;
   std::map<std::string, double> per_file_tolerance;
+  // file -> (row-label prefix -> tolerance); prefix rows may also vanish
+  // from the candidate's tail (see the header comment).
+  std::map<std::string, std::map<std::string, double>> per_row_tolerance;
   for (int a = 3; a < argc; ++a) {
     const std::string arg = argv[a];
     const std::size_t eq = arg.find('=');
     if (eq == std::string::npos) {
       default_tolerance = std::atof(arg.c_str());
     } else {
-      per_file_tolerance[arg.substr(0, eq)] =
-          std::atof(arg.substr(eq + 1).c_str());
+      const std::string target = arg.substr(0, eq);
+      const double tol = std::atof(arg.substr(eq + 1).c_str());
+      const std::size_t colon = target.find(':');
+      if (colon == std::string::npos)
+        per_file_tolerance[target] = tol;
+      else
+        per_row_tolerance[target.substr(0, colon)]
+                         [target.substr(colon + 1)] = tol;
     }
   }
 
-  int checked = 0, out_of_tolerance = 0, missing = 0;
+  int checked = 0, out_of_tolerance = 0, missing = 0, skipped_rows = 0;
   for (const auto& entry :
        std::filesystem::directory_iterator(baseline_dir)) {
     const std::string name = entry.path().filename().string();
@@ -169,9 +186,31 @@ int main(int argc, char** argv) {
       ++missing;
       continue;
     }
+    const auto row_overrides_it = per_row_tolerance.find(name);
     for (const auto& [label, fields] : base.rows) {
+      // Longest matching row-prefix override, if any, wins over the file
+      // tolerance for this row.
+      double row_tolerance = tolerance;
+      bool prefix_scoped = false;
+      if (row_overrides_it != per_row_tolerance.end()) {
+        std::size_t best_len = 0;
+        for (const auto& [prefix, tol] : row_overrides_it->second) {
+          if (label.rfind(prefix, 0) == 0 && prefix.size() >= best_len) {
+            best_len = prefix.size();
+            row_tolerance = tol;
+            prefix_scoped = true;
+          }
+        }
+      }
       const auto row = cand.rows.find(label);
       if (row == cand.rows.end()) {
+        if (prefix_scoped) {
+          std::cout << "skip " << name << ": windowed row '" << label
+                    << "' absent from candidate (run closed fewer "
+                    << "windows)\n";
+          ++skipped_rows;
+          continue;
+        }
         std::cerr << "FAIL " << name << ": row '" << label
                   << "' missing from candidate\n";
         ++missing;
@@ -192,12 +231,13 @@ int main(int argc, char** argv) {
         const bool ok =
             expect == 0.0
                 ? actual == 0.0
-                : std::abs(actual - expect) <= tolerance * std::abs(expect);
+                : std::abs(actual - expect) <=
+                      row_tolerance * std::abs(expect);
         if (!ok) {
           std::cerr << "FAIL " << name << ": " << label << "." << key << " = "
                     << actual << ", baseline " << expect << " (|delta| "
                     << std::abs(actual / expect - 1.0) * 100.0 << "% > "
-                    << tolerance * 100.0 << "%)\n";
+                    << row_tolerance * 100.0 << "%)\n";
           ++out_of_tolerance;
         }
       }
@@ -229,6 +269,10 @@ int main(int argc, char** argv) {
                     ? std::string()
                     : " (" + std::to_string(per_file_tolerance.size()) +
                           " per-file override(s))")
+            << (skipped_rows
+                    ? ", " + std::to_string(skipped_rows) +
+                          " windowed row(s) skipped"
+                    : std::string())
             << '\n';
   return 0;
 }

@@ -11,7 +11,7 @@
 // invariants after recovery.
 //
 //   soak [iterations=50] [base-seed=1] [--faults] [--rebalance] [--only N]
-//        [--flight-dump PREFIX] [--transport=wire]
+//        [--flight-dump PREFIX] [--transport=wire [--socket-dir DIR]]
 //
 // --rebalance turns every iteration into an elastic-directory chaos run
 // (PROTOCOL.md §15): the consistent-hash ring is on with a randomized
@@ -225,6 +225,7 @@ int main(int argc, char** argv) {
   bool rebalance = false;
   int only = -1;
   std::string flight_prefix;
+  std::string socket_dir;
   std::vector<const char*> positional;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--faults") == 0)
@@ -237,6 +238,8 @@ int main(int argc, char** argv) {
       only = std::atoi(argv[++i]);
     else if (std::strcmp(argv[i], "--flight-dump") == 0 && i + 1 < argc)
       flight_prefix = argv[++i];
+    else if (std::strcmp(argv[i], "--socket-dir") == 0 && i + 1 < argc)
+      socket_dir = argv[++i];
     else
       positional.push_back(argv[i]);
   }
@@ -256,7 +259,13 @@ int main(int argc, char** argv) {
     Draw d = random_setup(rng);
     if (with_faults) add_random_faults(d, rng);
     if (rebalance) constrain_for_rebalance(d, rng);
-    if (wire_transport) constrain_for_wire(d);
+    if (wire_transport) {
+      constrain_for_wire(d);
+      // Pin the worker sockets so `lotec_top --dir <dir> --nodes N` can
+      // scrape this soak live (PROTOCOL.md §16); a fresh temp dir per
+      // iteration would leave the watcher nothing stable to connect to.
+      d.cfg.wire.socket_dir = socket_dir;
+    }
     if (only >= 0 && i != only) continue;
     if (!flight_prefix.empty())
       d.cfg.obs.flight_dump = flight_prefix + "." + std::to_string(i) + ".json";

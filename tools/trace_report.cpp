@@ -32,6 +32,7 @@
 #include "obs/chrome_trace.hpp"
 #include "obs/critical_path.hpp"
 #include "obs/span.hpp"
+#include "obs/tail_attribution.hpp"
 #include "sim/report.hpp"
 #include "sim/trace.hpp"
 
@@ -96,11 +97,13 @@ void print_critical_path(const CriticalPath& cp) {
 int run_spans(int argc, char** argv) {
   std::string out_path;
   bool critical_path = false;
+  bool tail_attribution = false;
   std::vector<std::string> inputs;
   for (int i = 2; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg.rfind("--out=", 0) == 0) out_path = arg.substr(6);
     else if (arg == "--critical-path") critical_path = true;
+    else if (arg == "--tail-attribution") tail_attribution = true;
     else if (arg.rfind("--", 0) == 0) {
       std::cerr << "unknown flag " << arg << "\n";
       return kUsage;
@@ -110,7 +113,8 @@ int run_spans(int argc, char** argv) {
   }
   if (inputs.empty()) {
     std::cerr << "usage: trace_report spans <spans.jsonl> [more.jsonl ...] "
-                 "[--out=chrome.json] [--critical-path]\n";
+                 "[--out=chrome.json] [--critical-path] "
+                 "[--tail-attribution]\n";
     return kUsage;
   }
 
@@ -189,6 +193,11 @@ int run_spans(int argc, char** argv) {
 
   if (critical_path) print_critical_path(analyze_critical_path(spans, messages));
 
+  if (tail_attribution) {
+    print_section("Tail attribution");
+    write_tail_attribution(analyze_tail_attribution(spans), std::cout);
+  }
+
   if (!out_path.empty()) {
     std::ofstream os(out_path);
     if (!os) {
@@ -209,7 +218,8 @@ int main(int argc, char** argv) {
     std::cerr << "usage: trace_report <trace.csv> [--top=N] [--bitrate=BPS] "
                  "[--sw-cost=US]\n"
                  "       trace_report spans <spans.jsonl> [more.jsonl ...] "
-                 "[--out=chrome.json] [--critical-path]\n";
+                 "[--out=chrome.json] [--critical-path] "
+                 "[--tail-attribution]\n";
     return kUsage;
   }
   if (std::string(argv[1]) == "spans") return run_spans(argc, argv);
